@@ -1,0 +1,22 @@
+# Convenience targets for the REncoder reproduction.
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+report: bench
+	python -m repro report
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f; done
+
+clean:
+	rm -rf .pytest_cache .hypothesis .benchmarks benchmarks/results REPORT.md
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,115 @@
+"""Ablations of the baselines' own knobs.
+
+* **Rosetta memory allocation** — equal / proportional / bottom-heavy
+  split across the per-level Bloom filters.  The bottom-heavy policy
+  (what Rosetta's analysis recommends and this repo defaults to) should
+  dominate.
+* **SuRF suffix modes** — base / hash / real / mixed, trading bits per
+  key for point- and range-query sharpness.
+* **SNARF Rice parameter** — how far the budget-derived parameter can be
+  perturbed before space or accuracy degrades.
+"""
+
+from common import default_config, record
+
+from repro.bench.tables import format_table
+from repro.filters.rosetta import Rosetta
+from repro.filters.snarf import Snarf
+from repro.filters.surf import SuRF
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import point_queries, uniform_range_queries
+
+
+def _fpr(filt, queries):
+    return sum(filt.query_range(lo, hi) for lo, hi in queries) / len(queries)
+
+
+def test_ablation_rosetta_allocation(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = uniform_range_queries(keys, cfg.n_queries, seed=cfg.seed + 1)
+    rows = []
+    for allocation in ("equal", "proportional", "bottom_heavy"):
+        filt = Rosetta(keys, bits_per_key=18, allocation=allocation,
+                       seed=cfg.seed)
+        filt.reset_counters()
+        fpr = _fpr(filt, queries)
+        rows.append(
+            {
+                "allocation": allocation,
+                "fpr": fpr,
+                "probes/q": round(filt.probe_count / len(queries), 1),
+            }
+        )
+    record(benchmark, "ablation_rosetta_allocation",
+           format_table(rows, "Ablation: Rosetta memory allocation (18 bpk)"))
+    by_name = {r["allocation"]: r for r in rows}
+    assert by_name["bottom_heavy"]["fpr"] <= by_name["equal"]["fpr"] + 0.01
+
+    benchmark.pedantic(
+        lambda: Rosetta(keys, bits_per_key=18), rounds=3, iterations=1
+    )
+
+
+def test_ablation_surf_suffix_modes(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    ranges = uniform_range_queries(keys, cfg.n_queries, seed=cfg.seed + 1)
+    points = point_queries(keys, cfg.n_queries, seed=cfg.seed + 2)
+    rows = []
+    for mode in ("base", "hash", "real", "mixed"):
+        filt = SuRF(keys, mode=mode, seed=cfg.seed)
+        rows.append(
+            {
+                "mode": mode,
+                "bpk": round(filt.size_in_bits() / len(keys), 1),
+                "range_fpr": _fpr(filt, ranges),
+                "point_fpr": sum(
+                    filt.query_point(lo) for lo, _ in points
+                ) / len(points),
+            }
+        )
+    record(benchmark, "ablation_surf_modes",
+           format_table(rows, "Ablation: SuRF suffix modes"))
+    by_mode = {r["mode"]: r for r in rows}
+    # Hash suffixes sharpen points, real suffixes sharpen ranges.
+    assert by_mode["hash"]["point_fpr"] <= by_mode["base"]["point_fpr"] + 1e-9
+    assert by_mode["real"]["range_fpr"] <= by_mode["base"]["range_fpr"] + 1e-9
+    # Suffixes cost bits.
+    assert by_mode["mixed"]["bpk"] > by_mode["base"]["bpk"]
+
+    benchmark.pedantic(lambda: SuRF(keys), rounds=3, iterations=1)
+
+
+def test_ablation_snarf_rice_param(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = uniform_range_queries(keys, cfg.n_queries, seed=cfg.seed + 1)
+    base = Snarf(keys, bits_per_key=16, seed=cfg.seed)
+    rows = []
+    for delta in (-4, -2, 0, 2):
+        r = max(0, base.rice_param + delta)
+        filt = Snarf.__new__(Snarf)
+        # Rebuild with a forced multiplier by constructing through the
+        # public API at an adjusted budget equivalent.
+        filt = Snarf(
+            keys,
+            total_bits=int((r + 2 + 3) * len(keys)) + 96 * 320,
+            seed=cfg.seed,
+        )
+        queries_hit = _fpr(filt, queries)
+        rows.append(
+            {
+                "rice_param": filt.rice_param,
+                "bpk": round(filt.size_in_bits() / len(keys), 1),
+                "fpr": queries_hit,
+            }
+        )
+    record(benchmark, "ablation_snarf_rice",
+           format_table(rows, "Ablation: SNARF Rice parameter / budget"))
+    # Bigger multiplier (more positions per key) -> lower FPR.
+    assert rows[-1]["fpr"] <= rows[0]["fpr"] + 0.01
+
+    benchmark.pedantic(
+        lambda: Snarf(keys, bits_per_key=16), rounds=3, iterations=1
+    )

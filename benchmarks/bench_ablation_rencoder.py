@@ -1,0 +1,161 @@
+"""Ablations of REncoder's design choices (DESIGN.md §5).
+
+Not figures from the paper — these quantify the knobs the paper's design
+discussion motivates:
+
+* **group_bits (B)** — mini-tree size.  Larger B = more levels per fetch
+  (fewer probes) at the same accuracy; B=8 is the paper's AVX-512 choice.
+* **hash count (k)** — Corollaries 3–4 vs Theorem 6: small k frees memory
+  for more stored levels (better uniform FPR), but correlated queries
+  need k >= 2.
+* **ancestor checks** — Section III-C's "additional queries": probing the
+  stored levels above a sub-range costs almost nothing (same BT fetch)
+  and buys FPR on distant queries.
+* **levels_per_round (n_r)** — insertion granularity of the adaptive
+  construction; coarse rounds overshoot the P1 target.
+"""
+
+from common import default_config, record
+
+from repro.core.rencoder import REncoder
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+
+
+def _fpr(filt, queries):
+    return sum(filt.query_range(lo, hi) for lo, hi in queries) / len(queries)
+
+
+def _probes(filt, queries):
+    filt.reset_counters()
+    for lo, hi in queries:
+        filt.query_range(lo, hi)
+    return filt.probe_count / len(queries)
+
+
+def test_ablation_group_bits(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = uniform_range_queries(keys, cfg.n_queries, seed=cfg.seed + 1)
+    rows = []
+    for b in (4, 5, 6, 7, 8):
+        filt = REncoder(keys, bits_per_key=18, group_bits=b, seed=cfg.seed)
+        rows.append(
+            {
+                "group_bits": b,
+                "bt_bits": 1 << (b + 1),
+                "fpr": _fpr(filt, queries),
+                "probes/q": round(_probes(filt, queries), 2),
+            }
+        )
+    record(benchmark, "ablation_group_bits",
+           __import__("repro.bench.tables", fromlist=["format_table"])
+           .format_table(rows, "Ablation: mini-tree size B"))
+    # Bigger mini-trees never need more fetches for the same workload.
+    assert rows[-1]["probes/q"] <= rows[0]["probes/q"] + 0.5
+    # Accuracy is roughly independent of B (same bits, same ones).
+    assert abs(rows[-1]["fpr"] - rows[0]["fpr"]) < 0.08
+
+    benchmark.pedantic(
+        lambda: REncoder(keys, bits_per_key=18, group_bits=8),
+        rounds=3, iterations=1,
+    )
+
+
+def test_ablation_hash_count(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    uniform = uniform_range_queries(keys, cfg.n_queries, seed=cfg.seed + 1)
+    correlated = correlated_range_queries(
+        keys, cfg.n_queries, seed=cfg.seed + 2
+    )
+    rows = []
+    for k in (1, 2, 3, 4, 5):
+        filt = REncoder(keys, bits_per_key=18, k=k, seed=cfg.seed)
+        rows.append(
+            {
+                "k": k,
+                "levels": len(filt.stored_levels),
+                "uniform_fpr": _fpr(filt, uniform),
+                "corr_fpr": _fpr(filt, correlated),
+            }
+        )
+    from repro.bench.tables import format_table
+
+    record(benchmark, "ablation_hash_count",
+           format_table(rows, "Ablation: hash functions k (18 bpk)"))
+    # Corollary 3/4: fewer hashes -> more stored levels.
+    levels = [r["levels"] for r in rows]
+    assert levels == sorted(levels, reverse=True)
+    # Theorem 6: k=1 is the worst correlated configuration.
+    assert rows[0]["corr_fpr"] >= max(r["corr_fpr"] for r in rows[1:]) - 0.02
+
+    benchmark.pedantic(
+        lambda: REncoder(keys, bits_per_key=18, k=2), rounds=3, iterations=1
+    )
+
+
+def test_ablation_ancestor_checks(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = uniform_range_queries(keys, cfg.n_queries, seed=cfg.seed + 1)
+    rows = []
+    for checks in (True, False):
+        filt = REncoder(keys, bits_per_key=26, seed=cfg.seed,
+                        ancestor_checks=checks)
+        rows.append(
+            {
+                "ancestor_checks": checks,
+                "levels": len(filt.stored_levels),
+                "fpr": _fpr(filt, queries),
+                "probes/q": round(_probes(filt, queries), 2),
+            }
+        )
+    from repro.bench.tables import format_table
+
+    record(benchmark, "ablation_ancestor_checks",
+           format_table(rows, "Ablation: ancestor-level checks (26 bpk)"))
+    with_checks, without = rows
+    # The additional queries never hurt accuracy...
+    assert with_checks["fpr"] <= without["fpr"] + 0.01
+    # ...and cost little thanks to the shared BT fetches.
+    assert with_checks["probes/q"] <= without["probes/q"] + 4
+
+    filt = REncoder(keys, bits_per_key=26, seed=cfg.seed)
+    benchmark.pedantic(
+        lambda: [filt.query_range(lo, hi) for lo, hi in queries[:200]],
+        rounds=3, iterations=1,
+    )
+
+
+def test_ablation_levels_per_round(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = uniform_range_queries(keys, cfg.n_queries, seed=cfg.seed + 1)
+    rows = []
+    for n_r in (1, 2, 4, 8):
+        filt = REncoder(keys, bits_per_key=30, levels_per_round=n_r,
+                        seed=cfg.seed)
+        rows.append(
+            {
+                "levels_per_round": n_r,
+                "levels": len(filt.stored_levels),
+                "p1": round(filt.final_p1, 3),
+                "fpr": _fpr(filt, queries),
+            }
+        )
+    from repro.bench.tables import format_table
+
+    record(benchmark, "ablation_levels_per_round",
+           format_table(rows, "Ablation: insertion round size n_r (30 bpk)"))
+    # Coarser rounds overshoot the P1 target (paper: set n_r small for
+    # better query performance).
+    assert rows[-1]["p1"] >= rows[0]["p1"] - 0.02
+
+    benchmark.pedantic(
+        lambda: REncoder(keys, bits_per_key=30, levels_per_round=8),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,33 @@
+"""Figure 3(a): build time vs number of keys, REncoder vs Bloom filter.
+
+Paper shape: both linear in n; REncoder's build is within a small constant
+factor of the Bloom filter's (the paper reports 82%) because whole Bitmap
+Trees are inserted per memory access instead of one prefix at a time.
+"""
+
+from common import default_config, record
+
+from repro.bench.experiments import fig3_build_time
+from repro.bench.registry import build_filter
+from repro.workloads.datasets import generate_keys
+
+
+def test_fig3a_build_time(benchmark):
+    cfg = default_config()
+    sizes = [cfg.n_keys // 4, cfg.n_keys // 2, cfg.n_keys, cfg.n_keys * 2]
+    rows, text = fig3_build_time(cfg, n_keys_list=sizes)
+    record(benchmark, "fig3a_build_time", text)
+
+    # Linearity: quadrupling n should scale build time roughly linearly
+    # (allow a generous factor for fixed overheads).
+    assert rows[-1]["rencoder_ms"] < rows[0]["rencoder_ms"] * 16
+    # REncoder stays within a small constant of Bloom (vectorised bulk
+    # construction on both sides; paper reports 0.82x, we allow 4x).
+    assert rows[-1]["ratio"] < 6.0
+
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    benchmark.pedantic(
+        lambda: build_filter("REncoder", keys, 18.0),
+        rounds=3,
+        iterations=1,
+    )

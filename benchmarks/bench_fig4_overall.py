@@ -1,0 +1,36 @@
+"""Figure 4: overall time (build + workload) vs BPK.
+
+Paper shape: despite REncoder's slightly slower build, its overall time
+beats the Bloom filter baseline decisively (paper: 11x on average), and
+REncoderSS(SE) is better still (34x) — the build cost is overshadowed by
+query savings.
+"""
+
+from common import default_config, mean, record
+
+from repro.bench.experiments import fig4_overall_time
+from repro.bench.registry import build_filter
+from repro.workloads.datasets import generate_keys
+
+
+def test_fig4_overall_time(benchmark):
+    cfg = default_config()
+    rows, text = fig4_overall_time(cfg)
+    record(benchmark, "fig4_overall_time", text)
+
+    # Compare in the regime where filters operate in practice (the upper
+    # half of the BPK sweep); SS beats both everywhere.
+    upper = rows[len(rows) // 2 :]
+    bloom = mean(r["Bloom_s"] for r in upper)
+    rencoder = mean(r["REncoder_s"] for r in upper)
+    ss = mean(r["REncoderSS_s"] for r in rows)
+    assert rencoder < bloom, "REncoder overall time must beat Bloom"
+    assert ss < bloom, "SS overall time must beat Bloom"
+    assert ss <= mean(r["REncoder_s"] for r in rows), "SS beats base overall"
+
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    benchmark.pedantic(
+        lambda: build_filter("REncoderSS", keys, 18.0),
+        rounds=3,
+        iterations=1,
+    )

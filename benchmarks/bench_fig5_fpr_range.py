@@ -1,0 +1,60 @@
+"""Figure 5: FPR vs BPK on uniform range queries (a: 2-32, b: 2-64).
+
+Paper shape: REncoderSS(SE) lowest or near-lowest at every BPK; base
+REncoder's FPR falls steeply with memory; SuRF is flat (no memory knob);
+Rosetta is accurate but pays for it in probes (Figure 6).
+"""
+
+from common import default_config, mean, record, series
+
+from repro.bench.experiments import fig5_fpr_range
+from repro.bench.registry import build_filter
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import uniform_range_queries
+
+
+def _assert_shape(results):
+    fpr = series(results, "fpr")
+    # SS/SE never far from the best Bloom-style competitor.
+    for i in range(len(fpr["REncoderSS"])):
+        best = min(fpr[name][i] for name in fpr)
+        assert fpr["REncoderSS"][i] <= best + 0.06
+    # Base REncoder's FPR decreases with memory.
+    assert fpr["REncoder"][-1] <= fpr["REncoder"][0]
+    # SuRF is flat across the BPK axis (size is data-determined).
+    assert max(fpr["SuRF"]) - min(fpr["SuRF"]) < 0.02
+
+
+def test_fig5a_fpr_range_2_32(benchmark):
+    cfg = default_config()
+    results, text = fig5_fpr_range(cfg, max_size=32)
+    record(benchmark, "fig5a_fpr_2_32", text)
+    _assert_shape(results)
+
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = uniform_range_queries(keys, 200, max_size=32, seed=cfg.seed + 1)
+    filt = build_filter("REncoderSS", keys, 18.0)
+    benchmark.pedantic(
+        lambda: [filt.query_range(lo, hi) for lo, hi in queries],
+        rounds=3, iterations=1,
+    )
+
+
+def test_fig5b_fpr_range_2_64(benchmark):
+    cfg = default_config()
+    results, text = fig5_fpr_range(cfg, max_size=64)
+    record(benchmark, "fig5b_fpr_2_64", text)
+    _assert_shape(results)
+    # Wider ranges never make FPR better for the segment-tree filters.
+    fpr64 = series(results, "fpr")
+    results32, _ = fig5_fpr_range(cfg, max_size=32)
+    fpr32 = series(results32, "fpr")
+    assert mean(fpr64["REncoder"]) >= mean(fpr32["REncoder"]) - 0.02
+
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = uniform_range_queries(keys, 200, max_size=64, seed=cfg.seed + 1)
+    filt = build_filter("REncoder", keys, 18.0)
+    benchmark.pedantic(
+        lambda: [filt.query_range(lo, hi) for lo, hi in queries],
+        rounds=3, iterations=1,
+    )

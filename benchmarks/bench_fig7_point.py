@@ -1,0 +1,44 @@
+"""Figure 7: point queries — FPR (a) and filter throughput (b) vs BPK.
+
+Paper shape: every filter's FPR improves relative to range queries (fewer
+Bloom probes / extra suffix information); Rosetta's point throughput beats
+REncoder's because it probes only its bottom Bloom filter; REncoder keeps
+a bottom-band FPR.
+"""
+
+from common import default_config, mean, record, series
+
+from repro.bench.experiments import fig5_fpr_range, fig7_point_queries
+from repro.bench.registry import build_filter
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import point_queries
+
+
+def test_fig7_point_queries(benchmark):
+    cfg = default_config()
+    results, text = fig7_point_queries(cfg)
+    record(benchmark, "fig7_point_queries", text)
+
+    fpr_point = series(results, "fpr")
+    probes = series(results, "probes_per_query")
+    range_results, _ = fig5_fpr_range(cfg, max_size=32)
+    fpr_range = series(range_results, "fpr")
+
+    # Point FPR is no worse than range FPR for the segment-tree filters.
+    for name in ("REncoder", "Rosetta"):
+        assert mean(fpr_point[name]) <= mean(fpr_range[name]) + 0.02
+    # Rosetta's point probe collapses to its bottom Bloom filter (the
+    # paper's mechanism for its point-query speed-up): far fewer probes
+    # than its own range queries.
+    range_probes = series(range_results, "probes_per_query")
+    assert mean(probes["Rosetta"]) < mean(range_probes["Rosetta"]) / 2
+    # REncoder's point path also stays within a couple of BT fetches.
+    assert mean(probes["REncoder"]) < 8
+
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = point_queries(keys, 300, seed=cfg.seed + 3)
+    filt = build_filter("REncoder", keys, 18.0)
+    benchmark.pedantic(
+        lambda: [filt.query_point(lo) for lo, _ in queries],
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,41 @@
+"""Figure 9: correlated range queries — FPR (a) and filter throughput (b).
+
+Paper shape: the filters without the low segment-tree levels — SuRF,
+SNARF, ProteusNS and REncoderSS — collapse to FPR ≈ 1; Rosetta, Proteus,
+base REncoder and REncoderSE stay low.  Throughput of the Bloom-based
+filters is barely affected by correlation.
+"""
+
+from common import default_config, mean, record, series
+
+from repro.bench.experiments import fig9_correlated_queries
+from repro.bench.registry import build_filter
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import correlated_range_queries
+
+
+def test_fig9_correlated(benchmark):
+    cfg = default_config()
+    results, text = fig9_correlated_queries(cfg)
+    record(benchmark, "fig9_correlated", text)
+
+    fpr = series(results, "fpr")
+    # The collapse quadrant.
+    for name in ("SuRF", "SNARF", "ProteusNS", "REncoderSS"):
+        assert mean(fpr[name]) > 0.8, f"{name} should collapse"
+    # The robust quadrant.
+    for name in ("Rosetta", "Proteus", "REncoderSE"):
+        assert mean(fpr[name]) < 0.4, f"{name} should stay accurate"
+    # Base REncoder is robust and improves with memory.
+    assert fpr["REncoder"][-1] < 0.2
+
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    queries = correlated_range_queries(keys, 200, seed=cfg.seed + 4)
+    se = build_filter(
+        "REncoderSE", keys, 18.0,
+        sample_queries=correlated_range_queries(keys, 100, seed=cfg.seed + 5),
+    )
+    benchmark.pedantic(
+        lambda: [se.query_range(lo, hi) for lo, hi in queries],
+        rounds=3, iterations=1,
+    )

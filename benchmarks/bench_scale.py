@@ -1,0 +1,59 @@
+"""Scale sweep: FPR and probe counts vs key-set size.
+
+The paper runs at 50M keys; this reproduction defaults to 20k.  The
+bridge between the two is the claim this bench checks: at a fixed
+bits-per-key budget, REncoder's FPR and probes-per-query are governed by
+the per-key geometry (levels × hashes vs load factor), not by the
+absolute key count — so the default-scale figures transfer.
+"""
+
+from common import default_config, record
+
+from repro.bench.tables import format_table
+from repro.core.rencoder import REncoder
+from repro.filters.rosetta import Rosetta
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import uniform_range_queries
+
+
+def test_scale_invariance(benchmark):
+    cfg = default_config()
+    rows = []
+    for n in (5_000, 20_000, 80_000):
+        keys = generate_keys(n, "uniform", seed=cfg.seed)
+        queries = uniform_range_queries(
+            keys, min(cfg.n_queries, 1500), seed=cfg.seed + 1
+        )
+        enc = REncoder(keys, bits_per_key=18, seed=cfg.seed)
+        ros = Rosetta(keys, bits_per_key=18, seed=cfg.seed)
+        enc.reset_counters()
+        fpr_e = sum(enc.query_range(*q) for q in queries) / len(queries)
+        probes_e = enc.probe_count / len(queries)
+        fpr_r = sum(ros.query_range(*q) for q in queries) / len(queries)
+        rows.append(
+            {
+                "n_keys": n,
+                "rencoder_fpr": fpr_e,
+                "rosetta_fpr": fpr_r,
+                "rencoder_probes/q": round(probes_e, 2),
+                "p1": round(enc.final_p1, 3),
+                "levels": len(enc.stored_levels),
+            }
+        )
+    record(benchmark, "scale_invariance",
+           format_table(rows, "Scale sweep @ 18 bits/key"))
+
+    # FPR stays in one band across a 16x size change (load factor and
+    # stored-level count are the invariants).
+    fprs = [r["rencoder_fpr"] for r in rows]
+    assert max(fprs) - min(fprs) < 0.05
+    p1s = [r["p1"] for r in rows]
+    assert max(p1s) - min(p1s) < 0.1
+    # Probe counts are size-independent too.
+    probes = [r["rencoder_probes/q"] for r in rows]
+    assert max(probes) - min(probes) < 2.0
+
+    keys = generate_keys(80_000, "uniform", seed=cfg.seed)
+    benchmark.pedantic(
+        lambda: REncoder(keys, bits_per_key=18), rounds=3, iterations=1
+    )

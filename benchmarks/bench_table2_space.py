@@ -1,0 +1,33 @@
+"""Table II: space cost (bits per key) of REncoder for target FPRs.
+
+Paper shape: monotone — tighter targets need more bits; REncoderSS(SE)
+needs several bits per key less than the base REncoder at every target
+(the paper's row pair, e.g. 6.5 vs 2 bpk at 50% FPR).
+"""
+
+from common import default_config, record
+
+from repro.bench.experiments import table2_space_cost
+from repro.core.rencoder import REncoder
+from repro.workloads.datasets import generate_keys
+
+
+def test_table2_space_cost(benchmark):
+    cfg = default_config(n_queries=1000)
+    rows, text = table2_space_cost(cfg)
+    record(benchmark, "table2_space_cost", text)
+
+    bpks_base = [r["rencoder_bpk"] for r in rows]
+    bpks_ss = [r["rencoder_ss_bpk"] for r in rows]
+    theory = [r["theory_bpk"] for r in rows]
+    # Monotone in the target.
+    assert all(a <= b + 0.6 for a, b in zip(bpks_base, bpks_base[1:]))
+    assert all(a <= b + 0.6 for a, b in zip(theory, theory[1:]))
+    # SS needs no more space than the base REncoder at loose targets.
+    assert bpks_ss[0] <= bpks_base[0] + 0.5
+
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    benchmark.pedantic(
+        lambda: REncoder(keys, bits_per_key=18.0),
+        rounds=3, iterations=1,
+    )

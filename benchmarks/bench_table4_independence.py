@@ -1,0 +1,31 @@
+"""Table IV: test of bit independence in the built RBF.
+
+Paper shape: the conditional probability that a bit is 1 given its
+preceding-bit pattern stays close to the unconditional P1 — the
+independence assumption behind the Section IV analysis.
+"""
+
+from common import default_config, record
+
+from repro.bench.experiments import table4_independence
+from repro.analysis.independence import independence_table
+from repro.core.rencoder import REncoder
+from repro.workloads.datasets import generate_keys
+
+
+def test_table4_independence(benchmark):
+    cfg = default_config()
+    rows, text = table4_independence(cfg)
+    record(benchmark, "table4_independence", text)
+
+    p1 = next(r for r in rows if r["pattern"] == "(none)")["p1"]
+    for row in rows:
+        if row["pattern"] != "(none)":
+            assert abs(row["p1"] - p1) < 0.12, row
+
+    keys = generate_keys(cfg.n_keys, "uniform", seed=cfg.seed)
+    enc = REncoder(keys, bits_per_key=18, seed=cfg.seed)
+    benchmark.pedantic(
+        lambda: independence_table(enc.rbf._array[:-1], context=2),
+        rounds=3, iterations=1,
+    )

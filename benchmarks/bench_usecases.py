@@ -1,0 +1,134 @@
+"""Use-case benches: the three storage integrations end to end.
+
+Beyond the paper's figure reproductions, these measure what a deployment
+cares about — second-level I/O saved per workload — for each use case:
+
+* **LSM-tree** (Use Case 1) under a YCSB-C read-mostly stream with a high
+  missing-key fraction;
+* **B+tree** (Use Case 2) under empty range scans;
+* **R-tree** (Use Case 3) under empty rectangle queries.
+
+Each compares a filterless store with Bloom- and REncoder-equipped ones.
+"""
+
+import numpy as np
+from common import default_config, record
+
+from repro.bench.tables import format_table
+from repro.core.rencoder import REncoder
+from repro.filters.bloom import BloomFilter
+from repro.storage.btree import BPlusTree
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+from repro.storage.rtree import RTree
+from repro.workloads.datasets import generate_keys
+from repro.workloads.ycsb import run_ycsb, ycsb_operations
+
+
+def test_usecase_lsm_ycsb(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys // 2, "uniform", seed=cfg.seed)
+    rows = []
+    for name, factory in (
+        ("none", None),
+        ("Bloom", lambda ks: BloomFilter(ks, bits_per_key=18)),
+        ("REncoder", lambda ks: REncoder(ks, bits_per_key=18)),
+    ):
+        env = StorageEnv()
+        lsm = LSMTree(factory, memtable_capacity=1024, env=env)
+        for k in keys:
+            lsm.put(int(k), 0)
+        lsm.flush()
+        env.reset()
+        run_ycsb(
+            lsm,
+            ycsb_operations("C", keys, cfg.n_queries, seed=cfg.seed,
+                            missing_fraction=0.9),
+        )
+        rows.append(
+            {
+                "filter": name,
+                "reads": env.stats.reads,
+                "wasted": env.stats.wasted_reads,
+            }
+        )
+    record(benchmark, "usecase_lsm_ycsb",
+           format_table(rows, "Use case 1: LSM under YCSB-C (90% missing)"))
+    by = {r["filter"]: r for r in rows}
+    assert by["REncoder"]["wasted"] < by["none"]["wasted"] / 2
+    assert by["Bloom"]["wasted"] <= by["none"]["wasted"]
+
+    env = StorageEnv()
+    lsm = LSMTree(lambda ks: REncoder(ks, bits_per_key=18),
+                  memtable_capacity=1024, env=env)
+    for k in keys:
+        lsm.put(int(k), 0)
+    lsm.flush()
+    ops = list(ycsb_operations("C", keys, 300, seed=cfg.seed + 1,
+                               missing_fraction=0.9))
+    benchmark.pedantic(lambda: run_ycsb(lsm, ops), rounds=3, iterations=1)
+
+
+def test_usecase_btree_scans(benchmark):
+    cfg = default_config()
+    keys = generate_keys(cfg.n_keys // 2, "uniform", seed=cfg.seed)
+    rows = []
+    for name, factory in (
+        ("none", None),
+        ("REncoder", lambda ks: REncoder(ks, bits_per_key=20)),
+    ):
+        env = StorageEnv()
+        bt = BPlusTree(fanout=64, filter_factory=factory, env=env)
+        for k in keys:
+            bt.insert(int(k), 0)
+        if factory:
+            bt.rebuild_filters()
+        rng = np.random.default_rng(cfg.seed + 2)
+        env.reset()
+        for _ in range(cfg.n_queries // 2):
+            lo = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+            bt.range_query(lo, min(lo + 31, (1 << 64) - 1))
+        rows.append(
+            {"filter": name, "leaf_reads": env.stats.reads,
+             "wasted": env.stats.wasted_reads}
+        )
+    record(benchmark, "usecase_btree",
+           format_table(rows, "Use case 2: B+tree empty scans"))
+    by = {r["filter"]: r for r in rows}
+    assert by["REncoder"]["wasted"] < max(1, by["none"]["wasted"]) / 2
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_usecase_rtree_rects(benchmark):
+    cfg = default_config()
+    rng = np.random.default_rng(cfg.seed)
+    pts = [
+        (int(x), int(y))
+        for x, y in rng.integers(0, 1 << 16, (cfg.n_keys // 4, 2))
+    ]
+    rows = []
+    for name, factory in (
+        ("none", None),
+        ("REncoder-Z", lambda ks: REncoder(ks, bits_per_key=24,
+                                           key_bits=32, rmax=4096)),
+    ):
+        env = StorageEnv()
+        rt = RTree(pts, coord_bits=16, leaf_capacity=64,
+                   filter_factory=factory, env=env)
+        q = np.random.default_rng(cfg.seed + 3)
+        env.reset()
+        for _ in range(cfg.n_queries // 4):
+            x0 = int(q.integers(0, (1 << 16) - 32))
+            y0 = int(q.integers(0, (1 << 16) - 32))
+            rt.query_rect(x0, x0 + 31, y0, y0 + 31)
+        rows.append(
+            {"filter": name, "leaf_reads": env.stats.reads,
+             "wasted": env.stats.wasted_reads}
+        )
+    record(benchmark, "usecase_rtree",
+           format_table(rows, "Use case 3: R-tree empty rectangles"))
+    by = {r["filter"]: r for r in rows}
+    assert by["REncoder-Z"]["wasted"] <= by["none"]["wasted"]
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

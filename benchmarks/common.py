@@ -1,0 +1,51 @@
+"""Shared helpers for the figure/table benches.
+
+Every bench (a) regenerates one paper artifact via its driver in
+:mod:`repro.bench.experiments`, (b) prints and saves the resulting table
+under ``results/``, (c) asserts the paper's qualitative shape, and
+(d) feeds a representative operation to pytest-benchmark so the benchmark
+table reports real per-operation timings.
+
+Scale via environment: ``REPRO_N_KEYS`` (default 20000),
+``REPRO_N_QUERIES`` (default 2000), ``REPRO_IO_COST_NS``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.bench.experiments import ExperimentConfig
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def default_config(**overrides) -> ExperimentConfig:
+    kwargs = {
+        "n_keys": int(os.environ.get("REPRO_N_KEYS", 20_000)),
+        "n_queries": int(os.environ.get("REPRO_N_QUERIES", 2_000)),
+    }
+    kwargs.update(overrides)
+    return ExperimentConfig(**kwargs)
+
+
+def record(benchmark, name: str, text: str) -> None:
+    """Print, persist and attach a result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+    if benchmark is not None:
+        benchmark.extra_info["table"] = text
+
+
+def series(results: dict, metric: str) -> dict[str, list[float]]:
+    """Extract a metric per filter from a sweep result."""
+    return {
+        fname: [getattr(r, metric) for r in runs]
+        for fname, runs in results.items()
+    }
+
+
+def mean(values) -> float:
+    values = list(values)
+    return sum(values) / len(values)

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""How REncoder adapts its stored levels — and when SS/SE matter.
+
+Reproduces Section III-C's reasoning on live data: the same memory budget
+leads to different stored-level choices on datasets of different skew, and
+the SS/SE variants move the stored window to where the information is.
+Finishes with the correlated-workload stress test of Figure 9.
+
+Run:  python examples/adaptive_levels.py
+"""
+
+import numpy as np
+
+from repro import REncoder, REncoderSE, REncoderSS
+from repro.workloads.datasets import dataset_skew, generate_keys
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+
+N_KEYS = 20_000
+BPK = 18
+
+
+def fpr(filt, queries):
+    return sum(filt.query_range(*q) for q in queries) / len(queries)
+
+
+def main() -> None:
+    print("Stored-level choice per dataset (same 18 bits/key budget):\n")
+    print(f"{'dataset':8s} {'skew':>6s} {'levels':>12s} {'P1':>6s}")
+    for name in ("osmc", "amzn", "face", "wiki"):
+        keys = generate_keys(N_KEYS, name, seed=1)
+        enc = REncoder(keys, bits_per_key=BPK)
+        levels = enc.stored_levels
+        print(
+            f"{name:8s} {dataset_skew(keys):6.1f} "
+            f"{f'{levels[0]}..{levels[-1]}':>12s} {enc.final_p1:6.3f}"
+        )
+
+    keys = generate_keys(N_KEYS, "uniform", seed=2)
+    uniform = uniform_range_queries(keys, 3000, seed=3)
+    correlated = correlated_range_queries(keys, 3000, seed=4)
+    sample = correlated_range_queries(keys, 300, seed=5)
+
+    base = REncoder(keys, bits_per_key=BPK)
+    ss = REncoderSS(keys, bits_per_key=BPK)
+    se = REncoderSE(keys, bits_per_key=BPK, sample_queries=sample)
+
+    print("\nVariant behaviour (uniform keys):")
+    print(f"  base     stores {base.stored_levels[0]}..{base.stored_levels[-1]}")
+    print(f"  SS       stores {ss.stored_levels[0]}..{ss.stored_levels[-1]} "
+          f"(l_kk = {ss.l_kk})")
+    print(f"  SE       stores {se.stored_levels[0]}..{se.stored_levels[-1]} "
+          f"(l_kq = {se.l_kq}, sampled a correlated workload)")
+
+    print("\nFPR on uniform vs correlated 2-32 range queries:")
+    print(f"{'filter':12s} {'uniform':>9s} {'correlated':>11s}")
+    for name, filt in (("REncoder", base), ("REncoderSS", ss),
+                       ("REncoderSE", se)):
+        print(f"{name:12s} {fpr(filt, uniform):9.4f} "
+              f"{fpr(filt, correlated):11.4f}")
+    print("\nSS wins on uniform workloads but collapses on correlated "
+          "ones; SE's sampled end-level selection keeps it accurate on "
+          "both — the paper's Figure 9 in miniature.")
+
+
+if __name__ == "__main__":
+    main()

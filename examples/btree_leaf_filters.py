@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Use Case 2: a B+tree whose leaves carry in-memory range filters.
+
+Internal nodes live in memory; every leaf access is a simulated disk read.
+With a REncoder per leaf, empty point and range queries cost no I/O at
+all.
+
+Run:  python examples/btree_leaf_filters.py
+"""
+
+import numpy as np
+
+from repro import BPlusTree, REncoder, StorageEnv
+
+N_KEYS = 15_000
+N_QUERIES = 2_000
+
+
+def build(filtered: bool):
+    env = StorageEnv()
+    factory = (
+        (lambda ks: REncoder(ks, bits_per_key=20)) if filtered else None
+    )
+    bt = BPlusTree(fanout=64, filter_factory=factory, env=env)
+    rng = np.random.default_rng(3)
+    keys = np.unique(rng.integers(0, 1 << 56, N_KEYS, dtype=np.uint64))
+    for k in keys:
+        bt.insert(int(k), None)
+    if filtered:
+        bt.rebuild_filters()
+    return bt, env, keys
+
+
+def main() -> None:
+    for filtered in (False, True):
+        bt, env, keys = build(filtered)
+        rng = np.random.default_rng(4)
+        env.reset()
+        for _ in range(N_QUERIES):
+            lo = int(rng.integers(0, 1 << 56, dtype=np.uint64))
+            hi = min(lo + int(rng.integers(2, 64)), (1 << 56) - 1)
+            bt.range_query(lo, hi)
+        label = "with leaf REncoders" if filtered else "no leaf filters   "
+        extra = (
+            f"  (filter memory {bt.filter_bits() / 8 / 1024:.0f} KiB)"
+            if filtered
+            else ""
+        )
+        print(
+            f"{label}: {env.stats.reads:5d} leaf reads, "
+            f"{env.stats.wasted_reads:5d} wasted{extra}"
+        )
+    print("\nEmpty ranges skip the leaf entirely when the filter rejects "
+          "them — the I/O saving the paper describes for B+trees.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Float keys with the Two-Stage REncoder (Section III-D).
+
+Sensor-style readings (lognormal, spanning many orders of magnitude) are
+stored in a Two-Stage REncoder: stage 1 covers the exponent levels
+(magnitude buckets), stage 2 the mantissa levels (precision).
+
+Run:  python examples/float_keys.py
+"""
+
+import numpy as np
+
+from repro import TwoStageREncoder
+
+N_KEYS = 10_000
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    readings = sorted(set(float(v) for v in rng.lognormal(0.0, 4.0, N_KEYS)))
+    print(f"{len(readings)} float readings spanning "
+          f"[{min(readings):.3g}, {max(readings):.3g}]")
+
+    enc = TwoStageREncoder(readings, bits_per_key=24, t_exp=0.25)
+    levels = enc.stored_levels
+    stage1 = [l for l in levels if l <= enc.exp_bits]
+    stage2 = [l for l in levels if l > enc.exp_bits]
+    print(f"stage 1 (exponent) levels: {stage1}")
+    print(f"stage 2 (mantissa) levels: {stage2[:6]}"
+          f"{'...' if len(stage2) > 6 else ''}")
+    print(f"load factor P1 = {enc.final_p1:.3f}\n")
+
+    # Stored readings are always found.
+    sample = readings[::1000]
+    assert all(enc.query_float(float(np.float32(v))) for v in sample)
+    print("point queries for stored readings: all positive (no false "
+          "negatives)")
+
+    # Empty float ranges are rejected with high probability.
+    fp = tried = 0
+    for _ in range(5000):
+        lo = float(rng.uniform(0, max(readings) * 2))
+        hi = lo * 1.0001 + 1e-9
+        i = int(np.searchsorted(np.array(readings), lo))
+        if i < len(readings) and readings[i] <= hi:
+            continue
+        tried += 1
+        fp += enc.query_float_range(lo, hi)
+    print(f"FPR on {tried} empty float ranges: {fp / tried:.4f}")
+
+
+if __name__ == "__main__":
+    main()

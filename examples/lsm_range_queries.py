@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Use Case 1 (the paper's primary setting): range filters in an LSM-tree.
+
+Builds three LSM-trees over the same data — no filter, per-SSTable Bloom
+filter, per-SSTable REncoder — runs the same mixed workload of point and
+(mostly empty) range queries, and compares second-level I/O counts and
+simulated overall time.
+
+Run:  python examples/lsm_range_queries.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import BloomFilter, LSMTree, REncoder, StorageEnv
+
+N_KEYS = 20_000
+N_QUERIES = 3_000
+BITS_PER_KEY = 18
+IO_COST_NS = 500_000  # 0.5 ms per simulated second-level access
+
+
+def build_tree(name, factory):
+    env = StorageEnv(io_cost_ns=IO_COST_NS)
+    lsm = LSMTree(factory, memtable_capacity=2048, env=env)
+    rng = np.random.default_rng(7)
+    keys = np.unique(rng.integers(0, 1 << 60, N_KEYS, dtype=np.uint64))
+    for k in keys:
+        lsm.put(int(k), int(k) % 997)
+    lsm.flush()
+    return name, lsm, env, keys
+
+
+def run_workload(lsm, env, keys):
+    rng = np.random.default_rng(8)
+    env.reset()
+    start = time.perf_counter()
+    hits = 0
+    for _ in range(N_QUERIES):
+        if rng.random() < 0.2:  # point query for a stored key
+            hits += lsm.get(int(keys[rng.integers(0, len(keys))]))[0]
+        else:  # range query, usually empty
+            lo = int(rng.integers(0, 1 << 60, dtype=np.uint64))
+            hi = min(lo + int(rng.integers(2, 33)), (1 << 60) - 1)
+            hits += bool(lsm.range_query(lo, hi))
+    elapsed = time.perf_counter() - start
+    return hits, elapsed, env
+
+
+def main() -> None:
+    configs = [
+        ("no filter      ", None),
+        ("Bloom filter   ", lambda ks: BloomFilter(ks, bits_per_key=BITS_PER_KEY)),
+        ("REncoder       ", lambda ks: REncoder(ks, bits_per_key=BITS_PER_KEY)),
+    ]
+    print(f"{N_KEYS} keys, {N_QUERIES} queries (20% points / 80% ranges)\n")
+    print(f"{'filter':16s} {'IOs':>7s} {'wasted':>7s} "
+          f"{'cpu_s':>7s} {'overall_s':>9s} {'filter KiB':>10s}")
+    for name, factory in configs:
+        _, lsm, env, keys = build_tree(name, factory)
+        hits, elapsed, env = run_workload(lsm, env, keys)
+        overall = env.overall_seconds(elapsed)
+        print(
+            f"{name:16s} {env.stats.reads:7d} {env.stats.wasted_reads:7d} "
+            f"{elapsed:7.2f} {overall:9.2f} "
+            f"{lsm.filter_bits() / 8 / 1024:10.1f}"
+        )
+    print("\nThe range filter eliminates nearly all wasted second-level "
+          "reads; the Bloom filter helps point queries but must scan "
+          "ranges key-by-key.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The generic local encoder: a native quadtree range filter.
+
+The paper notes its encoding "is generic, and it can be applied to
+various tree structures".  This example instantiates the arity-4 case:
+2-D points stored directly in a quadtree whose mini-trees (4 levels, 341
+nodes, one 512-bit Bitmap Tree — the same block size as the paper's
+binary AVX-512 configuration) are locally encoded into a Range Bloom
+Filter.  A rectangle query decomposes into quadtree cells and each cell
+is verified with the doubting descent — no binary flattening involved.
+
+For comparison, the same data goes through the binary pipeline
+(Z-order + 1-D REncoder, `ZOrderRangeFilter`).
+
+Run:  python examples/quadtree_native.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import ZOrderRangeFilter
+from repro.core.generic import QuadtreeFilter
+
+N_POINTS = 5_000
+COORD_BITS = 14
+RECT = 16  # query rectangle side
+N_QUERIES = 400
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    pts = [
+        (int(x), int(y))
+        for x, y in rng.integers(0, 1 << COORD_BITS, (N_POINTS, 2))
+    ]
+    pts_set = set(pts)
+
+    quad = QuadtreeFilter(pts, coord_bits=COORD_BITS, bits_per_key=26)
+    zorder = ZOrderRangeFilter(
+        pts, coord_bits=COORD_BITS, bits_per_key=26, max_query_extent=RECT
+    )
+    print(f"quadtree filter: stored digit levels "
+          f"{min(quad.filter.stored_levels)}..{max(quad.filter.stored_levels)}, "
+          f"{quad.size_in_bits() / 8 / 1024:.0f} KiB")
+    print(f"z-order filter:  {zorder.size_in_bits() / 8 / 1024:.0f} KiB\n")
+
+    # Stored points are always found by both.
+    for x, y in pts[:300]:
+        assert quad.query_point(x, y)
+        assert zorder.query_point(x, y)
+
+    # Empty rectangles.
+    rects = []
+    while len(rects) < N_QUERIES:
+        x0 = int(rng.integers(0, (1 << COORD_BITS) - RECT))
+        y0 = int(rng.integers(0, (1 << COORD_BITS) - RECT))
+        if any((x, y) in pts_set
+               for x in range(x0, x0 + RECT) for y in range(y0, y0 + RECT)):
+            continue
+        rects.append((x0, x0 + RECT - 1, y0, y0 + RECT - 1))
+
+    for name, filt in (("quadtree (arity 4)", quad),
+                       ("z-order + binary ", zorder)):
+        start = time.perf_counter()
+        fp = sum(filt.query_rect(*r) for r in rects)
+        elapsed = time.perf_counter() - start
+        print(f"{name}: FPR {fp / len(rects):.4f} on {len(rects)} empty "
+              f"{RECT}x{RECT} rects ({len(rects) / elapsed / 1e3:.1f} kq/s)")
+
+    print("\nSame idea, two tree shapes: the local encoder is indifferent "
+          "to arity, as the paper claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: build a REncoder over a key set and run range queries.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import REncoder, REncoderSS
+
+N_KEYS = 50_000
+BITS_PER_KEY = 18
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    keys = np.unique(rng.integers(0, 1 << 64, N_KEYS, dtype=np.uint64))
+    print(f"dataset: {len(keys)} unique 64-bit keys")
+
+    # Build the filter.  bits_per_key is the whole memory budget; the
+    # adaptive construction decides how many segment-tree levels to store.
+    filt = REncoder(keys, bits_per_key=BITS_PER_KEY)
+    print(f"built: {filt}")
+    print(f"memory: {filt.size_in_bits() / 8 / 1024:.1f} KiB "
+          f"({filt.bits_per_key(len(keys)):.1f} bits/key)")
+    print(f"stored segment-tree levels: {filt.stored_levels}")
+
+    # A range containing a key is always reported (no false negatives).
+    key = int(keys[1234])
+    print(f"\nquery_range({key - 5}, {key + 5}) -> "
+          f"{filt.query_range(key - 5, key + 5)}   (contains stored key)")
+
+    # Empty ranges are rejected with high probability.
+    fp = 0
+    n_queries = 20_000
+    for _ in range(n_queries):
+        lo = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+        hi = min(lo + int(rng.integers(1, 32)), (1 << 64) - 1)
+        i = int(np.searchsorted(keys, np.uint64(lo)))
+        if i < len(keys) and int(keys[i]) <= hi:
+            continue  # not empty; skip
+        fp += filt.query_range(lo, hi)
+    print(f"false positive rate on empty 2-32 ranges: {fp / n_queries:.4f}")
+
+    # The SS variant selects its start level from the data: fewer, more
+    # significant levels -> lower FPR on uncorrelated workloads.
+    ss = REncoderSS(keys, bits_per_key=BITS_PER_KEY)
+    fp_ss = 0
+    for _ in range(n_queries):
+        lo = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+        hi = min(lo + int(rng.integers(1, 32)), (1 << 64) - 1)
+        i = int(np.searchsorted(keys, np.uint64(lo)))
+        if i < len(keys) and int(keys[i]) <= hi:
+            continue
+        fp_ss += ss.query_range(lo, hi)
+    print(f"REncoderSS (start level {max(ss.stored_levels)} = l_kk+1): "
+          f"FPR {fp_ss / n_queries:.4f}")
+
+
+if __name__ == "__main__":
+    main()

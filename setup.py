@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The environment has no network and no ``wheel`` package, so PEP 660
+editable installs (which need ``bdist_wheel``) fail.  This shim lets
+``pip install -e . --no-use-pep517 --no-build-isolation`` fall back to the
+classic ``setup.py develop`` path.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,82 @@
+"""REncoder: a space-time efficient range filter with local encoder.
+
+A from-scratch Python reproduction of the ICDE 2023 paper, including:
+
+* the REncoder family (:class:`REncoder`, :class:`REncoderSS`,
+  :class:`REncoderSE`, :class:`REncoderPO`, :class:`TwoStageREncoder`)
+  built on Bitmap Trees and the Range Bloom Filter;
+* every baseline of the evaluation — SuRF (on a LOUDS succinct trie),
+  Rosetta, SNARF, Proteus/ProteusNS, standard and prefix Bloom filters,
+  plus ARF as a related-work extra;
+* the storage substrates of the three use cases — an LSM-tree, a B+tree
+  with leaf filters, and an R-tree with Z-order leaf filters — over a
+  simulated two-level store;
+* the Section IV analysis (error bounds, space solver, independence test)
+  and a bench harness regenerating every table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import REncoder
+
+    keys = np.random.default_rng(0).integers(0, 1 << 64, 10_000,
+                                             dtype=np.uint64)
+    filt = REncoder(keys, bits_per_key=18)
+    filt.query_range(123, 456)      # False => certainly empty
+"""
+
+from repro.core.rencoder import DEFAULT_RMAX, REncoder
+from repro.core.serialize import dumps, loads
+from repro.core.two_stage import (
+    TwoStageREncoder,
+    double_to_key,
+    float_to_key,
+    key_to_double,
+    key_to_float,
+)
+from repro.core.variants import REncoderPO, REncoderSE, REncoderSS
+from repro.filters.spatial import ZOrderRangeFilter
+from repro.filters.arf import AdaptiveRangeFilter
+from repro.filters.base import RangeFilter
+from repro.filters.bloom import BloomFilter
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.proteus import Proteus, ProteusNS
+from repro.filters.rosetta import Rosetta
+from repro.filters.snarf import Snarf
+from repro.filters.surf import SuRF
+from repro.storage.btree import BPlusTree
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+from repro.storage.rtree import RTree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_RMAX",
+    "REncoder",
+    "REncoderPO",
+    "REncoderSE",
+    "REncoderSS",
+    "TwoStageREncoder",
+    "dumps",
+    "loads",
+    "double_to_key",
+    "float_to_key",
+    "key_to_double",
+    "key_to_float",
+    "ZOrderRangeFilter",
+    "AdaptiveRangeFilter",
+    "RangeFilter",
+    "BloomFilter",
+    "PrefixBloomFilter",
+    "Proteus",
+    "ProteusNS",
+    "Rosetta",
+    "Snarf",
+    "SuRF",
+    "BPlusTree",
+    "StorageEnv",
+    "LSMTree",
+    "RTree",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Mathematical analysis from Section IV: the error-bound recurrence
+(Lemma 1), the FPR bounds (Theorems 2 and 6), the space solver behind
+Table II (Theorem 5), and the bit-independence test behind Table IV."""
+
+from repro.analysis.bounds import (
+    a_sequence,
+    a_limit,
+    fpr_bound,
+    fpr_bound_with_distance,
+    required_levels,
+    required_memory_bits,
+    space_for_fpr,
+)
+from repro.analysis.independence import independence_table
+from repro.analysis.simulation import (
+    compare_with_lemma1,
+    simulate_fpr,
+    simulate_path_probability,
+)
+
+__all__ = [
+    "compare_with_lemma1",
+    "simulate_fpr",
+    "simulate_path_probability",
+    "a_sequence",
+    "a_limit",
+    "fpr_bound",
+    "fpr_bound_with_distance",
+    "required_levels",
+    "required_memory_bits",
+    "space_for_fpr",
+    "independence_table",
+]

@@ -1,0 +1,165 @@
+"""Error bounds and space analysis (Section IV of the paper).
+
+Contents, mapped to the paper:
+
+* :func:`a_sequence` — Lemma 1: ``a_1 = 1``,
+  ``a_{n+1} = 2 p a_n − p² a_n²``, the probability that a doubting
+  traversal finds a root-to-leaf path of ones in a mini-tree of height
+  ``n`` when each bit is 1 independently with probability ``p``.
+* :func:`a_limit` — Lemma 1's three regimes: exponential decay for
+  ``p < 1/2``, ``Θ(1/n)`` for ``p = 1/2``, and the fixed point
+  ``(2p − 1)/p²``… the paper states ``(2p−1)/p``; solving
+  ``a = 2pa − p²a²`` for ``a ≠ 0`` gives ``a = (2p−1)/p²``, and the tests
+  verify the iteration converges to this value (for p in (1/2, 1] it lies
+  in [0, 1]).
+* :func:`fpr_bound` — Theorem 2:
+  ``P(false positive) ≤ (P1^{Ls−Lq} · a_{Lq})^k``.
+* :func:`fpr_bound_with_distance` — Theorem 6: the refinement when the
+  nearest stored key is at prefix-distance ``d`` from the queried range.
+* :func:`required_levels` / :func:`required_memory_bits` — Theorem 5: the
+  stored-level count and memory needed to push the bound below ``ε``,
+  giving the ``O(N(k + log(1/ε)))`` asymptotic.
+* :func:`space_for_fpr` — the solver used to regenerate Table II
+  ("space cost of REncoder", bits per key for target FPRs).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "a_sequence",
+    "a_limit",
+    "fpr_bound",
+    "fpr_bound_with_distance",
+    "required_levels",
+    "required_memory_bits",
+    "space_for_fpr",
+]
+
+
+def _check_p(p: float) -> None:
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+
+
+def a_sequence(p: float, n: int) -> list[float]:
+    """``[a_1, …, a_n]`` from Lemma 1 for bit density ``p``.
+
+    ``a_h`` is the probability that a mini-tree of height ``h`` whose bits
+    are independently 1 with probability ``p`` contains a root-to-leaf path
+    of ones (the root itself already being reached).
+    """
+    _check_p(p)
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    seq = [1.0]
+    for _ in range(n - 1):
+        a = seq[-1]
+        seq.append(2 * p * a - p * p * a * a)
+    return seq
+
+
+def a_limit(p: float) -> float:
+    """The limit of ``a_n`` (Lemma 1 case 3); 0 for ``p <= 1/2``."""
+    _check_p(p)
+    if p <= 0.5:
+        return 0.0
+    return (2 * p - 1) / (p * p)
+
+
+def fpr_bound(p1: float, l_stored: int, l_query: int, k: int) -> float:
+    """Theorem 2: upper bound on the false-positive probability.
+
+    ``(P1^{Ls − Lq} · a_{Lq})^k`` — the query must first pass the
+    ``Ls − Lq`` ancestor levels above the verification mini-tree (factor
+    ``P1`` each) and then find a path through the height-``Lq`` mini-tree
+    (factor ``a_{Lq}``); ``k`` independent hash functions raise the whole
+    thing to the ``k``-th power.
+    """
+    _check_p(p1)
+    if l_query < 1 or l_stored < l_query:
+        raise ValueError(
+            f"need 1 <= l_query <= l_stored, got Lq={l_query}, Ls={l_stored}"
+        )
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    a = a_sequence(p1, l_query)[-1]
+    return (p1 ** (l_stored - l_query) * a) ** k
+
+
+def fpr_bound_with_distance(
+    p1: float, l_stored: int, l_query: int, k: int, distance: int
+) -> float:
+    """Theorem 6: the bound refined by the range-to-key prefix distance.
+
+    ``distance`` is ``d([a,b])`` — the minimum over range points ``x`` and
+    keys ``y`` of the number of low bits that must be shifted away before
+    ``x`` and ``y`` agree.  When ``d > 0``:
+
+    * if ``Lq >= d``: bound is ``a_d^k`` (only the bottom ``d`` tree levels
+      must be falsely set);
+    * if ``Lq < d``: replace ``Ls`` with ``d`` in Theorem 2.
+    """
+    if distance <= 0:
+        return fpr_bound(p1, l_stored, l_query, k)
+    _check_p(p1)
+    if l_query >= distance:
+        a = a_sequence(p1, distance)[-1]
+        return a**k
+    a = a_sequence(p1, l_query)[-1]
+    return (p1 ** (distance - l_query) * a) ** k
+
+
+def required_levels(
+    p1: float, l_query: int, k: int, epsilon: float
+) -> int:
+    """Theorem 5's inner inequality: smallest ``Ls`` with bound <= ε.
+
+    ``Ls >= Lq − log(1/a_{Lq}) / log(1/P1) + log(1/ε) / (k·log(1/P1))``.
+    """
+    _check_p(p1)
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError(f"epsilon must be in (0, 1), got {epsilon}")
+    a = a_sequence(p1, l_query)[-1]
+    log_inv_p = math.log(1.0 / p1)
+    ls = (
+        l_query
+        - math.log(1.0 / a) / log_inv_p
+        + math.log(1.0 / epsilon) / (k * log_inv_p)
+    )
+    return max(l_query, math.ceil(ls))
+
+
+def required_memory_bits(
+    n_keys: int, p1: float, l_query: int, k: int, epsilon: float
+) -> float:
+    """Theorem 5: ``M ≈ k · Ls · N / P1`` bits for bound <= ε.
+
+    Holding ``P1`` constant, each stored level costs about ``k·N`` set bits
+    and the array must be ``1/P1`` times larger than its ones count.
+    """
+    if n_keys < 1:
+        raise ValueError(f"n_keys must be positive, got {n_keys}")
+    ls = required_levels(p1, l_query, k, epsilon)
+    return k * ls * n_keys / p1
+
+
+def space_for_fpr(
+    epsilon: float,
+    *,
+    l_query: int = 6,
+    k: int = 2,
+    p1: float = 0.5,
+    per_key: bool = True,
+    n_keys: int = 1,
+) -> float:
+    """Bits (per key by default) REncoder needs for a target FPR.
+
+    This is the solver behind Table II: with uniformly distributed 64-bit
+    keys and queries of size up to 64 (``Lq = log2 64 = 6``), how many bits
+    per key does each target FPR require?  ``per_key=False`` returns total
+    bits for ``n_keys``.
+    """
+    bits = required_memory_bits(max(1, n_keys), p1, l_query, k, epsilon)
+    return bits / max(1, n_keys) if per_key else bits

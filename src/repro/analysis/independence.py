@@ -1,0 +1,72 @@
+"""Bit-independence measurement (the paper's Table IV).
+
+Assumption 4 of Section IV states that, when ``P1`` is not too small,
+whether each bit of the Bloom filter is set can be treated as independent.
+Table IV supports this empirically by comparing conditional bit
+probabilities: the probability a bit is 1 given the values of its
+neighbouring bits should match the unconditional ``P1``.
+
+:func:`independence_table` reproduces that measurement on a built
+:class:`~repro.core.rbf.RangeBloomFilter` (or any uint64 bit array): for
+each conditioning pattern of the previous ``context`` bits it reports
+``P(bit = 1 | pattern)``.  Independence predicts every column ≈ ``P1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["independence_table", "bits_of"]
+
+
+def bits_of(words: np.ndarray) -> np.ndarray:
+    """Unpack a uint64 word array into a uint8 bit array (LSB first)."""
+    as_bytes = words.astype("<u8").view(np.uint8)
+    return np.unpackbits(as_bytes, bitorder="little")
+
+
+def independence_table(
+    array: np.ndarray, context: int = 2
+) -> dict[str, dict[int, float]]:
+    """Conditional bit probabilities given the previous ``context`` bits.
+
+    Returns ``{pattern: {0: P(bit=0 | pattern), 1: P(bit=1 | pattern)}}``
+    plus an unconditional ``""`` entry, mirroring the paper's Table IV
+    (which conditions on patterns like ``10``, ``110`` of preceding bits).
+
+    Parameters
+    ----------
+    array:
+        uint64 words of a built filter (e.g. ``rbf._array``), or any
+        0/1-valued uint8 array.
+    context:
+        How many preceding bits to condition on (1–4 are sensible).
+    """
+    if not 0 <= context <= 8:
+        raise ValueError(f"context must be in [0, 8], got {context}")
+    bits = array if array.dtype == np.uint8 else bits_of(array)
+    if bits.size <= context:
+        raise ValueError("array too small for the requested context")
+
+    out: dict[str, dict[int, float]] = {}
+    p1 = float(bits.mean())
+    out[""] = {0: 1.0 - p1, 1: p1}
+    if context == 0:
+        return out
+
+    # Value of the sliding window of `context` preceding bits at each site.
+    window = np.zeros(bits.size - context, dtype=np.int32)
+    for offset in range(context):
+        # bit `offset` positions before the target, MSB = farthest back.
+        window = (window << 1) | bits[offset : offset + window.size]
+    target = bits[context:]
+    for pattern in range(1 << context):
+        mask = window == pattern
+        count = int(mask.sum())
+        label = format(pattern, f"0{context}b")
+        if count == 0:
+            out[label] = {0: float("nan"), 1: float("nan")}
+            continue
+        p = float(target[mask].mean())
+        out[label] = {0: 1.0 - p, 1: p}
+    return out

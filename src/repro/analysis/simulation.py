@@ -1,0 +1,124 @@
+"""Monte-Carlo validation of the Section IV analysis.
+
+The paper's error bound rests on two reductions:
+
+1. Lemma 1's recurrence ``a_{n+1} = 2 p a_n − p² a_n²`` equals the exact
+   probability that a random binary tree of height ``n`` whose node bits
+   are independently 1 with probability ``p`` contains a root-to-leaf
+   all-ones path.
+2. Theorem 2 composes that with the ``Ls − Lq`` ancestor levels above the
+   verification mini-tree.
+
+This module *simulates* both processes directly — random bit trees, and
+random ancestor chains — so the closed forms can be checked against
+sampled frequencies (the tests do exactly that), and exposes
+:func:`simulated_fpr` for the notebook-style exploration of parameter
+choices the paper's Corollaries make.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.bounds import a_sequence, fpr_bound
+
+__all__ = [
+    "simulate_path_probability",
+    "simulate_fpr",
+    "compare_with_lemma1",
+]
+
+
+def simulate_path_probability(
+    p: float, height: int, trials: int = 2000, seed: int = 0
+) -> float:
+    """Monte-Carlo estimate of ``a_height`` (Lemma 1).
+
+    Samples complete binary trees of the given height with i.i.d.
+    Bernoulli(p) node bits (the root is considered already reached,
+    matching ``a_1 = 1``) and reports the fraction containing a root-to-
+    leaf path of ones.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError(f"p must be in (0, 1), got {p}")
+    if height < 1:
+        raise ValueError(f"height must be >= 1, got {height}")
+    if height == 1:
+        return 1.0
+    rng = np.random.default_rng(seed)
+    hits = 0
+    n_leaves = 1 << (height - 1)
+    for _ in range(trials):
+        # reachable[i] = path of ones reaches node i of the current level.
+        reachable = np.ones(1, dtype=bool)
+        for level in range(1, height):
+            bits = rng.random(1 << level) < p
+            parents = np.repeat(reachable, 2)
+            reachable = parents & bits
+            if not reachable.any():
+                break
+        else:
+            hits += 1
+            continue
+    return hits / trials
+
+
+def simulate_fpr(
+    p1: float,
+    l_stored: int,
+    l_query: int,
+    k: int,
+    trials: int = 2000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo estimate of the Theorem 2 event.
+
+    For each trial and each of the ``k`` hash functions independently:
+    draw the ``Ls − Lq`` ancestor bits (each Bernoulli(P1)) and a random
+    mini-tree of height ``Lq``; the hash function reports a false
+    positive iff all ancestors are set and a path exists.  The overall
+    event requires all ``k`` to report.
+    """
+    if l_query < 1 or l_stored < l_query:
+        raise ValueError("need 1 <= l_query <= l_stored")
+    rng = np.random.default_rng(seed)
+    hits = 0
+    for _ in range(trials):
+        all_report = True
+        for _ in range(k):
+            if l_stored > l_query:
+                ancestors = rng.random(l_stored - l_query) < p1
+                if not ancestors.all():
+                    all_report = False
+                    break
+            reachable = np.ones(1, dtype=bool)
+            found = True
+            for level in range(1, l_query):
+                bits = rng.random(1 << level) < p1
+                reachable = np.repeat(reachable, 2) & bits
+                if not reachable.any():
+                    found = False
+                    break
+            if not found:
+                all_report = False
+                break
+        hits += all_report
+    return hits / trials
+
+
+def compare_with_lemma1(
+    p: float, heights=(2, 4, 6, 8), trials: int = 3000, seed: int = 0
+) -> list[dict]:
+    """Closed form vs simulation for a range of mini-tree heights."""
+    rows = []
+    for h in heights:
+        rows.append(
+            {
+                "height": h,
+                "a_closed_form": a_sequence(p, h)[-1],
+                "a_simulated": simulate_path_probability(
+                    p, h, trials=trials, seed=seed + h
+                ),
+            }
+        )
+    return rows

@@ -1,0 +1,26 @@
+"""Benchmark harness: filter registry, metric runners, and the per-figure
+experiment drivers that regenerate every table and figure of the paper's
+evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+paper-vs-measured record)."""
+
+from repro.bench.experiments import ExperimentConfig
+from repro.bench.metrics import (
+    FilterRun,
+    measure_fpr,
+    run_filter,
+    run_point_filter,
+)
+from repro.bench.registry import FILTER_NAMES, build_filter
+from repro.bench.tables import format_series, format_table
+
+__all__ = [
+    "ExperimentConfig",
+    "FilterRun",
+    "measure_fpr",
+    "run_filter",
+    "run_point_filter",
+    "FILTER_NAMES",
+    "build_filter",
+    "format_series",
+    "format_table",
+]

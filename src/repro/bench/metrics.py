@@ -1,0 +1,141 @@
+"""Metric runners: FPR, filter throughput, overall throughput.
+
+The three metrics of Section V-B:
+
+* **FPR** — fraction of empty queries answered positive (every workload in
+  the evaluation is all-empty, so positives are exactly false positives);
+* **filter throughput** — queries per second against the filter alone.
+  Because pure-Python absolute speed is meaningless next to the paper's
+  C++/AVX numbers, :class:`FilterRun` also records *probes per query* —
+  the architecture-independent memory-access count that drives the paper's
+  throughput ordering (REncoder ≈ one fetch per mini-tree vs Rosetta's
+  per-level re-hashing);
+* **overall throughput** — queries per second through the simulated
+  two-level store: measured filter time plus one second-level access per
+  positive, at ``io_cost_ns`` each (the paper's simulation environment;
+  see :mod:`repro.storage.env`).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.filters.base import RangeFilter
+
+__all__ = [
+    "DEFAULT_IO_COST_NS",
+    "FilterRun",
+    "measure_fpr",
+    "run_filter",
+    "run_point_filter",
+]
+
+#: Simulated second-level latency.  2 ms per I/O keeps the paper's rough
+#: three-orders-of-magnitude gap over a (Python-scaled) filter probe;
+#: override with the REPRO_IO_COST_NS environment variable.
+DEFAULT_IO_COST_NS = int(os.environ.get("REPRO_IO_COST_NS", 2_000_000))
+
+
+@dataclass
+class FilterRun:
+    """One (filter, workload) measurement."""
+
+    name: str
+    n_keys: int
+    bits: int
+    bits_per_key: float
+    n_queries: int
+    positives: int
+    fpr: float
+    filter_seconds: float
+    filter_kqps: float
+    probes_per_query: float
+    overall_kqps: float
+    build_seconds: float = 0.0
+
+    def as_row(self) -> dict:
+        """Result-table row used by the figure benches."""
+        return {
+            "filter": self.name,
+            "bpk": round(self.bits_per_key, 1),
+            "fpr": self.fpr,
+            "filter_kqps": round(self.filter_kqps, 1),
+            "probes/q": round(self.probes_per_query, 1),
+            "overall_kqps": round(self.overall_kqps, 2),
+        }
+
+
+def measure_fpr(
+    filt: RangeFilter, queries: Sequence[tuple[int, int]]
+) -> float:
+    """FPR over all-empty queries (positives / queries)."""
+    if not queries:
+        raise ValueError("need at least one query")
+    positives = sum(filt.query_range(lo, hi) for lo, hi in queries)
+    return positives / len(queries)
+
+
+def _run(
+    filt: RangeFilter,
+    queries: Sequence[tuple[int, int]],
+    point: bool,
+    io_cost_ns: int,
+    build_seconds: float,
+) -> FilterRun:
+    if not queries:
+        raise ValueError("need at least one query")
+    filt.reset_counters()
+    positives = 0
+    start = time.perf_counter()
+    if point:
+        for lo, _ in queries:
+            positives += filt.query_point(lo)
+    else:
+        for lo, hi in queries:
+            positives += filt.query_range(lo, hi)
+    elapsed = time.perf_counter() - start
+    n = len(queries)
+    overall_seconds = elapsed + positives * io_cost_ns * 1e-9
+    n_keys = getattr(filt, "n_keys", 0) or 1
+    bits = filt.size_in_bits()
+    return FilterRun(
+        name=type(filt).name,
+        n_keys=n_keys,
+        bits=bits,
+        bits_per_key=bits / n_keys,
+        n_queries=n,
+        positives=positives,
+        fpr=positives / n,
+        filter_seconds=elapsed,
+        filter_kqps=n / elapsed / 1e3 if elapsed else float("inf"),
+        probes_per_query=filt.probe_count / n,
+        overall_kqps=n / overall_seconds / 1e3 if overall_seconds else float("inf"),
+        build_seconds=build_seconds,
+    )
+
+
+def run_filter(
+    filt: RangeFilter,
+    queries: Sequence[tuple[int, int]],
+    *,
+    io_cost_ns: int = DEFAULT_IO_COST_NS,
+    build_seconds: float = 0.0,
+) -> FilterRun:
+    """Run a range-query workload and collect all three metrics."""
+    return _run(filt, queries, point=False, io_cost_ns=io_cost_ns,
+                build_seconds=build_seconds)
+
+
+def run_point_filter(
+    filt: RangeFilter,
+    queries: Sequence[tuple[int, int]],
+    *,
+    io_cost_ns: int = DEFAULT_IO_COST_NS,
+    build_seconds: float = 0.0,
+) -> FilterRun:
+    """Run a point-query workload through ``query_point``."""
+    return _run(filt, queries, point=True, io_cost_ns=io_cost_ns,
+                build_seconds=build_seconds)

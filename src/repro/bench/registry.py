@@ -1,0 +1,117 @@
+"""Uniform construction of every filter the paper evaluates.
+
+The experiments sweep filters over a bits-per-key axis; this registry maps
+the paper's filter names to constructors with one shared signature so the
+harness and the figure benches stay declarative.
+
+Notes mirrored from the paper's experiment settings (Section V-C):
+
+* SuRF is the *mixed* variant and has no memory knob — it takes whatever
+  the pruned trie needs, so it ignores ``bits_per_key``;
+* Rosetta and Proteus are the use-case-B filters: they receive the sampled
+  queries;
+* ProteusNS is Proteus' no-sampling default (32-bit prefix Bloom filter);
+* REncoderSE receives the sampled queries; REncoder/REncoderSS do not.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rencoder import REncoder
+from repro.core.variants import REncoderPO, REncoderSE, REncoderSS
+from repro.filters.arf import AdaptiveRangeFilter
+from repro.filters.base import RangeFilter
+from repro.filters.bloom import BloomFilter
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.proteus import Proteus, ProteusNS
+from repro.filters.rosetta import Rosetta
+from repro.filters.snarf import Snarf
+from repro.filters.surf import SuRF
+
+__all__ = ["FILTER_NAMES", "build_filter"]
+
+FILTER_NAMES = (
+    "REncoder",
+    "REncoderSS",
+    "REncoderSE",
+    "REncoderPO",
+    "Rosetta",
+    "SuRF",
+    "SNARF",
+    "Proteus",
+    "ProteusNS",
+    "Bloom",
+    "PrefixBloom",
+    "ARF",
+)
+
+
+def build_filter(
+    name: str,
+    keys: np.ndarray,
+    bits_per_key: float,
+    *,
+    key_bits: int = 64,
+    seed: int = 0,
+    sample_queries: Sequence[tuple[int, int]] = (),
+    rmax: int = 64,
+) -> RangeFilter:
+    """Build the named filter at the given memory budget."""
+    if name == "REncoder":
+        return REncoder(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed,
+            rmax=rmax,
+        )
+    if name == "REncoderSS":
+        return REncoderSS(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed,
+            rmax=rmax,
+        )
+    if name == "REncoderSE":
+        return REncoderSE(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed,
+            rmax=rmax, sample_queries=sample_queries,
+        )
+    if name == "REncoderPO":
+        return REncoderPO(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed,
+            rmax=rmax,
+        )
+    if name == "Rosetta":
+        return Rosetta(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed,
+            rmax=rmax, sample_queries=sample_queries,
+        )
+    if name == "SuRF":
+        return SuRF(keys, key_bits=key_bits, seed=seed)
+    if name == "SNARF":
+        return Snarf(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed
+        )
+    if name == "Proteus":
+        return Proteus(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed,
+            sample_queries=sample_queries,
+        )
+    if name == "ProteusNS":
+        return ProteusNS(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed
+        )
+    if name == "Bloom":
+        return BloomFilter(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed
+        )
+    if name == "PrefixBloom":
+        return PrefixBloomFilter(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed,
+            prefix_len=min(32, key_bits),
+        )
+    if name == "ARF":
+        return AdaptiveRangeFilter(
+            keys, bits_per_key=bits_per_key, key_bits=key_bits, seed=seed,
+            training_queries=sample_queries,
+        )
+    raise ValueError(f"unknown filter {name!r}; choose from {FILTER_NAMES}")

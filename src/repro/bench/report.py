@@ -1,0 +1,104 @@
+"""Consolidated report generation from saved bench results.
+
+Every bench under ``benchmarks/`` saves its table to
+``benchmarks/results/<name>.txt``; :func:`build_report` stitches those
+files into a single Markdown report with the experiment inventory, so a
+full reproduction run ends with one reviewable artifact:
+
+    pytest benchmarks/ --benchmark-only
+    python -m repro report            # writes REPORT.md
+"""
+
+from __future__ import annotations
+
+import datetime
+from pathlib import Path
+
+__all__ = ["build_report", "RESULT_SECTIONS"]
+
+#: Section ordering and titles for known result files.
+RESULT_SECTIONS: list[tuple[str, str]] = [
+    ("fig3a_build_time", "Figure 3(a) — build time"),
+    ("fig3b_workload_time", "Figure 3(b) — workload execution time"),
+    ("fig4_overall_time", "Figure 4 — overall time"),
+    ("fig5a_fpr_2_32", "Figure 5(a) — FPR, ranges 2–32"),
+    ("fig5b_fpr_2_64", "Figure 5(b) — FPR, ranges 2–64"),
+    ("fig6_throughput_2_32", "Figure 6 — throughput, ranges 2–32"),
+    ("fig6_throughput_2_64", "Figure 6 — throughput, ranges 2–64"),
+    ("fig7_point_queries", "Figure 7 — point queries"),
+    ("fig8_point_optimised", "Figure 8 — REncoderPO"),
+    ("fig9_correlated", "Figure 9 — correlated queries"),
+    ("fig10_real_datasets", "Figure 10 — real-dataset stand-ins"),
+    ("table1_summary", "Table I — normalised summary"),
+    ("table2_space_cost", "Table II — space cost"),
+    ("table4_independence", "Table IV — bit independence"),
+    ("ablation_group_bits", "Ablation — mini-tree size B"),
+    ("ablation_hash_count", "Ablation — hash count k"),
+    ("ablation_ancestor_checks", "Ablation — ancestor checks"),
+    ("ablation_levels_per_round", "Ablation — insertion round size"),
+    ("ablation_rosetta_allocation", "Ablation — Rosetta allocation"),
+    ("ablation_surf_modes", "Ablation — SuRF suffix modes"),
+    ("ablation_snarf_rice", "Ablation — SNARF Rice parameter"),
+    ("ablation_lsm_policy", "Ablation — LSM compaction policy"),
+    ("float_two_stage", "Float keys — Two-Stage vs naive"),
+    ("scale_invariance", "Scale sweep — FPR/probes vs key count"),
+    ("usecase_lsm_ycsb", "Use case 1 — LSM under YCSB"),
+    ("usecase_btree", "Use case 2 — B+tree scans"),
+    ("usecase_rtree", "Use case 3 — R-tree rectangles"),
+]
+
+
+def build_report(
+    results_dir: str | Path,
+    output: str | Path | None = None,
+    *,
+    title: str = "REncoder reproduction — measured results",
+) -> str:
+    """Assemble the Markdown report; optionally write it to ``output``.
+
+    Returns the report text.  Missing result files are listed as
+    not-yet-run rather than failing, so partial runs still report.
+    """
+    results_dir = Path(results_dir)
+    lines = [
+        f"# {title}",
+        "",
+        f"Generated {datetime.datetime.now():%Y-%m-%d %H:%M} from "
+        f"`{results_dir}`.",
+        "Regenerate any section with "
+        "`pytest benchmarks/<bench file> --benchmark-only`.",
+        "",
+    ]
+    missing = []
+    known = {name for name, _ in RESULT_SECTIONS}
+    for name, heading in RESULT_SECTIONS:
+        path = results_dir / f"{name}.txt"
+        if not path.exists():
+            missing.append(name)
+            continue
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append("```")
+        lines.append(path.read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    extras = sorted(
+        p.stem for p in results_dir.glob("*.txt") if p.stem not in known
+    ) if results_dir.exists() else []
+    for name in extras:
+        lines.append(f"## {name}")
+        lines.append("")
+        lines.append("```")
+        lines.append((results_dir / f"{name}.txt").read_text().rstrip())
+        lines.append("```")
+        lines.append("")
+    if missing:
+        lines.append("## Not yet run")
+        lines.append("")
+        for name in missing:
+            lines.append(f"- {name}")
+        lines.append("")
+    text = "\n".join(lines)
+    if output is not None:
+        Path(output).write_text(text)
+    return text

@@ -1,0 +1,61 @@
+"""Plain-text table/series formatting for the figure benches.
+
+The paper's figures are line plots (metric vs BPK, one series per filter);
+the benches print the same data as aligned text tables so the shapes —
+who wins, by what factor, where crossovers fall — are inspectable in the
+benchmark log and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if 0 < abs(value) < 0.01:
+            return f"{value:.1e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]], title: str | None = None
+) -> str:
+    """Render dict rows as an aligned text table (first row sets columns)."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(columns)
+    ]
+    out = []
+    if title:
+        out.append(title)
+    out.append("  ".join(col.ljust(w) for col, w in zip(columns, widths)))
+    out.append("  ".join("-" * w for w in widths))
+    for line in cells:
+        out.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+) -> str:
+    """Render figure-style data: one row per x value, one column per series."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row: dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else float("nan")
+        rows.append(row)
+    return format_table(rows, title)

@@ -1,0 +1,188 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``info``
+    Library version, available filters and experiment names.
+``figure NAME [NAME...]``
+    Regenerate one or more paper artifacts (``fig5``, ``table2``, ... or
+    ``all``) and print their tables.  ``--n-keys`` / ``--n-queries``
+    control scale.
+``shootout``
+    Build every range filter at one budget and print the comparison
+    table (FPR / probes / throughput on uniform and correlated empty
+    queries).
+``demo``
+    A 30-second guided tour of the REncoder API.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import __version__
+from repro.bench import experiments as exp
+from repro.bench.registry import FILTER_NAMES, build_filter
+from repro.bench.tables import format_table
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+
+__all__ = ["main"]
+
+FIGURES = {
+    "fig3a": lambda cfg: exp.fig3_build_time(cfg),
+    "fig3b": lambda cfg: exp.fig3_workload_time(cfg),
+    "fig4": lambda cfg: exp.fig4_overall_time(cfg),
+    "fig5": lambda cfg: exp.fig5_fpr_range(cfg, 32),
+    "fig5b": lambda cfg: exp.fig5_fpr_range(cfg, 64),
+    "fig6": lambda cfg: exp.fig6_throughput_range(cfg, 32),
+    "fig7": lambda cfg: exp.fig7_point_queries(cfg),
+    "fig8": lambda cfg: exp.fig8_point_optimised(cfg),
+    "fig9": lambda cfg: exp.fig9_correlated_queries(cfg),
+    "fig10": lambda cfg: exp.fig10_real_datasets(cfg),
+    "table1": lambda cfg: exp.table1_summary(cfg),
+    "table2": lambda cfg: exp.table2_space_cost(cfg),
+    "table4": lambda cfg: exp.table4_independence(cfg),
+}
+
+
+def _cmd_info(_args) -> int:
+    print(f"repro {__version__} — REncoder (ICDE 2023) reproduction")
+    print(f"filters:     {', '.join(FILTER_NAMES)}")
+    print(f"experiments: {', '.join(FIGURES)}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    names = list(args.names)
+    if names == ["all"]:
+        names = list(FIGURES)
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        print(f"unknown figure(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"choose from: {', '.join(FIGURES)} or 'all'", file=sys.stderr)
+        return 2
+    cfg = exp.ExperimentConfig(n_keys=args.n_keys, n_queries=args.n_queries)
+    for name in names:
+        start = time.perf_counter()
+        _, text = FIGURES[name](cfg)
+        print(text)
+        print(f"[{name}: {time.perf_counter() - start:.1f}s]\n")
+    return 0
+
+
+def _cmd_shootout(args) -> int:
+    keys = generate_keys(args.n_keys, args.dataset, seed=args.seed)
+    uniform = uniform_range_queries(keys, args.n_queries, seed=args.seed + 1)
+    correlated = correlated_range_queries(
+        keys, args.n_queries, seed=args.seed + 2
+    )
+    sample = uniform[: args.n_queries // 10] + correlated[: args.n_queries // 10]
+    rows = []
+    for name in FILTER_NAMES:
+        if name in ("Bloom", "REncoderPO"):
+            continue  # point-only / baseline-only entries
+        filt = build_filter(name, keys, args.bpk, sample_queries=sample)
+        filt.reset_counters()
+        start = time.perf_counter()
+        fp_u = sum(filt.query_range(lo, hi) for lo, hi in uniform)
+        elapsed = time.perf_counter() - start
+        fp_c = sum(filt.query_range(lo, hi) for lo, hi in correlated)
+        rows.append(
+            {
+                "filter": name,
+                "bpk": round(filt.size_in_bits() / len(keys), 1),
+                "uniform_fpr": fp_u / len(uniform),
+                "corr_fpr": fp_c / len(correlated),
+                "kq/s": round(len(uniform) / elapsed / 1e3, 1),
+            }
+        )
+    print(format_table(
+        rows,
+        f"{args.n_keys} {args.dataset} keys @ {args.bpk} bits/key",
+    ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.bench.report import build_report
+
+    text = build_report(args.results_dir, args.output)
+    print(f"wrote {args.output} "
+          f"({len(text.splitlines())} lines)")
+    return 0
+
+
+def _cmd_demo(_args) -> int:
+    from repro import REncoder
+
+    rng = np.random.default_rng(0)
+    keys = np.unique(rng.integers(0, 1 << 64, 10_000, dtype=np.uint64))
+    filt = REncoder(keys, bits_per_key=18)
+    k = int(keys[42])
+    print(f"built {filt}")
+    print(f"query_range({k}-5, {k}+5) -> "
+          f"{filt.query_range(k - 5, k + 5)}  (contains a stored key)")
+    empty_lo = 12345
+    print(f"query_range({empty_lo}, {empty_lo + 31}) -> "
+          f"{filt.query_range(empty_lo, empty_lo + 31)}  (empty range)")
+    print("see examples/ for the LSM / B+tree / R-tree integrations")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command tree."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="REncoder (ICDE 2023) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="versions, filters, experiments").set_defaults(
+        func=_cmd_info
+    )
+
+    fig = sub.add_parser("figure", help="regenerate paper tables/figures")
+    fig.add_argument("names", nargs="+",
+                     help=f"one of {', '.join(FIGURES)} or 'all'")
+    fig.add_argument("--n-keys", type=int, default=10_000)
+    fig.add_argument("--n-queries", type=int, default=1_000)
+    fig.set_defaults(func=_cmd_figure)
+
+    shoot = sub.add_parser("shootout", help="compare all filters")
+    shoot.add_argument("--n-keys", type=int, default=10_000)
+    shoot.add_argument("--n-queries", type=int, default=1_000)
+    shoot.add_argument("--bpk", type=float, default=18.0)
+    shoot.add_argument("--dataset", default="uniform",
+                       choices=("uniform", "osmc", "amzn", "face", "wiki"))
+    shoot.add_argument("--seed", type=int, default=42)
+    shoot.set_defaults(func=_cmd_shootout)
+
+    report = sub.add_parser(
+        "report", help="stitch saved bench results into REPORT.md"
+    )
+    report.add_argument("--results-dir", default="benchmarks/results")
+    report.add_argument("--output", default="REPORT.md")
+    report.set_defaults(func=_cmd_report)
+
+    sub.add_parser("demo", help="30-second API tour").set_defaults(
+        func=_cmd_demo
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

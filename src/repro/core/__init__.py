@@ -1,0 +1,64 @@
+"""The paper's contribution: Bitmap Trees, the Range Bloom Filter, dyadic
+decomposition, the exact segment-tree oracle, and REncoder with all its
+variants (base, SS, SE, PO, Two-Stage)."""
+
+from repro.core.bitmap_tree import BitmapTreeCodec, node_index, path_nodes
+from repro.core.decompose import (
+    covering_prefix,
+    decompose,
+    decompose_recursive,
+    prefix_range,
+)
+from repro.core.generic import (
+    GenericPrefixFilter,
+    LocalTreeEncoder,
+    QuadtreeFilter,
+)
+from repro.core.rbf import RangeBloomFilter
+from repro.core.rencoder import DEFAULT_RMAX, REncoder
+from repro.core.segment_tree import (
+    PrefixSegmentTree,
+    level_cardinalities,
+    max_key_lcp,
+    max_key_query_lcp,
+)
+from repro.core.serialize import dumps, loads
+from repro.core.two_stage import (
+    TwoStageREncoder,
+    double_to_key,
+    float_to_key,
+    key_to_double,
+    key_to_float,
+)
+from repro.core.variants import REncoderPO, REncoderSE, REncoderSS, build_variant
+
+__all__ = [
+    "BitmapTreeCodec",
+    "node_index",
+    "path_nodes",
+    "covering_prefix",
+    "decompose",
+    "decompose_recursive",
+    "prefix_range",
+    "GenericPrefixFilter",
+    "LocalTreeEncoder",
+    "QuadtreeFilter",
+    "RangeBloomFilter",
+    "DEFAULT_RMAX",
+    "REncoder",
+    "PrefixSegmentTree",
+    "level_cardinalities",
+    "max_key_lcp",
+    "max_key_query_lcp",
+    "TwoStageREncoder",
+    "dumps",
+    "loads",
+    "double_to_key",
+    "float_to_key",
+    "key_to_double",
+    "key_to_float",
+    "REncoderPO",
+    "REncoderSE",
+    "REncoderSS",
+    "build_variant",
+]

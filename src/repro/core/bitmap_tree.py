@@ -1,0 +1,174 @@
+"""Bitmap Tree (BT) codec — the paper's local encoding of mini-trees.
+
+REncoder splits the implicit segment tree over the key domain into
+*mini-trees* of ``B`` consecutive levels and encodes each mini-tree as a
+bitmap called a Bitmap Tree:
+
+* the mini-tree's nodes are numbered 1, 2, 3, ... in breadth-first order
+  (node ``n``'s children are ``2n`` and ``2n + 1``);
+* node ``n`` maps to bit ``n - 1`` of the bitmap;
+* a mini-tree spanning suffix bits ``s_1 .. s_B`` has ``2^(B+1) - 1`` nodes
+  and therefore fits a ``2^(B+1)``-bit bitmap (the last bit is unused).
+
+With ``B = 4`` a BT is 32 bits (the worked example in the paper's Figure 2);
+with ``B = 8`` it is 512 bits, the AVX-512 configuration of the paper's C++
+implementation.  Here a BT is a small contiguous ``numpy.uint64`` slice, so
+ORing or ANDing one into/out of the Range Bloom Filter is a single
+vectorised operation — the Python analogue of the paper's single SIMD memory
+access.
+
+The worked example from the paper, reproduced by the tests: encoding suffix
+``0100`` (with the root) sets nodes 1, 2, 5, 10, 20, i.e. bits
+0, 1, 4, 9, 19 — the bitmap ``11001000010000000001...0``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitmapTreeCodec", "node_index", "path_nodes"]
+
+
+def node_index(suffix: int, depth: int) -> int:
+    """BFS node number of the ``depth``-bit suffix within its mini-tree.
+
+    The node at depth ``d`` reached by bits ``s_1 .. s_d`` (``s_1`` most
+    significant) is ``2^d + (s_1 .. s_d)``.  Depth 0 is the root, node 1.
+
+    >>> node_index(0b0100, 4)
+    20
+    >>> node_index(0b0, 1)
+    2
+    """
+    if depth < 0:
+        raise ValueError(f"depth must be non-negative, got {depth}")
+    return (1 << depth) | (suffix & ((1 << depth) - 1))
+
+
+def path_nodes(suffix: int, nbits: int) -> list[int]:
+    """All node numbers on the root→leaf path of an ``nbits``-bit suffix.
+
+    Includes the root (node 1).
+
+    >>> path_nodes(0b0100, 4)
+    [1, 2, 5, 10, 20]
+    """
+    return [node_index(suffix >> (nbits - d), d) for d in range(nbits + 1)]
+
+
+class BitmapTreeCodec:
+    """Encode and decode Bitmap Trees for mini-trees of ``group_bits`` levels.
+
+    Parameters
+    ----------
+    group_bits:
+        ``B``, the number of consecutive prefix levels per mini-tree.
+        The BT is ``2^(B+1)`` bits, i.e. ``max(1, 2^(B+1) / 64)`` uint64
+        words.  Must be between 1 and 9 (a 9-bit group is a 1024-bit BT;
+        the paper uses 4 in examples and 8 in the evaluation).
+    """
+
+    __slots__ = ("group_bits", "bt_bits", "words")
+
+    def __init__(self, group_bits: int = 8) -> None:
+        if not 1 <= group_bits <= 9:
+            raise ValueError(
+                f"group_bits must be in [1, 9], got {group_bits}"
+            )
+        self.group_bits = group_bits
+        self.bt_bits = 1 << (group_bits + 1)
+        self.words = max(1, self.bt_bits // 64)
+
+    # ------------------------------------------------------------------
+    # scalar encoding
+    # ------------------------------------------------------------------
+    def encode_suffix(
+        self,
+        suffix: int,
+        nbits: int | None = None,
+        include_root: bool = True,
+    ) -> np.ndarray:
+        """Encode the root→leaf path of ``suffix`` into a fresh BT.
+
+        ``nbits`` defaults to the full group width.  With
+        ``include_root=False`` the root bit (bit 0) is left clear, which the
+        adaptive variants use when the group's boundary level is not stored.
+        """
+        if nbits is None:
+            nbits = self.group_bits
+        if not 0 <= nbits <= self.group_bits:
+            raise ValueError(
+                f"suffix width {nbits} outside [0, {self.group_bits}]"
+            )
+        bt = np.zeros(self.words, dtype=np.uint64)
+        start = 0 if include_root else 1
+        for depth in range(start, nbits + 1):
+            self.set_node(bt, node_index(suffix >> (nbits - depth), depth))
+        return bt
+
+    def encode_levels(
+        self, suffix: int, nbits: int, depths: "list[int] | range"
+    ) -> np.ndarray:
+        """Encode only the path nodes at the given ``depths`` (0 = root)."""
+        bt = np.zeros(self.words, dtype=np.uint64)
+        for depth in depths:
+            if not 0 <= depth <= nbits:
+                raise ValueError(f"depth {depth} outside path of {nbits} bits")
+            self.set_node(bt, node_index(suffix >> (nbits - depth), depth))
+        return bt
+
+    # ------------------------------------------------------------------
+    # bit accessors
+    # ------------------------------------------------------------------
+    def set_node(self, bt: np.ndarray, node: int) -> None:
+        """Set the bit for BFS node number ``node`` (1-based)."""
+        bit = node - 1
+        bt[bit >> 6] |= np.uint64(1 << (bit & 63))
+
+    def get_node(self, bt: np.ndarray, node: int) -> bool:
+        """Read the bit for BFS node number ``node`` (1-based)."""
+        bit = node - 1
+        return bool((int(bt[bit >> 6]) >> (bit & 63)) & 1)
+
+    def get_suffix_bit(self, bt: np.ndarray, suffix: int, depth: int) -> bool:
+        """Read the bit of the node reached by a ``depth``-bit suffix."""
+        return self.get_node(bt, node_index(suffix, depth))
+
+    # ------------------------------------------------------------------
+    # decoding / debugging
+    # ------------------------------------------------------------------
+    def decode_nodes(self, bt: np.ndarray) -> list[int]:
+        """All set node numbers, ascending (BFS order)."""
+        out = []
+        for w, word in enumerate(bt):
+            word = int(word)
+            while word:
+                low = word & -word
+                out.append(w * 64 + low.bit_length())  # bit i -> node i + 1
+                word ^= low
+        return out
+
+    def decode_prefixes(self, bt: np.ndarray) -> list[tuple[int, int]]:
+        """Set nodes as ``(suffix_value, depth)`` pairs.
+
+        Inverse of the node numbering: node ``n`` at depth
+        ``d = floor(log2 n)`` encodes suffix ``n - 2^d``.
+        """
+        out = []
+        for node in self.decode_nodes(bt):
+            depth = node.bit_length() - 1
+            out.append((node - (1 << depth), depth))
+        return out
+
+    def to_bitstring(self, bt: np.ndarray) -> str:
+        """Render the BT as a left-to-right bit string (bit 0 first).
+
+        Matches the presentation in the paper's Figure 2.
+        """
+        chars = []
+        for bit in range(self.bt_bits):
+            chars.append("1" if (int(bt[bit >> 6]) >> (bit & 63)) & 1 else "0")
+        return "".join(chars)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitmapTreeCodec(group_bits={self.group_bits})"

@@ -1,0 +1,116 @@
+"""Dyadic range decomposition — the paper's Decomposition stage.
+
+A range query ``[lo, hi]`` over ``L``-bit keys is split into the minimal set
+of *dyadic* sub-ranges, each exactly the span of one key prefix, so that the
+range query becomes at most ``2L`` (and for ranges of size ``R``, at most
+``2 log2 R``) prefix membership probes (Section III-B).
+
+Two equivalent algorithms are provided and cross-checked by tests:
+
+* :func:`decompose` — the fast iterative greedy walk: repeatedly peel off
+  the largest aligned power-of-two block starting at ``lo``;
+* :func:`decompose_recursive` — the paper's top-down formulation
+  (compare the prefix range ``Rp`` against the target ``Rt``; recurse on
+  intersection, emit on containment).
+
+Both return ``(prefix_value, prefix_len)`` pairs ordered left to right.
+A prefix ``(p, l)`` covers keys ``[p << (L-l), ((p+1) << (L-l)) - 1]``.
+The empty prefix is returned as ``(0, 0)`` when the query covers the whole
+domain.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "decompose",
+    "decompose_recursive",
+    "prefix_range",
+    "covering_prefix",
+]
+
+
+def prefix_range(prefix: int, length: int, key_bits: int) -> tuple[int, int]:
+    """The inclusive key range ``[lo, hi]`` covered by a prefix.
+
+    >>> prefix_range(0b001, 3, 4)
+    (2, 3)
+    """
+    if not 0 <= length <= key_bits:
+        raise ValueError(f"prefix length {length} outside [0, {key_bits}]")
+    span = key_bits - length
+    lo = prefix << span
+    return lo, lo + (1 << span) - 1
+
+
+def covering_prefix(lo: int, hi: int, key_bits: int) -> tuple[int, int]:
+    """The shortest single prefix whose range contains ``[lo, hi]``.
+
+    Used by tests and by SuRF-style filters; unlike :func:`decompose` the
+    result may cover keys outside the query.
+    """
+    _check(lo, hi, key_bits)
+    length = key_bits
+    while length > 0 and (lo >> (key_bits - length)) != (hi >> (key_bits - length)):
+        length -= 1
+    return (lo >> (key_bits - length)) if length else 0, length
+
+
+def _check(lo: int, hi: int, key_bits: int) -> None:
+    if key_bits < 1:
+        raise ValueError(f"key_bits must be positive, got {key_bits}")
+    top = (1 << key_bits) - 1
+    if not 0 <= lo <= hi <= top:
+        raise ValueError(
+            f"invalid range [{lo}, {hi}] for {key_bits}-bit keys"
+        )
+
+
+def decompose(lo: int, hi: int, key_bits: int) -> list[tuple[int, int]]:
+    """Minimal dyadic cover of ``[lo, hi]``, left to right (iterative).
+
+    Greedy walk: at position ``cur`` the largest usable block is the largest
+    power of two that both divides ``cur`` (alignment) and fits in the
+    remaining span ``hi - cur + 1``.
+
+    >>> decompose(0, 4, 4)
+    [(0, 2), (4, 4)]
+    >>> decompose(2, 15, 4)
+    [(1, 3), (1, 2), (1, 1)]
+    """
+    _check(lo, hi, key_bits)
+    domain = 1 << key_bits
+    out: list[tuple[int, int]] = []
+    cur = lo
+    remaining = hi - lo + 1
+    while remaining > 0:
+        align = cur & -cur if cur else domain
+        size = min(align, 1 << (remaining.bit_length() - 1))
+        length = key_bits - size.bit_length() + 1
+        out.append((cur >> (key_bits - length) if length else 0, length))
+        cur += size
+        remaining -= size
+    return out
+
+
+def decompose_recursive(lo: int, hi: int, key_bits: int) -> list[tuple[int, int]]:
+    """Minimal dyadic cover of ``[lo, hi]`` — the paper's top-down algorithm.
+
+    Starts from the empty prefix (``Rp = [0, maxkey]``) and compares each
+    candidate prefix range against the target: disjoint → drop, contained →
+    emit, intersecting → recurse into both children.
+    """
+    _check(lo, hi, key_bits)
+    out: list[tuple[int, int]] = []
+
+    def visit(prefix: int, length: int) -> None:
+        p_lo, p_hi = prefix_range(prefix, length, key_bits)
+        if p_hi < lo or p_lo > hi:
+            return
+        if lo <= p_lo and p_hi <= hi:
+            out.append((prefix, length))
+            return
+        visit(prefix << 1, length + 1)
+        visit((prefix << 1) | 1, length + 1)
+
+    visit(0, 0)
+    return out

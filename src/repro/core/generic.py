@@ -1,0 +1,328 @@
+"""Generic local encoding for arity-``a`` tree structures.
+
+The paper's contribution 1 claims the Bitmap-Tree/RBF encoding "is
+generic, and it can be applied to various tree structures".  This module
+makes that concrete: :class:`LocalTreeEncoder` numbers the nodes of an
+arity-``a`` mini-tree in BFS order and encodes root-to-leaf paths into
+bitmaps, and :class:`GenericPrefixFilter` stores digit-string prefixes of
+keys in a Range Bloom Filter through that encoding — the binary REncoder
+is the ``arity=2`` instance of this machinery.
+
+The showcase instance is :class:`QuadtreeFilter`: 2-D points as base-4
+digit strings (one quadtree branch per digit, i.e. one x-bit/y-bit pair),
+rectangle queries decomposed into quadtree cells, one RBF fetch per
+mini-tree of four levels — 2-D range filtering without flattening to a
+binary tree first.
+
+Mini-tree geometry for arity ``a`` and ``G`` levels per group: nodes at
+depth ``d`` start at ``(a^d − 1)/(a − 1)``; a group has
+``(a^{G+1} − 1)/(a − 1)`` nodes, and the bitmap is that rounded up to a
+power of two (arity 4, G = 4 → 341 nodes → a 512-bit BT, the same block
+the paper's AVX configuration uses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.rbf import RangeBloomFilter
+from repro.hashing.mix64 import seeds_for
+
+__all__ = ["LocalTreeEncoder", "GenericPrefixFilter", "QuadtreeFilter"]
+
+
+class LocalTreeEncoder:
+    """BFS node numbering and bitmap geometry for arity-``a`` mini-trees."""
+
+    def __init__(self, arity: int, group_levels: int) -> None:
+        if arity < 2:
+            raise ValueError(f"arity must be >= 2, got {arity}")
+        if group_levels < 1:
+            raise ValueError(
+                f"group_levels must be >= 1, got {group_levels}"
+            )
+        self.arity = arity
+        self.group_levels = group_levels
+        #: first node index per depth: S_d = (a^d - 1)/(a - 1).
+        self.depth_start = [0]
+        for _ in range(group_levels + 1):
+            self.depth_start.append(self.depth_start[-1] * arity + 1)
+        self.n_nodes = self.depth_start[group_levels + 1]
+        bits = 1
+        while bits < self.n_nodes:
+            bits <<= 1
+        self.bt_bits = max(8, bits)
+        self.bt_words = max(1, self.bt_bits // 64)
+
+    def node_index(self, suffix: int, depth: int) -> int:
+        """Node reached by the last ``depth`` base-``a`` digits."""
+        if not 0 <= depth <= self.group_levels:
+            raise ValueError(
+                f"depth {depth} outside [0, {self.group_levels}]"
+            )
+        span = self.arity**depth
+        return self.depth_start[depth] + (suffix % span)
+
+    def encode_path(self, suffix: int, depth: int) -> np.ndarray:
+        """Bitmap with the root-to-node path of a ``depth``-digit suffix."""
+        bt = np.zeros(self.bt_words, dtype=np.uint64)
+        for d in range(depth + 1):
+            node = self.node_index(suffix // (self.arity ** (depth - d)), d)
+            bt[node >> 6] |= np.uint64(1 << (node & 63))
+        return bt
+
+    def get_node(self, bt: np.ndarray, node: int) -> bool:
+        """Read one node bit from a bitmap."""
+        return bool((int(bt[node >> 6]) >> (node & 63)) & 1)
+
+
+class GenericPrefixFilter:
+    """Prefix-membership filter over base-``a`` digit strings.
+
+    Keys are integers read as ``num_digits`` base-``arity`` digits (most
+    significant first).  All digit-prefixes from ``start_level`` down are
+    stored.  ``query_prefix`` answers one-prefix membership;
+    ``query_subtree`` adds the doubting descent to the deepest level, so
+    a caller holding a prefix cover of any region (e.g. quadtree cells of
+    a rectangle) gets REncoder-style verification.
+    """
+
+    def __init__(
+        self,
+        keys: Iterable[int],
+        total_bits: int,
+        *,
+        arity: int = 4,
+        num_digits: int = 16,
+        group_levels: int = 4,
+        mandatory_levels: int = 4,
+        target_p1: float = 0.5,
+        k: int = 2,
+        seed: int = 0,
+        max_expansion: int = 4096,
+    ) -> None:
+        if num_digits < 1:
+            raise ValueError(f"num_digits must be >= 1, got {num_digits}")
+        if not 1 <= mandatory_levels <= num_digits:
+            raise ValueError(
+                f"mandatory_levels must be in [1, {num_digits}], "
+                f"got {mandatory_levels}"
+            )
+        self.encoder = LocalTreeEncoder(arity, group_levels)
+        self.arity = arity
+        self.num_digits = num_digits
+        self.max_expansion = max_expansion
+        self.num_groups = (
+            num_digits + group_levels - 1
+        ) // group_levels
+        self._tags = seeds_for(self.num_groups + 2, seed ^ 0x6765_6E65)
+        self.rbf = RangeBloomFilter(
+            total_bits, k, group_bits=8, seed=seed,
+            block_bits=self.encoder.bt_bits,
+        )
+        key_list = list(keys)
+        self.n_keys = len(key_list)
+        top = arity**num_digits
+        for key in key_list:
+            if not 0 <= key < top:
+                raise ValueError(f"key {key} outside the digit domain")
+        # Adaptive stored levels, REncoder-style: the bottom
+        # ``mandatory_levels`` always, then grow upward while P1 < target.
+        self.stored_levels: set[int] = set()
+        for level in range(num_digits, 0, -1):
+            mandatory = level > num_digits - mandatory_levels
+            if not mandatory and self.rbf.p1 >= target_p1:
+                break
+            self._insert_level(key_list, level)
+        self.start_level = min(self.stored_levels) if self.stored_levels else 1
+
+    def _insert_level(self, key_list: list[int], level: int) -> None:
+        self.stored_levels.add(level)
+        span = self.arity ** (self.num_digits - level)
+        for key in key_list:
+            prefix = key // span
+            group, depth = self._locate(level)
+            suffix = prefix % (self.arity**depth)
+            bt = self.encoder.encode_path(suffix, depth)
+            self.rbf.insert_bt(self._hash_key(prefix, level), bt)
+
+    # ------------------------------------------------------------------
+    def _locate(self, level: int) -> tuple[int, int]:
+        """(group, depth-in-group) of digit-level ``level``."""
+        group = (level + self.encoder.group_levels - 1) // self.encoder.group_levels
+        depth = level - (group - 1) * self.encoder.group_levels
+        return group, depth
+
+    def _hash_key(self, prefix: int, level: int) -> int:
+        group, depth = self._locate(level)
+        hp = prefix // (self.arity**depth)
+        return hp ^ self._tags[group]
+
+    def insert(self, key: int) -> None:
+        """Insert every stored-level prefix of ``key`` (incremental)."""
+        if not 0 <= key < self.arity**self.num_digits:
+            raise ValueError(f"key {key} outside the digit domain")
+        self.n_keys += 1
+        for level in sorted(self.stored_levels):
+            prefix = key // (self.arity ** (self.num_digits - level))
+            group, depth = self._locate(level)
+            suffix = prefix % (self.arity**depth)
+            bt = self.encoder.encode_path(suffix, depth)
+            self.rbf.insert_bt(self._hash_key(prefix, level), bt)
+
+    # ------------------------------------------------------------------
+    def query_prefix(self, prefix: int, level: int, cache=None) -> bool:
+        """Is the length-``level`` digit prefix possibly present?"""
+        if level not in self.stored_levels:
+            return self.n_keys > 0  # unstored levels are unknown
+        group, depth = self._locate(level)
+        hp = prefix // (self.arity**depth)
+        key = (group, hp)
+        bt = None if cache is None else cache.get(key)
+        if bt is None:
+            bt = self.rbf.fetch_bt(hp ^ self._tags[group])
+            if cache is not None:
+                cache[key] = bt
+        node = self.encoder.node_index(prefix, depth)
+        return self.encoder.get_node(bt, node)
+
+    def query_subtree(self, prefix: int, level: int, cache=None) -> bool:
+        """Doubting verification: any stored key below this prefix?
+
+        As in the binary REncoder, every stored ancestor level is probed
+        first (nearly free through the shared mini-tree fetches) before
+        the descent — without this, a query covered by many cells
+        compounds per-cell false positives.  Pass a shared ``cache`` dict
+        when verifying several cells of one query.
+        """
+        if not 0 <= level <= self.num_digits:
+            raise ValueError(f"level {level} outside [0, {self.num_digits}]")
+        if cache is None:
+            cache = {}
+        for anc_level in sorted(self.stored_levels):
+            if anc_level >= level:
+                break
+            ancestor = prefix // (self.arity ** (level - anc_level))
+            if not self.query_prefix(ancestor, anc_level, cache):
+                return False
+        budget = self.max_expansion
+        stack = [(prefix, level)]
+        while stack:
+            p, l = stack.pop()
+            if l in self.stored_levels and not self.query_prefix(p, l, cache):
+                continue
+            if l == self.num_digits:
+                return True
+            budget -= self.arity
+            if budget < 0:
+                return True  # conservative
+            base = p * self.arity
+            for digit in range(self.arity - 1, -1, -1):
+                stack.append((base + digit, l + 1))
+        return False
+
+    def size_in_bits(self) -> int:
+        """Occupied memory in bits."""
+        return self.rbf.size_in_bits()
+
+
+class QuadtreeFilter:
+    """Native 2-D range filter: a quadtree locally encoded into an RBF.
+
+    Points become base-4 digit strings (each digit one (x, y) bit pair,
+    most significant first — i.e. Morton digits); a rectangle query is
+    decomposed into quadtree cells, each verified with the generic
+    doubting descent.  One RBF fetch covers four quadtree levels.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[tuple[int, int]],
+        *,
+        coord_bits: int = 16,
+        bits_per_key: float = 24.0,
+        k: int = 2,
+        seed: int = 0,
+        max_cells: int = 128,
+    ) -> None:
+        if not 1 <= coord_bits <= 32:
+            raise ValueError(f"coord_bits must be in [1, 32], got {coord_bits}")
+        self.coord_bits = coord_bits
+        self.max_cells = max_cells
+        codes = sorted(
+            {self._morton(x, y) for x, y in points}
+        )
+        total_bits = max(512, int(bits_per_key * max(1, len(codes))))
+        self.filter = GenericPrefixFilter(
+            codes,
+            total_bits,
+            arity=4,
+            num_digits=coord_bits,
+            group_levels=4,
+            # A cell of a small query rectangle sits within ~4 digit
+            # levels of the bottom; mandatory levels mirror REncoder's
+            # rmax rule and the rest fill adaptively.
+            mandatory_levels=min(4, coord_bits),
+            k=k,
+            seed=seed,
+        )
+        self.n_points = len(codes)
+
+    def _morton(self, x: int, y: int) -> int:
+        top = (1 << self.coord_bits) - 1
+        if not (0 <= x <= top and 0 <= y <= top):
+            raise ValueError(f"point ({x}, {y}) outside the domain")
+        code = 0
+        for d in range(self.coord_bits - 1, -1, -1):
+            code = code * 4 + (((x >> d) & 1) << 1 | ((y >> d) & 1))
+        return code
+
+    def _cells(self, x_lo, x_hi, y_lo, y_hi) -> list[tuple[int, int]]:
+        """Quadtree cells (prefix, level) covering the rectangle."""
+        cells: list[tuple[int, int]] = []
+        stack = [(0, 0, 0, self.coord_bits)]  # x0, y0, prefix, log-size
+        while stack:
+            x0, y0, prefix, log = stack.pop()
+            size = 1 << log
+            x1, y1 = x0 + size - 1, y0 + size - 1
+            if x1 < x_lo or x0 > x_hi or y1 < y_lo or y0 > y_hi:
+                continue
+            covered = (
+                x_lo <= x0 and x1 <= x_hi and y_lo <= y0 and y1 <= y_hi
+            )
+            if covered or log == 0 or len(cells) + len(stack) >= self.max_cells:
+                cells.append((prefix, self.coord_bits - log))
+                continue
+            half = size >> 1
+            for dx in (0, 1):
+                for dy in (0, 1):
+                    stack.append(
+                        (
+                            x0 + dx * half,
+                            y0 + dy * half,
+                            prefix * 4 + (dx << 1 | dy),
+                            log - 1,
+                        )
+                    )
+        return cells
+
+    def query_rect(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int) -> bool:
+        """May any stored point lie in the rectangle?"""
+        if x_lo > x_hi or y_lo > y_hi:
+            raise ValueError("empty rectangle")
+        cache: dict = {}
+        return any(
+            self.filter.query_subtree(prefix, level, cache)
+            for prefix, level in self._cells(x_lo, x_hi, y_lo, y_hi)
+        )
+
+    def query_point(self, x: int, y: int) -> bool:
+        """May the exact point be stored?"""
+        code = self._morton(x, y)
+        return self.filter.query_subtree(code, self.coord_bits)
+
+    def size_in_bits(self) -> int:
+        """Occupied memory in bits."""
+        return self.filter.size_in_bits()

@@ -1,0 +1,152 @@
+"""Explicit prefix segment tree — the exact reference oracle.
+
+REncoder never materialises the segment tree; it stores the tree's nodes in
+the Range Bloom Filter.  This module *does* materialise it, as one Python
+set of prefixes per level.  It serves three roles:
+
+* a zero-false-positive reference implementation of range membership used
+  by the property tests (every probabilistic filter must agree with it on
+  all negatives it reports, and it defines ground truth for FPR);
+* the source of the per-level distinct-prefix counts ``n1`` that drive the
+  adaptive stored-level analysis in Section III-C (the ``A``/``B`` dataset
+  example) and Rosetta's memory allocation;
+* the LCP statistics (``l_kk``, ``l_kq``) used by REncoderSS / REncoderSE.
+
+Keys are unsigned ``key_bits``-bit integers.  Level ``l`` holds the distinct
+prefixes of length ``l``; level 0 is the root (present iff the set is
+non-empty).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.decompose import decompose
+
+__all__ = [
+    "PrefixSegmentTree",
+    "level_cardinalities",
+    "max_key_lcp",
+    "max_key_query_lcp",
+]
+
+
+class PrefixSegmentTree:
+    """Exact segment tree over all prefixes of a key set."""
+
+    def __init__(self, keys: Iterable[int], key_bits: int = 64) -> None:
+        if key_bits < 1:
+            raise ValueError(f"key_bits must be positive, got {key_bits}")
+        self.key_bits = key_bits
+        self.levels: list[set[int]] = [set() for _ in range(key_bits + 1)]
+        top = (1 << key_bits) - 1
+        count = 0
+        for key in keys:
+            if not 0 <= key <= top:
+                raise ValueError(f"key {key} outside {key_bits}-bit domain")
+            count += 1
+            for length in range(key_bits, -1, -1):
+                prefix = key >> (key_bits - length)
+                if prefix in self.levels[length]:
+                    break  # all shorter prefixes are present already
+                self.levels[length].add(prefix)
+        self.n_keys = count
+
+    def contains_prefix(self, prefix: int, length: int) -> bool:
+        """Is ``prefix`` (of ``length`` bits) a prefix of any stored key?"""
+        if not 0 <= length <= self.key_bits:
+            raise ValueError(f"length {length} outside [0, {self.key_bits}]")
+        return prefix in self.levels[length]
+
+    def query_range(self, lo: int, hi: int) -> bool:
+        """Exact range membership via dyadic decomposition (never wrong)."""
+        return any(
+            prefix in self.levels[length]
+            for prefix, length in decompose(lo, hi, self.key_bits)
+        )
+
+    def query_point(self, key: int) -> bool:
+        """Exact point membership."""
+        return key in self.levels[self.key_bits]
+
+    def level_sizes(self) -> list[int]:
+        """Distinct prefix count per level, index = prefix length."""
+        return [len(level) for level in self.levels]
+
+    def total_nodes(self, levels: Iterable[int] | None = None) -> int:
+        """Total distinct prefixes over the given levels (default: all)."""
+        if levels is None:
+            levels = range(self.key_bits + 1)
+        return sum(len(self.levels[l]) for l in levels)
+
+
+def level_cardinalities(
+    keys: np.ndarray, key_bits: int, levels: Sequence[int]
+) -> dict[int, int]:
+    """Distinct prefix count for each requested level, vectorised.
+
+    Equivalent to :meth:`PrefixSegmentTree.level_sizes` restricted to
+    ``levels`` but avoids building the full tree; used by the adaptive
+    construction on large key sets.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    out: dict[int, int] = {}
+    for length in levels:
+        if not 0 <= length <= key_bits:
+            raise ValueError(f"level {length} outside [0, {key_bits}]")
+        shift = np.uint64(key_bits - length)
+        out[length] = int(len(np.unique(keys >> shift))) if length else (
+            1 if len(keys) else 0
+        )
+    return out
+
+
+def _lcp(a: int, b: int, key_bits: int) -> int:
+    """Length of the longest common prefix of two ``key_bits``-bit ints."""
+    diff = a ^ b
+    return key_bits if diff == 0 else key_bits - diff.bit_length()
+
+
+def max_key_lcp(keys: np.ndarray, key_bits: int) -> int:
+    """``l_kk`` — max LCP over all distinct key pairs (Section III-C).
+
+    The maximum is attained by an adjacent pair in sorted order, so this is
+    a single vectorised XOR over the sorted array.
+    """
+    keys = np.unique(np.asarray(keys, dtype=np.uint64))
+    if len(keys) < 2:
+        return 0
+    diffs = keys[1:] ^ keys[:-1]
+    # bit_length via log2 on float is unsafe near 2^53; use a loop over the
+    # small candidate set instead: the minimal diff gives the maximal LCP.
+    min_diff = int(diffs.min())
+    return key_bits - min_diff.bit_length()
+
+
+def max_key_query_lcp(
+    keys: np.ndarray,
+    query_bounds: Iterable[int],
+    key_bits: int,
+) -> int:
+    """``l_kq`` — max LCP between any key and any sampled query boundary.
+
+    REncoderSE samples query boundaries (both endpoints of each range) and
+    uses this statistic to decide how deep the stored levels must reach to
+    tell correlated queries apart from stored keys.  Boundaries that *are*
+    stored keys are skipped: a true positive needs no distinguishing level.
+    """
+    keys = np.unique(np.asarray(keys, dtype=np.uint64))
+    if len(keys) == 0:
+        return 0
+    best = 0
+    for bound in query_bounds:
+        idx = int(np.searchsorted(keys, np.uint64(bound)))
+        for neighbour in (idx - 1, idx, idx + 1):
+            if 0 <= neighbour < len(keys):
+                key = int(keys[neighbour])
+                if key == bound:
+                    continue
+                best = max(best, _lcp(key, bound, key_bits))
+    return best

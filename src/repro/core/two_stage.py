@@ -1,0 +1,203 @@
+"""Two-Stage REncoder — float/double key support (Section III-D).
+
+A positive IEEE-754 float, with its sign bit dropped, orders identically to
+its raw bit pattern, so a float key can be treated as a 31-bit integer
+(8 exponent bits + 23 mantissa bits; doubles: 11 + 52).  The Two-Stage
+REncoder allocates its stored levels in two phases:
+
+* **Stage 1 (exponent):** start at level ``exp_bits`` (the boundary between
+  exponent and mantissa) and grow *upward* — coarser and coarser magnitude
+  ranges — until the RBF load factor reaches ``t_exp`` (< 0.5).
+* **Stage 2 (mantissa):** start at level ``exp_bits + 1`` and grow
+  *downward* — finer and finer precision — until ``P1`` is close to 0.5.
+
+Negative keys are handled by shifting the whole dataset by the absolute
+value of the smallest key before encoding, as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.rencoder import REncoder
+
+__all__ = [
+    "TwoStageREncoder",
+    "float_to_key",
+    "key_to_float",
+    "double_to_key",
+    "key_to_double",
+]
+
+
+def float_to_key(value: float) -> int:
+    """Map a non-negative finite float32 value to its 31-bit integer key."""
+    if value < 0:
+        raise ValueError(f"float keys must be non-negative, got {value}")
+    bits = int(np.float32(value).view(np.uint32))
+    return bits & 0x7FFF_FFFF
+
+
+def key_to_float(key: int) -> float:
+    """Inverse of :func:`float_to_key`."""
+    if not 0 <= key <= 0x7FFF_FFFF:
+        raise ValueError(f"key {key} outside the 31-bit float domain")
+    return float(np.uint32(key).view(np.float32))
+
+
+def double_to_key(value: float) -> int:
+    """Map a non-negative finite float64 value to its 63-bit integer key.
+
+    The paper: "the solution is similar for the double type" — drop the
+    sign bit and treat the 11-bit exponent + 52-bit mantissa as an
+    order-preserving integer.
+    """
+    if value < 0:
+        raise ValueError(f"double keys must be non-negative, got {value}")
+    bits = int(np.float64(value).view(np.uint64))
+    return bits & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def key_to_double(key: int) -> float:
+    """Inverse of :func:`double_to_key`."""
+    if not 0 <= key <= 0x7FFF_FFFF_FFFF_FFFF:
+        raise ValueError(f"key {key} outside the 63-bit double domain")
+    return float(np.uint64(key).view(np.float64))
+
+
+class TwoStageREncoder(REncoder):
+    """REncoder over float keys with exponent/mantissa staged levels.
+
+    Parameters are those of :class:`~repro.core.rencoder.REncoder` plus:
+
+    t_exp:
+        Stage-1 load-factor threshold ``T_exp`` (must be below
+        ``target_p1``); the paper leaves tuning it per workload as future
+        work — :meth:`tune_t_exp` implements that tuning as a small
+        sampled search.
+    precision:
+        ``"single"`` (31-bit keys, 8-bit exponent — the paper's worked
+        case) or ``"double"`` (63-bit keys, 11-bit exponent).
+    exp_bits / key_bits:
+        Overridable; default from ``precision``.
+    """
+
+    name = "TwoStageREncoder"
+
+    def __init__(
+        self,
+        keys: Iterable[float],
+        total_bits: int | None = None,
+        *,
+        t_exp: float = 0.3,
+        precision: str = "single",
+        exp_bits: int | None = None,
+        key_bits: int | None = None,
+        **kwargs,
+    ) -> None:
+        if precision not in ("single", "double"):
+            raise ValueError(
+                f'precision must be "single" or "double", got {precision!r}'
+            )
+        self.precision = precision
+        if exp_bits is None:
+            exp_bits = 8 if precision == "single" else 11
+        if key_bits is None:
+            key_bits = 31 if precision == "single" else 63
+        if not 1 <= exp_bits < key_bits:
+            raise ValueError(
+                f"exp_bits must be in [1, key_bits), got {exp_bits}"
+            )
+        target_p1 = kwargs.get("target_p1", 0.5)
+        if not 0.0 < t_exp < target_p1:
+            raise ValueError(
+                f"t_exp must be in (0, target_p1={target_p1}), got {t_exp}"
+            )
+        self.t_exp = t_exp
+        self.exp_bits = exp_bits
+        self._encode = float_to_key if precision == "single" else double_to_key
+        values = [float(v) for v in keys]
+        self.offset = -min((v for v in values), default=0.0)
+        if self.offset < 0:
+            self.offset = 0.0
+        int_keys = [self._encode(v + self.offset) for v in values]
+        # The staged build stores many levels; the "auto" k rule keys off
+        # the plan's mandatory count, which the staged build bypasses.
+        kwargs.setdefault("k", 2)
+        super().__init__(int_keys, total_bits, key_bits=key_bits, **kwargs)
+
+    # ------------------------------------------------------------------
+    # staged construction
+    # ------------------------------------------------------------------
+    def _plan_levels(self, keys: np.ndarray) -> tuple[list[int], list[int]]:
+        # Unused: _build is overridden to run the two stages explicitly.
+        return [], []
+
+    def _build(self, keys: np.ndarray, mandatory, optional) -> None:
+        # Stage 1: exponent levels, upward from the exponent boundary.
+        stage1 = list(range(self.exp_bits, 0, -1))
+        # Stage 2: mantissa levels, downward from just below the boundary.
+        stage2 = list(range(self.exp_bits + 1, self.key_bits + 1))
+        self._insert_level_bulk(keys, stage1[0])
+        for level in stage1[1:]:
+            if keys.size and self.rbf.p1 >= self.t_exp:
+                break
+            self._insert_level_bulk(keys, level)
+        self._insert_level_bulk(keys, stage2[0])
+        for level in stage2[1:]:
+            if keys.size and self.rbf.p1 >= self.target_p1:
+                break
+            self._insert_level_bulk(keys, level)
+        self.final_p1 = self.rbf.p1
+
+    # ------------------------------------------------------------------
+    # float-domain queries
+    # ------------------------------------------------------------------
+    def query_float_range(self, lo: float, hi: float) -> bool:
+        """Range membership in the float domain (inclusive bounds)."""
+        if lo > hi:
+            raise ValueError(f"invalid float range [{lo}, {hi}]")
+        lo_key = self._encode(max(0.0, lo + self.offset))
+        hi_key = self._encode(max(0.0, hi + self.offset))
+        return self.query_range(lo_key, hi_key)
+
+    def query_float(self, value: float) -> bool:
+        """Point membership in the float domain."""
+        return self.query_float_range(value, value)
+
+    # ------------------------------------------------------------------
+    # T_exp tuning (the paper's stated future work)
+    # ------------------------------------------------------------------
+    @classmethod
+    def tune_t_exp(
+        cls,
+        keys,
+        sample_queries,
+        *,
+        candidates=(0.1, 0.2, 0.3, 0.4),
+        **kwargs,
+    ) -> "TwoStageREncoder":
+        """Pick ``T_exp`` by measured FPR on sampled float ranges.
+
+        "We can set T_exp according to dataset/workload to achieve better
+        performance, which is left for future work" — this is that
+        tuning: build one filter per candidate threshold, measure its FPR
+        on the sampled (assumed-empty) queries, and keep the best.
+        """
+        sample = list(sample_queries)
+        if not sample:
+            raise ValueError("tune_t_exp needs at least one sample query")
+        values = [float(v) for v in keys]
+        best = None
+        best_fpr = float("inf")
+        for t_exp in candidates:
+            filt = cls(values, t_exp=t_exp, **kwargs)
+            fpr = sum(
+                filt.query_float_range(lo, hi) for lo, hi in sample
+            ) / len(sample)
+            if fpr < best_fpr:
+                best, best_fpr = filt, fpr
+        best.tuned_fpr = best_fpr
+        return best

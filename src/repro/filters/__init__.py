@@ -1,0 +1,35 @@
+"""Baseline range filters the paper compares against, plus the common
+:class:`~repro.filters.base.RangeFilter` interface every filter (including
+REncoder) implements."""
+
+from repro.filters.arf import AdaptiveRangeFilter
+from repro.filters.base import RangeFilter, as_key_array
+from repro.filters.bloom import BloomFilter, optimal_k
+from repro.filters.golomb import BitReader, BitWriter, RiceBlockArray
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.filters.proteus import Proteus, ProteusNS, cpfpr_choose_design
+from repro.filters.rosetta import Rosetta
+from repro.filters.shbf import ShiftingBloomFilter
+from repro.filters.snarf import Snarf
+from repro.filters.spatial import ZOrderRangeFilter
+from repro.filters.surf import SuRF
+
+__all__ = [
+    "AdaptiveRangeFilter",
+    "RangeFilter",
+    "as_key_array",
+    "BloomFilter",
+    "optimal_k",
+    "BitReader",
+    "BitWriter",
+    "RiceBlockArray",
+    "PrefixBloomFilter",
+    "Proteus",
+    "ProteusNS",
+    "cpfpr_choose_design",
+    "Rosetta",
+    "ShiftingBloomFilter",
+    "Snarf",
+    "ZOrderRangeFilter",
+    "SuRF",
+]

@@ -1,0 +1,181 @@
+"""ARF — Adaptive Range Filter (VLDB 2013), a related-work extra.
+
+ARF is the trie-based ancestor of SuRF (Section II-B): a binary trie over
+the *key domain* whose leaves carry one occupancy bit, trained by
+splitting leaves that cause false positives on sample queries.  The
+REncoder paper discusses but does not benchmark it; it is included here
+for completeness and used in the ablation benches.
+
+Training: every sampled empty query that currently hits an occupied leaf
+forces splits of the intersecting leaves (occupancy recomputed from the
+keys) until the query is answered negatively or the leaf budget is
+exhausted.  Encoding cost is the classic ARF accounting: 1 shape bit per
+node plus 1 occupancy bit per leaf.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.filters.base import RangeFilter, as_key_array
+
+__all__ = ["AdaptiveRangeFilter"]
+
+
+class _Node:
+    __slots__ = ("lo", "hi", "left", "right", "occupied")
+
+    def __init__(self, lo: int, hi: int, occupied: bool) -> None:
+        self.lo = lo
+        self.hi = hi
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.occupied = occupied
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class AdaptiveRangeFilter(RangeFilter):
+    """Query-trained binary trie over the key domain."""
+
+    name = "ARF"
+
+    def __init__(
+        self,
+        keys: Iterable[int] | np.ndarray,
+        total_bits: int | None = None,
+        *,
+        bits_per_key: float = 16.0,
+        key_bits: int = 64,
+        training_queries: Sequence[tuple[int, int]] = (),
+        seed: int = 0,  # unused; uniform harness signature
+    ) -> None:
+        super().__init__(key_bits)
+        self._keys = as_key_array(keys)
+        self.n_keys = int(self._keys.size)
+        if total_bits is None:
+            total_bits = max(64, int(round(bits_per_key * max(1, self.n_keys))))
+        # Each split adds 2 nodes at ~2 bits apiece.
+        self._max_nodes = max(3, total_bits // 2)
+        self._n_nodes = 1
+        top = (1 << key_bits) - 1
+        self._root = _Node(0, top, self.n_keys > 0)
+        self.probe_counter = 0
+        # ARF "first builds a full trie" from the data: split occupied
+        # leaves holding more than one key until each key is isolated (or
+        # half the node budget is spent), then training refines the shape.
+        self._presplit()
+        for lo, hi in training_queries:
+            self._train_one(lo, hi)
+
+    def _count_keys(self, lo: int, hi: int) -> int:
+        left = int(np.searchsorted(self._keys, np.uint64(lo), side="left"))
+        right = int(
+            np.searchsorted(self._keys, np.uint64(hi), side="right")
+        )
+        return right - left
+
+    def _presplit(self) -> None:
+        # Reserve a tenth of the node budget for query training.
+        budget = self._max_nodes - self._max_nodes // 10
+        queue = [self._root]
+        head = 0
+        while head < len(queue) and self._n_nodes + 2 <= budget:
+            node = queue[head]
+            head += 1
+            if node.lo >= node.hi or not node.occupied:
+                continue
+            mid = node.lo + (node.hi - node.lo) // 2
+            node.left = _Node(node.lo, mid, self._occupied(node.lo, mid))
+            node.right = _Node(mid + 1, node.hi, self._occupied(mid + 1, node.hi))
+            self._n_nodes += 2
+            for child in (node.left, node.right):
+                if child.occupied:
+                    queue.append(child)
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _occupied(self, lo: int, hi: int) -> bool:
+        i = int(np.searchsorted(self._keys, np.uint64(lo)))
+        return i < self.n_keys and int(self._keys[i]) <= hi
+
+    def _train_one(self, q_lo: int, q_hi: int) -> None:
+        """Split leaves until the (empty) query is answered negatively."""
+        if self._occupied(q_lo, q_hi):
+            return  # non-empty query: nothing to learn
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.hi < q_lo or node.lo > q_hi:
+                continue
+            if node.is_leaf:
+                if not node.occupied:
+                    continue
+                # Occupied leaf intersecting an empty query: split while
+                # budget allows and the leaf is divisible.
+                while (
+                    node.is_leaf
+                    and node.occupied
+                    and node.lo < node.hi
+                    and self._n_nodes + 2 <= self._max_nodes
+                ):
+                    mid = node.lo + (node.hi - node.lo) // 2
+                    node.left = _Node(
+                        node.lo, mid, self._occupied(node.lo, mid)
+                    )
+                    node.right = _Node(
+                        mid + 1, node.hi, self._occupied(mid + 1, node.hi)
+                    )
+                    self._n_nodes += 2
+                    for child in (node.left, node.right):
+                        if not (child.hi < q_lo or child.lo > q_hi):
+                            stack.append(child)
+                    break
+            else:
+                stack.append(node.left)
+                stack.append(node.right)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_range(self, lo: int, hi: int) -> bool:
+        self._check_range(lo, hi)
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            self.probe_counter += 1
+            if node.hi < lo or node.lo > hi:
+                continue
+            if node.is_leaf:
+                if node.occupied:
+                    return True
+                continue
+            stack.append(node.left)
+            stack.append(node.right)
+        return False
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """ARF accounting: 1 shape bit per node + 1 occupancy bit per leaf."""
+        leaves = (self._n_nodes + 1) // 2
+        return self._n_nodes + leaves
+
+    @property
+    def probe_count(self) -> int:
+        return self.probe_counter
+
+    def reset_counters(self) -> None:
+        self.probe_counter = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AdaptiveRangeFilter(n={self.n_keys}, nodes={self._n_nodes}, "
+            f"bits={self.size_in_bits()})"
+        )

@@ -1,0 +1,94 @@
+"""Common interface for every range filter in the repository.
+
+The bench harness (and the LSM / B+tree / R-tree substrates) treat all
+filters uniformly through this ABC: REncoder and its variants, Rosetta,
+SuRF, SNARF, Proteus, the plain Bloom filter and the prefix Bloom filter.
+
+Contract
+--------
+* ``query_range(lo, hi)`` / ``query_point(key)`` — one-sided: a ``False``
+  answer is always correct (no false negatives); ``True`` may be a false
+  positive.  This invariant is property-tested for every implementation.
+* ``size_in_bits()`` — the memory the structure actually occupies, used for
+  bits-per-key (BPK) accounting in all experiments.
+* ``probe_count`` — number of memory-probe-equivalent operations performed
+  since the last ``reset_counters()``; the harness reports it alongside
+  wall-clock throughput because in a pure-Python reproduction the probe
+  count is the architecture-independent signal behind the paper's
+  filter-throughput figures.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["RangeFilter", "as_key_array"]
+
+
+def as_key_array(keys: Iterable[int] | np.ndarray) -> np.ndarray:
+    """Normalise a key collection to a sorted, de-duplicated uint64 array."""
+    arr = np.asarray(list(keys) if not isinstance(keys, np.ndarray) else keys)
+    if arr.size and arr.dtype.kind not in "ui":
+        raise TypeError(f"keys must be integers, got dtype {arr.dtype}")
+    return np.unique(arr.astype(np.uint64, copy=False))
+
+
+class RangeFilter(abc.ABC):
+    """Abstract base class for approximate range-membership filters."""
+
+    #: Human-readable name used in result tables (overridden per class).
+    name: str = "filter"
+
+    def __init__(self, key_bits: int = 64) -> None:
+        if not 1 <= key_bits <= 64:
+            raise ValueError(f"key_bits must be in [1, 64], got {key_bits}")
+        self.key_bits = key_bits
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def query_range(self, lo: int, hi: int) -> bool:
+        """May the set contain any key in ``[lo, hi]`` (inclusive)?"""
+
+    def query_point(self, key: int) -> bool:
+        """May the set contain ``key``?  Default: degenerate range query."""
+        return self.query_range(key, key)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def size_in_bits(self) -> int:
+        """Occupied memory in bits."""
+
+    @property
+    def probe_count(self) -> int:
+        """Memory-probe-equivalents since the last reset (0 if untracked)."""
+        return 0
+
+    def reset_counters(self) -> None:
+        """Reset probe statistics.  Subclasses with counters override."""
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def bits_per_key(self, n_keys: int) -> float:
+        """Size in bits divided by the number of keys it was built for."""
+        if n_keys <= 0:
+            raise ValueError(f"n_keys must be positive, got {n_keys}")
+        return self.size_in_bits() / n_keys
+
+    def _check_range(self, lo: int, hi: int) -> None:
+        top = (1 << self.key_bits) - 1
+        if not 0 <= lo <= hi <= top:
+            raise ValueError(
+                f"invalid range [{lo}, {hi}] for {self.key_bits}-bit keys"
+            )
+
+    def query_many(self, ranges: Sequence[tuple[int, int]]) -> list[bool]:
+        """Answer a batch of range queries (harness convenience)."""
+        return [self.query_range(lo, hi) for lo, hi in ranges]

@@ -1,0 +1,134 @@
+"""Standard Bloom filter — the LSM-tree's default filter (Figures 3–4).
+
+A plain ``m``-bit Bloom filter over the keys themselves.  It answers point
+queries natively; for range queries it does what an LSM-tree with only
+Bloom filters must do: sequentially probe **every key in the range**
+(Section V-D: "Bloom filter handles range queries by sequentially checking
+the existence of all keys within the range"), which is exactly why range
+filters exist.
+
+Construction is vectorised; the number of hash functions defaults to the
+standard optimum ``k = round(ln 2 · m / n)`` (clamped to [1, 16]).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.filters.base import RangeFilter, as_key_array
+from repro.hashing.mix64 import HashFamily
+
+__all__ = ["BloomFilter", "optimal_k"]
+
+
+def optimal_k(bits: int, n_keys: int, cap: int = 16) -> int:
+    """The FPR-optimal hash count ``round(ln2 · m/n)``, clamped to [1, cap]."""
+    if n_keys <= 0:
+        return 1
+    k = int(round(np.log(2.0) * bits / n_keys))
+    return max(1, min(cap, k))
+
+
+class BloomFilter(RangeFilter):
+    """Textbook Bloom filter with vectorised bulk construction."""
+
+    name = "Bloom"
+
+    def __init__(
+        self,
+        keys: Iterable[int] | np.ndarray,
+        total_bits: int | None = None,
+        *,
+        bits_per_key: float = 16.0,
+        key_bits: int = 64,
+        k: int | None = None,
+        seed: int = 0,
+        max_range_probes: int = 1 << 20,
+    ) -> None:
+        super().__init__(key_bits)
+        key_arr = as_key_array(keys)
+        self.n_keys = int(key_arr.size)
+        if total_bits is None:
+            total_bits = max(64, int(round(bits_per_key * max(1, self.n_keys))))
+        self.bits = max(64, (total_bits // 64) * 64)
+        self.k = k if k is not None else optimal_k(self.bits, self.n_keys)
+        self.seed = seed
+        self.max_range_probes = max_range_probes
+        self._array = np.zeros(self.bits // 64, dtype=np.uint64)
+        self._family = HashFamily(self.k, self.bits, seed)
+        self.probe_counter = 0
+        if key_arr.size:
+            positions = self._family.positions_array(key_arr)
+            words = positions >> np.uint64(6)
+            masks = np.uint64(1) << (positions & np.uint64(63))
+            for i in range(self.k):
+                np.bitwise_or.at(self._array, words[i], masks[i])
+
+    def insert(self, key: int) -> None:
+        """Insert one key (used by the memtable-flush path)."""
+        for pos in self._family.positions(key):
+            self._array[pos >> 6] |= np.uint64(1 << (pos & 63))
+        self.n_keys += 1
+
+    def query_point(self, key: int) -> bool:
+        self._check_range(key, key)
+        self.probe_counter += self.k
+        for pos in self._family.positions(key):
+            if not (int(self._array[pos >> 6]) >> (pos & 63)) & 1:
+                return False
+        return True
+
+    def query_range(self, lo: int, hi: int) -> bool:
+        """Probe every key in the range — the paper's baseline behaviour.
+
+        Ranges wider than ``max_range_probes`` conservatively return True
+        (an LSM-tree would not enumerate billions of candidate keys; it
+        would just read the SSTable).
+        """
+        self._check_range(lo, hi)
+        if hi - lo + 1 > self.max_range_probes:
+            return True
+        return any(self.query_point(key) for key in range(lo, hi + 1))
+
+    def union(self, other: "BloomFilter") -> "BloomFilter":
+        """Bloom filter for the union of the two key sets (OR of arrays).
+
+        Requires identical geometry (bits, k, seed); standard Bloom union
+        semantics — never a false negative.
+        """
+        if (
+            self.bits != other.bits
+            or self.k != other.k
+            or self.seed != other.seed
+            or self.key_bits != other.key_bits
+        ):
+            raise ValueError("filters have incompatible geometry")
+        merged = BloomFilter(
+            [], self.bits, key_bits=self.key_bits, k=self.k, seed=self.seed
+        )
+        merged._array[:] = self._array | other._array
+        merged.n_keys = self.n_keys + other.n_keys
+        return merged
+
+    @property
+    def p1(self) -> float:
+        """Load factor of the bit array."""
+        return float(np.bitwise_count(self._array).sum()) / self.bits
+
+    def size_in_bits(self) -> int:
+        return self.bits
+
+    @property
+    def probe_count(self) -> int:
+        return self.probe_counter
+
+    def reset_counters(self) -> None:
+        self.probe_counter = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BloomFilter(n={self.n_keys}, bits={self.bits}, k={self.k}, "
+            f"p1={self.p1:.3f})"
+        )

@@ -1,0 +1,102 @@
+"""Prefix Bloom filter (Section II-B) — fixed-prefix range filtering.
+
+Inserts a single fixed-length prefix of each key into a Bloom filter.  A
+range query is answered by probing every distinct prefix that covers the
+range; with prefix length ``p``, a range of size ``R`` touches at most
+``R / 2^(L-p) + 1`` prefixes (1–2 for the paper's workloads with
+``p = 32``).  This is both a historical baseline and the second component
+of Proteus, whose "NS" default is exactly a prefix Bloom filter with a
+32-bit prefix.
+
+The structure cannot distinguish keys that share the stored prefix, which
+is why its FPR degrades on correlated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.filters.base import RangeFilter, as_key_array
+from repro.filters.bloom import BloomFilter
+
+__all__ = ["PrefixBloomFilter"]
+
+
+class PrefixBloomFilter(RangeFilter):
+    """Bloom filter over fixed-length key prefixes."""
+
+    name = "PrefixBloom"
+
+    def __init__(
+        self,
+        keys: Iterable[int] | np.ndarray,
+        total_bits: int | None = None,
+        *,
+        prefix_len: int = 32,
+        bits_per_key: float = 16.0,
+        key_bits: int = 64,
+        k: int | None = None,
+        seed: int = 0,
+        max_prefix_probes: int = 1 << 16,
+    ) -> None:
+        super().__init__(key_bits)
+        if not 1 <= prefix_len <= key_bits:
+            raise ValueError(
+                f"prefix_len must be in [1, {key_bits}], got {prefix_len}"
+            )
+        key_arr = as_key_array(keys)
+        self.n_keys = int(key_arr.size)
+        self.prefix_len = prefix_len
+        self._shift = key_bits - prefix_len
+        if total_bits is None:
+            total_bits = max(64, int(round(bits_per_key * max(1, self.n_keys))))
+        prefixes = (
+            np.unique(key_arr >> np.uint64(self._shift))
+            if key_arr.size
+            else key_arr
+        )
+        self.n_prefixes = int(prefixes.size)
+        self.max_prefix_probes = max_prefix_probes
+        self._bloom = BloomFilter(
+            prefixes,
+            total_bits,
+            key_bits=key_bits,
+            k=k,
+            seed=seed,
+        )
+        # The inner Bloom sizes k by its own key count (the prefixes).
+        if k is None and self.n_prefixes:
+            self._bloom.k = self._bloom.k  # already computed from prefixes
+
+    def query_range(self, lo: int, hi: int) -> bool:
+        """Probe each prefix granule overlapping ``[lo, hi]``."""
+        self._check_range(lo, hi)
+        first = lo >> self._shift
+        last = hi >> self._shift
+        if last - first + 1 > self.max_prefix_probes:
+            return True  # conservative, never a false negative
+        return any(
+            self._bloom.query_point(p) for p in range(first, last + 1)
+        )
+
+    def query_point(self, key: int) -> bool:
+        self._check_range(key, key)
+        return self._bloom.query_point(key >> self._shift)
+
+    def size_in_bits(self) -> int:
+        return self._bloom.size_in_bits()
+
+    @property
+    def probe_count(self) -> int:
+        return self._bloom.probe_count
+
+    def reset_counters(self) -> None:
+        self._bloom.reset_counters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PrefixBloomFilter(n={self.n_keys}, prefixes={self.n_prefixes}, "
+            f"prefix_len={self.prefix_len}, bits={self.size_in_bits()})"
+        )

@@ -1,0 +1,109 @@
+"""2-D spatial range filter via Z-order (the paper's Use Case 3 recipe,
+packaged as a standalone filter).
+
+"We first transfer [2-D keys] to 1-dimensional by Z-order and then store
+them in the range filters": this wrapper interleaves each point's
+coordinates into a Morton code, stores the codes in any 1-D
+:class:`~repro.filters.base.RangeFilter` (REncoder by default), and
+answers rectangle queries by decomposing the rectangle into Z-intervals
+and probing each.
+
+One-sided like every filter here: a ``False`` proves the rectangle holds
+no stored point.  Accuracy depends on the Z-decomposition granularity
+(``max_zranges``) and on building the inner filter with an ``rmax``
+matched to the largest Z-interval a query can produce — the constructor
+derives it from ``max_query_extent``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.filters.base import RangeFilter
+from repro.storage.zorder import interleave, rect_to_zranges
+
+__all__ = ["ZOrderRangeFilter"]
+
+
+class ZOrderRangeFilter:
+    """Rectangle-membership filter over 2-D integer points."""
+
+    def __init__(
+        self,
+        points: Iterable[tuple[int, int]],
+        *,
+        coord_bits: int = 32,
+        bits_per_key: float = 20.0,
+        max_query_extent: int = 64,
+        max_zranges: int = 256,
+        filter_factory: Callable[..., RangeFilter] | None = None,
+        seed: int = 0,
+    ) -> None:
+        if not 1 <= coord_bits <= 32:
+            raise ValueError(f"coord_bits must be in [1, 32], got {coord_bits}")
+        if max_query_extent < 1:
+            raise ValueError(
+                f"max_query_extent must be positive, got {max_query_extent}"
+            )
+        self.coord_bits = coord_bits
+        self.max_zranges = max_zranges
+        codes = np.unique(
+            np.array(
+                [interleave(x, y, coord_bits) for x, y in points],
+                dtype=np.uint64,
+            )
+        )
+        self.n_points = int(codes.size)
+        # A square cell of side s covers a Z-interval of s^2 codes; the
+        # largest cell the decomposition emits has side max_query_extent.
+        z_rmax = max(2, min(1 << (2 * coord_bits),
+                            max_query_extent * max_query_extent))
+        if filter_factory is None:
+            # Imported lazily: repro.core.rencoder itself imports
+            # repro.filters.base, and a module-level import here would
+            # close that cycle during package initialisation.
+            from repro.core.rencoder import REncoder
+
+            self.filter: RangeFilter = REncoder(
+                codes,
+                bits_per_key=bits_per_key,
+                key_bits=2 * coord_bits,
+                rmax=z_rmax,
+                seed=seed,
+            )
+        else:
+            self.filter = filter_factory(codes)
+
+    # ------------------------------------------------------------------
+    def query_rect(self, x_lo: int, x_hi: int, y_lo: int, y_hi: int) -> bool:
+        """May any stored point lie in the rectangle (inclusive bounds)?"""
+        ranges = rect_to_zranges(
+            x_lo, x_hi, y_lo, y_hi, self.coord_bits, self.max_zranges
+        )
+        return any(self.filter.query_range(lo, hi) for lo, hi in ranges)
+
+    def query_point(self, x: int, y: int) -> bool:
+        """May the exact point be stored?"""
+        z = interleave(x, y, self.coord_bits)
+        return self.filter.query_range(z, z)
+
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Occupied memory in bits (the inner filter's)."""
+        return self.filter.size_in_bits()
+
+    @property
+    def probe_count(self) -> int:
+        return self.filter.probe_count
+
+    def reset_counters(self) -> None:
+        """Reset the inner filter's probe statistics."""
+        self.filter.reset_counters()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ZOrderRangeFilter(points={self.n_points}, "
+            f"coord_bits={self.coord_bits}, bits={self.size_in_bits()})"
+        )

@@ -1,0 +1,189 @@
+"""SuRF — the Succinct Range Filter (SIGMOD 2018) baseline.
+
+SuRF prunes the key trie at each key's shortest distinguishing byte-prefix
+and encodes the result in the LOUDS-DS hybrid of the SuRF paper
+(:class:`~repro.trie.fst.FastSuccinctTrie`: 256-bit-bitmap LOUDS-Dense
+head over a LOUDS-Sparse body).  Because everything below the pruning
+point is discarded, queries that agree with a stored prefix cannot be
+refuted — SuRF's characteristic false positives, which explode on
+correlated workloads (the paper's Figure 9).
+
+Suffix modes (matching the SuRF paper; the REncoder paper evaluates
+SuRF-Mixed):
+
+* ``base``  — trie only;
+* ``hash``  — ``hash_bits`` of a key hash per leaf: sharpens *point*
+  queries only (a range probe cannot use a hash);
+* ``real``  — ``real_bits`` of the key's bits just below the pruned
+  prefix: sharpens both point and range queries;
+* ``mixed`` — both (default, with 4 + 4 bits).
+
+SuRF has no memory knob: its size is whatever the pruned trie needs, which
+is why it appears as a flat line across the BPK axis in the paper's
+figures.  ``size_in_bits`` uses succinct accounting (512 bits per dense
+node, ~10.6 bits per sparse edge, plus suffix bits).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.filters.base import RangeFilter, as_key_array
+from repro.hashing.mix64 import mix64
+from repro.trie.fst import FastSuccinctTrie
+
+__all__ = ["SuRF"]
+
+_MODES = ("base", "hash", "real", "mixed")
+
+
+class SuRF(RangeFilter):
+    """Succinct Range Filter over fixed-width integer keys."""
+
+    name = "SuRF"
+
+    def __init__(
+        self,
+        keys: Iterable[int] | np.ndarray,
+        *,
+        mode: str = "mixed",
+        hash_bits: int | None = None,
+        real_bits: int | None = None,
+        key_bits: int = 64,
+        dense_ratio: int = 16,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(key_bits)
+        if key_bits % 8:
+            raise ValueError(
+                f"SuRF operates on byte-aligned keys; key_bits={key_bits}"
+            )
+        if mode not in _MODES:
+            raise ValueError(f"mode must be one of {_MODES}, got {mode!r}")
+        self.mode = mode
+        if hash_bits is None:
+            hash_bits = {"base": 0, "hash": 8, "real": 0, "mixed": 4}[mode]
+        if real_bits is None:
+            real_bits = {"base": 0, "hash": 0, "real": 8, "mixed": 4}[mode]
+        if mode in ("base", "real"):
+            hash_bits = 0
+        if mode in ("base", "hash"):
+            real_bits = 0
+        self.hash_bits = hash_bits
+        self.real_bits = real_bits
+        self.seed = seed
+
+        key_arr = as_key_array(keys)
+        if key_arr.size and int(key_arr[-1]) >= (1 << key_bits):
+            raise ValueError("key outside the declared key_bits domain")
+        self.n_keys = int(key_arr.size)
+        self.trie = FastSuccinctTrie(
+            key_arr, key_bytes=key_bits // 8, dense_ratio=dense_ratio
+        )
+        self._build_suffixes(key_arr)
+        self.probe_counter = 0
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build_suffixes(self, keys: np.ndarray) -> None:
+        """Per-key suffix records, indexed by key position."""
+        n = self.n_keys
+        self._hash_suffix = np.zeros(n, dtype=np.uint16)
+        if self.hash_bits:
+            for idx in range(n):
+                self._hash_suffix[idx] = mix64(int(keys[idx]) ^ self.seed) & (
+                    (1 << self.hash_bits) - 1
+                )
+        self._keys_ref = keys  # used only to slice real-suffix bits
+
+    def _real_suffix(self, key_idx: int, depth: int) -> tuple[int, int]:
+        """(suffix value, width) of the real bits just below the prefix."""
+        if not self.real_bits:
+            return 0, 0
+        below = self.key_bits - 8 * depth
+        width = min(self.real_bits, below)
+        if not width:
+            return 0, 0
+        key = int(self._keys_ref[key_idx])
+        return (key >> (below - width)) & ((1 << width) - 1), width
+
+    # ------------------------------------------------------------------
+    # leaf geometry helpers
+    # ------------------------------------------------------------------
+    def _leaf_bounds(self, key_idx: int, depth: int) -> tuple[int, int]:
+        """Min and max full keys compatible with a leaf's stored bits."""
+        lo = self.trie.prefix_value(key_idx, depth)
+        below = self.key_bits - 8 * depth
+        suffix, width = self._real_suffix(key_idx, depth)
+        unknown = below - width
+        if width:
+            lo |= suffix << unknown
+        return lo, (lo | ((1 << unknown) - 1)) if unknown else lo
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def query_point(self, key: int) -> bool:
+        self._check_range(key, key)
+        self.probe_counter += 1
+        found = self.trie.lookup(self._bytes(key))
+        if found is None:
+            return False
+        key_idx, depth = found
+        if self.hash_bits:
+            expect = mix64(key ^ self.seed) & ((1 << self.hash_bits) - 1)
+            if int(self._hash_suffix[key_idx]) != expect:
+                return False
+        if self.real_bits:
+            lo, hi = self._leaf_bounds(key_idx, depth)
+            if not lo <= key <= hi:
+                return False
+        return True
+
+    def query_range(self, lo: int, hi: int) -> bool:
+        """``moveToKeyGreaterThan(lo)`` then compare with ``hi``."""
+        self._check_range(lo, hi)
+        self.probe_counter += 1
+        if lo == hi:
+            return self.query_point(lo)
+
+        def reject(key_idx: int, depth: int) -> bool:
+            # Ambiguous leaf (stored prefix is a prefix of lo): the real
+            # suffix may prove every compatible key is below lo.
+            _, max_key = self._leaf_bounds(key_idx, depth)
+            return max_key < lo
+
+        found = self.trie.lower_bound(self._bytes(lo), reject=reject)
+        if found is None:
+            return False
+        key_idx, depth, _ = found
+        min_key, _ = self._leaf_bounds(key_idx, depth)
+        return min_key <= hi
+
+    def _bytes(self, key: int) -> bytes:
+        return key.to_bytes(self.key_bits // 8, "big")
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        return self.trie.size_in_bits() + self.n_keys * (
+            self.hash_bits + self.real_bits
+        )
+
+    @property
+    def probe_count(self) -> int:
+        return self.probe_counter
+
+    def reset_counters(self) -> None:
+        self.probe_counter = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SuRF(mode={self.mode}, n={self.n_keys}, "
+            f"cutoff={self.trie.cutoff}, bits={self.size_in_bits()}, "
+            f"bpk={self.size_in_bits() / max(1, self.n_keys):.1f})"
+        )

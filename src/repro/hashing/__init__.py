@@ -1,0 +1,33 @@
+"""Hash functions used by every filter in the repository.
+
+Two families are provided:
+
+* :mod:`repro.hashing.bobhash` — a faithful scalar implementation of Bob
+  Jenkins' ``lookup3`` hash, the function the paper's C++ implementation
+  uses ("32-bit Bob Hash with random initial seeds").
+* :mod:`repro.hashing.mix64` — a splitmix64-style finalizer family that is
+  vectorisable with numpy and is the default for bulk filter construction.
+
+Both families expose the same contract: a deterministic map from a 64-bit
+integer (or numpy array of them) and a seed to a 64-bit hash value.  Filters
+only require uniformity, so the two families are interchangeable; the
+vectorised family is the default because pure-Python per-key hashing would
+dominate build time.
+"""
+
+from repro.hashing.bobhash import bobhash32, bobhash64
+from repro.hashing.mix64 import (
+    HashFamily,
+    mix64,
+    mix64_array,
+    seeds_for,
+)
+
+__all__ = [
+    "bobhash32",
+    "bobhash64",
+    "HashFamily",
+    "mix64",
+    "mix64_array",
+    "seeds_for",
+]

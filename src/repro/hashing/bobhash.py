@@ -1,0 +1,106 @@
+"""Bob Jenkins' lookup3 hash (scalar, faithful).
+
+The REncoder paper states: "The hash functions we use are 32-bit Bob Hash
+with random initial seeds."  This module implements the ``lookup3``
+``hashlittle`` routine for byte strings, plus convenience wrappers hashing
+64-bit integer keys.  It is used by tests as a reference family and is
+selectable for any filter via ``hash_family="bob"``; the numpy-vectorised
+family in :mod:`repro.hashing.mix64` is the performance default.
+
+Reference: Bob Jenkins, "Hash functions for hash table lookup",
+http://burtleburtle.net/bob/c/lookup3.c (public domain).
+"""
+
+from __future__ import annotations
+
+_MASK32 = 0xFFFFFFFF
+
+
+def _rot(x: int, k: int) -> int:
+    """Rotate a 32-bit value ``x`` left by ``k`` bits."""
+    x &= _MASK32
+    return ((x << k) | (x >> (32 - k))) & _MASK32
+
+
+def _mix(a: int, b: int, c: int) -> tuple[int, int, int]:
+    """lookup3 ``mix()``: reversibly mix three 32-bit values."""
+    a = (a - c) & _MASK32
+    a ^= _rot(c, 4)
+    c = (c + b) & _MASK32
+    b = (b - a) & _MASK32
+    b ^= _rot(a, 6)
+    a = (a + c) & _MASK32
+    c = (c - b) & _MASK32
+    c ^= _rot(b, 8)
+    b = (b + a) & _MASK32
+    a = (a - c) & _MASK32
+    a ^= _rot(c, 16)
+    c = (c + b) & _MASK32
+    b = (b - a) & _MASK32
+    b ^= _rot(a, 19)
+    a = (a + c) & _MASK32
+    c = (c - b) & _MASK32
+    c ^= _rot(b, 4)
+    b = (b + a) & _MASK32
+    return a, b, c
+
+
+def _final(a: int, b: int, c: int) -> tuple[int, int, int]:
+    """lookup3 ``final()``: irreversibly finalize three 32-bit values."""
+    c ^= b
+    c = (c - _rot(b, 14)) & _MASK32
+    a ^= c
+    a = (a - _rot(c, 11)) & _MASK32
+    b ^= a
+    b = (b - _rot(a, 25)) & _MASK32
+    c ^= b
+    c = (c - _rot(b, 16)) & _MASK32
+    a ^= c
+    a = (a - _rot(c, 4)) & _MASK32
+    b ^= a
+    b = (b - _rot(a, 14)) & _MASK32
+    c ^= b
+    c = (c - _rot(b, 24)) & _MASK32
+    return a, b, c
+
+
+def bobhash32(data: bytes, seed: int = 0) -> int:
+    """Hash a byte string to a 32-bit value (lookup3 ``hashlittle``).
+
+    ``seed`` plays the role of ``initval``; the paper uses "random initial
+    seeds" to derive independent hash functions from the same routine.
+    """
+    length = len(data)
+    a = b = c = (0xDEADBEEF + length + (seed & _MASK32)) & _MASK32
+
+    offset = 0
+    remaining = length
+    while remaining > 12:
+        a = (a + int.from_bytes(data[offset : offset + 4], "little")) & _MASK32
+        b = (b + int.from_bytes(data[offset + 4 : offset + 8], "little")) & _MASK32
+        c = (c + int.from_bytes(data[offset + 8 : offset + 12], "little")) & _MASK32
+        a, b, c = _mix(a, b, c)
+        offset += 12
+        remaining -= 12
+
+    tail = data[offset:]
+    if tail:
+        padded = tail + b"\x00" * (12 - len(tail))
+        a = (a + int.from_bytes(padded[0:4], "little")) & _MASK32
+        b = (b + int.from_bytes(padded[4:8], "little")) & _MASK32
+        c = (c + int.from_bytes(padded[8:12], "little")) & _MASK32
+        a, b, c = _final(a, b, c)
+    return c
+
+
+def bobhash64(key: int, seed: int = 0) -> int:
+    """Hash a 64-bit integer key to a 64-bit value using two lookup3 passes.
+
+    The low 32 bits come from hashing the key's little-endian bytes with
+    ``seed``; the high 32 bits use ``seed ^ 0x9E3779B9`` so the two halves
+    are independent.
+    """
+    data = (key & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little")
+    lo = bobhash32(data, seed)
+    hi = bobhash32(data, seed ^ 0x9E3779B9)
+    return (hi << 32) | lo

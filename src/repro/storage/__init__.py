@@ -1,0 +1,25 @@
+"""Storage substrates the paper's use cases run on: a leveling LSM-tree
+(Use Case 1), a B+tree with leaf filters (Use Case 2), an R-tree with
+Z-order leaf filters (Use Case 3), and the shared two-level cost model."""
+
+from repro.storage.btree import BPlusTree
+from repro.storage.env import IoStats, StorageEnv
+from repro.storage.lsm import LSMTree
+from repro.storage.memtable import TOMBSTONE, MemTable
+from repro.storage.rtree import RTree
+from repro.storage.sstable import SSTable
+from repro.storage.zorder import deinterleave, interleave, rect_to_zranges
+
+__all__ = [
+    "BPlusTree",
+    "IoStats",
+    "StorageEnv",
+    "LSMTree",
+    "TOMBSTONE",
+    "MemTable",
+    "RTree",
+    "SSTable",
+    "deinterleave",
+    "interleave",
+    "rect_to_zranges",
+]

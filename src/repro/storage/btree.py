@@ -1,0 +1,208 @@
+"""B+tree with per-leaf range filters — the paper's Use Case 2.
+
+"Typically, a B+tree has a large fanout and its leaf nodes are not cached
+in memory.  To save unnecessary leaf node accesses, we can maintain a
+range filter in memory for each leaf node so that we visit a particular
+leaf node only when the corresponding range filter returns positive."
+
+Internal nodes are in-memory; each leaf access is a simulated
+second-level read (``StorageEnv``).  Every leaf owns an optional range
+filter, rebuilt on leaf split; empty point and range queries that the
+filter rejects cost zero I/O.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.filters.base import RangeFilter
+from repro.storage.env import StorageEnv
+
+__all__ = ["BPlusTree"]
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "filter")
+
+    def __init__(self) -> None:
+        self.keys: list[int] = []
+        self.values: list[Any] = []
+        self.next: "_Leaf | None" = None
+        self.filter: RangeFilter | None = None
+
+
+class _Internal:
+    __slots__ = ("keys", "children")
+
+    def __init__(self) -> None:
+        #: children[i] holds keys < keys[i]; children[-1] holds the rest.
+        self.keys: list[int] = []
+        self.children: list[Any] = []
+
+
+class BPlusTree:
+    """Order-``fanout`` B+tree with filter-guarded leaf reads."""
+
+    def __init__(
+        self,
+        fanout: int = 64,
+        filter_factory: Callable[[np.ndarray], "RangeFilter | None"] | None = None,
+        env: StorageEnv | None = None,
+    ) -> None:
+        if fanout < 4:
+            raise ValueError(f"fanout must be >= 4, got {fanout}")
+        self.fanout = fanout
+        self.filter_factory = filter_factory
+        self.env = env if env is not None else StorageEnv()
+        self._root: _Leaf | _Internal = _Leaf()
+        self.n_keys = 0
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def insert(self, key: int, value: Any) -> None:
+        """Insert or overwrite ``key``; splits propagate to the root."""
+        split = self._insert(self._root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Internal()
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+
+    def _insert(self, node, key: int, value: Any):
+        if isinstance(node, _Leaf):
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+            else:
+                node.keys.insert(i, key)
+                node.values.insert(i, value)
+                self.n_keys += 1
+            if len(node.keys) > self.fanout:
+                return self._split_leaf(node)
+            self._note_leaf_insert(node, key)
+            return None
+        i = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[i], key, value)
+        if split is not None:
+            sep, right = split
+            node.keys.insert(i, sep)
+            node.children.insert(i + 1, right)
+            if len(node.children) > self.fanout:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, leaf: _Leaf):
+        mid = len(leaf.keys) // 2
+        right = _Leaf()
+        right.keys = leaf.keys[mid:]
+        right.values = leaf.values[mid:]
+        leaf.keys = leaf.keys[:mid]
+        leaf.values = leaf.values[:mid]
+        right.next = leaf.next
+        leaf.next = right
+        self._refresh_filter(leaf)
+        self._refresh_filter(right)
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Internal):
+        mid = len(node.children) // 2
+        right = _Internal()
+        sep = node.keys[mid - 1]
+        right.keys = node.keys[mid:]
+        right.children = node.children[mid:]
+        node.keys = node.keys[: mid - 1]
+        node.children = node.children[:mid]
+        return sep, right
+
+    def _refresh_filter(self, leaf: _Leaf) -> None:
+        """Rebuild the leaf's filter (the paper rebuilds on maintenance)."""
+        if self.filter_factory is not None and leaf.keys:
+            leaf.filter = self.filter_factory(
+                np.array(leaf.keys, dtype=np.uint64)
+            )
+
+    def _note_leaf_insert(self, leaf: _Leaf, key: int) -> None:
+        """Keep the leaf filter consistent after an in-place insert.
+
+        Filters that support incremental ``insert`` (REncoder, Bloom) are
+        updated in place; others are dropped until :meth:`rebuild_filters`
+        (an absent filter means unguarded — correct but unfiltered — reads).
+        """
+        if leaf.filter is None:
+            return
+        insert = getattr(leaf.filter, "insert", None)
+        if callable(insert):
+            insert(key)
+        else:
+            leaf.filter = None
+
+    def rebuild_filters(self) -> None:
+        """Rebuild every leaf filter (e.g. after a bulk insert phase)."""
+        for leaf in self.leaves():
+            self._refresh_filter(leaf)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _find_leaf(self, key: int) -> _Leaf:
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[bisect.bisect_right(node.keys, key)]
+        return node
+
+    def get(self, key: int) -> tuple[bool, Any]:
+        """Filter-guarded point lookup."""
+        leaf = self._find_leaf(key)
+        if leaf.filter is not None and not leaf.filter.query_point(key):
+            return False, None
+        i = bisect.bisect_left(leaf.keys, key)
+        found = i < len(leaf.keys) and leaf.keys[i] == key
+        self.env.read(useful=found)
+        return (True, leaf.values[i]) if found else (False, None)
+
+    def range_query(self, lo: int, hi: int) -> list[tuple[int, Any]]:
+        """Filter-guarded range scan across the leaf chain."""
+        if lo > hi:
+            raise ValueError(f"invalid range [{lo}, {hi}]")
+        out: list[tuple[int, Any]] = []
+        leaf: _Leaf | None = self._find_leaf(lo)
+        while leaf is not None and (not leaf.keys or leaf.keys[0] <= hi):
+            if leaf.keys:
+                if leaf.filter is None or leaf.filter.query_range(lo, hi):
+                    left = bisect.bisect_left(leaf.keys, lo)
+                    right = bisect.bisect_right(leaf.keys, hi)
+                    self.env.read(useful=right > left)
+                    out.extend(
+                        (leaf.keys[i], leaf.values[i])
+                        for i in range(left, right)
+                    )
+            leaf = leaf.next
+        return out
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def leaves(self) -> Iterable[_Leaf]:
+        """All leaves, left to right (via the leaf chain)."""
+        node = self._root
+        while isinstance(node, _Internal):
+            node = node.children[0]
+        while node is not None:
+            yield node
+            node = node.next
+
+    def filter_bits(self) -> int:
+        """Total memory spent on leaf filters."""
+        return sum(
+            leaf.filter.size_in_bits()
+            for leaf in self.leaves()
+            if leaf.filter is not None
+        )
+
+    def __len__(self) -> int:
+        return self.n_keys

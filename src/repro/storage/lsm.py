@@ -1,0 +1,223 @@
+"""Log-structured merge tree — the paper's primary use case (Use Case 1).
+
+An LSM-tree with:
+
+* a sorted memtable flushed to level 0 when full;
+* two compaction policies:
+
+  - ``"leveling"`` (default): a level that exceeds its capacity is merged
+    *together with the next level* into a single run — few runs, cheap
+    reads, write-amplified;
+  - ``"tiering"``: a full level's runs are merged into **one new run
+    appended to the next level**, which may therefore hold several
+    overlapping runs — cheap writes, but every read must consult every
+    run, which is exactly the regime where per-run range filters earn
+    their keep (the ablation bench quantifies this);
+
+* shadowed versions dropped on merge, tombstones dropped at the bottom;
+* a range filter per SSTable, rebuilt on every flush/compaction exactly
+  as the paper prescribes, via a pluggable ``filter_factory``.
+
+Reads are filter-first: a point or range query consults each candidate
+table's filter and pays a simulated second-level read (``StorageEnv``)
+only on positives.  The tree exposes the counters the paper's Figures 3–4
+plot: filter probes, total I/Os, and wasted (false-positive) I/Os.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.storage.env import StorageEnv
+from repro.storage.memtable import TOMBSTONE, MemTable
+from repro.storage.sstable import FilterFactory, SSTable
+
+__all__ = ["LSMTree"]
+
+
+class LSMTree:
+    """Leveling LSM-tree with per-SSTable range filters."""
+
+    def __init__(
+        self,
+        filter_factory: FilterFactory | None = None,
+        *,
+        memtable_capacity: int = 4096,
+        base_capacity: int = 4,
+        ratio: int = 4,
+        policy: str = "leveling",
+        env: StorageEnv | None = None,
+    ) -> None:
+        if base_capacity < 1:
+            raise ValueError(f"base_capacity must be >= 1, got {base_capacity}")
+        if ratio < 2:
+            raise ValueError(f"ratio must be >= 2, got {ratio}")
+        if policy not in ("leveling", "tiering"):
+            raise ValueError(
+                f'policy must be "leveling" or "tiering", got {policy!r}'
+            )
+        self.policy = policy
+        self.filter_factory = filter_factory
+        self.env = env if env is not None else StorageEnv()
+        self.memtable = MemTable(memtable_capacity)
+        #: levels[0] is newest-first and may overlap; deeper levels are
+        #: sorted, non-overlapping runs.
+        self.levels: list[list[SSTable]] = [[]]
+        self.base_capacity = base_capacity
+        self.ratio = ratio
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, key: int, value: Any) -> None:
+        """Insert or overwrite ``key`` (may trigger a flush)."""
+        if value is TOMBSTONE:
+            raise ValueError("use delete() to remove keys")
+        self.memtable.put(key, value)
+        if self.memtable.full:
+            self.flush()
+
+    def delete(self, key: int) -> None:
+        """Delete ``key`` via a tombstone (may trigger a flush)."""
+        self.memtable.delete(key)
+        if self.memtable.full:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write the memtable as a new level-0 SSTable."""
+        if not len(self.memtable):
+            return
+        table = SSTable(self.memtable.items(), self.filter_factory, self.env)
+        self.levels[0].insert(0, table)
+        self.memtable.clear()
+        self._maybe_compact(0)
+
+    def _capacity(self, level: int) -> int:
+        if self.policy == "tiering":
+            # Each tier holds up to `ratio` runs (level 0: base_capacity).
+            return self.base_capacity if level == 0 else self.ratio
+        return self.base_capacity * (self.ratio**level)
+
+    def _maybe_compact(self, level: int) -> None:
+        while level < len(self.levels) and (
+            len(self.levels[level]) > self._capacity(level)
+        ):
+            self._compact(level)
+            level += 1
+
+    def _compact(self, level: int) -> None:
+        """Merge a full level into the next, per the compaction policy."""
+        if level + 1 >= len(self.levels):
+            self.levels.append([])
+        if self.policy == "tiering":
+            # Merge only this level's runs; the result is a new overlapping
+            # run of the next tier (newest first, like level 0).
+            sources = self.levels[level]
+            self.levels[level] = []
+            merged = self._merge(
+                sources,
+                drop_tombstones=level + 2 == len(self.levels)
+                and not self.levels[level + 1],
+            )
+            if merged:
+                self.levels[level + 1].insert(
+                    0, SSTable(merged, self.filter_factory, self.env)
+                )
+            return
+        sources = self.levels[level] + self.levels[level + 1]
+        self.levels[level] = []
+        merged = self._merge(sources, drop_tombstones=level + 2 == len(self.levels))
+        # Rebuild as a single run (one table; fine at simulation scale).
+        self.levels[level + 1] = (
+            [SSTable(merged, self.filter_factory, self.env)] if merged else []
+        )
+
+    def _merge(
+        self, tables: list[SSTable], drop_tombstones: bool
+    ) -> list[tuple[int, Any]]:
+        """Newest-wins merge of whole tables, dropping shadowed versions."""
+        latest: dict[int, Any] = {}
+        # Oldest first so newer tables overwrite.
+        for table in reversed(tables):
+            for key, value in table.scan():
+                latest[key] = value
+        items = sorted(latest.items())
+        if drop_tombstones:
+            items = [(k, v) for k, v in items if v is not TOMBSTONE]
+        return items
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def _tables_newest_first(self) -> Iterator[SSTable]:
+        for table in self.levels[0]:
+            yield table
+        for level in self.levels[1:]:
+            yield from level
+
+    def get(self, key: int) -> tuple[bool, Any]:
+        """Point lookup: ``(found, value)``; tombstones read as not found."""
+        found, value = self.memtable.get(key)
+        if found:
+            return (False, None) if value is TOMBSTONE else (True, value)
+        for table in self._tables_newest_first():
+            hit, value = table.query_point(key)
+            if hit:
+                return (False, None) if value is TOMBSTONE else (True, value)
+        return False, None
+
+    def range_query(self, lo: int, hi: int) -> list[tuple[int, Any]]:
+        """All live (key, value) pairs in ``[lo, hi]``, ascending."""
+        if lo > hi:
+            raise ValueError(f"invalid range [{lo}, {hi}]")
+        result: dict[int, Any] = {}
+        # Oldest first so newer versions overwrite.
+        for table in reversed(list(self._tables_newest_first())):
+            for key, value in table.query_range(lo, hi):
+                result[key] = value
+        for key, value in self.memtable.range_items(lo, hi):
+            result[key] = value
+        return [
+            (k, v) for k, v in sorted(result.items()) if v is not TOMBSTONE
+        ]
+
+    def range_empty(self) -> bool:  # pragma: no cover - convenience
+        """True iff the tree holds no live keys."""
+        return len(self) == 0
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Live key count (scans; simulation-scale only)."""
+        seen: dict[int, Any] = {}
+        for table in reversed(list(self._tables_newest_first())):
+            for key, value in table.scan():
+                seen[key] = value
+        for key, value in self.memtable.items():
+            seen[key] = value
+        return sum(1 for v in seen.values() if v is not TOMBSTONE)
+
+    def table_count(self) -> int:
+        """Number of live SSTables across all levels."""
+        return sum(len(level) for level in self.levels)
+
+    def filter_bits(self) -> int:
+        """Total memory spent on filters across all tables."""
+        return sum(
+            t.filter.size_in_bits()
+            for t in self._tables_newest_first()
+            if t.filter is not None
+        )
+
+    def filter_probes(self) -> int:
+        """Total probe count across all table filters."""
+        return sum(
+            t.filter.probe_count
+            for t in self._tables_newest_first()
+            if t.filter is not None
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        shape = [len(level) for level in self.levels]
+        return f"LSMTree(levels={shape}, memtable={len(self.memtable)})"

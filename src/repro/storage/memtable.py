@@ -1,0 +1,81 @@
+"""In-memory write buffer of the LSM-tree (sorted, binary-searched).
+
+A simple sorted-array memtable: O(log n) lookups, O(n) inserts (fine at
+memtable sizes), O(log n + k) range scans.  Deletes are tombstones so they
+survive the flush and shadow older SSTable entries, as in any LSM-tree.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+__all__ = ["MemTable", "TOMBSTONE"]
+
+
+class _Tombstone:
+    """Sentinel marking a deleted key."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<tombstone>"
+
+
+TOMBSTONE = _Tombstone()
+
+
+class MemTable:
+    """Sorted write buffer with tombstone deletes."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._keys: list[int] = []
+        self._values: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def full(self) -> bool:
+        return len(self._keys) >= self.capacity
+
+    def put(self, key: int, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            self._values[i] = value
+        else:
+            self._keys.insert(i, key)
+            self._values.insert(i, value)
+
+    def delete(self, key: int) -> None:
+        """Mark ``key`` deleted (tombstone)."""
+        self.put(key, TOMBSTONE)
+
+    def get(self, key: int) -> tuple[bool, Any]:
+        """``(found, value)``; a tombstone counts as found with TOMBSTONE."""
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return True, self._values[i]
+        return False, None
+
+    def range_items(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
+        """All (key, value) pairs with ``lo <= key <= hi``, ascending.
+
+        Tombstones are yielded too; the LSM read path filters them after
+        merging across levels.
+        """
+        i = bisect.bisect_left(self._keys, lo)
+        while i < len(self._keys) and self._keys[i] <= hi:
+            yield self._keys[i], self._values[i]
+            i += 1
+
+    def items(self) -> Iterator[tuple[int, Any]]:
+        """All pairs in key order (used by flush)."""
+        return iter(zip(self._keys, self._values))
+
+    def clear(self) -> None:
+        """Drop all entries (after a flush)."""
+        self._keys.clear()
+        self._values.clear()

@@ -1,0 +1,109 @@
+"""Sorted String Table with an attached range filter.
+
+An SSTable is an immutable sorted run of (key, value) pairs plus the
+in-memory metadata an LSM-tree keeps per table: min/max fence keys and a
+range filter built over the keys at creation time (the paper: "a REncoder
+is constructed for each SSTable"; "whenever the LSM-tree performs a merge
+operation, the REncoder needs to be rebuilt").
+
+Reads go filter-first: ``query_point``/``query_range`` consult the filter
+and touch the simulated second level (``env.read``) only on a positive —
+the exact mechanism whose cost/benefit Figures 3–4 measure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.filters.base import RangeFilter
+from repro.storage.env import StorageEnv
+from repro.storage.memtable import TOMBSTONE
+
+__all__ = ["SSTable", "FilterFactory"]
+
+#: A filter factory takes the table's keys and returns a built filter (or
+#: None for filterless tables).
+FilterFactory = Callable[[np.ndarray], "RangeFilter | None"]
+
+
+class SSTable:
+    """Immutable sorted run with fence keys and an optional range filter."""
+
+    _counter = 0
+
+    def __init__(
+        self,
+        items: Iterable[tuple[int, Any]],
+        filter_factory: FilterFactory | None = None,
+        env: StorageEnv | None = None,
+    ) -> None:
+        pairs = list(items)
+        keys = [k for k, _ in pairs]
+        if any(keys[i] >= keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("SSTable items must be sorted by unique key")
+        self.keys = np.array(keys, dtype=np.uint64)
+        self.values: list[Any] = [v for _, v in pairs]
+        self.env = env if env is not None else StorageEnv()
+        self.min_key = int(self.keys[0]) if len(keys) else 0
+        self.max_key = int(self.keys[-1]) if len(keys) else -1
+        self.filter: RangeFilter | None = (
+            filter_factory(self.keys) if filter_factory and len(keys) else None
+        )
+        SSTable._counter += 1
+        self.table_id = SSTable._counter
+        self.env.write(entries=len(self.keys))
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def overlaps(self, lo: int, hi: int) -> bool:
+        """Do the fence keys intersect ``[lo, hi]``?"""
+        return len(self.keys) > 0 and not (hi < self.min_key or lo > self.max_key)
+
+    def query_point(self, key: int) -> tuple[bool, Any]:
+        """Filter-guarded point read: ``(found, value)``."""
+        if not self.overlaps(key, key):
+            return False, None
+        if self.filter is not None and not self.filter.query_point(key):
+            return False, None
+        i = int(np.searchsorted(self.keys, np.uint64(key)))
+        found = i < len(self.keys) and int(self.keys[i]) == key
+        self.env.read(useful=found, block=(self.table_id, i // 64))
+        return (True, self.values[i]) if found else (False, None)
+
+    def query_range(self, lo: int, hi: int) -> list[tuple[int, Any]]:
+        """Filter-guarded range read, ascending (may include tombstones)."""
+        if not self.overlaps(lo, hi):
+            return []
+        if self.filter is not None and not self.filter.query_range(lo, hi):
+            return []
+        left = int(np.searchsorted(self.keys, np.uint64(lo), side="left"))
+        right = int(np.searchsorted(self.keys, np.uint64(hi), side="right"))
+        self.env.read(useful=right > left, block=(self.table_id, left // 64))
+        return [
+            (int(self.keys[i]), self.values[i]) for i in range(left, right)
+        ]
+
+    def scan(self) -> Iterable[tuple[int, Any]]:
+        """Full scan (compaction path; not filter-guarded)."""
+        for i in range(len(self.keys)):
+            yield int(self.keys[i]), self.values[i]
+
+    def live_fraction(self) -> float:
+        """Share of entries that are not tombstones."""
+        if not self.values:
+            return 1.0
+        live = sum(1 for v in self.values if v is not TOMBSTONE)
+        return live / len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SSTable(id={self.table_id}, n={len(self)}, "
+            f"range=[{self.min_key}, {self.max_key}], "
+            f"filter={type(self.filter).__name__ if self.filter else None})"
+        )

@@ -1,0 +1,122 @@
+"""Z-order (Morton) curve utilities — the paper's Use Case 3 transform.
+
+"Since the keys in R-trees are 2-dimensional, we first transfer them to
+1-dimensional by Z-order [interleave the binary representations of x and
+y] and then store them in the range filters."
+
+Provides bit interleaving for 2-D points and the decomposition of an
+axis-aligned query rectangle into Z-contiguous intervals, so a spatial
+query becomes a handful of 1-D range-filter probes.  The decomposition is
+the quadtree refinement of the rectangle: every emitted quadtree cell is a
+single Z-prefix, hence a contiguous Z interval; adjacent intervals are
+merged and refinement is capped by ``max_ranges`` with a conservative
+coarse cover as the fallback.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "interleave",
+    "deinterleave",
+    "rect_to_zranges",
+]
+
+_B = [
+    0x5555555555555555,
+    0x3333333333333333,
+    0x0F0F0F0F0F0F0F0F,
+    0x00FF00FF00FF00FF,
+    0x0000FFFF0000FFFF,
+]
+
+
+def _part1by1(x: int) -> int:
+    """Spread the low 32 bits of ``x`` into the even bit positions."""
+    x &= 0xFFFFFFFF
+    x = (x | (x << 16)) & _B[4]
+    x = (x | (x << 8)) & _B[3]
+    x = (x | (x << 4)) & _B[2]
+    x = (x | (x << 2)) & _B[1]
+    x = (x | (x << 1)) & _B[0]
+    return x
+
+
+def _compact1by1(x: int) -> int:
+    """Inverse of :func:`_part1by1`."""
+    x &= _B[0]
+    x = (x | (x >> 1)) & _B[1]
+    x = (x | (x >> 2)) & _B[2]
+    x = (x | (x >> 4)) & _B[3]
+    x = (x | (x >> 8)) & _B[4]
+    x = (x | (x >> 16)) & 0xFFFFFFFF
+    return x
+
+
+def interleave(x: int, y: int, coord_bits: int = 32) -> int:
+    """Morton code of ``(x, y)``: ``x`` in even bits, ``y`` in odd bits."""
+    top = (1 << coord_bits) - 1
+    if not (0 <= x <= top and 0 <= y <= top):
+        raise ValueError(
+            f"coordinates ({x}, {y}) outside {coord_bits}-bit domain"
+        )
+    return _part1by1(x) | (_part1by1(y) << 1)
+
+
+def deinterleave(z: int) -> tuple[int, int]:
+    """Inverse of :func:`interleave`."""
+    if z < 0:
+        raise ValueError(f"z must be non-negative, got {z}")
+    return _compact1by1(z), _compact1by1(z >> 1)
+
+
+def rect_to_zranges(
+    x_lo: int,
+    x_hi: int,
+    y_lo: int,
+    y_hi: int,
+    coord_bits: int = 32,
+    max_ranges: int = 64,
+) -> list[tuple[int, int]]:
+    """Z-interval cover of the rectangle ``[x_lo, x_hi] × [y_lo, y_hi]``.
+
+    Quadtree refinement: a cell fully inside the rectangle is one
+    Z-interval (its Z-prefix); a partially covered cell splits into four.
+    Refinement stops when further splitting would exceed ``max_ranges``
+    intervals, at which point partially covered cells are emitted whole —
+    a superset cover, so range-filter probes stay one-sided (no false
+    negatives; possibly more false positives).
+
+    Returns merged, sorted, inclusive ``(z_lo, z_hi)`` intervals.
+    """
+    if x_lo > x_hi or y_lo > y_hi:
+        raise ValueError("empty rectangle")
+    top = (1 << coord_bits) - 1
+    if x_hi > top or y_hi > top or x_lo < 0 or y_lo < 0:
+        raise ValueError("rectangle outside the coordinate domain")
+
+    intervals: list[tuple[int, int]] = []
+    # Each cell is (x0, y0, size_log2); its Z codes are one aligned block.
+    stack = [(0, 0, coord_bits)]
+    while stack:
+        x0, y0, log = stack.pop()
+        size = 1 << log
+        x1, y1 = x0 + size - 1, y0 + size - 1
+        if x1 < x_lo or x0 > x_hi or y1 < y_lo or y0 > y_hi:
+            continue
+        z0 = interleave(x0, y0, coord_bits)
+        covered = x_lo <= x0 and x1 <= x_hi and y_lo <= y0 and y1 <= y_hi
+        if covered or log == 0 or len(intervals) + len(stack) >= max_ranges:
+            intervals.append((z0, z0 + (1 << (2 * log)) - 1))
+            continue
+        half = size // 2
+        for dx in (0, half):
+            for dy in (0, half):
+                stack.append((x0 + dx, y0 + dy, log - 1))
+    intervals.sort()
+    merged: list[tuple[int, int]] = []
+    for lo, hi in intervals:
+        if merged and lo <= merged[-1][1] + 1:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged

@@ -1,0 +1,8 @@
+"""Succinct trie substrate used by SuRF and Proteus: a rank/select bit
+vector and a LOUDS-Sparse encoded byte trie (the FST of the SuRF paper)."""
+
+from repro.trie.bitvector import BitVector
+from repro.trie.fst import FastSuccinctTrie
+from repro.trie.louds import LoudsSparseTrie, TrieStats
+
+__all__ = ["BitVector", "FastSuccinctTrie", "LoudsSparseTrie", "TrieStats"]

@@ -1,0 +1,95 @@
+"""Static bit vector with O(1)-style rank and O(log n) select.
+
+The building block of LOUDS-encoded succinct tries (SuRF's FST).  Built
+once from a boolean/uint8 array, then immutable.  Rank uses a per-word
+cumulative popcount directory; select binary-searches the same directory
+and scans the final word.
+
+``size_in_bits`` reports the *succinct* cost — the raw bits plus the
+standard ~6.25% rank-directory overhead a C++ implementation pays — rather
+than the numpy bookkeeping of this reproduction, so SuRF's bits-per-key
+accounting matches the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BitVector"]
+
+#: Directory overhead charged per raw bit (rank + select samples), matching
+#: the accounting in the SuRF paper.
+SUCCINCT_OVERHEAD = 0.0625
+
+
+class BitVector:
+    """Immutable bit vector with rank1/rank0/select1 support."""
+
+    def __init__(self, bits: np.ndarray) -> None:
+        bits = np.asarray(bits).astype(np.uint8)
+        if bits.ndim != 1:
+            raise ValueError("bits must be one-dimensional")
+        if bits.size and bits.max() > 1:
+            raise ValueError("bits must be 0/1 valued")
+        self.n = int(bits.size)
+        padded = np.zeros(((self.n + 63) // 64) * 64, dtype=np.uint8)
+        padded[: self.n] = bits
+        self._words = np.packbits(
+            padded.reshape(-1, 64), axis=1, bitorder="little"
+        ).view("<u8").reshape(-1)
+        counts = np.bitwise_count(self._words).astype(np.int64)
+        # _cum[i] = number of ones in words[0 : i]
+        self._cum = np.zeros(len(self._words) + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._cum[1:])
+        self.ones = int(self._cum[-1])
+        self._bits = bits  # kept for cheap __getitem__ / iteration
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self.n
+
+    def __getitem__(self, i: int) -> int:
+        if not 0 <= i < self.n:
+            raise IndexError(f"bit index {i} out of range [0, {self.n})")
+        return int(self._bits[i])
+
+    def rank1(self, i: int) -> int:
+        """Number of 1 bits in positions ``[0, i)``."""
+        if not 0 <= i <= self.n:
+            raise IndexError(f"rank index {i} out of range [0, {self.n}]")
+        word, rem = divmod(i, 64)
+        count = int(self._cum[word])
+        if rem:
+            mask = (1 << rem) - 1
+            count += int(np.bitwise_count(self._words[word] & np.uint64(mask)))
+        return count
+
+    def rank0(self, i: int) -> int:
+        """Number of 0 bits in positions ``[0, i)``."""
+        return i - self.rank1(i)
+
+    def select1(self, j: int) -> int:
+        """Position of the ``j``-th 1 bit, 1-indexed.
+
+        ``select1(rank1(i) + 1) >= i`` for any position ``i`` with a later
+        one; raises if fewer than ``j`` ones exist.
+        """
+        if not 1 <= j <= self.ones:
+            raise IndexError(f"select index {j} out of range [1, {self.ones}]")
+        word = int(np.searchsorted(self._cum, j, side="left")) - 1
+        remaining = j - int(self._cum[word])
+        bits = int(self._words[word])
+        pos = word * 64
+        while True:
+            low = bits & -bits
+            remaining -= 1
+            if remaining == 0:
+                return pos + low.bit_length() - 1
+            bits ^= low
+
+    def size_in_bits(self) -> int:
+        """Succinct-accounting size: raw bits + directory overhead."""
+        return int(self.n * (1 + SUCCINCT_OVERHEAD))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BitVector(n={self.n}, ones={self.ones})"

@@ -1,0 +1,387 @@
+"""Fast Succinct Trie — SuRF's LOUDS-Dense/Sparse hybrid.
+
+The SuRF paper encodes the pruned trie in two regimes:
+
+* **LOUDS-Dense** for the top levels, where nodes are few and hot: each
+  node is a pair of 256-bit bitmaps — ``D-Labels`` (which byte edges
+  exist) and ``D-HasChild`` (which lead to internal nodes) — giving
+  rank-based O(1) navigation at 512 bits per node;
+* **LOUDS-Sparse** below the cutoff: byte labels plus two bit vectors at
+  ~10.6 bits per edge (:class:`repro.trie.louds.LoudsSparseTrie`).
+
+The cutoff follows SuRF's size rule: dense levels are admitted while
+``dense_bits × dense_ratio ≤ total_sparse_bits_estimate`` (SuRF default
+ratio 16 — dense head capped at 1/16 of the sparse body).
+
+The two regimes are glued by the sparse trie's forest support: every
+cutoff-depth subtree becomes a sparse root, and the dense child rank
+directly indexes that root list.  Leaf handles are ``(key_index,
+prefix_depth_bytes)`` pairs in both regimes, so SuRF's suffix logic works
+unchanged over either backing trie.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trie.bitvector import BitVector
+from repro.trie.louds import LoudsSparseTrie, TrieStats
+
+__all__ = ["FastSuccinctTrie"]
+
+#: Cost of one LOUDS-Dense node: two 256-bit bitmaps (+ rank overhead is
+#: charged by BitVector.size_in_bits on the packed vectors).
+_DENSE_NODE_BITS = 512
+
+
+class FastSuccinctTrie:
+    """LOUDS-DS encoded pruned trie over fixed-width integer keys."""
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        key_bytes: int = 8,
+        dense_ratio: int = 16,
+    ) -> None:
+        if dense_ratio < 1:
+            raise ValueError(f"dense_ratio must be >= 1, got {dense_ratio}")
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size > 1 and not (keys[1:] > keys[:-1]).all():
+            raise ValueError("keys must be sorted and unique")
+        self.key_bytes = key_bytes
+        self.n_keys = int(keys.size)
+        self.dense_ratio = dense_ratio
+        self._keys = keys
+        if keys.size == 0:
+            full = np.zeros((0, 8), dtype=np.uint8)
+        else:
+            full = keys.astype(">u8").view(np.uint8).reshape(-1, 8)
+        self._matrix = full[:, 8 - key_bytes:] if keys.size else full
+
+        self.cutoff = self._choose_cutoff()
+        self._build_dense()
+        self.sparse = (
+            LoudsSparseTrie(
+                keys, key_bytes=key_bytes, root_ranges=self._sparse_roots
+            )
+            if self._sparse_roots
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _node_ranges_at(self, depth: int) -> list[tuple[int, int]]:
+        """Key-index ranges sharing their first ``depth`` bytes."""
+        if self.n_keys == 0:
+            return []
+        if depth == 0:
+            return [(0, self.n_keys)]
+        cols = self._matrix[:, :depth]
+        change = np.any(cols[1:] != cols[:-1], axis=1)
+        boundaries = np.flatnonzero(change) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [self.n_keys]))
+        return list(zip(starts.tolist(), ends.tolist()))
+
+    def _choose_cutoff(self) -> int:
+        """SuRF's rule: grow the dense head while it stays small."""
+        if self.n_keys == 0:
+            return 0
+        # Sparse cost of the whole trie (rough, proportional): edges ~
+        # distinct prefixes per depth.
+        total_edges = 0
+        internal_per_depth = []
+        for depth in range(self.key_bytes):
+            ranges = self._node_ranges_at(depth + 1)
+            total_edges += len(ranges)
+            internal = sum(1 for lo, hi in ranges if hi - lo > 1)
+            internal_per_depth.append(internal)
+            if internal == 0:
+                break
+        sparse_bits = 10.625 * total_edges
+        cutoff = 0
+        dense_nodes = 0
+        # Nodes at depth d = internal ranges at depth d (multi-key groups).
+        for depth in range(len(internal_per_depth)):
+            nodes_here = (
+                1 if depth == 0
+                else internal_per_depth[depth - 1]
+            )
+            dense_nodes += nodes_here
+            if dense_nodes * _DENSE_NODE_BITS * self.dense_ratio > sparse_bits:
+                break
+            cutoff = depth + 1
+        return cutoff
+
+    def _build_dense(self) -> None:
+        """BFS over depths [0, cutoff): one 256-bit bitmap pair per node."""
+        labels_words: list[int] = []
+        child_words: list[int] = []
+        self._dense_leaf_key_idx: list[int] = []
+        self._dense_leaf_depth: list[int] = []
+        self._sparse_roots: list[tuple[int, int, int]] = []
+        if self.n_keys == 0 or self.cutoff == 0:
+            self.n_dense_nodes = 0
+            self._d_labels = BitVector(np.zeros(0, dtype=np.uint8))
+            self._d_haschild = BitVector(np.zeros(0, dtype=np.uint8))
+            if self.n_keys:
+                self._sparse_roots = [(0, self.n_keys, 0)]
+            return
+
+        queue: list[tuple[int, int, int]] = [(0, self.n_keys, 0)]
+        head = 0
+        label_bits: list[np.ndarray] = []
+        child_bits: list[np.ndarray] = []
+        while head < len(queue):
+            lo, hi, depth = queue[head]
+            head += 1
+            lab = np.zeros(256, dtype=np.uint8)
+            chd = np.zeros(256, dtype=np.uint8)
+            col = self._matrix[lo:hi, depth]
+            boundaries = np.flatnonzero(np.diff(col)) + 1
+            starts = np.concatenate(([0], boundaries)) + lo
+            ends = np.concatenate((boundaries, [hi - lo])) + lo
+            for s, e in zip(starts.tolist(), ends.tolist()):
+                byte = int(self._matrix[s, depth])
+                lab[byte] = 1
+                if e - s > 1:
+                    chd[byte] = 1
+                    if depth + 1 < self.cutoff:
+                        queue.append((s, e, depth + 1))
+                    else:
+                        self._sparse_roots.append((s, e, depth + 1))
+                else:
+                    self._dense_leaf_key_idx.append(s)
+                    self._dense_leaf_depth.append(depth + 1)
+            label_bits.append(lab)
+            child_bits.append(chd)
+        self.n_dense_nodes = len(label_bits)
+        self._d_labels = BitVector(np.concatenate(label_bits))
+        self._d_haschild = BitVector(np.concatenate(child_bits))
+        # Dense child rank -> either another dense node or a sparse root.
+        # Dense nodes are numbered in BFS order; children created before
+        # the cutoff keep dense ids, the rest index _sparse_roots in the
+        # same rank order.  Because BFS visits depths in order, all dense
+        # children precede all sparse roots in creation order only within
+        # a depth — so record an explicit mapping instead.
+        self._child_map: list[tuple[str, int]] = []
+        dense_next = 1
+        sparse_next = 0
+        head = 0
+        # Re-walk creation order to rebuild the mapping deterministically.
+        queue2: list[tuple[int, int, int]] = [(0, self.n_keys, 0)]
+        while head < len(queue2):
+            lo, hi, depth = queue2[head]
+            head += 1
+            col = self._matrix[lo:hi, depth]
+            boundaries = np.flatnonzero(np.diff(col)) + 1
+            starts = np.concatenate(([0], boundaries)) + lo
+            ends = np.concatenate((boundaries, [hi - lo])) + lo
+            for s, e in zip(starts.tolist(), ends.tolist()):
+                if e - s > 1:
+                    if depth + 1 < self.cutoff:
+                        self._child_map.append(("dense", dense_next))
+                        dense_next += 1
+                        queue2.append((s, e, depth + 1))
+                    else:
+                        self._child_map.append(("sparse", sparse_next))
+                        sparse_next += 1
+
+    # ------------------------------------------------------------------
+    # dense navigation
+    # ------------------------------------------------------------------
+    def _dense_edge(self, node: int, byte: int) -> int:
+        return node * 256 + byte
+
+    def _dense_has_label(self, node: int, byte: int) -> bool:
+        return self._d_labels[self._dense_edge(node, byte)] == 1
+
+    def _dense_child(self, node: int, byte: int) -> tuple[str, int]:
+        """('dense', node) or ('sparse', root_index) through an edge."""
+        rank = self._d_haschild.rank1(self._dense_edge(node, byte) + 1)
+        return self._child_map[rank - 1]
+
+    def _dense_leaf_slot(self, node: int, byte: int) -> int:
+        pos = self._dense_edge(node, byte) + 1
+        return self._d_labels.rank1(pos) - self._d_haschild.rank1(pos) - 1
+
+    def _dense_next_label(self, node: int, byte: int) -> int:
+        """Smallest existing label >= byte in a dense node, else -1."""
+        base = node * 256
+        for b in range(byte, 256):
+            if self._d_labels[base + b]:
+                return b
+        return -1
+
+    def _dense_min_leaf(self, node: int, byte: int):
+        """Leaf handle of the smallest key under dense edge (node, byte)."""
+        while True:
+            if not self._d_haschild[self._dense_edge(node, byte)]:
+                slot = self._dense_leaf_slot(node, byte)
+                return (
+                    self._dense_leaf_key_idx[slot],
+                    self._dense_leaf_depth[slot],
+                )
+            kind, target = self._dense_child(node, byte)
+            if kind == "sparse":
+                start, _ = self.sparse.node_edges(target)
+                slot = self.sparse.min_leaf_from(start)
+                return (
+                    int(self.sparse.leaf_key_idx[slot]),
+                    int(self.sparse.leaf_depth[slot]),
+                )
+            node = target
+            byte = self._dense_next_label(node, 0)
+
+    # ------------------------------------------------------------------
+    # public interface (shared with LoudsSparseTrie via SuRF)
+    # ------------------------------------------------------------------
+    def lookup(self, key_bytes: bytes):
+        """``(key_index, prefix_depth)`` of the matching pruned leaf, or
+        None when the trie proves no stored key matches."""
+        if self.n_keys == 0:
+            return None
+        node = 0
+        for depth in range(self.cutoff):
+            byte = key_bytes[depth]
+            if not self._dense_has_label(node, byte):
+                return None
+            if not self._d_haschild[self._dense_edge(node, byte)]:
+                slot = self._dense_leaf_slot(node, byte)
+                return (
+                    self._dense_leaf_key_idx[slot],
+                    self._dense_leaf_depth[slot],
+                )
+            kind, target = self._dense_child(node, byte)
+            if kind == "sparse":
+                slot = self.sparse.lookup_prefix(
+                    key_bytes, node=target, start_depth=depth + 1
+                )
+                if slot < 0:
+                    return None
+                return (
+                    int(self.sparse.leaf_key_idx[slot]),
+                    int(self.sparse.leaf_depth[slot]),
+                )
+            node = target
+        # cutoff == 0 (or dense exhausted at the root): pure sparse.
+        slot = self.sparse.lookup_prefix(key_bytes)
+        if slot < 0:
+            return None
+        return (
+            int(self.sparse.leaf_key_idx[slot]),
+            int(self.sparse.leaf_depth[slot]),
+        )
+
+    def lower_bound(self, key_bytes: bytes, reject=None):
+        """First pruned leaf at/after ``key_bytes``.
+
+        Returns ``(key_index, prefix_depth, ambiguous)`` or None.
+        ``reject(key_index, depth)`` may veto an ambiguous leaf, advancing
+        the search (suffix-comparison semantics, as in the sparse trie).
+        """
+        if self.n_keys == 0:
+            return None
+        if self.cutoff == 0:
+            return self._sparse_lower(key_bytes, reject, 0, 0)
+        stack: list[tuple[int, int]] = []
+        node = 0
+        depth = 0
+        byte = key_bytes[0]
+        while True:
+            nxt = self._dense_next_label(node, byte)
+            if nxt == byte:
+                edge = self._dense_edge(node, byte)
+                if not self._d_haschild[edge]:
+                    slot = self._dense_leaf_slot(node, byte)
+                    handle = (
+                        self._dense_leaf_key_idx[slot],
+                        self._dense_leaf_depth[slot],
+                    )
+                    if reject is None or not reject(*handle):
+                        return handle[0], handle[1], True
+                    nxt = self._dense_next_label(node, byte + 1)
+                else:
+                    kind, target = self._dense_child(node, byte)
+                    if kind == "sparse":
+                        result = self._sparse_lower(
+                            key_bytes, reject, target, depth + 1
+                        )
+                        if result is not None:
+                            return result
+                        nxt = self._dense_next_label(node, byte + 1)
+                    else:
+                        stack.append((node, byte))
+                        node = target
+                        depth += 1
+                        byte = key_bytes[depth]
+                        continue
+            if nxt >= 0 and nxt != byte:
+                idx, d = self._dense_min_leaf(node, nxt)
+                return idx, d, False
+            # Backtrack to an ancestor with a larger sibling.
+            while stack:
+                node, taken = stack.pop()
+                depth -= 1
+                sibling = self._dense_next_label(node, taken + 1)
+                if sibling >= 0:
+                    idx, d = self._dense_min_leaf(node, sibling)
+                    return idx, d, False
+            return None
+
+    def _sparse_lower(self, key_bytes, reject, root, depth):
+        sparse_reject = None
+        if reject is not None:
+            def sparse_reject(slot):
+                return reject(
+                    int(self.sparse.leaf_key_idx[slot]),
+                    int(self.sparse.leaf_depth[slot]),
+                )
+        slot, ambiguous = self.sparse.lower_bound_leaf(
+            key_bytes, reject=sparse_reject, node=root, start_depth=depth
+        )
+        if slot < 0:
+            return None
+        return (
+            int(self.sparse.leaf_key_idx[slot]),
+            int(self.sparse.leaf_depth[slot]),
+            ambiguous,
+        )
+
+    def prefix_value(self, key_idx: int, depth: int) -> int:
+        """Stored prefix of a pruned leaf, zero-extended to full width."""
+        mask_bits = 8 * (self.key_bytes - depth)
+        value = int(self._keys[key_idx])
+        return value >> mask_bits << mask_bits if mask_bits else value
+
+    # ------------------------------------------------------------------
+    # accounting / stats
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Succinct size: dense bitmaps plus the sparse body."""
+        dense = self._d_labels.size_in_bits() + self._d_haschild.size_in_bits()
+        sparse = self.sparse.size_in_bits() if self.sparse else 0
+        return dense + sparse
+
+    @property
+    def stats(self) -> TrieStats:
+        sparse_stats = (
+            self.sparse.stats if self.sparse
+            else TrieStats(0, 0, 0, 0, 0)
+        )
+        dense_edges = self._d_labels.ones
+        dense_leaves = len(self._dense_leaf_key_idx)
+        return TrieStats(
+            n_keys=self.n_keys,
+            n_edges=dense_edges + sparse_stats.n_edges,
+            n_internal=self._d_haschild.ones + sparse_stats.n_internal,
+            n_leaves=dense_leaves + sparse_stats.n_leaves,
+            max_depth=max(self.cutoff, sparse_stats.max_depth),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FastSuccinctTrie(keys={self.n_keys}, cutoff={self.cutoff}, "
+            f"dense_nodes={self.n_dense_nodes}, bits={self.size_in_bits()})"
+        )

@@ -1,0 +1,314 @@
+"""LOUDS-Sparse byte trie — the Fast Succinct Trie (FST) of SuRF.
+
+The trie stores, for each key, the shortest byte-prefix that distinguishes
+it from every other key (SuRF's pruning), encoded level-by-level in the
+LOUDS-Sparse format:
+
+* ``labels``  — one byte per edge, nodes in BFS order, edges sorted;
+* ``has_child`` — bit per edge: 1 if the edge leads to an internal node,
+  0 if it terminates in a (pruned) leaf;
+* ``louds`` — bit per edge: 1 marks the first edge of each node.
+
+Navigation uses the textbook identities: the child node of internal edge
+``pos`` is node ``rank1(has_child, pos + 1)``; node ``n``'s edges start at
+``select1(louds, n + 1)``.  Leaf edge ``pos`` owns value slot
+``pos - rank1(has_child, pos)`` — the per-key suffix records of SuRF live
+in arrays indexed by that slot.
+
+The *successor* operation (``lower_bound``) keeps an explicit descent
+stack instead of parent pointers, exactly like SuRF's iterator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.trie.bitvector import BitVector
+
+__all__ = ["LoudsSparseTrie", "TrieStats"]
+
+
+@dataclass(frozen=True)
+class TrieStats:
+    """Construction statistics of a LOUDS trie."""
+
+    n_keys: int
+    n_edges: int
+    n_internal: int
+    n_leaves: int
+    max_depth: int
+
+
+class LoudsSparseTrie:
+    """Pruned byte trie over fixed-width keys, LOUDS-Sparse encoded.
+
+    Parameters
+    ----------
+    keys:
+        Sorted, de-duplicated uint64 array.
+    key_bytes:
+        Fixed key width in bytes (8 for 64-bit keys).
+    root_ranges:
+        Optional forest roots as ``(lo, hi, depth)`` key-index ranges —
+        used by the LOUDS-Dense/Sparse hybrid (:mod:`repro.trie.fst`),
+        whose dense head hands each cutoff-depth subtree to this sparse
+        encoding.  Default: the single whole-tree root.
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        key_bytes: int = 8,
+        root_ranges: "list[tuple[int, int, int]] | None" = None,
+    ) -> None:
+        if not 1 <= key_bytes <= 8:
+            raise ValueError(f"key_bytes must be in [1, 8], got {key_bytes}")
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size > 1 and not (keys[1:] > keys[:-1]).all():
+            raise ValueError("keys must be sorted and unique")
+        self.key_bytes = key_bytes
+        self.n_keys = int(keys.size)
+        self._keys_matrix = self._to_bytes(keys)
+        if root_ranges is None:
+            root_ranges = [(0, self.n_keys, 0)] if self.n_keys else []
+        if any(lo >= hi for lo, hi, _ in root_ranges):
+            raise ValueError("root ranges must be non-empty")
+        self.n_roots = max(1, len(root_ranges))
+        self._root_ranges = root_ranges
+        labels, has_child, louds, leaf_key_idx, max_depth = self._build()
+        self.labels = labels
+        self.has_child = BitVector(has_child)
+        self.louds = BitVector(louds)
+        #: index into the original key array for each leaf slot.
+        self.leaf_key_idx = leaf_key_idx
+        #: byte-depth of each leaf's stored prefix (depth of its edge + 1).
+        self.leaf_depth = self._leaf_depths(max_depth)
+        self.stats = TrieStats(
+            n_keys=self.n_keys,
+            n_edges=int(labels.size),
+            n_internal=self.has_child.ones,
+            n_leaves=int(labels.size) - self.has_child.ones,
+            max_depth=max_depth,
+        )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _to_bytes(self, keys: np.ndarray) -> np.ndarray:
+        """(n, key_bytes) uint8 matrix, most-significant byte first."""
+        if keys.size == 0:
+            return np.zeros((0, self.key_bytes), dtype=np.uint8)
+        full = keys.astype(">u8").view(np.uint8).reshape(-1, 8)
+        return full[:, 8 - self.key_bytes :]
+
+    def _build(self):
+        """BFS over key ranges; each range sharing ``depth`` bytes is a node."""
+        mat = self._keys_matrix
+        labels: list[int] = []
+        has_child: list[int] = []
+        louds: list[int] = []
+        leaf_key_idx: list[int] = []
+        depth_of_edge: list[int] = []
+        max_depth = 0
+        if self.n_keys:
+            queue: list[tuple[int, int, int]] = list(self._root_ranges)
+            head = 0
+            while head < len(queue):
+                lo, hi, depth = queue[head]
+                head += 1
+                max_depth = max(max_depth, depth + 1)
+                col = mat[lo:hi, depth]
+                # Group the sorted range by its byte at this depth.
+                boundaries = np.flatnonzero(np.diff(col)) + 1
+                starts = np.concatenate(([0], boundaries)) + lo
+                ends = np.concatenate((boundaries, [hi - lo])) + lo
+                first = True
+                for s, e in zip(starts, ends):
+                    labels.append(int(mat[s, depth]))
+                    louds.append(1 if first else 0)
+                    first = False
+                    depth_of_edge.append(depth)
+                    if e - s > 1:
+                        if depth + 1 >= self.key_bytes:
+                            raise AssertionError(
+                                "duplicate keys survived deduplication"
+                            )
+                        has_child.append(1)
+                        queue.append((s, e, depth + 1))
+                    else:
+                        has_child.append(0)
+                        leaf_key_idx.append(s)
+        self._edge_depth = np.array(depth_of_edge, dtype=np.int16)
+        return (
+            np.array(labels, dtype=np.uint8),
+            np.array(has_child, dtype=np.uint8),
+            np.array(louds, dtype=np.uint8),
+            np.array(leaf_key_idx, dtype=np.int64),
+            max_depth,
+        )
+
+    def _leaf_depths(self, max_depth: int) -> np.ndarray:
+        """Stored-prefix byte length for each leaf slot."""
+        depths = []
+        for pos in range(len(self.labels)):
+            if not self.has_child[pos]:
+                depths.append(int(self._edge_depth[pos]) + 1)
+        return np.array(depths, dtype=np.int16)
+
+    # ------------------------------------------------------------------
+    # navigation primitives
+    # ------------------------------------------------------------------
+    def node_edges(self, node: int) -> tuple[int, int]:
+        """Half-open edge range ``[start, end)`` of node ``node``."""
+        start = self.louds.select1(node + 1)
+        if node + 2 <= self.louds.ones:
+            end = self.louds.select1(node + 2)
+        else:
+            end = len(self.labels)
+        return start, end
+
+    def child_node(self, pos: int) -> int:
+        """Node reached through internal edge ``pos``.
+
+        Nodes are numbered in BFS order: the forest roots first, then one
+        node per internal edge; with a single root this is the textbook
+        ``rank1(has_child, pos + 1)``.
+        """
+        return self.n_roots - 1 + self.has_child.rank1(pos + 1)
+
+    def leaf_slot(self, pos: int) -> int:
+        """Value-array slot of leaf edge ``pos``."""
+        return pos - self.has_child.rank1(pos)
+
+    def find_edge(self, node: int, label: int) -> int:
+        """Edge position of ``label`` in ``node``, or -1."""
+        start, end = self.node_edges(node)
+        i = start + int(
+            np.searchsorted(self.labels[start:end], np.uint8(label))
+        )
+        if i < end and self.labels[i] == label:
+            return i
+        return -1
+
+    def find_edge_geq(self, node: int, label: int) -> int:
+        """Position of the smallest edge with label >= ``label``, or -1."""
+        start, end = self.node_edges(node)
+        i = start + int(
+            np.searchsorted(self.labels[start:end], np.uint8(label))
+        )
+        return i if i < end else -1
+
+    # ------------------------------------------------------------------
+    # key operations
+    # ------------------------------------------------------------------
+    def lookup_prefix(self, key_bytes: bytes, node: int = 0,
+                      start_depth: int = 0) -> int:
+        """Leaf slot whose stored prefix is a prefix of ``key_bytes``; -1 if
+        the trie proves no stored key can match.
+
+        ``node``/``start_depth`` let the LOUDS-Dense head hand over a
+        descent mid-key.
+        """
+        if self.n_keys == 0:
+            return -1
+        for depth in range(start_depth, self.key_bytes):
+            pos = self.find_edge(node, key_bytes[depth])
+            if pos < 0:
+                return -1
+            if not self.has_child[pos]:
+                return self.leaf_slot(pos)
+            node = self.child_node(pos)
+        raise AssertionError("descended past fixed key width")
+
+    def min_leaf_from(self, pos: int) -> int:
+        """Leaf slot of the smallest key below edge ``pos``."""
+        while self.has_child[pos]:
+            start, _ = self.node_edges(self.child_node(pos))
+            pos = start
+        return self.leaf_slot(pos)
+
+    def lower_bound_leaf(self, key_bytes: bytes, reject=None,
+                         node: int = 0, start_depth: int = 0) -> tuple[int, bool]:
+        """SuRF's ``moveToKeyGreaterThan``: the first candidate at/after key.
+
+        Returns ``(leaf_slot, ambiguous)``; slot is -1 when every stored
+        key's prefix is certainly below ``key_bytes``.  ``ambiguous`` is
+        True when the leaf's stored prefix is a *prefix of the search key*,
+        so the full stored key could be on either side — the caller refines
+        with suffix bits or answers conservatively (SuRF's false-positive
+        mechanism).
+
+        ``reject``, if given, is called on an ambiguous leaf slot; returning
+        True means the caller's suffix bits prove the stored key is below
+        the search key, and the search advances to the next leaf — the
+        equivalent of SuRF's iterator ``operator++`` after a suffix
+        comparison.
+        """
+        if self.n_keys == 0:
+            return -1, False
+        # Descent stack of (node, edge_pos) lets us backtrack like SuRF's
+        # iterator, without parent pointers.
+        stack: list[tuple[int, int]] = []
+        depth = start_depth
+        while True:
+            pos = self.find_edge_geq(node, key_bytes[depth])
+            if pos >= 0 and self.labels[pos] == key_bytes[depth]:
+                if not self.has_child[pos]:
+                    slot = self.leaf_slot(pos)
+                    if reject is None or not reject(slot):
+                        return slot, True
+                    # Suffix proved this key < search key: advance to the
+                    # next edge of the current node, or backtrack.
+                    _, end = self.node_edges(node)
+                    if pos + 1 < end:
+                        return self.min_leaf_from(pos + 1), False
+                else:
+                    stack.append((node, pos))
+                    node = self.child_node(pos)
+                    depth += 1
+                    continue
+            elif pos >= 0:
+                return self.min_leaf_from(pos), False
+            # Backtrack: find an ancestor with a next-larger sibling edge.
+            while stack:
+                node, taken = stack.pop()
+                _, end = self.node_edges(node)
+                if taken + 1 < end:
+                    return self.min_leaf_from(taken + 1), False
+            return -1, False
+
+    def leaf_prefix_value(self, slot: int) -> int:
+        """Stored prefix of a leaf, zero-extended to a full-width integer."""
+        idx = int(self.leaf_key_idx[slot])
+        depth = int(self.leaf_depth[slot])
+        row = self._keys_matrix[idx]
+        value = 0
+        for b in range(self.key_bytes):
+            value = (value << 8) | (int(row[b]) if b < depth else 0)
+        return value
+
+    def iter_leaves(self) -> Iterator[int]:
+        """Leaf slots in edge-position (BFS) order."""
+        for slot in range(len(self.leaf_key_idx)):
+            yield slot
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def size_in_bits(self) -> int:
+        """Succinct size: 8 bits/label + the two bit vectors."""
+        return (
+            8 * len(self.labels)
+            + self.has_child.size_in_bits()
+            + self.louds.size_in_bits()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats
+        return (
+            f"LoudsSparseTrie(keys={s.n_keys}, edges={s.n_edges}, "
+            f"leaves={s.n_leaves}, depth={s.max_depth})"
+        )

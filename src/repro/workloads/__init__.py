@@ -1,0 +1,39 @@
+"""Datasets and query workloads of the evaluation (Section V-A).
+
+Key sets: a uniform synthetic dataset plus statistical stand-ins for the
+four SOSD real datasets (amzn, face, osmc, wiki) with the paper's skew
+ordering.  Query workloads: uniform range queries of size 2–32 and 2–64,
+point queries, correlated range queries (key + 32 as the left bound), and
+"real" range queries whose left bounds are held-out keys.  All query
+generators can enforce the paper's protocol that every query is empty.
+"""
+
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    dataset_skew,
+    generate_keys,
+    split_keys,
+)
+from repro.workloads.queries import (
+    correlated_range_queries,
+    is_empty_range,
+    left_bounded_range_queries,
+    point_queries,
+    uniform_range_queries,
+)
+from repro.workloads.ycsb import YCSB_MIXES, run_ycsb, ycsb_operations
+
+__all__ = [
+    "DATASET_NAMES",
+    "dataset_skew",
+    "generate_keys",
+    "split_keys",
+    "correlated_range_queries",
+    "is_empty_range",
+    "left_bounded_range_queries",
+    "point_queries",
+    "uniform_range_queries",
+    "YCSB_MIXES",
+    "run_ycsb",
+    "ycsb_operations",
+]

@@ -1,0 +1,132 @@
+"""Key-set generators: uniform synthetic plus SOSD-like stand-ins.
+
+The paper's real datasets are SOSD's amzn / face / osmc / wiki, ordered by
+skewness wiki > face > amzn > osmc.  The originals are not redistributable
+here, so each gets a statistical stand-in that reproduces the property the
+experiment probes — how clustered the keys are, i.e. the LCP structure the
+adaptive level selection reacts to (DESIGN.md records this substitution):
+
+* ``osmc`` — uniformly sampled OpenStreetMap cells → uniform draw over the
+  full 64-bit domain (least skewed);
+* ``amzn`` — book-popularity data → cumulative heavy-tailed (lognormal)
+  gaps: mildly clustered;
+* ``face`` — Facebook user ids → ids allocated in dense blocks: strongly
+  clustered cluster structure;
+* ``wiki`` — edit timestamps → bursty arrival process confined to a narrow
+  span of the domain (most skewed).
+
+:func:`dataset_skew` quantifies the ordering (mean adjacent-LCP); tests
+assert ``wiki > face > amzn > osmc``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DATASET_NAMES", "generate_keys", "split_keys", "dataset_skew"]
+
+DATASET_NAMES = ("uniform", "osmc", "amzn", "face", "wiki")
+
+
+def _uniform(rng: np.random.Generator, n: int, top: int) -> np.ndarray:
+    return rng.integers(0, top, n * 2, dtype=np.uint64)
+
+
+def _amzn(rng: np.random.Generator, n: int, top: int) -> np.ndarray:
+    # Heavy-tailed gaps; scaled so the walk spans most of the domain.
+    gaps = rng.lognormal(mean=0.0, sigma=2.5, size=n * 2)
+    walk = np.cumsum(gaps)
+    scaled = walk / walk[-1] * (top * 0.9)
+    return scaled.astype(np.uint64)
+
+
+def _face(rng: np.random.Generator, n: int, top: int) -> np.ndarray:
+    # Ids allocated densely inside a modest number of blocks.
+    n_clusters = max(4, n // 512)
+    centers = rng.integers(0, top, n_clusters, dtype=np.uint64)
+    which = rng.integers(0, n_clusters, n * 2)
+    offsets = rng.integers(0, 1 << 24, n * 2, dtype=np.uint64)
+    return centers[which] + offsets
+
+
+def _wiki(rng: np.random.Generator, n: int, top: int) -> np.ndarray:
+    # Bursty timestamps in a narrow slice of the domain: long quiet gaps,
+    # then bursts of near-consecutive values.
+    keys = []
+    t = int(top * 0.4)
+    while len(keys) < n * 2:
+        t += int(rng.exponential(1 << 22)) + 1
+        burst = int(rng.integers(1, 50))
+        for j in range(burst):
+            keys.append(t + j * int(rng.integers(1, 4)))
+    return np.array(keys[: n * 2], dtype=np.uint64)
+
+
+_GENERATORS = {
+    "uniform": _uniform,
+    "osmc": _uniform,
+    "amzn": _amzn,
+    "face": _face,
+    "wiki": _wiki,
+}
+
+
+def generate_keys(
+    n: int,
+    distribution: str = "uniform",
+    *,
+    key_bits: int = 64,
+    seed: int = 0,
+) -> np.ndarray:
+    """``n`` sorted unique keys from the named distribution."""
+    if n < 1:
+        raise ValueError(f"n must be positive, got {n}")
+    if distribution not in _GENERATORS:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"choose from {DATASET_NAMES}"
+        )
+    top = (1 << key_bits) - 1
+    rng = np.random.default_rng(seed)
+    raw = _GENERATORS[distribution](rng, n, top)
+    keys = np.unique(np.minimum(raw, np.uint64(top)))
+    while len(keys) < n:
+        extra = _GENERATORS[distribution](rng, n, top)
+        keys = np.unique(
+            np.concatenate([keys, np.minimum(extra, np.uint64(top))])
+        )
+    if len(keys) > n:
+        # Subsample uniformly; taking a sorted prefix would silently skew
+        # every dataset toward the bottom of the domain.
+        keys = np.sort(rng.choice(keys, n, replace=False))
+    return keys
+
+
+def split_keys(
+    keys: np.ndarray, n_holdout: int, seed: int = 0
+) -> tuple[np.ndarray, np.ndarray]:
+    """Split into (stored, held-out) sets for the "real queries" workload.
+
+    The paper samples 10M keys to store and uses 1M of the *remaining*
+    keys as range-query left bounds; the held-out part plays that role.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    if not 0 < n_holdout < len(keys):
+        raise ValueError(
+            f"n_holdout must be in (0, {len(keys)}), got {n_holdout}"
+        )
+    rng = np.random.default_rng(seed)
+    idx = rng.permutation(len(keys))
+    holdout = np.sort(keys[idx[:n_holdout]])
+    stored = np.sort(keys[idx[n_holdout:]])
+    return stored, holdout
+
+
+def dataset_skew(keys: np.ndarray, key_bits: int = 64) -> float:
+    """Mean adjacent-pair LCP — the clustering signal level selection sees."""
+    keys = np.unique(np.asarray(keys, dtype=np.uint64))
+    if len(keys) < 2:
+        return 0.0
+    diffs = keys[1:] ^ keys[:-1]
+    lcp = key_bits - np.ceil(np.log2(diffs.astype(np.float64) + 1))
+    return float(lcp.mean())

@@ -1,0 +1,170 @@
+"""Query workload generators (Section V-A).
+
+All generators return inclusive ``(lo, hi)`` pairs.  The paper evaluates
+filters on *empty* queries only ("a range filter is best evaluated by
+empty queries"), so each generator takes the key set and rejects queries
+containing a key; :func:`is_empty_range` is the shared ground-truth
+predicate (binary search over the sorted keys).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_empty_range",
+    "uniform_range_queries",
+    "correlated_range_queries",
+    "left_bounded_range_queries",
+    "point_queries",
+]
+
+
+def is_empty_range(keys: np.ndarray, lo: int, hi: int) -> bool:
+    """True iff no key lies in ``[lo, hi]`` (keys must be sorted)."""
+    i = int(np.searchsorted(keys, np.uint64(lo)))
+    return not (i < len(keys) and int(keys[i]) <= hi)
+
+
+def _sizes(
+    rng: np.random.Generator, n: int, min_size: int, max_size: int
+) -> np.ndarray:
+    if not 1 <= min_size <= max_size:
+        raise ValueError(
+            f"need 1 <= min_size <= max_size, got [{min_size}, {max_size}]"
+        )
+    return rng.integers(min_size, max_size + 1, n)
+
+
+def uniform_range_queries(
+    keys: np.ndarray,
+    n: int,
+    *,
+    min_size: int = 2,
+    max_size: int = 32,
+    key_bits: int = 64,
+    seed: int = 0,
+    ensure_empty: bool = True,
+    max_attempts: int = 50,
+) -> list[tuple[int, int]]:
+    """The paper's ``2∼32`` / ``2∼64`` workloads: uniform left bounds,
+    uniformly drawn range sizes."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    top = (1 << key_bits) - 1
+    rng = np.random.default_rng(seed)
+    out: list[tuple[int, int]] = []
+    for _ in range(max_attempts):
+        need = n - len(out)
+        if need <= 0:
+            break
+        los = rng.integers(0, top, need, dtype=np.uint64)
+        sizes = _sizes(rng, need, min_size, max_size)
+        for lo_u, size in zip(los, sizes):
+            lo = int(lo_u)
+            hi = min(lo + int(size) - 1, top)
+            if ensure_empty and not is_empty_range(keys, lo, hi):
+                continue
+            out.append((lo, hi))
+    if len(out) < n:
+        raise RuntimeError(
+            f"could not generate {n} empty queries (got {len(out)}); "
+            "the key set may be too dense"
+        )
+    return out[:n]
+
+
+def correlated_range_queries(
+    keys: np.ndarray,
+    n: int,
+    *,
+    offset: int = 32,
+    min_size: int = 2,
+    max_size: int = 32,
+    key_bits: int = 64,
+    seed: int = 0,
+    ensure_empty: bool = True,
+) -> list[tuple[int, int]]:
+    """The correlated workload: left bound = a stored key + ``offset``.
+
+    "We first randomly select keys from datasets, then we increment the
+    keys by 32 and set them as left boundaries"; every queried range then
+    sits right next to a stored key.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    if keys.size == 0:
+        raise ValueError("correlated queries need a non-empty key set")
+    top = (1 << key_bits) - 1
+    rng = np.random.default_rng(seed)
+    out: list[tuple[int, int]] = []
+    attempts = 0
+    while len(out) < n and attempts < 50 * n:
+        attempts += 1
+        key = int(keys[rng.integers(0, len(keys))])
+        lo = key + offset
+        if lo > top:
+            continue
+        size = int(_sizes(rng, 1, min_size, max_size)[0])
+        hi = min(lo + size - 1, top)
+        if ensure_empty and not is_empty_range(keys, lo, hi):
+            continue
+        out.append((lo, hi))
+    if len(out) < n:
+        raise RuntimeError(
+            f"could not generate {n} empty correlated queries (got {len(out)})"
+        )
+    return out
+
+
+def left_bounded_range_queries(
+    keys: np.ndarray,
+    left_bounds: np.ndarray,
+    n: int,
+    *,
+    min_size: int = 2,
+    max_size: int = 32,
+    key_bits: int = 64,
+    seed: int = 0,
+    ensure_empty: bool = True,
+) -> list[tuple[int, int]]:
+    """The "real queries" workload: left bounds are held-out real keys."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    left_bounds = np.asarray(left_bounds, dtype=np.uint64)
+    if left_bounds.size == 0:
+        raise ValueError("need at least one left bound")
+    top = (1 << key_bits) - 1
+    rng = np.random.default_rng(seed)
+    out: list[tuple[int, int]] = []
+    attempts = 0
+    while len(out) < n and attempts < 100 * n:
+        attempts += 1
+        lo = int(left_bounds[rng.integers(0, len(left_bounds))])
+        size = int(_sizes(rng, 1, min_size, max_size)[0])
+        hi = min(lo + size - 1, top)
+        if ensure_empty and not is_empty_range(keys, lo, hi):
+            continue
+        out.append((lo, hi))
+    if len(out) < n:
+        raise RuntimeError(
+            f"could not generate {n} empty real queries (got {len(out)})"
+        )
+    return out
+
+
+def point_queries(
+    keys: np.ndarray,
+    n: int,
+    *,
+    key_bits: int = 64,
+    seed: int = 0,
+    ensure_empty: bool = True,
+) -> list[tuple[int, int]]:
+    """Point queries — ranges of size 1."""
+    return uniform_range_queries(
+        keys,
+        n,
+        min_size=1,
+        max_size=1,
+        key_bits=key_bits,
+        seed=seed,
+        ensure_empty=ensure_empty,
+    )

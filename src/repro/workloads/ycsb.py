@@ -1,0 +1,126 @@
+"""YCSB-style mixed workloads for the storage substrates.
+
+The paper's filter experiments use pure all-empty query streams; real
+deployments mix inserts, point reads and scans.  This module generates
+YCSB-flavoured operation streams so the LSM / B+tree benches can measure
+filter benefit under realistic churn:
+
+=========  ===============================================
+workload   mix (following the YCSB core-workload letters)
+=========  ===============================================
+``A``      50% point reads / 50% updates
+``B``      95% point reads / 5% updates
+``C``      100% point reads
+``D``      95% reads of recently inserted keys / 5% inserts
+``E``      95% short scans / 5% inserts
+``F``      50% reads / 50% read-modify-write
+=========  ===============================================
+
+Reads draw keys with a zipfian-ish skew over the hot set; a configurable
+fraction of reads targets *missing* keys — the regime where filters pay.
+Each operation is a tuple: ``("get", key)``, ``("put", key, value)``,
+``("scan", lo, hi)`` or ``("rmw", key)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["YCSB_MIXES", "ycsb_operations", "run_ycsb"]
+
+YCSB_MIXES: dict[str, dict[str, float]] = {
+    "A": {"get": 0.5, "put": 0.5},
+    "B": {"get": 0.95, "put": 0.05},
+    "C": {"get": 1.0},
+    "D": {"get": 0.95, "insert": 0.05},
+    "E": {"scan": 0.95, "insert": 0.05},
+    "F": {"get": 0.5, "rmw": 0.5},
+}
+
+
+def _zipf_index(rng: np.random.Generator, n: int, theta: float) -> int:
+    """Cheap zipfian-ish rank sampler over [0, n)."""
+    u = rng.random()
+    rank = int(n * (u ** (1.0 / (1.0 - theta)))) if theta < 1.0 else 0
+    return min(n - 1, rank)
+
+
+def ycsb_operations(
+    workload: str,
+    keys: np.ndarray,
+    n_ops: int,
+    *,
+    key_bits: int = 64,
+    missing_fraction: float = 0.5,
+    scan_size: int = 32,
+    theta: float = 0.6,
+    seed: int = 0,
+) -> Iterator[tuple]:
+    """Generate ``n_ops`` operations for the named workload letter."""
+    if workload not in YCSB_MIXES:
+        raise ValueError(
+            f"unknown workload {workload!r}; choose from {sorted(YCSB_MIXES)}"
+        )
+    if not 0.0 <= missing_fraction <= 1.0:
+        raise ValueError("missing_fraction must be in [0, 1]")
+    keys = np.asarray(keys, dtype=np.uint64)
+    if keys.size == 0:
+        raise ValueError("need a non-empty key set")
+    mix = YCSB_MIXES[workload]
+    ops = list(mix.keys())
+    probs = np.array([mix[o] for o in ops])
+    rng = np.random.default_rng(seed)
+    top = (1 << key_bits) - 1
+    next_insert = int(keys[-1]) + 1
+
+    for i in range(n_ops):
+        op = ops[int(rng.choice(len(ops), p=probs))]
+        if op in ("get", "rmw"):
+            if rng.random() < missing_fraction:
+                key = int(rng.integers(0, top, dtype=np.uint64))
+            else:
+                key = int(keys[_zipf_index(rng, len(keys), theta)])
+            yield (op, key)
+        elif op == "put":
+            key = int(keys[_zipf_index(rng, len(keys), theta)])
+            yield ("put", key, i)
+        elif op == "insert":
+            next_insert += int(rng.integers(1, 1 << 16))
+            yield ("put", min(next_insert, top), i)
+        elif op == "scan":
+            if rng.random() < missing_fraction:
+                lo = int(rng.integers(0, top, dtype=np.uint64))
+            else:
+                lo = int(keys[_zipf_index(rng, len(keys), theta)])
+            hi = min(lo + scan_size - 1, top)
+            yield ("scan", lo, hi)
+
+
+def run_ycsb(store, operations) -> dict[str, int]:
+    """Drive a store (LSMTree / BPlusTree-like) with an operation stream.
+
+    The store needs ``get(key)``, ``put(key, value)`` and
+    ``range_query(lo, hi)``.  Returns operation counts.
+    """
+    counts = {"get": 0, "put": 0, "scan": 0, "rmw": 0, "found": 0}
+    if hasattr(store, "insert"):
+        put = store.insert
+    else:
+        put = store.put
+    for op in operations:
+        if op[0] == "get":
+            counts["get"] += 1
+            counts["found"] += bool(store.get(op[1])[0])
+        elif op[0] == "put":
+            counts["put"] += 1
+            put(op[1], op[2])
+        elif op[0] == "scan":
+            counts["scan"] += 1
+            counts["found"] += bool(store.range_query(op[1], op[2]))
+        elif op[0] == "rmw":
+            counts["rmw"] += 1
+            found, value = store.get(op[1])
+            put(op[1], (value or 0) if found else 0)
+    return counts

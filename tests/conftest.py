@@ -1,0 +1,50 @@
+"""Shared fixtures: deterministic key sets and query workloads.
+
+Sizes are kept small enough for a fast suite while exercising every code
+path; the benchmarks run the larger sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import uniform_range_queries
+
+TOP64 = (1 << 64) - 1
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(20230713)
+
+
+@pytest.fixture(scope="session")
+def uniform_keys():
+    """2000 sorted unique uniform 64-bit keys."""
+    return generate_keys(2000, "uniform", seed=11)
+
+
+@pytest.fixture(scope="session")
+def small_keys():
+    """A tiny fixed key set for exhaustive checks (8-bit domain)."""
+    return np.array([3, 13, 37, 80, 81, 150, 200, 251], dtype=np.uint64)
+
+
+@pytest.fixture(scope="session")
+def empty_queries(uniform_keys):
+    """500 empty 2-32 range queries against ``uniform_keys``."""
+    return uniform_range_queries(
+        uniform_keys, 500, min_size=2, max_size=32, seed=12
+    )
+
+
+def assert_no_false_negatives(filt, keys, *, pad: int = 3):
+    """Every stored key must be reported for points and nearby ranges."""
+    for key in keys:
+        k = int(key)
+        assert filt.query_point(k), f"false negative point {k}"
+        lo = max(0, k - pad)
+        hi = min(TOP64, k + pad)
+        assert filt.query_range(lo, hi), f"false negative range around {k}"

@@ -1,0 +1,199 @@
+"""Tests for the Section IV analysis: Lemma 1, Theorems 2/5/6, Table II's
+space solver and Table IV's independence measurement."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bounds import (
+    a_limit,
+    a_sequence,
+    fpr_bound,
+    fpr_bound_with_distance,
+    required_levels,
+    required_memory_bits,
+    space_for_fpr,
+)
+from repro.analysis.independence import bits_of, independence_table
+from repro.core.rencoder import REncoder
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import uniform_range_queries
+
+
+class TestLemma1:
+    def test_starts_at_one(self):
+        assert a_sequence(0.3, 5)[0] == 1.0
+
+    def test_recurrence(self):
+        p = 0.4
+        seq = a_sequence(p, 10)
+        for a, nxt in zip(seq, seq[1:]):
+            assert nxt == pytest.approx(2 * p * a - p * p * a * a)
+
+    def test_case1_decay_below_half(self):
+        # p < 1/2: a_n -> 0 exponentially.
+        seq = a_sequence(0.3, 60)
+        assert seq[-1] < 1e-9
+        assert seq[-1] < seq[-2] < seq[-3]
+
+    def test_case2_harmonic_at_half(self):
+        # p = 1/2: a_n = Theta(1/n).
+        seq = a_sequence(0.5, 200)
+        assert 0.5 / 200 < seq[-1] < 20 / 200
+
+    def test_case3_fixed_point_above_half(self):
+        p = 0.7
+        seq = a_sequence(p, 500)
+        limit = a_limit(p)
+        assert seq[-1] == pytest.approx(limit, abs=1e-6)
+        # The fixed point solves a = 2pa - p^2 a^2.
+        assert limit == pytest.approx(2 * p * limit - p * p * limit * limit)
+
+    def test_limit_zero_below_half(self):
+        assert a_limit(0.4) == 0.0
+
+    @given(st.floats(min_value=0.01, max_value=0.99), st.integers(1, 100))
+    @settings(max_examples=100)
+    def test_probability_range(self, p, n):
+        seq = a_sequence(p, n)
+        assert all(0.0 <= a <= 1.0 for a in seq)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            a_sequence(0.0, 5)
+        with pytest.raises(ValueError):
+            a_sequence(0.5, 0)
+
+
+class TestTheorem2:
+    def test_bound_shrinks_with_levels(self):
+        bounds = [fpr_bound(0.5, ls, 6, 2) for ls in range(6, 20)]
+        assert all(b1 >= b2 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_bound_in_unit_interval(self):
+        for p1 in (0.2, 0.5, 0.8):
+            for k in (1, 2, 4):
+                assert 0.0 <= fpr_bound(p1, 10, 6, k) <= 1.0
+
+    def test_corollary3_more_levels_help(self):
+        # Doubling stored levels at fixed k beats doubling k at fixed levels
+        # when P1 is held at 0.5 (the paper's Corollary 3/4 comparison).
+        more_levels = fpr_bound(0.5, 20, 6, 2)
+        more_hashes = fpr_bound(0.5, 10, 6, 4)
+        assert more_levels < more_hashes
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            fpr_bound(0.5, 5, 6, 2)  # Ls < Lq
+        with pytest.raises(ValueError):
+            fpr_bound(0.5, 10, 6, 0)
+
+    def test_empirical_fpr_within_bound_regime(self):
+        # The measured FPR of a built REncoder should not exceed the
+        # theoretical bound evaluated at its own (P1, Ls, Lq, k) by more
+        # than noise.
+        keys = generate_keys(1500, "uniform", seed=21)
+        enc = REncoder(keys, bits_per_key=22, k=2, seed=21)
+        queries = uniform_range_queries(keys, 800, min_size=32, max_size=32,
+                                        seed=22)
+        fpr = sum(enc.query_range(*q) for q in queries) / len(queries)
+        ls = len(enc.stored_levels)
+        bound = fpr_bound(max(enc.final_p1, 0.01), ls, 6, enc.rbf.k)
+        assert fpr <= bound * 3 + 0.02
+
+
+class TestTheorem6:
+    def test_distance_zero_falls_back(self):
+        assert fpr_bound_with_distance(0.5, 10, 6, 2, 0) == fpr_bound(
+            0.5, 10, 6, 2
+        )
+
+    def test_small_distance_bound(self):
+        # d <= Lq: bound is a_d^k.
+        p = 0.5
+        b = fpr_bound_with_distance(p, 10, 6, 2, 3)
+        assert b == pytest.approx(a_sequence(p, 3)[-1] ** 2)
+
+    def test_large_distance_replaces_ls(self):
+        p = 0.5
+        b = fpr_bound_with_distance(p, 20, 6, 2, 9)
+        expected = (p ** (9 - 6) * a_sequence(p, 6)[-1]) ** 2
+        assert b == pytest.approx(expected)
+
+    def test_closer_ranges_have_larger_bound(self):
+        bounds = [
+            fpr_bound_with_distance(0.5, 20, 6, 2, d) for d in range(1, 12)
+        ]
+        assert all(b1 >= b2 for b1, b2 in zip(bounds, bounds[1:]))
+
+
+class TestTheorem5:
+    def test_required_levels_grow_with_accuracy(self):
+        l1 = required_levels(0.5, 6, 2, 0.1)
+        l2 = required_levels(0.5, 6, 2, 0.001)
+        assert l2 > l1 >= 6
+
+    def test_memory_linear_in_keys(self):
+        m1 = required_memory_bits(1000, 0.5, 6, 2, 0.01)
+        m2 = required_memory_bits(2000, 0.5, 6, 2, 0.01)
+        assert m2 == pytest.approx(2 * m1)
+
+    def test_memory_log_in_inverse_eps(self):
+        # O(N log 1/eps): total space grows linearly in log(1/eps).  The
+        # per-step increments are quantised (whole stored levels), so check
+        # the slope over a wide range instead of step-to-step deltas.
+        span_small = space_for_fpr(0.01) - space_for_fpr(0.5)
+        span_large = space_for_fpr(0.0001) - space_for_fpr(0.01)
+        # Equal decades of epsilon cost approximately equal space.
+        assert span_large == pytest.approx(span_small, abs=8.0)
+        assert span_small > 0
+
+    def test_table2_shape(self):
+        # Table II: tighter FPR targets need monotonically more space.
+        bpks = [space_for_fpr(e) for e in (0.5, 0.25, 0.10, 0.05, 0.01)]
+        assert all(a <= b for a, b in zip(bpks, bpks[1:]))
+        assert 2.0 < bpks[0] < 40.0
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValueError):
+            required_levels(0.5, 6, 2, 1.5)
+
+
+class TestIndependence:
+    def test_bits_of_roundtrip(self):
+        words = np.array([0b1011, 1 << 63], dtype=np.uint64)
+        bits = bits_of(words)
+        assert bits[:4].tolist() == [1, 1, 0, 1]
+        assert bits[127] == 1
+        assert bits.sum() == 4
+
+    def test_uniform_random_bits_independent(self):
+        rng = np.random.default_rng(5)
+        words = rng.integers(0, 1 << 64, 4000, dtype=np.uint64)
+        table = independence_table(words, context=2)
+        p1 = table[""][1]
+        assert p1 == pytest.approx(0.5, abs=0.01)
+        for pattern in ("00", "01", "10", "11"):
+            assert table[pattern][1] == pytest.approx(p1, abs=0.02)
+
+    def test_built_rbf_near_independent(self):
+        # Table IV: conditional probabilities in a built RBF stay within a
+        # few points of the unconditional P1.
+        keys = generate_keys(3000, "uniform", seed=31)
+        enc = REncoder(keys, bits_per_key=18, seed=31)
+        table = independence_table(enc.rbf._array[:-1], context=2)
+        p1 = table[""][1]
+        for pattern in ("00", "01", "10", "11"):
+            assert abs(table[pattern][1] - p1) < 0.12
+
+    def test_context_zero(self):
+        words = np.array([0xF0F0F0F0F0F0F0F0], dtype=np.uint64)
+        table = independence_table(words, context=0)
+        assert table[""][1] == pytest.approx(0.5)
+
+    def test_invalid_context(self):
+        with pytest.raises(ValueError):
+            independence_table(np.zeros(4, dtype=np.uint64), context=9)

@@ -1,0 +1,56 @@
+"""Tests for the ARF extension baseline."""
+
+import numpy as np
+import pytest
+
+from repro.filters.arf import AdaptiveRangeFilter
+from repro.workloads.queries import uniform_range_queries
+from tests.conftest import assert_no_false_negatives
+
+
+class TestArf:
+    def test_no_false_negatives(self, uniform_keys):
+        arf = AdaptiveRangeFilter(uniform_keys, bits_per_key=16)
+        assert_no_false_negatives(arf, uniform_keys[:200])
+
+    def test_training_reduces_fpr(self, uniform_keys):
+        train = uniform_range_queries(uniform_keys, 400, seed=1)
+        test = uniform_range_queries(uniform_keys, 400, seed=2)
+        untrained = AdaptiveRangeFilter(uniform_keys, bits_per_key=16)
+        trained = AdaptiveRangeFilter(
+            uniform_keys, bits_per_key=16, training_queries=train
+        )
+        fpr_u = sum(untrained.query_range(*q) for q in test) / len(test)
+        fpr_t = sum(trained.query_range(*q) for q in test) / len(test)
+        assert fpr_t <= fpr_u + 0.02
+
+    def test_training_query_is_answered_negative(self, uniform_keys):
+        train = uniform_range_queries(uniform_keys, 100, seed=3)
+        arf = AdaptiveRangeFilter(
+            uniform_keys, bits_per_key=16, training_queries=train
+        )
+        negatives = sum(not arf.query_range(*q) for q in train)
+        # Trained (empty) queries should mostly be learned as negative.
+        assert negatives > len(train) * 0.6
+
+    def test_budget_respected(self, uniform_keys):
+        arf = AdaptiveRangeFilter(uniform_keys, bits_per_key=8)
+        assert arf.size_in_bits() <= 8 * len(uniform_keys) * 1.1
+
+    def test_nonempty_training_query_ignored(self, uniform_keys):
+        k = int(uniform_keys[0])
+        arf = AdaptiveRangeFilter(
+            uniform_keys, bits_per_key=16, training_queries=[(k, k)]
+        )
+        assert arf.query_point(k)
+
+    def test_occupied_counts(self):
+        arf = AdaptiveRangeFilter([10, 20], total_bits=512, key_bits=8)
+        assert arf.query_range(0, 255)
+        assert arf.query_point(10)
+
+    def test_probe_count(self, uniform_keys):
+        arf = AdaptiveRangeFilter(uniform_keys, bits_per_key=8)
+        arf.reset_counters()
+        arf.query_range(0, 100)
+        assert arf.probe_count >= 1

@@ -1,0 +1,105 @@
+"""Unit tests for the Bitmap Tree codec, including the paper's worked
+example from Figure 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.bitmap_tree import BitmapTreeCodec, node_index, path_nodes
+
+
+class TestNodeNumbering:
+    def test_root(self):
+        assert node_index(0, 0) == 1
+
+    def test_depth_one(self):
+        assert node_index(0b0, 1) == 2
+        assert node_index(0b1, 1) == 3
+
+    def test_paper_example_path(self):
+        # Inserting suffix 0100: root node 1, then 2, 5, 10, 20 (Fig. 2).
+        assert path_nodes(0b0100, 4) == [1, 2, 5, 10, 20]
+
+    def test_children_relation(self):
+        for suffix in range(16):
+            node = node_index(suffix, 4)
+            parent = node_index(suffix >> 1, 3)
+            assert node in (2 * parent, 2 * parent + 1)
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            node_index(0, -1)
+
+
+class TestCodec:
+    def test_paper_bitmap(self):
+        # The paper: encoding 0100 yields BT
+        # 1100100001 0000000001 00000000000000000000 0 0 (32 bits).
+        codec = BitmapTreeCodec(4)
+        bt = codec.encode_suffix(0b0100, 4)
+        expected = "11001000010000000001000000000000"
+        assert codec.to_bitstring(bt) == expected
+
+    def test_encode_without_root(self):
+        codec = BitmapTreeCodec(4)
+        bt = codec.encode_suffix(0b0100, 4, include_root=False)
+        assert not codec.get_node(bt, 1)
+        assert codec.get_node(bt, 20)
+
+    def test_encode_levels_subset(self):
+        codec = BitmapTreeCodec(4)
+        bt = codec.encode_levels(0b0100, 4, [2, 4])
+        assert codec.decode_nodes(bt) == [5, 20]
+
+    def test_decode_roundtrip(self):
+        codec = BitmapTreeCodec(8)
+        bt = codec.encode_suffix(0b10110011, 8)
+        nodes = codec.decode_nodes(bt)
+        assert nodes == path_nodes(0b10110011, 8)
+
+    def test_decode_prefixes(self):
+        codec = BitmapTreeCodec(4)
+        bt = codec.encode_suffix(0b0100, 4)
+        assert (0b0100, 4) in codec.decode_prefixes(bt)
+        assert (0, 0) in codec.decode_prefixes(bt)
+
+    def test_word_count_by_group(self):
+        assert BitmapTreeCodec(4).words == 1  # 32-bit BT
+        assert BitmapTreeCodec(5).words == 1  # 64-bit BT
+        assert BitmapTreeCodec(8).words == 8  # 512-bit BT
+
+    def test_get_suffix_bit(self):
+        codec = BitmapTreeCodec(8)
+        bt = codec.encode_suffix(0b1010, 4)
+        assert codec.get_suffix_bit(bt, 0b1010, 4)
+        assert not codec.get_suffix_bit(bt, 0b1011, 4)
+
+    def test_invalid_group_bits(self):
+        with pytest.raises(ValueError):
+            BitmapTreeCodec(0)
+        with pytest.raises(ValueError):
+            BitmapTreeCodec(10)
+
+    def test_suffix_width_bounds(self):
+        codec = BitmapTreeCodec(4)
+        with pytest.raises(ValueError):
+            codec.encode_suffix(0, 5)
+
+    @given(st.integers(min_value=1, max_value=9),
+           st.integers(min_value=0, max_value=(1 << 9) - 1))
+    def test_path_always_sets_depth_plus_one_bits(self, group_bits, raw):
+        codec = BitmapTreeCodec(group_bits)
+        suffix = raw & ((1 << group_bits) - 1)
+        bt = codec.encode_suffix(suffix, group_bits)
+        assert int(np.bitwise_count(bt).sum()) == group_bits + 1
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_distinct_suffixes_distinct_leaves(self, suffix):
+        codec = BitmapTreeCodec(8)
+        bt = codec.encode_suffix(suffix, 8)
+        leaf = node_index(suffix, 8)
+        assert codec.get_node(bt, leaf)
+        other = (suffix + 1) % 256
+        if other != suffix:
+            assert not codec.get_node(bt, node_index(other, 8))

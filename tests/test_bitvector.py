@@ -1,0 +1,90 @@
+"""Tests for the rank/select bit vector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trie.bitvector import BitVector
+
+
+def _naive_rank1(bits, i):
+    return int(sum(bits[:i]))
+
+
+class TestBitVector:
+    def test_empty(self):
+        bv = BitVector(np.zeros(0, dtype=np.uint8))
+        assert len(bv) == 0
+        assert bv.ones == 0
+        assert bv.rank1(0) == 0
+
+    def test_basic_rank(self):
+        bv = BitVector(np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8))
+        assert bv.rank1(0) == 0
+        assert bv.rank1(1) == 1
+        assert bv.rank1(4) == 3
+        assert bv.rank1(7) == 4
+        assert bv.rank0(7) == 3
+
+    def test_basic_select(self):
+        bv = BitVector(np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8))
+        assert bv.select1(1) == 0
+        assert bv.select1(2) == 2
+        assert bv.select1(3) == 3
+        assert bv.select1(4) == 6
+
+    def test_select_rank_inverse(self):
+        rng = np.random.default_rng(0)
+        bits = (rng.random(1000) < 0.3).astype(np.uint8)
+        bv = BitVector(bits)
+        for j in range(1, bv.ones + 1, 7):
+            pos = bv.select1(j)
+            assert bv.rank1(pos) == j - 1
+            assert bv[pos] == 1
+
+    def test_multiword(self):
+        bits = np.zeros(300, dtype=np.uint8)
+        bits[[0, 63, 64, 65, 128, 299]] = 1
+        bv = BitVector(bits)
+        assert bv.ones == 6
+        assert bv.select1(6) == 299
+        assert bv.rank1(300) == 6
+        assert bv.rank1(64) == 2
+
+    def test_getitem_bounds(self):
+        bv = BitVector(np.array([1], dtype=np.uint8))
+        with pytest.raises(IndexError):
+            bv[1]
+        with pytest.raises(IndexError):
+            bv.rank1(2)
+        with pytest.raises(IndexError):
+            bv.select1(2)
+        with pytest.raises(IndexError):
+            bv.select1(0)
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitVector(np.array([0, 2], dtype=np.uint8))
+
+    def test_size_accounting_includes_overhead(self):
+        bv = BitVector(np.ones(1000, dtype=np.uint8))
+        assert bv.size_in_bits() == int(1000 * 1.0625)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=400),
+           st.integers(0, 400))
+    @settings(max_examples=60)
+    def test_hypothesis_rank_matches_naive(self, bits, i):
+        arr = np.array(bits, dtype=np.uint8)
+        bv = BitVector(arr)
+        i = min(i, len(bits))
+        assert bv.rank1(i) == _naive_rank1(bits, i)
+
+    @given(st.lists(st.booleans(), min_size=1, max_size=400))
+    @settings(max_examples=60)
+    def test_hypothesis_select_matches_naive(self, bits):
+        arr = np.array(bits, dtype=np.uint8)
+        bv = BitVector(arr)
+        positions = [i for i, b in enumerate(bits) if b]
+        for j, pos in enumerate(positions, start=1):
+            assert bv.select1(j) == pos

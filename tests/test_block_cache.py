@@ -1,0 +1,99 @@
+"""Tests for the optional LRU block cache in the storage cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+
+
+class TestEnvCache:
+    def test_disabled_by_default(self):
+        env = StorageEnv()
+        env.read(useful=True, block=("t", 0))
+        env.read(useful=True, block=("t", 0))
+        assert env.stats.reads == 2
+        assert env.stats.cache_hits == 0
+
+    def test_repeat_read_hits(self):
+        env = StorageEnv(cache_blocks=4)
+        env.read(useful=True, block=("t", 0))
+        env.read(useful=True, block=("t", 0))
+        assert env.stats.reads == 1
+        assert env.stats.cache_hits == 1
+
+    def test_lru_eviction(self):
+        env = StorageEnv(cache_blocks=2)
+        env.read(useful=True, block="a")
+        env.read(useful=True, block="b")
+        env.read(useful=True, block="a")  # refresh a
+        env.read(useful=True, block="c")  # evicts b
+        env.read(useful=True, block="b")  # miss again
+        assert env.stats.reads == 4
+        assert env.stats.cache_hits == 1
+
+    def test_blockless_reads_bypass(self):
+        env = StorageEnv(cache_blocks=4)
+        env.read(useful=False)
+        env.read(useful=False)
+        assert env.stats.reads == 2
+
+    def test_reset_clears_cache(self):
+        env = StorageEnv(cache_blocks=4)
+        env.read(useful=True, block="a")
+        env.reset()
+        env.read(useful=True, block="a")
+        assert env.stats.reads == 1
+        assert env.stats.cache_hits == 0
+
+
+class TestLsmWithCache:
+    def test_hot_point_reads_cached(self):
+        env = StorageEnv(cache_blocks=64)
+        lsm = LSMTree(None, memtable_capacity=128, env=env)
+        for k in range(1000):
+            lsm.put(k, k)
+        lsm.flush()
+        env.reset()
+        for _ in range(50):
+            assert lsm.get(123) == (True, 123)
+        assert env.stats.reads == 1
+        assert env.stats.cache_hits == 49
+
+    def test_cache_and_filter_complement(self):
+        """Cache absorbs hot repeats; the filter kills empty-range reads
+        the cache could never help with."""
+        rng = np.random.default_rng(3)
+        keys = np.unique(rng.integers(0, 1 << 40, 3000, dtype=np.uint64))
+        wasted = {}
+        for filtered in (False, True):
+            # Cache much smaller than the table's block count, as in any
+            # real deployment.
+            env = StorageEnv(cache_blocks=8)
+            factory = (
+                (lambda ks: REncoder(ks, bits_per_key=18))
+                if filtered else None
+            )
+            lsm = LSMTree(factory, memtable_capacity=256, env=env)
+            for k in keys:
+                lsm.put(int(k), 0)
+            lsm.flush()
+            env.reset()
+            probe = np.random.default_rng(4)
+            tried = 0
+            while tried < 200:
+                # Empty ranges *inside* the fence keys, spread across the
+                # whole key span so the cache cannot absorb them.
+                lo = int(probe.integers(0, 1 << 40))
+                hi = lo + 31
+                i = int(np.searchsorted(keys, np.uint64(lo)))
+                if i < len(keys) and int(keys[i]) <= hi:
+                    continue
+                tried += 1
+                lsm.range_query(lo, hi)
+            wasted[filtered] = env.stats.wasted_reads
+        # The cache alone barely helps distinct empty ranges...
+        assert wasted[False] > 50
+        # ...the filter eliminates them.
+        assert wasted[True] < wasted[False] / 5

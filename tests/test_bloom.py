@@ -1,0 +1,76 @@
+"""Tests for the standard Bloom filter baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.bloom import BloomFilter, optimal_k
+
+
+class TestOptimalK:
+    def test_formula(self):
+        # m/n = 10 -> k ~ 6.9 -> 7.
+        assert optimal_k(10_000, 1000) == 7
+
+    def test_clamped(self):
+        assert optimal_k(1, 1000) == 1
+        assert optimal_k(10_000_000, 10) == 16
+
+    def test_empty(self):
+        assert optimal_k(1000, 0) == 1
+
+
+class TestBloomFilter:
+    def test_no_false_negative_points(self, uniform_keys):
+        bf = BloomFilter(uniform_keys, bits_per_key=12)
+        for k in uniform_keys:
+            assert bf.query_point(int(k))
+
+    def test_fpr_close_to_formula(self, uniform_keys):
+        bf = BloomFilter(uniform_keys, bits_per_key=12)
+        rng = np.random.default_rng(1)
+        probes = rng.integers(0, 1 << 64, 4000, dtype=np.uint64)
+        key_set = set(int(k) for k in uniform_keys)
+        negatives = [int(p) for p in probes if int(p) not in key_set]
+        fpr = sum(bf.query_point(p) for p in negatives) / len(negatives)
+        expected = (1 - np.exp(-bf.k * bf.n_keys / bf.bits)) ** bf.k
+        assert fpr == pytest.approx(expected, abs=0.01)
+
+    def test_p1_near_half_at_optimal_k(self, uniform_keys):
+        bf = BloomFilter(uniform_keys, bits_per_key=12)
+        assert 0.4 < bf.p1 < 0.6
+
+    def test_range_query_scans_keys(self):
+        bf = BloomFilter([100, 200], total_bits=4096, key_bits=16)
+        assert bf.query_range(95, 105)
+        assert bf.query_range(150, 250)
+
+    def test_range_query_cap_conservative(self):
+        bf = BloomFilter([5], total_bits=1024, max_range_probes=10)
+        # Too-wide range: must stay one-sided by answering True.
+        assert bf.query_range(0, 1 << 30)
+
+    def test_incremental_insert(self):
+        bf = BloomFilter([], total_bits=4096)
+        bf.insert(777)
+        assert bf.query_point(777)
+
+    def test_probe_count(self, uniform_keys):
+        bf = BloomFilter(uniform_keys, bits_per_key=12)
+        bf.reset_counters()
+        bf.query_point(3)
+        assert bf.probe_count == bf.k
+        bf.reset_counters()
+        assert bf.probe_count == 0
+
+    def test_explicit_k(self, uniform_keys):
+        bf = BloomFilter(uniform_keys, bits_per_key=12, k=3)
+        assert bf.k == 3
+
+    @given(st.sets(st.integers(0, (1 << 32) - 1), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_hypothesis_no_false_negatives(self, keys):
+        bf = BloomFilter(keys, total_bits=8192, key_bits=32)
+        for k in keys:
+            assert bf.query_point(k)

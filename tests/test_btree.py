@@ -1,0 +1,121 @@
+"""Tests for the B+tree substrate (Use Case 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.storage.btree import BPlusTree
+from repro.storage.env import StorageEnv
+
+
+def _factory(keys):
+    return REncoder(keys, bits_per_key=18)
+
+
+class TestStructure:
+    def test_insert_get(self):
+        bt = BPlusTree(fanout=4)
+        for k in (5, 1, 9, 3, 7):
+            bt.insert(k, k * 10)
+        for k in (5, 1, 9, 3, 7):
+            assert bt.get(k) == (True, k * 10)
+        assert bt.get(2) == (False, None)
+
+    def test_overwrite(self):
+        bt = BPlusTree(fanout=4)
+        bt.insert(1, "a")
+        bt.insert(1, "b")
+        assert bt.get(1) == (True, "b")
+        assert len(bt) == 1
+
+    def test_splits_keep_order(self):
+        bt = BPlusTree(fanout=4)
+        rng = np.random.default_rng(0)
+        keys = rng.permutation(500)
+        for k in keys:
+            bt.insert(int(k), int(k))
+        leaf_keys = [k for leaf in bt.leaves() for k in leaf.keys]
+        assert leaf_keys == sorted(leaf_keys) == list(range(500))
+
+    def test_leaf_chain_complete(self):
+        bt = BPlusTree(fanout=8)
+        for k in range(300):
+            bt.insert(k, k)
+        assert sum(len(leaf.keys) for leaf in bt.leaves()) == 300
+
+    def test_range_query(self):
+        bt = BPlusTree(fanout=8)
+        for k in range(0, 1000, 7):
+            bt.insert(k, k)
+        got = bt.range_query(100, 200)
+        expected = [(k, k) for k in range(0, 1000, 7) if 100 <= k <= 200]
+        assert got == expected
+
+    def test_range_query_invalid(self):
+        bt = BPlusTree()
+        with pytest.raises(ValueError):
+            bt.range_query(5, 4)
+
+    def test_min_fanout(self):
+        with pytest.raises(ValueError):
+            BPlusTree(fanout=2)
+
+
+class TestFilters:
+    def test_filters_skip_empty_leaf_reads(self):
+        env = StorageEnv()
+        bt = BPlusTree(fanout=16, filter_factory=_factory, env=env)
+        for k in range(0, 100_000, 1000):
+            bt.insert(k, k)
+        bt.rebuild_filters()
+        env.reset()
+        n_queries = 0
+        for lo in range(100, 99_000, 2000):
+            assert bt.range_query(lo, lo + 5) == []
+            n_queries += 1
+        # Small per-leaf filters keep a nonzero FPR, but the overwhelming
+        # majority of empty-range leaf reads must be pruned.
+        assert env.stats.reads < n_queries / 4
+
+    def test_incremental_filter_update(self):
+        bt = BPlusTree(fanout=16, filter_factory=_factory)
+        for k in range(0, 3200, 100):
+            bt.insert(k, k)
+        bt.rebuild_filters()
+        bt.insert(55, "new")  # in-place insert must update the leaf filter
+        assert bt.get(55) == (True, "new")
+
+    def test_unfiltered_reads_still_correct(self):
+        env = StorageEnv()
+        bt = BPlusTree(fanout=16, env=env)
+        for k in range(100):
+            bt.insert(k, k)
+        assert bt.get(50) == (True, 50)
+        assert env.stats.reads > 0
+
+    def test_filter_bits_accounted(self):
+        bt = BPlusTree(fanout=16, filter_factory=_factory)
+        for k in range(0, 2000, 10):
+            bt.insert(k, k)
+        bt.rebuild_filters()
+        assert bt.filter_bits() > 0
+
+
+class TestModelConformance:
+    def test_randomized_against_dict(self):
+        rng = np.random.default_rng(9)
+        bt = BPlusTree(fanout=6)
+        model = {}
+        for step in range(2000):
+            key = int(rng.integers(0, 300))
+            if rng.random() < 0.7:
+                bt.insert(key, step)
+                model[key] = step
+            else:
+                assert bt.get(key) == (
+                    (key in model), model.get(key)
+                )
+        lo, hi = 50, 250
+        assert bt.range_query(lo, hi) == sorted(
+            (k, v) for k, v in model.items() if lo <= k <= hi
+        )

@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "REncoder" in out and "fig5" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "query_range" in out
+
+    def test_figure_table4(self, capsys):
+        assert main(
+            ["figure", "table4", "--n-keys", "1000", "--n-queries", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+
+    def test_figure_unknown(self, capsys):
+        assert main(["figure", "nope"]) == 2
+        assert "unknown figure" in capsys.readouterr().err
+
+    def test_shootout(self, capsys):
+        assert main(
+            ["shootout", "--n-keys", "800", "--n-queries", "100"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "REncoderSS" in out and "corr_fpr" in out
+
+    def test_all_figures_registered(self):
+        # Every experiment driver in the bench module has a CLI name.
+        expected = {
+            "fig3a", "fig3b", "fig4", "fig5", "fig5b", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "table1", "table2", "table4",
+        }
+        assert set(FIGURES) == expected
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

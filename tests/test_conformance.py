@@ -1,0 +1,92 @@
+"""Cross-filter conformance harness.
+
+One parametrised property per registered filter: one-sidedness (never a
+false negative) over random small-domain key sets and ranges, checked by
+hypothesis.  This is the repo-wide safety net — any new filter added to
+the registry is automatically covered.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.registry import FILTER_NAMES, build_filter
+from repro.filters.shbf import ShiftingBloomFilter
+
+DOMAIN_BITS = 16
+TOP = (1 << DOMAIN_BITS) - 1
+
+#: ARF trains on queries; Bloom scans ranges — both still conform.
+CONFORMANCE_FILTERS = list(FILTER_NAMES)
+
+
+@pytest.mark.parametrize("name", CONFORMANCE_FILTERS)
+@given(
+    keys=st.sets(st.integers(0, TOP), min_size=1, max_size=40),
+    lo=st.integers(0, TOP),
+    size=st.integers(1, 64),
+    seed=st.integers(0, 3),
+)
+@settings(max_examples=25, deadline=None)
+def test_one_sidedness(name, keys, lo, size, seed):
+    """A filter may err positive, never negative."""
+    arr = np.array(sorted(keys), dtype=np.uint64)
+    filt = build_filter(
+        name, arr, 16.0, key_bits=DOMAIN_BITS, seed=seed,
+        sample_queries=[(1, 2)],
+    )
+    hi = min(TOP, lo + size - 1)
+    if any(lo <= k <= hi for k in keys):
+        assert filt.query_range(lo, hi), f"{name}: false negative"
+    for k in list(keys)[:5]:
+        assert filt.query_point(k), f"{name}: false negative point {k}"
+
+
+@pytest.mark.parametrize("name", CONFORMANCE_FILTERS)
+def test_size_accounting_positive(name, uniform_keys):
+    filt = build_filter(name, uniform_keys[:500], 16.0,
+                        sample_queries=[(1, 2)])
+    assert filt.size_in_bits() > 0
+    assert filt.bits_per_key(500) > 0
+
+
+@pytest.mark.parametrize("name", CONFORMANCE_FILTERS)
+def test_counters_reset(name, uniform_keys):
+    filt = build_filter(name, uniform_keys[:500], 16.0,
+                        sample_queries=[(1, 2)])
+    filt.query_range(10, 20)
+    filt.reset_counters()
+    assert filt.probe_count == 0
+
+
+def test_shbf_conforms_too():
+    # ShBF is not in the figure registry but obeys the same contract.
+    keys = {5, 9, 1000, 40000}
+    filt = ShiftingBloomFilter(keys, total_bits=4096, key_bits=DOMAIN_BITS)
+    for k in keys:
+        assert filt.query_point(k)
+        assert filt.query_range(max(0, k - 2), min(TOP, k + 2))
+
+
+@pytest.mark.parametrize("name", ["REncoder", "REncoderSS", "Rosetta"])
+def test_query_many_matches_single(name, uniform_keys):
+    filt = build_filter(name, uniform_keys[:500], 16.0)
+    ranges = [(10, 20), (1 << 40, (1 << 40) + 31)]
+    assert filt.query_many(ranges) == [
+        filt.query_range(lo, hi) for lo, hi in ranges
+    ]
+
+
+def test_predicted_fpr_is_bound(uniform_keys, empty_queries):
+    from repro.core.rencoder import REncoder
+
+    enc = REncoder(uniform_keys, bits_per_key=18)
+    measured = sum(enc.query_range(*q) for q in empty_queries) / len(
+        empty_queries
+    )
+    predicted = enc.predicted_fpr(range_size=32)
+    assert 0.0 <= predicted <= 1.0
+    assert measured <= predicted + 0.05, (measured, predicted)
+    with pytest.raises(ValueError):
+        enc.predicted_fpr(0)

@@ -1,0 +1,105 @@
+"""Unit and property tests for dyadic range decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decompose import (
+    covering_prefix,
+    decompose,
+    decompose_recursive,
+    prefix_range,
+)
+
+
+class TestPrefixRange:
+    def test_paper_examples(self):
+        # Figure 1: prefix 001 covers [2,3]; 01 covers [4,7]; 1 covers [8,15].
+        assert prefix_range(0b001, 3, 4) == (2, 3)
+        assert prefix_range(0b01, 2, 4) == (4, 7)
+        assert prefix_range(0b1, 1, 4) == (8, 15)
+
+    def test_full_length_prefix_is_point(self):
+        assert prefix_range(13, 4, 4) == (13, 13)
+
+    def test_empty_prefix_is_domain(self):
+        assert prefix_range(0, 0, 4) == (0, 15)
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            prefix_range(0, 5, 4)
+
+
+class TestCoveringPrefix:
+    def test_point(self):
+        assert covering_prefix(5, 5, 4) == (5, 4)
+
+    def test_half_domain(self):
+        assert covering_prefix(8, 15, 4) == (1, 1)
+
+    def test_whole_domain(self):
+        assert covering_prefix(0, 15, 4) == (0, 0)
+
+    def test_contains_range(self):
+        p, l = covering_prefix(5, 6, 4)
+        lo, hi = prefix_range(p, l, 4)
+        assert lo <= 5 and 6 <= hi
+
+
+class TestDecompose:
+    def test_paper_example(self):
+        # Section III-B: [0, 4] over 4-bit keys -> prefixes 00 and 0100.
+        assert decompose(0, 4, 4) == [(0b00, 2), (0b0100, 4)]
+
+    def test_paper_example_query(self):
+        # Section I: [2, 15] -> 001 ([2,3]), 01 ([4,7]), 1 ([8,15]).
+        assert decompose(2, 15, 4) == [(0b001, 3), (0b01, 2), (0b1, 1)]
+
+    def test_whole_domain(self):
+        assert decompose(0, 15, 4) == [(0, 0)]
+
+    def test_point(self):
+        assert decompose(9, 9, 4) == [(9, 4)]
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            decompose(5, 4, 4)
+        with pytest.raises(ValueError):
+            decompose(0, 16, 4)
+
+    def test_64bit_domain(self):
+        top = (1 << 64) - 1
+        pieces = decompose(1, top, 64)
+        assert len(pieces) <= 2 * 64
+        assert pieces[0] == (1, 64)
+
+    @staticmethod
+    def _expand(pieces, key_bits):
+        covered = []
+        for p, l in pieces:
+            lo, hi = prefix_range(p, l, key_bits)
+            covered.append((lo, hi))
+        return covered
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_exact_disjoint_cover(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        spans = self._expand(decompose(lo, hi, 8), 8)
+        # Left-to-right, contiguous, exactly covering [lo, hi].
+        assert spans[0][0] == lo
+        assert spans[-1][1] == hi
+        for (a0, a1), (b0, b1) in zip(spans, spans[1:]):
+            assert b0 == a1 + 1
+
+    @given(st.integers(0, 1023), st.integers(0, 1023))
+    def test_matches_recursive(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        assert decompose(lo, hi, 10) == decompose_recursive(lo, hi, 10)
+
+    @given(st.integers(0, 255), st.integers(1, 64))
+    def test_size_r_needs_at_most_2logr_pieces(self, lo, size):
+        hi = min(lo + size - 1, 255)
+        pieces = decompose(lo, hi, 8)
+        r = hi - lo + 1
+        bound = 2 * max(1, r.bit_length())
+        assert len(pieces) <= bound

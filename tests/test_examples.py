@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs to completion.
+
+Examples are the public face of the library; a refactor that breaks one
+should fail the suite, not a user.  Each is executed as a subprocess (its
+own interpreter, like a user would run it) and its expected headline
+output is checked.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+EXPECTED_SNIPPETS = {
+    "quickstart.py": "false positive rate",
+    "lsm_range_queries.py": "wasted",
+    "btree_leaf_filters.py": "leaf reads",
+    "rtree_spatial.py": "Z-intervals",
+    "float_keys.py": "FPR on",
+    "adaptive_levels.py": "Figure 9 in miniature",
+    "filter_shootout.py": "correlated column",
+    "persistence.py": "no false negatives",
+    "quadtree_native.py": "indifferent to arity",
+}
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_SNIPPETS), (
+        "add new examples to EXPECTED_SNIPPETS so they stay smoke-tested"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_SNIPPETS))
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_SNIPPETS[name] in result.stdout

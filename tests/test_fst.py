@@ -1,0 +1,216 @@
+"""Tests for the LOUDS-Dense/Sparse hybrid (FastSuccinctTrie)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trie.fst import FastSuccinctTrie
+from repro.trie.louds import LoudsSparseTrie
+
+
+def _sparse_lookup(sp: LoudsSparseTrie, kb: bytes):
+    slot = sp.lookup_prefix(kb)
+    if slot < 0:
+        return None
+    return int(sp.leaf_key_idx[slot]), int(sp.leaf_depth[slot])
+
+
+def _sparse_lower(sp: LoudsSparseTrie, kb: bytes, reject=None):
+    sp_reject = None
+    if reject is not None:
+        def sp_reject(slot):
+            return reject(int(sp.leaf_key_idx[slot]),
+                          int(sp.leaf_depth[slot]))
+    slot, amb = sp.lower_bound_leaf(kb, reject=sp_reject)
+    if slot < 0:
+        return None
+    return int(sp.leaf_key_idx[slot]), int(sp.leaf_depth[slot]), amb
+
+
+class TestAgainstSparseReference:
+    """The hybrid must answer identically to the pure sparse encoding."""
+
+    @pytest.fixture(scope="class")
+    def tries(self):
+        rng = np.random.default_rng(90)
+        keys = np.unique(rng.integers(0, 1 << 64, 4000, dtype=np.uint64))
+        return (
+            FastSuccinctTrie(keys, key_bytes=8, dense_ratio=16),
+            LoudsSparseTrie(keys, key_bytes=8),
+            keys,
+        )
+
+    def test_has_dense_head(self, tries):
+        fst, _, _ = tries
+        assert fst.cutoff >= 1
+        assert fst.n_dense_nodes >= 1
+
+    def test_lookup_agrees_on_keys(self, tries):
+        fst, sp, keys = tries
+        for i in range(0, len(keys), 29):
+            kb = int(keys[i]).to_bytes(8, "big")
+            assert fst.lookup(kb) == _sparse_lookup(sp, kb)
+
+    def test_lookup_agrees_on_probes(self, tries):
+        fst, sp, keys = tries
+        rng = np.random.default_rng(91)
+        for probe in rng.integers(0, 1 << 64, 1500, dtype=np.uint64):
+            kb = int(probe).to_bytes(8, "big")
+            assert fst.lookup(kb) == _sparse_lookup(sp, kb)
+
+    def test_lower_bound_agrees(self, tries):
+        fst, sp, keys = tries
+        rng = np.random.default_rng(92)
+        for probe in rng.integers(0, 1 << 64, 1500, dtype=np.uint64):
+            kb = int(probe).to_bytes(8, "big")
+            assert fst.lower_bound(kb) == _sparse_lower(sp, kb)
+
+    def test_lower_bound_with_reject_agrees(self, tries):
+        fst, sp, keys = tries
+
+        def reject(idx, depth):
+            return (idx + depth) % 3 == 0
+
+        rng = np.random.default_rng(93)
+        for probe in rng.integers(0, 1 << 64, 600, dtype=np.uint64):
+            kb = int(probe).to_bytes(8, "big")
+            assert fst.lower_bound(kb, reject=reject) == _sparse_lower(
+                sp, kb, reject=reject
+            )
+
+    def test_stats_consistent(self, tries):
+        fst, sp, keys = tries
+        assert fst.stats.n_keys == len(keys)
+        assert fst.stats.n_leaves == len(keys)
+        # Edge totals agree: every sparse edge above the cutoff became a
+        # dense bitmap bit.
+        assert fst.stats.n_edges == sp.stats.n_edges
+
+    def test_size_competitive(self, tries):
+        fst, sp, _ = tries
+        # The cutoff rule only admits dense levels that pay for themselves.
+        assert fst.size_in_bits() <= sp.size_in_bits() * 1.05
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        fst = FastSuccinctTrie(np.zeros(0, dtype=np.uint64), key_bytes=2)
+        assert fst.lookup(b"\x00\x01") is None
+        assert fst.lower_bound(b"\x00\x01") is None
+        assert fst.size_in_bits() >= 0
+
+    def test_single_key(self):
+        fst = FastSuccinctTrie(np.array([0xBEEF], dtype=np.uint64),
+                               key_bytes=2)
+        assert fst.lookup(b"\xbe\xef") is not None
+        assert fst.lower_bound(b"\x00\x00")[0] == 0
+
+    def test_forced_pure_sparse(self):
+        keys = np.unique(
+            np.random.default_rng(94).integers(0, 1 << 32, 300,
+                                               dtype=np.uint64)
+        )
+        fst = FastSuccinctTrie(keys, key_bytes=4, dense_ratio=10 ** 9)
+        assert fst.cutoff == 0
+        for k in keys[:50]:
+            assert fst.lookup(int(k).to_bytes(4, "big")) is not None
+
+    def test_deep_dense_head(self):
+        # Dense-friendly data: keys packed into a tiny prefix space force
+        # several dense levels to pay for themselves.
+        keys = np.arange(0, 1 << 14, dtype=np.uint64)
+        fst = FastSuccinctTrie(keys, key_bytes=2, dense_ratio=1)
+        assert fst.cutoff >= 1
+        for k in (0, 100, (1 << 14) - 1):
+            assert fst.lookup(int(k).to_bytes(2, "big")) is not None
+
+    def test_prefix_value(self):
+        keys = np.array([0x0100, 0xFF00], dtype=np.uint64)
+        fst = FastSuccinctTrie(keys, key_bytes=2)
+        found = fst.lookup(b"\xff\x12")
+        assert found is not None
+        key_idx, depth = found
+        assert fst.prefix_value(key_idx, depth) == 0xFF00
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            FastSuccinctTrie(np.array([5, 3], dtype=np.uint64), key_bytes=2)
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            FastSuccinctTrie(np.array([1], dtype=np.uint64), dense_ratio=0)
+
+    @given(st.sets(st.integers(0, (1 << 16) - 1), min_size=1, max_size=80),
+           st.integers(0, (1 << 16) - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_hypothesis_agrees_with_sparse(self, keys, probe):
+        arr = np.array(sorted(keys), dtype=np.uint64)
+        fst = FastSuccinctTrie(arr, key_bytes=2, dense_ratio=2)
+        sp = LoudsSparseTrie(arr, key_bytes=2)
+        kb = int(probe).to_bytes(2, "big")
+        assert fst.lookup(kb) == _sparse_lookup(sp, kb)
+        assert fst.lower_bound(kb) == _sparse_lower(sp, kb)
+
+
+class TestMultiLevelDenseHead:
+    """The LOUDS-Dense head spanning two+ levels: descent and
+    backtracking must cross dense->dense and dense->sparse boundaries."""
+
+    @pytest.fixture(scope="class")
+    def tries(self):
+        rng = np.random.default_rng(95)
+        keys = np.unique(rng.integers(0, 1 << 18, 30_000, dtype=np.uint64))
+        fst = FastSuccinctTrie(keys, key_bytes=3, dense_ratio=1)
+        sp = LoudsSparseTrie(keys, key_bytes=3)
+        assert fst.cutoff >= 2, "fixture must exercise a deep dense head"
+        return fst, sp, keys
+
+    def test_lookup_agrees(self, tries):
+        fst, sp, keys = tries
+        rng = np.random.default_rng(96)
+        for probe in rng.integers(0, 1 << 18, 2000, dtype=np.uint64):
+            kb = int(probe).to_bytes(3, "big")
+            assert fst.lookup(kb) == _sparse_lookup(sp, kb)
+
+    def test_lookup_on_keys(self, tries):
+        fst, sp, keys = tries
+        for i in range(0, len(keys), 197):
+            kb = int(keys[i]).to_bytes(3, "big")
+            assert fst.lookup(kb) == _sparse_lookup(sp, kb)
+
+    def test_lower_bound_agrees(self, tries):
+        fst, sp, keys = tries
+        rng = np.random.default_rng(97)
+        for probe in rng.integers(0, 1 << 18, 2000, dtype=np.uint64):
+            kb = int(probe).to_bytes(3, "big")
+            assert fst.lower_bound(kb) == _sparse_lower(sp, kb)
+
+    def test_lower_bound_with_reject_agrees(self, tries):
+        fst, sp, keys = tries
+
+        def reject(idx, depth):
+            return idx % 2 == 0
+
+        rng = np.random.default_rng(98)
+        for probe in rng.integers(0, 1 << 18, 800, dtype=np.uint64):
+            kb = int(probe).to_bytes(3, "big")
+            assert fst.lower_bound(kb, reject=reject) == _sparse_lower(
+                sp, kb, reject=reject
+            )
+
+    def test_dense_backtracking_corner(self, tries):
+        fst, sp, _ = tries
+        # Probes past the largest key must exhaust via dense backtracking.
+        kb = (0xFFFFFF).to_bytes(3, "big")
+        assert fst.lower_bound(kb) == _sparse_lower(sp, kb)
+
+    def test_surf_on_deep_dense_head(self, tries):
+        from repro.filters.surf import SuRF
+
+        _, _, keys = tries
+        surf = SuRF(keys, key_bits=24, dense_ratio=1)
+        assert surf.trie.cutoff >= 2
+        for k in keys[:300]:
+            assert surf.query_point(int(k))
+            assert surf.query_range(max(0, int(k) - 3), int(k) + 3)

@@ -1,0 +1,181 @@
+"""Tests for the generic arity-N local encoder and the quadtree filter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.generic import (
+    GenericPrefixFilter,
+    LocalTreeEncoder,
+    QuadtreeFilter,
+)
+
+
+class TestLocalTreeEncoder:
+    def test_binary_matches_bitmap_tree_geometry(self):
+        enc = LocalTreeEncoder(2, 8)
+        # (2^9 - 1)/(2 - 1) = 511 nodes -> 512-bit BT: the paper's unit.
+        assert enc.n_nodes == 511
+        assert enc.bt_bits == 512
+
+    def test_quad_geometry(self):
+        enc = LocalTreeEncoder(4, 4)
+        assert enc.n_nodes == 341  # (4^5 - 1)/3
+        assert enc.bt_bits == 512
+
+    def test_binary_numbering_matches_codec(self):
+        # The arity-2 instance numbers nodes like the BitmapTreeCodec
+        # (shifted by one: codec is 1-based, encoder is 0-based).
+        from repro.core.bitmap_tree import node_index
+
+        enc = LocalTreeEncoder(2, 4)
+        for depth in range(5):
+            for suffix in range(1 << depth):
+                assert enc.node_index(suffix, depth) == (
+                    node_index(suffix, depth) - 1
+                )
+
+    def test_encode_path_sets_depth_plus_one_bits(self):
+        enc = LocalTreeEncoder(4, 4)
+        bt = enc.encode_path(0b11011010, 4)
+        assert sum(bin(int(w)).count("1") for w in bt) == 5
+
+    def test_path_bits_are_ancestors(self):
+        enc = LocalTreeEncoder(3, 3)
+        suffix = 2 * 9 + 1 * 3 + 2  # digits (2, 1, 2)
+        bt = enc.encode_path(suffix, 3)
+        assert enc.get_node(bt, enc.node_index(suffix, 3))
+        assert enc.get_node(bt, enc.node_index(suffix // 3, 2))
+        assert enc.get_node(bt, enc.node_index(suffix // 9, 1))
+        assert enc.get_node(bt, 0)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LocalTreeEncoder(1, 4)
+        with pytest.raises(ValueError):
+            LocalTreeEncoder(4, 0)
+        with pytest.raises(ValueError):
+            LocalTreeEncoder(4, 4).node_index(0, 5)
+
+
+class TestGenericPrefixFilter:
+    @pytest.fixture(scope="class")
+    def built(self):
+        rng = np.random.default_rng(33)
+        keys = sorted({int(k) for k in rng.integers(0, 4**10, 1500,
+                                                    dtype=np.uint64)})
+        filt = GenericPrefixFilter(keys, total_bits=24 * 1500, arity=4,
+                                   num_digits=10)
+        return filt, keys
+
+    def test_no_false_negative_prefixes(self, built):
+        filt, keys = built
+        for key in keys[:200]:
+            for level in sorted(filt.stored_levels):
+                prefix = key // (4 ** (10 - level))
+                assert filt.query_prefix(prefix, level)
+
+    def test_no_false_negative_subtrees(self, built):
+        filt, keys = built
+        for key in keys[:200]:
+            assert filt.query_subtree(key, 10)
+            assert filt.query_subtree(key // 16, 8)
+
+    def test_deep_bit_fpr_near_p1_squared(self, built):
+        filt, keys = built
+        key_set = set(keys)
+        rng = np.random.default_rng(34)
+        fp = tried = 0
+        for probe in rng.integers(0, 4**10, 2000, dtype=np.uint64):
+            if int(probe) in key_set:
+                continue
+            tried += 1
+            fp += filt.query_prefix(int(probe), 10)
+        expected = filt.rbf.p1 ** filt.rbf.k
+        assert fp / tried == pytest.approx(expected, abs=0.08)
+
+    def test_adaptive_levels_bottom_up(self, built):
+        filt, _ = built
+        levels = sorted(filt.stored_levels)
+        assert levels[-1] == 10  # the deepest level is always stored
+        assert levels == list(range(levels[0], 11))  # contiguous upward
+
+    def test_incremental_insert(self, built):
+        filt, keys = built
+        new_key = next(
+            k for k in range(4**10) if k not in set(keys)
+        )
+        filt.insert(new_key)
+        assert filt.query_subtree(new_key, 10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            GenericPrefixFilter([4**3], total_bits=512, arity=4,
+                                num_digits=3)
+        with pytest.raises(ValueError):
+            GenericPrefixFilter([], total_bits=512, arity=4, num_digits=0)
+
+
+class TestQuadtreeFilter:
+    @pytest.fixture(scope="class")
+    def built(self):
+        rng = np.random.default_rng(35)
+        pts = [
+            (int(x), int(y)) for x, y in rng.integers(0, 1 << 10, (800, 2))
+        ]
+        return QuadtreeFilter(pts, coord_bits=10, bits_per_key=24), pts
+
+    def test_no_false_negative_points(self, built):
+        qf, pts = built
+        for x, y in pts[:200]:
+            assert qf.query_point(x, y)
+
+    def test_no_false_negative_rects(self, built):
+        qf, pts = built
+        for x, y in pts[:100]:
+            assert qf.query_rect(
+                max(0, x - 2), min(1023, x + 2),
+                max(0, y - 2), min(1023, y + 2),
+            )
+
+    def test_empty_rects_mostly_rejected(self, built):
+        qf, pts = built
+        pts_set = set(pts)
+        rng = np.random.default_rng(36)
+        fp = tried = 0
+        while tried < 200:
+            x0 = int(rng.integers(0, 1016))
+            y0 = int(rng.integers(0, 1016))
+            if any((x, y) in pts_set
+                   for x in range(x0, x0 + 8) for y in range(y0, y0 + 8)):
+                continue
+            tried += 1
+            fp += qf.query_rect(x0, x0 + 7, y0, y0 + 7)
+        assert fp / tried < 0.25
+
+    def test_morton_digits_order_preserving(self, built):
+        qf, _ = built
+        # A point's quadtree digits refine from the most significant bit.
+        z_small = qf._morton(0, 0)
+        z_big = qf._morton((1 << 10) - 1, (1 << 10) - 1)
+        assert z_small == 0
+        assert z_big == 4**10 - 1
+
+    def test_invalid(self, built):
+        qf, _ = built
+        with pytest.raises(ValueError):
+            qf.query_rect(5, 4, 0, 1)
+        with pytest.raises(ValueError):
+            qf._morton(1 << 10, 0)
+        with pytest.raises(ValueError):
+            QuadtreeFilter([(0, 0)], coord_bits=0)
+
+    @given(st.sets(st.tuples(st.integers(0, 63), st.integers(0, 63)),
+                   min_size=1, max_size=40))
+    @settings(max_examples=30, deadline=None)
+    def test_hypothesis_no_false_negatives(self, pts):
+        qf = QuadtreeFilter(sorted(pts), coord_bits=6, bits_per_key=24)
+        for x, y in pts:
+            assert qf.query_point(x, y)
+            assert qf.query_rect(x, x, y, y)

@@ -1,0 +1,126 @@
+"""Tests for the Golomb-Rice bitstream codec behind SNARF."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.golomb import BitReader, BitWriter, RiceBlockArray
+
+
+class TestBitStream:
+    def test_roundtrip_bits(self):
+        w = BitWriter()
+        w.write_bits(0b1011, 4)
+        w.write_bits(0xFFFF, 16)
+        w.write_bits(0, 3)
+        w.write_bits(1, 1)
+        r = BitReader(w.to_array())
+        assert r.read_bits(4) == 0b1011
+        assert r.read_bits(16) == 0xFFFF
+        assert r.read_bits(3) == 0
+        assert r.read_bits(1) == 1
+
+    def test_roundtrip_unary(self):
+        w = BitWriter()
+        for q in (0, 1, 5, 63, 64, 200):
+            w.write_unary(q)
+        r = BitReader(w.to_array())
+        for q in (0, 1, 5, 63, 64, 200):
+            assert r.read_unary() == q
+
+    def test_cross_word_boundary(self):
+        w = BitWriter()
+        w.write_bits(0, 60)
+        w.write_bits(0b1111, 4)  # ends exactly at the boundary
+        w.write_bits(0b1010, 4)  # starts a new word
+        r = BitReader(w.to_array(), bit_offset=60)
+        assert r.read_bits(4) == 0b1111
+        assert r.read_bits(4) == 0b1010
+
+    def test_bit_length(self):
+        w = BitWriter()
+        assert w.bit_length == 0
+        w.write_bits(1, 7)
+        assert w.bit_length == 7
+        w.write_unary(2)  # 3 more bits
+        assert w.bit_length == 10
+
+    def test_negative_nbits(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_bits(1, -1)
+
+    @given(st.lists(st.tuples(st.integers(0, (1 << 32) - 1),
+                              st.integers(1, 48)), min_size=1, max_size=50))
+    @settings(max_examples=60)
+    def test_hypothesis_roundtrip(self, chunks):
+        w = BitWriter()
+        for value, nbits in chunks:
+            w.write_bits(value, nbits)
+        r = BitReader(w.to_array())
+        for value, nbits in chunks:
+            assert r.read_bits(nbits) == value & ((1 << nbits) - 1)
+
+
+class TestRiceBlockArray:
+    def test_decode_all_roundtrip(self):
+        rng = np.random.default_rng(0)
+        positions = np.sort(rng.integers(0, 1 << 20, 500))
+        arr = RiceBlockArray(positions, rice_param=8, block_size=32)
+        assert (arr.decode_all() == positions).all()
+
+    def test_duplicates_allowed(self):
+        positions = np.array([5, 5, 5, 9])
+        arr = RiceBlockArray(positions, rice_param=2)
+        assert (arr.decode_all() == positions).all()
+
+    def test_any_in_range_matches_naive(self):
+        rng = np.random.default_rng(1)
+        positions = np.sort(rng.integers(0, 5000, 300))
+        arr = RiceBlockArray(positions, rice_param=4, block_size=16)
+        pos_set = positions.tolist()
+        for _ in range(300):
+            lo = int(rng.integers(0, 5200))
+            hi = lo + int(rng.integers(0, 50))
+            expected = any(lo <= p <= hi for p in pos_set)
+            got, _ = arr.any_in_range(lo, hi)
+            assert got == expected, (lo, hi)
+
+    def test_empty(self):
+        arr = RiceBlockArray(np.zeros(0, dtype=np.int64), rice_param=4)
+        assert arr.any_in_range(0, 100) == (False, 0)
+
+    def test_inverted_range(self):
+        arr = RiceBlockArray(np.array([5]), rice_param=2)
+        assert arr.any_in_range(10, 3) == (False, 0)
+
+    def test_range_before_first(self):
+        arr = RiceBlockArray(np.array([100, 200]), rice_param=3)
+        assert arr.any_in_range(0, 99) == (False, 0)
+
+    def test_negative_query_bounds(self):
+        arr = RiceBlockArray(np.array([0, 7]), rice_param=2)
+        assert arr.any_in_range(-10, -1) == (False, 0)
+        assert arr.any_in_range(-10, 0)[0] is True
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            RiceBlockArray(np.array([5, 3]), rice_param=2)
+
+    def test_size_shrinks_with_good_param(self):
+        rng = np.random.default_rng(2)
+        gaps = rng.integers(200, 312, 400)
+        positions = np.cumsum(gaps)
+        right = RiceBlockArray(positions, rice_param=8).size_in_bits()
+        wrong = RiceBlockArray(positions, rice_param=0).size_in_bits()
+        assert right < wrong
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=120),
+           st.integers(0, 10_000), st.integers(0, 200))
+    @settings(max_examples=60)
+    def test_hypothesis_any_in_range(self, raw, lo, width):
+        positions = np.sort(np.array(raw, dtype=np.int64))
+        arr = RiceBlockArray(positions, rice_param=5, block_size=8)
+        hi = lo + width
+        expected = any(lo <= p <= hi for p in raw)
+        assert arr.any_in_range(lo, hi)[0] == expected

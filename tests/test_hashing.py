@@ -1,0 +1,114 @@
+"""Unit tests for the hash families."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    HashFamily,
+    bobhash32,
+    bobhash64,
+    mix64,
+    mix64_array,
+    seeds_for,
+)
+
+
+class TestBobHash:
+    def test_deterministic(self):
+        assert bobhash32(b"hello", 7) == bobhash32(b"hello", 7)
+
+    def test_seed_changes_output(self):
+        assert bobhash32(b"hello", 1) != bobhash32(b"hello", 2)
+
+    def test_data_changes_output(self):
+        assert bobhash32(b"hello", 1) != bobhash32(b"hellp", 1)
+
+    def test_32bit_range(self):
+        for data in (b"", b"x", b"twelve bytes", b"a longer input spanning blocks"):
+            assert 0 <= bobhash32(data, 99) < (1 << 32)
+
+    def test_empty_input(self):
+        # lookup3 on an empty string returns the mixed initval path.
+        assert bobhash32(b"", 0) == bobhash32(b"", 0)
+        assert bobhash32(b"", 0) != bobhash32(b"", 1)
+
+    def test_multiblock_input(self):
+        data = bytes(range(40))  # > 12 bytes: exercises the mix loop
+        assert bobhash32(data, 3) != bobhash32(data[:-1] + b"\xff", 3)
+
+    def test_bobhash64_combines_halves(self):
+        h = bobhash64(123456789, 42)
+        assert 0 <= h < (1 << 64)
+        assert (h >> 32) != (h & 0xFFFFFFFF)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    def test_bobhash64_any_key(self, key):
+        assert 0 <= bobhash64(key, 5) < (1 << 64)
+
+
+class TestMix64:
+    def test_bijective_on_samples(self):
+        # splitmix64's finalizer is a permutation: no collisions expected
+        # on a large sample.
+        xs = np.random.default_rng(0).integers(0, 1 << 64, 20_000, dtype=np.uint64)
+        hashed = {mix64(int(x)) for x in xs[:2000]}
+        assert len(hashed) == len(set(int(x) for x in xs[:2000]))
+
+    def test_vectorised_matches_scalar(self):
+        xs = np.random.default_rng(1).integers(0, 1 << 64, 1000, dtype=np.uint64)
+        vec = mix64_array(xs)
+        for i in range(0, 1000, 97):
+            assert int(vec[i]) == mix64(int(xs[i]))
+
+    def test_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        base = mix64(0x0123456789ABCDEF)
+        flipped = mix64(0x0123456789ABCDEE)
+        assert 16 <= bin(base ^ flipped).count("1") <= 48
+
+    def test_seeds_for_deterministic_and_distinct(self):
+        a = seeds_for(8, 42)
+        assert a == seeds_for(8, 42)
+        assert len(set(a)) == 8
+        assert seeds_for(8, 43) != a
+
+
+class TestHashFamily:
+    def test_positions_in_range(self):
+        fam = HashFamily(4, 1000, seed=3)
+        for key in (0, 1, (1 << 64) - 1, 123456):
+            positions = fam.positions(key)
+            assert len(positions) == 4
+            assert all(0 <= p < 1000 for p in positions)
+
+    def test_position_matches_positions(self):
+        fam = HashFamily(3, 777, seed=9)
+        assert [fam.position(42, i) for i in range(3)] == fam.positions(42)
+
+    def test_vectorised_matches_scalar(self):
+        fam = HashFamily(3, 512, seed=5)
+        keys = np.random.default_rng(2).integers(0, 1 << 64, 100, dtype=np.uint64)
+        arr = fam.positions_array(keys)
+        assert arr.shape == (3, 100)
+        for j in range(0, 100, 13):
+            assert list(arr[:, j]) == fam.positions(int(keys[j]))
+
+    def test_uniformity(self):
+        fam = HashFamily(1, 16, seed=8)
+        keys = np.random.default_rng(3).integers(0, 1 << 64, 16000, dtype=np.uint64)
+        counts = np.bincount(fam.positions_array(keys)[0].astype(int), minlength=16)
+        assert counts.min() > 16000 / 16 * 0.8
+        assert counts.max() < 16000 / 16 * 1.2
+
+    def test_rebucket_preserves_seed(self):
+        fam = HashFamily(2, 100, seed=4)
+        re = fam.rebucket(200)
+        assert re.k == 2 and re.buckets == 200 and re.seed == 4
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            HashFamily(0, 10)
+        with pytest.raises(ValueError):
+            HashFamily(2, 0)

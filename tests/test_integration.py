@@ -1,0 +1,170 @@
+"""Cross-module integration tests: every filter inside the LSM-tree, the
+paper's worked example end-to-end, and the three use cases together."""
+
+import numpy as np
+import pytest
+
+from repro.bench.registry import build_filter
+from repro.core.rencoder import REncoder
+from repro.core.variants import REncoderSE, REncoderSS
+from repro.filters.bloom import BloomFilter
+from repro.filters.rosetta import Rosetta
+from repro.filters.snarf import Snarf
+from repro.filters.surf import SuRF
+from repro.storage.btree import BPlusTree
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+from repro.storage.rtree import RTree
+from repro.workloads.datasets import generate_keys
+
+
+class TestPaperWorkedExample:
+    """The running example of Figures 1-2: 8-bit keys, B=4 mini-trees."""
+
+    def test_insert_and_range_query_164(self):
+        # Insert key 164 (10100100); query [160, 165] must be positive.
+        enc = REncoder([164], total_bits=2048, key_bits=8, group_bits=4,
+                       rmax=8, k=2)
+        assert enc.query_range(160, 165)
+        assert enc.query_point(164)
+
+    def test_fig2_negative_subrange(self):
+        # With only 164 stored, [160, 163] (prefix 101000x) is empty and
+        # should usually be pruned via the same BT that proves 164.
+        enc = REncoder([164], total_bits=4096, key_bits=8, group_bits=4,
+                       rmax=8, k=2)
+        assert not enc.query_range(160, 163)
+
+    def test_fig2_locality_one_fetch(self):
+        # The example's punchline: the whole [160,165] query is served by
+        # (about) one RBF fetch because both sub-ranges share a mini-tree.
+        enc = REncoder([164], total_bits=2048, key_bits=8, group_bits=4,
+                       rmax=8, k=2)
+        enc.reset_counters()
+        enc.query_range(160, 165)
+        # One BT fetch (= k window probes) serves both sub-ranges.
+        assert enc.probe_count <= 2 * enc.rbf.k
+
+    def test_fig1_prefix_recording(self):
+        # Inserting 1101 records 1, 11, 110, 1101 (Figure 1): the ranges
+        # [8,15], [12,15], [12,13], [13,13] must all report positive.
+        enc = REncoder([0b1101], total_bits=2048, key_bits=4, group_bits=4,
+                       rmax=16, k=2)
+        for lo, hi in [(8, 15), (12, 15), (12, 13), (13, 13)]:
+            assert enc.query_range(lo, hi)
+
+
+FILTERS_IN_LSM = ["REncoder", "REncoderSS", "Rosetta", "SuRF", "SNARF",
+                  "ProteusNS", "Bloom", "PrefixBloom"]
+
+
+class TestEveryFilterInLsm:
+    @pytest.mark.parametrize("name", FILTERS_IN_LSM)
+    def test_lsm_round_trip(self, name):
+        env = StorageEnv()
+        lsm = LSMTree(
+            lambda ks, n=name: build_filter(n, ks, 18.0),
+            memtable_capacity=128,
+            env=env,
+        )
+        rng = np.random.default_rng(hash(name) % (1 << 32))
+        keys = np.unique(rng.integers(0, 1 << 52, 700, dtype=np.uint64))
+        for k in keys:
+            lsm.put(int(k), int(k) + 1)
+        lsm.flush()
+        for k in keys[:80]:
+            assert lsm.get(int(k)) == (True, int(k) + 1)
+        lo, hi = int(keys[10]), int(keys[20])
+        got = lsm.range_query(lo, hi)
+        expected = [(int(k), int(k) + 1) for k in keys if lo <= int(k) <= hi]
+        assert got == expected
+
+
+class TestUseCases:
+    def test_use_case_1_lsm_empty_range_io_savings(self):
+        keys = generate_keys(2000, "uniform", seed=60)
+        results = {}
+        for name, factory in [
+            ("rencoder", lambda ks: REncoder(ks, bits_per_key=18)),
+            ("none", None),
+        ]:
+            env = StorageEnv()
+            lsm = LSMTree(factory, memtable_capacity=512, env=env)
+            for k in keys:
+                lsm.put(int(k), 0)
+            lsm.flush()
+            env.reset()
+            rng = np.random.default_rng(61)
+            for _ in range(100):
+                lo = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+                hi = min(lo + 31, (1 << 64) - 1)
+                i = np.searchsorted(keys, np.uint64(lo))
+                if i < len(keys) and int(keys[i]) <= hi:
+                    continue
+                lsm.range_query(lo, hi)
+            results[name] = env.stats.reads
+        assert results["rencoder"] < results["none"] / 2
+
+    def test_use_case_2_btree(self):
+        keys = generate_keys(1500, "uniform", seed=62)
+        env = StorageEnv()
+        bt = BPlusTree(
+            fanout=32,
+            filter_factory=lambda ks: REncoder(ks, bits_per_key=20),
+            env=env,
+        )
+        for k in keys:
+            bt.insert(int(k), "v")
+        bt.rebuild_filters()
+        env.reset()
+        rng = np.random.default_rng(63)
+        empty = 0
+        for _ in range(100):
+            lo = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+            hi = min(lo + 31, (1 << 64) - 1)
+            i = np.searchsorted(keys, np.uint64(lo))
+            if i < len(keys) and int(keys[i]) <= hi:
+                continue
+            empty += 1
+            assert bt.range_query(lo, hi) == []
+        assert env.stats.reads < empty / 4
+
+    def test_use_case_3_rtree_spatial(self):
+        rng = np.random.default_rng(64)
+        pts = [(int(x), int(y)) for x, y in rng.integers(0, 1 << 12, (600, 2))]
+        env = StorageEnv()
+        rt = RTree(
+            pts,
+            coord_bits=12,
+            leaf_capacity=32,
+            filter_factory=lambda ks: REncoder(ks, bits_per_key=20,
+                                               key_bits=24),
+            env=env,
+        )
+        # Spatial point lookups of stored points always succeed.
+        for x, y in pts[:40]:
+            assert ((x, y), None) in rt.query_rect(x, x, y, y)
+
+
+class TestCrossFilterAgreement:
+    def test_negatives_always_true_negatives(self):
+        """Any filter saying 'empty' must agree with ground truth."""
+        keys = generate_keys(800, "uniform", seed=65)
+        filters = [
+            REncoder(keys, bits_per_key=14),
+            REncoderSS(keys, bits_per_key=14),
+            REncoderSE(keys, bits_per_key=14, sample_queries=[(1, 5)]),
+            Rosetta(keys, bits_per_key=14),
+            SuRF(keys),
+            Snarf(keys, bits_per_key=14),
+            BloomFilter(keys, bits_per_key=14),
+        ]
+        rng = np.random.default_rng(66)
+        for _ in range(150):
+            lo = int(rng.integers(0, 1 << 64, dtype=np.uint64))
+            hi = min(lo + int(rng.integers(1, 64)), (1 << 64) - 1)
+            i = np.searchsorted(keys, np.uint64(lo))
+            truly_empty = not (i < len(keys) and int(keys[i]) <= hi)
+            for filt in filters:
+                if not filt.query_range(lo, hi):
+                    assert truly_empty, type(filt).__name__

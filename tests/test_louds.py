@@ -1,0 +1,126 @@
+"""Tests for the LOUDS-Sparse trie (SuRF's FST substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trie.louds import LoudsSparseTrie
+
+
+def _make(keys, key_bytes=2):
+    arr = np.unique(np.array(sorted(keys), dtype=np.uint64))
+    return LoudsSparseTrie(arr, key_bytes=key_bytes), arr
+
+
+class TestConstruction:
+    def test_stats(self):
+        trie, _ = _make([0x0101, 0x0102, 0x0201])
+        assert trie.stats.n_keys == 3
+        assert trie.stats.n_leaves == 3
+        # Root has labels 0x01, 0x02; node 0x01 splits at depth 1.
+        assert trie.stats.n_edges == 4
+        assert trie.stats.n_internal == 1
+
+    def test_prunes_at_distinguishing_byte(self):
+        # Keys differing in the first byte prune immediately: 2 edges.
+        trie, _ = _make([0x0100, 0xFF00])
+        assert trie.stats.n_edges == 2
+        assert trie.stats.max_depth == 1
+
+    def test_deep_shared_prefix(self):
+        trie, _ = _make([0xABCD, 0xABCE])
+        assert trie.stats.max_depth == 2
+        assert trie.stats.n_edges == 3  # AB, then CD / CE
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            LoudsSparseTrie(np.array([5, 3], dtype=np.uint64), key_bytes=2)
+
+    def test_empty(self):
+        trie = LoudsSparseTrie(np.zeros(0, dtype=np.uint64), key_bytes=2)
+        assert trie.lookup_prefix(b"\x00\x01") == -1
+        assert trie.lower_bound_leaf(b"\x00\x01") == (-1, False)
+
+
+class TestLookup:
+    def test_lookup_finds_prefix_slot(self):
+        trie, arr = _make([0x0101, 0x0102, 0x0201])
+        slot = trie.lookup_prefix((0x0101).to_bytes(2, "big"))
+        assert slot >= 0
+        assert int(arr[trie.leaf_key_idx[slot]]) == 0x0101
+
+    def test_lookup_rejects_unseen_branch(self):
+        trie, _ = _make([0x0101, 0x0102, 0x0201])
+        assert trie.lookup_prefix((0x0301).to_bytes(2, "big")) == -1
+
+    def test_lookup_is_prefix_based(self):
+        # 0xFF00 prunes at depth 1: any 0xFFxx lookup hits the same slot.
+        trie, _ = _make([0x0100, 0xFF00])
+        a = trie.lookup_prefix(b"\xff\x00")
+        b = trie.lookup_prefix(b"\xff\x77")
+        assert a == b >= 0
+
+
+class TestLowerBound:
+    def test_exact_successor(self):
+        trie, arr = _make([0x0100, 0x0500, 0x0900])
+        slot, ambiguous = trie.lower_bound_leaf(b"\x03\x00")
+        assert not ambiguous
+        assert int(arr[trie.leaf_key_idx[slot]]) == 0x0500
+
+    def test_past_the_end(self):
+        trie, _ = _make([0x0100, 0x0500])
+        slot, _ = trie.lower_bound_leaf(b"\xff\xff")
+        assert slot == -1
+
+    def test_ambiguous_when_prefix_matches(self):
+        trie, arr = _make([0x0100, 0xFF00])
+        # 0xFF12's first byte matches the pruned leaf 0xFF: ambiguous.
+        slot, ambiguous = trie.lower_bound_leaf(b"\xff\x12")
+        assert ambiguous
+        assert int(arr[trie.leaf_key_idx[slot]]) == 0xFF00
+
+    def test_reject_advances(self):
+        trie, arr = _make([0x0100, 0xFF00])
+        slot, ambiguous = trie.lower_bound_leaf(
+            b"\x01\x50", reject=lambda s: True
+        )
+        # The ambiguous 0x01-leaf is rejected; next is the 0xFF leaf.
+        assert not ambiguous
+        assert int(arr[trie.leaf_key_idx[slot]]) == 0xFF00
+
+    def test_backtracking(self):
+        # Descend into the 0x01 subtree, fail below, climb to 0x02.
+        trie, arr = _make([0x0101, 0x0102, 0x0201])
+        slot, ambiguous = trie.lower_bound_leaf(b"\x01\x50")
+        assert not ambiguous
+        assert int(arr[trie.leaf_key_idx[slot]]) == 0x0201
+
+    @given(st.sets(st.integers(0, (1 << 16) - 1), min_size=1, max_size=60),
+           st.integers(0, (1 << 16) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_successor_sound(self, keys, probe):
+        trie, arr = _make(keys)
+        slot, ambiguous = trie.lower_bound_leaf(int(probe).to_bytes(2, "big"))
+        successors = [k for k in keys if k >= probe]
+        if slot < 0:
+            # Claiming nothing at/after the probe: with full-width keys and
+            # pruned prefixes this can only be correct.
+            assert not successors
+        elif not ambiguous and successors:
+            # The candidate's minimal extension must not overshoot the true
+            # successor (one-sidedness of SuRF range queries).
+            assert trie.leaf_prefix_value(slot) <= min(successors)
+
+
+class TestGeometry:
+    def test_leaf_prefix_value_zero_extends(self):
+        trie, _ = _make([0x0100, 0xFF00])
+        slots = {trie.leaf_prefix_value(s) for s in trie.iter_leaves()}
+        assert slots == {0x0100, 0xFF00}
+
+    def test_size_in_bits_reasonable(self):
+        trie, arr = _make(list(range(0, 4096, 7)))
+        bpk = trie.size_in_bits() / len(arr)
+        assert 5 < bpk < 40

@@ -1,0 +1,157 @@
+"""Unit and randomized model tests for the LSM-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+
+
+def _factory(keys):
+    return REncoder(keys, bits_per_key=18)
+
+
+def _small_tree(env=None):
+    return LSMTree(
+        _factory, memtable_capacity=16, base_capacity=2, ratio=2, env=env
+    )
+
+
+class TestBasics:
+    def test_put_get(self):
+        lsm = _small_tree()
+        lsm.put(5, "a")
+        assert lsm.get(5) == (True, "a")
+        assert lsm.get(6) == (False, None)
+
+    def test_get_after_flush(self):
+        lsm = _small_tree()
+        for k in range(100):
+            lsm.put(k, k * 2)
+        lsm.flush()
+        for k in range(100):
+            assert lsm.get(k) == (True, k * 2)
+
+    def test_newest_version_wins(self):
+        lsm = _small_tree()
+        for k in range(40):
+            lsm.put(k, "old")
+        lsm.flush()
+        lsm.put(7, "new")
+        lsm.flush()
+        assert lsm.get(7) == (True, "new")
+
+    def test_delete_shadows_older_levels(self):
+        lsm = _small_tree()
+        for k in range(40):
+            lsm.put(k, k)
+        lsm.flush()
+        lsm.delete(7)
+        lsm.flush()
+        assert lsm.get(7) == (False, None)
+        assert 7 not in [k for k, _ in lsm.range_query(0, 39)]
+
+    def test_range_query_merges_levels(self):
+        lsm = _small_tree()
+        for k in range(0, 100, 2):
+            lsm.put(k, "even")
+        lsm.flush()
+        for k in range(1, 100, 2):
+            lsm.put(k, "odd")
+        lsm.flush()
+        result = lsm.range_query(10, 20)
+        assert [k for k, _ in result] == list(range(10, 21))
+
+    def test_compaction_keeps_data(self):
+        lsm = _small_tree()
+        for k in range(500):
+            lsm.put(k, k)
+        lsm.flush()
+        assert len(lsm) == 500
+        # Deep levels exist after many flushes of a tiny memtable.
+        assert len(lsm.levels) >= 2
+        for k in range(0, 500, 37):
+            assert lsm.get(k) == (True, k)
+
+    def test_tombstones_dropped_at_bottom(self):
+        lsm = _small_tree()
+        for k in range(200):
+            lsm.put(k, k)
+        for k in range(0, 200, 2):
+            lsm.delete(k)
+        lsm.flush()
+        # force full compaction by inserting more
+        for k in range(200, 400):
+            lsm.put(k, k)
+        lsm.flush()
+        assert len(lsm) == 300
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            LSMTree(base_capacity=0)
+        with pytest.raises(ValueError):
+            LSMTree(ratio=1)
+        lsm = _small_tree()
+        with pytest.raises(ValueError):
+            lsm.range_query(5, 4)
+
+
+class TestFilterIntegration:
+    def test_empty_ranges_cost_no_io(self):
+        env = StorageEnv()
+        lsm = LSMTree(_factory, memtable_capacity=64, env=env)
+        rng = np.random.default_rng(0)
+        for k in rng.integers(0, 1 << 40, 500, dtype=np.uint64):
+            lsm.put(int(k), "v")
+        lsm.flush()
+        env.reset()
+        for lo in range(1 << 41, (1 << 41) + 100_000, 3333):
+            assert lsm.range_query(lo, lo + 20) == []
+        assert env.stats.reads <= 2  # nearly all pruned by filters
+
+    def test_filterless_tree_pays_io(self):
+        env = StorageEnv()
+        lsm = LSMTree(None, memtable_capacity=64, env=env)
+        for k in range(0, 2000, 3):
+            lsm.put(k, "v")
+        lsm.flush()
+        env.reset()
+        for lo in range(1, 2000, 100):
+            lsm.range_query(lo, lo + 1)
+        assert env.stats.reads > 0
+
+    def test_filter_bits_and_probes(self):
+        lsm = _small_tree()
+        for k in range(100):
+            lsm.put(k * 1000, k)
+        lsm.flush()
+        assert lsm.filter_bits() > 0
+        before = lsm.filter_probes()
+        # Inside the fences but empty: the filter must be consulted.
+        lsm.range_query(1500, 1600)
+        assert lsm.filter_probes() > before
+
+
+class TestModelConformance:
+    def test_randomized_against_dict(self):
+        rng = np.random.default_rng(7)
+        lsm = _small_tree()
+        model: dict[int, int] = {}
+        for step in range(3000):
+            op = rng.integers(0, 10)
+            key = int(rng.integers(0, 500))
+            if op < 6:
+                lsm.put(key, step)
+                model[key] = step
+            elif op < 8:
+                lsm.delete(key)
+                model.pop(key, None)
+            else:
+                found, value = lsm.get(key)
+                assert found == (key in model)
+                if found:
+                    assert value == model[key]
+        # Final full-range check.
+        expected = sorted(model.items())
+        assert lsm.range_query(0, 500) == expected

@@ -1,0 +1,86 @@
+"""Stateful property test: the LSM-tree against a dict model.
+
+Hypothesis drives random interleavings of puts, deletes, flushes, point
+gets and range queries; after every step the tree must agree with a plain
+dictionary model.  This is the failure-injection-style test for the
+compaction machinery: flushes and cascading compactions may happen at any
+point and must never lose or resurrect a key.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.rencoder import REncoder
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+
+KEYS = st.integers(min_value=0, max_value=299)
+
+
+class LsmMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self):
+        self.env = StorageEnv()
+        self.lsm = LSMTree(
+            lambda ks: REncoder(ks, bits_per_key=18, key_bits=64),
+            memtable_capacity=8,
+            base_capacity=2,
+            ratio=2,
+            env=self.env,
+        )
+        self.model: dict[int, int] = {}
+        self.step = 0
+
+    @rule(key=KEYS)
+    def put(self, key):
+        self.step += 1
+        self.lsm.put(key, self.step)
+        self.model[key] = self.step
+
+    @rule(key=KEYS)
+    def delete(self, key):
+        self.lsm.delete(key)
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.lsm.flush()
+
+    @rule(key=KEYS)
+    def get_matches_model(self, key):
+        found, value = self.lsm.get(key)
+        assert found == (key in self.model)
+        if found:
+            assert value == self.model[key]
+
+    @rule(a=KEYS, b=KEYS)
+    def range_matches_model(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        got = self.lsm.range_query(lo, hi)
+        expected = sorted(
+            (k, v) for k, v in self.model.items() if lo <= k <= hi
+        )
+        assert got == expected
+
+    @invariant()
+    def levels_shape_valid(self):
+        if not hasattr(self, "lsm"):
+            return
+        # Levels beyond L0 hold at most one non-overlapping run in this
+        # full-level compaction policy.
+        for level in self.lsm.levels[1:]:
+            assert len(level) <= 1
+
+
+LsmMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=40, deadline=None
+)
+TestLsmStateful = LsmMachine.TestCase

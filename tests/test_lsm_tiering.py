@@ -1,0 +1,130 @@
+"""Tests for the tiering compaction policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+
+
+def _tree(policy, factory=None, env=None):
+    return LSMTree(
+        factory,
+        memtable_capacity=16,
+        base_capacity=2,
+        ratio=3,
+        policy=policy,
+        env=env,
+    )
+
+
+class TestTiering:
+    def test_invalid_policy(self):
+        with pytest.raises(ValueError):
+            LSMTree(policy="lazy")
+
+    def test_round_trip(self):
+        lsm = _tree("tiering")
+        for k in range(500):
+            lsm.put(k, k * 3)
+        lsm.flush()
+        for k in range(0, 500, 17):
+            assert lsm.get(k) == (True, k * 3)
+        assert len(lsm) == 500
+
+    def test_newest_version_wins(self):
+        lsm = _tree("tiering")
+        for k in range(100):
+            lsm.put(k, "old")
+        lsm.flush()
+        lsm.put(42, "new")
+        lsm.flush()
+        assert lsm.get(42) == (True, "new")
+
+    def test_deletes(self):
+        lsm = _tree("tiering")
+        for k in range(100):
+            lsm.put(k, k)
+        for k in range(0, 100, 2):
+            lsm.delete(k)
+        lsm.flush()
+        assert len(lsm) == 50
+        assert lsm.get(10) == (False, None)
+
+    def test_tiers_hold_multiple_runs(self):
+        lsm = _tree("tiering")
+        for k in range(400):
+            lsm.put(k, k)
+        lsm.flush()
+        # Tiering's signature: some level beyond 0 holds > 1 run.
+        assert any(len(level) > 1 for level in lsm.levels[1:]) or (
+            len(lsm.levels) > 2
+        )
+
+    def test_more_runs_than_leveling(self):
+        counts = {}
+        for policy in ("leveling", "tiering"):
+            lsm = _tree(policy)
+            for k in range(600):
+                lsm.put(k * 7, k)
+            lsm.flush()
+            counts[policy] = lsm.table_count()
+        assert counts["tiering"] >= counts["leveling"]
+
+    def test_lower_write_amplification_than_leveling(self):
+        written = {}
+        for policy in ("leveling", "tiering"):
+            env = StorageEnv()
+            lsm = _tree(policy, env=env)
+            for k in range(800):
+                lsm.put(k * 11, k)
+            lsm.flush()
+            written[policy] = env.stats.entries_written
+        # Tiering's point: each entry is rewritten fewer times.
+        assert written["tiering"] < written["leveling"]
+
+    def test_filters_matter_more_under_tiering(self):
+        wasted = {}
+        for policy in ("leveling", "tiering"):
+            for filtered in (False, True):
+                env = StorageEnv()
+                factory = (
+                    (lambda ks: REncoder(ks, bits_per_key=18))
+                    if filtered else None
+                )
+                lsm = _tree(policy, factory, env)
+                rng = np.random.default_rng(5)
+                keys = np.unique(
+                    rng.integers(0, 1 << 48, 600, dtype=np.uint64)
+                )
+                for k in keys:
+                    lsm.put(int(k), 0)
+                lsm.flush()
+                env.reset()
+                probe_rng = np.random.default_rng(6)
+                for _ in range(150):
+                    lo = int(probe_rng.integers(1 << 50, 1 << 60))
+                    lsm.range_query(lo, lo + 31)
+                wasted[policy, filtered] = env.stats.wasted_reads
+        # Filters eliminate nearly all wasted reads under both policies.
+        assert wasted["tiering", True] <= wasted["tiering", False] // 2
+
+    def test_randomized_against_dict(self):
+        rng = np.random.default_rng(8)
+        lsm = _tree("tiering")
+        model = {}
+        for step in range(2500):
+            op = rng.integers(0, 10)
+            key = int(rng.integers(0, 400))
+            if op < 6:
+                lsm.put(key, step)
+                model[key] = step
+            elif op < 8:
+                lsm.delete(key)
+                model.pop(key, None)
+            else:
+                assert lsm.get(key) == (
+                    (key in model), model.get(key)
+                )
+        assert lsm.range_query(0, 400) == sorted(model.items())

@@ -1,0 +1,57 @@
+"""Tests for the memtable."""
+
+import pytest
+
+from repro.storage.memtable import TOMBSTONE, MemTable
+
+
+class TestMemTable:
+    def test_put_get(self):
+        mt = MemTable()
+        mt.put(5, "a")
+        assert mt.get(5) == (True, "a")
+        assert mt.get(6) == (False, None)
+
+    def test_overwrite(self):
+        mt = MemTable()
+        mt.put(5, "a")
+        mt.put(5, "b")
+        assert mt.get(5) == (True, "b")
+        assert len(mt) == 1
+
+    def test_delete_is_tombstone(self):
+        mt = MemTable()
+        mt.put(5, "a")
+        mt.delete(5)
+        found, value = mt.get(5)
+        assert found and value is TOMBSTONE
+
+    def test_items_sorted(self):
+        mt = MemTable()
+        for k in (9, 1, 5, 3):
+            mt.put(k, k)
+        assert [k for k, _ in mt.items()] == [1, 3, 5, 9]
+
+    def test_range_items(self):
+        mt = MemTable()
+        for k in range(0, 100, 10):
+            mt.put(k, k)
+        got = list(mt.range_items(15, 45))
+        assert [k for k, _ in got] == [20, 30, 40]
+
+    def test_full_flag(self):
+        mt = MemTable(capacity=2)
+        assert not mt.full
+        mt.put(1, 1)
+        mt.put(2, 2)
+        assert mt.full
+
+    def test_clear(self):
+        mt = MemTable()
+        mt.put(1, 1)
+        mt.clear()
+        assert len(mt) == 0
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemTable(capacity=0)

@@ -1,0 +1,55 @@
+"""Tests for the prefix Bloom filter baseline."""
+
+import pytest
+
+from repro.filters.prefix_bloom import PrefixBloomFilter
+from repro.workloads.queries import correlated_range_queries
+from tests.conftest import assert_no_false_negatives
+
+
+class TestPrefixBloom:
+    def test_no_false_negatives(self, uniform_keys):
+        pbf = PrefixBloomFilter(uniform_keys, bits_per_key=14)
+        assert_no_false_negatives(pbf, uniform_keys[:200])
+
+    def test_range_spanning_two_granules(self):
+        # prefix_len=8 over 16-bit keys: granule = 256 keys.
+        pbf = PrefixBloomFilter(
+            [300], total_bits=4096, key_bits=16, prefix_len=8
+        )
+        assert pbf.query_range(250, 310)  # spans granule 0 and 1
+
+    def test_cannot_distinguish_within_granule(self):
+        pbf = PrefixBloomFilter(
+            [300], total_bits=4096, key_bits=16, prefix_len=8
+        )
+        # 310 shares the 8-bit prefix of 300: an unavoidable FP.
+        assert pbf.query_point(310)
+
+    def test_correlated_fpr_is_one(self, uniform_keys):
+        pbf = PrefixBloomFilter(uniform_keys, bits_per_key=14, prefix_len=32)
+        queries = correlated_range_queries(uniform_keys, 150, seed=3)
+        fpr = sum(pbf.query_range(*q) for q in queries) / len(queries)
+        assert fpr > 0.95
+
+    def test_uniform_fpr_low(self, uniform_keys, empty_queries):
+        pbf = PrefixBloomFilter(uniform_keys, bits_per_key=14, prefix_len=32)
+        fpr = sum(pbf.query_range(*q) for q in empty_queries) / len(empty_queries)
+        assert fpr < 0.1
+
+    def test_wide_range_cap_conservative(self, uniform_keys):
+        pbf = PrefixBloomFilter(
+            uniform_keys, bits_per_key=14, prefix_len=32, max_prefix_probes=4
+        )
+        assert pbf.query_range(0, (1 << 64) - 1)
+
+    def test_prefix_len_bounds(self, uniform_keys):
+        with pytest.raises(ValueError):
+            PrefixBloomFilter(uniform_keys, prefix_len=0)
+        with pytest.raises(ValueError):
+            PrefixBloomFilter(uniform_keys, prefix_len=65)
+
+    def test_full_length_prefix_is_plain_bloom(self, uniform_keys):
+        pbf = PrefixBloomFilter(uniform_keys, bits_per_key=14, prefix_len=64)
+        for k in uniform_keys[:50]:
+            assert pbf.query_point(int(k))

@@ -1,0 +1,125 @@
+"""Extra property-based tests on the core data structures.
+
+These complement the per-module suites with algebraic invariants that
+hypothesis can search aggressively:
+
+* RBF window algebra — a fetched window always contains every BT ever
+  inserted under the same hash key, for arbitrary geometry;
+* serialization — a dumps/loads round trip answers identically on
+  arbitrary key sets and probes;
+* union — the merged filter accepts everything either input accepts
+  being a key;
+* decomposition/segment-tree duality — a range is non-empty iff some
+  piece of its dyadic cover is a stored prefix.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitmap_tree import BitmapTreeCodec
+from repro.core.decompose import decompose
+from repro.core.rbf import RangeBloomFilter
+from repro.core.rencoder import REncoder
+from repro.core.segment_tree import PrefixSegmentTree
+from repro.core.serialize import dumps, loads
+
+
+@given(
+    group_bits=st.integers(2, 9),
+    k=st.integers(1, 4),
+    seed=st.integers(0, 10),
+    inserts=st.lists(
+        st.tuples(st.integers(0, 1 << 32), st.integers(0, (1 << 9) - 1)),
+        min_size=1,
+        max_size=15,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_rbf_window_contains_all_inserts(group_bits, k, seed, inserts):
+    codec = BitmapTreeCodec(group_bits)
+    rbf = RangeBloomFilter(1 << 13, k=k, group_bits=group_bits, seed=seed)
+    per_key: dict[int, np.ndarray] = {}
+    for key, raw in inserts:
+        suffix = raw & ((1 << group_bits) - 1)
+        bt = codec.encode_suffix(suffix, group_bits)
+        rbf.insert_bt(key, bt)
+        if key in per_key:
+            per_key[key] = per_key[key] | bt
+        else:
+            per_key[key] = bt.copy()
+    for key, expected in per_key.items():
+        fetched = rbf.fetch_bt(key)
+        assert ((fetched & expected) == expected).all()
+
+
+@given(
+    keys=st.sets(st.integers(0, (1 << 24) - 1), min_size=1, max_size=60),
+    probes=st.lists(st.integers(0, (1 << 24) - 1), min_size=1, max_size=20),
+    seed=st.integers(0, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_serialize_round_trip_property(keys, probes, seed):
+    filt = REncoder(keys, total_bits=8192, key_bits=24, rmax=16, seed=seed)
+    restored = loads(dumps(filt))
+    for p in probes:
+        hi = min((1 << 24) - 1, p + 7)
+        assert restored.query_range(p, hi) == filt.query_range(p, hi)
+        assert restored.query_point(p) == filt.query_point(p)
+
+
+@given(
+    a=st.sets(st.integers(0, (1 << 20) - 1), min_size=1, max_size=40),
+    b=st.sets(st.integers(0, (1 << 20) - 1), min_size=1, max_size=40),
+    seed=st.integers(0, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_union_superset_property(a, b, seed):
+    bits = 16 * (len(a) + len(b))
+    fa = REncoder(a, bits, key_bits=20, rmax=16, seed=seed)
+    fb = REncoder(b, bits, key_bits=20, rmax=16, seed=seed)
+    try:
+        merged = fa.union(fb)
+    except ValueError as exc:
+        # Disjoint adaptive level plans, or auto-k resolving differently
+        # for different key counts, are legitimate refusals — the union
+        # must fail loudly rather than answer wrongly.
+        assert "stored levels" in str(exc) or "geometry" in str(exc)
+        return
+    for k in list(a)[:10] + list(b)[:10]:
+        assert merged.query_point(k)
+
+
+@given(
+    keys=st.sets(st.integers(0, 1023), max_size=30),
+    x=st.integers(0, 1023),
+    y=st.integers(0, 1023),
+)
+@settings(max_examples=80)
+def test_decompose_segment_tree_duality(keys, x, y):
+    lo, hi = min(x, y), max(x, y)
+    tree = PrefixSegmentTree(keys, key_bits=10)
+    covered = any(
+        tree.contains_prefix(p, l) for p, l in decompose(lo, hi, 10)
+    )
+    assert covered == any(lo <= k <= hi for k in keys)
+
+
+@given(
+    keys=st.sets(st.integers(0, (1 << 16) - 1), min_size=1, max_size=50),
+    seed=st.integers(0, 5),
+    group_bits=st.integers(4, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_rencoder_geometry_invariants(keys, seed, group_bits):
+    filt = REncoder(keys, total_bits=4096, key_bits=16, rmax=8,
+                    group_bits=group_bits, seed=seed)
+    levels = filt.stored_levels
+    # Deepest level always stored; levels sorted and within the domain.
+    assert levels[-1] == 16
+    assert levels == sorted(levels)
+    assert all(1 <= l <= 16 for l in levels)
+    # Size accounting is exact words.
+    assert filt.size_in_bits() % 64 == 0
+    # P1 is a probability and matches a recount.
+    assert 0.0 <= filt.final_p1 <= 1.0

@@ -1,0 +1,94 @@
+"""Tests for Proteus / ProteusNS and the CPFPR design selection."""
+
+import numpy as np
+import pytest
+
+from repro.filters.proteus import Proteus, ProteusNS, cpfpr_choose_design
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+from tests.conftest import assert_no_false_negatives
+
+
+class TestProteusNS:
+    def test_default_design(self, uniform_keys):
+        ns = ProteusNS(uniform_keys, bits_per_key=16)
+        assert ns.trie_depth == 0
+        assert ns.prefix_len == 32
+
+    def test_no_false_negatives(self, uniform_keys):
+        ns = ProteusNS(uniform_keys, bits_per_key=14)
+        assert_no_false_negatives(ns, uniform_keys[:200])
+
+    def test_uniform_fpr_low(self, uniform_keys, empty_queries):
+        ns = ProteusNS(uniform_keys, bits_per_key=16)
+        fpr = sum(ns.query_range(*q) for q in empty_queries) / len(empty_queries)
+        assert fpr < 0.1
+
+    def test_correlated_collapse(self, uniform_keys):
+        ns = ProteusNS(uniform_keys, bits_per_key=16)
+        queries = correlated_range_queries(uniform_keys, 150, seed=3)
+        fpr = sum(ns.query_range(*q) for q in queries) / len(queries)
+        assert fpr > 0.9
+
+
+class TestCpfpr:
+    def test_correlated_sample_picks_deep_design(self, uniform_keys):
+        corr = correlated_range_queries(uniform_keys, 100, seed=4)
+        depth, prefix_len = cpfpr_choose_design(
+            uniform_keys, 16 * len(uniform_keys), corr
+        )
+        # Correlated queries need prefixes deep enough to split key from
+        # query — far deeper than the NS default of 32.
+        assert prefix_len > 32
+
+    def test_no_sample_keeps_any_valid_design(self, uniform_keys):
+        depth, prefix_len = cpfpr_choose_design(
+            uniform_keys, 16 * len(uniform_keys), []
+        )
+        assert 0 <= depth <= 8
+        assert 8 <= prefix_len <= 64
+
+    def test_design_fits_budget(self, uniform_keys):
+        corr = correlated_range_queries(uniform_keys, 80, seed=5)
+        p = Proteus(uniform_keys, bits_per_key=16, sample_queries=corr)
+        assert p.size_in_bits() <= 16 * len(uniform_keys) * 1.2
+
+
+class TestProteus:
+    def test_correlated_sampling_stays_accurate(self, uniform_keys):
+        sample = correlated_range_queries(uniform_keys, 150, seed=6)
+        queries = correlated_range_queries(uniform_keys, 300, seed=7)
+        p = Proteus(uniform_keys, bits_per_key=18, sample_queries=sample)
+        ns = ProteusNS(uniform_keys, bits_per_key=18)
+        fpr_p = sum(p.query_range(*q) for q in queries) / len(queries)
+        fpr_ns = sum(ns.query_range(*q) for q in queries) / len(queries)
+        assert fpr_p < 0.5 < fpr_ns
+
+    def test_no_false_negatives_with_trie(self, uniform_keys):
+        p = Proteus(uniform_keys, bits_per_key=18, design=(2, 32))
+        assert_no_false_negatives(p, uniform_keys[:200])
+
+    def test_trie_rejects_unseen_regions(self, uniform_keys):
+        p = Proteus(uniform_keys, bits_per_key=18, design=(8, 64))
+        # With a full-depth trie the structure is exact on ranges whose
+        # truncation equals the keys.
+        for q in uniform_range_queries(uniform_keys, 100, seed=8):
+            assert not p.query_range(*q)
+
+    def test_explicit_design_validated(self, uniform_keys):
+        with pytest.raises(ValueError):
+            Proteus(uniform_keys, design=(9, 32))
+        with pytest.raises(ValueError):
+            Proteus(uniform_keys, design=(0, 0))
+
+    def test_wide_range_conservative(self, uniform_keys):
+        p = ProteusNS(uniform_keys, bits_per_key=16, max_prefix_probes=2)
+        assert p.query_range(0, (1 << 64) - 1)
+
+    def test_probe_count(self, uniform_keys):
+        p = Proteus(uniform_keys, bits_per_key=16, design=(2, 32))
+        p.reset_counters()
+        p.query_range(1, 50)
+        assert p.probe_count >= 1

@@ -1,0 +1,191 @@
+"""Unit, integration and property tests for the core REncoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rencoder import REncoder
+from repro.core.segment_tree import PrefixSegmentTree
+from repro.workloads.queries import is_empty_range, uniform_range_queries
+from tests.conftest import TOP64, assert_no_false_negatives
+
+
+class TestConstruction:
+    def test_stored_levels_include_mandatory(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=18, rmax=64)
+        # The bottom log2(64)+1 = 7 levels must always be stored.
+        for level in range(58, 65):
+            assert level in enc.stored_levels
+
+    def test_rmax_controls_mandatory_depth(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=18, rmax=16)
+        assert min(enc.stored_levels) <= 60
+        for level in range(60, 65):
+            assert level in enc.stored_levels
+
+    def test_more_memory_more_levels(self, uniform_keys):
+        lean = REncoder(uniform_keys, bits_per_key=10, k=2)
+        rich = REncoder(uniform_keys, bits_per_key=40, k=2)
+        assert len(rich.stored_levels) >= len(lean.stored_levels)
+
+    def test_p1_near_target_with_budget(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=30, k=2)
+        assert 0.35 <= enc.final_p1 <= 0.65
+
+    def test_auto_k_scales_with_bpk(self, uniform_keys):
+        low = REncoder(uniform_keys, bits_per_key=10)
+        high = REncoder(uniform_keys, bits_per_key=40)
+        assert low.rbf.k <= high.rbf.k
+
+    def test_explicit_k_respected(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=18, k=3)
+        assert enc.rbf.k == 3
+
+    def test_size_accounting(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=16)
+        bpk = enc.size_in_bits() / len(uniform_keys)
+        assert 15.0 <= bpk <= 17.0
+
+    def test_invalid_args(self, uniform_keys):
+        with pytest.raises(ValueError):
+            REncoder(uniform_keys, rmax=0)
+        with pytest.raises(ValueError):
+            REncoder(uniform_keys, levels_per_round=0)
+        with pytest.raises(ValueError):
+            REncoder(uniform_keys, target_p1=0.0)
+        with pytest.raises(ValueError):
+            REncoder(uniform_keys, k=0)
+        with pytest.raises(ValueError):
+            REncoder([1 << 40], key_bits=32)
+
+    def test_empty_key_set(self):
+        enc = REncoder([], total_bits=4096)
+        assert not enc.query_range(0, TOP64)
+        assert not enc.query_point(12345)
+
+    def test_single_key(self):
+        enc = REncoder([42], total_bits=4096)
+        assert enc.query_point(42)
+        assert enc.query_range(0, 100)
+
+
+class TestNoFalseNegatives:
+    def test_points_and_ranges(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=14)
+        assert_no_false_negatives(enc, uniform_keys[:300])
+
+    def test_wide_ranges_containing_keys(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=14)
+        for key in uniform_keys[::97]:
+            k = int(key)
+            assert enc.query_range(max(0, k - 1000), min(TOP64, k + 1000))
+
+    def test_tiny_memory_still_no_fn(self, uniform_keys):
+        # Grossly undersized filter: everything may be positive, but never
+        # a false negative.
+        enc = REncoder(uniform_keys, total_bits=1024)
+        assert_no_false_negatives(enc, uniform_keys[:100])
+
+    @given(
+        st.sets(st.integers(0, 255), min_size=1, max_size=40),
+        st.integers(0, 255),
+        st.integers(1, 64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_8bit_domain(self, keys, lo, size):
+        enc = REncoder(keys, total_bits=2048, key_bits=8, rmax=8,
+                       group_bits=4, k=2)
+        hi = min(255, lo + size - 1)
+        expected = any(lo <= k <= hi for k in keys)
+        got = enc.query_range(lo, hi)
+        if expected:
+            assert got, "false negative"
+
+    @given(st.sets(st.integers(0, (1 << 16) - 1), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_16bit_all_points(self, keys):
+        enc = REncoder(keys, total_bits=8192, key_bits=16, rmax=16, k=2)
+        for k in keys:
+            assert enc.query_point(k)
+
+
+class TestAccuracy:
+    def test_fpr_reasonable_at_18bpk(self, uniform_keys, empty_queries):
+        enc = REncoder(uniform_keys, bits_per_key=18)
+        fpr = sum(enc.query_range(*q) for q in empty_queries) / len(empty_queries)
+        assert fpr < 0.25
+
+    def test_fpr_decreases_with_memory(self, uniform_keys):
+        queries = uniform_range_queries(uniform_keys, 600, seed=99)
+        fprs = []
+        for bpk in (8, 16, 32):
+            enc = REncoder(uniform_keys, bits_per_key=bpk, seed=1)
+            fprs.append(sum(enc.query_range(*q) for q in queries) / len(queries))
+        assert fprs[2] <= fprs[1] <= fprs[0] + 0.05
+
+    def test_agrees_with_oracle_negatives(self, small_keys):
+        # Any range the filter rejects must truly be empty.
+        enc = REncoder(small_keys, total_bits=4096, key_bits=8, rmax=8,
+                       group_bits=4)
+        oracle = PrefixSegmentTree(small_keys, key_bits=8)
+        for lo in range(256):
+            for hi in (lo, min(255, lo + 3)):
+                if not enc.query_range(lo, hi):
+                    assert not oracle.query_range(lo, hi)
+
+
+class TestIncrementalInsert:
+    def test_insert_then_query(self, uniform_keys):
+        enc = REncoder(uniform_keys[:500], bits_per_key=20)
+        new_keys = [int(k) for k in uniform_keys[500:520]]
+        for k in new_keys:
+            enc.insert(k)
+        for k in new_keys:
+            assert enc.query_point(k)
+            assert enc.query_range(max(0, k - 2), min(TOP64, k + 2))
+
+    def test_insert_out_of_domain(self):
+        enc = REncoder([1, 2, 3], total_bits=1024, key_bits=8, group_bits=4)
+        with pytest.raises(ValueError):
+            enc.insert(256)
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("group_bits", [4, 6, 8])
+    def test_group_sizes(self, uniform_keys, group_bits):
+        enc = REncoder(uniform_keys[:400], bits_per_key=18,
+                       group_bits=group_bits)
+        assert_no_false_negatives(enc, uniform_keys[:100])
+
+    @pytest.mark.parametrize("key_bits", [16, 32, 48])
+    def test_key_widths(self, key_bits):
+        rng = np.random.default_rng(5)
+        keys = np.unique(
+            rng.integers(0, 1 << key_bits, 300, dtype=np.uint64)
+        )
+        enc = REncoder(keys, bits_per_key=18, key_bits=key_bits,
+                       rmax=min(64, 1 << (key_bits // 2)))
+        for k in keys[:100]:
+            assert enc.query_point(int(k))
+
+    def test_levels_per_round(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=24, levels_per_round=3)
+        assert_no_false_negatives(enc, uniform_keys[:50])
+
+
+class TestProbeAccounting:
+    def test_probe_count_tracks_fetches(self, uniform_keys):
+        enc = REncoder(uniform_keys, bits_per_key=18)
+        enc.reset_counters()
+        assert enc.probe_count == 0
+        enc.query_range(123, 456)
+        assert enc.probe_count >= 1
+
+    def test_locality_few_probes_per_query(self, uniform_keys, empty_queries):
+        # The headline claim: one range query needs very few BT fetches.
+        enc = REncoder(uniform_keys, bits_per_key=18)
+        enc.reset_counters()
+        for q in empty_queries[:200]:
+            enc.query_range(*q)
+        assert enc.probe_count / 200 < 6

@@ -1,0 +1,45 @@
+"""Tests for the consolidated report generator."""
+
+from pathlib import Path
+
+from repro.bench.report import RESULT_SECTIONS, build_report
+
+
+class TestBuildReport:
+    def test_stitches_present_files(self, tmp_path):
+        (tmp_path / "fig5a_fpr_2_32.txt").write_text("TABLE A\n1 2 3\n")
+        (tmp_path / "table2_space_cost.txt").write_text("TABLE B\n")
+        text = build_report(tmp_path)
+        assert "TABLE A" in text
+        assert "TABLE B" in text
+        assert "Figure 5(a)" in text
+
+    def test_missing_files_listed(self, tmp_path):
+        text = build_report(tmp_path)
+        assert "Not yet run" in text
+        assert "fig9_correlated" in text
+
+    def test_unknown_files_appended(self, tmp_path):
+        (tmp_path / "custom_experiment.txt").write_text("CUSTOM\n")
+        text = build_report(tmp_path)
+        assert "custom_experiment" in text
+        assert "CUSTOM" in text
+
+    def test_writes_output(self, tmp_path):
+        out = tmp_path / "REPORT.md"
+        (tmp_path / "fig4_overall_time.txt").write_text("X\n")
+        build_report(tmp_path, out)
+        assert out.exists()
+        assert "X" in out.read_text()
+
+    def test_sections_cover_all_benches(self):
+        # Every figure/table/ablation/use-case bench has a section entry.
+        names = {name for name, _ in RESULT_SECTIONS}
+        bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        assert (bench_dir / "results").parent.exists()
+        assert {"fig5a_fpr_2_32", "table4_independence",
+                "usecase_rtree"} <= names
+
+    def test_nonexistent_dir(self, tmp_path):
+        text = build_report(tmp_path / "nope")
+        assert "Not yet run" in text

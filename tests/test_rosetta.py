@@ -1,0 +1,121 @@
+"""Tests for the Rosetta baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.rosetta import Rosetta
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+from tests.conftest import assert_no_false_negatives
+
+
+class TestConstruction:
+    def test_stores_bottom_levels(self, uniform_keys):
+        r = Rosetta(uniform_keys, bits_per_key=16, rmax=64)
+        assert r.levels == list(range(58, 65))
+
+    def test_rmax_controls_levels(self, uniform_keys):
+        r = Rosetta(uniform_keys, bits_per_key=16, rmax=16)
+        assert r.levels == list(range(60, 65))
+
+    def test_bottom_heavy_allocation(self, uniform_keys):
+        r = Rosetta(uniform_keys, bits_per_key=16)
+        sizes = [r.filters[lvl].size_in_bits() for lvl in r.levels]
+        assert sizes[-1] == max(sizes)
+        assert sizes[-1] > 2 * sizes[0]
+
+    @pytest.mark.parametrize("allocation", ["equal", "proportional"])
+    def test_other_allocations(self, uniform_keys, allocation):
+        r = Rosetta(uniform_keys, bits_per_key=16, allocation=allocation)
+        assert_no_false_negatives(r, uniform_keys[:50])
+
+    def test_sampled_allocation(self, uniform_keys):
+        sample = uniform_range_queries(uniform_keys, 100, seed=42)
+        r = Rosetta(uniform_keys, bits_per_key=16, sample_queries=sample)
+        assert_no_false_negatives(r, uniform_keys[:50])
+        queries = uniform_range_queries(uniform_keys, 400, seed=43)
+        plain = Rosetta(uniform_keys, bits_per_key=16)
+        fpr_sampled = sum(r.query_range(*q) for q in queries) / len(queries)
+        fpr_plain = sum(plain.query_range(*q) for q in queries) / len(queries)
+        # Workload-driven allocation is at least competitive.
+        assert fpr_sampled <= fpr_plain + 0.03
+
+    def test_sampled_requires_samples(self, uniform_keys):
+        with pytest.raises(ValueError):
+            Rosetta(uniform_keys, allocation="sampled")
+
+    def test_total_size_respects_budget(self, uniform_keys):
+        r = Rosetta(uniform_keys, bits_per_key=16)
+        assert r.size_in_bits() <= 16 * len(uniform_keys) * 1.1
+
+    def test_invalid_args(self, uniform_keys):
+        with pytest.raises(ValueError):
+            Rosetta(uniform_keys, rmax=0)
+        with pytest.raises(ValueError):
+            Rosetta(uniform_keys, allocation="nope")
+        with pytest.raises(ValueError):
+            Rosetta(uniform_keys, bottom_ratio=0.0)
+
+
+class TestQueries:
+    def test_no_false_negatives(self, uniform_keys):
+        r = Rosetta(uniform_keys, bits_per_key=14)
+        assert_no_false_negatives(r, uniform_keys[:200])
+
+    def test_point_query_uses_bottom_filter(self, uniform_keys):
+        r = Rosetta(uniform_keys, bits_per_key=16)
+        r.reset_counters()
+        r.query_point(12345)
+        # Only the bottom Bloom filter is probed (its k hashes).
+        assert r.probe_count == r.filters[64].k
+
+    def test_correlated_robustness(self, uniform_keys):
+        # The paper's Figure 9: Rosetta is hardly affected by correlation.
+        r = Rosetta(uniform_keys, bits_per_key=20)
+        queries = correlated_range_queries(uniform_keys, 200, seed=5)
+        fpr = sum(r.query_range(*q) for q in queries) / len(queries)
+        assert fpr < 0.3
+
+    def test_fpr_decreases_with_memory(self, uniform_keys):
+        queries = uniform_range_queries(uniform_keys, 400, seed=6)
+        fprs = []
+        for bpk in (8, 16, 28):
+            r = Rosetta(uniform_keys, bits_per_key=bpk, seed=2)
+            fprs.append(sum(r.query_range(*q) for q in queries) / len(queries))
+        assert fprs[2] <= fprs[0]
+
+    def test_probes_exceed_rencoder(self, uniform_keys, empty_queries):
+        # The paper's core throughput claim, in probe counts.
+        from repro.core.rencoder import REncoder
+
+        r = Rosetta(uniform_keys, bits_per_key=18)
+        enc = REncoder(uniform_keys, bits_per_key=18)
+        r.reset_counters()
+        enc.reset_counters()
+        for q in empty_queries[:200]:
+            r.query_range(*q)
+            enc.query_range(*q)
+        assert r.probe_count > 3 * enc.probe_count
+
+    def test_shallow_prefix_expansion(self, uniform_keys):
+        # A range wider than rmax decomposes into prefixes above the
+        # shallowest stored level; answers stay one-sided.
+        r = Rosetta(uniform_keys, bits_per_key=16)
+        k = int(uniform_keys[0])
+        assert r.query_range(max(0, k - 10_000), min((1 << 64) - 1, k + 10_000))
+
+    def test_empty_keys(self):
+        r = Rosetta([], total_bits=4096)
+        assert not r.query_range(0, 1000)
+
+    @given(st.sets(st.integers(0, 255), min_size=1, max_size=30),
+           st.integers(0, 255), st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_no_false_negatives(self, keys, lo, size):
+        r = Rosetta(keys, total_bits=8192, key_bits=8, rmax=8)
+        hi = min(255, lo + size - 1)
+        if any(lo <= k <= hi for k in keys):
+            assert r.query_range(lo, hi)

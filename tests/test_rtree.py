@@ -1,0 +1,99 @@
+"""Tests for the R-tree substrate (Use Case 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.storage.env import StorageEnv
+from repro.storage.rtree import RTree
+
+
+def _factory(keys):
+    return REncoder(keys, bits_per_key=18, key_bits=32)
+
+
+def _points(n=800, seed=0, top=1 << 16):
+    rng = np.random.default_rng(seed)
+    return [
+        (int(x), int(y))
+        for x, y in rng.integers(0, top, (n, 2))
+    ]
+
+
+class TestRTree:
+    def test_query_matches_bruteforce(self):
+        pts = _points()
+        rt = RTree(pts, coord_bits=16)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            x0, x1 = sorted(int(v) for v in rng.integers(0, 1 << 16, 2))
+            y0, y1 = sorted(int(v) for v in rng.integers(0, 1 << 16, 2))
+            got = {p for p, _ in rt.query_rect(x0, x1, y0, y1)}
+            expected = {
+                (x, y) for x, y in pts if x0 <= x <= x1 and y0 <= y <= y1
+            }
+            assert got == expected
+
+    def test_values_carried(self):
+        pts = [(1, 1), (5, 5)]
+        rt = RTree(pts, values=["a", "b"], coord_bits=8, leaf_capacity=1)
+        assert rt.query_rect(5, 5, 5, 5) == [((5, 5), "b")]
+
+    def test_filters_prune_empty_rect_io(self):
+        pts = _points(500, seed=2)
+        env = StorageEnv()
+        rt = RTree(
+            pts, coord_bits=16, leaf_capacity=32,
+            filter_factory=_factory, env=env,
+        )
+        rng = np.random.default_rng(3)
+        pts_set = set(pts)
+        env.reset()
+        wasted_with_filter = 0
+        tested = 0
+        for _ in range(60):
+            x0 = int(rng.integers(0, (1 << 16) - 4))
+            y0 = int(rng.integers(0, (1 << 16) - 4))
+            if any((x, y) in pts_set
+                   for x in range(x0, x0 + 4) for y in range(y0, y0 + 4)):
+                continue
+            tested += 1
+            assert rt.query_rect(x0, x0 + 3, y0, y0 + 3) == []
+        # The z-order filters should prune the overwhelming majority of
+        # leaf reads for empty rectangles.
+        assert env.stats.reads < tested
+
+    def test_unfiltered_rtree_reads_more(self):
+        pts = _points(500, seed=2)
+        env_f = StorageEnv()
+        env_n = StorageEnv()
+        rt_f = RTree(pts, coord_bits=16, leaf_capacity=32,
+                     filter_factory=_factory, env=env_f)
+        rt_n = RTree(pts, coord_bits=16, leaf_capacity=32, env=env_n)
+        rng = np.random.default_rng(4)
+        for _ in range(40):
+            x0 = int(rng.integers(0, (1 << 16) - 10))
+            y0 = int(rng.integers(0, (1 << 16) - 10))
+            rt_f.query_rect(x0, x0 + 9, y0, y0 + 9)
+            rt_n.query_rect(x0, x0 + 9, y0, y0 + 9)
+        assert env_f.stats.reads <= env_n.stats.reads
+
+    def test_mbr_hierarchy(self):
+        pts = _points(300, seed=5)
+        rt = RTree(pts, coord_bits=16, leaf_capacity=16, fanout=4)
+        root = rt._root
+        assert root.mbr[0] == min(x for x, _ in pts)
+        assert root.mbr[1] == max(x for x, _ in pts)
+
+    def test_requires_points(self):
+        with pytest.raises(ValueError):
+            RTree([])
+
+    def test_value_length_mismatch(self):
+        with pytest.raises(ValueError):
+            RTree([(1, 2)], values=["a", "b"])
+
+    def test_filter_bits(self):
+        pts = _points(200, seed=6)
+        rt = RTree(pts, coord_bits=16, filter_factory=_factory)
+        assert rt.filter_bits() > 0

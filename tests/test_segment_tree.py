@@ -1,0 +1,140 @@
+"""Unit and property tests for the exact segment-tree oracle and the LCP
+statistics driving the SS/SE variants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segment_tree import (
+    PrefixSegmentTree,
+    level_cardinalities,
+    max_key_lcp,
+    max_key_query_lcp,
+)
+
+
+class TestOracle:
+    def test_paper_figure1(self):
+        # Inserting 1101 (13) records prefixes 1, 11, 110, 1101.
+        tree = PrefixSegmentTree([13], key_bits=4)
+        assert tree.contains_prefix(0b1, 1)
+        assert tree.contains_prefix(0b11, 2)
+        assert tree.contains_prefix(0b110, 3)
+        assert tree.contains_prefix(0b1101, 4)
+        assert not tree.contains_prefix(0b0, 1)
+
+    def test_range_query_exact(self, small_keys):
+        tree = PrefixSegmentTree(small_keys, key_bits=8)
+        key_set = set(int(k) for k in small_keys)
+        for lo in range(0, 256, 7):
+            for size in (1, 2, 5, 30):
+                hi = min(255, lo + size - 1)
+                expected = any(lo <= k <= hi for k in key_set)
+                assert tree.query_range(lo, hi) == expected
+
+    def test_point_query(self, small_keys):
+        tree = PrefixSegmentTree(small_keys, key_bits=8)
+        for k in range(256):
+            assert tree.query_point(k) == (k in set(int(x) for x in small_keys))
+
+    def test_level_sizes_example(self):
+        # Section III-C example: dataset A = {000, 001, 010}.
+        tree = PrefixSegmentTree([0b000, 0b001, 0b010], key_bits=3)
+        assert tree.level_sizes() == [1, 1, 2, 3]
+        # Dataset B = {000, 010, 100} has more distinct shallow prefixes.
+        tree_b = PrefixSegmentTree([0b000, 0b010, 0b100], key_bits=3)
+        assert tree_b.level_sizes() == [1, 2, 3, 3]
+
+    def test_total_nodes(self):
+        tree = PrefixSegmentTree([0b000, 0b001, 0b010], key_bits=3)
+        assert tree.total_nodes() == 7
+        assert tree.total_nodes([2, 3]) == 5
+
+    def test_empty_tree(self):
+        tree = PrefixSegmentTree([], key_bits=8)
+        assert not tree.query_range(0, 255)
+        assert tree.n_keys == 0
+
+    def test_key_out_of_domain(self):
+        with pytest.raises(ValueError):
+            PrefixSegmentTree([256], key_bits=8)
+
+    @given(st.sets(st.integers(0, 255), max_size=20),
+           st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=60)
+    def test_oracle_matches_bruteforce(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = PrefixSegmentTree(keys, key_bits=8)
+        assert tree.query_range(lo, hi) == any(lo <= k <= hi for k in keys)
+
+
+class TestLevelCardinalities:
+    def test_matches_tree(self, uniform_keys):
+        tree_levels = [10, 30, 50, 64]
+        cards = level_cardinalities(uniform_keys, 64, tree_levels)
+        for level in tree_levels:
+            prefixes = set(int(k) >> (64 - level) for k in uniform_keys)
+            assert cards[level] == len(prefixes)
+
+    def test_level_zero(self, uniform_keys):
+        assert level_cardinalities(uniform_keys, 64, [0])[0] == 1
+
+    def test_invalid_level(self, uniform_keys):
+        with pytest.raises(ValueError):
+            level_cardinalities(uniform_keys, 64, [65])
+
+
+class TestLcp:
+    def test_max_key_lcp_simple(self):
+        # 0b1010 and 0b1011 share 3 bits.
+        assert max_key_lcp(np.array([0b1010, 0b1011], dtype=np.uint64), 4) == 3
+
+    def test_max_key_lcp_singleton(self):
+        assert max_key_lcp(np.array([5], dtype=np.uint64), 4) == 0
+
+    def test_max_key_lcp_is_max_over_pairs(self):
+        keys = np.array([0b0001, 0b1000, 0b1001], dtype=np.uint64)
+        assert max_key_lcp(keys, 4) == 3  # 1000 vs 1001
+
+    @given(st.sets(st.integers(0, 1023), min_size=2, max_size=30))
+    @settings(max_examples=50)
+    def test_max_key_lcp_bruteforce(self, keys):
+        arr = np.array(sorted(keys), dtype=np.uint64)
+
+        def lcp(a, b):
+            d = a ^ b
+            return 10 if d == 0 else 10 - d.bit_length()
+
+        expected = max(
+            lcp(a, b) for i, a in enumerate(sorted(keys))
+            for b in sorted(keys)[i + 1:]
+        )
+        assert max_key_lcp(arr, 10) == expected
+
+    def test_key_query_lcp(self):
+        keys = np.array([0b10100000], dtype=np.uint64)
+        # Query bound 0b10100100 shares 5 bits with the key.
+        assert max_key_query_lcp(keys, [0b10100100], 8) == 5
+
+    def test_key_query_lcp_skips_exact_hits(self):
+        keys = np.array([0b1010, 0b0001], dtype=np.uint64)
+        # The bound equals a key; it must not count as LCP 4.
+        assert max_key_query_lcp(keys, [0b1010], 4) < 4
+
+    @given(st.sets(st.integers(0, 1023), min_size=1, max_size=20),
+           st.lists(st.integers(0, 1023), min_size=1, max_size=10))
+    @settings(max_examples=50)
+    def test_key_query_lcp_bruteforce(self, keys, bounds):
+        arr = np.array(sorted(keys), dtype=np.uint64)
+
+        def lcp(a, b):
+            d = a ^ b
+            return 10 if d == 0 else 10 - d.bit_length()
+
+        expected = 0
+        for b in bounds:
+            for k in keys:
+                if k != b:
+                    expected = max(expected, lcp(k, b))
+        assert max_key_query_lcp(arr, bounds, 10) == expected

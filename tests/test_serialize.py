@@ -1,0 +1,81 @@
+"""Serialization round-trip tests for the REncoder family."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.core.serialize import dumps, loads
+from repro.core.two_stage import TwoStageREncoder
+from repro.core.variants import REncoderPO, REncoderSE, REncoderSS
+from repro.workloads.queries import uniform_range_queries
+
+
+def _assert_equivalent(original, restored, keys, queries):
+    for k in keys[:100]:
+        assert restored.query_point(int(k)) == original.query_point(int(k))
+    for lo, hi in queries:
+        assert restored.query_range(lo, hi) == original.query_range(lo, hi)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "cls", [REncoder, REncoderSS, REncoderPO]
+    )
+    def test_variants(self, uniform_keys, cls):
+        filt = cls(uniform_keys, bits_per_key=16, seed=3)
+        restored = loads(dumps(filt))
+        assert type(restored) is cls
+        assert restored.stored_levels == filt.stored_levels
+        assert restored.size_in_bits() == filt.size_in_bits()
+        queries = uniform_range_queries(uniform_keys, 200, seed=4)
+        _assert_equivalent(filt, restored, uniform_keys, queries)
+
+    def test_se_round_trip(self, uniform_keys):
+        filt = REncoderSE(
+            uniform_keys, bits_per_key=16, sample_queries=[(5, 10)]
+        )
+        restored = loads(dumps(filt))
+        assert restored.l_kq == filt.l_kq
+        queries = uniform_range_queries(uniform_keys, 100, seed=5)
+        _assert_equivalent(filt, restored, uniform_keys, queries)
+
+    def test_two_stage_round_trip(self):
+        rng = np.random.default_rng(6)
+        values = sorted(set(float(v) for v in rng.lognormal(0, 3, 400)))
+        filt = TwoStageREncoder(values, bits_per_key=24)
+        restored = loads(dumps(filt))
+        assert restored.offset == filt.offset
+        for v in values[:100]:
+            v32 = float(np.float32(v))
+            assert restored.query_float(v32) == filt.query_float(v32)
+
+    def test_metadata_preserved(self, uniform_keys):
+        filt = REncoder(uniform_keys, bits_per_key=16, rmax=32, k=3,
+                        seed=9)
+        restored = loads(dumps(filt))
+        assert restored.rmax == 32
+        assert restored.rbf.k == 3
+        assert restored.n_keys == filt.n_keys
+
+
+class TestFormat:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            loads(b"XXXX" + b"\x00" * 32)
+
+    def test_wrong_type(self, uniform_keys):
+        from repro.filters.bloom import BloomFilter
+
+        with pytest.raises(TypeError):
+            dumps(BloomFilter(uniform_keys, bits_per_key=8))
+
+    def test_truncated_payload(self, uniform_keys):
+        blob = dumps(REncoder(uniform_keys, bits_per_key=16))
+        with pytest.raises(Exception):
+            loads(blob[: len(blob) // 2])
+
+    def test_blob_is_compact(self, uniform_keys):
+        filt = REncoder(uniform_keys, bits_per_key=16)
+        blob = dumps(filt)
+        # Metadata overhead stays under a KiB beyond the raw array.
+        assert len(blob) < filt.size_in_bits() // 8 + 1024

@@ -1,0 +1,63 @@
+"""Tests for the Shifting Bloom Filter extra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.bloom import BloomFilter
+from repro.filters.shbf import ShiftingBloomFilter
+
+
+class TestShbf:
+    def test_no_false_negatives(self, uniform_keys):
+        shbf = ShiftingBloomFilter(uniform_keys, bits_per_key=14)
+        for k in uniform_keys:
+            assert shbf.query_point(int(k))
+
+    def test_fpr_comparable_to_bloom(self, uniform_keys):
+        shbf = ShiftingBloomFilter(uniform_keys, bits_per_key=14, seed=1)
+        bloom = BloomFilter(uniform_keys, bits_per_key=14, seed=1)
+        rng = np.random.default_rng(2)
+        key_set = set(int(k) for k in uniform_keys)
+        probes = [int(p) for p in rng.integers(0, 1 << 64, 4000,
+                                               dtype=np.uint64)
+                  if int(p) not in key_set]
+        fpr_s = sum(shbf.query_point(p) for p in probes) / len(probes)
+        fpr_b = sum(bloom.query_point(p) for p in probes) / len(probes)
+        # Same evidence bits, paired layout: within a small factor.
+        assert fpr_s <= max(3 * fpr_b, fpr_b + 0.02)
+
+    def test_half_the_probes_of_bloom(self, uniform_keys):
+        shbf = ShiftingBloomFilter(uniform_keys, bits_per_key=14, k=8)
+        bloom = BloomFilter(uniform_keys, bits_per_key=14, k=8)
+        shbf.reset_counters()
+        bloom.reset_counters()
+        shbf.query_point(123)
+        bloom.query_point(123)
+        assert shbf.probe_count * 2 <= bloom.probe_count + 1
+
+    def test_offset_in_bounds(self, uniform_keys):
+        shbf = ShiftingBloomFilter(uniform_keys[:50], total_bits=4096)
+        for key in (0, 1, 1 << 63):
+            assert 1 <= shbf._offset(key) <= 63
+
+    def test_incremental_insert(self):
+        shbf = ShiftingBloomFilter([], total_bits=4096)
+        shbf.insert(42)
+        assert shbf.query_point(42)
+
+    def test_range_scan_fallback(self):
+        shbf = ShiftingBloomFilter([100], total_bits=4096, key_bits=16)
+        assert shbf.query_range(95, 105)
+        shbf_capped = ShiftingBloomFilter(
+            [100], total_bits=4096, key_bits=32, max_range_probes=4
+        )
+        assert shbf_capped.query_range(0, 1 << 20)  # conservative
+
+    @given(st.sets(st.integers(0, (1 << 32) - 1), min_size=1, max_size=40))
+    @settings(max_examples=40)
+    def test_hypothesis_no_false_negatives(self, keys):
+        shbf = ShiftingBloomFilter(keys, total_bits=8192, key_bits=32)
+        for k in keys:
+            assert shbf.query_point(k)

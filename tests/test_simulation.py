@@ -1,0 +1,67 @@
+"""Monte-Carlo validation of Lemma 1 and Theorem 2."""
+
+import pytest
+
+from repro.analysis.bounds import a_sequence, fpr_bound
+from repro.analysis.simulation import (
+    compare_with_lemma1,
+    simulate_fpr,
+    simulate_path_probability,
+)
+
+
+class TestLemma1Simulation:
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.7])
+    def test_matches_closed_form(self, p):
+        for height in (2, 4, 6):
+            closed = a_sequence(p, height)[-1]
+            simulated = simulate_path_probability(
+                p, height, trials=4000, seed=height
+            )
+            assert simulated == pytest.approx(closed, abs=0.04)
+
+    def test_height_one_is_certain(self):
+        assert simulate_path_probability(0.2, 1) == 1.0
+
+    def test_table_helper(self):
+        rows = compare_with_lemma1(0.5, heights=(2, 3), trials=2000)
+        for row in rows:
+            assert row["a_simulated"] == pytest.approx(
+                row["a_closed_form"], abs=0.05
+            )
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            simulate_path_probability(0.0, 3)
+        with pytest.raises(ValueError):
+            simulate_path_probability(0.5, 0)
+
+
+class TestTheorem2Simulation:
+    def test_simulation_within_bound(self):
+        # Theorem 2 is an upper bound; the simulated truth obeys it.
+        for k in (1, 2):
+            bound = fpr_bound(0.5, 10, 6, k)
+            sim = simulate_fpr(0.5, 10, 6, k, trials=3000, seed=k)
+            assert sim <= bound + 0.03
+
+    def test_simulation_equals_bound_in_equality_regime(self):
+        # With one hash and no stored/query gap the bound is exactly the
+        # path probability — the simulation should land on it.
+        bound = fpr_bound(0.5, 6, 6, 1)
+        sim = simulate_fpr(0.5, 6, 6, 1, trials=5000, seed=3)
+        assert sim == pytest.approx(bound, abs=0.03)
+
+    def test_more_hashes_lower_simulated_fpr(self):
+        one = simulate_fpr(0.5, 8, 6, 1, trials=3000, seed=4)
+        two = simulate_fpr(0.5, 8, 6, 2, trials=3000, seed=5)
+        assert two <= one + 0.02
+
+    def test_more_levels_lower_simulated_fpr(self):
+        shallow = simulate_fpr(0.5, 6, 6, 2, trials=3000, seed=6)
+        deep = simulate_fpr(0.5, 12, 6, 2, trials=3000, seed=7)
+        assert deep <= shallow + 0.02
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            simulate_fpr(0.5, 4, 6, 1)

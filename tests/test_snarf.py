@@ -1,0 +1,101 @@
+"""Tests for the SNARF baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.snarf import Snarf
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+from tests.conftest import TOP64, assert_no_false_negatives
+
+
+class TestModel:
+    def test_map_is_monotone(self, uniform_keys):
+        snarf = Snarf(uniform_keys, bits_per_key=16)
+        probes = np.sort(
+            np.random.default_rng(0).integers(0, 1 << 64, 500, dtype=np.uint64)
+        )
+        mapped = snarf._map(probes)
+        assert (np.diff(mapped) >= 0).all()
+
+    def test_keys_map_within_array(self, uniform_keys):
+        snarf = Snarf(uniform_keys, bits_per_key=16)
+        positions = snarf._map(uniform_keys)
+        assert positions.min() >= 0
+        assert positions.max() <= len(uniform_keys) * snarf.multiplier
+
+    def test_sentinels_protect_domain_edges(self, uniform_keys):
+        snarf = Snarf(uniform_keys, bits_per_key=16)
+        # Queries far below the min key / far above the max key must not
+        # collide with the extreme keys' bits.
+        lo_key = int(uniform_keys[0])
+        hi_key = int(uniform_keys[-1])
+        if lo_key > 1_000_000:
+            assert not snarf.query_range(0, 1000)
+        if hi_key < TOP64 - 1_000_000:
+            assert not snarf.query_range(TOP64 - 1000, TOP64)
+
+    def test_budget_sets_rice_param(self, uniform_keys):
+        lean = Snarf(uniform_keys, bits_per_key=8)
+        rich = Snarf(uniform_keys, bits_per_key=24)
+        assert rich.rice_param > lean.rice_param
+        assert rich.size_in_bits() > lean.size_in_bits()
+
+    def test_size_close_to_budget(self, uniform_keys):
+        snarf = Snarf(uniform_keys, bits_per_key=16)
+        bpk = snarf.size_in_bits() / len(uniform_keys)
+        assert 10 < bpk < 19
+
+    def test_invalid_granularity(self, uniform_keys):
+        with pytest.raises(ValueError):
+            Snarf(uniform_keys, spline_granularity=1)
+
+
+class TestQueries:
+    def test_no_false_negatives(self, uniform_keys):
+        snarf = Snarf(uniform_keys, bits_per_key=14)
+        assert_no_false_negatives(snarf, uniform_keys[:200])
+
+    def test_uniform_fpr_low(self, uniform_keys, empty_queries):
+        snarf = Snarf(uniform_keys, bits_per_key=18)
+        fpr = sum(snarf.query_range(*q) for q in empty_queries) / len(empty_queries)
+        assert fpr < 0.1
+
+    def test_correlated_collapse(self, uniform_keys):
+        # The paper's Figure 9: the learned model cannot separate queries
+        # that hug the keys.
+        snarf = Snarf(uniform_keys, bits_per_key=18)
+        queries = correlated_range_queries(uniform_keys, 200, seed=5)
+        fpr = sum(snarf.query_range(*q) for q in queries) / len(queries)
+        assert fpr > 0.7
+
+    def test_fpr_decreases_with_memory(self, uniform_keys):
+        queries = uniform_range_queries(uniform_keys, 500, seed=6)
+        fprs = []
+        for bpk in (6, 12, 24):
+            s = Snarf(uniform_keys, bits_per_key=bpk)
+            fprs.append(sum(s.query_range(*q) for q in queries) / len(queries))
+        assert fprs[2] <= fprs[0]
+
+    def test_probe_counter_counts_decodes(self, uniform_keys):
+        snarf = Snarf(uniform_keys, bits_per_key=16)
+        snarf.reset_counters()
+        snarf.query_range(1, 2)
+        assert snarf.probe_count >= 0  # decodes may be zero off-block
+
+    def test_empty_keys(self):
+        snarf = Snarf([], total_bits=512)
+        assert not snarf.query_range(0, TOP64)
+
+    @given(st.sets(st.integers(0, (1 << 32) - 1), min_size=2, max_size=60),
+           st.integers(0, (1 << 32) - 1), st.integers(1, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_hypothesis_no_false_negatives(self, keys, lo, size):
+        snarf = Snarf(keys, bits_per_key=16, key_bits=32)
+        hi = min((1 << 32) - 1, lo + size - 1)
+        if any(lo <= k <= hi for k in keys):
+            assert snarf.query_range(lo, hi)

@@ -1,0 +1,147 @@
+"""Tests for the Z-order 2-D range filter and double-precision keys."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.two_stage import (
+    TwoStageREncoder,
+    double_to_key,
+    key_to_double,
+)
+from repro.filters.spatial import ZOrderRangeFilter
+
+
+class TestZOrderRangeFilter:
+    @pytest.fixture(scope="class")
+    def points(self):
+        rng = np.random.default_rng(80)
+        return [
+            (int(x), int(y)) for x, y in rng.integers(0, 1 << 14, (800, 2))
+        ]
+
+    def test_no_false_negative_points(self, points):
+        zf = ZOrderRangeFilter(points, coord_bits=14, bits_per_key=24)
+        for x, y in points[:200]:
+            assert zf.query_point(x, y)
+
+    def test_no_false_negative_rects(self, points):
+        zf = ZOrderRangeFilter(points, coord_bits=14, bits_per_key=24)
+        for x, y in points[:100]:
+            assert zf.query_rect(max(0, x - 3), x + 3, max(0, y - 3), y + 3)
+
+    def test_empty_rects_mostly_rejected(self, points):
+        zf = ZOrderRangeFilter(points, coord_bits=14, bits_per_key=24,
+                               max_query_extent=16)
+        pts = set(points)
+        rng = np.random.default_rng(81)
+        fp = tried = 0
+        while tried < 150:
+            x0 = int(rng.integers(0, (1 << 14) - 16))
+            y0 = int(rng.integers(0, (1 << 14) - 16))
+            if any((x, y) in pts
+                   for x in range(x0, x0 + 16) for y in range(y0, y0 + 16)):
+                continue
+            tried += 1
+            fp += zf.query_rect(x0, x0 + 15, y0, y0 + 15)
+        assert fp / tried < 0.4
+
+    def test_custom_factory(self, points):
+        from repro.filters.bloom import BloomFilter
+
+        zf = ZOrderRangeFilter(
+            points,
+            coord_bits=14,
+            filter_factory=lambda codes: BloomFilter(
+                codes, bits_per_key=12, key_bits=28
+            ),
+        )
+        for x, y in points[:50]:
+            assert zf.query_point(x, y)
+
+    def test_invalid_args(self, points):
+        with pytest.raises(ValueError):
+            ZOrderRangeFilter(points, coord_bits=0)
+        with pytest.raises(ValueError):
+            ZOrderRangeFilter(points, coord_bits=14, max_query_extent=0)
+
+    def test_size_accounting(self, points):
+        zf = ZOrderRangeFilter(points, coord_bits=14, bits_per_key=24)
+        assert zf.size_in_bits() > 0
+        zf.reset_counters()
+        zf.query_point(1, 1)
+        assert zf.probe_count >= 1
+
+
+class TestDoubleKeys:
+    def test_roundtrip(self):
+        for v in (0.0, 1.0, 3.141592653589793, 1e-300, 1e300):
+            assert key_to_double(double_to_key(v)) == v
+
+    def test_monotone(self):
+        values = [0.0, 1e-300, 1e-10, 1.0, 1e10, 1e300]
+        keys = [double_to_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            double_to_key(-0.5)
+
+    def test_domain_check(self):
+        with pytest.raises(ValueError):
+            key_to_double(1 << 63)
+
+    @given(st.floats(min_value=0.0, max_value=1e100, allow_nan=False))
+    @settings(max_examples=80)
+    def test_order_preserving(self, v):
+        assert double_to_key(v) <= double_to_key(v * 2 + 1.0)
+
+    def test_two_stage_double_precision(self):
+        rng = np.random.default_rng(82)
+        values = sorted(set(float(v) for v in rng.lognormal(0, 5, 500)))
+        enc = TwoStageREncoder(values, bits_per_key=26, precision="double")
+        assert enc.key_bits == 63
+        assert enc.exp_bits == 11
+        for v in values[:150]:
+            assert enc.query_float(v)
+
+    def test_two_stage_double_rejects_far_ranges(self):
+        rng = np.random.default_rng(83)
+        values = sorted(set(float(v) for v in rng.lognormal(0, 2, 500)))
+        enc = TwoStageREncoder(values, bits_per_key=26, precision="double")
+        top = max(values)
+        fp = sum(
+            enc.query_float_range(top * (10 + i), top * (10 + i) + 1e-6)
+            for i in range(40)
+        )
+        assert fp < 40
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            TwoStageREncoder([1.0], precision="half")
+
+
+class TestTExpTuning:
+    def test_tune_picks_low_fpr(self):
+        rng = np.random.default_rng(84)
+        values = sorted(set(float(v) for v in rng.lognormal(0, 4, 600)))
+        arr = np.array(values)
+        sample = []
+        while len(sample) < 60:
+            lo = float(rng.uniform(0, max(values) * 2))
+            hi = lo * 1.001 + 1e-9
+            i = int(np.searchsorted(arr, lo))
+            if i < len(values) and values[i] <= hi:
+                continue
+            sample.append((lo, hi))
+        tuned = TwoStageREncoder.tune_t_exp(
+            values, sample, bits_per_key=24
+        )
+        assert 0.0 <= tuned.tuned_fpr <= 0.5
+        for v in values[:100]:
+            assert tuned.query_float(float(np.float32(v)))
+
+    def test_tune_requires_samples(self):
+        with pytest.raises(ValueError):
+            TwoStageREncoder.tune_t_exp([1.0, 2.0], [])

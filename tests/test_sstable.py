@@ -1,0 +1,77 @@
+"""Tests for the SSTable."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.storage.env import StorageEnv
+from repro.storage.memtable import TOMBSTONE
+from repro.storage.sstable import SSTable
+
+
+def _factory(keys):
+    return REncoder(keys, bits_per_key=18)
+
+
+class TestSSTable:
+    def test_point_read(self):
+        env = StorageEnv()
+        table = SSTable([(1, "a"), (5, "b")], _factory, env)
+        assert table.query_point(5) == (True, "b")
+        assert table.query_point(3) == (False, None)
+
+    def test_range_read(self):
+        table = SSTable([(i, i * 2) for i in range(0, 100, 10)], _factory)
+        got = table.query_range(15, 55)
+        assert got == [(20, 40), (30, 60), (40, 80), (50, 100)]
+
+    def test_fence_keys_skip_io(self):
+        env = StorageEnv()
+        table = SSTable([(100, "x"), (200, "y")], _factory, env)
+        env.reset()
+        assert table.query_point(50) == (False, None)
+        assert table.query_range(300, 400) == []
+        assert env.stats.reads == 0
+
+    def test_filter_skips_io_on_empty_range(self):
+        env = StorageEnv()
+        table = SSTable([(100, "x"), (200_000, "y")], _factory, env)
+        env.reset()
+        # Between the fences but empty: the filter should usually skip it.
+        wasted = 0
+        for lo in range(1000, 50_000, 1000):
+            table.query_range(lo, lo + 10)
+            wasted = env.stats.wasted_reads
+        assert wasted < 10
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            SSTable([(5, "a"), (1, "b")])
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            SSTable([(5, "a"), (5, "b")])
+
+    def test_io_accounting(self):
+        env = StorageEnv()
+        table = SSTable([(10, "a"), (12, "b")], None, env)
+        env.reset()
+        table.query_point(10)
+        table.query_point(11)  # inside the fences: unfiltered tables read
+        assert env.stats.reads == 2
+        assert env.stats.useful_reads == 1
+        assert env.stats.wasted_reads == 1
+
+    def test_live_fraction(self):
+        table = SSTable([(1, "a"), (2, TOMBSTONE)], None)
+        assert table.live_fraction() == 0.5
+
+    def test_scan(self):
+        items = [(1, "a"), (2, "b")]
+        table = SSTable(items, None)
+        assert list(table.scan()) == items
+
+    def test_write_counted(self):
+        env = StorageEnv()
+        SSTable([(1, "a")], None, env)
+        assert env.stats.writes == 1

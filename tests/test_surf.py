@@ -1,0 +1,113 @@
+"""Tests for the SuRF baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.surf import SuRF
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+from tests.conftest import assert_no_false_negatives
+
+
+class TestModes:
+    def test_mode_bit_defaults(self, uniform_keys):
+        assert SuRF(uniform_keys, mode="base").hash_bits == 0
+        assert SuRF(uniform_keys, mode="hash").hash_bits == 8
+        assert SuRF(uniform_keys, mode="real").real_bits == 8
+        mixed = SuRF(uniform_keys, mode="mixed")
+        assert mixed.hash_bits == 4 and mixed.real_bits == 4
+
+    def test_invalid_mode(self, uniform_keys):
+        with pytest.raises(ValueError):
+            SuRF(uniform_keys, mode="turbo")
+
+    def test_byte_aligned_keys_only(self, uniform_keys):
+        with pytest.raises(ValueError):
+            SuRF(uniform_keys, key_bits=60)
+
+    def test_size_grows_with_suffixes(self, uniform_keys):
+        base = SuRF(uniform_keys, mode="base").size_in_bits()
+        mixed = SuRF(uniform_keys, mode="mixed").size_in_bits()
+        assert mixed == base + 8 * len(uniform_keys)
+
+
+class TestNoFalseNegatives:
+    @pytest.mark.parametrize("mode", ["base", "hash", "real", "mixed"])
+    def test_all_modes(self, uniform_keys, mode):
+        surf = SuRF(uniform_keys, mode=mode)
+        assert_no_false_negatives(surf, uniform_keys[:200])
+
+    @given(st.sets(st.integers(0, (1 << 16) - 1), min_size=1, max_size=50),
+           st.integers(0, (1 << 16) - 1), st.integers(1, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_16bit(self, keys, lo, size):
+        surf = SuRF(keys, key_bits=16)
+        hi = min((1 << 16) - 1, lo + size - 1)
+        if any(lo <= k <= hi for k in keys):
+            assert surf.query_range(lo, hi)
+
+
+class TestAccuracy:
+    def test_uniform_point_fpr_low(self, uniform_keys):
+        surf = SuRF(uniform_keys, mode="mixed")
+        rng = np.random.default_rng(2)
+        key_set = set(int(k) for k in uniform_keys)
+        probes = [int(p) for p in rng.integers(0, 1 << 64, 2000, dtype=np.uint64)
+                  if int(p) not in key_set]
+        fpr = sum(surf.query_point(p) for p in probes) / len(probes)
+        assert fpr < 0.1
+
+    def test_hash_suffix_sharpens_points(self, uniform_keys):
+        base = SuRF(uniform_keys, mode="base")
+        hashed = SuRF(uniform_keys, mode="hash")
+        rng = np.random.default_rng(3)
+        key_set = set(int(k) for k in uniform_keys)
+        probes = [int(p) for p in rng.integers(0, 1 << 64, 2000, dtype=np.uint64)
+                  if int(p) not in key_set]
+        fpr_base = sum(base.query_point(p) for p in probes) / len(probes)
+        fpr_hash = sum(hashed.query_point(p) for p in probes) / len(probes)
+        assert fpr_hash <= fpr_base
+
+    def test_real_suffix_sharpens_ranges(self, uniform_keys):
+        queries = uniform_range_queries(uniform_keys, 600, seed=4)
+        base = SuRF(uniform_keys, mode="base")
+        real = SuRF(uniform_keys, mode="real")
+        fpr_base = sum(base.query_range(*q) for q in queries) / len(queries)
+        fpr_real = sum(real.query_range(*q) for q in queries) / len(queries)
+        assert fpr_real <= fpr_base
+
+    def test_correlated_collapse(self, uniform_keys):
+        # The paper's headline SuRF weakness (Figure 9): FPR -> 1.
+        surf = SuRF(uniform_keys, mode="mixed")
+        queries = correlated_range_queries(uniform_keys, 200, seed=5)
+        fpr = sum(surf.query_range(*q) for q in queries) / len(queries)
+        assert fpr > 0.9
+
+    def test_no_memory_knob(self, uniform_keys):
+        # SuRF's size is data-determined (flat line across BPK figures).
+        surf = SuRF(uniform_keys)
+        bpk = surf.size_in_bits() / len(uniform_keys)
+        assert 8 < bpk < 40
+
+
+class TestEdgeCases:
+    def test_single_key(self):
+        surf = SuRF([42], key_bits=16)
+        assert surf.query_point(42)
+        assert surf.query_range(0, 100)
+        assert not surf.query_range(50_000, 60_000)
+
+    def test_adjacent_keys(self):
+        surf = SuRF([100, 101], key_bits=16, mode="real")
+        assert surf.query_point(100)
+        assert surf.query_point(101)
+
+    def test_range_below_all_keys(self, uniform_keys):
+        surf = SuRF(uniform_keys)
+        lo_key = int(uniform_keys[0])
+        if lo_key > 100:
+            assert not surf.query_range(0, 50)

@@ -1,0 +1,100 @@
+"""Tests for the Two-Stage (float/double) REncoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.two_stage import TwoStageREncoder, float_to_key, key_to_float
+
+
+class TestFloatKeyCodec:
+    def test_roundtrip(self):
+        for v in (0.0, 1.0, 3.14, 1e-20, 6.02e23):
+            assert key_to_float(float_to_key(v)) == pytest.approx(
+                np.float32(v), rel=1e-6
+            )
+
+    def test_monotone(self):
+        values = [0.0, 1e-10, 0.5, 1.0, 2.0, 1e10]
+        keys = [float_to_key(v) for v in values]
+        assert keys == sorted(keys)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            float_to_key(-1.0)
+
+    def test_key_domain(self):
+        with pytest.raises(ValueError):
+            key_to_float(1 << 31)
+
+    @given(st.floats(min_value=0.0, max_value=1e30, allow_nan=False))
+    @settings(max_examples=100)
+    def test_order_preserving(self, v):
+        a = float_to_key(v)
+        b = float_to_key(v * 2 + 1.0)
+        assert a <= b
+
+
+class TestTwoStageREncoder:
+    @pytest.fixture(scope="class")
+    def float_keys(self):
+        rng = np.random.default_rng(17)
+        return sorted(set(float(f) for f in rng.lognormal(0, 3, 800)))
+
+    def test_no_false_negative_points(self, float_keys):
+        enc = TwoStageREncoder(float_keys, bits_per_key=24)
+        for v in float_keys[:200]:
+            assert enc.query_float(float(np.float32(v)))
+
+    def test_no_false_negative_ranges(self, float_keys):
+        enc = TwoStageREncoder(float_keys, bits_per_key=24)
+        for v in float_keys[:100]:
+            v32 = float(np.float32(v))
+            assert enc.query_float_range(v32 * 0.99, v32 * 1.01 + 1e-30)
+
+    def test_two_stages_present(self, float_keys):
+        enc = TwoStageREncoder(float_keys, bits_per_key=24, t_exp=0.2)
+        levels = enc.stored_levels
+        assert 8 in levels, "stage 1 starts at the exponent boundary"
+        assert 9 in levels, "stage 2 starts just below it"
+
+    def test_t_exp_limits_stage1(self, float_keys):
+        tight = TwoStageREncoder(float_keys, bits_per_key=24, t_exp=0.05)
+        loose = TwoStageREncoder(float_keys, bits_per_key=24, t_exp=0.45)
+        shallow_t = sum(1 for l in tight.stored_levels if l <= 8)
+        shallow_l = sum(1 for l in loose.stored_levels if l <= 8)
+        assert shallow_t <= shallow_l
+
+    def test_negative_keys_shifted(self):
+        values = [-5.0, -1.0, 0.0, 2.5, 10.0]
+        enc = TwoStageREncoder(values, total_bits=8192)
+        assert enc.offset == 5.0
+        for v in values:
+            assert enc.query_float(v)
+
+    def test_empty_range_mostly_rejected(self, float_keys):
+        enc = TwoStageREncoder(float_keys, bits_per_key=24)
+        top = max(float_keys)
+        fp = sum(
+            enc.query_float_range(top * (2 + i), top * (2 + i) + 0.1)
+            for i in range(50)
+        )
+        assert fp < 50  # far-away empty ranges are not all positive
+
+    def test_invalid_t_exp(self, float_keys):
+        with pytest.raises(ValueError):
+            TwoStageREncoder(float_keys, t_exp=0.6)
+        with pytest.raises(ValueError):
+            TwoStageREncoder(float_keys, t_exp=0.0)
+
+    def test_invalid_exp_bits(self, float_keys):
+        with pytest.raises(ValueError):
+            TwoStageREncoder(float_keys, exp_bits=0)
+        with pytest.raises(ValueError):
+            TwoStageREncoder(float_keys, exp_bits=31)
+
+    def test_invalid_float_range(self, float_keys):
+        enc = TwoStageREncoder(float_keys[:10], total_bits=4096)
+        with pytest.raises(ValueError):
+            enc.query_float_range(2.0, 1.0)

@@ -1,0 +1,128 @@
+"""Tests for filter union (REncoder and Bloom)."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.core.variants import REncoderSS
+from repro.filters.bloom import BloomFilter
+
+
+@pytest.fixture()
+def two_key_sets():
+    rng = np.random.default_rng(70)
+    a = np.unique(rng.integers(0, 1 << 60, 800, dtype=np.uint64))
+    b = np.unique(rng.integers(0, 1 << 60, 800, dtype=np.uint64))
+    return a, b
+
+
+class TestREncoderUnion:
+    def test_no_false_negatives_after_union(self, two_key_sets):
+        a, b = two_key_sets
+        total = 16 * 1600
+        fa = REncoder(a, total, seed=1)
+        fb = REncoder(b, total, seed=1)
+        merged = fa.union(fb)
+        for k in np.concatenate([a[:200], b[:200]]):
+            assert merged.query_point(int(k))
+            assert merged.query_range(max(0, int(k) - 2), int(k) + 2)
+
+    def test_union_intersects_stored_levels(self, two_key_sets):
+        a, b = two_key_sets
+        total = 16 * 1600
+        fa = REncoder(a, total, seed=1)
+        fb = REncoder(b, total, seed=1)
+        merged = fa.union(fb)
+        expected = sorted(set(fa.stored_levels) & set(fb.stored_levels))
+        assert merged.stored_levels == expected
+
+    def test_union_counts_keys(self, two_key_sets):
+        a, b = two_key_sets
+        total = 16 * 1600
+        merged = REncoder(a, total, seed=1).union(REncoder(b, total, seed=1))
+        assert merged.n_keys == len(a) + len(b)
+
+    def test_union_accuracy_close_to_rebuild(self, two_key_sets):
+        a, b = two_key_sets
+        both = np.unique(np.concatenate([a, b]))
+        total = 18 * len(both)
+        merged = REncoder(a, total, seed=2).union(REncoder(b, total, seed=2))
+        rebuilt = REncoder(both, total, seed=2)
+        rng = np.random.default_rng(71)
+        fp_m = fp_r = tried = 0
+        for _ in range(800):
+            lo = int(rng.integers(0, 1 << 60, dtype=np.uint64))
+            hi = lo + 31
+            i = np.searchsorted(both, np.uint64(lo))
+            if i < len(both) and int(both[i]) <= hi:
+                continue
+            tried += 1
+            fp_m += merged.query_range(lo, hi)
+            fp_r += rebuilt.query_range(lo, hi)
+        assert fp_m / tried <= fp_r / tried + 0.15
+
+    def test_incompatible_geometry_rejected(self, two_key_sets):
+        a, b = two_key_sets
+        fa = REncoder(a, 16 * 1600, seed=1)
+        with pytest.raises(ValueError):
+            fa.union(REncoder(b, 16 * 1600, seed=2))  # different seed
+        with pytest.raises(ValueError):
+            fa.union(REncoder(b, 32 * 1600, seed=1))  # different size
+
+    def test_cross_variant_rejected(self, two_key_sets):
+        a, b = two_key_sets
+        fa = REncoder(a, 16 * 1600, seed=1)
+        fb = REncoderSS(b, 16 * 1600, seed=1)
+        with pytest.raises(TypeError):
+            fa.union(fb)
+
+    def test_ss_union(self, two_key_sets):
+        a, b = two_key_sets
+        fa = REncoderSS(a, 16 * 1600, seed=1)
+        fb = REncoderSS(b, 16 * 1600, seed=1)
+        try:
+            merged = fa.union(fb)
+        except ValueError as exc:
+            # SS level plans are data-dependent; disjoint stored levels
+            # are a legitimate refusal, never a silent wrong answer.
+            assert "stored levels" in str(exc)
+            return
+        for k in np.concatenate([a[:100], b[:100]]):
+            assert merged.query_point(int(k))
+
+    def test_disjoint_levels_rejected(self, two_key_sets):
+        a, b = two_key_sets
+        # Force disjoint stored-level sets: deep-only vs shallow-only.
+        fa = REncoder(a, 16 * 1600, seed=1, rmax=64)
+        fb = REncoder(b, 16 * 1600, seed=1, rmax=64)
+        fb._stored[:] = False
+        fb._stored[10] = True
+        fb._finalise_levels()
+        with pytest.raises(ValueError, match="stored levels"):
+            fa.union(fb)
+
+
+class TestBloomUnion:
+    def test_union_contains_both(self, two_key_sets):
+        a, b = two_key_sets
+        fa = BloomFilter(a, 4096 * 8, seed=1, k=4)
+        fb = BloomFilter(b, 4096 * 8, seed=1, k=4)
+        merged = fa.union(fb)
+        for k in np.concatenate([a[:200], b[:200]]):
+            assert merged.query_point(int(k))
+
+    def test_union_equals_joint_build(self, two_key_sets):
+        a, b = two_key_sets
+        fa = BloomFilter(a, 4096 * 8, seed=1, k=4)
+        fb = BloomFilter(b, 4096 * 8, seed=1, k=4)
+        both = BloomFilter(
+            np.unique(np.concatenate([a, b])), 4096 * 8, seed=1, k=4
+        )
+        merged = fa.union(fb)
+        assert (merged._array == both._array).all()
+
+    def test_incompatible_rejected(self, two_key_sets):
+        a, b = two_key_sets
+        fa = BloomFilter(a, 4096 * 8, seed=1, k=4)
+        with pytest.raises(ValueError):
+            fa.union(BloomFilter(b, 4096 * 8, seed=2, k=4))

@@ -1,0 +1,122 @@
+"""Tests for REncoderSS, REncoderSE and REncoderPO."""
+
+import numpy as np
+import pytest
+
+from repro.core.segment_tree import max_key_lcp
+from repro.core.variants import REncoderPO, REncoderSE, REncoderSS, build_variant
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+from tests.conftest import assert_no_false_negatives
+
+
+def _fpr(filt, queries):
+    return sum(filt.query_range(*q) for q in queries) / len(queries)
+
+
+class TestREncoderSS:
+    def test_start_level_is_lkk_plus_one(self, uniform_keys):
+        ss = REncoderSS(uniform_keys, bits_per_key=18)
+        assert ss.l_kk == max_key_lcp(uniform_keys, 64)
+        assert max(ss.stored_levels) == ss.l_kk + 1
+
+    def test_no_false_negatives(self, uniform_keys):
+        ss = REncoderSS(uniform_keys, bits_per_key=14)
+        assert_no_false_negatives(ss, uniform_keys[:200])
+
+    def test_beats_base_on_uniform(self, uniform_keys, empty_queries):
+        from repro.core.rencoder import REncoder
+
+        base = REncoder(uniform_keys, bits_per_key=14, seed=2)
+        ss = REncoderSS(uniform_keys, bits_per_key=14, seed=2)
+        assert _fpr(ss, empty_queries) <= _fpr(base, empty_queries) + 0.02
+
+    def test_collapses_on_correlated(self, uniform_keys):
+        ss = REncoderSS(uniform_keys, bits_per_key=18)
+        queries = correlated_range_queries(uniform_keys, 200, seed=3)
+        # The paper's Figure 9: SS cannot distinguish neighbours of keys.
+        assert _fpr(ss, queries) > 0.9
+
+    def test_single_key(self):
+        ss = REncoderSS([7], total_bits=1024)
+        assert ss.query_point(7)
+
+
+class TestREncoderSE:
+    def test_uncorrelated_sampling_matches_ss_plan(self, uniform_keys):
+        sample = uniform_range_queries(uniform_keys, 100, seed=4)
+        se = REncoderSE(uniform_keys, bits_per_key=18, sample_queries=sample)
+        if se.l_kq <= se.l_kk:
+            assert max(se.stored_levels) == se.l_kk + 1
+
+    def test_correlated_sampling_stores_deep_levels(self, uniform_keys):
+        sample = correlated_range_queries(uniform_keys, 100, seed=5)
+        se = REncoderSE(uniform_keys, bits_per_key=18, sample_queries=sample)
+        assert se.l_kq > se.l_kk
+        assert min(se.stored_levels) == se.l_kq + 1
+        assert max(se.stored_levels) >= se.l_kq + 1
+
+    def test_stays_accurate_on_correlated(self, uniform_keys):
+        sample = correlated_range_queries(uniform_keys, 150, seed=6)
+        queries = correlated_range_queries(uniform_keys, 300, seed=7)
+        se = REncoderSE(uniform_keys, bits_per_key=18, sample_queries=sample)
+        ss = REncoderSS(uniform_keys, bits_per_key=18)
+        assert _fpr(se, queries) < 0.5 < _fpr(ss, queries)
+
+    def test_no_false_negatives(self, uniform_keys):
+        sample = correlated_range_queries(uniform_keys, 100, seed=8)
+        se = REncoderSE(uniform_keys, bits_per_key=14, sample_queries=sample)
+        assert_no_false_negatives(se, uniform_keys[:200])
+
+    def test_empty_sample_behaves_like_ss(self, uniform_keys):
+        se = REncoderSE(uniform_keys, bits_per_key=18, sample_queries=[])
+        assert se.l_kq == 0
+        assert max(se.stored_levels) == se.l_kk + 1
+
+
+class TestREncoderPO:
+    def test_point_costs_single_fetch(self, uniform_keys):
+        po = REncoderPO(uniform_keys, bits_per_key=18)
+        po.reset_counters()
+        po.query_point(12345)
+        # One RBF fetch = k window probes, regardless of stored levels.
+        assert po.probe_count == po.rbf.k
+
+    def test_no_false_negative_points(self, uniform_keys):
+        po = REncoderPO(uniform_keys, bits_per_key=14)
+        for k in uniform_keys[:300]:
+            assert po.query_point(int(k))
+
+    def test_range_queries_unchanged(self, uniform_keys):
+        from repro.core.rencoder import REncoder
+
+        po = REncoderPO(uniform_keys, bits_per_key=18, seed=3)
+        base = REncoder(uniform_keys, bits_per_key=18, seed=3)
+        for q in uniform_range_queries(uniform_keys, 100, seed=9):
+            assert po.query_range(*q) == base.query_range(*q)
+
+    def test_point_fpr_worse_than_base(self, uniform_keys):
+        from repro.core.rencoder import REncoder
+        from repro.workloads.queries import point_queries
+
+        po = REncoderPO(uniform_keys, bits_per_key=12, seed=3)
+        base = REncoder(uniform_keys, bits_per_key=12, seed=3)
+        queries = point_queries(uniform_keys, 500, seed=10)
+        fpr_po = sum(po.query_point(lo) for lo, _ in queries) / len(queries)
+        fpr_base = sum(base.query_point(lo) for lo, _ in queries) / len(queries)
+        assert fpr_po >= fpr_base - 0.01
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["REncoder", "REncoderSS", "REncoderSE", "REncoderPO"]
+    )
+    def test_build_variant(self, uniform_keys, name):
+        filt = build_variant(name, uniform_keys, bits_per_key=16)
+        assert filt.query_point(int(uniform_keys[0]))
+
+    def test_unknown_variant(self, uniform_keys):
+        with pytest.raises(ValueError):
+            build_variant("REncoderXX", uniform_keys)

@@ -1,0 +1,121 @@
+"""Tests for dataset and query generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.datasets import (
+    DATASET_NAMES,
+    dataset_skew,
+    generate_keys,
+    split_keys,
+)
+from repro.workloads.queries import (
+    correlated_range_queries,
+    is_empty_range,
+    left_bounded_range_queries,
+    point_queries,
+    uniform_range_queries,
+)
+
+
+class TestDatasets:
+    @pytest.mark.parametrize("name", DATASET_NAMES)
+    def test_generates_sorted_unique(self, name):
+        keys = generate_keys(3000, name, seed=1)
+        assert len(keys) == 3000
+        assert (np.diff(keys.astype(np.uint64)) > 0).all()
+
+    def test_deterministic(self):
+        a = generate_keys(1000, "amzn", seed=7)
+        b = generate_keys(1000, "amzn", seed=7)
+        assert (a == b).all()
+
+    def test_seed_changes_data(self):
+        a = generate_keys(1000, "face", seed=1)
+        b = generate_keys(1000, "face", seed=2)
+        assert not (a == b).all()
+
+    def test_skew_ordering_matches_paper(self):
+        # Section V-A: "ordered by skewness: wiki > face > amzn > osmc".
+        skews = {
+            name: dataset_skew(generate_keys(5000, name, seed=3))
+            for name in ("wiki", "face", "amzn", "osmc")
+        }
+        assert skews["wiki"] > skews["face"] > skews["amzn"] > skews["osmc"]
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            generate_keys(100, "zipfian")
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            generate_keys(0, "uniform")
+
+    def test_split_keys(self):
+        keys = generate_keys(1000, "uniform", seed=4)
+        stored, holdout = split_keys(keys, 100, seed=5)
+        assert len(stored) == 900 and len(holdout) == 100
+        assert set(stored.tolist()).isdisjoint(holdout.tolist())
+        assert (np.diff(stored.astype(np.uint64)) > 0).all()
+
+    def test_split_bounds(self):
+        keys = generate_keys(100, "uniform", seed=6)
+        with pytest.raises(ValueError):
+            split_keys(keys, 0)
+        with pytest.raises(ValueError):
+            split_keys(keys, 100)
+
+
+class TestQueries:
+    @pytest.fixture(scope="class")
+    def keys(self):
+        return generate_keys(2000, "uniform", seed=10)
+
+    def test_is_empty_range(self, keys):
+        k = int(keys[0])
+        assert not is_empty_range(keys, k, k)
+        assert not is_empty_range(keys, k - 1, k + 1)
+
+    def test_uniform_queries_empty_and_sized(self, keys):
+        queries = uniform_range_queries(keys, 300, min_size=2, max_size=32,
+                                        seed=11)
+        assert len(queries) == 300
+        for lo, hi in queries:
+            assert 2 <= hi - lo + 1 <= 32 or hi == (1 << 64) - 1
+            assert is_empty_range(keys, lo, hi)
+
+    def test_uniform_queries_can_include_hits(self, keys):
+        queries = uniform_range_queries(
+            keys, 100, seed=12, ensure_empty=False
+        )
+        assert len(queries) == 100
+
+    def test_correlated_queries_adjacent_to_keys(self, keys):
+        queries = correlated_range_queries(keys, 200, offset=32, seed=13)
+        key_set = keys
+        for lo, hi in queries:
+            assert is_empty_range(keys, lo, hi)
+            # The left bound sits exactly 32 above some stored key.
+            idx = np.searchsorted(key_set, np.uint64(lo - 32))
+            assert int(key_set[idx]) == lo - 32
+
+    def test_point_queries_are_size_one(self, keys):
+        queries = point_queries(keys, 100, seed=14)
+        assert all(lo == hi for lo, hi in queries)
+
+    def test_left_bounded_queries_use_holdout(self, keys):
+        stored, holdout = split_keys(keys, 200, seed=15)
+        queries = left_bounded_range_queries(stored, holdout, 150, seed=16)
+        bounds = set(holdout.tolist())
+        for lo, hi in queries:
+            assert lo in bounds
+            assert is_empty_range(stored, lo, hi)
+
+    def test_invalid_sizes(self, keys):
+        with pytest.raises(ValueError):
+            uniform_range_queries(keys, 10, min_size=5, max_size=2)
+
+    def test_too_dense_keyspace_raises(self):
+        dense = np.arange(256, dtype=np.uint64)
+        with pytest.raises(RuntimeError):
+            uniform_range_queries(dense, 10, key_bits=8, max_attempts=2)

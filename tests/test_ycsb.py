@@ -1,0 +1,110 @@
+"""Tests for the YCSB-style workload generator and driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.storage.btree import BPlusTree
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+from repro.workloads.datasets import generate_keys
+from repro.workloads.ycsb import YCSB_MIXES, run_ycsb, ycsb_operations
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return generate_keys(1000, "uniform", seed=21)
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("letter", sorted(YCSB_MIXES))
+    def test_counts_and_shapes(self, keys, letter):
+        ops = list(ycsb_operations(letter, keys, 500, seed=1))
+        assert len(ops) == 500
+        kinds = {op[0] for op in ops}
+        assert kinds <= {"get", "put", "scan", "rmw"}
+
+    def test_mix_proportions(self, keys):
+        ops = list(ycsb_operations("B", keys, 4000, seed=2))
+        gets = sum(1 for op in ops if op[0] == "get")
+        assert 0.9 < gets / len(ops) <= 1.0
+
+    def test_scan_sizes(self, keys):
+        ops = list(ycsb_operations("E", keys, 500, scan_size=16, seed=3))
+        for op in ops:
+            if op[0] == "scan":
+                assert op[2] - op[1] + 1 <= 16
+
+    def test_missing_fraction_extremes(self, keys):
+        key_set = set(int(k) for k in keys)
+        present = list(
+            ycsb_operations("C", keys, 400, missing_fraction=0.0, seed=4)
+        )
+        assert all(op[1] in key_set for op in present)
+        absent = list(
+            ycsb_operations("C", keys, 400, missing_fraction=1.0, seed=5)
+        )
+        hit = sum(1 for op in absent if op[1] in key_set)
+        assert hit < 10
+
+    def test_deterministic(self, keys):
+        a = list(ycsb_operations("A", keys, 100, seed=6))
+        assert a == list(ycsb_operations("A", keys, 100, seed=6))
+
+    def test_invalid(self, keys):
+        with pytest.raises(ValueError):
+            list(ycsb_operations("Z", keys, 10))
+        with pytest.raises(ValueError):
+            list(ycsb_operations("A", keys, 10, missing_fraction=2.0))
+        with pytest.raises(ValueError):
+            list(ycsb_operations("A", np.zeros(0, dtype=np.uint64), 10))
+
+
+class TestDriver:
+    def test_lsm_under_ycsb(self, keys):
+        env = StorageEnv()
+        lsm = LSMTree(
+            lambda ks: REncoder(ks, bits_per_key=18),
+            memtable_capacity=256,
+            env=env,
+        )
+        for k in keys:
+            lsm.put(int(k), 0)
+        lsm.flush()
+        counts = run_ycsb(
+            lsm, ycsb_operations("A", keys, 600, seed=7,
+                                 missing_fraction=0.5)
+        )
+        assert counts["get"] + counts["put"] == 600
+        # Present keys are always found (no false negatives end to end).
+        assert counts["found"] > 0
+
+    def test_btree_under_ycsb(self, keys):
+        bt = BPlusTree(fanout=32)
+        for k in keys:
+            bt.insert(int(k), 0)
+        counts = run_ycsb(
+            bt, ycsb_operations("E", keys, 300, seed=8,
+                                missing_fraction=0.3)
+        )
+        assert counts["scan"] > 0
+
+    def test_filters_cut_ycsb_io(self, keys):
+        results = {}
+        for name, factory in (
+            ("filtered", lambda ks: REncoder(ks, bits_per_key=18)),
+            ("bare", None),
+        ):
+            env = StorageEnv()
+            lsm = LSMTree(factory, memtable_capacity=256, env=env)
+            for k in keys:
+                lsm.put(int(k), 0)
+            lsm.flush()
+            env.reset()
+            run_ycsb(
+                lsm,
+                ycsb_operations("C", keys, 500, seed=9,
+                                missing_fraction=0.9),
+            )
+            results[name] = env.stats.wasted_reads
+        assert results["filtered"] < results["bare"]

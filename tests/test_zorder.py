@@ -1,0 +1,94 @@
+"""Tests for Z-order interleaving and rectangle decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.zorder import deinterleave, interleave, rect_to_zranges
+
+
+class TestInterleave:
+    def test_paper_definition(self):
+        # "interleave the binary representations of x and y":
+        # x=0b11, y=0b00 -> z = 0b0101.
+        assert interleave(0b11, 0b00) == 0b0101
+        assert interleave(0b00, 0b11) == 0b1010
+
+    def test_roundtrip_corners(self):
+        top = (1 << 32) - 1
+        for x, y in [(0, 0), (top, 0), (0, top), (top, top), (123, 456)]:
+            assert deinterleave(interleave(x, y)) == (x, y)
+
+    def test_out_of_domain(self):
+        with pytest.raises(ValueError):
+            interleave(1 << 32, 0)
+        with pytest.raises(ValueError):
+            deinterleave(-1)
+
+    def test_locality_within_quadrant(self):
+        # All points of the top-left 2^31 quadrant share the z high bits.
+        z1 = interleave(0, 0)
+        z2 = interleave((1 << 31) - 1, (1 << 31) - 1)
+        z3 = interleave(1 << 31, 0)
+        assert z1 < z2 < z3
+
+    @given(st.integers(0, (1 << 32) - 1), st.integers(0, (1 << 32) - 1))
+    @settings(max_examples=100)
+    def test_hypothesis_roundtrip(self, x, y):
+        assert deinterleave(interleave(x, y)) == (x, y)
+
+
+class TestRectDecomposition:
+    def test_full_domain_single_range(self):
+        ranges = rect_to_zranges(0, 255, 0, 255, coord_bits=8)
+        assert ranges == [(0, (1 << 16) - 1)]
+
+    def test_single_cell(self):
+        z = interleave(5, 9, 8)
+        assert rect_to_zranges(5, 5, 9, 9, coord_bits=8) == [(z, z)]
+
+    def test_cover_is_exact_when_budget_allows(self):
+        ranges = rect_to_zranges(3, 6, 2, 5, coord_bits=4, max_ranges=64)
+        covered = set()
+        for lo, hi in ranges:
+            covered.update(range(lo, hi + 1))
+        expected = {
+            interleave(x, y, 4) for x in range(3, 7) for y in range(2, 6)
+        }
+        assert expected <= covered
+
+    def test_budget_cap_gives_superset(self):
+        tight = rect_to_zranges(3, 6, 2, 5, coord_bits=8, max_ranges=4)
+        exact = rect_to_zranges(3, 6, 2, 5, coord_bits=8, max_ranges=4096)
+        cover_tight = set()
+        for lo, hi in tight:
+            cover_tight.update(range(lo, hi + 1))
+        for lo, hi in exact:
+            assert all(z in cover_tight for z in range(lo, hi + 1))
+
+    def test_ranges_sorted_and_disjoint(self):
+        ranges = rect_to_zranges(10, 200, 5, 100, coord_bits=8)
+        for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+            assert a1 < b0
+
+    def test_invalid_rect(self):
+        with pytest.raises(ValueError):
+            rect_to_zranges(5, 4, 0, 10, coord_bits=8)
+        with pytest.raises(ValueError):
+            rect_to_zranges(0, 300, 0, 10, coord_bits=8)
+
+    @given(
+        st.integers(0, 63), st.integers(0, 63),
+        st.integers(0, 63), st.integers(0, 63),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_cover_complete(self, x0, x1, y0, y1):
+        x_lo, x_hi = min(x0, x1), max(x0, x1)
+        y_lo, y_hi = min(y0, y1), max(y0, y1)
+        ranges = rect_to_zranges(x_lo, x_hi, y_lo, y_hi, coord_bits=6,
+                                 max_ranges=16)
+        for x in range(x_lo, x_hi + 1, max(1, (x_hi - x_lo) // 5)):
+            for y in range(y_lo, y_hi + 1, max(1, (y_hi - y_lo) // 5)):
+                z = interleave(x, y, 6)
+                assert any(lo <= z <= hi for lo, hi in ranges)
