@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test bench report examples clean
+.PHONY: install test bench bench-smoke report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# ~30 s batch-vs-scalar equivalence + throughput smoke; writes
+# BENCH_batch_query.json at the repo root (asserts >= 5x speedup).
+bench-smoke:
+	python benchmarks/bench_batch_query.py --preset smoke
 
 report: bench
 	python -m repro report

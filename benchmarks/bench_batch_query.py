@@ -1,0 +1,160 @@
+"""Batch query engine: vectorised ``query_many`` vs the scalar loop.
+
+Measures the tentpole claim: on the Fig. 6 uniform workload (10 BPK,
+64-wide ranges) the vectorised batch engine answers range queries several
+times faster than the per-query scalar loop, while remaining bit-identical
+(the scalar subset is re-asserted on every run).  Also reports the fetch
+cache's hit rate on three workloads — uniform, correlated (left bound =
+key + 32) and adjacent (runs of consecutive 64-wide windows) — since
+cache locality is where the batch engine's probe savings come from.
+
+Run as a script (``python benchmarks/bench_batch_query.py --preset
+smoke|full``) or via pytest-benchmark like the figure benches.  Both
+write ``BENCH_batch_query.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from common import batch_rows, record, write_bench_json
+
+from repro.bench.metrics import run_batch_filter, run_filter
+from repro.core.rencoder import REncoder
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import (
+    correlated_range_queries,
+    uniform_range_queries,
+)
+
+#: ``smoke`` fits the CI budget (~30 s end to end); ``full`` is the
+#: acceptance configuration (1M keys, 10 BPK, 64-wide ranges).
+PRESETS = {
+    "smoke": dict(n_keys=100_000, n_queries=20_000, n_scalar=2_000),
+    "full": dict(n_keys=1_000_000, n_queries=100_000, n_scalar=5_000),
+}
+BPK = 10
+WIDTH = 64
+
+
+def adjacent_range_queries(keys, n, *, run_length=16, seed=0):
+    """Runs of consecutive ``WIDTH``-wide windows (cache-friendly)."""
+    rng = np.random.default_rng(seed)
+    top = (1 << 64) - 1
+    out = []
+    while len(out) < n:
+        start = int(
+            rng.integers(0, top - WIDTH * run_length, dtype=np.uint64)
+        )
+        for i in range(run_length):
+            lo = start + i * WIDTH
+            out.append((lo, lo + WIDTH - 1))
+    return out[:n]
+
+
+def run_bench(preset: str, seed: int = 1) -> dict:
+    """Build the filter, time scalar vs batch, return the JSON payload."""
+    cfg = PRESETS[preset]
+    keys = generate_keys(cfg["n_keys"], "uniform", seed=seed)
+    t0 = time.perf_counter()
+    filt = REncoder(keys, total_bits=BPK * len(keys))
+    build_seconds = time.perf_counter() - t0
+    queries = uniform_range_queries(
+        keys, cfg["n_queries"], min_size=WIDTH, max_size=WIDTH, seed=seed + 1
+    )
+
+    # Scalar baseline on a subset (the loop is the slow side), batch on
+    # the whole workload; equivalence asserted on the shared subset.
+    subset = queries[: cfg["n_scalar"]]
+    scalar_run = run_filter(filt, subset, build_seconds=build_seconds)
+    scalar_answers = [filt.query_range(lo, hi) for lo, hi in subset]
+    batch_run = run_batch_filter(filt, queries, build_seconds=build_seconds)
+    batch_answers = filt.query_many(queries)
+    equivalent = batch_answers[: len(subset)] == scalar_answers
+    speedup = batch_run.filter_kqps / scalar_run.filter_kqps
+
+    hit_rates = {"uniform": batch_run.cache_hit_rate}
+    for name, wl in (
+        (
+            "correlated",
+            correlated_range_queries(
+                keys, cfg["n_scalar"], max_size=WIDTH, seed=seed + 2
+            ),
+        ),
+        ("adjacent", adjacent_range_queries(keys, cfg["n_scalar"], seed=seed + 3)),
+    ):
+        hit_rates[name] = run_batch_filter(filt, wl).cache_hit_rate
+
+    payload = {
+        "preset": preset,
+        "n_keys": cfg["n_keys"],
+        "bits_per_key": BPK,
+        "range_width": WIDTH,
+        "n_queries": cfg["n_queries"],
+        "scalar": {
+            "n_queries": len(subset),
+            "seconds": round(scalar_run.filter_seconds, 4),
+            "kqps": round(scalar_run.filter_kqps, 1),
+            "probes_per_query": round(scalar_run.probes_per_query, 2),
+        },
+        "batch": {
+            "n_queries": cfg["n_queries"],
+            "seconds": round(batch_run.filter_seconds, 4),
+            "kqps": round(batch_run.filter_kqps, 1),
+            "probes_per_query": round(batch_run.probes_per_query, 2),
+            "cache_hit_rate": round(batch_run.cache_hit_rate, 3),
+        },
+        "speedup": round(speedup, 2),
+        "equivalent": equivalent,
+        "cache_hit_rate_by_workload": {
+            k: round(v, 3) for k, v in hit_rates.items()
+        },
+    }
+    payload["_runs"] = (scalar_run, batch_run)
+    return payload
+
+
+def _finish(payload: dict, benchmark=None) -> dict:
+    scalar_run, batch_run = payload.pop("_runs")
+    record(benchmark, "batch_query", batch_rows([scalar_run, batch_run]))
+    write_bench_json("BENCH_batch_query.json", payload)
+    assert payload["equivalent"], "batch answers diverged from scalar"
+    assert payload["speedup"] >= 5.0, (
+        f"batch speedup {payload['speedup']}x below the 5x target"
+    )
+    assert all(v > 0 for v in payload["cache_hit_rate_by_workload"].values())
+    return payload
+
+
+def test_batch_query(benchmark):
+    """Pytest entry point: the smoke preset, timed by pytest-benchmark."""
+    payload = run_bench("smoke")
+    _finish(payload, benchmark)
+    keys = generate_keys(20_000, "uniform", seed=1)
+    filt = REncoder(keys, total_bits=BPK * len(keys))
+    queries = uniform_range_queries(keys, 2_000, max_size=WIDTH, seed=2)
+    benchmark.pedantic(lambda: filt.query_many(queries), rounds=3, iterations=1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    payload = run_bench(args.preset, seed=args.seed)
+    _finish(payload)
+    print(
+        f"speedup {payload['speedup']}x "
+        f"(scalar {payload['scalar']['kqps']} kq/s -> "
+        f"batch {payload['batch']['kqps']} kq/s), "
+        f"hit rates {payload['cache_hit_rate_by_workload']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,12 +12,14 @@ Scale via environment: ``REPRO_N_KEYS`` (default 20000),
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 from repro.bench.experiments import ExperimentConfig
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def default_config(**overrides) -> ExperimentConfig:
@@ -49,3 +51,34 @@ def series(results: dict, metric: str) -> dict[str, list[float]]:
 def mean(values) -> float:
     values = list(values)
     return sum(values) / len(values)
+
+
+def batch_rows(runs) -> str:
+    """Format FilterRun rows (scalar and batch modes side by side).
+
+    Surfaces the batch engine's counters — probes per query, fetch-cache
+    hit rate and per-batch wall time — next to throughput, so a bench
+    table shows *why* the batch path is faster, not just that it is.
+    """
+    cols = [
+        "filter", "mode", "bpk", "filter_kqps", "probes/q",
+        "cache_hit_rate", "batch_seconds",
+    ]
+    rows = [c.ljust(15) for c in cols]
+    lines = ["".join(rows)]
+    for run in runs:
+        row = run.as_row()
+        lines.append("".join(str(row[c]).ljust(15) for c in cols))
+    return "\n".join(lines)
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Write a machine-readable bench result to the repository root.
+
+    Used by the batch-query smoke bench (``BENCH_batch_query.json``) so
+    CI and the acceptance checks can read before/after numbers without
+    parsing tables.
+    """
+    path = REPO_ROOT / name
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

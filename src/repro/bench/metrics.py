@@ -31,6 +31,7 @@ __all__ = [
     "measure_fpr",
     "run_filter",
     "run_point_filter",
+    "run_batch_filter",
 ]
 
 #: Simulated second-level latency.  2 ms per I/O keeps the paper's rough
@@ -55,15 +56,23 @@ class FilterRun:
     probes_per_query: float
     overall_kqps: float
     build_seconds: float = 0.0
+    #: "scalar" for the per-query loop, "batch" for the vectorised engine.
+    mode: str = "scalar"
+    #: Fetch-cache hit rate of the batch engine (0.0 on the scalar path
+    #: or for filters without a cache).
+    cache_hit_rate: float = 0.0
 
     def as_row(self) -> dict:
         """Result-table row used by the figure benches."""
         return {
             "filter": self.name,
+            "mode": self.mode,
             "bpk": round(self.bits_per_key, 1),
             "fpr": self.fpr,
             "filter_kqps": round(self.filter_kqps, 1),
             "probes/q": round(self.probes_per_query, 1),
+            "cache_hit_rate": round(self.cache_hit_rate, 3),
+            "batch_seconds": round(self.filter_seconds, 4),
             "overall_kqps": round(self.overall_kqps, 2),
         }
 
@@ -139,3 +148,51 @@ def run_point_filter(
     """Run a point-query workload through ``query_point``."""
     return _run(filt, queries, point=True, io_cost_ns=io_cost_ns,
                 build_seconds=build_seconds)
+
+
+def run_batch_filter(
+    filt: RangeFilter,
+    queries: Sequence[tuple[int, int]],
+    *,
+    point: bool = False,
+    io_cost_ns: int = DEFAULT_IO_COST_NS,
+    build_seconds: float = 0.0,
+) -> FilterRun:
+    """Run a workload through the vectorised batch engine.
+
+    Same metrics as :func:`run_filter` / :func:`run_point_filter`, but
+    the whole workload goes through ``query_many`` /
+    ``query_point_many`` in one call, and the run additionally records
+    ``mode="batch"``, the batch wall time (``filter_seconds``) and the
+    fetch-cache hit rate when the filter exposes one.
+    """
+    if not queries:
+        raise ValueError("need at least one query")
+    filt.reset_counters()
+    start = time.perf_counter()
+    if point:
+        answers = filt.query_point_many([lo for lo, _ in queries])
+    else:
+        answers = filt.query_many(queries)
+    elapsed = time.perf_counter() - start
+    positives = int(sum(bool(a) for a in answers))
+    n = len(queries)
+    overall_seconds = elapsed + positives * io_cost_ns * 1e-9
+    n_keys = getattr(filt, "n_keys", 0) or 1
+    bits = filt.size_in_bits()
+    return FilterRun(
+        name=type(filt).name,
+        n_keys=n_keys,
+        bits=bits,
+        bits_per_key=bits / n_keys,
+        n_queries=n,
+        positives=positives,
+        fpr=positives / n,
+        filter_seconds=elapsed,
+        filter_kqps=n / elapsed / 1e3 if elapsed else float("inf"),
+        probes_per_query=filt.probe_count / n,
+        overall_kqps=n / overall_seconds / 1e3 if overall_seconds else float("inf"),
+        build_seconds=build_seconds,
+        mode="batch",
+        cache_hit_rate=float(getattr(filt, "cache_hit_rate", 0.0)),
+    )

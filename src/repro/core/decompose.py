@@ -5,15 +5,18 @@ of *dyadic* sub-ranges, each exactly the span of one key prefix, so that the
 range query becomes at most ``2L`` (and for ranges of size ``R``, at most
 ``2 log2 R``) prefix membership probes (Section III-B).
 
-Two equivalent algorithms are provided and cross-checked by tests:
+Three equivalent algorithms are provided and cross-checked by tests:
 
 * :func:`decompose` — the fast iterative greedy walk: repeatedly peel off
   the largest aligned power-of-two block starting at ``lo``;
 * :func:`decompose_recursive` — the paper's top-down formulation
   (compare the prefix range ``Rp`` against the target ``Rt``; recurse on
-  intersection, emit on containment).
+  intersection, emit on containment);
+* :func:`decompose_batch` — the greedy walk run in lockstep over a whole
+  query batch with numpy, emitting flat ``(query, prefix, length)``
+  arrays for the batch query engine.
 
-Both return ``(prefix_value, prefix_len)`` pairs ordered left to right.
+All return ``(prefix_value, prefix_len)`` pairs ordered left to right.
 A prefix ``(p, l)`` covers keys ``[p << (L-l), ((p+1) << (L-l)) - 1]``.
 The empty prefix is returned as ``(0, 0)`` when the query covers the whole
 domain.
@@ -21,8 +24,11 @@ domain.
 
 from __future__ import annotations
 
+import numpy as np
+
 __all__ = [
     "decompose",
+    "decompose_batch",
     "decompose_recursive",
     "prefix_range",
     "covering_prefix",
@@ -114,3 +120,87 @@ def decompose_recursive(lo: int, hi: int, key_bits: int) -> list[tuple[int, int]
 
     visit(0, 0)
     return out
+
+
+def decompose_batch(
+    los: np.ndarray, his: np.ndarray, key_bits: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Dyadic cover of a whole query batch, vectorised.
+
+    Runs the greedy walk of :func:`decompose` in lockstep over every query
+    with numpy: each iteration peels the largest aligned power-of-two block
+    off every still-unfinished query, so the loop runs ``max pieces per
+    query`` times (at most ``2 L``) regardless of batch size.
+
+    Returns three equal-length flat arrays ``(qidx, prefixes, lengths)``:
+    piece ``j`` belongs to query ``qidx[j]`` and is the prefix
+    ``(prefixes[j], lengths[j])``.  Pieces of one query appear in the same
+    left-to-right order :func:`decompose` emits, and queries appear in
+    ascending index order.  A whole-domain query yields one ``(0, 0)``
+    piece, exactly like the scalar walk.
+    """
+    if key_bits < 1:
+        raise ValueError(f"key_bits must be positive, got {key_bits}")
+    los = np.atleast_1d(np.asarray(los, dtype=np.uint64))
+    his = np.atleast_1d(np.asarray(his, dtype=np.uint64))
+    if los.shape != his.shape:
+        raise ValueError("los and his must have equal length")
+    top = np.uint64((1 << key_bits) - 1)
+    if los.size and (
+        (los > his).any() or int(his.max()) > int(top)
+    ):
+        raise ValueError(f"invalid range in batch for {key_bits}-bit keys")
+
+    out_q: list[np.ndarray] = []
+    out_p: list[np.ndarray] = []
+    out_l: list[np.ndarray] = []
+
+    qidx = np.arange(los.size, dtype=np.int64)
+    if key_bits == 64:
+        # ``hi - lo + 1`` wraps to 0 for the full 64-bit domain; emit the
+        # empty prefix directly, as the scalar walk's python ints would.
+        full = (los == np.uint64(0)) & (his == top)
+        if full.any():
+            sel = qidx[full]
+            out_q.append(sel)
+            out_p.append(np.zeros(sel.size, dtype=np.uint64))
+            out_l.append(np.zeros(sel.size, dtype=np.int64))
+            qidx = qidx[~full]
+            los, his = los[~full], his[~full]
+
+    cur = los.copy()
+    remaining = his - los + np.uint64(1)
+    q = qidx
+    one = np.uint64(1)
+    while cur.size:
+        # Largest aligned block at ``cur``: min(lowest set bit of cur,
+        # highest power of two <= remaining).  ``cur == 0`` means alignment
+        # is unbounded; 2^63 is always >= the msb of a uint64 remaining.
+        align = np.where(
+            cur == 0, one << np.uint64(63), cur & (~cur + one)
+        )
+        m = remaining.copy()
+        for s in (1, 2, 4, 8, 16, 32):
+            m |= m >> np.uint64(s)
+        msb = m - (m >> one)
+        size = np.minimum(align, msb)
+        log_size = np.bitwise_count(size - one).astype(np.uint64)
+        out_q.append(q)
+        out_p.append(cur >> log_size)
+        out_l.append(np.int64(key_bits) - log_size.astype(np.int64))
+        cur = cur + size  # may wrap at the domain end; remaining hits 0 too
+        remaining = remaining - size
+        keep = remaining > 0
+        if not keep.all():
+            cur, remaining, q = cur[keep], remaining[keep], q[keep]
+
+    if not out_q:
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, np.zeros(0, dtype=np.uint64), empty
+    all_q = np.concatenate(out_q)
+    all_p = np.concatenate(out_p)
+    all_l = np.concatenate(out_l)
+    # Rounds were emitted in walk order, so a stable sort by query index
+    # recovers each query's left-to-right piece order.
+    order = np.argsort(all_q, kind="stable")
+    return all_q[order], all_p[order], all_l[order]

@@ -158,11 +158,54 @@ class RangeBloomFilter:
                     arr[word + 1 : word + 1 + w] << co
                 )
             if combined is None:
+                # The aligned path's ``window`` is a *view* of ``_array``;
+                # copy before it can escape (or be AND-ed in place below),
+                # so no caller can mutate filter state through a fetched
+                # BT.  The unaligned path already produced a fresh array.
                 combined = window.copy() if shift == 0 else window
             else:
                 combined &= window
         if self.block_bits < 64:
             combined[0] &= np.uint64(self._block_mask)
+        return combined
+
+    def fetch_bt_many(self, hash_keys: np.ndarray) -> np.ndarray:
+        """Combined BTs for an array of hash prefixes, vectorised.
+
+        The batch equivalent of calling :meth:`fetch_bt` per key: all
+        ``k`` windows of all keys are resolved with one gather plus a
+        shift/OR pair per hash function, and the per-key AND across the
+        ``k`` windows happens array-wide.  Returns a fresh
+        ``(len(hash_keys), words_per_block)`` array (row ``i`` is
+        bit-identical to ``fetch_bt(hash_keys[i])``); ``fetch_count``
+        advances by ``k`` per key, as on the scalar path.
+        """
+        hash_keys = np.asarray(hash_keys, dtype=np.uint64)
+        n = hash_keys.size
+        w = self.words_per_block
+        if n == 0:
+            return np.zeros((0, w), dtype=np.uint64)
+        self.fetch_count += self.k * n
+        arr = self._array
+        positions = self._family.positions_array(hash_keys)
+        span = np.arange(w + 1, dtype=np.intp)
+        combined: np.ndarray | None = None
+        for i in range(self.k):
+            word = (positions[i] >> np.uint64(6)).astype(np.intp)
+            shift = positions[i] & np.uint64(63)
+            # Gather w+1 words per window; the pad word keeps the last
+            # column in bounds for fully-aligned positions.
+            win = arr[word[:, None] + span]
+            low = win[:, :w] >> shift[:, None]
+            # ``64 - shift`` is masked to stay a defined shift; aligned
+            # rows (shift == 0) take no bits from the next word.
+            co = (np.uint64(64) - shift) & np.uint64(63)
+            high = win[:, 1 : w + 1] << co[:, None]
+            high[shift == 0] = 0
+            window = low | high
+            combined = window if combined is None else combined & window
+        if self.block_bits < 64:
+            combined[:, 0] &= np.uint64(self._block_mask)
         return combined
 
     # ------------------------------------------------------------------
@@ -218,7 +261,13 @@ class RangeBloomFilter:
 
     def copy(self) -> "RangeBloomFilter":
         """Deep copy, sharing nothing with the original."""
-        clone = RangeBloomFilter(self.bits, self.k, self.group_bits, self.seed)
+        clone = RangeBloomFilter(
+            self.bits,
+            self.k,
+            self.group_bits,
+            self.seed,
+            block_bits=self.block_bits,
+        )
         clone._array[:] = self._array
         clone._ones_dirty = True
         return clone

@@ -90,5 +90,23 @@ class RangeFilter(abc.ABC):
             )
 
     def query_many(self, ranges: Sequence[tuple[int, int]]) -> list[bool]:
-        """Answer a batch of range queries (harness convenience)."""
-        return [self.query_range(lo, hi) for lo, hi in ranges]
+        """Answer a batch of range queries.
+
+        Dispatches to the subclass's vectorised ``query_range_many`` fast
+        path when one is defined (REncoder and its variants); otherwise
+        falls back to the scalar loop.  Answers are identical either way
+        — the fast path is property-tested to be bit-identical.
+        """
+        fast = getattr(self, "query_range_many", None)
+        if fast is not None:
+            return [bool(a) for a in fast(ranges)]
+        return [self.query_range(int(lo), int(hi)) for lo, hi in ranges]
+
+    def query_point_many(self, keys: Iterable[int]) -> Sequence[bool]:
+        """Answer a batch of point queries.
+
+        Subclasses with a vectorised path (REncoder family) override this
+        and return a numpy boolean array; the default is the scalar loop.
+        Callers should treat the result as an opaque boolean sequence.
+        """
+        return [self.query_point(int(k)) for k in keys]

@@ -166,6 +166,68 @@ class LSMTree:
                 return (False, None) if value is TOMBSTONE else (True, value)
         return False, None
 
+    def get_many(self, keys) -> list[tuple[bool, Any]]:
+        """Batch :meth:`get`: memtable first, then per-table key batches.
+
+        Unresolved keys flow through the tables newest-first in one
+        vectorised filter batch per table, so each key consults exactly
+        the tables the scalar loop would (it stops at its first hit) and
+        the ``env.read`` accounting matches query-for-query.  Tombstones
+        read as not found, as in :meth:`get`.
+        """
+        keys = [int(k) for k in keys]
+        out: list[tuple[bool, Any] | None] = [None] * len(keys)
+        unresolved: list[int] = []
+        for i, key in enumerate(keys):
+            found, value = self.memtable.get(key)
+            if found:
+                out[i] = (False, None) if value is TOMBSTONE else (True, value)
+            else:
+                unresolved.append(i)
+        for table in self._tables_newest_first():
+            if not unresolved:
+                break
+            answers = table.query_point_many([keys[i] for i in unresolved])
+            still: list[int] = []
+            for i, (hit, value) in zip(unresolved, answers):
+                if hit:
+                    out[i] = (
+                        (False, None) if value is TOMBSTONE else (True, value)
+                    )
+                else:
+                    still.append(i)
+            unresolved = still
+        for i in unresolved:
+            out[i] = (False, None)
+        return out  # type: ignore[return-value]
+
+    def range_query_many(
+        self, ranges
+    ) -> list[list[tuple[int, Any]]]:
+        """Batch :meth:`range_query`: one filter batch per SSTable.
+
+        Every range consults every table (as the scalar path does), but
+        each table's filter sees the whole batch at once through its
+        vectorised path.  Results and ``env.read`` accounting are
+        identical to the scalar loop.
+        """
+        pairs = [(int(lo), int(hi)) for lo, hi in ranges]
+        for lo, hi in pairs:
+            if lo > hi:
+                raise ValueError(f"invalid range [{lo}, {hi}]")
+        results: list[dict[int, Any]] = [{} for _ in pairs]
+        # Oldest first so newer versions overwrite.
+        for table in reversed(list(self._tables_newest_first())):
+            for acc, items in zip(results, table.query_range_many(pairs)):
+                acc.update(items)
+        for acc, (lo, hi) in zip(results, pairs):
+            for key, value in self.memtable.range_items(lo, hi):
+                acc[key] = value
+        return [
+            [(k, v) for k, v in sorted(acc.items()) if v is not TOMBSTONE]
+            for acc in results
+        ]
+
     def range_query(self, lo: int, hi: int) -> list[tuple[int, Any]]:
         """All live (key, value) pairs in ``[lo, hi]``, ascending."""
         if lo > hi:

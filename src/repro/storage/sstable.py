@@ -89,6 +89,80 @@ class SSTable:
             (int(self.keys[i]), self.values[i]) for i in range(left, right)
         ]
 
+    def query_point_many(self, keys) -> list[tuple[bool, Any]]:
+        """Batch :meth:`query_point` over an array of keys.
+
+        The filter is consulted once for the whole batch via its
+        vectorised ``query_point_many`` path; every key that passes the
+        fence keys and the filter pays exactly the ``env.read`` the
+        scalar path would (same ``useful`` flag, same block identity),
+        so I/O accounting is identical query-for-query.
+        """
+        keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
+        out: list[tuple[bool, Any]] = [(False, None)] * keys.size
+        if len(self.keys) == 0 or keys.size == 0:
+            return out
+        cand = np.flatnonzero(
+            (keys >= np.uint64(self.min_key))
+            & (keys <= np.uint64(self.max_key))
+        )
+        if cand.size and self.filter is not None:
+            ok = np.asarray(
+                self.filter.query_point_many(keys[cand]), dtype=bool
+            )
+            cand = cand[ok]
+        if cand.size == 0:
+            return out
+        idx = np.searchsorted(self.keys, keys[cand])
+        safe = np.minimum(idx, len(self.keys) - 1)
+        found = (idx < len(self.keys)) & (self.keys[safe] == keys[cand])
+        for j in range(cand.size):
+            i = int(idx[j])
+            hit = bool(found[j])
+            self.env.read(useful=hit, block=(self.table_id, i // 64))
+            if hit:
+                out[int(cand[j])] = (True, self.values[i])
+        return out
+
+    def query_range_many(
+        self, ranges: Sequence[tuple[int, int]]
+    ) -> list[list[tuple[int, Any]]]:
+        """Batch :meth:`query_range`: one filter batch, per-range reads.
+
+        Returns one ascending item list per input range.  ``env.read``
+        accounting matches the scalar loop exactly: ranges rejected by
+        the fence keys or the filter cost nothing; the rest pay one read
+        with the same ``useful`` flag and block identity.
+        """
+        pairs = [(int(lo), int(hi)) for lo, hi in ranges]
+        out: list[list[tuple[int, Any]]] = [[] for _ in pairs]
+        if len(self.keys) == 0 or not pairs:
+            return out
+        cand = [
+            q
+            for q, (lo, hi) in enumerate(pairs)
+            if not (hi < self.min_key or lo > self.max_key)
+        ]
+        if cand and self.filter is not None:
+            ok = self.filter.query_many([pairs[q] for q in cand])
+            cand = [q for q, good in zip(cand, ok) if good]
+        if not cand:
+            return out
+        los = np.array([pairs[q][0] for q in cand], dtype=np.uint64)
+        his = np.array([pairs[q][1] for q in cand], dtype=np.uint64)
+        lefts = np.searchsorted(self.keys, los, side="left")
+        rights = np.searchsorted(self.keys, his, side="right")
+        for q, left, right in zip(cand, lefts, rights):
+            left, right = int(left), int(right)
+            self.env.read(
+                useful=right > left, block=(self.table_id, left // 64)
+            )
+            out[q] = [
+                (int(self.keys[i]), self.values[i])
+                for i in range(left, right)
+            ]
+        return out
+
     def scan(self) -> Iterable[tuple[int, Any]]:
         """Full scan (compaction path; not filter-guarded)."""
         for i in range(len(self.keys)):

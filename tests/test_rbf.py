@@ -176,3 +176,61 @@ class TestBulkInsert:
             rbf.bulk_insert_nodes(
                 np.zeros(2, dtype=np.uint64), np.ones(3, dtype=np.uint64)
             )
+
+
+class TestBatchFetch:
+    def test_fetch_bt_many_matches_scalar(self):
+        codec = BitmapTreeCodec(8)
+        for gb, bb, k in [(8, None, 2), (8, None, 4), (4, 32, 2), (8, 512, 1)]:
+            rbf = RangeBloomFilter(1 << 15, k=k, group_bits=gb, block_bits=bb)
+            rng = np.random.default_rng(gb * 100 + k)
+            for key in rng.integers(0, 1 << 32, 64, dtype=np.uint64):
+                bt = np.zeros(rbf.words_per_block, dtype=np.uint64)
+                bt[0] = np.uint64(int(key) & rbf._block_mask) | np.uint64(1)
+                rbf.insert_bt(int(key), bt)
+            probes = rng.integers(0, 1 << 32, 200, dtype=np.uint64)
+            batch = rbf.fetch_bt_many(probes)
+            for row, key in zip(batch, probes):
+                assert (row == rbf.fetch_bt(int(key))).all()
+
+    def test_fetch_bt_many_counts_like_scalar(self):
+        rbf = RangeBloomFilter(1 << 14, k=3)
+        rbf.fetch_bt_many(np.arange(10, dtype=np.uint64))
+        assert rbf.fetch_count == 10 * 3
+        assert rbf.fetch_bt_many(np.zeros(0, dtype=np.uint64)).shape == (0, 8)
+
+    def test_copy_preserves_block_bits(self):
+        # Regression: copy() used to drop a custom block_bits, silently
+        # rebuilding the clone with the group_bits-derived default.
+        rbf = RangeBloomFilter(1 << 14, k=2, group_bits=4, block_bits=256)
+        clone = rbf.copy()
+        assert clone.block_bits == rbf.block_bits == 256
+        assert clone.words_per_block == rbf.words_per_block
+        assert clone.num_positions == rbf.num_positions
+        rng = np.random.default_rng(0)
+        for key in rng.integers(0, 1 << 20, 32, dtype=np.uint64):
+            assert (clone.fetch_bt(int(key)) == rbf.fetch_bt(int(key))).all()
+
+    def test_fetched_bt_is_not_a_view(self):
+        # Mutating a fetched BT must never alter filter state, even for
+        # the word-aligned fast path where the window starts as a view.
+        codec = BitmapTreeCodec(8)
+        hit_aligned = False
+        for key in range(3000):
+            rbf = RangeBloomFilter(1 << 13, k=1, group_bits=8, seed=7)
+            pos = rbf._family.positions(key)[0]
+            before = rbf._array.copy()
+            fetched = rbf.fetch_bt(key)
+            fetched |= np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+            assert (rbf._array == before).all()
+            if pos % 64 == 0:
+                hit_aligned = True
+                break
+        assert hit_aligned, "no word-aligned position found in 3000 keys"
+
+    def test_fetch_bt_many_rows_are_fresh(self):
+        rbf = RangeBloomFilter(1 << 13, k=2, group_bits=8)
+        before = rbf._array.copy()
+        rows = rbf.fetch_bt_many(np.arange(50, dtype=np.uint64))
+        rows |= np.uint64(1)
+        assert (rbf._array == before).all()
