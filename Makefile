@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test bench bench-smoke report examples clean
+.PHONY: install test bench bench-smoke bench-faults chaos report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,17 @@ bench:
 # BENCH_batch_query.json at the repo root (asserts >= 5x speedup).
 bench-smoke:
 	python benchmarks/bench_batch_query.py --preset smoke
+
+# Crash-recovery overhead under injected faults; writes
+# BENCH_fault_recovery.json (asserts every corruption detected,
+# zero false negatives after recovery).
+bench-faults:
+	python benchmarks/bench_fault_recovery.py --preset smoke
+
+# Fault-injection chaos suite: torn writes, bit flips, transient reads;
+# REPRO_CHAOS_SEED pins the fault sequence (CI uses 20230713).
+chaos:
+	pytest tests/test_chaos.py tests/test_faults.py -q
 
 report: bench
 	python -m repro report

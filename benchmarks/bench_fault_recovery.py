@@ -1,0 +1,204 @@
+"""Crash-recovery overhead of the fault-tolerant LSM filter stack.
+
+Builds an LSM tree with persisted (v2, checksummed) filters, then times
+:meth:`LSMTree.recover` twice: once fault-free (every blob loads clean)
+and once with a seeded :class:`FaultInjector` tearing and bit-flipping
+blobs at write time, so recovery must detect every damaged filter via the
+manifest/CRC cross-checks and rebuild it from the table's keys.  The
+overhead ratio isolates what detection + rebuild costs relative to a
+clean restart.  Every run re-asserts the paper's one-sided-error
+guarantee end to end: zero false negatives through the recovered tree on
+both the scalar and batch query paths.
+
+Run as a script (``python benchmarks/bench_fault_recovery.py --preset
+smoke|full``) or via pytest-benchmark like the figure benches.  Both
+write ``BENCH_fault_recovery.json`` at the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from common import record, write_bench_json
+
+from repro.bench.metrics import run_recovery
+from repro.core.rencoder import REncoder
+from repro.storage.env import StorageEnv
+from repro.storage.faults import FaultInjector
+from repro.storage.lsm import LSMTree
+from repro.workloads.datasets import generate_keys
+
+#: ``smoke`` fits the CI budget; ``full`` stresses a multi-level tree.
+PRESETS = {
+    "smoke": dict(n_keys=30_000, memtable_capacity=2_000, n_probes=2_000),
+    "full": dict(n_keys=300_000, memtable_capacity=8_000, n_probes=10_000),
+}
+BPK = 12
+#: Transient-read probability while recovery runs (exercises retries).
+TRANSIENT_P = 0.02
+
+
+def _build(keys, cfg, injector=None):
+    env = StorageEnv(injector=injector)
+    # Tiering keeps many tables live, so recovery exercises many blobs
+    # (leveling would compact the tree down to one lucky survivor).
+    lsm = LSMTree(
+        lambda ks: REncoder(ks, bits_per_key=BPK),
+        memtable_capacity=cfg["memtable_capacity"],
+        policy="tiering",
+        env=env,
+        persist_filters=True,
+    )
+    for k in keys:
+        lsm.put(int(k), int(k) & 0xFF)
+    lsm.flush()
+    return lsm
+
+
+def _assert_no_false_negatives(lsm, keys, n_probes, seed):
+    rng = np.random.default_rng(seed)
+    probe = [int(k) for k in rng.choice(keys, min(n_probes, len(keys)))]
+    expected = [(True, k & 0xFF) for k in probe]
+    scalar = [lsm.get(k) for k in probe]
+    assert scalar == expected, "false negative on the scalar path"
+    assert lsm.get_many(probe) == expected, "false negative on the batch path"
+    ranges = [(k, k + 15) for k in probe[:200]]
+    batch = lsm.range_query_many(ranges)
+    for (k, _), items in zip(ranges, batch):
+        assert (k, k & 0xFF) in items, "false negative on a range"
+
+
+def _damage_blobs(lsm) -> int:
+    """Re-persist every table's blob, damaging two of every three.
+
+    Round-robin torn / bit-flip / clean, so the damaged count is exact
+    and the bench is deterministic (no lucky all-clean runs).  The
+    manifest keeps the *intended* length/CRC; only the stored bytes are
+    mangled — exactly the at-rest damage recovery must detect.
+    """
+    damaged = 0
+    injector = lsm.env.injector
+    for i, table in enumerate(lsm._tables_newest_first()):
+        kind = i % 3
+        if kind == 0:
+            injector.arm_torn_write()
+        elif kind == 1:
+            injector.arm_bit_flip()
+        damaged += kind != 2
+        table.persist_filter()
+    return damaged
+
+
+def run_bench(preset: str, seed: int = 1) -> dict:
+    """Time fault-free vs faulted recovery, return the JSON payload."""
+    cfg = PRESETS[preset]
+    keys = generate_keys(cfg["n_keys"], "uniform", seed=seed)
+
+    # Fault-free baseline: every persisted blob loads clean.
+    clean = _build(keys, cfg)
+    clean.env.stats.reset()
+    baseline = run_recovery(clean)
+    # A clean restart is its own baseline (overhead 1.0, JSON-safe).
+    baseline.baseline_seconds = baseline.recovery_seconds
+    assert baseline.rebuilt == 0 and baseline.degraded == 0
+
+    # Faulted run: the same tree shape, blobs damaged at rest, plus a
+    # low transient-read rate while recovery itself runs.
+    injector = FaultInjector(seed)
+    faulted = _build(keys, cfg, injector=injector)
+    faulted.env.stats.reset()
+    n_damaged = _damage_blobs(faulted)
+    injector.transient_read_p = TRANSIENT_P
+    recovery = run_recovery(
+        faulted, baseline_seconds=baseline.recovery_seconds
+    )
+    injector.transient_read_p = 0.0
+    assert recovery.loaded + recovery.rebuilt == recovery.n_tables
+    assert recovery.rebuilt == n_damaged, (
+        f"rebuilt {recovery.rebuilt} of {n_damaged} damaged filters"
+    )
+    _assert_no_false_negatives(faulted, keys, cfg["n_probes"], seed + 1)
+
+    payload = {
+        "preset": preset,
+        "n_keys": cfg["n_keys"],
+        "bits_per_key": BPK,
+        "damaged_blobs": n_damaged,
+        "transient_read_p": TRANSIENT_P,
+        "tables": recovery.n_tables,
+        "baseline": baseline.as_row(),
+        "faulted": recovery.as_row(),
+        "recovery_overhead": round(recovery.overhead, 2),
+        "corruptions_detected": recovery.faults["corruptions_detected"],
+        "filters_rebuilt": recovery.rebuilt,
+        "zero_false_negatives": True,
+    }
+    payload["_runs"] = (baseline, recovery)
+    return payload
+
+
+def _rows(runs) -> str:
+    cols = [
+        "run", "tables", "loaded", "rebuilt", "recovery_s", "overhead",
+        "corruptions_detected", "torn_writes", "bit_flips", "retries",
+    ]
+    lines = ["".join(c.ljust(21) for c in cols)]
+    for name, run in runs:
+        row = {"run": name, **run.as_row()}
+        lines.append("".join(str(row.get(c, 0)).ljust(21) for c in cols))
+    return "\n".join(lines)
+
+
+def _finish(payload: dict, benchmark=None) -> dict:
+    baseline, recovery = payload.pop("_runs")
+    record(
+        benchmark,
+        "fault_recovery",
+        _rows([("clean", baseline), ("faulted", recovery)]),
+    )
+    write_bench_json("BENCH_fault_recovery.json", payload)
+    assert payload["zero_false_negatives"]
+    assert payload["filters_rebuilt"] > 0, "fault mix damaged no blobs"
+    assert (
+        payload["corruptions_detected"] >= payload["filters_rebuilt"]
+    ), "a damaged blob was rebuilt without being detected"
+    return payload
+
+
+def test_fault_recovery(benchmark):
+    """Pytest entry point: the smoke preset, timed by pytest-benchmark."""
+    payload = run_bench("smoke")
+    _finish(payload, benchmark)
+    cfg = PRESETS["smoke"]
+    keys = generate_keys(cfg["n_keys"], "uniform", seed=1)
+    lsm = _build(keys, cfg, injector=FaultInjector(7))
+
+    def recover_once():
+        _damage_blobs(lsm)
+        lsm.recover()
+
+    benchmark.pedantic(recover_once, rounds=3, iterations=1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    payload = run_bench(args.preset, seed=args.seed)
+    _finish(payload)
+    print(
+        f"{payload['tables']} tables, "
+        f"{payload['filters_rebuilt']} rebuilt after "
+        f"{payload['corruptions_detected']} detected corruptions; "
+        f"recovery overhead {payload['recovery_overhead']}x, "
+        f"zero false negatives"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

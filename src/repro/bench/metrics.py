@@ -28,10 +28,12 @@ from repro.filters.base import RangeFilter
 __all__ = [
     "DEFAULT_IO_COST_NS",
     "FilterRun",
+    "RecoveryRun",
     "measure_fpr",
     "run_filter",
     "run_point_filter",
     "run_batch_filter",
+    "run_recovery",
 ]
 
 #: Simulated second-level latency.  2 ms per I/O keeps the paper's rough
@@ -75,6 +77,69 @@ class FilterRun:
             "batch_seconds": round(self.filter_seconds, 4),
             "overall_kqps": round(self.overall_kqps, 2),
         }
+
+
+@dataclass
+class RecoveryRun:
+    """One crash-recovery measurement of an LSM tree (fault bench).
+
+    ``recovery_seconds`` is wall-clock for the whole
+    :meth:`~repro.storage.lsm.LSMTree.recover` pass;
+    ``baseline_seconds`` is the same pass with no faults injected, so
+    ``overhead`` isolates what the injected faults cost (corrupt-blob
+    detection plus in-place rebuilds).  Fault/retry totals are copied out
+    of :class:`~repro.storage.env.IoStats` at measurement time.
+    """
+
+    n_tables: int
+    loaded: int
+    rebuilt: int
+    degraded: int
+    recovery_seconds: float
+    baseline_seconds: float
+    faults: dict
+
+    @property
+    def overhead(self) -> float:
+        """Recovery time relative to the fault-free baseline (>= 1.0-ish)."""
+        if self.baseline_seconds <= 0:
+            return float("inf") if self.recovery_seconds > 0 else 1.0
+        return self.recovery_seconds / self.baseline_seconds
+
+    def as_row(self) -> dict:
+        """Result-table row used by the fault-recovery bench."""
+        return {
+            "tables": self.n_tables,
+            "loaded": self.loaded,
+            "rebuilt": self.rebuilt,
+            "degraded": self.degraded,
+            "recovery_s": round(self.recovery_seconds, 4),
+            "baseline_s": round(self.baseline_seconds, 4),
+            "overhead": round(self.overhead, 2),
+            **self.faults,
+        }
+
+
+def run_recovery(lsm, *, baseline_seconds: float = 0.0) -> RecoveryRun:
+    """Time one :meth:`LSMTree.recover` pass and snapshot fault counters.
+
+    The caller owns the injector configuration (and should
+    ``env.stats.reset()`` beforehand if it wants this pass isolated);
+    passing the fault-free ``baseline_seconds`` makes ``overhead``
+    meaningful.
+    """
+    start = time.perf_counter()
+    summary = lsm.recover()
+    elapsed = time.perf_counter() - start
+    return RecoveryRun(
+        n_tables=summary["tables"],
+        loaded=summary["loaded"],
+        rebuilt=summary["rebuilt"],
+        degraded=summary["degraded"],
+        recovery_seconds=elapsed,
+        baseline_seconds=baseline_seconds,
+        faults=lsm.env.stats.fault_counts(),
+    )
 
 
 def measure_fpr(

@@ -3,6 +3,12 @@ decomposition, the exact segment-tree oracle, and REncoder with all its
 variants (base, SS, SE, PO, Two-Stage)."""
 
 from repro.core.bitmap_tree import BitmapTreeCodec, node_index, path_nodes
+from repro.core.errors import (
+    FilterCorruptionError,
+    FilterError,
+    TransientIOError,
+    TruncatedError,
+)
 from repro.core.decompose import (
     covering_prefix,
     decompose,
@@ -36,6 +42,10 @@ __all__ = [
     "BitmapTreeCodec",
     "node_index",
     "path_nodes",
+    "FilterError",
+    "FilterCorruptionError",
+    "TransientIOError",
+    "TruncatedError",
     "covering_prefix",
     "decompose",
     "decompose_recursive",

@@ -1,0 +1,60 @@
+"""Typed error hierarchy for persistence and storage faults.
+
+Every failure mode the stack can recover from gets its own exception
+type, so callers can distinguish *retry* (transient I/O) from *rebuild*
+(corruption) without string-matching messages:
+
+* :class:`FilterError` — root of the hierarchy; anything raised by the
+  persistence or fault-injection layers is one of these.
+* :class:`FilterCorruptionError` — the bytes are wrong: checksum
+  mismatch, bad magic, hostile or inconsistent metadata, a failed
+  :meth:`~repro.filters.base.RangeFilter.verify_invariants` self-check.
+  Also a :class:`ValueError`, so pre-existing callers that caught
+  ``ValueError`` from ``serialize.loads`` keep working.
+* :class:`TruncatedError` — a corruption whose specific shape is "the
+  buffer ends before the declared data does" (torn writes, short reads).
+* :class:`TransientIOError` — the read itself failed but the data is
+  presumed intact; retrying may succeed.  Also an :class:`OSError`,
+  matching what a real storage backend would raise.
+
+The recovery policy built on top (``storage/sstable.py``): transient
+errors are retried with capped exponential backoff; corruption of a
+persisted filter triggers an in-place rebuild from the SSTable's keys,
+with the filter treated as all-positive in between so the one-sided
+no-false-negative guarantee is never violated.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FilterError",
+    "FilterCorruptionError",
+    "TruncatedError",
+    "TransientIOError",
+]
+
+
+class FilterError(Exception):
+    """Base class for all persistence / storage-fault errors."""
+
+
+class FilterCorruptionError(FilterError, ValueError):
+    """The persisted bytes (or a live structure) fail validation.
+
+    Raised on checksum mismatch, bad magic, hostile metadata, payload
+    geometry mismatch, or a failed invariant self-check.  Not retryable:
+    the correct response is to rebuild the filter from its source keys.
+    """
+
+
+class TruncatedError(FilterCorruptionError):
+    """The input ends before the declared data does (torn write)."""
+
+
+class TransientIOError(FilterError, OSError):
+    """A read failed but the underlying data is presumed intact.
+
+    Retryable: :meth:`repro.storage.env.StorageEnv.read_with_retry`
+    retries these with capped exponential backoff on the simulated
+    clock before giving up.
+    """

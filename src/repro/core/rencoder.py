@@ -712,6 +712,109 @@ class REncoder(RangeFilter):
         return self.codec.get_node(bt, node)
 
     # ------------------------------------------------------------------
+    # self-checks
+    # ------------------------------------------------------------------
+    def verify_invariants(
+        self,
+        keys: "Iterable[int] | np.ndarray | None" = None,
+        *,
+        sample: int = 32,
+    ) -> bool:
+        """Deep structural self-check; raises on violation, returns True.
+
+        Used by ``serialize.loads`` after reconstruction and by the
+        SSTable recovery path after reloading a persisted filter, as
+        defence in depth behind the CRC: a blob whose bytes verify but
+        whose fields are mutually inconsistent (or a live filter damaged
+        by a bug) is caught here.  Checks:
+
+        * geometry — group count, hash-tag table, codec word width and
+          the frozen zero-BT all agree with ``key_bits``/``group_bits``;
+        * the RBF — array length matches its declared bit count, the pad
+          word is untouched, and the load factor is a probability;
+        * the stored-level bitmap — ``_stored_sorted`` (and the derived
+          deepest/shallowest/next-stored tables) is exactly the set bits
+          of ``_stored``;
+        * optionally, the one-sided guarantee on ``sample`` evenly
+          spaced source keys (see the base class).
+
+        Raises :class:`~repro.core.errors.FilterCorruptionError` with a
+        specific message on the first violation.
+        """
+        from repro.core.errors import FilterCorruptionError
+
+        def fail(msg: str) -> None:
+            raise FilterCorruptionError(
+                f"{type(self).__name__} invariant violated: {msg}"
+            )
+
+        if self.n_keys < 0:
+            fail(f"negative n_keys {self.n_keys}")
+        expected_groups = (
+            self.key_bits + self.group_bits - 1
+        ) // self.group_bits
+        if self.num_groups != expected_groups:
+            fail(
+                f"num_groups={self.num_groups}, expected {expected_groups} "
+                f"for key_bits={self.key_bits}, group_bits={self.group_bits}"
+            )
+        if len(self._group_tags) != self.num_groups + 2:
+            fail(
+                f"{len(self._group_tags)} group tags for "
+                f"{self.num_groups} groups (expected num_groups + 2)"
+            )
+        if self.codec.bt_bits != (1 << (self.group_bits + 1)):
+            fail(
+                f"codec encodes {self.codec.bt_bits}-bit BTs, geometry "
+                f"implies {1 << (self.group_bits + 1)}"
+            )
+        if self._zero_bt.shape != (self.codec.words,) or self._zero_bt.any():
+            fail("zero-BT template is not an all-zero codec-width array")
+        # RBF consistency.
+        rbf = self.rbf
+        if rbf.bits != rbf._nwords * 64:
+            fail(f"RBF bits={rbf.bits} != {rbf._nwords} words * 64")
+        if rbf._array.shape != (rbf._nwords + 1,):
+            fail(
+                f"RBF array has {rbf._array.shape[0]} words, expected "
+                f"{rbf._nwords} + 1 pad"
+            )
+        if int(rbf._array[-1]) != 0:
+            fail("RBF pad word is non-zero")
+        p1 = rbf.p1
+        if not 0.0 <= p1 <= 1.0:
+            fail(f"load factor P1={p1} is not a probability")
+        # Stored-level bitmap vs the derived structures.
+        if self._stored.shape != (self.key_bits + 1,):
+            fail(
+                f"stored bitmap has {self._stored.shape[0]} slots, "
+                f"expected key_bits + 1 = {self.key_bits + 1}"
+            )
+        levels = [int(l) for l in np.flatnonzero(self._stored) if l >= 1]
+        if self._stored_sorted != levels:
+            fail(
+                f"stored-level list {self._stored_sorted} does not match "
+                f"bitmap {levels}"
+            )
+        if not levels:
+            fail("no stored levels")
+        if self._deepest != levels[-1] or self._shallowest != levels[0]:
+            fail(
+                f"deepest/shallowest ({self._deepest}/{self._shallowest}) "
+                f"disagree with stored levels {levels}"
+            )
+        nxt = 0
+        for l in range(self.key_bits, -1, -1):
+            if self._next_stored[l] != nxt:
+                fail(
+                    f"next-stored table wrong at level {l}: "
+                    f"{self._next_stored[l]} != {nxt}"
+                )
+            if self._stored[l]:
+                nxt = l
+        return super().verify_invariants(keys, sample=sample)
+
+    # ------------------------------------------------------------------
     # set algebra
     # ------------------------------------------------------------------
     def union(self, other: "REncoder") -> "REncoder":

@@ -25,6 +25,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.core.errors import FilterCorruptionError
+
 __all__ = ["RangeFilter", "as_key_array"]
 
 
@@ -72,6 +74,49 @@ class RangeFilter(abc.ABC):
 
     def reset_counters(self) -> None:
         """Reset probe statistics.  Subclasses with counters override."""
+
+    # ------------------------------------------------------------------
+    # self-checks
+    # ------------------------------------------------------------------
+    def verify_invariants(
+        self,
+        keys: "Iterable[int] | np.ndarray | None" = None,
+        *,
+        sample: int = 32,
+    ) -> bool:
+        """Structural self-check; raises on violation, returns True.
+
+        The base contract every filter can be held to: a sane size, and —
+        when the source ``keys`` are available — the one-sided guarantee
+        itself, probed on up to ``sample`` evenly spaced keys (no RNG, so
+        the check is deterministic).  Subclasses with internal structure
+        (REncoder's stored-level bitmap, load factor) extend this.
+
+        Raises
+        ------
+        FilterCorruptionError
+            If any invariant fails — the same typed error the persistence
+            layer raises, so a caller recovering a deserialized filter
+            handles "bytes were valid but the structure is wrong" and
+            "bytes were corrupt" identically.
+        """
+        if self.size_in_bits() < 0:
+            raise FilterCorruptionError(
+                f"negative size_in_bits: {self.size_in_bits()}"
+            )
+        if keys is not None:
+            arr = np.asarray(
+                list(keys) if not isinstance(keys, np.ndarray) else keys
+            )
+            if arr.size:
+                step = max(1, arr.size // max(1, sample))
+                for key in arr[::step][:sample]:
+                    if not self.query_point(int(key)):
+                        raise FilterCorruptionError(
+                            f"false negative on stored key {int(key)}: "
+                            "one-sided guarantee violated"
+                        )
+        return True
 
     # ------------------------------------------------------------------
     # helpers

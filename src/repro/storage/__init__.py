@@ -4,7 +4,9 @@ Z-order leaf filters (Use Case 3), and the shared two-level cost model."""
 
 from repro.storage.btree import BPlusTree
 from repro.storage.env import IoStats, StorageEnv
+from repro.storage.faults import FaultInjector
 from repro.storage.lsm import LSMTree
+from repro.storage.manifest import Manifest, ManifestRecord
 from repro.storage.memtable import TOMBSTONE, MemTable
 from repro.storage.rtree import RTree
 from repro.storage.sstable import SSTable
@@ -14,7 +16,10 @@ __all__ = [
     "BPlusTree",
     "IoStats",
     "StorageEnv",
+    "FaultInjector",
     "LSMTree",
+    "Manifest",
+    "ManifestRecord",
     "TOMBSTONE",
     "MemTable",
     "RTree",

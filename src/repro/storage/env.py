@@ -17,6 +17,19 @@ The default ``io_cost_ns`` of 1 ms keeps the paper's ~1000× gap between a
 filter probe and a second-level access when the probe itself is a
 few-microsecond pure-Python operation; DESIGN.md documents this
 substitution.
+
+Fault model
+-----------
+The env can carry a :class:`~repro.storage.faults.FaultInjector`.  When
+it does, second-level reads and blob reads may raise
+:class:`~repro.core.errors.TransientIOError` (retried by
+:meth:`read_with_retry` / :meth:`get_blob_with_retry` with capped
+exponential backoff on the *simulated* clock — ``stats.backoff_ns``
+feeds :meth:`simulated_io_seconds`), and blob writes may land torn or
+bit-flipped.  The env also hosts the simulated blob store that persisted
+filters live in (``put_blob``/``get_blob``), so every byte a filter
+writes to "disk" passes through the injector.  Faults and recovery work
+are all counted in :class:`IoStats`; DESIGN.md §7 documents the model.
 """
 
 from __future__ import annotations
@@ -24,15 +37,24 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from repro.core.errors import FilterCorruptionError, TransientIOError
+from repro.storage.faults import FaultInjector
+
 __all__ = ["StorageEnv", "IoStats"]
 
 #: Default simulated second-level access latency, in nanoseconds.
 DEFAULT_IO_COST_NS = 1_000_000
 
+#: Retry policy defaults: up to 4 retries, backoff 2^attempt * 0.1 ms
+#: capped at 1.6 ms — all simulated time, charged to ``stats.backoff_ns``.
+DEFAULT_MAX_RETRIES = 4
+DEFAULT_BACKOFF_BASE_NS = 100_000
+DEFAULT_BACKOFF_CAP_NS = 1_600_000
+
 
 @dataclass
 class IoStats:
-    """Second-level access counters."""
+    """Second-level access, fault and recovery counters."""
 
     reads: int = 0
     useful_reads: int = 0
@@ -40,6 +62,18 @@ class IoStats:
     writes: int = 0
     entries_written: int = 0
     cache_hits: int = 0
+    # Blob store (persisted filters).
+    blob_reads: int = 0
+    blob_writes: int = 0
+    # Injected faults, by type.
+    transient_faults: int = 0
+    torn_writes: int = 0
+    bit_flips: int = 0
+    # Recovery work.
+    retries: int = 0
+    backoff_ns: int = 0
+    corruptions_detected: int = 0
+    filter_rebuilds: int = 0
 
     def reset(self) -> None:
         """Zero all counters."""
@@ -49,6 +83,27 @@ class IoStats:
         self.writes = 0
         self.entries_written = 0
         self.cache_hits = 0
+        self.blob_reads = 0
+        self.blob_writes = 0
+        self.transient_faults = 0
+        self.torn_writes = 0
+        self.bit_flips = 0
+        self.retries = 0
+        self.backoff_ns = 0
+        self.corruptions_detected = 0
+        self.filter_rebuilds = 0
+
+    def fault_counts(self) -> dict[str, int]:
+        """The fault/recovery counters as a dict (bench reporting)."""
+        return {
+            "transient_faults": self.transient_faults,
+            "torn_writes": self.torn_writes,
+            "bit_flips": self.bit_flips,
+            "retries": self.retries,
+            "backoff_ns": self.backoff_ns,
+            "corruptions_detected": self.corruptions_detected,
+            "filter_rebuilds": self.filter_rebuilds,
+        }
 
 
 @dataclass
@@ -61,27 +116,55 @@ class StorageEnv:
     are complementary — the cache absorbs *repeated* reads of hot blocks,
     the filter eliminates reads of *empty* regions the cache would never
     retain; the YCSB use-case bench shows the interplay.
+
+    ``injector`` plugs in deterministic fault injection (see the module
+    docstring); without one, every operation succeeds and all fault
+    counters stay zero, so the fault machinery is free on the happy path.
     """
 
     io_cost_ns: int = DEFAULT_IO_COST_NS
     cache_blocks: int = 0
+    injector: "FaultInjector | None" = None
+    max_read_retries: int = DEFAULT_MAX_RETRIES
+    backoff_base_ns: int = DEFAULT_BACKOFF_BASE_NS
+    backoff_cap_ns: int = DEFAULT_BACKOFF_CAP_NS
     stats: IoStats = field(default_factory=IoStats)
     _cache: "OrderedDict[object, None]" = field(
         default_factory=OrderedDict, repr=False
     )
+    _blobs: "dict[str, bytes]" = field(default_factory=dict, repr=False)
 
+    # ------------------------------------------------------------------
+    # second-level (data) reads and writes
+    # ------------------------------------------------------------------
     def read(self, useful: bool, block: object | None = None) -> None:
         """Record one second-level read; ``useful`` = it found data.
 
         ``block`` is an opaque identity (e.g. ``(table_id, block_no)``)
         used by the LRU cache when enabled; reads without one bypass the
-        cache.
+        cache.  A cache hit never touches the second level, so it can
+        never raise; a miss consults the injector *before* it is counted
+        or cached — a failed read is not a read, and its block is only
+        cached once a retry succeeds.
+
+        Raises
+        ------
+        TransientIOError
+            When the injector decides this read fails; use
+            :meth:`read_with_retry` for the standard retry policy.
         """
         if self.cache_blocks > 0 and block is not None:
             if block in self._cache:
                 self._cache.move_to_end(block)
                 self.stats.cache_hits += 1
                 return
+        if self.injector is not None:
+            try:
+                self.injector.check_read("second-level read")
+            except TransientIOError:
+                self.stats.transient_faults += 1
+                raise
+        if self.cache_blocks > 0 and block is not None:
             self._cache[block] = None
             if len(self._cache) > self.cache_blocks:
                 self._cache.popitem(last=False)
@@ -90,6 +173,28 @@ class StorageEnv:
             self.stats.useful_reads += 1
         else:
             self.stats.wasted_reads += 1
+
+    def read_with_retry(
+        self, useful: bool, block: object | None = None
+    ) -> None:
+        """:meth:`read` with the capped-exponential-backoff retry policy.
+
+        Transient faults are retried up to ``max_read_retries`` times,
+        sleeping ``min(backoff_base_ns << attempt, backoff_cap_ns)`` of
+        *simulated* time before each retry (``stats.retries`` /
+        ``stats.backoff_ns``).  Re-raises :class:`TransientIOError` only
+        when the budget is exhausted.
+        """
+        attempt = 0
+        while True:
+            try:
+                self.read(useful, block)
+                return
+            except TransientIOError:
+                if attempt >= self.max_read_retries:
+                    raise
+                self._backoff(attempt)
+                attempt += 1
 
     def write(self, entries: int = 0) -> None:
         """Record one second-level write (flush/compaction output).
@@ -100,15 +205,89 @@ class StorageEnv:
         self.stats.writes += 1
         self.stats.entries_written += entries
 
+    # ------------------------------------------------------------------
+    # blob store (persisted filter images)
+    # ------------------------------------------------------------------
+    def put_blob(self, name: str, data: bytes) -> int:
+        """Persist a named blob; returns the number of bytes *stored*.
+
+        The injector may tear the write (store a strict prefix) or flip
+        one bit at rest; either way the damaged bytes are what later
+        reads see, exactly like a real torn write or bit rot.  The
+        caller's manifest should record the length/CRC of the *intended*
+        bytes so damage is detectable.
+        """
+        stored = bytes(data)
+        if self.injector is not None:
+            stored, fault = self.injector.mangle_write(stored)
+            if fault == "torn":
+                self.stats.torn_writes += 1
+            elif fault == "flip":
+                self.stats.bit_flips += 1
+        self._blobs[name] = stored
+        self.stats.blob_writes += 1
+        return len(stored)
+
+    def get_blob(self, name: str) -> bytes:
+        """Read a named blob (may raise a transient fault).
+
+        Raises
+        ------
+        TransientIOError
+            When the injector decides this read fails (retryable).
+        FilterCorruptionError
+            When no blob of that name exists (a lost write is
+            corruption, not a retryable condition).
+        """
+        if self.injector is not None:
+            try:
+                self.injector.check_read(f"blob read {name!r}")
+            except TransientIOError:
+                self.stats.transient_faults += 1
+                raise
+        if name not in self._blobs:
+            raise FilterCorruptionError(f"blob {name!r} does not exist")
+        self.stats.blob_reads += 1
+        return self._blobs[name]
+
+    def get_blob_with_retry(self, name: str) -> bytes:
+        """:meth:`get_blob` under the standard retry/backoff policy."""
+        attempt = 0
+        while True:
+            try:
+                return self.get_blob(name)
+            except TransientIOError:
+                if attempt >= self.max_read_retries:
+                    raise
+                self._backoff(attempt)
+                attempt += 1
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> None:
+        """Charge one capped-exponential backoff sleep to simulated time."""
+        delay = min(self.backoff_base_ns << attempt, self.backoff_cap_ns)
+        self.stats.retries += 1
+        self.stats.backoff_ns += delay
+
     def simulated_io_seconds(self) -> float:
-        """Total simulated second-level latency so far."""
-        return self.stats.reads * self.io_cost_ns * 1e-9
+        """Total simulated second-level latency so far (incl. backoff)."""
+        return (
+            self.stats.reads * self.io_cost_ns + self.stats.backoff_ns
+        ) * 1e-9
 
     def overall_seconds(self, filter_seconds: float) -> float:
         """Overall time = measured first-level time + simulated I/O time."""
         return filter_seconds + self.simulated_io_seconds()
 
     def reset(self) -> None:
-        """Zero the I/O counters and drop the block cache."""
+        """Zero the I/O counters and drop the block cache.
+
+        Persisted blobs are *not* dropped — they are the simulated disk,
+        and resetting the counters between measurement phases must not
+        lose data (a block cached before the reset is simply re-read and
+        counted exactly once after it).
+        """
         self.stats.reset()
         self._cache.clear()

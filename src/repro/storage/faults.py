@@ -1,0 +1,160 @@
+"""Deterministic, seeded fault injection for the storage layer.
+
+The chaos harness needs the storage substrate to *misbehave on demand*
+— and reproducibly, so a failing property-test case shrinks to a seed.
+:class:`FaultInjector` is the single source of misbehaviour, plugged
+into :class:`~repro.storage.env.StorageEnv`.  Three fault types, matching
+what real disks and object stores do:
+
+* **transient read errors** — the read raises
+  :class:`~repro.core.errors.TransientIOError`; the data is intact and a
+  retry may succeed.  Drawn per second-level read and per blob read.
+* **torn (partial) writes** — a persisted blob is silently truncated at
+  a random byte; detected later by length/CRC checks at load time.
+* **bit flips** — one random bit of a persisted blob is inverted at
+  rest (written damaged); detected by the v2 CRC32 at load time.
+
+Two triggering modes compose:
+
+* probabilistic — per-operation probabilities (``transient_read_p``,
+  ``torn_write_p``, ``bit_flip_p``) drawn from a seeded PRNG, for chaos
+  sweeps;
+* armed — ``arm_transient_reads(n, after=k)`` / ``arm_torn_write()`` /
+  ``arm_bit_flip()`` force the fault on specific upcoming operations,
+  for exact regression tests (e.g. "a transient fault mid-batch").
+
+The injector only *decides and mutates*; all counting lives in
+:class:`~repro.storage.env.IoStats` so a bench reads one stats object.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.errors import TransientIOError
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Seeded source of storage faults (see module docstring).
+
+    Parameters
+    ----------
+    seed:
+        PRNG seed; two injectors with equal seeds and probabilities
+        produce identical fault sequences for identical op sequences.
+    transient_read_p:
+        Probability that any one second-level or blob read raises
+        :class:`TransientIOError`.
+    torn_write_p:
+        Probability that a blob write is truncated at a random byte.
+    bit_flip_p:
+        Probability that a blob write lands with one random bit flipped.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        *,
+        transient_read_p: float = 0.0,
+        torn_write_p: float = 0.0,
+        bit_flip_p: float = 0.0,
+    ) -> None:
+        for name, p in (
+            ("transient_read_p", transient_read_p),
+            ("torn_write_p", torn_write_p),
+            ("bit_flip_p", bit_flip_p),
+        ):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {p}")
+        self.seed = seed
+        self.transient_read_p = transient_read_p
+        self.torn_write_p = torn_write_p
+        self.bit_flip_p = bit_flip_p
+        self._rng = random.Random(seed)
+        # Armed faults: (skip, count) — skip ops pass unharmed, then
+        # `count` consecutive ops fault.
+        self._armed_transient_after = 0
+        self._armed_transient = 0
+        self._armed_torn = 0
+        self._armed_flip = 0
+
+    # ------------------------------------------------------------------
+    # arming (deterministic single faults for regression tests)
+    # ------------------------------------------------------------------
+    def arm_transient_reads(self, count: int = 1, *, after: int = 0) -> None:
+        """Force the next ``count`` reads to fail, skipping ``after`` first.
+
+        Each armed failure fires exactly once, so a retry of the same
+        logical read succeeds (unless more failures remain armed) —
+        precisely the "transient" contract.
+        """
+        if count < 0 or after < 0:
+            raise ValueError("count and after must be non-negative")
+        self._armed_transient_after = after
+        self._armed_transient = count
+
+    def arm_torn_write(self, count: int = 1) -> None:
+        """Truncate the next ``count`` blob writes at a random byte."""
+        self._armed_torn = count
+
+    def arm_bit_flip(self, count: int = 1) -> None:
+        """Flip one random bit in each of the next ``count`` blob writes."""
+        self._armed_flip = count
+
+    # ------------------------------------------------------------------
+    # decision points (called by StorageEnv)
+    # ------------------------------------------------------------------
+    def check_read(self, what: str = "read") -> None:
+        """Raise :class:`TransientIOError` if this read should fail."""
+        if self._armed_transient_after > 0:
+            self._armed_transient_after -= 1
+        elif self._armed_transient > 0:
+            self._armed_transient -= 1
+            raise TransientIOError(f"injected transient fault on {what}")
+        elif (
+            self.transient_read_p
+            and self._rng.random() < self.transient_read_p
+        ):
+            raise TransientIOError(f"injected transient fault on {what}")
+
+    def mangle_write(self, data: bytes) -> "tuple[bytes, str | None]":
+        """Possibly damage a blob about to be persisted.
+
+        Returns ``(stored_bytes, fault)`` where ``fault`` is ``"torn"``,
+        ``"flip"`` or ``None``.  Torn writes keep a strict prefix (never
+        the full blob, never preferentially empty); bit flips invert one
+        uniformly chosen bit.  At most one fault per write, torn taking
+        precedence, so counters stay attributable.
+        """
+        if self._armed_torn > 0:
+            self._armed_torn -= 1
+            torn = True
+        else:
+            torn = bool(
+                self.torn_write_p and self._rng.random() < self.torn_write_p
+            )
+        if torn and len(data) > 0:
+            cut = self._rng.randrange(len(data))
+            return data[:cut], "torn"
+        if self._armed_flip > 0:
+            self._armed_flip -= 1
+            flip = True
+        else:
+            flip = bool(
+                self.bit_flip_p and self._rng.random() < self.bit_flip_p
+            )
+        if flip and len(data) > 0:
+            bit = self._rng.randrange(len(data) * 8)
+            damaged = bytearray(data)
+            damaged[bit // 8] ^= 1 << (bit % 8)
+            return bytes(damaged), "flip"
+        return data, None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FaultInjector(seed={self.seed}, "
+            f"transient={self.transient_read_p}, "
+            f"torn={self.torn_write_p}, flip={self.bit_flip_p})"
+        )

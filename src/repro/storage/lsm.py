@@ -47,6 +47,7 @@ class LSMTree:
         ratio: int = 4,
         policy: str = "leveling",
         env: StorageEnv | None = None,
+        persist_filters: bool = False,
     ) -> None:
         if base_capacity < 1:
             raise ValueError(f"base_capacity must be >= 1, got {base_capacity}")
@@ -58,6 +59,7 @@ class LSMTree:
             )
         self.policy = policy
         self.filter_factory = filter_factory
+        self.persist_filters = persist_filters
         self.env = env if env is not None else StorageEnv()
         self.memtable = MemTable(memtable_capacity)
         #: levels[0] is newest-first and may overlap; deeper levels are
@@ -87,10 +89,17 @@ class LSMTree:
         """Write the memtable as a new level-0 SSTable."""
         if not len(self.memtable):
             return
-        table = SSTable(self.memtable.items(), self.filter_factory, self.env)
+        table = self._new_table(self.memtable.items())
         self.levels[0].insert(0, table)
         self.memtable.clear()
         self._maybe_compact(0)
+
+    def _new_table(self, items) -> SSTable:
+        """Build one SSTable, persisting its filter when so configured."""
+        return SSTable(
+            items, self.filter_factory, self.env,
+            persist=self.persist_filters,
+        )
 
     def _capacity(self, level: int) -> int:
         if self.policy == "tiering":
@@ -121,7 +130,7 @@ class LSMTree:
             )
             if merged:
                 self.levels[level + 1].insert(
-                    0, SSTable(merged, self.filter_factory, self.env)
+                    0, self._new_table(merged)
                 )
             return
         sources = self.levels[level] + self.levels[level + 1]
@@ -129,7 +138,7 @@ class LSMTree:
         merged = self._merge(sources, drop_tombstones=level + 2 == len(self.levels))
         # Rebuild as a single run (one table; fine at simulation scale).
         self.levels[level + 1] = (
-            [SSTable(merged, self.filter_factory, self.env)] if merged else []
+            [self._new_table(merged)] if merged else []
         )
 
     def _merge(
@@ -246,6 +255,46 @@ class LSMTree:
     def range_empty(self) -> bool:  # pragma: no cover - convenience
         """True iff the tree holds no live keys."""
         return len(self) == 0
+
+    # ------------------------------------------------------------------
+    # persistence & crash recovery
+    # ------------------------------------------------------------------
+    def manifest(self) -> "Manifest":
+        """Manifest records for every live table with a persisted filter."""
+        from repro.storage.manifest import Manifest
+
+        return Manifest(
+            [
+                t.manifest_record
+                for t in self._tables_newest_first()
+                if t.manifest_record is not None
+            ]
+        )
+
+    def recover(self, *, rebuild: str = "immediate") -> dict[str, int]:
+        """Simulated crash restart: reload every persisted filter.
+
+        Drops all in-memory filters (the "crash"), then brings each table
+        back through :meth:`SSTable.reload_filter` — clean blobs load,
+        torn/flipped blobs are detected and recovered per ``rebuild``
+        ("immediate" rebuilds from the table's keys on the spot;
+        "deferred" leaves the table all-positive until its
+        ``rebuild_filter`` runs).  No query served during or after
+        recovery can be a false negative: a table is only ever *more*
+        permissive while its filter is missing.
+
+        Returns a summary ``{"tables", "loaded", "rebuilt", "degraded"}``;
+        fault/retry totals live in ``env.stats``.
+        """
+        summary = {"tables": 0, "loaded": 0, "rebuilt": 0, "degraded": 0}
+        for table in self._tables_newest_first():
+            if table.manifest_record is None:
+                continue
+            table.filter = None
+            summary["tables"] += 1
+            state = table.reload_filter(rebuild=rebuild)
+            summary[state] += 1
+        return summary
 
     # ------------------------------------------------------------------
     # introspection

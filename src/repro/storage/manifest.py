@@ -1,0 +1,133 @@
+"""Per-SSTable manifest records for persisted filters.
+
+A real LSM-tree keeps a manifest: a small, separately-stored record of
+what each table's files *should* look like, so damage to the files
+themselves is detectable.  Here a :class:`ManifestRecord` pins down the
+persisted filter blob of one SSTable — its name in the blob store, the
+byte length and CRC32 of the bytes *as intended at write time*, the
+filter class, and the table's fence keys/entry count.  A torn write or
+bit flip then fails the length or CRC cross-check at load time even
+before ``serialize.loads`` runs its own header checks.
+
+:class:`Manifest` is the collection the tree persists as JSON; its
+decoder is as strict as ``serialize.loads`` — hostile or damaged JSON
+raises :class:`~repro.core.errors.FilterCorruptionError`, never a
+``KeyError``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from repro.core.errors import FilterCorruptionError
+
+__all__ = ["Manifest", "ManifestRecord"]
+
+_U64 = 1 << 64
+
+
+@dataclass(frozen=True)
+class ManifestRecord:
+    """What one SSTable's persisted filter should look like."""
+
+    table_id: int
+    blob_name: str
+    n_entries: int
+    min_key: int
+    max_key: int
+    filter_class: str
+    blob_len: int
+    crc32: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (JSON encoding)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: object) -> "ManifestRecord":
+        """Strictly validated decode; raises on any malformed field."""
+        if not isinstance(raw, dict):
+            raise FilterCorruptionError(
+                f"manifest record must be an object, got {type(raw).__name__}"
+            )
+        def require_int(key: str, lo: int, hi: int) -> int:
+            value = raw.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise FilterCorruptionError(
+                    f"manifest field {key!r} must be an integer, got {value!r}"
+                )
+            if not lo <= value <= hi:
+                raise FilterCorruptionError(
+                    f"manifest field {key!r}={value} outside [{lo}, {hi}]"
+                )
+            return value
+
+        for key in ("blob_name", "filter_class"):
+            if not isinstance(raw.get(key), str) or not raw[key]:
+                raise FilterCorruptionError(
+                    f"manifest field {key!r} must be a non-empty string, "
+                    f"got {raw.get(key)!r}"
+                )
+        return cls(
+            table_id=require_int("table_id", 1, _U64),
+            blob_name=raw["blob_name"],
+            n_entries=require_int("n_entries", 0, _U64),
+            min_key=require_int("min_key", 0, _U64 - 1),
+            max_key=require_int("max_key", -1, _U64 - 1),
+            filter_class=raw["filter_class"],
+            blob_len=require_int("blob_len", 0, _U64),
+            crc32=require_int("crc32", 0, 0xFFFF_FFFF),
+        )
+
+
+class Manifest:
+    """An ordered collection of :class:`ManifestRecord`, JSON round-trip."""
+
+    def __init__(self, records: "list[ManifestRecord] | None" = None) -> None:
+        self.records: list[ManifestRecord] = list(records or [])
+
+    def add(self, record: ManifestRecord) -> None:
+        """Append one table's record."""
+        self.records.append(record)
+
+    def record_for(self, table_id: int) -> "ManifestRecord | None":
+        """The record for ``table_id``, or None if that table has none."""
+        for record in self.records:
+            if record.table_id == table_id:
+                return record
+        return None
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def to_json(self) -> str:
+        """Versioned JSON encoding (the tree's persisted manifest file)."""
+        return json.dumps(
+            {"version": 1, "tables": [r.as_dict() for r in self.records]},
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: "str | bytes") -> "Manifest":
+        """Strictly validated decode of :meth:`to_json` output."""
+        try:
+            doc = json.loads(text)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FilterCorruptionError(
+                f"undecodable manifest: {exc}"
+            ) from exc
+        if not isinstance(doc, dict) or doc.get("version") != 1:
+            raise FilterCorruptionError(
+                f"manifest version must be 1, got "
+                f"{doc.get('version') if isinstance(doc, dict) else doc!r}"
+            )
+        tables = doc.get("tables")
+        if not isinstance(tables, list):
+            raise FilterCorruptionError(
+                f"manifest 'tables' must be a list, got {tables!r}"
+            )
+        return cls([ManifestRecord.from_dict(raw) for raw in tables])

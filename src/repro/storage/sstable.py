@@ -8,7 +8,24 @@ operation, the REncoder needs to be rebuilt").
 
 Reads go filter-first: ``query_point``/``query_range`` consult the filter
 and touch the simulated second level (``env.read``) only on a positive —
-the exact mechanism whose cost/benefit Figures 3–4 measure.
+the exact mechanism whose cost/benefit Figures 3–4 measure.  Second-level
+reads go through the env's retry policy, so injected transient faults are
+retried with capped exponential backoff instead of surfacing to queries.
+
+Persistence and recovery
+------------------------
+With ``persist=True`` the table serializes its filter into the env's
+blob store right after building it and keeps a
+:class:`~repro.storage.manifest.ManifestRecord` of the intended bytes.
+:meth:`reload_filter` is the restart path: it re-reads the blob (faults
+and all), cross-checks it against the manifest, decodes it with the
+strict checksummed ``serialize.loads``, and runs the filter's
+``verify_invariants`` against the table's own keys.  Any corruption
+degrades the table to *all-positive* (no false negative can ever be
+served) and triggers a rebuild from the keys — immediately, or deferred
+to :meth:`rebuild_filter` so the degraded window is observable.
+``filter_state`` tracks the machine: ``live → persisted``,
+``persisted → loaded | degraded``, ``degraded → rebuilt``.
 """
 
 from __future__ import annotations
@@ -17,8 +34,10 @@ from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro.core.errors import FilterCorruptionError, TransientIOError
 from repro.filters.base import RangeFilter
 from repro.storage.env import StorageEnv
+from repro.storage.manifest import ManifestRecord
 from repro.storage.memtable import TOMBSTONE
 
 __all__ = ["SSTable", "FilterFactory"]
@@ -38,6 +57,8 @@ class SSTable:
         items: Iterable[tuple[int, Any]],
         filter_factory: FilterFactory | None = None,
         env: StorageEnv | None = None,
+        *,
+        persist: bool = False,
     ) -> None:
         pairs = list(items)
         keys = [k for k, _ in pairs]
@@ -46,14 +67,19 @@ class SSTable:
         self.keys = np.array(keys, dtype=np.uint64)
         self.values: list[Any] = [v for _, v in pairs]
         self.env = env if env is not None else StorageEnv()
+        self.filter_factory = filter_factory
         self.min_key = int(self.keys[0]) if len(keys) else 0
         self.max_key = int(self.keys[-1]) if len(keys) else -1
         self.filter: RangeFilter | None = (
             filter_factory(self.keys) if filter_factory and len(keys) else None
         )
+        self.filter_state = "live" if self.filter is not None else "none"
+        self.manifest_record: ManifestRecord | None = None
         SSTable._counter += 1
         self.table_id = SSTable._counter
         self.env.write(entries=len(self.keys))
+        if persist and self.filter is not None:
+            self.persist_filter()
 
     def __len__(self) -> int:
         return len(self.keys)
@@ -73,7 +99,7 @@ class SSTable:
             return False, None
         i = int(np.searchsorted(self.keys, np.uint64(key)))
         found = i < len(self.keys) and int(self.keys[i]) == key
-        self.env.read(useful=found, block=(self.table_id, i // 64))
+        self.env.read_with_retry(useful=found, block=(self.table_id, i // 64))
         return (True, self.values[i]) if found else (False, None)
 
     def query_range(self, lo: int, hi: int) -> list[tuple[int, Any]]:
@@ -84,7 +110,7 @@ class SSTable:
             return []
         left = int(np.searchsorted(self.keys, np.uint64(lo), side="left"))
         right = int(np.searchsorted(self.keys, np.uint64(hi), side="right"))
-        self.env.read(useful=right > left, block=(self.table_id, left // 64))
+        self.env.read_with_retry(useful=right > left, block=(self.table_id, left // 64))
         return [
             (int(self.keys[i]), self.values[i]) for i in range(left, right)
         ]
@@ -119,7 +145,7 @@ class SSTable:
         for j in range(cand.size):
             i = int(idx[j])
             hit = bool(found[j])
-            self.env.read(useful=hit, block=(self.table_id, i // 64))
+            self.env.read_with_retry(useful=hit, block=(self.table_id, i // 64))
             if hit:
                 out[int(cand[j])] = (True, self.values[i])
         return out
@@ -154,7 +180,7 @@ class SSTable:
         rights = np.searchsorted(self.keys, his, side="right")
         for q, left, right in zip(cand, lefts, rights):
             left, right = int(left), int(right)
-            self.env.read(
+            self.env.read_with_retry(
                 useful=right > left, block=(self.table_id, left // 64)
             )
             out[q] = [
@@ -162,6 +188,129 @@ class SSTable:
                 for i in range(left, right)
             ]
         return out
+
+    # ------------------------------------------------------------------
+    # filter persistence & recovery
+    # ------------------------------------------------------------------
+    def persist_filter(self) -> ManifestRecord:
+        """Serialize the filter into the env's blob store; keep a manifest.
+
+        The manifest records the length and CRC32 of the bytes *as
+        intended* — the injector may tear or flip the stored copy, and
+        exactly that gap is what :meth:`reload_filter` detects.
+        """
+        from repro.core.serialize import checksum, dumps
+
+        if self.filter is None:
+            raise ValueError(f"SSTable {self.table_id} has no filter to persist")
+        blob = dumps(self.filter)
+        name = f"filter-{self.table_id}"
+        self.env.put_blob(name, blob)
+        self.manifest_record = ManifestRecord(
+            table_id=self.table_id,
+            blob_name=name,
+            n_entries=len(self.keys),
+            min_key=self.min_key,
+            max_key=self.max_key,
+            filter_class=type(self.filter).__name__,
+            blob_len=len(blob),
+            crc32=checksum(blob),
+        )
+        self.filter_state = "persisted"
+        return self.manifest_record
+
+    def reload_filter(self, *, rebuild: str = "immediate") -> str:
+        """Restart path: re-read the persisted filter, recover from damage.
+
+        Returns the resulting ``filter_state``:
+
+        * ``"loaded"`` — the blob survived manifest cross-checks (length
+          + CRC32), strict decoding, and an invariant self-check probing
+          the table's own keys; the in-memory filter is replaced by it.
+        * ``"rebuilt"`` — damage was detected (``rebuild="immediate"``);
+          the filter was rebuilt in place from the table's keys and
+          re-persisted, and ``stats.corruptions_detected`` /
+          ``stats.filter_rebuilds`` advanced.
+        * ``"degraded"`` — damage was detected (``rebuild="deferred"``);
+          the filter is dropped, so every query treats the table as
+          all-positive (correct, just slower) until
+          :meth:`rebuild_filter` runs.
+
+        Transient read faults are retried with backoff first; a read
+        that stays transient beyond the retry budget is treated like
+        corruption (the blob is unusable either way) but counted only as
+        transient faults, not as a detected corruption.
+        """
+        from repro.core.serialize import checksum, loads
+
+        if rebuild not in ("immediate", "deferred"):
+            raise ValueError(
+                f'rebuild must be "immediate" or "deferred", got {rebuild!r}'
+            )
+        record = self.manifest_record
+        if record is None:
+            raise ValueError(
+                f"SSTable {self.table_id} has no persisted filter "
+                "(persist_filter was never called)"
+            )
+        try:
+            blob = self.env.get_blob_with_retry(record.blob_name)
+            if len(blob) != record.blob_len:
+                raise FilterCorruptionError(
+                    f"blob {record.blob_name!r} is {len(blob)} bytes, "
+                    f"manifest says {record.blob_len} (torn write)"
+                )
+            if checksum(blob) != record.crc32:
+                raise FilterCorruptionError(
+                    f"blob {record.blob_name!r} fails the manifest CRC32"
+                )
+            filt = loads(blob)
+            if type(filt).__name__ != record.filter_class:
+                raise FilterCorruptionError(
+                    f"blob {record.blob_name!r} decodes to "
+                    f"{type(filt).__name__}, manifest says "
+                    f"{record.filter_class}"
+                )
+            filt.verify_invariants(self.keys)
+        except TransientIOError:
+            # Retries exhausted: the data may be fine but is unreachable;
+            # recover the same way corruption does, without claiming a
+            # corruption was *detected*.
+            return self._recover(rebuild)
+        except FilterCorruptionError:
+            self.env.stats.corruptions_detected += 1
+            return self._recover(rebuild)
+        self.filter = filt
+        self.filter_state = "loaded"
+        return self.filter_state
+
+    def _recover(self, rebuild: str) -> str:
+        """Degrade to all-positive; rebuild now or leave it deferred."""
+        self.filter = None
+        self.filter_state = "degraded"
+        if rebuild == "immediate":
+            self.rebuild_filter()
+        return self.filter_state
+
+    def rebuild_filter(self) -> None:
+        """Rebuild the filter from this table's keys and re-persist it.
+
+        The exit from the ``degraded`` state: queries were all-positive
+        (correct but unfiltered) since the corruption was detected; after
+        this they are filtered again.  Counted in
+        ``stats.filter_rebuilds``.
+        """
+        if self.filter_factory is None or len(self.keys) == 0:
+            raise ValueError(
+                f"SSTable {self.table_id} cannot rebuild: no filter factory "
+                "or no keys"
+            )
+        self.filter = self.filter_factory(self.keys)
+        self.env.stats.filter_rebuilds += 1
+        self.filter_state = "rebuilt"
+        if self.manifest_record is not None:
+            self.persist_filter()
+            self.filter_state = "rebuilt"
 
     def scan(self) -> Iterable[tuple[int, Any]]:
         """Full scan (compaction path; not filter-guarded)."""

@@ -47,6 +47,68 @@ class TestEnvCache:
         assert env.stats.reads == 1
         assert env.stats.cache_hits == 0
 
+    def test_cached_read_not_double_counted_after_reset(self):
+        # A block cached before reset() must cost exactly one fresh read
+        # afterwards — not one read *plus* a phantom cache hit, and not
+        # zero reads from stale cache state.
+        env = StorageEnv(cache_blocks=4)
+        env.read(useful=True, block="a")
+        env.read(useful=True, block="a")
+        env.reset()
+        env.read(useful=True, block="a")
+        env.read(useful=True, block="a")
+        assert env.stats.reads == 1
+        assert env.stats.cache_hits == 1
+
+
+class TestCacheUnderFaults:
+    """Cache hits are served before the injector: they can never fault,
+    and an armed fault waits for the next *real* second-level read."""
+
+    def test_cache_hit_never_faults(self):
+        from repro.storage.faults import FaultInjector
+
+        env = StorageEnv(cache_blocks=4, injector=FaultInjector())
+        env.read(useful=True, block="a")  # populate
+        env.injector.arm_transient_reads(1)
+        env.read(useful=True, block="a")  # hit: must not consume the fault
+        assert env.stats.cache_hits == 1
+        assert env.stats.transient_faults == 0
+        # The armed fault is still pending for the next real read.
+        with pytest.raises(Exception):
+            env.read(useful=True, block="b")
+        assert env.stats.transient_faults == 1
+
+    def test_failed_read_not_cached(self):
+        from repro.storage.faults import FaultInjector
+
+        env = StorageEnv(cache_blocks=4, injector=FaultInjector())
+        env.injector.arm_transient_reads(1)
+        env.read_with_retry(useful=True, block="a")
+        # The failed attempt neither counted as a read nor seeded the
+        # cache; the retry did both, so a repeat is a pure hit.
+        assert env.stats.reads == 1
+        env.read(useful=True, block="a")
+        assert env.stats.cache_hits == 1
+        assert env.stats.reads == 1
+
+    def test_cached_lsm_point_reads_dodge_faults(self):
+        from repro.storage.faults import FaultInjector
+
+        env = StorageEnv(cache_blocks=64, injector=FaultInjector())
+        lsm = LSMTree(None, memtable_capacity=128, env=env)
+        for k in range(500):
+            lsm.put(k, k)
+        lsm.flush()
+        assert lsm.get(77) == (True, 77)  # warm the block
+        env.stats.reset()
+        env.injector.transient_read_p = 0.5
+        for _ in range(50):
+            assert lsm.get(77) == (True, 77)
+        assert env.stats.cache_hits == 50
+        assert env.stats.transient_faults == 0
+        assert env.stats.retries == 0
+
 
 class TestLsmWithCache:
     def test_hot_point_reads_cached(self):

@@ -1,0 +1,321 @@
+"""Chaos harness: the no-false-negative guarantee under storage faults.
+
+The paper's headline property is one-sided error — a negative answer is
+always correct.  This suite holds the whole stack to that guarantee while
+the storage layer misbehaves: persisted filter blobs are torn and
+bit-flipped, reads fail transiently mid-query, and crash recovery runs
+over the damage.  Every test drives a seeded
+:class:`~repro.storage.faults.FaultInjector` (fixed seed, overridable via
+``REPRO_CHAOS_SEED`` so CI pins the fault sequence), asserts zero false
+negatives across the base/SS/SE/PO variants on both the scalar and batch
+query paths, and checks that every injected corruption is detected —
+the v2 CRC32 catches all flips in the corpus.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import FilterError
+from repro.core.rencoder import REncoder
+from repro.core.serialize import dumps, loads
+from repro.core.variants import REncoderPO, REncoderSE, REncoderSS
+from repro.storage.env import StorageEnv
+from repro.storage.faults import FaultInjector
+from repro.storage.lsm import LSMTree
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", 20230713))
+
+TOP64 = (1 << 64) - 1
+
+
+def _factory(cls, keys_hint=None):
+    """A filter factory for ``cls`` (SE gets a small query sample)."""
+    if cls is REncoderSE:
+        sample = [(5, 70), (1 << 30, (1 << 30) + 64)]
+        return lambda ks: cls(ks, bits_per_key=14, sample_queries=sample)
+    return lambda ks: cls(ks, bits_per_key=14)
+
+
+def _build_lsm(cls, keys, *, injector=None, memtable_capacity=512):
+    env = StorageEnv(injector=injector)
+    lsm = LSMTree(
+        _factory(cls),
+        memtable_capacity=memtable_capacity,
+        env=env,
+        persist_filters=True,
+    )
+    for k in keys:
+        lsm.put(int(k), int(k) & 0xFF)
+    lsm.flush()
+    return lsm
+
+
+def _assert_no_false_negatives(lsm, keys, *, sample=200):
+    """Points, ranges, and both batch paths must all find every key."""
+    step = max(1, len(keys) // sample)
+    probe = [int(k) for k in keys[::step]]
+    for k in probe:
+        assert lsm.get(k) == (True, k & 0xFF), f"false negative point {k}"
+    assert lsm.get_many(probe) == [(True, k & 0xFF) for k in probe]
+    ranges = [(max(0, k - 2), min(TOP64, k + 2)) for k in probe[:50]]
+    scalar = [lsm.range_query(lo, hi) for lo, hi in ranges]
+    for (lo, hi), items in zip(ranges, scalar):
+        found = {k for k, _ in items}
+        k = min(max(lo, 0) + 2, hi)
+        assert any(lo <= key <= hi for key in found) or k not in probe
+    for k, items in zip(probe[:50], scalar):
+        assert (k, k & 0xFF) in items, f"false negative range around {k}"
+    assert lsm.range_query_many(ranges) == scalar
+
+
+ALL_VARIANTS = [REncoder, REncoderSS, REncoderSE, REncoderPO]
+
+
+@pytest.mark.parametrize("cls", ALL_VARIANTS)
+class TestCrashRecovery:
+    def test_clean_recovery_loads_everything(self, cls):
+        keys = np.unique(
+            np.random.default_rng(CHAOS_SEED).integers(
+                0, 1 << 48, 1500, dtype=np.uint64
+            )
+        )
+        lsm = _build_lsm(cls, keys)
+        summary = lsm.recover()
+        assert summary["tables"] > 0
+        assert summary["loaded"] == summary["tables"]
+        assert summary["rebuilt"] == summary["degraded"] == 0
+        assert lsm.env.stats.corruptions_detected == 0
+        _assert_no_false_negatives(lsm, keys)
+
+    def test_recovery_under_all_fault_types(self, cls):
+        keys = np.unique(
+            np.random.default_rng(CHAOS_SEED + 1).integers(
+                0, 1 << 48, 2000, dtype=np.uint64
+            )
+        )
+        injector = FaultInjector(
+            CHAOS_SEED,
+            transient_read_p=0.05,
+            torn_write_p=0.3,
+            bit_flip_p=0.3,
+        )
+        lsm = _build_lsm(cls, keys, injector=injector)
+        summary = lsm.recover()
+        stats = lsm.env.stats
+        assert summary["tables"] > 0
+        assert summary["loaded"] + summary["rebuilt"] == summary["tables"]
+        # Every table whose blob was damaged was detected and rebuilt:
+        # nothing silently loaded garbage, nothing stayed degraded.
+        assert summary["rebuilt"] == stats.filter_rebuilds > 0
+        assert stats.corruptions_detected >= summary["rebuilt"] > 0
+        assert stats.torn_writes + stats.bit_flips > 0
+        _assert_no_false_negatives(lsm, keys)
+        # Post-recovery tables are filtered again (not all-positive).
+        assert all(
+            t.filter is not None for t in lsm._tables_newest_first()
+        )
+
+    def test_every_blob_torn_still_correct(self, cls):
+        keys = np.unique(
+            np.random.default_rng(CHAOS_SEED + 2).integers(
+                0, 1 << 48, 1200, dtype=np.uint64
+            )
+        )
+        injector = FaultInjector(CHAOS_SEED, torn_write_p=1.0)
+        lsm = _build_lsm(cls, keys, injector=injector)
+        summary = lsm.recover()
+        assert summary["rebuilt"] == summary["tables"] > 0
+        _assert_no_false_negatives(lsm, keys)
+
+
+class TestDegradedWindow:
+    def test_deferred_rebuild_serves_all_positive(self):
+        keys = np.unique(
+            np.random.default_rng(CHAOS_SEED + 3).integers(
+                0, 1 << 48, 1500, dtype=np.uint64
+            )
+        )
+        injector = FaultInjector(CHAOS_SEED, bit_flip_p=1.0)
+        lsm = _build_lsm(REncoder, keys, injector=injector)
+        summary = lsm.recover(rebuild="deferred")
+        assert summary["degraded"] == summary["tables"] > 0
+        assert summary["rebuilt"] == 0
+        tables = list(lsm._tables_newest_first())
+        assert all(t.filter_state == "degraded" for t in tables)
+        assert all(t.filter is None for t in tables)
+        # The degraded window: unfiltered, therefore trivially no false
+        # negatives — queries stay correct the whole time.
+        _assert_no_false_negatives(lsm, keys)
+        # Exit the window: rebuild in place, filters return, still correct.
+        injector.bit_flip_p = 0.0
+        for t in tables:
+            t.rebuild_filter()
+            assert t.filter_state == "rebuilt"
+            assert t.filter is not None
+        assert lsm.env.stats.filter_rebuilds == len(tables)
+        _assert_no_false_negatives(lsm, keys)
+
+    def test_degraded_table_costs_more_io(self):
+        keys = np.unique(
+            np.random.default_rng(CHAOS_SEED + 4).integers(
+                0, 1 << 48, 1500, dtype=np.uint64
+            )
+        )
+        injector = FaultInjector(CHAOS_SEED, torn_write_p=1.0)
+        lsm = _build_lsm(REncoder, keys, injector=injector)
+        lsm.recover(rebuild="deferred")
+
+        def wasted(n=100):
+            lsm.env.stats.reset()
+            rng = np.random.default_rng(CHAOS_SEED)
+            for _ in range(n):
+                lo = int(rng.integers(0, 1 << 48))
+                lsm.range_query(lo, lo + 15)
+            return lsm.env.stats.wasted_reads
+
+        degraded_cost = wasted()
+        for t in lsm._tables_newest_first():
+            t.rebuild_filter()
+        rebuilt_cost = wasted()
+        # The whole point of the rebuild: empty queries stop paying I/O.
+        assert rebuilt_cost < degraded_cost
+
+
+class TestChecksumCorpus:
+    """CRC32 detects every injected flip across the variant corpus."""
+
+    @pytest.mark.parametrize("cls", ALL_VARIANTS)
+    def test_all_single_bit_flips_detected(self, cls, uniform_keys):
+        blob = dumps(_factory(cls)(uniform_keys))
+        rng = random.Random(CHAOS_SEED)
+        for _ in range(120):
+            bit = rng.randrange(len(blob) * 8)
+            damaged = bytearray(blob)
+            damaged[bit // 8] ^= 1 << (bit % 8)
+            with pytest.raises(FilterError):
+                loads(bytes(damaged))
+
+    def test_all_truncations_detected(self, uniform_keys):
+        blob = dumps(REncoder(uniform_keys, bits_per_key=12))
+        rng = random.Random(CHAOS_SEED)
+        cuts = {0, 1, 3, 4, 9, 10, len(blob) - 5, len(blob) - 1}
+        cuts.update(rng.randrange(len(blob)) for _ in range(64))
+        for cut in cuts:
+            with pytest.raises(FilterError):
+                loads(blob[:cut])
+
+
+class TestBatchScalarEquivalenceUnderFaults:
+    """Satellite: batch and scalar answers agree when a mid-batch
+    transient fault fires and is retried."""
+
+    def _lsm_and_probe(self):
+        keys = np.unique(
+            np.random.default_rng(CHAOS_SEED + 5).integers(
+                0, 1 << 44, 1800, dtype=np.uint64
+            )
+        )
+        injector = FaultInjector(CHAOS_SEED)
+        lsm = _build_lsm(REncoder, keys, injector=injector)
+        rng = np.random.default_rng(CHAOS_SEED + 6)
+        present = [int(k) for k in rng.choice(keys, 40)]
+        absent = [int(rng.integers(0, 1 << 44)) for _ in range(40)]
+        return lsm, injector, present + absent
+
+    def test_get_many_matches_get_with_midbatch_fault(self):
+        lsm, injector, probe = self._lsm_and_probe()
+        expected = [lsm.get(k) for k in probe]
+        lsm.env.stats.reset()
+        injector.arm_transient_reads(3, after=5)
+        assert lsm.get_many(probe) == expected
+        assert lsm.env.stats.retries >= 3
+        assert lsm.env.stats.transient_faults >= 3
+
+    def test_range_query_many_matches_scalar_with_midbatch_fault(self):
+        lsm, injector, probe = self._lsm_and_probe()
+        ranges = [(k, k + 31) for k in probe]
+        expected = [lsm.range_query(lo, hi) for lo, hi in ranges]
+        lsm.env.stats.reset()
+        injector.arm_transient_reads(2, after=3)
+        assert lsm.range_query_many(ranges) == expected
+        assert lsm.env.stats.retries >= 2
+
+    def test_filter_query_many_unaffected_by_env_faults(self):
+        # RangeFilter.query_many is pure memory — an armed storage fault
+        # must not leak into it, and batch == scalar regardless.
+        lsm, injector, probe = self._lsm_and_probe()
+        filt = next(lsm._tables_newest_first()).filter
+        ranges = [(k, k + 31) for k in probe]
+        injector.arm_transient_reads(5)
+        batch = filt.query_many(ranges)
+        scalar = [filt.query_range(lo, hi) for lo, hi in ranges]
+        assert batch == scalar
+        injector.arm_transient_reads(0)  # disarm for other tests
+
+
+class TestVerifyInvariants:
+    def test_fresh_filter_passes_with_keys(self, uniform_keys):
+        for cls in ALL_VARIANTS:
+            filt = _factory(cls)(uniform_keys)
+            assert filt.verify_invariants(uniform_keys)
+
+    def test_tampered_level_list_detected(self, uniform_keys):
+        filt = REncoder(uniform_keys, bits_per_key=14)
+        filt._stored_sorted = filt._stored_sorted[:-1]
+        with pytest.raises(FilterError):
+            filt.verify_invariants()
+
+    def test_tampered_next_stored_detected(self, uniform_keys):
+        filt = REncoder(uniform_keys, bits_per_key=14)
+        filt._next_stored[5] = 63
+        with pytest.raises(FilterError):
+            filt.verify_invariants()
+
+    def test_wiped_array_is_a_false_negative(self, uniform_keys):
+        filt = REncoder(uniform_keys, bits_per_key=14)
+        filt.rbf._array[:] = 0
+        filt.rbf._ones_dirty = True
+        with pytest.raises(FilterError):
+            filt.verify_invariants(uniform_keys)
+
+    def test_nonzero_pad_word_detected(self, uniform_keys):
+        filt = REncoder(uniform_keys, bits_per_key=14)
+        filt.rbf._array[-1] = 1
+        with pytest.raises(FilterError):
+            filt.verify_invariants()
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    n_keys=st.integers(50, 400),
+    torn=st.floats(0.0, 1.0),
+    flip=st.floats(0.0, 1.0),
+    transient=st.floats(0.0, 0.2),
+)
+@settings(max_examples=12, deadline=None)
+def test_property_no_false_negatives_under_any_fault_mix(
+    seed, n_keys, torn, flip, transient
+):
+    """For any seeded fault mix, recovery preserves one-sided error."""
+    keys = np.unique(
+        np.random.default_rng(seed).integers(
+            0, 1 << 40, n_keys, dtype=np.uint64
+        )
+    )
+    injector = FaultInjector(
+        seed, transient_read_p=transient, torn_write_p=torn, bit_flip_p=flip
+    )
+    lsm = _build_lsm(REncoder, keys, injector=injector, memtable_capacity=128)
+    summary = lsm.recover()
+    assert summary["loaded"] + summary["rebuilt"] == summary["tables"]
+    probe = [int(k) for k in keys[:: max(1, len(keys) // 60)]]
+    for k in probe:
+        assert lsm.get(k) == (True, k & 0xFF)
+    assert lsm.get_many(probe) == [(True, k & 0xFF) for k in probe]

@@ -1,0 +1,241 @@
+"""Unit tests for the fault-injection layer: injector, env, manifest.
+
+The chaos suite (``test_chaos.py``) drives the whole stack; these tests
+pin down the primitives it is built on — deterministic fault sequences,
+the retry/backoff policy's exact accounting, blob-store damage semantics,
+and strict manifest decoding.
+"""
+
+import pytest
+
+from repro.core.errors import (
+    FilterCorruptionError,
+    FilterError,
+    TransientIOError,
+    TruncatedError,
+)
+from repro.storage.env import StorageEnv
+from repro.storage.faults import FaultInjector
+from repro.storage.manifest import Manifest, ManifestRecord
+
+
+class TestErrorHierarchy:
+    def test_corruption_is_value_error(self):
+        # Pre-existing callers catch ValueError from serialize.loads.
+        assert issubclass(FilterCorruptionError, ValueError)
+        assert issubclass(FilterCorruptionError, FilterError)
+
+    def test_truncated_is_corruption(self):
+        assert issubclass(TruncatedError, FilterCorruptionError)
+
+    def test_transient_is_os_error(self):
+        assert issubclass(TransientIOError, OSError)
+        assert issubclass(TransientIOError, FilterError)
+
+
+class TestFaultInjector:
+    def test_deterministic_sequences(self):
+        def fire_pattern(seed):
+            inj = FaultInjector(seed, transient_read_p=0.3)
+            out = []
+            for _ in range(50):
+                try:
+                    inj.check_read()
+                    out.append(False)
+                except TransientIOError:
+                    out.append(True)
+            return out
+
+        assert fire_pattern(5) == fire_pattern(5)
+        assert fire_pattern(5) != fire_pattern(6)
+
+    def test_armed_transient_fires_exactly_n_times(self):
+        inj = FaultInjector()
+        inj.arm_transient_reads(2)
+        with pytest.raises(TransientIOError):
+            inj.check_read()
+        with pytest.raises(TransientIOError):
+            inj.check_read()
+        inj.check_read()  # disarmed
+
+    def test_armed_transient_after_skips(self):
+        inj = FaultInjector()
+        inj.arm_transient_reads(1, after=3)
+        for _ in range(3):
+            inj.check_read()
+        with pytest.raises(TransientIOError):
+            inj.check_read()
+        inj.check_read()
+
+    def test_torn_write_is_strict_prefix(self):
+        inj = FaultInjector(seed=1)
+        inj.arm_torn_write()
+        data = bytes(range(100))
+        stored, fault = inj.mangle_write(data)
+        assert fault == "torn"
+        assert len(stored) < len(data)
+        assert data.startswith(stored)
+
+    def test_bit_flip_flips_exactly_one_bit(self):
+        inj = FaultInjector(seed=2)
+        inj.arm_bit_flip()
+        data = bytes(100)
+        stored, fault = inj.mangle_write(data)
+        assert fault == "flip"
+        assert len(stored) == len(data)
+        diff = [a ^ b for a, b in zip(stored, data)]
+        assert sum(bin(d).count("1") for d in diff) == 1
+
+    def test_clean_write_untouched(self):
+        inj = FaultInjector(seed=3)
+        data = b"hello world"
+        assert inj.mangle_write(data) == (data, None)
+
+    def test_probability_validation(self):
+        with pytest.raises(ValueError):
+            FaultInjector(transient_read_p=1.5)
+        with pytest.raises(ValueError):
+            FaultInjector(bit_flip_p=-0.1)
+
+
+class TestEnvReadFaults:
+    def test_read_raises_and_counts(self):
+        env = StorageEnv(injector=FaultInjector())
+        env.injector.arm_transient_reads(1)
+        with pytest.raises(TransientIOError):
+            env.read(useful=True)
+        assert env.stats.transient_faults == 1
+        # The failed read was not counted as a read.
+        assert env.stats.reads == 0
+
+    def test_retry_recovers_and_charges_backoff(self):
+        env = StorageEnv(injector=FaultInjector())
+        env.injector.arm_transient_reads(2)
+        env.read_with_retry(useful=True)
+        assert env.stats.reads == 1
+        assert env.stats.useful_reads == 1
+        assert env.stats.transient_faults == 2
+        assert env.stats.retries == 2
+        # Backoff: base + 2*base of simulated time, in io seconds too.
+        assert env.stats.backoff_ns == env.backoff_base_ns * 3
+        assert env.simulated_io_seconds() == pytest.approx(
+            (env.io_cost_ns + env.stats.backoff_ns) * 1e-9
+        )
+
+    def test_retry_budget_exhausts(self):
+        env = StorageEnv(injector=FaultInjector(), max_read_retries=2)
+        env.injector.arm_transient_reads(10)
+        with pytest.raises(TransientIOError):
+            env.read_with_retry(useful=True)
+        assert env.stats.reads == 0
+        assert env.stats.retries == 2
+        assert env.stats.transient_faults == 3  # initial try + 2 retries
+
+    def test_backoff_is_capped_exponential(self):
+        env = StorageEnv(
+            injector=FaultInjector(),
+            max_read_retries=6,
+            backoff_base_ns=100,
+            backoff_cap_ns=400,
+        )
+        env.injector.arm_transient_reads(6)
+        env.read_with_retry(useful=False)
+        # 100, 200, 400, 400, 400, 400 — doubling then capped.
+        assert env.stats.backoff_ns == 1900
+
+    def test_no_injector_is_faultless(self):
+        env = StorageEnv()
+        for _ in range(100):
+            env.read_with_retry(useful=True)
+        assert env.stats.reads == 100
+        assert env.stats.transient_faults == 0
+        assert env.stats.retries == 0
+
+
+class TestBlobStore:
+    def test_round_trip(self):
+        env = StorageEnv()
+        env.put_blob("a", b"payload")
+        assert env.get_blob("a") == b"payload"
+        assert env.stats.blob_writes == 1
+        assert env.stats.blob_reads == 1
+
+    def test_missing_blob_is_corruption(self):
+        env = StorageEnv()
+        with pytest.raises(FilterCorruptionError):
+            env.get_blob("never-written")
+
+    def test_torn_write_stores_prefix(self):
+        env = StorageEnv(injector=FaultInjector(seed=4))
+        env.injector.arm_torn_write()
+        data = bytes(range(64))
+        env.put_blob("t", data)
+        assert env.stats.torn_writes == 1
+        stored = env.get_blob("t")
+        assert len(stored) < len(data) and data.startswith(stored)
+
+    def test_bit_flip_stored_at_rest(self):
+        env = StorageEnv(injector=FaultInjector(seed=5))
+        env.injector.arm_bit_flip()
+        data = bytes(64)
+        env.put_blob("f", data)
+        assert env.stats.bit_flips == 1
+        # Damage is at rest: every read sees the same flipped byte.
+        assert env.get_blob("f") == env.get_blob("f") != data
+
+    def test_transient_blob_read_retried(self):
+        env = StorageEnv(injector=FaultInjector())
+        env.put_blob("r", b"x")
+        env.injector.arm_transient_reads(1)
+        assert env.get_blob_with_retry("r") == b"x"
+        assert env.stats.retries == 1
+
+    def test_blobs_survive_reset(self):
+        env = StorageEnv()
+        env.put_blob("keep", b"data")
+        env.reset()
+        assert env.get_blob("keep") == b"data"
+
+
+class TestManifest:
+    def _record(self, **overrides):
+        fields = dict(
+            table_id=1, blob_name="filter-1", n_entries=10, min_key=0,
+            max_key=99, filter_class="REncoder", blob_len=256,
+            crc32=0xDEADBEEF,
+        )
+        fields.update(overrides)
+        return ManifestRecord(**fields)
+
+    def test_json_round_trip(self):
+        manifest = Manifest([self._record(), self._record(table_id=2)])
+        restored = Manifest.from_json(manifest.to_json())
+        assert restored.records == manifest.records
+        assert restored.record_for(2).table_id == 2
+        assert restored.record_for(99) is None
+
+    def test_bad_json_is_typed(self):
+        with pytest.raises(FilterCorruptionError):
+            Manifest.from_json(b"\xff\xfe not json")
+        with pytest.raises(FilterCorruptionError):
+            Manifest.from_json('{"version": 7, "tables": []}')
+        with pytest.raises(FilterCorruptionError):
+            Manifest.from_json('{"version": 1, "tables": {}}')
+
+    def test_bad_record_fields_are_typed(self):
+        good = self._record().as_dict()
+        for key, bad in (
+            ("table_id", 0),
+            ("table_id", "one"),
+            ("crc32", -1),
+            ("crc32", 1 << 32),
+            ("blob_name", ""),
+            ("filter_class", None),
+            ("n_entries", True),
+        ):
+            raw = dict(good)
+            raw[key] = bad
+            with pytest.raises(FilterCorruptionError):
+                ManifestRecord.from_dict(raw)
+        with pytest.raises(FilterCorruptionError):
+            ManifestRecord.from_dict(["not", "a", "dict"])
