@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test bench bench-smoke bench-faults chaos report examples clean
+.PHONY: install test bench bench-smoke bench-faults bench-overload chaos serve-stress report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -22,10 +22,23 @@ bench-smoke:
 bench-faults:
 	python benchmarks/bench_fault_recovery.py --preset smoke
 
+# Overload behaviour of the concurrent filter service: shedding vs an
+# unbounded baseline, load curve, breaker storm; writes
+# BENCH_overload.json (asserts bounded p99 + zero false negatives).
+bench-overload:
+	python benchmarks/bench_overload.py --preset smoke
+
 # Fault-injection chaos suite: torn writes, bit flips, transient reads;
 # REPRO_CHAOS_SEED pins the fault sequence (CI uses 20230713).
 chaos:
 	pytest tests/test_chaos.py tests/test_faults.py -q
+
+# Concurrent-service stress: live rebuilds + latency faults + shedding,
+# zero false negatives.  REPRO_STRESS_SEED pins the schedule; the
+# per-test timeout engages only where pytest-timeout is installed (CI).
+serve-stress:
+	pytest tests/test_service_stress.py tests/test_service.py -q \
+		$$(python -c "import pytest_timeout" 2>/dev/null && echo "--timeout=120")
 
 report: bench
 	python -m repro report

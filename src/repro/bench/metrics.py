@@ -29,11 +29,13 @@ __all__ = [
     "DEFAULT_IO_COST_NS",
     "FilterRun",
     "RecoveryRun",
+    "ServiceRun",
     "measure_fpr",
     "run_filter",
     "run_point_filter",
     "run_batch_filter",
     "run_recovery",
+    "run_service_load",
 ]
 
 #: Simulated second-level latency.  2 ms per I/O keeps the paper's rough
@@ -118,6 +120,147 @@ class RecoveryRun:
             "overhead": round(self.overhead, 2),
             **self.faults,
         }
+
+
+@dataclass
+class ServiceRun:
+    """One offered-load measurement of a :class:`FilterService`.
+
+    ``goodput_qps`` counts only non-degraded (``ok``) answers — the
+    quantity load shedding exists to protect; ``completed_qps`` counts
+    every settled promise.  Latency percentiles are wall-clock
+    submit→resolve over *completed* requests (rejected submissions never
+    enter the pipeline and are excluded — they cost the client one
+    exception, not a queue wait).
+    """
+
+    label: str
+    offered_load: float  # multiple of the measured saturation capacity
+    offered_qps: float
+    n_requests: int
+    duration_seconds: float
+    completed: int
+    ok: int
+    goodput_qps: float
+    completed_qps: float
+    p50_ms: float
+    p99_ms: float
+    p999_ms: float
+    max_ms: float
+    degraded_rate: float
+    deadline_expired: int
+    breaker_denied: int
+    shed: int
+    rejected: int
+    faults: int
+    breaker_trips: int
+
+    def as_row(self) -> dict:
+        """Result-table row used by the overload bench (JSON-safe: an
+        infinite offered load — a burst — renders as ``"burst"``)."""
+        import math
+
+        return {
+            "config": self.label,
+            "load": (
+                round(self.offered_load, 2)
+                if math.isfinite(self.offered_load)
+                else "burst"
+            ),
+            "offered_qps": round(self.offered_qps, 1),
+            "goodput_qps": round(self.goodput_qps, 1),
+            "p50_ms": self.p50_ms,
+            "p99_ms": self.p99_ms,
+            "p999_ms": self.p999_ms,
+            "degraded_rate": self.degraded_rate,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "deadline": self.deadline_expired,
+            "breaker": self.breaker_denied,
+        }
+
+
+def run_service_load(
+    service,
+    ranges: Sequence[tuple[int, int]],
+    *,
+    rate_qps: "float | None" = None,
+    batch_size: "int | None" = None,
+    label: str = "",
+    offered_load: float = 0.0,
+) -> ServiceRun:
+    """Offer a range-query workload to a running service and measure it.
+
+    ``rate_qps`` paces submissions open-loop (a request is offered on
+    schedule whether or not earlier ones finished — the regime where
+    backlogs actually build); ``None`` submits the whole workload as one
+    burst, i.e. effectively infinite offered rate.  ``batch_size`` chunks
+    the ranges into batch requests of that many ranges each (one
+    submission, one response per chunk) — heavier requests make paced
+    rates meaningful where scalar inter-arrival times would be below
+    ``time.sleep`` resolution.  Rejected submissions
+    (:class:`~repro.service.admission.ServiceOverloadError`) are counted
+    and skipped.  Use a *fresh* service per run — its stats accumulate
+    for life.
+    """
+    from repro.service.admission import ServiceOverloadError
+
+    if not ranges:
+        raise ValueError("need at least one request")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    if batch_size is None:
+        requests = list(ranges)
+        submit = service.submit_range
+    else:
+        requests = [
+            ranges[i : i + batch_size]
+            for i in range(0, len(ranges), batch_size)
+        ]
+        submit = service.submit_range_batch
+    futures = []
+    start = time.perf_counter()
+    next_at = start
+    for req in requests:
+        if rate_qps:
+            next_at += 1.0 / rate_qps
+            delay = next_at - time.perf_counter()
+            if delay > 0:
+                time.sleep(delay)
+        try:
+            if batch_size is None:
+                futures.append(submit(*req))
+            else:
+                futures.append(submit(req))
+        except ServiceOverloadError:
+            pass  # counted in service.stats.rejected
+    for future in futures:
+        future.result()
+    duration = time.perf_counter() - start
+    snap = service.stats.snapshot()
+    n = len(requests)
+    return ServiceRun(
+        label=label,
+        offered_load=offered_load,
+        offered_qps=(rate_qps if rate_qps else n / duration),
+        n_requests=n,
+        duration_seconds=duration,
+        completed=snap["completed"],
+        ok=snap["ok"],
+        goodput_qps=snap["ok"] / duration,
+        completed_qps=snap["completed"] / duration,
+        p50_ms=snap["p50_ms"],
+        p99_ms=snap["p99_ms"],
+        p999_ms=snap["p999_ms"],
+        max_ms=snap["max_ms"],
+        degraded_rate=snap["degraded_rate"],
+        deadline_expired=snap["deadline_expired"],
+        breaker_denied=snap["breaker_denied"],
+        shed=snap["shed"],
+        rejected=snap["rejected"],
+        faults=snap["faults"],
+        breaker_trips=service.breaker.snapshot()["trips"],
+    )
 
 
 def run_recovery(lsm, *, baseline_seconds: float = 0.0) -> RecoveryRun:

@@ -12,6 +12,11 @@ Commands
     Build every range filter at one budget and print the comparison
     table (FPR / probes / throughput on uniform and correlated empty
     queries).
+``serve-bench``
+    Stand up the concurrent :class:`~repro.service.FilterService` over
+    an LSM tree and drive it with an open-loop range-query load for
+    ``--duration`` seconds; prints goodput, latency percentiles and the
+    degraded/shed accounting.
 ``demo``
     A 30-second guided tour of the REncoder API.
 """
@@ -120,6 +125,60 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from repro.bench.metrics import run_service_load
+    from repro.core.rencoder import REncoder
+    from repro.service import FilterService
+    from repro.storage.env import SimulatedClock, StorageEnv
+    from repro.storage.lsm import LSMTree
+
+    env = StorageEnv(clock=SimulatedClock())
+    lsm = LSMTree(
+        lambda ks: REncoder(ks, bits_per_key=12),
+        memtable_capacity=2_000,
+        policy="tiering",
+        env=env,
+    )
+    keys = generate_keys(args.n_keys, "uniform", seed=args.seed)
+    for k in keys:
+        lsm.put(int(k), int(k) & 0xFF)
+    lsm.flush()
+
+    n_requests = max(1, int(args.rate * args.duration))
+    rng = np.random.default_rng(args.seed + 1)
+    ranges = [(int(k), int(k) + 2) for k in rng.choice(keys, n_requests)]
+    deadline_ns = (
+        int(args.deadline_ms * 1e6) if args.deadline_ms > 0 else None
+    )
+    with FilterService(
+        lsm,
+        workers=args.concurrency,
+        queue_depth=args.queue_depth,
+        shed_policy=args.shed_policy,
+        default_deadline_ns=deadline_ns,
+    ) as svc:
+        run = run_service_load(
+            svc, ranges, rate_qps=args.rate, label="serve-bench"
+        )
+        breaker = svc.breaker.snapshot()
+    print(format_table([run.as_row()], (
+        f"{args.duration}s @ {args.rate} qps, {args.concurrency} workers, "
+        f"queue {args.queue_depth} ({args.shed_policy})"
+    )))
+    print(json.dumps({
+        "goodput_qps": round(run.goodput_qps, 1),
+        "completed": run.completed,
+        "degraded_rate": run.degraded_rate,
+        "shed": run.shed,
+        "rejected": run.rejected,
+        "p99_ms": run.p99_ms,
+        "breaker": breaker,
+    }))
+    return 0
+
+
 def _cmd_demo(_args) -> int:
     from repro import REncoder
 
@@ -171,6 +230,26 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--results-dir", default="benchmarks/results")
     report.add_argument("--output", default="REPORT.md")
     report.set_defaults(func=_cmd_report)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="drive the concurrent filter service with an open-loop load",
+    )
+    serve.add_argument("--duration", type=float, default=2.0,
+                       help="seconds of offered load (default 2.0)")
+    serve.add_argument("--concurrency", type=int, default=4,
+                       help="service worker threads (default 4)")
+    serve.add_argument("--shed-policy", default="reject-new",
+                       choices=("reject-new", "drop-oldest"))
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="admission queue bound, 0 = unbounded")
+    serve.add_argument("--rate", type=float, default=2_000.0,
+                       help="offered load in queries/second (default 2000)")
+    serve.add_argument("--deadline-ms", type=float, default=50.0,
+                       help="per-request budget in simulated ms, 0 = none")
+    serve.add_argument("--n-keys", type=int, default=20_000)
+    serve.add_argument("--seed", type=int, default=42)
+    serve.set_defaults(func=_cmd_serve_bench)
 
     sub.add_parser("demo", help="30-second API tour").set_defaults(
         func=_cmd_demo

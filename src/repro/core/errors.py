@@ -31,6 +31,7 @@ __all__ = [
     "FilterCorruptionError",
     "TruncatedError",
     "TransientIOError",
+    "DeadlineExceededError",
 ]
 
 
@@ -57,4 +58,16 @@ class TransientIOError(FilterError, OSError):
     Retryable: :meth:`repro.storage.env.StorageEnv.read_with_retry`
     retries these with capped exponential backoff on the simulated
     clock before giving up.
+    """
+
+
+class DeadlineExceededError(FilterError, TimeoutError):
+    """A query's simulated-time budget ran out mid-execution.
+
+    Raised by :class:`~repro.storage.env.StorageEnv` when a second-level
+    read or a retry backoff pushes the simulated clock past the deadline
+    installed by :meth:`~repro.storage.env.StorageEnv.deadline_scope`.
+    The serving layer answers the query *degraded* (all-positive) instead
+    of blocking, so the one-sided guarantee survives the timeout: a
+    deadline can cost extra I/O downstream, never a false negative.
     """

@@ -42,6 +42,8 @@ level for the whole key set is a handful of vectorised calls.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.hashing.mix64 import HashFamily
@@ -111,9 +113,18 @@ class RangeBloomFilter:
         self.num_positions = self.bits - self.block_bits + 1
         self._block_mask = (1 << self.block_bits) - 1
         self._family = HashFamily(k, self.num_positions, seed)
-        # Statistics used by the bench harness and the adaptive level logic.
+        # Statistics used by the bench harness and the adaptive level
+        # logic.  Guarded by a lock: service workers probe one shared
+        # filter concurrently, and `+=` on a shared attribute is a
+        # read-modify-write that would silently lose increments.
+        self._stats_lock = threading.Lock()
         self.fetch_count = 0
         self.insert_count = 0
+        #: Bumped on every mutation (insert_bt / bulk_insert_nodes); a
+        #: FetchCache records the generation it was filled against and
+        #: self-invalidates when it no longer matches, so a cache reused
+        #: across batches can never serve stale mini-trees.
+        self.generation = 0
         self._ones_dirty = True
         self._ones_cache = 0
 
@@ -122,8 +133,10 @@ class RangeBloomFilter:
     # ------------------------------------------------------------------
     def insert_bt(self, hash_key: int, bt: np.ndarray) -> None:
         """OR the BT into the ``k`` windows selected by ``hash_key``."""
-        self.insert_count += 1
-        self._ones_dirty = True
+        with self._stats_lock:
+            self.insert_count += 1
+            self.generation += 1
+            self._ones_dirty = True
         arr = self._array
         w = self.words_per_block
         for pos in self._family.positions(hash_key):
@@ -143,7 +156,8 @@ class RangeBloomFilter:
         counts are comparable with the per-hash probes of the Bloom-based
         baselines.
         """
-        self.fetch_count += self.k
+        with self._stats_lock:
+            self.fetch_count += self.k
         arr = self._array
         w = self.words_per_block
         combined: np.ndarray | None = None
@@ -185,7 +199,8 @@ class RangeBloomFilter:
         w = self.words_per_block
         if n == 0:
             return np.zeros((0, w), dtype=np.uint64)
-        self.fetch_count += self.k * n
+        with self._stats_lock:
+            self.fetch_count += self.k * n
         arr = self._array
         positions = self._family.positions_array(hash_keys)
         span = np.arange(w + 1, dtype=np.intp)
@@ -225,8 +240,10 @@ class RangeBloomFilter:
             raise ValueError("hash_keys and nodes must have equal length")
         if len(hash_keys) == 0:
             return
-        self.insert_count += len(hash_keys)
-        self._ones_dirty = True
+        with self._stats_lock:
+            self.insert_count += len(hash_keys)
+            self.generation += 1
+            self._ones_dirty = True
         bits = nodes.astype(np.uint64) - np.uint64(1)
         positions = self._family.positions_array(hash_keys)
         bitpos = positions * np.uint64(self._unit_bits) + bits[None, :]
@@ -255,9 +272,10 @@ class RangeBloomFilter:
         return self.bits
 
     def reset_counters(self) -> None:
-        """Zero the probe statistics (not the bit array)."""
-        self.fetch_count = 0
-        self.insert_count = 0
+        """Zero the probe statistics (not the bit array or generation)."""
+        with self._stats_lock:
+            self.fetch_count = 0
+            self.insert_count = 0
 
     def copy(self) -> "RangeBloomFilter":
         """Deep copy, sharing nothing with the original."""
@@ -269,6 +287,7 @@ class RangeBloomFilter:
             block_bits=self.block_bits,
         )
         clone._array[:] = self._array
+        clone.generation = self.generation
         clone._ones_dirty = True
         return clone
 

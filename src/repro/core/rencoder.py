@@ -74,15 +74,38 @@ class FetchCache:
     provided, so a scalar doubting traversal can transparently reuse a
     batch's cache.  ``probes`` counts lookups, ``fetches`` counts RBF
     fetches actually performed; the hit rate is their gap.
+
+    A cache may be *reused across batches* (pass it to
+    ``query_range_many(..., cache=...)``) to keep hot mini-trees warm.
+    Safety against interleaved inserts comes from the RBF's generation
+    counter: the cache records the generation it was filled against
+    (:meth:`ensure`) and drops everything when it no longer matches, so
+    it can never serve a mini-tree from before an insert — which could
+    otherwise manifest as a *false negative* on a freshly inserted key.
     """
 
-    __slots__ = ("probes", "fetches", "_groups")
+    __slots__ = ("probes", "fetches", "generation", "_groups")
 
     def __init__(self) -> None:
         #: group -> (sorted hash prefixes, matching rows of combined BTs)
         self._groups: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self.probes = 0
         self.fetches = 0
+        #: RBF generation the entries are valid for (None = empty/unbound).
+        self.generation: "int | None" = None
+
+    def ensure(self, generation: int) -> None:
+        """Bind to an RBF generation, invalidating stale entries.
+
+        Called by the probe paths before any lookup.  First use binds the
+        cache; a later mismatch (the filter was inserted into since the
+        entries were fetched) drops all entries and rebinds.  The
+        counters survive — a stale entry was still fetched once.
+        """
+        if self.generation != generation:
+            if self.generation is not None:
+                self._groups.clear()
+            self.generation = generation
 
     @property
     def hits(self) -> int:
@@ -445,7 +468,9 @@ class REncoder(RangeFilter):
     # ------------------------------------------------------------------
     # batch queries
     # ------------------------------------------------------------------
-    def query_range_many(self, ranges) -> np.ndarray:
+    def query_range_many(
+        self, ranges, *, cache: "FetchCache | None" = None
+    ) -> np.ndarray:
         """Batch :meth:`query_range` — bit-identical, vectorised.
 
         The whole batch is dyadically decomposed at once
@@ -458,6 +483,12 @@ class REncoder(RangeFilter):
         which reuses the same cache, so its probes are almost always dict
         hits.  Accepts any ``(n, 2)``-shaped sequence of ``(lo, hi)``
         pairs and returns a boolean array.
+
+        ``cache`` lets a caller carry one :class:`FetchCache` across
+        batches (warm mini-trees); omitted, each batch gets a fresh one.
+        A reused cache is generation-checked against the RBF, so an
+        insert between batches invalidates it instead of serving stale
+        mini-trees.
         """
         los, his = self._split_ranges(ranges)
         n = los.size
@@ -469,7 +500,7 @@ class REncoder(RangeFilter):
             raise ValueError(
                 f"invalid range in batch for {self.key_bits}-bit keys"
             )
-        cache = FetchCache()
+        cache = cache if cache is not None else FetchCache()
         qidx, prefixes, lengths = decompose_batch(los, his, self.key_bits)
         whole = lengths == 0
         if whole.any():
@@ -575,12 +606,16 @@ class REncoder(RangeFilter):
                 (np.repeat(pid, 1 << gap), children.ravel())
             )
 
-    def query_point_many(self, keys) -> np.ndarray:
+    def query_point_many(
+        self, keys, *, cache: "FetchCache | None" = None
+    ) -> np.ndarray:
         """Batch :meth:`query_point` — bit-identical, vectorised.
 
         A point query probes one stored level at a time along the key's
         prefix path, so the whole batch runs level-by-level with no scalar
-        fallback at all.
+        fallback at all.  ``cache`` carries a generation-checked
+        :class:`FetchCache` across batches, as in
+        :meth:`query_range_many`.
         """
         keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
         n = keys.size
@@ -590,7 +625,7 @@ class REncoder(RangeFilter):
             raise ValueError(
                 f"key outside {self.key_bits}-bit domain in batch"
             )
-        cache = FetchCache()
+        cache = cache if cache is not None else FetchCache()
         alive = np.ones(n, dtype=bool)
         length = self.key_bits
         if self.ancestor_checks:
@@ -626,6 +661,7 @@ class REncoder(RangeFilter):
         including the mirror-root zeroing.
         """
         group, depth, hp_len = self._locate(level)
+        cache.ensure(self.rbf.generation)
         n = prefixes.size
         cache.probes += n
         if hp_len:
@@ -675,9 +711,16 @@ class REncoder(RangeFilter):
         return arr[:, 0].copy(), arr[:, 1].copy()
 
     def _absorb_cache_stats(self, cache: FetchCache) -> None:
-        """Fold a batch cache's counters into the cumulative statistics."""
+        """Drain a batch cache's counters into the cumulative statistics.
+
+        Draining (not just reading) keeps the totals exact when the same
+        cache object is reused across batches — its entries stay warm,
+        but each probe/fetch is folded in exactly once.
+        """
         self.cache_probes += cache.probes
         self.cache_fetches += cache.fetches
+        cache.probes = 0
+        cache.fetches = 0
 
     @property
     def cache_hit_rate(self) -> float:
@@ -694,6 +737,8 @@ class REncoder(RangeFilter):
     ) -> bool:
         """Membership bit for a stored-level prefix (Algorithm 4)."""
         group, depth, hp_len = self._locate(level)
+        if isinstance(cache, FetchCache):
+            cache.ensure(self.rbf.generation)
         hp = prefix >> depth if hp_len else 0
         key = (group, hp)
         bt = cache.get(key)

@@ -1,0 +1,43 @@
+"""Concurrent query-serving layer over the LSM filter stack.
+
+The storage layer (PR 2) made the *data* hostile-proof; this package
+makes the *read path* overload-proof.  A :class:`FilterService` serves
+scalar and batch range queries over an :class:`~repro.storage.lsm.LSMTree`
+through a worker thread pool, with the four production behaviours a
+range filter needs when it sits in front of heavy traffic:
+
+* **deadlines** (:mod:`~repro.service.deadline`) — each request carries
+  a simulated-time budget; a query that blows it answers *degraded*
+  (all-positive, never a false negative) instead of blocking;
+* **admission control** (:mod:`~repro.service.admission`) — a bounded
+  queue sheds load by rejecting new requests (with retry-after) or
+  dropping the oldest, so the queue can't grow without bound;
+* a **circuit breaker** (:mod:`~repro.service.breaker`) — storage reads
+  that keep failing or stalling trip it open, and the service answers
+  degraded immediately instead of feeding a sick backend;
+* **epoch-pinned reads** — every query runs against an epoch-stamped
+  snapshot of the tree, so background filter rebuilds and memtable
+  flushes never race in-flight readers.
+
+Everything degrades *one-sidedly*: any answer produced without actually
+consulting the filters is ``True``.  The service can lie positively
+under stress (costing downstream I/O), but a negative is always real.
+"""
+
+from repro.service.admission import AdmissionQueue, ServiceOverloadError
+from repro.service.breaker import CircuitBreaker
+from repro.service.deadline import Deadline, DeadlineExceededError, SimulatedClock
+from repro.service.health import ServiceStats
+from repro.service.service import FilterService, ServiceResponse
+
+__all__ = [
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineExceededError",
+    "FilterService",
+    "ServiceOverloadError",
+    "ServiceResponse",
+    "ServiceStats",
+    "SimulatedClock",
+]

@@ -1,0 +1,133 @@
+"""Admission control: a bounded request queue with load shedding.
+
+An unbounded queue turns overload into unbounded latency — every request
+eventually gets served, long after its answer stopped mattering.  The
+:class:`AdmissionQueue` caps the backlog and makes the overflow policy
+explicit:
+
+* ``"reject-new"`` — a full queue refuses the arriving request with
+  :class:`ServiceOverloadError` carrying a retry-after hint.  Fairest to
+  requests already queued; pushes backpressure to the client.
+* ``"drop-oldest"`` — a full queue evicts its oldest entry to admit the
+  new one.  The evicted request is *returned to the caller*, never
+  silently discarded: the service resolves it with a degraded
+  all-positive answer, so sheds are counted and one-sided like every
+  other fallback.
+
+The queue is also the service's shutdown point: ``close()`` wakes every
+blocked worker, which then drain the remaining entries and exit on the
+``None`` sentinel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+__all__ = ["AdmissionQueue", "ServiceOverloadError", "SHED_POLICIES"]
+
+SHED_POLICIES = ("reject-new", "drop-oldest")
+
+
+class ServiceOverloadError(RuntimeError):
+    """The service refused a request because its queue is full.
+
+    ``retry_after_ns`` is the service's estimate (simulated time) of
+    when capacity frees up — the client-visible backpressure signal, the
+    moral equivalent of HTTP 429 + Retry-After.
+    """
+
+    def __init__(self, message: str, *, retry_after_ns: int = 0) -> None:
+        super().__init__(message)
+        self.retry_after_ns = retry_after_ns
+
+
+class AdmissionQueue:
+    """Bounded FIFO with a configurable shed policy (see module docs)."""
+
+    def __init__(self, maxsize: int = 0, policy: str = "reject-new") -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0 (0 = unbounded), got {maxsize}")
+        if policy not in SHED_POLICIES:
+            raise ValueError(
+                f"policy must be one of {SHED_POLICIES}, got {policy!r}"
+            )
+        self.maxsize = maxsize
+        self.policy = policy
+        self._items: deque[Any] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.rejected = 0
+        self.dropped = 0
+        self.admitted = 0
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def put(self, item: Any, *, retry_after_ns: int = 0) -> Any:
+        """Admit ``item``; returns the evicted entry (or None).
+
+        Raises :class:`ServiceOverloadError` when the queue is full
+        under ``"reject-new"`` (with the given retry-after hint), and
+        RuntimeError once the queue is closed.  Under ``"drop-oldest"``
+        the evicted request is handed back so the caller can resolve it
+        degraded — a shed must be answered, not vanished.
+        """
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            evicted = None
+            if self.maxsize and len(self._items) >= self.maxsize:
+                if self.policy == "reject-new":
+                    self.rejected += 1
+                    raise ServiceOverloadError(
+                        f"queue full ({self.maxsize} requests)",
+                        retry_after_ns=retry_after_ns,
+                    )
+                evicted = self._items.popleft()
+                self.dropped += 1
+            self._items.append(item)
+            self.admitted += 1
+            self._cond.notify()
+            return evicted
+
+    def get(self, timeout: "float | None" = None) -> Any:
+        """Block for the next entry; ``None`` means closed-and-drained.
+
+        ``timeout`` (wall seconds) returns ``None`` on expiry as well —
+        callers distinguish via :attr:`closed` if they care.
+        """
+        with self._cond:
+            while not self._items and not self._closed:
+                if not self._cond.wait(timeout):
+                    return None
+            if self._items:
+                return self._items.popleft()
+            return None  # closed and drained
+
+    def drain(self) -> list[Any]:
+        """Remove and return everything queued (used at shutdown)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items
+
+    def close(self) -> None:
+        """Refuse new work and wake every blocked getter."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AdmissionQueue(depth={len(self)}/{self.maxsize or '∞'}, "
+            f"policy={self.policy}, rejected={self.rejected}, "
+            f"dropped={self.dropped})"
+        )

@@ -1,0 +1,56 @@
+"""Per-request deadlines on the simulated clock.
+
+Latency in this codebase is *simulated*: the storage env charges each
+second-level access, injected stall and retry backoff to a shared
+:class:`~repro.storage.env.SimulatedClock`.  A :class:`Deadline` is an
+absolute point on that clock.  Enforcement is cooperative and lives in
+the env (:meth:`~repro.storage.env.StorageEnv.deadline_scope`): the
+charge that pushes the clock past the deadline raises
+:class:`~repro.core.errors.DeadlineExceededError` on the charging
+thread, which the service converts into a *degraded all-positive*
+answer.  The guarantee is therefore one-sided by construction — a
+deadline can only ever make an answer *more* positive, never suppress a
+real key.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import DeadlineExceededError
+from repro.storage.env import SimulatedClock
+
+__all__ = ["Deadline", "DeadlineExceededError", "SimulatedClock"]
+
+
+class Deadline:
+    """An absolute simulated-time deadline for one request."""
+
+    __slots__ = ("deadline_ns",)
+
+    def __init__(self, deadline_ns: int) -> None:
+        if deadline_ns < 0:
+            raise ValueError(f"deadline_ns must be >= 0, got {deadline_ns}")
+        self.deadline_ns = deadline_ns
+
+    @classmethod
+    def after(cls, clock: SimulatedClock, budget_ns: int) -> "Deadline":
+        """Deadline ``budget_ns`` of simulated time from *now*.
+
+        Stamped at submit time, so simulated time spent waiting in the
+        admission queue counts against the budget — a request that
+        queued through a storm is already late and should degrade fast,
+        not add its backlog I/O on top.
+        """
+        if budget_ns <= 0:
+            raise ValueError(f"budget_ns must be positive, got {budget_ns}")
+        return cls(clock.now_ns() + budget_ns)
+
+    def remaining_ns(self, clock: SimulatedClock) -> int:
+        """Simulated nanoseconds left (0 when expired)."""
+        return max(0, self.deadline_ns - clock.now_ns())
+
+    def expired(self, clock: SimulatedClock) -> bool:
+        """Has the clock passed this deadline?"""
+        return clock.now_ns() > self.deadline_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Deadline(at={self.deadline_ns}ns)"

@@ -1,0 +1,124 @@
+"""Service observability: thread-safe counters and latency percentiles.
+
+Under overload the *distribution* is the story — a mean hides the tail
+that deadlines and shedding exist to protect.  :class:`LatencyRecorder`
+keeps raw samples (simulation scale: tens of thousands of requests, so
+no reservoir tricks needed) and answers p50/p99/p999;
+:class:`ServiceStats` aggregates the outcome counters the acceptance
+criteria talk about: every degraded or shed answer is counted somewhere,
+never silent.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+__all__ = ["LatencyRecorder", "ServiceStats", "percentile"]
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of unsorted samples."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class LatencyRecorder:
+    """Thread-safe latency sample sink with percentile queries."""
+
+    def __init__(self) -> None:
+        self._samples: list[int] = []
+        self._lock = threading.Lock()
+
+    def record(self, latency_ns: int) -> None:
+        """Add one latency sample (nanoseconds)."""
+        with self._lock:
+            self._samples.append(latency_ns)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def percentile_ns(self, q: float) -> float:
+        """Nearest-rank percentile of the recorded samples, in ns."""
+        with self._lock:
+            samples = list(self._samples)
+        return percentile(samples, q)
+
+    def summary_ms(self) -> dict:
+        """p50/p99/p999 and max, in milliseconds (bench reporting)."""
+        with self._lock:
+            samples = list(self._samples)
+        if not samples:
+            return {"p50_ms": 0.0, "p99_ms": 0.0, "p999_ms": 0.0, "max_ms": 0.0}
+        return {
+            "p50_ms": round(percentile(samples, 50) / 1e6, 3),
+            "p99_ms": round(percentile(samples, 99) / 1e6, 3),
+            "p999_ms": round(percentile(samples, 99.9) / 1e6, 3),
+            "max_ms": round(max(samples) / 1e6, 3),
+        }
+
+
+class ServiceStats:
+    """Outcome counters plus wall/simulated latency distributions.
+
+    ``wall`` latencies are measured submit → resolve on the host clock
+    (they include queue wait — the quantity shedding bounds); ``sim``
+    latencies are the simulated-I/O time the request's execution
+    witnessed on the shared clock.
+    """
+
+    _COUNTERS = (
+        "submitted",
+        "completed",
+        "ok",
+        "degraded",
+        "deadline_expired",
+        "breaker_denied",
+        "shed",
+        "rejected",
+        "faults",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        self.wall = LatencyRecorder()
+        self.sim = LatencyRecorder()
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add deltas to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in self._COUNTERS:
+                    raise AttributeError(
+                        f"unknown ServiceStats counter {name!r}"
+                    )
+                setattr(self, name, getattr(self, name) + delta)
+
+    def snapshot(self) -> dict:
+        """All counters plus wall-latency percentiles, as one dict."""
+        with self._lock:
+            out = {name: getattr(self, name) for name in self._COUNTERS}
+        out.update(self.wall.summary_ms())
+        answered = out["completed"]
+        out["degraded_rate"] = (
+            round((out["degraded"] + out["shed"]) / answered, 4)
+            if answered
+            else 0.0
+        )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        snap = self.snapshot()
+        return (
+            f"ServiceStats(completed={snap['completed']}, "
+            f"ok={snap['ok']}, degraded={snap['degraded']}, "
+            f"shed={snap['shed']}, rejected={snap['rejected']})"
+        )

@@ -34,13 +34,19 @@ are all counted in :class:`IoStats`; DESIGN.md §7 documents the model.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-from repro.core.errors import FilterCorruptionError, TransientIOError
+from repro.core.errors import (
+    DeadlineExceededError,
+    FilterCorruptionError,
+    TransientIOError,
+)
 from repro.storage.faults import FaultInjector
 
-__all__ = ["StorageEnv", "IoStats"]
+__all__ = ["StorageEnv", "IoStats", "SimulatedClock"]
 
 #: Default simulated second-level access latency, in nanoseconds.
 DEFAULT_IO_COST_NS = 1_000_000
@@ -52,9 +58,70 @@ DEFAULT_BACKOFF_BASE_NS = 100_000
 DEFAULT_BACKOFF_CAP_NS = 1_600_000
 
 
+class SimulatedClock:
+    """Thread-safe monotonic simulated clock (nanoseconds).
+
+    The env charges every second-level access, backoff sleep and injected
+    stall to this clock; deadlines (:meth:`StorageEnv.deadline_scope`)
+    and the serving layer's circuit-breaker open timer read it.  Shared
+    by every worker of a service, so ``advance`` is atomic and returns
+    the post-advance time — the value the caller's deadline check must
+    use, since another thread may advance again immediately after.
+    """
+
+    def __init__(self, start_ns: int = 0) -> None:
+        self._now_ns = start_ns
+        self._lock = threading.Lock()
+
+    def now_ns(self) -> int:
+        """Current simulated time."""
+        with self._lock:
+            return self._now_ns
+
+    def advance(self, ns: int) -> int:
+        """Add ``ns`` (>= 0) and return the new time."""
+        if ns < 0:
+            raise ValueError(f"cannot advance by {ns} ns")
+        with self._lock:
+            self._now_ns += ns
+            return self._now_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimulatedClock(now={self.now_ns()}ns)"
+
+
+#: Counter fields of :class:`IoStats`, in declaration order (drives
+#: ``reset``/``bump`` so a new counter cannot be forgotten in either).
+_IO_COUNTERS = (
+    "reads",
+    "useful_reads",
+    "wasted_reads",
+    "writes",
+    "entries_written",
+    "cache_hits",
+    "blob_reads",
+    "blob_writes",
+    "transient_faults",
+    "torn_writes",
+    "bit_flips",
+    "slow_reads",
+    "slow_read_ns",
+    "retries",
+    "backoff_ns",
+    "corruptions_detected",
+    "filter_rebuilds",
+)
+
+
 @dataclass
 class IoStats:
-    """Second-level access, fault and recovery counters."""
+    """Second-level access, fault and recovery counters.
+
+    Thread-safe: all mutation goes through :meth:`bump`, which holds one
+    lock per stats object, so concurrent service workers never lose
+    increments (``x += 1`` on a shared attribute is a read-modify-write
+    race under free-threading).
+    """
 
     reads: int = 0
     useful_reads: int = 0
@@ -69,29 +136,30 @@ class IoStats:
     transient_faults: int = 0
     torn_writes: int = 0
     bit_flips: int = 0
+    slow_reads: int = 0
+    slow_read_ns: int = 0
     # Recovery work.
     retries: int = 0
     backoff_ns: int = 0
     corruptions_detected: int = 0
     filter_rebuilds: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump(self, **deltas: int) -> None:
+        """Atomically add the given deltas to the named counters."""
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in _IO_COUNTERS:
+                    raise AttributeError(f"unknown IoStats counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
 
     def reset(self) -> None:
         """Zero all counters."""
-        self.reads = 0
-        self.useful_reads = 0
-        self.wasted_reads = 0
-        self.writes = 0
-        self.entries_written = 0
-        self.cache_hits = 0
-        self.blob_reads = 0
-        self.blob_writes = 0
-        self.transient_faults = 0
-        self.torn_writes = 0
-        self.bit_flips = 0
-        self.retries = 0
-        self.backoff_ns = 0
-        self.corruptions_detected = 0
-        self.filter_rebuilds = 0
+        with self._lock:
+            for name in _IO_COUNTERS:
+                setattr(self, name, 0)
 
     def fault_counts(self) -> dict[str, int]:
         """The fault/recovery counters as a dict (bench reporting)."""
@@ -99,6 +167,8 @@ class IoStats:
             "transient_faults": self.transient_faults,
             "torn_writes": self.torn_writes,
             "bit_flips": self.bit_flips,
+            "slow_reads": self.slow_reads,
+            "slow_read_ns": self.slow_read_ns,
             "retries": self.retries,
             "backoff_ns": self.backoff_ns,
             "corruptions_detected": self.corruptions_detected,
@@ -120,11 +190,21 @@ class StorageEnv:
     ``injector`` plugs in deterministic fault injection (see the module
     docstring); without one, every operation succeeds and all fault
     counters stay zero, so the fault machinery is free on the happy path.
+
+    ``clock`` attaches a :class:`SimulatedClock`: every second-level
+    access then advances it by ``io_cost_ns`` plus any injected stall,
+    and backoff sleeps advance it by their delay — giving concurrent
+    service workers a shared notion of simulated elapsed time.  With
+    :meth:`deadline_scope` active on the calling thread, any charge that
+    pushes the clock past the scope's deadline raises
+    :class:`~repro.core.errors.DeadlineExceededError` — the mechanism
+    that lets a query be abandoned *mid-I/O* instead of blocking.
     """
 
     io_cost_ns: int = DEFAULT_IO_COST_NS
     cache_blocks: int = 0
     injector: "FaultInjector | None" = None
+    clock: "SimulatedClock | None" = None
     max_read_retries: int = DEFAULT_MAX_RETRIES
     backoff_base_ns: int = DEFAULT_BACKOFF_BASE_NS
     backoff_cap_ns: int = DEFAULT_BACKOFF_CAP_NS
@@ -132,7 +212,47 @@ class StorageEnv:
     _cache: "OrderedDict[object, None]" = field(
         default_factory=OrderedDict, repr=False
     )
+    _cache_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
     _blobs: "dict[str, bytes]" = field(default_factory=dict, repr=False)
+    _blob_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _local: threading.local = field(
+        default_factory=threading.local, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    # simulated time & deadlines
+    # ------------------------------------------------------------------
+    def _charge(self, ns: int) -> None:
+        """Advance the simulated clock and enforce the thread's deadline."""
+        if self.clock is None:
+            return
+        now = self.clock.advance(ns)
+        deadline = getattr(self._local, "deadline_ns", None)
+        if deadline is not None and now > deadline:
+            raise DeadlineExceededError(
+                f"simulated clock {now} ns passed deadline {deadline} ns"
+            )
+
+    @contextmanager
+    def deadline_scope(self, deadline_ns: "int | None"):
+        """Install a per-thread absolute deadline on the simulated clock.
+
+        Inside the scope, any :meth:`read` / backoff / blob read whose
+        simulated-time charge pushes the shared clock past
+        ``deadline_ns`` raises :class:`DeadlineExceededError` on this
+        thread only.  ``None`` is a no-op scope (no budget).  Scopes
+        nest; the inner scope wins until it exits.
+        """
+        prev = getattr(self._local, "deadline_ns", None)
+        self._local.deadline_ns = deadline_ns
+        try:
+            yield
+        finally:
+            self._local.deadline_ns = prev
 
     # ------------------------------------------------------------------
     # second-level (data) reads and writes
@@ -152,27 +272,38 @@ class StorageEnv:
         TransientIOError
             When the injector decides this read fails; use
             :meth:`read_with_retry` for the standard retry policy.
+        DeadlineExceededError
+            When a clock is attached and this read's simulated cost
+            pushes it past the calling thread's :meth:`deadline_scope`.
+            The read has already been counted — the data arrived, just
+            too late to matter.
         """
         if self.cache_blocks > 0 and block is not None:
-            if block in self._cache:
-                self._cache.move_to_end(block)
-                self.stats.cache_hits += 1
-                return
+            with self._cache_lock:
+                if block in self._cache:
+                    self._cache.move_to_end(block)
+                    self.stats.bump(cache_hits=1)
+                    return
+        extra_ns = 0
         if self.injector is not None:
             try:
                 self.injector.check_read("second-level read")
             except TransientIOError:
-                self.stats.transient_faults += 1
+                self.stats.bump(transient_faults=1)
                 raise
+            extra_ns = self.injector.read_latency_ns("second-level read")
         if self.cache_blocks > 0 and block is not None:
-            self._cache[block] = None
-            if len(self._cache) > self.cache_blocks:
-                self._cache.popitem(last=False)
-        self.stats.reads += 1
+            with self._cache_lock:
+                self._cache[block] = None
+                if len(self._cache) > self.cache_blocks:
+                    self._cache.popitem(last=False)
         if useful:
-            self.stats.useful_reads += 1
+            self.stats.bump(reads=1, useful_reads=1)
         else:
-            self.stats.wasted_reads += 1
+            self.stats.bump(reads=1, wasted_reads=1)
+        if extra_ns:
+            self.stats.bump(slow_reads=1, slow_read_ns=extra_ns)
+        self._charge(self.io_cost_ns + extra_ns)
 
     def read_with_retry(
         self, useful: bool, block: object | None = None
@@ -202,8 +333,7 @@ class StorageEnv:
         ``entries`` feeds the write-amplification accounting: the total
         entries (re)written across all flushes and compactions.
         """
-        self.stats.writes += 1
-        self.stats.entries_written += entries
+        self.stats.bump(writes=1, entries_written=entries)
 
     # ------------------------------------------------------------------
     # blob store (persisted filter images)
@@ -221,11 +351,12 @@ class StorageEnv:
         if self.injector is not None:
             stored, fault = self.injector.mangle_write(stored)
             if fault == "torn":
-                self.stats.torn_writes += 1
+                self.stats.bump(torn_writes=1)
             elif fault == "flip":
-                self.stats.bit_flips += 1
-        self._blobs[name] = stored
-        self.stats.blob_writes += 1
+                self.stats.bump(bit_flips=1)
+        with self._blob_lock:
+            self._blobs[name] = stored
+        self.stats.bump(blob_writes=1)
         return len(stored)
 
     def get_blob(self, name: str) -> bytes:
@@ -239,16 +370,23 @@ class StorageEnv:
             When no blob of that name exists (a lost write is
             corruption, not a retryable condition).
         """
+        extra_ns = 0
         if self.injector is not None:
             try:
                 self.injector.check_read(f"blob read {name!r}")
             except TransientIOError:
-                self.stats.transient_faults += 1
+                self.stats.bump(transient_faults=1)
                 raise
-        if name not in self._blobs:
-            raise FilterCorruptionError(f"blob {name!r} does not exist")
-        self.stats.blob_reads += 1
-        return self._blobs[name]
+            extra_ns = self.injector.read_latency_ns(f"blob read {name!r}")
+        with self._blob_lock:
+            if name not in self._blobs:
+                raise FilterCorruptionError(f"blob {name!r} does not exist")
+            data = self._blobs[name]
+        self.stats.bump(blob_reads=1)
+        if extra_ns:
+            self.stats.bump(slow_reads=1, slow_read_ns=extra_ns)
+        self._charge(self.io_cost_ns + extra_ns)
+        return data
 
     def get_blob_with_retry(self, name: str) -> bytes:
         """:meth:`get_blob` under the standard retry/backoff policy."""
@@ -268,13 +406,15 @@ class StorageEnv:
     def _backoff(self, attempt: int) -> None:
         """Charge one capped-exponential backoff sleep to simulated time."""
         delay = min(self.backoff_base_ns << attempt, self.backoff_cap_ns)
-        self.stats.retries += 1
-        self.stats.backoff_ns += delay
+        self.stats.bump(retries=1, backoff_ns=delay)
+        self._charge(delay)
 
     def simulated_io_seconds(self) -> float:
         """Total simulated second-level latency so far (incl. backoff)."""
         return (
-            self.stats.reads * self.io_cost_ns + self.stats.backoff_ns
+            self.stats.reads * self.io_cost_ns
+            + self.stats.backoff_ns
+            + self.stats.slow_read_ns
         ) * 1e-9
 
     def overall_seconds(self, filter_seconds: float) -> float:
@@ -290,4 +430,5 @@ class StorageEnv:
         counted exactly once after it).
         """
         self.stats.reset()
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()

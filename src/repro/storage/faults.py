@@ -3,7 +3,7 @@
 The chaos harness needs the storage substrate to *misbehave on demand*
 — and reproducibly, so a failing property-test case shrinks to a seed.
 :class:`FaultInjector` is the single source of misbehaviour, plugged
-into :class:`~repro.storage.env.StorageEnv`.  Three fault types, matching
+into :class:`~repro.storage.env.StorageEnv`.  Four fault types, matching
 what real disks and object stores do:
 
 * **transient read errors** — the read raises
@@ -13,6 +13,11 @@ what real disks and object stores do:
   a random byte; detected later by length/CRC checks at load time.
 * **bit flips** — one random bit of a persisted blob is inverted at
   rest (written damaged); detected by the v2 CRC32 at load time.
+* **slow reads** — the read succeeds but costs extra *simulated*
+  latency (``slow_read_ns``), the storage-side stall that deadline
+  budgets and the serving layer's circuit breaker exist to absorb.  A
+  slow read is correct data arriving late, so it is charged to the
+  simulated clock rather than raised.
 
 Two triggering modes compose:
 
@@ -30,6 +35,7 @@ The injector only *decides and mutates*; all counting lives in
 from __future__ import annotations
 
 import random
+import threading
 
 from repro.core.errors import TransientIOError
 
@@ -51,6 +57,12 @@ class FaultInjector:
         Probability that a blob write is truncated at a random byte.
     bit_flip_p:
         Probability that a blob write lands with one random bit flipped.
+    slow_read_p:
+        Probability that any one second-level or blob read succeeds but
+        costs ``slow_read_ns`` extra simulated latency.
+    slow_read_ns:
+        Extra simulated nanoseconds charged per slow read (default 50 ms
+        — a deep queue or a degraded disk, not a refusal).
     """
 
     def __init__(
@@ -60,25 +72,37 @@ class FaultInjector:
         transient_read_p: float = 0.0,
         torn_write_p: float = 0.0,
         bit_flip_p: float = 0.0,
+        slow_read_p: float = 0.0,
+        slow_read_ns: int = 50_000_000,
     ) -> None:
         for name, p in (
             ("transient_read_p", transient_read_p),
             ("torn_write_p", torn_write_p),
             ("bit_flip_p", bit_flip_p),
+            ("slow_read_p", slow_read_p),
         ):
             if not 0.0 <= p <= 1.0:
                 raise ValueError(f"{name} must be in [0, 1], got {p}")
+        if slow_read_ns < 0:
+            raise ValueError(f"slow_read_ns must be >= 0, got {slow_read_ns}")
         self.seed = seed
         self.transient_read_p = transient_read_p
         self.torn_write_p = torn_write_p
         self.bit_flip_p = bit_flip_p
+        self.slow_read_p = slow_read_p
+        self.slow_read_ns = slow_read_ns
         self._rng = random.Random(seed)
+        # The injector is shared by every worker of a concurrent service;
+        # the PRNG and armed counters must not be torn by racing reads.
+        self._lock = threading.Lock()
         # Armed faults: (skip, count) — skip ops pass unharmed, then
         # `count` consecutive ops fault.
         self._armed_transient_after = 0
         self._armed_transient = 0
         self._armed_torn = 0
         self._armed_flip = 0
+        self._armed_slow_after = 0
+        self._armed_slow = 0
 
     # ------------------------------------------------------------------
     # arming (deterministic single faults for regression tests)
@@ -103,21 +127,54 @@ class FaultInjector:
         """Flip one random bit in each of the next ``count`` blob writes."""
         self._armed_flip = count
 
+    def arm_slow_reads(self, count: int = 1, *, after: int = 0) -> None:
+        """Make the next ``count`` reads slow, skipping ``after`` first.
+
+        Each armed slow read charges ``slow_read_ns`` of simulated
+        latency exactly once — the deterministic analogue of
+        ``slow_read_p`` for regression tests ("the third read stalls").
+        """
+        if count < 0 or after < 0:
+            raise ValueError("count and after must be non-negative")
+        self._armed_slow_after = after
+        self._armed_slow = count
+
     # ------------------------------------------------------------------
     # decision points (called by StorageEnv)
     # ------------------------------------------------------------------
     def check_read(self, what: str = "read") -> None:
         """Raise :class:`TransientIOError` if this read should fail."""
-        if self._armed_transient_after > 0:
-            self._armed_transient_after -= 1
-        elif self._armed_transient > 0:
-            self._armed_transient -= 1
-            raise TransientIOError(f"injected transient fault on {what}")
-        elif (
-            self.transient_read_p
-            and self._rng.random() < self.transient_read_p
-        ):
-            raise TransientIOError(f"injected transient fault on {what}")
+        with self._lock:
+            if self._armed_transient_after > 0:
+                self._armed_transient_after -= 1
+                return
+            if self._armed_transient > 0:
+                self._armed_transient -= 1
+                raise TransientIOError(f"injected transient fault on {what}")
+            if (
+                self.transient_read_p
+                and self._rng.random() < self.transient_read_p
+            ):
+                raise TransientIOError(f"injected transient fault on {what}")
+
+    def read_latency_ns(self, what: str = "read") -> int:
+        """Extra simulated latency for this read (0 when it is not slow).
+
+        Called by :class:`~repro.storage.env.StorageEnv` after a read is
+        allowed to succeed; the env charges the returned nanoseconds to
+        the simulated clock and counts the stall in
+        ``stats.slow_reads`` / ``stats.slow_read_ns``.
+        """
+        with self._lock:
+            if self._armed_slow_after > 0:
+                self._armed_slow_after -= 1
+                return 0
+            if self._armed_slow > 0:
+                self._armed_slow -= 1
+                return self.slow_read_ns
+            if self.slow_read_p and self._rng.random() < self.slow_read_p:
+                return self.slow_read_ns
+        return 0
 
     def mangle_write(self, data: bytes) -> "tuple[bytes, str | None]":
         """Possibly damage a blob about to be persisted.
@@ -128,29 +185,31 @@ class FaultInjector:
         uniformly chosen bit.  At most one fault per write, torn taking
         precedence, so counters stay attributable.
         """
-        if self._armed_torn > 0:
-            self._armed_torn -= 1
-            torn = True
-        else:
-            torn = bool(
-                self.torn_write_p and self._rng.random() < self.torn_write_p
-            )
-        if torn and len(data) > 0:
-            cut = self._rng.randrange(len(data))
-            return data[:cut], "torn"
-        if self._armed_flip > 0:
-            self._armed_flip -= 1
-            flip = True
-        else:
-            flip = bool(
-                self.bit_flip_p and self._rng.random() < self.bit_flip_p
-            )
-        if flip and len(data) > 0:
-            bit = self._rng.randrange(len(data) * 8)
-            damaged = bytearray(data)
-            damaged[bit // 8] ^= 1 << (bit % 8)
-            return bytes(damaged), "flip"
-        return data, None
+        with self._lock:
+            if self._armed_torn > 0:
+                self._armed_torn -= 1
+                torn = True
+            else:
+                torn = bool(
+                    self.torn_write_p
+                    and self._rng.random() < self.torn_write_p
+                )
+            if torn and len(data) > 0:
+                cut = self._rng.randrange(len(data))
+                return data[:cut], "torn"
+            if self._armed_flip > 0:
+                self._armed_flip -= 1
+                flip = True
+            else:
+                flip = bool(
+                    self.bit_flip_p and self._rng.random() < self.bit_flip_p
+                )
+            if flip and len(data) > 0:
+                bit = self._rng.randrange(len(data) * 8)
+                damaged = bytearray(data)
+                damaged[bit // 8] ^= 1 << (bit % 8)
+                return bytes(damaged), "flip"
+            return data, None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

@@ -3,11 +3,20 @@
 A simple sorted-array memtable: O(log n) lookups, O(n) inserts (fine at
 memtable sizes), O(log n + k) range scans.  Deletes are tombstones so they
 survive the flush and shadow older SSTable entries, as in any LSM-tree.
+
+Thread safety: every operation holds the memtable's own lock, and the
+iteration methods (``items`` / ``range_items``) snapshot under it before
+yielding — a writer racing a reader can therefore never tear the paired
+key/value arrays or invalidate an in-progress scan.  The LSM-tree
+additionally freezes memtables at flush time (the active buffer is
+swapped for a fresh one), so a frozen memtable is immutable by
+construction and reads on it are contention-free.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from typing import Any, Iterator
 
 __all__ = ["MemTable", "TOMBSTONE"]
@@ -32,6 +41,7 @@ class MemTable:
         self.capacity = capacity
         self._keys: list[int] = []
         self._values: list[Any] = []
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._keys)
@@ -42,12 +52,13 @@ class MemTable:
 
     def put(self, key: int, value: Any) -> None:
         """Insert or overwrite ``key``."""
-        i = bisect.bisect_left(self._keys, key)
-        if i < len(self._keys) and self._keys[i] == key:
-            self._values[i] = value
-        else:
-            self._keys.insert(i, key)
-            self._values.insert(i, value)
+        with self._lock:
+            i = bisect.bisect_left(self._keys, key)
+            if i < len(self._keys) and self._keys[i] == key:
+                self._values[i] = value
+            else:
+                self._keys.insert(i, key)
+                self._values.insert(i, value)
 
     def delete(self, key: int) -> None:
         """Mark ``key`` deleted (tombstone)."""
@@ -55,27 +66,34 @@ class MemTable:
 
     def get(self, key: int) -> tuple[bool, Any]:
         """``(found, value)``; a tombstone counts as found with TOMBSTONE."""
-        i = bisect.bisect_left(self._keys, key)
-        if i < len(self._keys) and self._keys[i] == key:
-            return True, self._values[i]
-        return False, None
+        with self._lock:
+            i = bisect.bisect_left(self._keys, key)
+            if i < len(self._keys) and self._keys[i] == key:
+                return True, self._values[i]
+            return False, None
 
     def range_items(self, lo: int, hi: int) -> Iterator[tuple[int, Any]]:
         """All (key, value) pairs with ``lo <= key <= hi``, ascending.
 
         Tombstones are yielded too; the LSM read path filters them after
-        merging across levels.
+        merging across levels.  The matching slice is copied under the
+        lock, so the iterator is immune to concurrent inserts.
         """
-        i = bisect.bisect_left(self._keys, lo)
-        while i < len(self._keys) and self._keys[i] <= hi:
-            yield self._keys[i], self._values[i]
-            i += 1
+        with self._lock:
+            left = bisect.bisect_left(self._keys, lo)
+            right = bisect.bisect_right(self._keys, hi)
+            pairs = list(
+                zip(self._keys[left:right], self._values[left:right])
+            )
+        return iter(pairs)
 
     def items(self) -> Iterator[tuple[int, Any]]:
-        """All pairs in key order (used by flush)."""
-        return iter(zip(self._keys, self._values))
+        """All pairs in key order (used by flush); a consistent snapshot."""
+        with self._lock:
+            return iter(list(zip(self._keys, self._values)))
 
     def clear(self) -> None:
         """Drop all entries (after a flush)."""
-        self._keys.clear()
-        self._values.clear()
+        with self._lock:
+            self._keys.clear()
+            self._values.clear()

@@ -26,10 +26,25 @@ served) and triggers a rebuild from the keys — immediately, or deferred
 to :meth:`rebuild_filter` so the degraded window is observable.
 ``filter_state`` tracks the machine: ``live → persisted``,
 ``persisted → loaded | degraded``, ``degraded → rebuilt``.
+
+Concurrency
+-----------
+The key/value payload is immutable, so reads need no lock; the only
+mutable state is the *filter slot* (``filter`` / ``filter_state`` /
+``filter_generation``), which recovery and background rebuilds swap
+while queries are in flight.  Every query path therefore reads
+``self.filter`` exactly once into a local (a torn "check then probe"
+pair is the one way a swap could crash a reader), and every transition
+happens atomically under ``_state_lock`` with ``filter_generation``
+bumped — so an in-flight query sees either the old filter or the new
+one, both of which answer one-sidedly, and never a half-swapped state.
+A table whose slot is ``None`` (mid-``degraded``, or between drop and
+rebuild) is all-positive: correct, just unfiltered.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Callable, Iterable, Sequence
 
 import numpy as np
@@ -74,6 +89,11 @@ class SSTable:
             filter_factory(self.keys) if filter_factory and len(keys) else None
         )
         self.filter_state = "live" if self.filter is not None else "none"
+        #: Bumped on every atomic filter-slot swap (persist / degrade /
+        #: reload / rebuild); epoch-pinned readers use it to tell which
+        #: filter answered them.
+        self.filter_generation = 0
+        self._state_lock = threading.RLock()
         self.manifest_record: ManifestRecord | None = None
         SSTable._counter += 1
         self.table_id = SSTable._counter
@@ -95,7 +115,8 @@ class SSTable:
         """Filter-guarded point read: ``(found, value)``."""
         if not self.overlaps(key, key):
             return False, None
-        if self.filter is not None and not self.filter.query_point(key):
+        filt = self.filter  # one read: a concurrent swap can't tear it
+        if filt is not None and not filt.query_point(key):
             return False, None
         i = int(np.searchsorted(self.keys, np.uint64(key)))
         found = i < len(self.keys) and int(self.keys[i]) == key
@@ -106,7 +127,8 @@ class SSTable:
         """Filter-guarded range read, ascending (may include tombstones)."""
         if not self.overlaps(lo, hi):
             return []
-        if self.filter is not None and not self.filter.query_range(lo, hi):
+        filt = self.filter  # one read: a concurrent swap can't tear it
+        if filt is not None and not filt.query_range(lo, hi):
             return []
         left = int(np.searchsorted(self.keys, np.uint64(lo), side="left"))
         right = int(np.searchsorted(self.keys, np.uint64(hi), side="right"))
@@ -132,9 +154,10 @@ class SSTable:
             (keys >= np.uint64(self.min_key))
             & (keys <= np.uint64(self.max_key))
         )
-        if cand.size and self.filter is not None:
+        filt = self.filter  # one read: a concurrent swap can't tear it
+        if cand.size and filt is not None:
             ok = np.asarray(
-                self.filter.query_point_many(keys[cand]), dtype=bool
+                filt.query_point_many(keys[cand]), dtype=bool
             )
             cand = cand[ok]
         if cand.size == 0:
@@ -169,8 +192,9 @@ class SSTable:
             for q, (lo, hi) in enumerate(pairs)
             if not (hi < self.min_key or lo > self.max_key)
         ]
-        if cand and self.filter is not None:
-            ok = self.filter.query_many([pairs[q] for q in cand])
+        filt = self.filter  # one read: a concurrent swap can't tear it
+        if cand and filt is not None:
+            ok = filt.query_many([pairs[q] for q in cand])
             cand = [q for q, good in zip(cand, ok) if good]
         if not cand:
             return out
@@ -201,23 +225,28 @@ class SSTable:
         """
         from repro.core.serialize import checksum, dumps
 
-        if self.filter is None:
-            raise ValueError(f"SSTable {self.table_id} has no filter to persist")
-        blob = dumps(self.filter)
-        name = f"filter-{self.table_id}"
-        self.env.put_blob(name, blob)
-        self.manifest_record = ManifestRecord(
-            table_id=self.table_id,
-            blob_name=name,
-            n_entries=len(self.keys),
-            min_key=self.min_key,
-            max_key=self.max_key,
-            filter_class=type(self.filter).__name__,
-            blob_len=len(blob),
-            crc32=checksum(blob),
-        )
-        self.filter_state = "persisted"
-        return self.manifest_record
+        with self._state_lock:
+            filt = self.filter
+            if filt is None:
+                raise ValueError(
+                    f"SSTable {self.table_id} has no filter to persist"
+                )
+            blob = dumps(filt)
+            name = f"filter-{self.table_id}"
+            self.env.put_blob(name, blob)
+            self.manifest_record = ManifestRecord(
+                table_id=self.table_id,
+                blob_name=name,
+                n_entries=len(self.keys),
+                min_key=self.min_key,
+                max_key=self.max_key,
+                filter_class=type(filt).__name__,
+                blob_len=len(blob),
+                crc32=checksum(blob),
+            )
+            self.filter_state = "persisted"
+            self.filter_generation += 1
+            return self.manifest_record
 
     def reload_filter(self, *, rebuild: str = "immediate") -> str:
         """Restart path: re-read the persisted filter, recover from damage.
@@ -278,16 +307,20 @@ class SSTable:
             # corruption was *detected*.
             return self._recover(rebuild)
         except FilterCorruptionError:
-            self.env.stats.corruptions_detected += 1
+            self.env.stats.bump(corruptions_detected=1)
             return self._recover(rebuild)
-        self.filter = filt
-        self.filter_state = "loaded"
+        with self._state_lock:
+            self.filter = filt
+            self.filter_state = "loaded"
+            self.filter_generation += 1
         return self.filter_state
 
     def _recover(self, rebuild: str) -> str:
         """Degrade to all-positive; rebuild now or leave it deferred."""
-        self.filter = None
-        self.filter_state = "degraded"
+        with self._state_lock:
+            self.filter = None
+            self.filter_state = "degraded"
+            self.filter_generation += 1
         if rebuild == "immediate":
             self.rebuild_filter()
         return self.filter_state
@@ -299,18 +332,27 @@ class SSTable:
         (correct but unfiltered) since the corruption was detected; after
         this they are filtered again.  Counted in
         ``stats.filter_rebuilds``.
+
+        Safe to run concurrently with live queries: the new filter is
+        built off to the side from the immutable keys and swapped into
+        the slot atomically, so an in-flight reader sees either no
+        filter (all-positive) or the finished rebuild — never a
+        half-built structure.
         """
         if self.filter_factory is None or len(self.keys) == 0:
             raise ValueError(
                 f"SSTable {self.table_id} cannot rebuild: no filter factory "
                 "or no keys"
             )
-        self.filter = self.filter_factory(self.keys)
-        self.env.stats.filter_rebuilds += 1
-        self.filter_state = "rebuilt"
-        if self.manifest_record is not None:
-            self.persist_filter()
+        rebuilt = self.filter_factory(self.keys)
+        with self._state_lock:
+            self.filter = rebuilt
+            self.env.stats.bump(filter_rebuilds=1)
             self.filter_state = "rebuilt"
+            self.filter_generation += 1
+            if self.manifest_record is not None:
+                self.persist_filter()
+                self.filter_state = "rebuilt"
 
     def scan(self) -> Iterable[tuple[int, Any]]:
         """Full scan (compaction path; not filter-guarded)."""

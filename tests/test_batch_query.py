@@ -198,3 +198,61 @@ def test_lsm_range_query_many_matches_scalar_with_identical_io():
     scalar = [t1.range_query(lo, hi) for lo, hi in ranges]
     assert t2.range_query_many(ranges) == scalar
     assert e1.stats == e2.stats
+
+
+class TestFetchCacheReuse:
+    """A FetchCache reused across batches must never serve stale
+    mini-trees: it records the RBF generation it was filled against and
+    clears itself when the filter has been mutated since (the service's
+    batch path reuses caches across requests, so staleness would be a
+    false negative — the one error class this codebase forbids)."""
+
+    def _enc(self, keys):
+        return REncoder(
+            np.array(sorted(keys), dtype=np.uint64),
+            64 * len(keys),
+            key_bits=KEY_BITS,
+        )
+
+    def test_reused_cache_sees_post_insert_keys(self):
+        enc = self._enc([100])
+        cache = FetchCache()
+        # Fill the cache with mini-trees proving 200 is absent...
+        assert not enc.query_range_many([(200, 200)], cache=cache)[0]
+        # ...then mutate the filter and ask again through the same cache.
+        enc.insert(200)
+        assert enc.query_range_many([(200, 200)], cache=cache)[0], (
+            "stale cached mini-tree produced a false negative"
+        )
+        assert enc.query_point_many([200], cache=cache)[0]
+
+    def test_cache_kept_while_generation_unchanged(self):
+        enc = self._enc([100, 5000])
+        cache = FetchCache()
+        enc.query_range_many([(100, 100), (5000, 5000)], cache=cache)
+        filled = len(cache._groups)
+        enc.query_range_many([(100, 100), (5000, 5000)], cache=cache)
+        assert len(cache._groups) >= filled  # no spurious invalidation
+        assert cache.generation == enc.rbf.generation
+
+    def test_scalar_probe_validates_cache_too(self):
+        """The scalar verify path (``_probe``) also checks generation
+        when handed a long-lived FetchCache (the public scalar API uses
+        a per-call dict, so only this internal path can go stale)."""
+        enc = self._enc([100])
+        cache = FetchCache()
+        assert not enc._verify(300, KEY_BITS, cache)
+        enc.insert(300)
+        assert enc._verify(300, KEY_BITS, cache)
+
+    def test_absorb_drains_cache_stats(self):
+        """Folding cache stats into the filter zeroes them, so a reused
+        cache never double-counts probes/fetches across batches."""
+        enc = self._enc([100, 900])
+        cache = FetchCache()
+        enc.reset_counters()
+        enc.query_range_many([(100, 100)], cache=cache)
+        first = enc.probe_count
+        assert cache.probes == 0 and cache.fetches == 0
+        enc.query_range_many([(900, 900)], cache=cache)
+        assert enc.probe_count > first  # second batch added, not doubled

@@ -234,3 +234,79 @@ class TestBatchFetch:
         rows = rbf.fetch_bt_many(np.arange(50, dtype=np.uint64))
         rows |= np.uint64(1)
         assert (rbf._array == before).all()
+
+
+class TestGenerationAndCounters:
+    """Satellites of the serving PR: generation tracking + thread-safe
+    counters (a reused FetchCache validates against ``generation``; the
+    service's concurrent workers must never lose counter increments)."""
+
+    def test_insert_bumps_generation(self):
+        codec = BitmapTreeCodec(8)
+        rbf = RangeBloomFilter(1 << 16, k=2, group_bits=8)
+        assert rbf.generation == 0
+        rbf.insert_bt(7, _bt(codec, 0x12, 8))
+        assert rbf.generation == 1
+        rbf.insert_bt(7, _bt(codec, 0x34, 8))
+        assert rbf.generation == 2
+
+    def test_bulk_insert_bumps_generation_once(self):
+        codec = BitmapTreeCodec(8)
+        rbf = RangeBloomFilter(1 << 16, k=2, group_bits=8)
+        bt = _bt(codec, 0b1011, 4)
+        nodes = np.nonzero(bt)[0].astype(np.int64)
+        keys = np.array([11, 22, 33], dtype=np.uint64)
+        hash_keys = np.repeat(keys, len(nodes))
+        all_nodes = np.tile(nodes, len(keys))
+        rbf.bulk_insert_nodes(hash_keys, all_nodes)
+        assert rbf.generation == 1  # one structural change, one bump
+        assert rbf.insert_count == len(hash_keys)
+
+    def test_reset_counters_preserves_generation(self):
+        codec = BitmapTreeCodec(8)
+        rbf = RangeBloomFilter(1 << 16, k=2, group_bits=8)
+        rbf.insert_bt(7, _bt(codec, 0x12, 8))
+        rbf.fetch_bt(7)
+        rbf.reset_counters()
+        assert rbf.fetch_count == 0 and rbf.insert_count == 0
+        assert rbf.generation == 1  # counters reset; structure age kept
+
+    def test_copy_preserves_generation(self):
+        codec = BitmapTreeCodec(8)
+        rbf = RangeBloomFilter(1 << 16, k=2, group_bits=8)
+        rbf.insert_bt(7, _bt(codec, 0x12, 8))
+        clone = rbf.copy()
+        assert clone.generation == rbf.generation == 1
+        clone.insert_bt(9, _bt(codec, 0x56, 8))
+        assert clone.generation == 2 and rbf.generation == 1
+
+    def test_counters_exact_under_contention(self):
+        """Concurrent fetches/inserts never lose counter increments."""
+        import threading
+
+        codec = BitmapTreeCodec(8)
+        rbf = RangeBloomFilter(1 << 18, k=3, group_bits=8)
+        bt = _bt(codec, 0xA5, 8)
+        rbf.insert_bt(0, bt)
+        per_thread, n_threads = 500, 6
+
+        def fetcher(seed):
+            for i in range(per_thread):
+                rbf.fetch_bt(seed * per_thread + i)
+
+        def inserter(seed):
+            for i in range(per_thread):
+                rbf.insert_bt(seed * per_thread + i, bt)
+
+        threads = [
+            threading.Thread(target=fetcher, args=(s,)) for s in range(3)
+        ] + [
+            threading.Thread(target=inserter, args=(s,)) for s in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert rbf.fetch_count == 3 * per_thread * rbf.k
+        assert rbf.insert_count == 1 + 3 * per_thread
+        assert rbf.generation == 1 + 3 * per_thread

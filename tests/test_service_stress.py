@@ -1,0 +1,204 @@
+"""Chaos stress: the service's one-sided guarantee under concurrent fire.
+
+The scenario the serving layer exists for, all at once:
+
+* several submitter threads pour scalar point, scalar range and batch
+  range queries for *known-present* keys into a small drop-oldest queue
+  with tight deadlines;
+* a writer thread keeps inserting (flushes and compactions swap the
+  tree's structure under live readers);
+* a maintenance thread loops crash recovery with deferred rebuilds
+  (``recover`` drops filters mid-traffic, ``rebuild_degraded`` swaps the
+  replacements in);
+* a seeded :class:`~repro.storage.faults.FaultInjector` fails reads
+  transiently and injects slow reads big enough to blow any deadline.
+
+Through all of it, **every answer for a present key must be positive** —
+served or degraded, scalar or batch.  Shedding, deadline expiry and
+breaker denials are all allowed (and asserted to actually happen, so the
+chaos is known to bite); a single ``False`` for a present key fails the
+suite.
+
+``REPRO_STRESS_SEED`` pins the fault sequence and workload so CI
+failures reproduce; the per-test timeout applies where ``pytest-timeout``
+is installed (CI — the plugin is optional locally).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.service import FilterService
+from repro.storage.env import SimulatedClock, StorageEnv
+from repro.storage.faults import FaultInjector
+from repro.storage.lsm import LSMTree
+
+try:  # pragma: no cover - environment-dependent
+    import pytest_timeout  # noqa: F401
+
+    pytestmark = pytest.mark.timeout(120)
+except ImportError:  # plugin not installed locally; CI installs it
+    pytestmark = []
+
+STRESS_SEED = int(os.environ.get("REPRO_STRESS_SEED", 20230713))
+MS = 1_000_000
+
+#: Present keys are even numbers below this; the writer inserts above it,
+#: so the probed truth never changes while the tree churns.
+PRESENT_LIMIT = 6_000
+WRITER_BASE = 1_000_000
+
+
+def _build(injector=None):
+    env = StorageEnv(clock=SimulatedClock(), injector=injector)
+    lsm = LSMTree(
+        lambda ks: REncoder(ks, bits_per_key=12),
+        memtable_capacity=256,
+        policy="tiering",
+        env=env,
+        persist_filters=True,
+    )
+    for k in range(0, PRESENT_LIMIT, 2):
+        lsm.put(k, k & 0xFF)
+    lsm.flush()
+    return lsm
+
+
+def test_zero_false_negatives_under_chaos():
+    injector = FaultInjector(
+        STRESS_SEED,
+        transient_read_p=0.05,
+        slow_read_p=0.2,
+        slow_read_ns=100 * MS,  # one slow read out-budgets any deadline
+    )
+    lsm = _build(injector)
+    present = list(range(0, PRESENT_LIMIT, 2))
+    stop = threading.Event()
+    background_errors: list[BaseException] = []
+
+    def writer():
+        k = WRITER_BASE
+        try:
+            while not stop.is_set():
+                for _ in range(64):
+                    lsm.put(k, k & 0xFF)
+                    k += 2
+        except BaseException as exc:  # pragma: no cover - failure path
+            background_errors.append(exc)
+
+    def maintainer():
+        try:
+            while not stop.is_set():
+                lsm.recover(rebuild="deferred")
+                lsm.rebuild_degraded()
+        except BaseException as exc:  # pragma: no cover - failure path
+            background_errors.append(exc)
+
+    threads = [
+        threading.Thread(target=writer, name="chaos-writer"),
+        threading.Thread(target=maintainer, name="chaos-maintainer"),
+    ]
+    futures = []
+    futures_lock = threading.Lock()
+
+    svc = FilterService(
+        lsm,
+        workers=4,
+        queue_depth=8,
+        shed_policy="drop-oldest",
+        default_deadline_ns=20 * MS,
+    )
+
+    def submitter(seed):
+        import random
+
+        rng = random.Random(seed)
+        local = []
+        try:
+            for i in range(120):
+                k = rng.choice(present)
+                if i % 3 == 0:
+                    local.append(("point", k, svc.submit_point(k)))
+                elif i % 3 == 1:
+                    local.append(("range", k, svc.submit_range(k, k + 1)))
+                else:
+                    ks = [rng.choice(present) for _ in range(4)]
+                    local.append(
+                        (
+                            "batch",
+                            ks,
+                            svc.submit_range_batch([(x, x + 1) for x in ks]),
+                        )
+                    )
+        except BaseException as exc:  # pragma: no cover - failure path
+            background_errors.append(exc)
+        with futures_lock:
+            futures.extend(local)
+
+    with svc:
+        for t in threads:
+            t.start()
+        submitters = [
+            threading.Thread(target=submitter, args=(STRESS_SEED + i,))
+            for i in range(3)
+        ]
+        for t in submitters:
+            t.start()
+        for t in submitters:
+            t.join()
+        # Wait for every answer while the chaos is still running.
+        for _, _, future in futures:
+            future.result(timeout=60)
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+    assert not background_errors, background_errors
+    assert all(not t.is_alive() for t in threads)
+
+    # The headline: zero false negatives, scalar and batch alike.
+    for kind, _key, future in futures:
+        response = future.result()
+        if kind == "batch":
+            assert all(response.positive), (
+                f"false negative in batch (reason={response.reason})"
+            )
+        else:
+            assert response.positive is True, (
+                f"false negative on {kind} (reason={response.reason})"
+            )
+
+    # Accounting closes: every settled answer is counted exactly once.
+    stats = svc.stats
+    assert stats.completed == len(futures)
+    assert stats.completed == stats.ok + stats.degraded + stats.shed
+    # The chaos must actually have bitten — otherwise this test proves
+    # nothing about degraded paths.
+    assert stats.degraded + stats.shed > 0, "chaos never degraded anything"
+    assert lsm.env.stats.slow_reads > 0, "no slow reads were injected"
+    assert not lsm.active_pins(), "a reader left its epoch pinned"
+
+
+def test_batch_scalar_parity_after_chaos():
+    """Once the storm passes, served answers match ground truth exactly."""
+    injector = FaultInjector(STRESS_SEED + 7, transient_read_p=0.3)
+    lsm = _build(injector)
+    # Chaos phase: recovery under heavy transient faults leaves a mix of
+    # loaded/degraded filters; rebuild everything back to health.
+    lsm.recover(rebuild="deferred")
+    injector.transient_read_p = 0.0
+    lsm.rebuild_degraded()
+
+    probes = [(k, k + 1) for k in range(0, 200, 2)]
+    probes += [(k, k) for k in range(1, 200, 2)]  # absent singletons
+    truth = [bool(lsm.range_query(lo, hi)) for lo, hi in probes]
+    with FilterService(
+        lsm, workers=3, queue_depth=0, default_deadline_ns=None
+    ) as svc:
+        batch = svc.query_range_batch(probes)
+        scalars = [svc.query_range(lo, hi) for lo, hi in probes]
+    assert not batch.degraded and batch.positive == truth
+    assert [r.positive for r in scalars] == truth
