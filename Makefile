@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test bench bench-smoke bench-faults bench-overload chaos serve-stress report examples clean
+.PHONY: install test bench bench-smoke bench-faults bench-overload bench-telemetry trace-smoke chaos serve-stress report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -27,6 +27,18 @@ bench-faults:
 # BENCH_overload.json (asserts bounded p99 + zero false negatives).
 bench-overload:
 	python benchmarks/bench_overload.py --preset smoke
+
+# Telemetry overhead on the 64-wide batch-query micro-bench; writes
+# BENCH_telemetry.json (asserts tracing-on overhead < 10%).
+bench-telemetry:
+	python benchmarks/bench_telemetry.py --preset smoke
+
+# One traced range query through the full service stack: prints the
+# span tree (queue wait, per-SSTable probes, RBF fetches) and a JSON
+# rollup — the observability smoke test.
+trace-smoke:
+	python -m repro trace-query --n-keys 5000
+	python -m repro metrics-dump --queries 50 --format prom | head -20
 
 # Fault-injection chaos suite: torn writes, bit flips, transient reads;
 # REPRO_CHAOS_SEED pins the fault sequence (CI uses 20230713).

@@ -21,9 +21,10 @@ import time
 
 import numpy as np
 
-from common import batch_rows, record, write_bench_json
+from common import batch_rows, publish
 
 from repro.bench.metrics import run_batch_filter, run_filter
+from repro.telemetry.profiler import profile_phase
 from repro.core.rencoder import REncoder
 from repro.workloads.datasets import generate_keys
 from repro.workloads.queries import (
@@ -60,9 +61,10 @@ def run_bench(preset: str, seed: int = 1) -> dict:
     """Build the filter, time scalar vs batch, return the JSON payload."""
     cfg = PRESETS[preset]
     keys = generate_keys(cfg["n_keys"], "uniform", seed=seed)
-    t0 = time.perf_counter()
-    filt = REncoder(keys, total_bits=BPK * len(keys))
-    build_seconds = time.perf_counter() - t0
+    with profile_phase("build"):
+        t0 = time.perf_counter()
+        filt = REncoder(keys, total_bits=BPK * len(keys))
+        build_seconds = time.perf_counter() - t0
     queries = uniform_range_queries(
         keys, cfg["n_queries"], min_size=WIDTH, max_size=WIDTH, seed=seed + 1
     )
@@ -70,24 +72,30 @@ def run_bench(preset: str, seed: int = 1) -> dict:
     # Scalar baseline on a subset (the loop is the slow side), batch on
     # the whole workload; equivalence asserted on the shared subset.
     subset = queries[: cfg["n_scalar"]]
-    scalar_run = run_filter(filt, subset, build_seconds=build_seconds)
-    scalar_answers = [filt.query_range(lo, hi) for lo, hi in subset]
-    batch_run = run_batch_filter(filt, queries, build_seconds=build_seconds)
-    batch_answers = filt.query_many(queries)
+    with profile_phase("scalar"):
+        scalar_run = run_filter(filt, subset, build_seconds=build_seconds)
+        scalar_answers = [filt.query_range(lo, hi) for lo, hi in subset]
+    with profile_phase("batch"):
+        batch_run = run_batch_filter(filt, queries, build_seconds=build_seconds)
+        batch_answers = filt.query_many(queries)
     equivalent = batch_answers[: len(subset)] == scalar_answers
     speedup = batch_run.filter_kqps / scalar_run.filter_kqps
 
     hit_rates = {"uniform": batch_run.cache_hit_rate}
-    for name, wl in (
-        (
-            "correlated",
-            correlated_range_queries(
-                keys, cfg["n_scalar"], max_size=WIDTH, seed=seed + 2
+    with profile_phase("cache-workloads"):
+        for name, wl in (
+            (
+                "correlated",
+                correlated_range_queries(
+                    keys, cfg["n_scalar"], max_size=WIDTH, seed=seed + 2
+                ),
             ),
-        ),
-        ("adjacent", adjacent_range_queries(keys, cfg["n_scalar"], seed=seed + 3)),
-    ):
-        hit_rates[name] = run_batch_filter(filt, wl).cache_hit_rate
+            (
+                "adjacent",
+                adjacent_range_queries(keys, cfg["n_scalar"], seed=seed + 3),
+            ),
+        ):
+            hit_rates[name] = run_batch_filter(filt, wl).cache_hit_rate
 
     payload = {
         "preset": preset,
@@ -120,8 +128,13 @@ def run_bench(preset: str, seed: int = 1) -> dict:
 
 def _finish(payload: dict, benchmark=None) -> dict:
     scalar_run, batch_run = payload.pop("_runs")
-    record(benchmark, "batch_query", batch_rows([scalar_run, batch_run]))
-    write_bench_json("BENCH_batch_query.json", payload)
+    publish(
+        benchmark,
+        "batch_query",
+        batch_rows([scalar_run, batch_run]),
+        "BENCH_batch_query.json",
+        payload,
+    )
     assert payload["equivalent"], "batch answers diverged from scalar"
     assert payload["speedup"] >= 5.0, (
         f"batch speedup {payload['speedup']}x below the 5x target"

@@ -22,7 +22,7 @@ import sys
 
 import numpy as np
 
-from common import record, write_bench_json
+from common import publish
 
 from repro.bench.metrics import run_recovery
 from repro.core.rencoder import REncoder
@@ -154,12 +154,13 @@ def _rows(runs) -> str:
 
 def _finish(payload: dict, benchmark=None) -> dict:
     baseline, recovery = payload.pop("_runs")
-    record(
+    publish(
         benchmark,
         "fault_recovery",
         _rows([("clean", baseline), ("faulted", recovery)]),
+        "BENCH_fault_recovery.json",
+        payload,
     )
-    write_bench_json("BENCH_fault_recovery.json", payload)
     assert payload["zero_false_negatives"]
     assert payload["filters_rebuilt"] > 0, "fault mix damaged no blobs"
     assert (

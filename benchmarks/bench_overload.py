@@ -32,7 +32,7 @@ import sys
 
 import numpy as np
 
-from common import record, write_bench_json
+from common import publish
 
 from repro.bench.metrics import run_service_load
 from repro.core.rencoder import REncoder
@@ -285,8 +285,7 @@ def _rows(runs) -> str:
 
 def _finish(payload: dict, benchmark=None) -> dict:
     runs = payload.pop("_runs")
-    record(benchmark, "overload", _rows(runs))
-    write_bench_json("BENCH_overload.json", payload)
+    publish(benchmark, "overload", _rows(runs), "BENCH_overload.json", payload)
     assert payload["zero_false_negatives"]
     return payload
 

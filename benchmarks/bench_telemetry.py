@@ -1,0 +1,148 @@
+"""Telemetry overhead: the disabled fast path must stay under 10 %.
+
+The instrumentation contract (DESIGN.md §9) is that every hot-path hook
+— ``current_span()`` in the probe loops, ``child_span()`` around the
+storage reads, the ``Instrumented`` gauges — costs one global load and
+one attribute check when tracing is off.  This bench measures that
+claim on the 64-wide batch-query micro-bench (the same workload as
+``bench_batch_query``): ``query_many`` with the tracer disabled versus
+enabled with an open root span (the worst case: every probe batch
+accumulates span metrics).
+
+The **off** run is the shipping configuration, so the assertion is on
+*enabled* overhead: tracing a query may not inflate its wall time by
+more than ``OVERHEAD_BUDGET`` (10 %).  Both sides take the best of
+``rounds`` to shave scheduler noise.
+
+Run as a script (``python benchmarks/bench_telemetry.py``) or via
+pytest-benchmark; both write ``BENCH_telemetry.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from common import publish
+
+from repro.core.rencoder import REncoder
+from repro.telemetry.tracing import get_tracer
+from repro.workloads.datasets import generate_keys
+from repro.workloads.queries import uniform_range_queries
+
+#: ``smoke`` fits the CI budget; ``full`` is the acceptance scale.
+PRESETS = {
+    "smoke": dict(n_keys=100_000, n_queries=20_000, rounds=5),
+    "full": dict(n_keys=1_000_000, n_queries=100_000, rounds=5),
+}
+BPK = 10
+WIDTH = 64
+OVERHEAD_BUDGET = 0.10
+
+
+def _time_query_many(filt, queries, rounds: int) -> float:
+    """Best-of-``rounds`` wall seconds for one ``query_many`` sweep."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        filt.query_many(queries)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_bench(preset: str, seed: int = 1) -> dict:
+    """Time the batch engine with tracing off vs on; return the payload."""
+    cfg = PRESETS[preset]
+    keys = generate_keys(cfg["n_keys"], "uniform", seed=seed)
+    filt = REncoder(keys, total_bits=BPK * len(keys))
+    queries = uniform_range_queries(
+        keys, cfg["n_queries"], min_size=WIDTH, max_size=WIDTH, seed=seed + 1
+    )
+
+    tracer = get_tracer()
+    tracer.disable()
+    filt.query_many(queries)  # warm the caches once before either side
+    off_seconds = _time_query_many(filt, queries, cfg["rounds"])
+
+    tracer.enable()
+    try:
+        with tracer.span("bench_telemetry"):
+            on_seconds = _time_query_many(filt, queries, cfg["rounds"])
+    finally:
+        tracer.disable()
+
+    overhead = on_seconds / off_seconds - 1.0
+    return {
+        "preset": preset,
+        "n_keys": cfg["n_keys"],
+        "bits_per_key": BPK,
+        "range_width": WIDTH,
+        "n_queries": cfg["n_queries"],
+        "rounds": cfg["rounds"],
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "off_kqps": round(cfg["n_queries"] / off_seconds / 1e3, 1),
+        "on_kqps": round(cfg["n_queries"] / on_seconds / 1e3, 1),
+        "overhead": round(overhead, 4),
+        "overhead_budget": OVERHEAD_BUDGET,
+    }
+
+
+def _rows(payload: dict) -> str:
+    cols = ["mode", "seconds", "kqps"]
+    lines = ["".join(c.ljust(12) for c in cols)]
+    for mode in ("off", "on"):
+        lines.append("".join(
+            str(v).ljust(12) for v in (
+                mode,
+                payload[f"{mode}_seconds"],
+                payload[f"{mode}_kqps"],
+            )
+        ))
+    lines.append(f"overhead    {payload['overhead'] * 100:.1f}%")
+    return "\n".join(lines)
+
+
+def _finish(payload: dict, benchmark=None) -> dict:
+    publish(
+        benchmark, "telemetry", _rows(payload),
+        "BENCH_telemetry.json", payload,
+    )
+    assert payload["overhead"] < OVERHEAD_BUDGET, (
+        f"tracing overhead {payload['overhead'] * 100:.1f}% exceeds the "
+        f"{OVERHEAD_BUDGET * 100:.0f}% budget"
+    )
+    return payload
+
+
+def test_telemetry_overhead(benchmark):
+    """Pytest entry point: the smoke preset, timed by pytest-benchmark."""
+    payload = run_bench("smoke")
+    _finish(payload, benchmark)
+    cfg = PRESETS["smoke"]
+    keys = generate_keys(cfg["n_keys"], "uniform", seed=1)
+    filt = REncoder(keys, total_bits=BPK * len(keys))
+    queries = uniform_range_queries(
+        keys, 2_000, min_size=WIDTH, max_size=WIDTH, seed=2
+    )
+    benchmark.pedantic(lambda: filt.query_many(queries), rounds=3, iterations=1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    payload = run_bench(args.preset, seed=args.seed)
+    _finish(payload)
+    print(
+        f"telemetry overhead {payload['overhead'] * 100:.1f}% "
+        f"(off {payload['off_kqps']} kq/s -> on {payload['on_kqps']} kq/s), "
+        f"budget {OVERHEAD_BUDGET * 100:.0f}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,12 +14,19 @@ from __future__ import annotations
 
 import json
 import os
+import subprocess
 from pathlib import Path
 
 from repro.bench.experiments import ExperimentConfig
+from repro.telemetry.profiler import get_profiler
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Bumped whenever the shape of a ``BENCH_*.json`` payload changes in a
+#: way readers must care about; stamped into every file by
+#: :func:`write_bench_json`.
+BENCH_SCHEMA_VERSION = 2
 
 
 def default_config(**overrides) -> ExperimentConfig:
@@ -72,13 +79,49 @@ def batch_rows(runs) -> str:
     return "\n".join(lines)
 
 
+def _git_rev() -> str:
+    """Short git revision of the repo, or ``"unknown"`` outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
 def write_bench_json(name: str, payload: dict) -> Path:
     """Write a machine-readable bench result to the repository root.
 
-    Used by the batch-query smoke bench (``BENCH_batch_query.json``) so
-    CI and the acceptance checks can read before/after numbers without
-    parsing tables.
+    Used by the smoke benches (``BENCH_*.json``) so CI and the
+    acceptance checks can read before/after numbers without parsing
+    tables.  Every file is stamped with a ``meta`` block — schema
+    version and git revision — and, when ``REPRO_PROFILE=1`` collected
+    at least one phase, the profiler's per-phase breakdown.
     """
+    out = dict(payload)
+    meta = {"schema_version": BENCH_SCHEMA_VERSION, "git_rev": _git_rev()}
+    profiler = get_profiler()
+    if profiler.has_data():
+        meta["profile"] = profiler.report()
+    out["meta"] = meta
     path = REPO_ROOT / name
-    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
     return path
+
+
+def publish(benchmark, table_name: str, table: str,
+            json_name: str, payload: dict) -> Path:
+    """Print/persist a bench's result table *and* its stamped JSON.
+
+    The one call every bench ``_finish`` makes: :func:`record` for the
+    human-readable table under ``results/`` plus :func:`write_bench_json`
+    for the machine-readable ``BENCH_*.json`` at the repo root.
+    """
+    record(benchmark, table_name, table)
+    return write_bench_json(json_name, payload)

@@ -17,6 +17,14 @@ Commands
     an LSM tree and drive it with an open-loop range-query load for
     ``--duration`` seconds; prints goodput, latency percentiles and the
     degraded/shed accounting.
+``metrics-dump``
+    Build a small service, run a query mix, and dump its metrics
+    registry — every counter, gauge and histogram across the service,
+    storage and filter layers — as JSON or Prometheus text.
+``trace-query``
+    Run one traced range query through the full service stack and print
+    the span tree: queue wait, per-SSTable filter probes with verdicts,
+    RBF block-fetch counts, cache hits, and any second-level reads.
 ``demo``
     A 30-second guided tour of the REncoder API.
 """
@@ -179,6 +187,87 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _build_small_service_stack(n_keys: int, seed: int):
+    """Shared setup for ``metrics-dump`` / ``trace-query``: a populated
+    LSM tree on a simulated-clock storage env, plus its key set."""
+    from repro.core.rencoder import REncoder
+    from repro.storage.env import SimulatedClock, StorageEnv
+    from repro.storage.lsm import LSMTree
+
+    env = StorageEnv(clock=SimulatedClock())
+    lsm = LSMTree(
+        lambda ks: REncoder(ks, bits_per_key=12),
+        memtable_capacity=2_000,
+        policy="tiering",
+        env=env,
+    )
+    keys = generate_keys(n_keys, "uniform", seed=seed)
+    for k in keys:
+        lsm.put(int(k), int(k) & 0xFF)
+    lsm.flush()
+    return env, lsm, keys
+
+
+def _cmd_metrics_dump(args) -> int:
+    import json
+
+    from repro.service import FilterService
+    from repro.telemetry.registry import MetricsRegistry
+
+    env, lsm, keys = _build_small_service_stack(args.n_keys, args.seed)
+    registry = MetricsRegistry()
+    rng = np.random.default_rng(args.seed + 1)
+    with FilterService(lsm, workers=2, registry=registry) as svc:
+        for table in (t for level in lsm.levels for t in level):
+            if table.filter is not None:
+                table.filter.register_metrics(
+                    registry, component="filter", table=str(table.table_id)
+                )
+        for k in rng.choice(keys, args.queries):
+            svc.query_range(int(k), int(k) + 2)
+        for k in rng.integers(0, 1 << 32, max(1, args.queries // 4)):
+            svc.query_point(int(k))
+        if args.format == "prom":
+            print(registry.to_prometheus())
+        else:
+            print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_trace_query(args) -> int:
+    import json
+
+    from repro.service import FilterService
+    from repro.telemetry.tracing import format_tree, get_tracer
+
+    env, lsm, keys = _build_small_service_stack(args.n_keys, args.seed)
+    lo = int(keys[len(keys) // 2]) if args.lo is None else args.lo
+    hi = lo + args.width if args.hi is None else args.hi
+    tracer = get_tracer().enable(clock=env.clock)
+    try:
+        with FilterService(lsm, workers=2) as svc:
+            resp = svc.query_range(lo, hi)
+    finally:
+        tracer.disable()
+    if resp.trace is None:
+        print("no trace captured (tracing disabled?)", file=sys.stderr)
+        return 1
+    print(format_tree(resp.trace))
+    summary = {
+        "positive": resp.positive,
+        "degraded": resp.degraded,
+        "reason": resp.reason,
+        "rbf_fetches": resp.trace.total("rbf_fetches"),
+        "filter_probes": resp.trace.total("filter_probes"),
+        "cache_hits": resp.trace.total("cache_hits"),
+        "io_reads": resp.trace.total("io_reads"),
+    }
+    print(json.dumps(summary))
+    if args.json:
+        print(json.dumps(resp.trace.to_dict(), indent=2))
+    return 0
+
+
 def _cmd_demo(_args) -> int:
     from repro import REncoder
 
@@ -250,6 +339,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--n-keys", type=int, default=20_000)
     serve.add_argument("--seed", type=int, default=42)
     serve.set_defaults(func=_cmd_serve_bench)
+
+    mdump = sub.add_parser(
+        "metrics-dump",
+        help="run a query mix and dump the metrics registry",
+    )
+    mdump.add_argument("--format", default="json", choices=("json", "prom"),
+                       help="output format (default json)")
+    mdump.add_argument("--n-keys", type=int, default=5_000)
+    mdump.add_argument("--queries", type=int, default=200,
+                       help="range queries to run (default 200)")
+    mdump.add_argument("--seed", type=int, default=42)
+    mdump.set_defaults(func=_cmd_metrics_dump)
+
+    trace = sub.add_parser(
+        "trace-query",
+        help="print the span tree of one traced range query",
+    )
+    trace.add_argument("--lo", type=int, default=None,
+                       help="range lower bound (default: a stored key)")
+    trace.add_argument("--hi", type=int, default=None,
+                       help="range upper bound (default: lo + width)")
+    trace.add_argument("--width", type=int, default=4,
+                       help="range width when --hi is omitted (default 4)")
+    trace.add_argument("--json", action="store_true",
+                       help="also print the trace as JSON")
+    trace.add_argument("--n-keys", type=int, default=5_000)
+    trace.add_argument("--seed", type=int, default=42)
+    trace.set_defaults(func=_cmd_trace_query)
 
     sub.add_parser("demo", help="30-second API tour").set_defaults(
         func=_cmd_demo

@@ -47,13 +47,15 @@ import threading
 import numpy as np
 
 from repro.hashing.mix64 import HashFamily
+from repro.telemetry.instrument import Instrumented
+from repro.telemetry.tracing import current_span
 
 __all__ = ["RangeBloomFilter"]
 
 _MASK64 = 0xFFFF_FFFF_FFFF_FFFF
 
 
-class RangeBloomFilter:
+class RangeBloomFilter(Instrumented):
     """Bloom filter over Bitmap Trees with unaligned block placement.
 
     Parameters
@@ -158,6 +160,9 @@ class RangeBloomFilter:
         """
         with self._stats_lock:
             self.fetch_count += self.k
+        sp = current_span()
+        if sp is not None:
+            sp.add("rbf_fetches", self.k)
         arr = self._array
         w = self.words_per_block
         combined: np.ndarray | None = None
@@ -201,6 +206,9 @@ class RangeBloomFilter:
             return np.zeros((0, w), dtype=np.uint64)
         with self._stats_lock:
             self.fetch_count += self.k * n
+        sp = current_span()
+        if sp is not None:
+            sp.add("rbf_fetches", self.k * n)
         arr = self._array
         positions = self._family.positions_array(hash_keys)
         span = np.arange(w + 1, dtype=np.intp)
@@ -270,6 +278,18 @@ class RangeBloomFilter:
     def size_in_bits(self) -> int:
         """Occupied memory in bits (the figure used for BPK accounting)."""
         return self.bits
+
+    #: Pull-based gauges for :meth:`Instrumented.telemetry` — the load
+    #: factor the adaptive logic targets plus the probe/mutation tallies.
+    _TELEMETRY = (
+        "p1",
+        "bits",
+        "k",
+        "group_bits",
+        "fetch_count",
+        "insert_count",
+        "generation",
+    )
 
     def reset_counters(self) -> None:
         """Zero the probe statistics (not the bit array or generation)."""

@@ -49,6 +49,7 @@ from repro.core.decompose import decompose, decompose_batch
 from repro.core.rbf import RangeBloomFilter
 from repro.filters.base import RangeFilter, as_key_array
 from repro.hashing.mix64 import seeds_for
+from repro.telemetry.tracing import current_span
 
 __all__ = ["REncoder", "FetchCache", "DEFAULT_RMAX"]
 
@@ -664,6 +665,10 @@ class REncoder(RangeFilter):
         cache.ensure(self.rbf.generation)
         n = prefixes.size
         cache.probes += n
+        sp = current_span()
+        if sp is not None:
+            sp.add("filter_probes", n)
+            sp.add(f"probes_l{level}", n)
         if hp_len:
             hp = prefixes >> np.uint64(depth)
         else:
@@ -677,6 +682,8 @@ class REncoder(RangeFilter):
         if not found.all():
             missing = np.flatnonzero(~found)
             cache.fetches += missing.size
+            if sp is not None:
+                sp.add("cache_hits", int(uniq.size - missing.size))
             fetched = self.rbf.fetch_bt_many(
                 uniq[missing] ^ np.uint64(self._group_tags[group])
             )
@@ -687,6 +694,8 @@ class REncoder(RangeFilter):
                 fetched[dead] = 0
             bts[missing] = fetched
             cache.store(group, uniq[missing], fetched)
+        elif sp is not None:
+            sp.add("cache_hits", int(uniq.size))
         node = np.uint64(1 << depth) | (
             prefixes & np.uint64((1 << depth) - 1)
         )
@@ -739,9 +748,15 @@ class REncoder(RangeFilter):
         group, depth, hp_len = self._locate(level)
         if isinstance(cache, FetchCache):
             cache.ensure(self.rbf.generation)
+        sp = current_span()
+        if sp is not None:
+            sp.add("filter_probes", 1)
+            sp.add(f"probes_l{level}", 1)
         hp = prefix >> depth if hp_len else 0
         key = (group, hp)
         bt = cache.get(key)
+        if bt is not None and sp is not None:
+            sp.add("cache_hits", 1)
         if bt is None:
             bt = self.rbf.fetch_bt(hp ^ self._group_tags[group])
             if (
@@ -933,6 +948,36 @@ class REncoder(RangeFilter):
     def stored_levels(self) -> list[int]:
         """The levels the adaptive construction chose, ascending."""
         return list(self._stored_sorted)
+
+    # Pull-based gauges (see repro.telemetry.instrument): the adaptive
+    # construction's outcome plus the cumulative probe/cache statistics.
+    _TELEMETRY = (
+        "size_in_bits",
+        "n_keys",
+        "final_p1",
+        "stored_level_count",
+        "deepest_level",
+        "shallowest_level",
+        "probe_count",
+        "cache_probes",
+        "cache_fetches",
+        "cache_hit_rate",
+    )
+
+    @property
+    def stored_level_count(self) -> int:
+        """How many levels the adaptive construction stored."""
+        return len(self._stored_sorted)
+
+    @property
+    def deepest_level(self) -> int:
+        """Deepest (longest-prefix) stored level."""
+        return self._deepest
+
+    @property
+    def shallowest_level(self) -> int:
+        """Shallowest (shortest-prefix) stored level."""
+        return self._shallowest
 
     def predicted_fpr(self, range_size: int = 32) -> float:
         """Theorem 2's bound evaluated at this filter's own parameters.

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import json
 import struct
+import time
 import zlib
 
 import numpy as np
@@ -48,6 +49,8 @@ from repro.core.rbf import RangeBloomFilter
 from repro.core.rencoder import REncoder
 from repro.core.two_stage import TwoStageREncoder
 from repro.core.variants import REncoderPO, REncoderSE, REncoderSS
+from repro.telemetry.registry import global_registry
+from repro.telemetry.tracing import current_span
 
 __all__ = ["dumps", "loads", "checksum", "MAGIC", "VERSION"]
 
@@ -71,8 +74,23 @@ def checksum(data: bytes) -> int:
     return zlib.crc32(data) & 0xFFFF_FFFF
 
 
+def _observe_codec_ns(op: str, start_ns: int, nbytes: int) -> None:
+    """Record one encode/decode timing on the global registry + trace."""
+    elapsed = time.perf_counter_ns() - start_ns
+    global_registry().histogram(
+        f"serialize_{op}_ns",
+        help=f"wall time of serialize.{op} per call",
+        labels={"component": "serialize"},
+    ).observe(elapsed)
+    sp = current_span()
+    if sp is not None:
+        sp.add(f"serialize_{op}_ns", elapsed)
+        sp.add(f"serialize_{op}_bytes", nbytes)
+
+
 def dumps(filt: REncoder) -> bytes:
     """Serialize a built REncoder-family filter to bytes (v2, checksummed)."""
+    start_ns = time.perf_counter_ns()
     if type(filt).__name__ not in _CLASSES:
         raise TypeError(
             f"cannot serialize {type(filt).__name__}; expected one of "
@@ -107,7 +125,9 @@ def dumps(filt: REncoder) -> bytes:
             payload,
         ]
     )
-    return body + struct.pack("<I", checksum(body))
+    blob = body + struct.pack("<I", checksum(body))
+    _observe_codec_ns("dumps", start_ns, len(blob))
+    return blob
 
 
 # ----------------------------------------------------------------------
@@ -223,6 +243,7 @@ def loads(data: bytes) -> REncoder:
     fields do, :class:`FilterCorruptionError` on bad magic, checksum
     mismatch, hostile metadata, or geometry/payload inconsistencies.
     """
+    start_ns = time.perf_counter_ns()
     data = bytes(data)
     _need(data, 0, 10, "header")
     if data[:4] != MAGIC:
@@ -331,4 +352,5 @@ def loads(data: bytes) -> REncoder:
             else double_to_key
         )
     filt.verify_invariants()
+    _observe_codec_ns("loads", start_ns, len(data))
     return filt

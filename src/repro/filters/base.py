@@ -26,6 +26,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.core.errors import FilterCorruptionError
+from repro.telemetry.instrument import Instrumented
 
 __all__ = ["RangeFilter", "as_key_array"]
 
@@ -38,11 +39,21 @@ def as_key_array(keys: Iterable[int] | np.ndarray) -> np.ndarray:
     return np.unique(arr.astype(np.uint64, copy=False))
 
 
-class RangeFilter(abc.ABC):
-    """Abstract base class for approximate range-membership filters."""
+class RangeFilter(Instrumented, abc.ABC):
+    """Abstract base class for approximate range-membership filters.
+
+    Also an :class:`~repro.telemetry.instrument.Instrumented` structure:
+    every filter exposes at least its size and probe count as pull-based
+    telemetry gauges; subclasses with richer internal state (REncoder's
+    load factor and stored-level span, the RBF's fetch counters) extend
+    ``_TELEMETRY``.
+    """
 
     #: Human-readable name used in result tables (overridden per class).
     name: str = "filter"
+
+    #: Baseline gauges every filter can answer (see ``Instrumented``).
+    _TELEMETRY = ("size_in_bits", "probe_count")
 
     def __init__(self, key_bits: int = 64) -> None:
         if not 1 <= key_bits <= 64:

@@ -88,6 +88,8 @@ class CircuitBreaker:
         self._probes_succeeded = 0
         self.trips = 0
         self.denials = 0
+        self.half_opens = 0
+        self.closes = 0
 
     @property
     def state(self) -> str:
@@ -105,6 +107,7 @@ class CircuitBreaker:
             self._state = "half-open"
             self._probes_issued = 0
             self._probes_succeeded = 0
+            self.half_opens += 1
 
     def allow(self) -> bool:
         """May the caller touch storage for this request?
@@ -134,6 +137,7 @@ class CircuitBreaker:
                 if self._probes_succeeded >= self.half_open_probes:
                     self._state = "closed"
                     self._outcomes.clear()
+                    self.closes += 1
                 return
             if self._state == "closed":
                 self._outcomes.append(False)
@@ -171,6 +175,11 @@ class CircuitBreaker:
                 "state": self._state,
                 "trips": self.trips,
                 "denials": self.denials,
+                "transitions": {
+                    "opened": self.trips,
+                    "half_opened": self.half_opens,
+                    "closed": self.closes,
+                },
                 "window_failures": sum(self._outcomes),
                 "window_samples": len(self._outcomes),
             }

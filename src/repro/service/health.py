@@ -2,66 +2,96 @@
 
 Under overload the *distribution* is the story — a mean hides the tail
 that deadlines and shedding exist to protect.  :class:`LatencyRecorder`
-keeps raw samples (simulation scale: tens of thousands of requests, so
-no reservoir tricks needed) and answers p50/p99/p999;
+keeps a bounded reservoir of samples (deterministic, seeded — see
+:class:`~repro.telemetry.registry.Reservoir`) and answers p50/p99/p999;
 :class:`ServiceStats` aggregates the outcome counters the acceptance
 criteria talk about: every degraded or shed answer is counted somewhere,
 never silent.
+
+Both are thin views over the telemetry substrate (DESIGN.md §9):
+``percentile`` is re-exported from :mod:`repro.telemetry.registry`, and
+``ServiceStats`` counters are registry :class:`Counter` instruments
+named ``service_<name>``, so a ``metrics-dump`` of the service registry
+exposes the same numbers the bench harness reads.
 """
 
 from __future__ import annotations
 
-import math
 import threading
+
+from repro.telemetry.registry import (
+    Histogram,
+    MetricsRegistry,
+    Reservoir,
+    percentile,
+)
 
 __all__ = ["LatencyRecorder", "ServiceStats", "percentile"]
 
-
-def percentile(samples: "list[float]", q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]) of unsorted samples."""
-    if not samples:
-        return 0.0
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"q must be in [0, 100], got {q}")
-    ordered = sorted(samples)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+#: Reservoir size for latency recorders.  Percentile estimates over a
+#: uniform sample of this many observations are indistinguishable from
+#: exact ones at bench scale, and memory stays O(1) per recorder
+#: regardless of how long the service runs.
+DEFAULT_SAMPLE_CAP = 4096
 
 
 class LatencyRecorder:
-    """Thread-safe latency sample sink with percentile queries."""
+    """Thread-safe latency sample sink with percentile queries.
 
-    def __init__(self) -> None:
-        self._samples: list[int] = []
+    Keeps at most ``cap`` samples via deterministic (seeded) uniform
+    reservoir sampling; below ``cap`` observations the behaviour is
+    byte-identical to the old keep-everything recorder.  ``len()``
+    reports the *total* number of observations (not the retained
+    sample count), and ``max`` stays exact regardless of eviction.
+
+    ``histogram`` optionally mirrors every sample into a registry
+    :class:`~repro.telemetry.registry.Histogram` so the distribution is
+    also visible through Prometheus exposition.
+    """
+
+    def __init__(
+        self,
+        cap: int = DEFAULT_SAMPLE_CAP,
+        seed: int = 0,
+        histogram: "Histogram | None" = None,
+    ) -> None:
+        self._reservoir = Reservoir(cap=cap, seed=seed)
         self._lock = threading.Lock()
+        self._histogram = histogram
 
     def record(self, latency_ns: int) -> None:
         """Add one latency sample (nanoseconds)."""
         with self._lock:
-            self._samples.append(latency_ns)
+            self._reservoir.add(latency_ns)
+        if self._histogram is not None:
+            self._histogram.observe(latency_ns)
 
     def __len__(self) -> int:
+        """Total observations recorded (not the retained sample count)."""
         with self._lock:
-            return len(self._samples)
+            return self._reservoir.count
 
     def percentile_ns(self, q: float) -> float:
-        """Nearest-rank percentile of the recorded samples, in ns."""
+        """Nearest-rank percentile of the retained samples, in ns."""
         with self._lock:
-            samples = list(self._samples)
-        return percentile(samples, q)
+            return self._reservoir.percentile(q)
 
     def summary_ms(self) -> dict:
         """p50/p99/p999 and max, in milliseconds (bench reporting)."""
         with self._lock:
-            samples = list(self._samples)
-        if not samples:
-            return {"p50_ms": 0.0, "p99_ms": 0.0, "p999_ms": 0.0, "max_ms": 0.0}
-        return {
-            "p50_ms": round(percentile(samples, 50) / 1e6, 3),
-            "p99_ms": round(percentile(samples, 99) / 1e6, 3),
-            "p999_ms": round(percentile(samples, 99.9) / 1e6, 3),
-            "max_ms": round(max(samples) / 1e6, 3),
-        }
+            if not self._reservoir.count:
+                return {
+                    "p50_ms": 0.0,
+                    "p99_ms": 0.0,
+                    "p999_ms": 0.0,
+                    "max_ms": 0.0,
+                }
+            return {
+                "p50_ms": round(self._reservoir.percentile(50) / 1e6, 3),
+                "p99_ms": round(self._reservoir.percentile(99) / 1e6, 3),
+                "p999_ms": round(self._reservoir.percentile(99.9) / 1e6, 3),
+                "max_ms": round(self._reservoir.max_value / 1e6, 3),
+            }
 
 
 class ServiceStats:
@@ -71,6 +101,14 @@ class ServiceStats:
     (they include queue wait — the quantity shedding bounds); ``sim``
     latencies are the simulated-I/O time the request's execution
     witnessed on the shared clock.
+
+    Counters are registry instruments named ``service_<counter>``; by
+    default the stats object owns a private
+    :class:`~repro.telemetry.registry.MetricsRegistry`, and the service
+    passes its shared one in so counters and latency histograms land in
+    the same exposition as the storage and filter metrics.  The public
+    surface is unchanged: read counters as attributes
+    (``stats.completed``), mutate through :meth:`bump`.
     """
 
     _COUNTERS = (
@@ -85,27 +123,61 @@ class ServiceStats:
         "faults",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
         self._lock = threading.Lock()
-        for name in self._COUNTERS:
-            setattr(self, name, 0)
-        self.wall = LatencyRecorder()
-        self.sim = LatencyRecorder()
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self._registry.counter(
+                f"service_{name}",
+                help=f"ServiceStats.{name}",
+                labels={"component": "service"},
+            )
+            for name in self._COUNTERS
+        }
+        self.wall = LatencyRecorder(
+            histogram=self._registry.histogram(
+                "service_latency_wall_ns",
+                help="submit-to-resolve wall latency (incl. queue wait)",
+                labels={"component": "service"},
+            )
+        )
+        self.sim = LatencyRecorder(
+            histogram=self._registry.histogram(
+                "service_latency_sim_ns",
+                help="simulated-I/O latency witnessed by the request",
+                labels={"component": "service"},
+            )
+        )
+
+    def __getattr__(self, name: str):
+        # Only consulted when normal lookup fails — i.e. for counters.
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return counters[name].value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry backing these counters and histograms."""
+        return self._registry
 
     def bump(self, **deltas: int) -> None:
         """Atomically add deltas to the named counters."""
         with self._lock:
             for name, delta in deltas.items():
-                if name not in self._COUNTERS:
+                counter = self._counters.get(name)
+                if counter is None:
                     raise AttributeError(
                         f"unknown ServiceStats counter {name!r}"
                     )
-                setattr(self, name, getattr(self, name) + delta)
+                counter.inc(delta)
 
     def snapshot(self) -> dict:
         """All counters plus wall-latency percentiles, as one dict."""
         with self._lock:
-            out = {name: getattr(self, name) for name in self._COUNTERS}
+            out = {name: c.value for name, c in self._counters.items()}
         out.update(self.wall.summary_ms())
         answered = out["completed"]
         out["degraded_rate"] = (

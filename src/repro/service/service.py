@@ -49,6 +49,8 @@ from repro.service.deadline import Deadline
 from repro.service.health import ServiceStats
 from repro.storage.env import SimulatedClock
 from repro.storage.lsm import LSMTree
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import Span, get_tracer
 
 __all__ = ["FilterService", "ServiceResponse"]
 
@@ -81,6 +83,9 @@ class ServiceResponse:
     epoch: int = -1
     wall_ns: int = 0
     sim_ns: int = 0
+    #: The request's root span when the process tracer was enabled at
+    #: submit time (None otherwise).
+    trace: "Span | None" = None
 
     def __post_init__(self) -> None:
         if self.degraded:
@@ -108,6 +113,7 @@ class _Request:
         "future",
         "submitted_wall_ns",
         "submitted_sim_ns",
+        "span",
     )
 
     def __init__(
@@ -124,6 +130,7 @@ class _Request:
         self.future: "Future[ServiceResponse]" = Future()
         self.submitted_wall_ns = submitted_wall_ns
         self.submitted_sim_ns = submitted_sim_ns
+        self.span: "Span | None" = None
 
     def degraded_positive(self) -> "bool | list[bool]":
         """The all-positive answer shaped like this request's result."""
@@ -154,6 +161,14 @@ class FilterService:
     breaker:
         Pass a preconfigured :class:`CircuitBreaker` to tune thresholds;
         by default one is built with its standard parameters.
+    registry:
+        The :class:`~repro.telemetry.registry.MetricsRegistry` all of the
+        service's instruments land on.  A private one is created when
+        omitted.  The LSM env's :class:`~repro.storage.env.IoStats` is
+        re-homed onto it (:meth:`IoStats.bind`), so one ``metrics-dump``
+        of ``service.registry`` shows service counters, latency
+        histograms, storage I/O counters and live queue/breaker gauges
+        together.
     """
 
     def __init__(
@@ -165,6 +180,7 @@ class FilterService:
         shed_policy: str = "reject-new",
         default_deadline_ns: "int | None" = DEFAULT_DEADLINE_NS,
         breaker: "CircuitBreaker | None" = None,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -188,10 +204,39 @@ class FilterService:
         self.breaker = (
             breaker if breaker is not None else CircuitBreaker(self.clock)
         )
-        self.stats = ServiceStats()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.stats = ServiceStats(registry=self.registry)
+        lsm.env.stats.bind(self.registry)
+        self._register_gauges()
         self._threads: list[threading.Thread] = []
         self._started = False
+        self._started_wall_ns = 0
         self._lock = threading.Lock()
+
+    def _register_gauges(self) -> None:
+        """Live queue/breaker/tree gauges on the service registry."""
+        labels = {"component": "service"}
+        reg = self.registry
+        reg.gauge(
+            "service_queue_depth", help="requests waiting", labels=labels
+        ).set_fn(lambda: len(self.queue))
+        reg.gauge(
+            "service_breaker_open",
+            help="1 when the breaker is open, 0.5 half-open, 0 closed",
+            labels=labels,
+        ).set_fn(
+            lambda: {"closed": 0.0, "half-open": 0.5, "open": 1.0}[
+                self.breaker.state
+            ]
+        )
+        reg.gauge(
+            "service_epoch", help="current LSM tree epoch", labels=labels
+        ).set_fn(lambda: float(self.lsm.epoch))
+        reg.gauge(
+            "service_uptime_ns",
+            help="wall time since start() while running",
+            labels=labels,
+        ).set_fn(lambda: float(self.uptime_ns()))
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -202,6 +247,7 @@ class FilterService:
             if self._started:
                 return self
             self._started = True
+            self._started_wall_ns = time.perf_counter_ns()
             for i in range(self.workers):
                 t = threading.Thread(
                     target=self._worker_loop,
@@ -298,6 +344,14 @@ class FilterService:
             time.perf_counter_ns(),
             self.clock.now_ns(),
         )
+        tracer = get_tracer()
+        if tracer.enabled:
+            # Root span stamped at submit, so queue wait is on the trace.
+            req.span = tracer.start_span(f"service.{kind}")
+            req.span.set(
+                payload=payload,
+                deadline_ns=budget if budget is not None else "none",
+            )
         self.stats.bump(submitted=1)
         try:
             evicted = self.queue.put(
@@ -331,6 +385,21 @@ class FilterService:
                     req.future.set_exception(exc)
 
     def _serve(self, req: _Request) -> None:
+        span = req.span
+        if span is None:
+            self._serve_inner(req)
+            return
+        tracer = get_tracer()
+        # The time between submit and this moment is queue wait; record
+        # it as a closed child span so the trace shows it explicitly.
+        wait = Span("queue.wait", span.start_wall_ns, span.start_sim_ns)
+        tracer.finish(wait)
+        span.children.append(wait)
+        span.set(breaker=self.breaker.state, queue_depth=len(self.queue))
+        with tracer.attach(span):
+            self._serve_inner(req)
+
+    def _serve_inner(self, req: _Request) -> None:
         # Expired while queued: degrade without touching storage.  Not a
         # breaker outcome — the backend did nothing wrong.
         if req.deadline is not None and req.deadline.expired(self.clock):
@@ -406,18 +475,46 @@ class FilterService:
         self.stats.bump(completed=1, **self._REASON_COUNTERS[response.reason])
         self.stats.wall.record(response.wall_ns)
         self.stats.sim.record(response.sim_ns)
+        if req.span is not None:
+            req.span.set(
+                reason=response.reason,
+                degraded=response.degraded,
+                epoch=response.epoch,
+            )
+            get_tracer().finish(req.span)
+            response.trace = req.span
         req.future.set_result(response)
 
     # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
+    def uptime_ns(self) -> int:
+        """Wall nanoseconds since :meth:`start` (0 while stopped)."""
+        if not self._started:
+            return 0
+        return time.perf_counter_ns() - self._started_wall_ns
+
     def health(self) -> dict:
-        """One-stop health snapshot (stats, breaker, queue, epochs)."""
+        """One-stop health snapshot (stats, breaker, queue, epochs).
+
+        ``degraded_by_reason`` breaks the degraded total down by which
+        path produced each all-positive answer; ``metrics`` is the full
+        registry snapshot (service + storage + any registered filter
+        gauges), the same content ``metrics-dump`` emits.
+        """
+        stats = self.stats.snapshot()
         return {
             "running": self._started,
+            "uptime_ns": self.uptime_ns(),
             "workers": self.workers,
             "clock_ns": self.clock.now_ns(),
-            "stats": self.stats.snapshot(),
+            "stats": stats,
+            "degraded_by_reason": {
+                "deadline": stats["deadline_expired"],
+                "breaker-open": stats["breaker_denied"],
+                "fault": stats["faults"],
+                "shed": stats["shed"],
+            },
             "breaker": self.breaker.snapshot(),
             "queue": {
                 "depth": len(self.queue),
@@ -429,6 +526,7 @@ class FilterService:
             },
             "epoch": self.lsm.epoch,
             "active_pins": self.lsm.active_pins(),
+            "metrics": self.registry.snapshot(),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

@@ -45,6 +45,8 @@ from repro.core.errors import (
     TransientIOError,
 )
 from repro.storage.faults import FaultInjector
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import current_span
 
 __all__ = ["StorageEnv", "IoStats", "SimulatedClock"]
 
@@ -113,53 +115,117 @@ _IO_COUNTERS = (
 )
 
 
-@dataclass
 class IoStats:
     """Second-level access, fault and recovery counters.
 
-    Thread-safe: all mutation goes through :meth:`bump`, which holds one
-    lock per stats object, so concurrent service workers never lose
-    increments (``x += 1`` on a shared attribute is a read-modify-write
-    race under free-threading).
+    A thin view over a :class:`~repro.telemetry.registry.MetricsRegistry`:
+    every counter is a registry :class:`~repro.telemetry.registry.Counter`
+    named ``io_<counter>`` and labelled with this stats object's
+    component, so the same numbers the bench harness reads are exported
+    through ``metrics-dump`` / Prometheus with no double bookkeeping.
+    By default each ``IoStats`` owns a private registry (envs stay
+    isolated); the serving layer re-homes it onto the service registry
+    with :meth:`bind`.
+
+    The public surface is unchanged from the original dataclass: read
+    counters as attributes (``stats.reads``), mutate through
+    :meth:`bump` (atomic per call — holding one lock per stats object so
+    concurrent service workers never lose increments), zero with
+    :meth:`reset`.
     """
 
-    reads: int = 0
-    useful_reads: int = 0
-    wasted_reads: int = 0
-    writes: int = 0
-    entries_written: int = 0
-    cache_hits: int = 0
-    # Blob store (persisted filters).
-    blob_reads: int = 0
-    blob_writes: int = 0
-    # Injected faults, by type.
-    transient_faults: int = 0
-    torn_writes: int = 0
-    bit_flips: int = 0
-    slow_reads: int = 0
-    slow_read_ns: int = 0
-    # Recovery work.
-    retries: int = 0
-    backoff_ns: int = 0
-    corruptions_detected: int = 0
-    filter_rebuilds: int = 0
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    def __init__(
+        self,
+        registry: "MetricsRegistry | None" = None,
+        component: str = "storage",
+    ) -> None:
+        self._lock = threading.Lock()
+        self._registry = registry if registry is not None else MetricsRegistry()
+        self._component = component
+        self._counters = {
+            name: self._registry.counter(
+                f"io_{name}",
+                help=f"IoStats.{name}",
+                labels={"component": component},
+            )
+            for name in _IO_COUNTERS
+        }
+
+    def __getattr__(self, name: str):
+        # Only consulted when normal lookup fails — i.e. for counters.
+        if name in _IO_COUNTERS:
+            return self.__dict__["_counters"][name].value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The registry currently backing these counters."""
+        return self._registry
+
+    def bind(
+        self,
+        registry: MetricsRegistry,
+        component: "str | None" = None,
+    ) -> "IoStats":
+        """Re-home the counters onto ``registry``, carrying totals over.
+
+        Counts accumulated so far are migrated into the target
+        registry's counters (same names, new component label), so a
+        service attaching telemetry to an already-warm env loses
+        nothing.  Idempotent for the same registry + component.
+        """
+        with self._lock:
+            component = component if component is not None else self._component
+            if registry is self._registry and component == self._component:
+                return self
+            fresh = {
+                name: registry.counter(
+                    f"io_{name}",
+                    help=f"IoStats.{name}",
+                    labels={"component": component},
+                )
+                for name in _IO_COUNTERS
+            }
+            for name, counter in self._counters.items():
+                carried = counter.value
+                if carried:
+                    fresh[name].inc(carried)
+            self._registry = registry
+            self._component = component
+            self._counters = fresh
+        return self
 
     def bump(self, **deltas: int) -> None:
         """Atomically add the given deltas to the named counters."""
         with self._lock:
             for name, delta in deltas.items():
-                if name not in _IO_COUNTERS:
+                counter = self._counters.get(name)
+                if counter is None:
                     raise AttributeError(f"unknown IoStats counter {name!r}")
-                setattr(self, name, getattr(self, name) + delta)
+                counter.inc(delta)
 
     def reset(self) -> None:
         """Zero all counters."""
         with self._lock:
-            for name in _IO_COUNTERS:
-                setattr(self, name, 0)
+            for counter in self._counters.values():
+                counter.reset()
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a name → value dict."""
+        return {name: c.value for name, c in self._counters.items()}
+
+    def __eq__(self, other: object) -> bool:
+        # Value equality, as the original dataclass had: two stats objects
+        # are equal iff every counter agrees.
+        if not isinstance(other, IoStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"IoStats({nonzero})"
 
     def fault_counts(self) -> dict[str, int]:
         """The fault/recovery counters as a dict (bench reporting)."""
@@ -278,11 +344,14 @@ class StorageEnv:
             The read has already been counted — the data arrived, just
             too late to matter.
         """
+        sp = current_span()
         if self.cache_blocks > 0 and block is not None:
             with self._cache_lock:
                 if block in self._cache:
                     self._cache.move_to_end(block)
                     self.stats.bump(cache_hits=1)
+                    if sp is not None:
+                        sp.add("io_cache_hits", 1)
                     return
         extra_ns = 0
         if self.injector is not None:
@@ -290,6 +359,8 @@ class StorageEnv:
                 self.injector.check_read("second-level read")
             except TransientIOError:
                 self.stats.bump(transient_faults=1)
+                if sp is not None:
+                    sp.add("io_faults", 1)
                 raise
             extra_ns = self.injector.read_latency_ns("second-level read")
         if self.cache_blocks > 0 and block is not None:
@@ -303,6 +374,10 @@ class StorageEnv:
             self.stats.bump(reads=1, wasted_reads=1)
         if extra_ns:
             self.stats.bump(slow_reads=1, slow_read_ns=extra_ns)
+        if sp is not None:
+            sp.add("io_reads", 1)
+            if extra_ns:
+                sp.add("io_slow_reads", 1)
         self._charge(self.io_cost_ns + extra_ns)
 
     def read_with_retry(
@@ -370,12 +445,15 @@ class StorageEnv:
             When no blob of that name exists (a lost write is
             corruption, not a retryable condition).
         """
+        sp = current_span()
         extra_ns = 0
         if self.injector is not None:
             try:
                 self.injector.check_read(f"blob read {name!r}")
             except TransientIOError:
                 self.stats.bump(transient_faults=1)
+                if sp is not None:
+                    sp.add("io_faults", 1)
                 raise
             extra_ns = self.injector.read_latency_ns(f"blob read {name!r}")
         with self._blob_lock:
@@ -383,6 +461,8 @@ class StorageEnv:
                 raise FilterCorruptionError(f"blob {name!r} does not exist")
             data = self._blobs[name]
         self.stats.bump(blob_reads=1)
+        if sp is not None:
+            sp.add("blob_reads", 1)
         if extra_ns:
             self.stats.bump(slow_reads=1, slow_read_ns=extra_ns)
         self._charge(self.io_cost_ns + extra_ns)
@@ -407,6 +487,10 @@ class StorageEnv:
         """Charge one capped-exponential backoff sleep to simulated time."""
         delay = min(self.backoff_base_ns << attempt, self.backoff_cap_ns)
         self.stats.bump(retries=1, backoff_ns=delay)
+        sp = current_span()
+        if sp is not None:
+            sp.add("io_retries", 1)
+            sp.add("io_backoff_ns", delay)
         self._charge(delay)
 
     def simulated_io_seconds(self) -> float:

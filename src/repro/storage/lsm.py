@@ -59,6 +59,7 @@ from typing import Any, Iterator
 from repro.storage.env import StorageEnv
 from repro.storage.memtable import TOMBSTONE, MemTable
 from repro.storage.sstable import FilterFactory, SSTable
+from repro.telemetry.tracing import child_span
 
 __all__ = ["LSMTree", "ReadView"]
 
@@ -313,15 +314,22 @@ class LSMTree:
         taken — same answer, just a possibly newer epoch.
         """
         view = view if view is not None else self.read_view()
-        for memtable in view.memtables:
-            found, value = memtable.get(key)
-            if found:
-                return (False, None) if value is TOMBSTONE else (True, value)
-        for table in view.tables:
-            hit, value = table.query_point(key)
-            if hit:
-                return (False, None) if value is TOMBSTONE else (True, value)
-        return False, None
+        with child_span("lsm.get") as sp:
+            if sp is not None:
+                sp.set(key=key, epoch=view.epoch, tables=len(view.tables))
+            for memtable in view.memtables:
+                found, value = memtable.get(key)
+                if found:
+                    return (
+                        (False, None) if value is TOMBSTONE else (True, value)
+                    )
+            for table in view.tables:
+                hit, value = table.query_point(key)
+                if hit:
+                    return (
+                        (False, None) if value is TOMBSTONE else (True, value)
+                    )
+            return False, None
 
     def get_many(
         self, keys, *, view: "ReadView | None" = None
@@ -381,18 +389,25 @@ class LSMTree:
             if lo > hi:
                 raise ValueError(f"invalid range [{lo}, {hi}]")
         results: list[dict[int, Any]] = [{} for _ in pairs]
-        # Oldest first so newer versions overwrite.
-        for table in reversed(view.tables):
-            for acc, items in zip(results, table.query_range_many(pairs)):
-                acc.update(items)
-        for memtable in reversed(view.memtables):
-            for acc, (lo, hi) in zip(results, pairs):
-                for key, value in memtable.range_items(lo, hi):
-                    acc[key] = value
-        return [
-            [(k, v) for k, v in sorted(acc.items()) if v is not TOMBSTONE]
-            for acc in results
-        ]
+        with child_span("lsm.range_query_many") as sp:
+            if sp is not None:
+                sp.set(
+                    batch=len(pairs),
+                    epoch=view.epoch,
+                    tables=len(view.tables),
+                )
+            # Oldest first so newer versions overwrite.
+            for table in reversed(view.tables):
+                for acc, items in zip(results, table.query_range_many(pairs)):
+                    acc.update(items)
+            for memtable in reversed(view.memtables):
+                for acc, (lo, hi) in zip(results, pairs):
+                    for key, value in memtable.range_items(lo, hi):
+                        acc[key] = value
+            return [
+                [(k, v) for k, v in sorted(acc.items()) if v is not TOMBSTONE]
+                for acc in results
+            ]
 
     def range_query(
         self, lo: int, hi: int, *, view: "ReadView | None" = None
@@ -402,16 +417,21 @@ class LSMTree:
             raise ValueError(f"invalid range [{lo}, {hi}]")
         view = view if view is not None else self.read_view()
         result: dict[int, Any] = {}
-        # Oldest first so newer versions overwrite.
-        for table in reversed(view.tables):
-            for key, value in table.query_range(lo, hi):
-                result[key] = value
-        for memtable in reversed(view.memtables):
-            for key, value in memtable.range_items(lo, hi):
-                result[key] = value
-        return [
-            (k, v) for k, v in sorted(result.items()) if v is not TOMBSTONE
-        ]
+        with child_span("lsm.range_query") as sp:
+            if sp is not None:
+                sp.set(
+                    lo=lo, hi=hi, epoch=view.epoch, tables=len(view.tables)
+                )
+            # Oldest first so newer versions overwrite.
+            for table in reversed(view.tables):
+                for key, value in table.query_range(lo, hi):
+                    result[key] = value
+            for memtable in reversed(view.memtables):
+                for key, value in memtable.range_items(lo, hi):
+                    result[key] = value
+            return [
+                (k, v) for k, v in sorted(result.items()) if v is not TOMBSTONE
+            ]
 
     def range_empty(self) -> bool:  # pragma: no cover - convenience
         """True iff the tree holds no live keys."""

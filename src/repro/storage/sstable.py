@@ -54,6 +54,7 @@ from repro.filters.base import RangeFilter
 from repro.storage.env import StorageEnv
 from repro.storage.manifest import ManifestRecord
 from repro.storage.memtable import TOMBSTONE
+from repro.telemetry.tracing import child_span
 
 __all__ = ["SSTable", "FilterFactory"]
 
@@ -116,26 +117,52 @@ class SSTable:
         if not self.overlaps(key, key):
             return False, None
         filt = self.filter  # one read: a concurrent swap can't tear it
-        if filt is not None and not filt.query_point(key):
-            return False, None
-        i = int(np.searchsorted(self.keys, np.uint64(key)))
-        found = i < len(self.keys) and int(self.keys[i]) == key
-        self.env.read_with_retry(useful=found, block=(self.table_id, i // 64))
-        return (True, self.values[i]) if found else (False, None)
+        with child_span("sstable.probe") as sp:
+            if sp is not None:
+                sp.set(
+                    table=self.table_id,
+                    kind="point",
+                    filter=type(filt).__name__ if filt else None,
+                )
+            if filt is not None and not filt.query_point(key):
+                if sp is not None:
+                    sp.set(verdict="negative")
+                return False, None
+            i = int(np.searchsorted(self.keys, np.uint64(key)))
+            found = i < len(self.keys) and int(self.keys[i]) == key
+            if sp is not None:
+                sp.set(verdict="positive", useful=found)
+            self.env.read_with_retry(
+                useful=found, block=(self.table_id, i // 64)
+            )
+            return (True, self.values[i]) if found else (False, None)
 
     def query_range(self, lo: int, hi: int) -> list[tuple[int, Any]]:
         """Filter-guarded range read, ascending (may include tombstones)."""
         if not self.overlaps(lo, hi):
             return []
         filt = self.filter  # one read: a concurrent swap can't tear it
-        if filt is not None and not filt.query_range(lo, hi):
-            return []
-        left = int(np.searchsorted(self.keys, np.uint64(lo), side="left"))
-        right = int(np.searchsorted(self.keys, np.uint64(hi), side="right"))
-        self.env.read_with_retry(useful=right > left, block=(self.table_id, left // 64))
-        return [
-            (int(self.keys[i]), self.values[i]) for i in range(left, right)
-        ]
+        with child_span("sstable.probe") as sp:
+            if sp is not None:
+                sp.set(
+                    table=self.table_id,
+                    kind="range",
+                    filter=type(filt).__name__ if filt else None,
+                )
+            if filt is not None and not filt.query_range(lo, hi):
+                if sp is not None:
+                    sp.set(verdict="negative")
+                return []
+            left = int(np.searchsorted(self.keys, np.uint64(lo), side="left"))
+            right = int(np.searchsorted(self.keys, np.uint64(hi), side="right"))
+            if sp is not None:
+                sp.set(verdict="positive", useful=right > left)
+            self.env.read_with_retry(
+                useful=right > left, block=(self.table_id, left // 64)
+            )
+            return [
+                (int(self.keys[i]), self.values[i]) for i in range(left, right)
+            ]
 
     def query_point_many(self, keys) -> list[tuple[bool, Any]]:
         """Batch :meth:`query_point` over an array of keys.
@@ -187,31 +214,42 @@ class SSTable:
         out: list[list[tuple[int, Any]]] = [[] for _ in pairs]
         if len(self.keys) == 0 or not pairs:
             return out
-        cand = [
-            q
-            for q, (lo, hi) in enumerate(pairs)
-            if not (hi < self.min_key or lo > self.max_key)
-        ]
-        filt = self.filter  # one read: a concurrent swap can't tear it
-        if cand and filt is not None:
-            ok = filt.query_many([pairs[q] for q in cand])
-            cand = [q for q, good in zip(cand, ok) if good]
-        if not cand:
-            return out
-        los = np.array([pairs[q][0] for q in cand], dtype=np.uint64)
-        his = np.array([pairs[q][1] for q in cand], dtype=np.uint64)
-        lefts = np.searchsorted(self.keys, los, side="left")
-        rights = np.searchsorted(self.keys, his, side="right")
-        for q, left, right in zip(cand, lefts, rights):
-            left, right = int(left), int(right)
-            self.env.read_with_retry(
-                useful=right > left, block=(self.table_id, left // 64)
-            )
-            out[q] = [
-                (int(self.keys[i]), self.values[i])
-                for i in range(left, right)
+        with child_span("sstable.probe") as sp:
+            cand = [
+                q
+                for q, (lo, hi) in enumerate(pairs)
+                if not (hi < self.min_key or lo > self.max_key)
             ]
-        return out
+            filt = self.filter  # one read: a concurrent swap can't tear it
+            if sp is not None:
+                sp.set(
+                    table=self.table_id,
+                    kind="range_batch",
+                    filter=type(filt).__name__ if filt else None,
+                    batch=len(pairs),
+                    fence_passed=len(cand),
+                )
+            if cand and filt is not None:
+                ok = filt.query_many([pairs[q] for q in cand])
+                cand = [q for q, good in zip(cand, ok) if good]
+            if sp is not None:
+                sp.set(filter_passed=len(cand))
+            if not cand:
+                return out
+            los = np.array([pairs[q][0] for q in cand], dtype=np.uint64)
+            his = np.array([pairs[q][1] for q in cand], dtype=np.uint64)
+            lefts = np.searchsorted(self.keys, los, side="left")
+            rights = np.searchsorted(self.keys, his, side="right")
+            for q, left, right in zip(cand, lefts, rights):
+                left, right = int(left), int(right)
+                self.env.read_with_retry(
+                    useful=right > left, block=(self.table_id, left // 64)
+                )
+                out[q] = [
+                    (int(self.keys[i]), self.values[i])
+                    for i in range(left, right)
+                ]
+            return out
 
     # ------------------------------------------------------------------
     # filter persistence & recovery

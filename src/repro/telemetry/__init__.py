@@ -1,0 +1,61 @@
+"""Unified telemetry: metrics registry, request tracing, profiling.
+
+The observability substrate for the whole repository (DESIGN.md §9):
+
+* :mod:`repro.telemetry.registry` — typed Counter/Gauge/Histogram
+  instruments with JSON and Prometheus-text exposition; the backing
+  store :class:`~repro.storage.env.IoStats` and
+  :class:`~repro.service.health.ServiceStats` are thin views over.
+* :mod:`repro.telemetry.tracing` — ``Span``/``Tracer`` request tracing
+  on the wall *and* simulated clocks, propagated from
+  ``FilterService.submit`` down to individual RBF block fetches.
+* :mod:`repro.telemetry.instrument` — the ``Instrumented`` mixin that
+  exposes filter-internal gauges (load factor ``P1``, stored-level
+  span, fetch-cache hit ratio, serialize timings).
+* :mod:`repro.telemetry.profiler` — the ``REPRO_PROFILE=1`` sampling
+  profiler hook that lands per-phase breakdowns in bench JSON.
+"""
+
+from repro.telemetry.instrument import Instrumented
+from repro.telemetry.profiler import PhaseProfiler, get_profiler, profile_phase
+from repro.telemetry.registry import (
+    DEFAULT_LATENCY_BUCKETS_NS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Reservoir,
+    global_registry,
+    percentile,
+    set_global_registry,
+)
+from repro.telemetry.tracing import (
+    Span,
+    Tracer,
+    child_span,
+    current_span,
+    format_tree,
+    get_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Reservoir",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "global_registry",
+    "set_global_registry",
+    "percentile",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "current_span",
+    "child_span",
+    "format_tree",
+    "Instrumented",
+    "PhaseProfiler",
+    "get_profiler",
+    "profile_phase",
+]

@@ -1,0 +1,88 @@
+"""Filter-internal observability: the :class:`Instrumented` mixin.
+
+The paper's adaptive level selection steers by internal state (load
+factor ``P1`` targeting ~0.5, the chosen stored-level span) that was
+previously visible only by poking private attributes.  ``Instrumented``
+gives every filter and the RBF a uniform, *pull-based* surface:
+
+* :meth:`Instrumented.telemetry` — a flat ``{name: number}`` dict of
+  the structure's internal gauges, sampled at call time;
+* :meth:`Instrumented.register_metrics` — registers one
+  :class:`~repro.telemetry.registry.Gauge` per telemetry key on a
+  registry, each backed by a callback, so a registry snapshot samples
+  the live structure with zero steady-state bookkeeping.
+
+Subclasses declare gauges by listing attribute/property names in
+``_TELEMETRY`` and/or overriding :meth:`telemetry` (call ``super()`` and
+extend).  Values must be numbers; non-numeric and failing attributes are
+skipped rather than poisoning a snapshot.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.registry import Gauge, MetricsRegistry
+
+__all__ = ["Instrumented"]
+
+
+class Instrumented:
+    """Mixin: expose internal state as pull-based telemetry gauges."""
+
+    #: Attribute / property names sampled by :meth:`telemetry`.
+    _TELEMETRY: tuple[str, ...] = ()
+
+    def telemetry(self) -> dict[str, float]:
+        """Internal gauges as a flat dict, sampled now."""
+        out: dict[str, float] = {}
+        for name in self._TELEMETRY:
+            try:
+                value = getattr(self, name)
+            except Exception:
+                continue
+            if callable(value):
+                try:
+                    value = value()
+                except Exception:
+                    continue
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            out[name] = value
+        return out
+
+    def register_metrics(
+        self,
+        registry: MetricsRegistry,
+        *,
+        component: str = "filter",
+        prefix: "str | None" = None,
+        **extra_labels: str,
+    ) -> list[Gauge]:
+        """Register callback gauges for every telemetry key.
+
+        Each gauge reads the live structure when the registry is
+        snapshotted.  ``prefix`` defaults to the lowercased class name;
+        extra labels distinguish instances (e.g. ``table="7"``).
+        """
+        prefix = prefix if prefix is not None else type(self).__name__.lower()
+        labels = {"component": component, **extra_labels}
+        gauges: list[Gauge] = []
+        for name in self.telemetry():
+            gauge = registry.gauge(
+                f"{prefix}_{name}",
+                help=f"{type(self).__name__}.{name} (live)",
+                labels=labels,
+            )
+            # Bind the *name*, read through getattr at sample time, so
+            # the gauge tracks the structure instead of a stale value.
+            gauge.set_fn(lambda self=self, name=name: _sample(self, name))
+            gauges.append(gauge)
+        return gauges
+
+
+def _sample(obj: Instrumented, name: str) -> float:
+    value = getattr(obj, name)
+    if callable(value):
+        value = value()
+    return float(value)

@@ -1,0 +1,182 @@
+"""Sampling profiler hook for the bench harness (``REPRO_PROFILE=1``).
+
+Two layers, both cheap enough to leave compiled into every bench:
+
+* **Phase accounting** — :meth:`PhaseProfiler.phase` context managers
+  mark the coarse stages of a bench (build / scalar / batch / ...).
+  Exact wall time per phase is always recorded once the profiler is
+  enabled; phases nest, and time is attributed to the innermost phase.
+* **Stack sampling** — while any phase is open, a daemon thread samples
+  the phase-owning thread's Python stack every ``interval_s`` via
+  ``sys._current_frames()`` and attributes the top frame to the current
+  phase.  Sampling is statistical (it never touches the measured code),
+  so the per-phase breakdown shows *where the time went* without
+  instrumenting hot loops.
+
+The bench JSON writer (:func:`benchmarks.common.write_bench_json`)
+embeds :meth:`report` into every ``BENCH_*.json`` whenever the profiler
+saw at least one phase — so ``REPRO_PROFILE=1 make bench-smoke`` yields
+machine-readable per-phase breakdowns with no bench-side changes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseProfiler", "get_profiler", "profile_phase"]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_PROFILE", "") == "1"
+
+
+class PhaseProfiler:
+    """Per-phase wall-time accounting plus optional stack sampling."""
+
+    def __init__(
+        self,
+        enabled: "bool | None" = None,
+        *,
+        interval_s: float = 0.005,
+        max_functions: int = 20,
+    ) -> None:
+        #: None defers to REPRO_PROFILE at each ``phase()`` entry, so a
+        #: bench importing the module before the env var is set still
+        #: honours it.
+        self._enabled = enabled
+        self.interval_s = interval_s
+        self.max_functions = max_functions
+        self._lock = threading.Lock()
+        #: phase -> accumulated wall seconds (exact, from the CM).
+        self._phase_seconds: dict[str, float] = {}
+        #: phase -> {function: samples} (statistical, from the sampler).
+        self._phase_samples: dict[str, dict[str, int]] = {}
+        #: (phase stack, target thread id) while a phase is open.
+        self._stack: list[str] = []
+        self._target_tid: "int | None" = None
+        self._sampler: "threading.Thread | None" = None
+        self._stop = threading.Event()
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled if self._enabled is not None else _env_enabled()
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Mark one bench stage; nested phases shadow their parent."""
+        if not self.enabled:
+            yield
+            return
+        with self._lock:
+            self._stack.append(name)
+            self._target_tid = threading.get_ident()
+            self._ensure_sampler()
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._stack.pop()
+                self._phase_seconds[name] = (
+                    self._phase_seconds.get(name, 0.0) + elapsed
+                )
+                if not self._stack:
+                    self._target_tid = None
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def _ensure_sampler(self) -> None:
+        """Start the sampling thread once (lock held)."""
+        if self._sampler is not None and self._sampler.is_alive():
+            return
+        self._stop.clear()
+        self._sampler = threading.Thread(
+            target=self._sample_loop, name="repro-profiler", daemon=True
+        )
+        self._sampler.start()
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            with self._lock:
+                if not self._stack or self._target_tid is None:
+                    continue
+                phase = self._stack[-1]
+                tid = self._target_tid
+            frame = sys._current_frames().get(tid)
+            if frame is None:
+                continue
+            code = frame.f_code
+            where = f"{code.co_name} ({os.path.basename(code.co_filename)})"
+            with self._lock:
+                bucket = self._phase_samples.setdefault(phase, {})
+                bucket[where] = bucket.get(where, 0) + 1
+
+    def stop(self) -> None:
+        """Stop the sampling thread (reports remain readable)."""
+        self._stop.set()
+        sampler = self._sampler
+        if sampler is not None and sampler.is_alive():
+            sampler.join(timeout=1.0)
+        self._sampler = None
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict:
+        """Per-phase breakdown for embedding in bench JSON."""
+        with self._lock:
+            total = sum(self._phase_seconds.values())
+            phases = {}
+            for name, seconds in sorted(
+                self._phase_seconds.items(), key=lambda kv: -kv[1]
+            ):
+                samples = self._phase_samples.get(name, {})
+                top = dict(
+                    sorted(samples.items(), key=lambda kv: -kv[1])[
+                        : self.max_functions
+                    ]
+                )
+                phases[name] = {
+                    "seconds": round(seconds, 4),
+                    "share": round(seconds / total, 3) if total else 0.0,
+                    "samples": top,
+                }
+            return {
+                "interval_s": self.interval_s,
+                "total_seconds": round(total, 4),
+                "phases": phases,
+            }
+
+    def has_data(self) -> bool:
+        """True once at least one phase has closed."""
+        with self._lock:
+            return bool(self._phase_seconds)
+
+    def reset(self) -> None:
+        """Drop all accumulated phase times and samples."""
+        with self._lock:
+            self._phase_seconds.clear()
+            self._phase_samples.clear()
+
+
+#: Process-wide profiler the benches and the JSON writer share.
+_PROFILER = PhaseProfiler()
+
+
+def get_profiler() -> PhaseProfiler:
+    """The process-wide shared profiler."""
+    return _PROFILER
+
+
+def profile_phase(name: str):
+    """``with profile_phase("build"): ...`` on the shared profiler."""
+    return _PROFILER.phase(name)

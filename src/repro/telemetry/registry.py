@@ -1,0 +1,468 @@
+"""Typed metrics instruments and the process-wide registry.
+
+The registry is the substrate every stats object in the repository backs
+onto (:class:`~repro.storage.env.IoStats`,
+:class:`~repro.service.health.ServiceStats` are thin views over it):
+one place that knows every counter, gauge and histogram, labelled by
+component, and can render them all as JSON or Prometheus text.
+
+Three instrument types, all thread-safe:
+
+* :class:`Counter` — monotonically increasing (``inc``); resettable only
+  because the bench harness isolates measurement phases.
+* :class:`Gauge` — a point-in-time value, either set explicitly
+  (``set``) or computed on read from a callback (``set_fn``) so live
+  structures (queue depth, load factor ``P1``) are sampled exactly when
+  a snapshot is taken, with zero steady-state cost.
+* :class:`Histogram` — fixed log-spaced buckets (latency-shaped by
+  default: 1 µs to ~4.4 min in ×4 steps) plus a deterministic seeded
+  reservoir (:class:`Reservoir`) that answers nearest-rank percentiles
+  without unbounded memory.
+
+Exposition formats:
+
+* :meth:`MetricsRegistry.snapshot` — a JSON-safe dict (embedded in the
+  service's ``health()`` and the ``metrics-dump`` CLI);
+* :meth:`MetricsRegistry.to_prometheus` — Prometheus text exposition
+  (``# HELP``/``# TYPE``, escaped label values, cumulative ``_bucket``
+  series ending in ``+Inf``, ``_sum``/``_count``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+import re
+import threading
+from typing import Callable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Reservoir",
+    "DEFAULT_LATENCY_BUCKETS_NS",
+    "global_registry",
+    "set_global_registry",
+    "percentile",
+]
+
+#: Log-spaced (×4) latency buckets in nanoseconds: 1 µs … ~4.4 minutes.
+#: Fixed bounds keep histograms mergeable across runs and components.
+DEFAULT_LATENCY_BUCKETS_NS: tuple[float, ...] = tuple(
+    1_000.0 * 4.0**i for i in range(14)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def percentile(samples: "list[float]", q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of unsorted samples."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+class Reservoir:
+    """Deterministic bounded sample keeper (Vitter's Algorithm R).
+
+    Holds at most ``cap`` samples; once full, the ``n``-th observation
+    replaces a uniformly random slot with probability ``cap / n``, so
+    the retained set is a uniform sample of everything observed.  The
+    RNG is seeded, so two runs observing the same sequence keep the
+    same reservoir — a failure involving percentiles reproduces.
+    The true ``count``/``total``/``max_value``/``min_value`` are tracked
+    exactly (only the sample *set* is approximate).
+    """
+
+    __slots__ = ("cap", "_samples", "_count", "_total", "_max", "_min", "_rng")
+
+    def __init__(self, cap: int = 4096, seed: int = 0) -> None:
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+        self._samples: list[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = float("-inf")
+        self._min = float("inf")
+        self._rng = random.Random(seed)
+
+    def add(self, value: float) -> None:
+        """Observe one value (kept or reservoir-replaced)."""
+        self._count += 1
+        self._total += value
+        if value > self._max:
+            self._max = value
+        if value < self._min:
+            self._min = value
+        if len(self._samples) < self.cap:
+            self._samples.append(value)
+        else:
+            j = self._rng.randrange(self._count)
+            if j < self.cap:
+                self._samples[j] = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> float:
+        return self._total
+
+    @property
+    def max_value(self) -> float:
+        return self._max if self._count else 0.0
+
+    @property
+    def min_value(self) -> float:
+        return self._min if self._count else 0.0
+
+    def samples(self) -> list[float]:
+        """Copy of the retained samples (unordered)."""
+        return list(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        return percentile(self._samples, q)
+
+    def clear(self) -> None:
+        """Drop all samples and exact statistics."""
+        self._samples.clear()
+        self._count = 0
+        self._total = 0.0
+        self._max = float("-inf")
+        self._min = float("inf")
+
+
+class _Instrument:
+    """Shared identity: name, help text, sorted label pairs."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labels: dict[str, str]) -> None:
+        self.name = name
+        self.help = help
+        self.labels = dict(sorted(labels.items()))
+        self._lock = threading.Lock()
+
+    def label_suffix(self) -> str:
+        """``{k="v",...}`` with Prometheus escaping (or ``""``)."""
+        if not self.labels:
+            return ""
+        pairs = ",".join(
+            f'{k}="{_escape_label(str(v))}"' for k, v in self.labels.items()
+        )
+        return "{" + pairs + "}"
+
+
+def _escape_label(value: str) -> str:
+    """Prometheus label-value escaping: backslash, quote, newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+class Counter(_Instrument):
+    """Monotonic counter (``inc`` by non-negative deltas)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: dict[str, str]) -> None:
+        super().__init__(name, help, labels)
+        self._value = 0
+
+    def inc(self, delta: "int | float" = 1) -> None:
+        """Add a non-negative delta."""
+        if delta < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({delta})")
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> "int | float":
+        with self._lock:
+            return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (bench phase isolation; not Prometheus-pure)."""
+        with self._lock:
+            self._value = 0
+
+
+class Gauge(_Instrument):
+    """Point-in-time value, explicit (``set``) or computed (``set_fn``)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: dict[str, str]) -> None:
+        super().__init__(name, help, labels)
+        self._value: float = 0.0
+        self._fn: "Callable[[], float] | None" = None
+
+    def set(self, value: float) -> None:
+        """Set the value explicitly (clears any callback)."""
+        with self._lock:
+            self._fn = None
+            self._value = value
+
+    def inc(self, delta: float = 1.0) -> None:
+        """Adjust the explicit value by ``delta`` (may be negative)."""
+        with self._lock:
+            self._value += delta
+
+    def set_fn(self, fn: "Callable[[], float]") -> None:
+        """Compute the value on read — sampled at snapshot time."""
+        with self._lock:
+            self._fn = fn
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            fn = self._fn
+            if fn is None:
+                return self._value
+        try:
+            return float(fn())
+        except Exception:
+            # A dead callback (e.g. a retired structure) reads as 0
+            # rather than breaking every snapshot.
+            return 0.0
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with reservoir-backed percentiles.
+
+    ``bounds`` are the inclusive upper bucket bounds (ascending); an
+    implicit ``+Inf`` bucket tops them off.  ``observe`` is O(log
+    buckets) plus one reservoir step.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: dict[str, str],
+        bounds: "tuple[float, ...]" = DEFAULT_LATENCY_BUCKETS_NS,
+        reservoir_cap: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or any(
+            bounds[i] >= bounds[i + 1] for i in range(len(bounds) - 1)
+        ):
+            raise ValueError("bounds must be non-empty and increasing")
+        self.bounds = bounds
+        self._bucket_counts = [0] * (len(bounds) + 1)  # +Inf last
+        self._reservoir = Reservoir(reservoir_cap, seed)
+
+    def observe(self, value: float) -> None:
+        """Record one observation into its bucket and the reservoir."""
+        i = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._bucket_counts[i] += 1
+            self._reservoir.add(value)
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._reservoir.count
+
+    @property
+    def total(self) -> float:
+        with self._lock:
+            return self._reservoir.total
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the reservoir samples."""
+        with self._lock:
+            return self._reservoir.percentile(q)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending with ``+Inf``."""
+        out: list[tuple[float, int]] = []
+        with self._lock:
+            running = 0
+            for bound, n in zip(self.bounds, self._bucket_counts):
+                running += n
+                out.append((bound, running))
+            out.append((float("inf"), running + self._bucket_counts[-1]))
+        return out
+
+    def reset(self) -> None:
+        """Zero buckets and reservoir (bench phase isolation)."""
+        with self._lock:
+            self._bucket_counts = [0] * (len(self.bounds) + 1)
+            self._reservoir.clear()
+
+
+class MetricsRegistry:
+    """Thread-safe instrument factory and exposition point.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: asking twice
+    for the same (name, labels) returns the same instrument, so layers
+    can be wired independently and still share counters.  Re-using a
+    name with a different instrument type is an error — one name, one
+    type, many label sets (the Prometheus data model).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        #: name -> (kind, help, {label tuple -> instrument})
+        self._families: dict[
+            str, tuple[str, str, dict[tuple, _Instrument]]
+        ] = {}
+
+    # ------------------------------------------------------------------
+    # instrument factories
+    # ------------------------------------------------------------------
+    def counter(
+        self, name: str, help: str = "", labels: "dict[str, str] | None" = None
+    ) -> Counter:
+        """Get or create the :class:`Counter` with this name + labels."""
+        return self._get(Counter, name, help, labels or {})
+
+    def gauge(
+        self, name: str, help: str = "", labels: "dict[str, str] | None" = None
+    ) -> Gauge:
+        """Get or create the :class:`Gauge` with this name + labels."""
+        return self._get(Gauge, name, help, labels or {})
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: "dict[str, str] | None" = None,
+        **kwargs,
+    ) -> Histogram:
+        """Get or create the :class:`Histogram` with this name + labels."""
+        return self._get(Histogram, name, help, labels or {}, **kwargs)
+
+    def _get(self, cls, name: str, help: str, labels: dict, **kwargs):
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for key in labels:
+            if not _LABEL_RE.match(key):
+                raise ValueError(f"invalid label name {key!r}")
+        label_key = tuple(sorted((k, str(v)) for k, v in labels.items()))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                family = (cls.kind, help, {})
+                self._families[name] = family
+            kind, _, instruments = family
+            if kind != cls.kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {kind}, "
+                    f"requested {cls.kind}"
+                )
+            inst = instruments.get(label_key)
+            if inst is None:
+                inst = cls(name, help, dict(labels), **kwargs)
+                instruments[label_key] = inst
+            return inst  # type: ignore[return-value]
+
+    def instruments(self) -> list[_Instrument]:
+        """Every registered instrument, name-then-label ordered."""
+        with self._lock:
+            out: list[_Instrument] = []
+            for name in sorted(self._families):
+                _, _, instruments = self._families[name]
+                for key in sorted(instruments):
+                    out.append(instruments[key])
+            return out
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe dump: name -> list of {labels, value | histogram}."""
+        out: dict[str, list[dict]] = {}
+        for inst in self.instruments():
+            entry: dict = {"labels": inst.labels}
+            if isinstance(inst, Histogram):
+                entry["count"] = inst.count
+                entry["sum"] = inst.total
+                entry["p50"] = inst.percentile(50)
+                entry["p99"] = inst.percentile(99)
+                entry["p999"] = inst.percentile(99.9)
+                entry["buckets"] = [
+                    {"le": ("+Inf" if math.isinf(b) else b), "count": c}
+                    for b, c in inst.cumulative_buckets()
+                ]
+            else:
+                entry["value"] = inst.value
+            out.setdefault(inst.name, []).append(entry)
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format version 0.0.4)."""
+        lines: list[str] = []
+        seen: set[str] = set()
+        for inst in self.instruments():
+            if inst.name not in seen:
+                seen.add(inst.name)
+                help_text = inst.help or inst.name
+                lines.append(f"# HELP {inst.name} {help_text}")
+                lines.append(f"# TYPE {inst.name} {inst.kind}")
+            suffix = inst.label_suffix()
+            if isinstance(inst, Histogram):
+                for bound, cum in inst.cumulative_buckets():
+                    le = "+Inf" if math.isinf(bound) else _fmt_num(bound)
+                    pairs = dict(inst.labels)
+                    pairs["le"] = le
+                    label_str = ",".join(
+                        f'{k}="{_escape_label(str(v))}"'
+                        for k, v in pairs.items()
+                    )
+                    lines.append(
+                        f"{inst.name}_bucket{{{label_str}}} {cum}"
+                    )
+                lines.append(
+                    f"{inst.name}_sum{suffix} {_fmt_num(inst.total)}"
+                )
+                lines.append(f"{inst.name}_count{suffix} {inst.count}")
+            else:
+                lines.append(f"{inst.name}{suffix} {_fmt_num(inst.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _fmt_num(value: "int | float") -> str:
+    """Render a sample value: integers bare, floats repr-round-tripped."""
+    if isinstance(value, bool):  # pragma: no cover - defensive
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    as_int = int(value)
+    return str(as_int) if as_int == value else repr(value)
+
+
+#: Process-wide default registry: layers that have no obvious owner to
+#: receive one (serialize timings, module-level instrumentation) record
+#: here; ``metrics-dump`` and tests can read or swap it.
+_GLOBAL = MetricsRegistry()
+
+
+def global_registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _GLOBAL
+
+
+def set_global_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (tests); returns the old one."""
+    global _GLOBAL
+    old, _GLOBAL = _GLOBAL, registry
+    return old

@@ -1,0 +1,315 @@
+"""Request tracing: spans on the wall and simulated clocks.
+
+One trace shows everything a single range query paid for: queue wait,
+breaker state, the per-SSTable filter probes, RBF block fetches, fetch
+cache hits and fault-injected retries — the correlated view none of the
+aggregate counters can give.
+
+Design constraints, in order:
+
+1. **Zero-ish cost when off.**  The tracer is a process-wide singleton
+   that defaults to disabled; every instrumentation point starts with
+   ``current_span()`` or ``child_span()``, whose disabled path is one
+   global load and one attribute check.  The < 10 % overhead budget of
+   ``BENCH_telemetry.json`` is measured against exactly this guard.
+2. **Two clocks.**  A span records wall time (``perf_counter_ns``) and,
+   when the tracer carries a :class:`~repro.storage.env.SimulatedClock`,
+   simulated time — so a trace shows both what the host paid and what
+   the modelled storage charged (the quantity deadlines act on).
+3. **Thread handoff.**  The serving layer creates a root span at
+   *submit* and a worker thread adopts it (:meth:`Tracer.attach`), so
+   queue wait is part of the trace even though no span was "open" on
+   the worker while the request sat in the admission queue.
+
+Spans accumulate two kinds of data: ``attrs`` (set once, descriptive —
+table id, epoch, verdicts) and ``metrics`` (numeric, accumulated via
+:meth:`Span.add` — RBF fetches, I/O reads, retries).  Metrics roll up:
+:meth:`Span.total` sums a metric over a span and all its descendants.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "current_span",
+    "child_span",
+    "format_tree",
+]
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "metrics",
+        "children",
+        "start_wall_ns",
+        "end_wall_ns",
+        "start_sim_ns",
+        "end_sim_ns",
+    )
+
+    def __init__(
+        self, name: str, start_wall_ns: int, start_sim_ns: "int | None"
+    ) -> None:
+        self.name = name
+        self.attrs: dict[str, object] = {}
+        self.metrics: dict[str, float] = {}
+        self.children: list[Span] = []
+        self.start_wall_ns = start_wall_ns
+        self.end_wall_ns: "int | None" = None
+        self.start_sim_ns = start_sim_ns
+        self.end_sim_ns: "int | None" = None
+
+    # ------------------------------------------------------------------
+    # annotation
+    # ------------------------------------------------------------------
+    def set(self, **attrs) -> "Span":
+        """Attach descriptive attributes (last write wins)."""
+        self.attrs.update(attrs)
+        return self
+
+    def add(self, metric: str, delta: float = 1) -> None:
+        """Accumulate a numeric metric on this span."""
+        self.metrics[metric] = self.metrics.get(metric, 0) + delta
+
+    # ------------------------------------------------------------------
+    # durations & rollups
+    # ------------------------------------------------------------------
+    @property
+    def wall_ns(self) -> int:
+        end = (
+            self.end_wall_ns
+            if self.end_wall_ns is not None
+            else time.perf_counter_ns()
+        )
+        return end - self.start_wall_ns
+
+    @property
+    def sim_ns(self) -> "int | None":
+        if self.start_sim_ns is None:
+            return None
+        end = self.end_sim_ns
+        return None if end is None else end - self.start_sim_ns
+
+    def total(self, metric: str) -> float:
+        """Sum of ``metric`` over this span and all descendants."""
+        n = self.metrics.get(metric, 0)
+        for child in self.children:
+            n += child.total(metric)
+        return n
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (depth-first, self included) named ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            hit = child.find(name)
+            if hit is not None:
+                return hit
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering of the whole subtree."""
+        return {
+            "name": self.name,
+            "wall_ns": self.wall_ns,
+            "sim_ns": self.sim_ns,
+            "attrs": dict(self.attrs),
+            "metrics": dict(self.metrics),
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span({self.name!r}, wall={self.wall_ns}ns, "
+            f"children={len(self.children)})"
+        )
+
+
+class _NullContext:
+    """Reusable no-op context manager — the disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL = _NullContext()
+
+
+class Tracer:
+    """Per-thread span stacks over a shared enable flag.
+
+    ``enabled`` is the single switch every instrumentation point
+    checks.  ``clock`` (optional) is the simulated clock spans stamp
+    alongside wall time — the service sets it when tracing starts.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.clock = None  # SimulatedClock | None (duck-typed: now_ns())
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def enable(self, clock=None) -> "Tracer":
+        """Turn tracing on (optionally stamping a simulated clock)."""
+        if clock is not None:
+            self.clock = clock
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        """Turn tracing off and forget the simulated clock."""
+        self.enabled = False
+        self.clock = None
+
+    # ------------------------------------------------------------------
+    # span plumbing
+    # ------------------------------------------------------------------
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _now(self) -> tuple[int, "int | None"]:
+        clock = self.clock
+        return (
+            time.perf_counter_ns(),
+            clock.now_ns() if clock is not None else None,
+        )
+
+    def current(self) -> "Span | None":
+        """This thread's innermost open span, or None."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def start_span(self, name: str, **attrs) -> Span:
+        """Create a span *without* pushing it (root spans handed across
+        threads; finish with :meth:`finish`)."""
+        wall, sim = self._now()
+        span = Span(name, wall, sim)
+        if attrs:
+            span.attrs.update(attrs)
+        parent = self.current()
+        if parent is not None:
+            parent.children.append(span)
+        return span
+
+    def finish(self, span: Span) -> Span:
+        """Stamp the span's end times (idempotent)."""
+        if span.end_wall_ns is None:
+            wall, sim = self._now()
+            span.end_wall_ns = wall
+            span.end_sim_ns = sim
+        return span
+
+    @contextmanager
+    def span(self, name: str, **attrs):
+        """Open a child span of the current one on this thread."""
+        span = self.start_span(name, **attrs)
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+            self.finish(span)
+
+    @contextmanager
+    def attach(self, span: Span):
+        """Adopt an existing span as this thread's current span.
+
+        The worker-pool handoff: the root span was created on the
+        submitting thread; the worker attaches it so every child span
+        opened while serving lands under it.  Does not finish the span.
+        """
+        stack = self._stack()
+        stack.append(span)
+        try:
+            yield span
+        finally:
+            stack.pop()
+
+
+#: The process-wide tracer every instrumentation point consults.
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer singleton."""
+    return _TRACER
+
+
+def current_span() -> "Span | None":
+    """The innermost open span on this thread, or None (fast when off)."""
+    tracer = _TRACER
+    if not tracer.enabled:
+        return None
+    return tracer.current()
+
+
+def child_span(name: str):
+    """Context manager for a child span; a shared no-op when disabled.
+
+    The hot-path idiom::
+
+        with child_span("sstable.probe") as sp:
+            ...
+            if sp is not None:
+                sp.set(table=self.table_id)
+
+    Attributes are set inside the ``if`` so the disabled path builds no
+    kwargs dict at all.
+    """
+    tracer = _TRACER
+    if not tracer.enabled:
+        return _NULL
+    return tracer.span(name)
+
+
+def _fmt_ns(ns: "int | None") -> str:
+    if ns is None:
+        return "-"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.2f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f}µs"
+    return f"{ns}ns"
+
+
+def format_tree(span: Span, indent: int = 0) -> str:
+    """Human-readable span tree (the ``trace-query`` CLI output)."""
+    pad = "  " * indent
+    parts = [f"{pad}{span.name}  wall={_fmt_ns(span.wall_ns)}"]
+    if span.sim_ns is not None:
+        parts.append(f"sim={_fmt_ns(span.sim_ns)}")
+    if span.attrs:
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        parts.append(f"[{attrs}]")
+    if span.metrics:
+        metrics = " ".join(
+            f"{k}={int(v) if float(v).is_integer() else v}"
+            for k, v in sorted(span.metrics.items())
+        )
+        parts.append(f"({metrics})")
+    lines = ["  ".join(parts)]
+    for child in span.children:
+        lines.append(format_tree(child, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,674 @@
+"""Tests for the unified telemetry subsystem (DESIGN.md §9).
+
+Covers the metrics registry (instruments, get-or-create semantics,
+JSON + Prometheus exposition), the deterministic reservoir behind
+latency percentiles, request tracing (span trees, the disabled fast
+path, the cross-thread worker handoff), the ``Instrumented`` filter
+gauges, the sampling profiler's phase accounting, the thin-view
+``IoStats``/``ServiceStats`` migration, the extended ``health()``
+surface, and the ``metrics-dump`` / ``trace-query`` CLI commands.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+
+import pytest
+
+from repro.core.rencoder import REncoder
+from repro.service import FilterService, SimulatedClock
+from repro.service.health import LatencyRecorder, ServiceStats
+from repro.storage.env import IoStats, StorageEnv
+from repro.storage.lsm import LSMTree
+from repro.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrumented,
+    MetricsRegistry,
+    PhaseProfiler,
+    Reservoir,
+    Span,
+    Tracer,
+    child_span,
+    current_span,
+    format_tree,
+    get_tracer,
+    percentile,
+)
+
+MS = 1_000_000
+
+
+@pytest.fixture(autouse=True)
+def _tracer_off():
+    """Every test starts and ends with the process tracer disabled."""
+    get_tracer().disable()
+    yield
+    get_tracer().disable()
+
+
+def _factory(keys):
+    return REncoder(keys, bits_per_key=14)
+
+
+def _tree(n=600):
+    env = StorageEnv(clock=SimulatedClock())
+    lsm = LSMTree(_factory, memtable_capacity=64, env=env)
+    for k in range(0, 2 * n, 2):  # even keys present, odd absent
+        lsm.put(k, k)
+    lsm.flush()
+    return lsm
+
+
+# ----------------------------------------------------------------------
+# percentile / reservoir
+# ----------------------------------------------------------------------
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
+
+    def test_single_sample_every_q(self):
+        for q in (0, 1, 50, 99, 100):
+            assert percentile([7.0], q) == 7.0
+
+    def test_nearest_rank_semantics(self):
+        samples = [10, 20, 30, 40, 50]
+        assert percentile(samples, 0) == 10  # rank clamps to 1
+        assert percentile(samples, 20) == 10
+        assert percentile(samples, 50) == 30
+        assert percentile(samples, 100) == 50
+
+    def test_duplicates_and_order_independence(self):
+        assert percentile([5, 5, 5, 5], 99) == 5
+        assert percentile([3, 1, 2], 50) == percentile([1, 2, 3], 50)
+
+
+class TestReservoir:
+    def test_below_cap_keeps_everything(self):
+        res = Reservoir(cap=100, seed=0)
+        values = [float(v) for v in range(50)]
+        for v in values:
+            res.add(v)
+        assert sorted(res.samples()) == values
+        for q in (0, 25, 50, 99, 100):
+            assert res.percentile(q) == percentile(values, q)
+
+    def test_deterministic_across_runs(self):
+        a, b = Reservoir(cap=16, seed=7), Reservoir(cap=16, seed=7)
+        for v in range(1000):
+            a.add(float(v))
+            b.add(float(v))
+        assert a.samples() == b.samples()
+
+    def test_exact_stats_survive_eviction(self):
+        res = Reservoir(cap=8, seed=0)
+        for v in range(1, 101):
+            res.add(float(v))
+        assert len(res.samples()) == 8
+        assert res.count == 100
+        assert res.total == sum(range(1, 101))
+        assert res.max_value == 100.0
+        assert res.min_value == 1.0
+
+    def test_clear(self):
+        res = Reservoir(cap=4, seed=0)
+        res.add(3.0)
+        res.clear()
+        assert res.count == 0
+        assert res.samples() == []
+        assert res.max_value == 0.0
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            Reservoir(cap=0)
+
+
+# ----------------------------------------------------------------------
+# instruments
+# ----------------------------------------------------------------------
+class TestInstruments:
+    def test_counter_monotone(self):
+        c = Counter("c_total", "", {})
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        c.reset()
+        assert c.value == 0
+
+    def test_gauge_set_inc_and_callback(self):
+        g = Gauge("g", "", {})
+        g.set(2.0)
+        g.inc(-0.5)
+        assert g.value == 1.5
+        g.set_fn(lambda: 42.0)
+        assert g.value == 42.0
+        g.set(1.0)  # explicit set clears the callback
+        assert g.value == 1.0
+
+    def test_gauge_dead_callback_reads_zero(self):
+        g = Gauge("g", "", {})
+        g.set_fn(lambda: 1 / 0)
+        assert g.value == 0.0
+
+    def test_histogram_buckets_cumulative_and_inf(self):
+        h = Histogram("h", "", {}, bounds=(10.0, 100.0, 1000.0))
+        for v in (5, 50, 500, 5000):
+            h.observe(v)
+        buckets = h.cumulative_buckets()
+        assert [c for _, c in buckets] == [1, 2, 3, 4]
+        assert buckets[-1][0] == float("inf")
+        counts = [c for _, c in buckets]
+        assert counts == sorted(counts)  # cumulative => monotone
+        assert buckets[-1][1] == h.count == 4
+        assert h.total == 5555
+
+    def test_histogram_percentile_and_reset(self):
+        h = Histogram("h", "", {}, bounds=(10.0, 100.0))
+        for v in range(1, 11):
+            h.observe(float(v))
+        assert h.percentile(50) == 5.0
+        h.reset()
+        assert h.count == 0
+        assert h.percentile(99) == 0.0
+
+    def test_histogram_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "", {}, bounds=())
+        with pytest.raises(ValueError):
+            Histogram("h", "", {}, bounds=(10.0, 10.0))
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_get_or_create_identity(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x_total", labels={"component": "a"})
+        b = reg.counter("x_total", labels={"component": "a"})
+        c = reg.counter("x_total", labels={"component": "b"})
+        assert a is b
+        assert a is not c
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_invalid_names_raise(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("1bad")
+        with pytest.raises(ValueError):
+            reg.counter("ok", labels={"bad-label": "v"})
+
+    def test_snapshot_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labels={"component": "t"}).inc(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h_ns").observe(2_000)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c_total"][0]["value"] == 3
+        hist = snap["h_ns"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1]["le"] == "+Inf"
+        assert hist["buckets"][-1]["count"] == 1
+
+    def test_prometheus_exposition_parses(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", help="a counter", labels={"k": "v"}).inc(2)
+        reg.gauge("g").set(0.5)
+        reg.histogram("h_ns", labels={"k": "v"}).observe(5_000)
+        text = reg.to_prometheus()
+        assert text.endswith("\n")
+        sample_re = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+            r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+            r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+            r" [^ ]+$"
+        )
+        for line in text.strip().splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][\w:]*( .*)?$", line)
+            else:
+                assert sample_re.match(line), line
+
+    def test_prometheus_histogram_shape(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_ns", bounds=(10.0, 100.0))
+        for v in (5, 50, 500):
+            h.observe(v)
+        text = reg.to_prometheus()
+        cums = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("lat_ns_bucket")
+        ]
+        assert cums == [1, 2, 3]  # cumulative and monotone
+        assert 'le="+Inf"' in text
+        assert "lat_ns_count 3" in text
+        assert "lat_ns_sum 555" in text
+
+    def test_prometheus_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("esc_total", labels={"p": 'a"b\\c\nd'}).inc()
+        text = reg.to_prometheus()
+        assert r'p="a\"b\\c\nd"' in text
+
+
+# ----------------------------------------------------------------------
+# latency recorder (satellite 1)
+# ----------------------------------------------------------------------
+class TestLatencyRecorder:
+    def test_below_cap_matches_exact_percentiles(self):
+        rec = LatencyRecorder(cap=1000, seed=0)
+        samples = [(i * 37) % 1000 for i in range(500)]
+        for s in samples:
+            rec.record(s)
+        for q in (50, 90, 99, 99.9):
+            assert rec.percentile_ns(q) == percentile(samples, q)
+
+    def test_capped_stays_bounded_with_exact_count_and_max(self):
+        rec = LatencyRecorder(cap=64, seed=3)
+        for i in range(10_000):
+            rec.record(i)
+        assert len(rec) == 10_000
+        assert rec.summary_ms()["max_ms"] == round(9999 / 1e6, 3)
+
+    def test_capped_percentiles_stay_representative(self):
+        # Uniform 0..1e6: the sampled p50 must land near the true p50.
+        rec = LatencyRecorder(cap=2048, seed=0)
+        for i in range(100_000):
+            rec.record((i * 7919) % 1_000_000)
+        assert abs(rec.percentile_ns(50) - 500_000) < 100_000
+
+    def test_mirrors_into_histogram(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_ns")
+        rec = LatencyRecorder(histogram=hist)
+        rec.record(2_000)
+        assert hist.count == 1
+
+    def test_empty_summary(self):
+        rec = LatencyRecorder()
+        assert rec.summary_ms() == {
+            "p50_ms": 0.0, "p99_ms": 0.0, "p999_ms": 0.0, "max_ms": 0.0,
+        }
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+class TestTracing:
+    def test_disabled_fast_path(self):
+        assert current_span() is None
+        with child_span("anything") as sp:
+            assert sp is None
+        assert current_span() is None
+
+    def test_span_tree_and_metrics_rollup(self):
+        tracer = Tracer().enable()
+        with tracer.span("root") as root:
+            root.add("io", 1)
+            with tracer.span("child", table=3) as child:
+                child.add("io", 2)
+                with tracer.span("grandchild") as gc:
+                    gc.add("io", 4)
+        assert [c.name for c in root.children] == ["child"]
+        assert root.total("io") == 7
+        assert root.find("grandchild") is not None
+        assert root.find("nope") is None
+        assert child.attrs["table"] == 3
+        assert root.end_wall_ns is not None
+
+    def test_to_dict_json_safe_and_format_tree(self):
+        tracer = Tracer().enable()
+        with tracer.span("root") as root:
+            with tracer.span("leaf") as leaf:
+                leaf.add("fetches", 2)
+                leaf.set(verdict="positive")
+        blob = json.loads(json.dumps(root.to_dict()))
+        assert blob["children"][0]["metrics"]["fetches"] == 2
+        text = format_tree(root)
+        assert "root" in text and "leaf" in text
+        assert "verdict=positive" in text and "fetches=2" in text
+
+    def test_sim_clock_stamps(self):
+        clock = SimulatedClock()
+        tracer = Tracer().enable(clock=clock)
+        with tracer.span("op") as sp:
+            clock.advance(5 * MS)
+        assert sp.sim_ns == 5 * MS
+
+    def test_finish_idempotent(self):
+        tracer = Tracer().enable()
+        sp = tracer.start_span("x")
+        tracer.finish(sp)
+        end = sp.end_wall_ns
+        time.sleep(0.001)
+        tracer.finish(sp)
+        assert sp.end_wall_ns == end
+
+    def test_attach_adopts_span_across_threads(self):
+        tracer = Tracer().enable()
+        root = tracer.start_span("root")
+
+        def worker():
+            with tracer.attach(root):
+                with tracer.span("inner"):
+                    pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        tracer.finish(root)
+        assert [c.name for c in root.children] == ["inner"]
+
+    def test_process_tracer_child_span_nests(self):
+        tracer = get_tracer().enable()
+        try:
+            with tracer.span("outer") as outer:
+                with child_span("nested") as sp:
+                    assert sp is not None
+                    assert current_span() is sp
+            assert [c.name for c in outer.children] == ["nested"]
+        finally:
+            tracer.disable()
+
+
+# ----------------------------------------------------------------------
+# end-to-end service trace
+# ----------------------------------------------------------------------
+class TestServiceTrace:
+    def test_no_trace_when_disabled(self):
+        with FilterService(_tree(), workers=1) as svc:
+            resp = svc.query_range(0, 4)
+        assert resp.trace is None
+
+    def test_trace_shows_full_request_anatomy(self):
+        lsm = _tree()
+        tracer = get_tracer().enable(clock=lsm.env.clock)
+        try:
+            with FilterService(lsm, workers=1) as svc:
+                resp = svc.query_range(10, 14)
+        finally:
+            tracer.disable()
+        trace = resp.trace
+        assert trace is not None
+        assert trace.name == "service.range"
+        assert trace.end_wall_ns is not None
+        assert trace.attrs["reason"] == "ok"
+        assert trace.attrs["degraded"] is False
+        assert "breaker" in trace.attrs
+        # Queue wait is a closed child even though the request never
+        # blocked a worker-side span while queued.
+        wait = trace.find("queue.wait")
+        assert wait is not None and wait.end_wall_ns is not None
+        # The storage descent: lsm -> per-SSTable probe -> RBF fetches.
+        assert trace.find("lsm.range_query") is not None
+        probe = trace.find("sstable.probe")
+        assert probe is not None
+        assert probe.attrs["verdict"] in ("positive", "negative")
+        assert trace.total("filter_probes") > 0
+        assert trace.total("rbf_fetches") > 0
+        assert trace.total("io_reads") > 0  # positive verdict was read
+        # The rendered tree mentions every layer.
+        text = format_tree(trace)
+        for needle in ("service.range", "queue.wait", "sstable.probe"):
+            assert needle in text
+
+    def test_batch_trace(self):
+        lsm = _tree()
+        tracer = get_tracer().enable(clock=lsm.env.clock)
+        try:
+            with FilterService(lsm, workers=1) as svc:
+                resp = svc.query_range_batch([(0, 4), (11, 11)])
+        finally:
+            tracer.disable()
+        assert resp.trace is not None
+        assert resp.trace.name == "service.range_batch"
+        assert resp.trace.find("lsm.range_query_many") is not None
+
+
+# ----------------------------------------------------------------------
+# thin views: IoStats / ServiceStats over the registry
+# ----------------------------------------------------------------------
+class TestIoStatsView:
+    def test_counters_live_in_a_registry(self):
+        stats = IoStats()
+        stats.bump(reads=3, cache_hits=1)
+        assert stats.reads == 3
+        snap = stats.registry.snapshot()
+        assert snap["io_reads"][0]["value"] == 3
+        assert snap["io_reads"][0]["labels"] == {"component": "storage"}
+
+    def test_bind_migrates_totals(self):
+        stats = IoStats()
+        stats.bump(reads=5)
+        shared = MetricsRegistry()
+        stats.bind(shared)
+        assert stats.reads == 5
+        assert shared.counter(
+            "io_reads", labels={"component": "storage"}
+        ).value == 5
+        stats.bump(reads=1)
+        assert shared.counter(
+            "io_reads", labels={"component": "storage"}
+        ).value == 6
+
+    def test_value_equality_and_unknown_counter(self):
+        a, b = IoStats(), IoStats()
+        assert a == b
+        a.bump(reads=1)
+        assert a != b
+        with pytest.raises(AttributeError):
+            a.bump(nonsense=1)
+
+
+class TestServiceStatsView:
+    def test_counters_and_latency_in_shared_registry(self):
+        reg = MetricsRegistry()
+        stats = ServiceStats(registry=reg)
+        stats.bump(submitted=2, completed=2, ok=2)
+        stats.wall.record(3 * MS)
+        snap = reg.snapshot()
+        assert snap["service_completed"][0]["value"] == 2
+        assert snap["service_latency_wall_ns"][0]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# health surface (satellite 2)
+# ----------------------------------------------------------------------
+class TestHealth:
+    def test_health_has_telemetry_fields(self):
+        reg = MetricsRegistry()
+        with FilterService(_tree(), workers=1, registry=reg) as svc:
+            svc.query_range(0, 4)
+            r = svc.query_range(0, 1198, deadline_ns=1)
+            assert r.degraded
+            health = svc.health()
+        assert health["uptime_ns"] > 0
+        reasons = health["degraded_by_reason"]
+        assert set(reasons) == {"deadline", "breaker-open", "fault", "shed"}
+        assert reasons["deadline"] >= 1
+        transitions = health["breaker"]["transitions"]
+        assert set(transitions) == {"opened", "half_opened", "closed"}
+        metrics = health["metrics"]
+        assert metrics["service_completed"][0]["value"] == 2
+        assert "io_reads" in metrics  # storage stats re-homed via bind()
+        json.dumps(health)  # the whole endpoint must stay JSON-safe
+
+    def test_uptime_zero_while_stopped(self):
+        svc = FilterService(_tree(), workers=1)
+        assert svc.uptime_ns() == 0
+        svc.start()
+        svc.query_range(0, 4)
+        assert svc.uptime_ns() > 0
+        svc.stop()
+        assert svc.uptime_ns() == 0  # documented: 0 while not running
+
+
+# ----------------------------------------------------------------------
+# Instrumented filter gauges
+# ----------------------------------------------------------------------
+class TestInstrumented:
+    def test_rencoder_telemetry_keys(self):
+        filt = REncoder(range(0, 2_000, 2), bits_per_key=14)
+        tel = filt.telemetry()
+        for key in (
+            "size_in_bits", "n_keys", "final_p1", "stored_level_count",
+            "deepest_level", "shallowest_level", "probe_count",
+        ):
+            assert key in tel, key
+        assert tel["n_keys"] == 1_000
+        assert 0.0 < tel["final_p1"] < 1.0
+        assert tel["deepest_level"] >= tel["shallowest_level"]
+
+    def test_register_metrics_samples_live(self):
+        filt = REncoder(range(0, 2_000, 2), bits_per_key=14)
+        reg = MetricsRegistry()
+        gauges = filt.register_metrics(reg, table="7")
+        assert gauges
+        before = reg.snapshot()["rencoder_probe_count"][0]
+        assert before["value"] == 0
+        assert before["labels"] == {"component": "filter", "table": "7"}
+        filt.query_range(10, 14)
+        after = reg.snapshot()["rencoder_probe_count"][0]
+        assert after["value"] > 0  # sampled from the live filter
+
+    def test_non_numeric_and_failing_attributes_skipped(self):
+        class Weird(Instrumented):
+            _TELEMETRY = ("ok", "text", "boom", "flag")
+            ok = 3
+
+            text = "nope"
+            flag = True
+
+            @property
+            def boom(self):
+                raise RuntimeError
+
+        assert Weird().telemetry() == {"ok": 3}
+
+
+# ----------------------------------------------------------------------
+# profiler
+# ----------------------------------------------------------------------
+class TestProfiler:
+    def test_disabled_by_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        prof = PhaseProfiler()
+        with prof.phase("build"):
+            pass
+        assert not prof.has_data()
+
+    def test_phase_accounting(self):
+        prof = PhaseProfiler(enabled=True, interval_s=0.001)
+        try:
+            with prof.phase("build"):
+                time.sleep(0.02)
+            with prof.phase("query"):
+                time.sleep(0.01)
+            report = prof.report()
+        finally:
+            prof.stop()
+        assert set(report["phases"]) == {"build", "query"}
+        assert report["phases"]["build"]["seconds"] >= 0.02
+        shares = [p["share"] for p in report["phases"].values()]
+        assert abs(sum(shares) - 1.0) < 0.01
+        assert prof.has_data()
+        prof.reset()
+        assert not prof.has_data()
+
+    def test_nested_phase_attributes_to_innermost(self):
+        prof = PhaseProfiler(enabled=True, interval_s=0.001)
+        try:
+            with prof.phase("outer"):
+                with prof.phase("inner"):
+                    time.sleep(0.01)
+            report = prof.report()
+        finally:
+            prof.stop()
+        assert report["phases"]["inner"]["seconds"] >= 0.01
+        # Outer time includes inner (exact wall accounting, not samples).
+        assert (
+            report["phases"]["outer"]["seconds"]
+            >= report["phases"]["inner"]["seconds"]
+        )
+
+
+# ----------------------------------------------------------------------
+# serialize timings land on the global registry
+# ----------------------------------------------------------------------
+class TestSerializeTimings:
+    def test_dumps_loads_observed(self):
+        from repro.core import serialize
+        from repro.telemetry.registry import set_global_registry
+
+        reg = MetricsRegistry()
+        old = set_global_registry(reg)
+        try:
+            filt = REncoder(range(0, 1_000, 2), bits_per_key=14)
+            blob = serialize.dumps(filt)
+            serialize.loads(blob)
+        finally:
+            set_global_registry(old)
+        snap = reg.snapshot()
+        assert snap["serialize_dumps_ns"][0]["count"] == 1
+        assert snap["serialize_loads_ns"][0]["count"] == 1
+        assert snap["serialize_dumps_ns"][0]["labels"] == {
+            "component": "serialize"
+        }
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_metrics_dump_json(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "metrics-dump", "--n-keys", "2000", "--queries", "10",
+        ]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["service_completed"][0]["value"] > 0
+        assert snap["io_reads"][0]["labels"] == {"component": "storage"}
+        assert any(name.startswith("rencoder_") for name in snap)
+
+    def test_metrics_dump_prometheus(self, capsys):
+        from repro.cli import main
+
+        assert main([
+            "metrics-dump", "--n-keys", "2000", "--queries", "10",
+            "--format", "prom",
+        ]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE service_completed counter" in text
+        assert 'service_latency_wall_ns_bucket{component="service",le="+Inf"}' in text
+
+    def test_trace_query_prints_span_tree(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace-query", "--n-keys", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "service.range" in out
+        assert "queue.wait" in out
+        assert "lsm.range_query" in out
+        summary = json.loads(out.strip().splitlines()[-1])
+        assert "rbf_fetches" in summary and "io_reads" in summary
+        # The CLI must leave the process tracer off afterwards.
+        assert not get_tracer().enabled
