@@ -9,8 +9,6 @@ Finishes with the correlated-workload stress test of Figure 9.
 Run:  python examples/adaptive_levels.py
 """
 
-import numpy as np
-
 from repro import REncoder, REncoderSE, REncoderSS
 from repro.workloads.datasets import dataset_skew, generate_keys
 from repro.workloads.queries import (

@@ -10,7 +10,7 @@ Run:  python examples/filter_shootout.py
 
 import time
 
-from repro.bench.registry import FILTER_NAMES, build_filter
+from repro.bench.registry import build_filter
 from repro.bench.tables import format_table
 from repro.workloads.datasets import generate_keys
 from repro.workloads.queries import (

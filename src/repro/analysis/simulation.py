@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.bounds import a_sequence, fpr_bound
+from repro.analysis.bounds import a_sequence
 
 __all__ = [
     "simulate_path_probability",

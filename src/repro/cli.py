@@ -25,6 +25,10 @@ Commands
     Run one traced range query through the full service stack and print
     the span tree: queue wait, per-SSTable filter probes with verdicts,
     RBF block-fetch counts, cache hits, and any second-level reads.
+``lint``
+    Run the project lint engine (wall-clock/RNG/one-sided-error/lock
+    discipline rules, DESIGN.md §10) over the source tree; exits 1 on
+    findings that are neither baselined nor pragma-suppressed.
 ``demo``
     A 30-second guided tour of the REncoder API.
 """
@@ -268,6 +272,52 @@ def _cmd_trace_query(args) -> int:
     return 0
 
 
+#: Default lint targets, relative to the repo root: the library itself
+#: plus everything that feeds CI artifacts.
+LINT_PATHS = ("src/repro", "benchmarks", "examples")
+
+
+def _cmd_lint(args) -> int:
+    import json
+
+    from repro.lint import Baseline, LintEngine, make_default_rules
+
+    engine = LintEngine(
+        make_default_rules(),
+        root=args.root,
+        baseline=Baseline.load(args.baseline),
+    )
+    paths = args.paths or [
+        p for p in LINT_PATHS if (engine.root / p).exists()
+    ]
+    findings = engine.run(paths)
+    if args.update_baseline:
+        target = Baseline.from_findings(findings).save(args.baseline)
+        print(f"wrote {target} ({len(findings)} findings baselined)")
+        return 0
+    new, baselined = engine.baseline.split(findings)
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "new": [f.as_dict() for f in new],
+                "baselined": [f.as_dict() for f in baselined],
+                "suppressed": len(engine.suppressed),
+                "parse_errors": engine.errors,
+            },
+            indent=2,
+        ))
+    else:
+        for f in new:
+            print(f.format())
+        for path, err in engine.errors:
+            print(f"{path}: parse error: {err}", file=sys.stderr)
+        print(
+            f"lint: {len(new)} finding(s), {len(baselined)} baselined, "
+            f"{len(engine.suppressed)} pragma-suppressed"
+        )
+    return 1 if new or engine.errors else 0
+
+
 def _cmd_demo(_args) -> int:
     from repro import REncoder
 
@@ -367,6 +417,22 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--n-keys", type=int, default=5_000)
     trace.add_argument("--seed", type=int, default=42)
     trace.set_defaults(func=_cmd_trace_query)
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project lint engine (DESIGN.md §10)",
+    )
+    lint.add_argument("paths", nargs="*", default=None,
+                      help=f"files/dirs to lint (default: {', '.join(LINT_PATHS)})")
+    lint.add_argument("--format", default="text", choices=("text", "json"))
+    lint.add_argument("--baseline", default="lint-baseline.json",
+                      help="grandfathered-findings file (default "
+                           "lint-baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline from the current findings")
+    lint.add_argument("--root", default=".",
+                      help="repo root paths are resolved against")
+    lint.set_defaults(func=_cmd_lint)
 
     sub.add_parser("demo", help="30-second API tour").set_defaults(
         func=_cmd_demo

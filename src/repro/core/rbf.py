@@ -265,10 +265,11 @@ class RangeBloomFilter(Instrumented):
     # ------------------------------------------------------------------
     def ones(self) -> int:
         """Number of set bits in the array."""
-        if self._ones_dirty:
-            self._ones_cache = int(np.bitwise_count(self._array).sum())
-            self._ones_dirty = False
-        return self._ones_cache
+        with self._stats_lock:
+            if self._ones_dirty:
+                self._ones_cache = int(np.bitwise_count(self._array).sum())
+                self._ones_dirty = False
+            return self._ones_cache
 
     @property
     def p1(self) -> float:

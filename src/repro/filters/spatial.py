@@ -17,7 +17,7 @@ derives it from ``max_query_extent``.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable
 
 import numpy as np
 

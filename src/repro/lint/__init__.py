@@ -1,0 +1,42 @@
+"""Project lint engine and concurrency sanitizer.
+
+Two guardrails for invariants the test suite cannot see:
+
+* :mod:`repro.lint.engine` + :mod:`repro.lint.rules` — an AST-based
+  lint engine with project-specific rules (wall-clock usage in
+  simulated paths, unseeded RNGs, negative answers on degraded paths,
+  lock discipline, bare excepts, mutable default args), a checked-in
+  baseline for grandfathered findings and ``# lint: allow[rule]``
+  pragmas for intentional exceptions.  Run via ``python -m repro lint``
+  or ``make lint``.
+* :mod:`repro.lint.sanitizer` — a runtime lock-order watcher that wraps
+  ``threading.Lock``/``RLock`` under ``REPRO_SANITIZE=1``, records the
+  per-thread lock-acquisition graph, and reports potential deadlocks
+  (cycles) and long-hold outliers.  Wired into the chaos and stress
+  suites; ``make sanitize-stress`` runs them sanitized.
+
+DESIGN.md §10 documents both.
+"""
+
+from repro.lint.engine import (
+    Baseline,
+    Finding,
+    LintEngine,
+    Rule,
+    load_source,
+)
+from repro.lint.rules import DEFAULT_RULES, make_default_rules
+from repro.lint.sanitizer import LockOrderWatcher, raw_lock, raw_rlock
+
+__all__ = [
+    "Baseline",
+    "DEFAULT_RULES",
+    "Finding",
+    "LintEngine",
+    "LockOrderWatcher",
+    "Rule",
+    "load_source",
+    "make_default_rules",
+    "raw_lock",
+    "raw_rlock",
+]

@@ -1,0 +1,311 @@
+"""AST lint engine: pluggable rules, pragmas, and a findings baseline.
+
+The engine parses every ``.py`` file under the given paths once and
+hands each :class:`FileContext` (source, AST, pragma table) to every
+:class:`Rule` whose :meth:`Rule.applies_to` accepts the file.  Rules
+yield :class:`Finding`\\ s; the engine then drops findings suppressed by
+an inline pragma and splits the rest into *new* vs *baselined*.
+
+Pragmas
+-------
+A finding on line *N* is suppressed when line *N* (or line *N-1*, for
+statements too long to annotate inline) carries::
+
+    # lint: allow[rule-name]
+    # lint: allow[rule-a, rule-b]
+    # lint: allow[*]
+
+Baseline
+--------
+``Baseline`` is a checked-in JSON file of grandfathered findings.  A
+baseline entry matches on ``(rule, path, message)`` — deliberately *not*
+on line number, so unrelated edits above a grandfathered site don't
+resurrect it — and each entry absorbs at most as many findings as its
+recorded count.  ``python -m repro lint --update-baseline`` rewrites the
+file from the current findings; the review norm is that the baseline
+only ever shrinks.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = ["Finding", "FileContext", "Rule", "Baseline", "LintEngine", "load_source"]
+
+#: ``# lint: allow[rule-a, rule-b]`` — anywhere on the line.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[([^\]]*)\]")
+
+#: Severity levels, in increasing order of interest.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a file/line/column."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+    severity: str = "error"
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Baseline identity: line numbers drift, messages don't."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        """Render as ``path:line:col: severity: [rule] message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.severity}: [{self.rule}] {self.message}"
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready mapping of every field (``--format json``)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+
+class FileContext:
+    """Everything a rule needs about one source file."""
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.source = source
+        self.tree = tree
+        self.lines = source.splitlines()
+        self._pragmas = self._scan_pragmas()
+
+    def _scan_pragmas(self) -> dict[int, frozenset[str]]:
+        pragmas: dict[int, frozenset[str]] = {}
+        for lineno, line in enumerate(self.lines, start=1):
+            if "lint:" not in line:
+                continue
+            m = _PRAGMA_RE.search(line)
+            if m is not None:
+                names = frozenset(
+                    n.strip() for n in m.group(1).split(",") if n.strip()
+                )
+                pragmas[lineno] = names
+        return pragmas
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        """Is ``rule`` pragma-allowed on ``line`` (or the line above)?"""
+        for candidate in (line, line - 1):
+            names = self._pragmas.get(candidate)
+            if names is not None and (rule in names or "*" in names):
+                return True
+        return False
+
+    def finding(
+        self, rule: "Rule", node: ast.AST, message: str
+    ) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            rule=rule.name,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+            severity=rule.severity,
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`name` (kebab-case, the pragma key), optionally
+    narrow :meth:`applies_to` (path scoping — ``path`` is repo-relative
+    with posix separators), and implement :meth:`check`.
+    """
+
+    name: str = "abstract-rule"
+    severity: str = "error"
+
+    def applies_to(self, path: str) -> bool:
+        """Whether the rule runs on ``path`` (repo-relative, posix)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:  # pragma: no cover
+        """Yield findings for one parsed file."""
+        raise NotImplementedError
+
+    @staticmethod
+    def path_has_segment(path: str, *segments: str) -> bool:
+        """True when any of ``segments`` appears as ``/seg/`` in the
+        ``/``-anchored path (so ``filters`` matches ``src/repro/filters/x.py``
+        and ``tests/fixtures/lint/filters/x.py`` but not ``myfilters/``)."""
+        anchored = "/" + path.replace("\\", "/")
+        return any(f"/{seg}/" in anchored for seg in segments)
+
+
+@dataclass
+class Baseline:
+    """Grandfathered findings, matched by fingerprint with counts."""
+
+    counts: Counter = field(default_factory=Counter)
+    path: "Path | None" = None
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path=path)
+        data = json.loads(path.read_text())
+        counts: Counter = Counter()
+        for entry in data.get("findings", []):
+            key = (entry["rule"], entry["path"], entry["message"])
+            counts[key] += int(entry.get("count", 1))
+        return cls(counts=counts, path=path)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], path: "str | Path | None" = None
+    ) -> "Baseline":
+        """Build a baseline absorbing every finding in ``findings``."""
+        counts: Counter = Counter()
+        for f in findings:
+            counts[f.fingerprint()] += 1
+        return cls(counts=counts, path=Path(path) if path else None)
+
+    def save(self, path: "str | Path | None" = None) -> Path:
+        """Write sorted fingerprint counts as JSON; returns the path."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no baseline path given")
+        entries = [
+            {"rule": rule, "path": fpath, "message": message, "count": count}
+            for (rule, fpath, message), count in sorted(self.counts.items())
+        ]
+        target.write_text(
+            json.dumps({"version": 1, "findings": entries}, indent=2)
+            + "\n"
+        )
+        return target
+
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, baselined).  Each baseline entry absorbs
+        at most its recorded count of matching findings."""
+        budget = Counter(self.counts)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in findings:
+            key = f.fingerprint()
+            if budget[key] > 0:
+                budget[key] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old
+
+
+def load_source(path: "str | Path", rel: "str | None" = None) -> FileContext:
+    """Parse one file into a :class:`FileContext`.
+
+    ``rel`` overrides the path recorded on findings (used to present
+    repo-relative posix paths regardless of how the file was reached).
+    """
+    p = Path(path)
+    source = p.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(p))
+    return FileContext(rel if rel is not None else p.as_posix(), source, tree)
+
+
+class LintEngine:
+    """Run a rule set over a file tree and reconcile with the baseline."""
+
+    def __init__(
+        self,
+        rules: "Iterable[Rule]",
+        root: "str | Path" = ".",
+        baseline: "Baseline | None" = None,
+    ) -> None:
+        self.rules = list(rules)
+        self.root = Path(root)
+        self.baseline = baseline if baseline is not None else Baseline()
+        #: Findings suppressed by pragma on the last :meth:`run`.
+        self.suppressed: list[Finding] = []
+        #: Files that failed to parse on the last :meth:`run`.
+        self.errors: list[tuple[str, str]] = []
+
+    # ------------------------------------------------------------------
+    # file discovery
+    # ------------------------------------------------------------------
+    _SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+    def iter_files(self, paths: "Iterable[str | Path] | None" = None) -> Iterator[Path]:
+        """Yield ``*.py`` files under ``paths`` (default: the root),
+        skipping cache/VCS directories, deduplicated."""
+        targets = [Path(p) for p in paths] if paths else [self.root]
+        seen: set[Path] = set()
+        for target in targets:
+            if not target.is_absolute():
+                target = self.root / target
+            if target.is_file() and target.suffix == ".py":
+                candidates: Iterable[Path] = [target]
+            else:
+                candidates = sorted(target.rglob("*.py"))
+            for f in candidates:
+                if self._SKIP_DIRS.intersection(f.parts):
+                    continue
+                f = f.resolve()
+                if f not in seen:
+                    seen.add(f)
+                    yield f
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(
+        self, paths: "Iterable[str | Path] | None" = None
+    ) -> list[Finding]:
+        """Lint the tree; returns all unsuppressed findings, sorted.
+
+        Pragma-suppressed findings land in :attr:`suppressed`, parse
+        failures in :attr:`errors` (a broken file is reported, not
+        fatal).  Baseline reconciliation is the caller's move — see
+        :meth:`Baseline.split`.
+        """
+        findings: list[Finding] = []
+        self.suppressed = []
+        self.errors = []
+        for file in self.iter_files(paths):
+            rel = self._relpath(file)
+            applicable = [r for r in self.rules if r.applies_to(rel)]
+            if not applicable:
+                continue
+            try:
+                ctx = load_source(file, rel=rel)
+            except (SyntaxError, UnicodeDecodeError) as exc:
+                self.errors.append((rel, str(exc)))
+                continue
+            for rule in applicable:
+                for f in rule.check(ctx):
+                    if ctx.suppressed(f.line, f.rule):
+                        self.suppressed.append(f)
+                    else:
+                        findings.append(f)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return findings

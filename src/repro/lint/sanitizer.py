@@ -1,0 +1,398 @@
+"""Runtime concurrency sanitizer: lock-order and long-hold watching.
+
+:class:`LockOrderWatcher` wraps ``threading.Lock`` / ``threading.RLock``
+(and, through them, the locks inside ``threading.Condition``) in a
+recording proxy.  While installed it maintains:
+
+* the **lock-order graph** — a directed edge *A → B* whenever a thread
+  that holds the lock created at site *A* attempts the lock created at
+  site *B*.  A cycle in this graph is a potential deadlock even if the
+  schedule that would actually deadlock never ran — exactly the class of
+  bug the stress suites cannot reliably reproduce.
+* **hold statistics** per site — count, total and max wall-clock hold
+  time, from which :meth:`long_holds` reports outliers.
+
+Locks are identified by their *creation site* (``file:line``), so every
+``AdmissionQueue`` instance maps to one node and the graph stays small
+and readable.  Edges are recorded at *acquire-attempt* time, before
+blocking, so a schedule that truly deadlocks still leaves its cycle in
+the report.
+
+Two usage modes:
+
+* ``watcher.install()`` (or ``with watcher:``) monkeypatches the
+  ``threading`` constructors so every lock created while installed is
+  watched — this is what ``REPRO_SANITIZE=1`` turns on for the chaos
+  and stress suites (see ``tests/conftest.py``).
+* ``watcher.wrap(raw_lock(), name="A")`` watches one explicit lock —
+  used by targeted tests (e.g. the AB/BA order test) without touching
+  global state.
+
+The proxy forwards the private ``_release_save`` / ``_acquire_restore``
+/ ``_is_owned`` trio when the inner lock has it, so
+``threading.Condition`` wait/notify works unchanged on watched locks
+(and hold bookkeeping stays correct across ``Condition.wait``, which
+releases the lock while blocked).
+
+The watcher measures real hold durations, so it reads the wall clock by
+design — it is diagnostics, not simulated-latency math.
+"""
+
+from __future__ import annotations
+
+import _thread
+import json
+import os
+import threading
+import time
+from typing import Any
+
+__all__ = ["LockOrderWatcher", "raw_lock", "raw_rlock", "DEFAULT_REPORT_PATH"]
+
+#: Where :meth:`LockOrderWatcher.dump` writes without an explicit path
+#: (overridable via ``REPRO_SANITIZE_REPORT``).
+DEFAULT_REPORT_PATH = "SANITIZER_REPORT.json"
+
+#: Holds longer than this (wall ns) are reported as outliers.
+DEFAULT_LONG_HOLD_NS = 100_000_000
+
+# The unwrapped primitives, captured at import so they stay available
+# while the ``threading`` names are patched.
+_RAW_LOCK = _thread.allocate_lock
+_RAW_RLOCK = _thread.RLock
+
+
+def raw_lock():
+    """An unwatched ``Lock``, even while a watcher is installed."""
+    return _RAW_LOCK()
+
+
+def raw_rlock():
+    """An unwatched ``RLock``, even while a watcher is installed."""
+    return _RAW_RLOCK()
+
+
+class _WatchedLock:
+    """Recording proxy around one lock (see module docs)."""
+
+    __slots__ = (
+        "_inner",
+        "_site",
+        "_watcher",
+        "_release_save",
+        "_acquire_restore",
+        "_is_owned",
+    )
+
+    def __init__(self, inner: Any, site: str, watcher: "LockOrderWatcher"):
+        self._inner = inner
+        self._site = site
+        self._watcher = watcher
+        # Condition() duck-types on these three; bind them only when the
+        # inner lock has them (RLock) so hasattr() stays truthful and
+        # plain Locks keep Condition's release()/acquire() fallback.
+        if hasattr(inner, "_release_save"):
+            self._release_save = self._do_release_save
+            self._acquire_restore = self._do_acquire_restore
+            self._is_owned = inner._is_owned
+
+    # -- the recorded operations --------------------------------------
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        watcher, site = self._watcher, self._site
+        reentrant = watcher._held_count(self) > 0
+        if not reentrant:
+            watcher._on_attempt(site)
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            watcher._on_acquired(self)
+        return ok
+
+    def release(self) -> None:
+        self._watcher._on_released(self)
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    # -- Condition support (RLock inner only; bound in __init__) ------
+    def _do_release_save(self):
+        # Condition.wait releases the lock however many times it was
+        # taken; drop our whole hold record for it.
+        self._watcher._on_released(self, full=True)
+        return self._inner._release_save()
+
+    def _do_acquire_restore(self, state) -> None:
+        self._inner._acquire_restore(state)
+        self._watcher._on_acquired(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"_WatchedLock({self._site}, {self._inner!r})"
+
+
+class _ThreadState(threading.local):
+    """Per-thread stack of held watched locks."""
+
+    def __init__(self) -> None:
+        # Each entry: [lock_id, site, t0_ns, recursion_count]
+        self.stack: list[list] = []
+
+
+class LockOrderWatcher:
+    """Record the lock-acquisition graph; detect cycles and long holds."""
+
+    def __init__(
+        self,
+        *,
+        long_hold_ns: int = DEFAULT_LONG_HOLD_NS,
+    ) -> None:
+        self.long_hold_ns = long_hold_ns
+        self.acquisitions = 0
+        self._edges: dict[tuple[str, str], int] = {}
+        self._holds: dict[str, dict[str, int]] = {}
+        self._sites: set[str] = set()
+        self._meta = _RAW_LOCK()  # never watched, never in the graph
+        self._tls = _ThreadState()
+        self._installed = False
+        self._saved: "tuple[Any, Any] | None" = None
+
+    # ------------------------------------------------------------------
+    # wrapping
+    # ------------------------------------------------------------------
+    def wrap(self, lock: Any, name: "str | None" = None) -> _WatchedLock:
+        """Watch one explicit lock; ``name`` overrides the site label."""
+        site = name if name is not None else self._creation_site()
+        with self._meta:
+            self._sites.add(site)
+        return _WatchedLock(lock, site, self)
+
+    def install(self) -> "LockOrderWatcher":
+        """Patch ``threading.Lock``/``RLock`` so new locks are watched.
+
+        Locks created *before* installation stay unwatched; the chaos
+        and stress fixtures therefore install the watcher before
+        building the service stack.  Idempotent.
+        """
+        if self._installed:
+            return self
+        self._saved = (threading.Lock, threading.RLock)
+        watcher = self
+
+        def make_lock():
+            return watcher.wrap(_RAW_LOCK())
+
+        def make_rlock():
+            return watcher.wrap(_RAW_RLOCK())
+
+        threading.Lock = make_lock  # type: ignore[assignment]
+        threading.RLock = make_rlock  # type: ignore[assignment]
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore the original constructors (idempotent)."""
+        if not self._installed:
+            return
+        assert self._saved is not None
+        threading.Lock, threading.RLock = self._saved  # type: ignore[misc]
+        self._saved = None
+        self._installed = False
+
+    def __enter__(self) -> "LockOrderWatcher":
+        return self.install()
+
+    def __exit__(self, *exc) -> None:
+        self.uninstall()
+
+    @staticmethod
+    def _creation_site() -> str:
+        """``file:line`` of the frame that created the lock, skipping
+        this module and the ``threading`` internals."""
+        import sys
+
+        skip = (__file__, threading.__file__)
+        frame = sys._getframe(1)
+        while frame is not None and frame.f_code.co_filename in skip:
+            frame = frame.f_back
+        if frame is None:  # pragma: no cover - interpreter internals
+            return "<unknown>"
+        filename = frame.f_code.co_filename
+        cwd = os.getcwd() + os.sep
+        if filename.startswith(cwd):
+            filename = filename[len(cwd):]
+        return f"{filename.replace(os.sep, '/')}:{frame.f_lineno}"
+
+    # ------------------------------------------------------------------
+    # recording (called from the proxies)
+    # ------------------------------------------------------------------
+    def _held_count(self, lock: _WatchedLock) -> int:
+        lid = id(lock)
+        for entry in self._tls.stack:
+            if entry[0] == lid:
+                return entry[3]
+        return 0
+
+    def _on_attempt(self, site: str) -> None:
+        """First (non-reentrant) acquire attempt: record order edges."""
+        stack = self._tls.stack
+        if not stack:
+            return
+        with self._meta:
+            for entry in stack:
+                held_site = entry[1]
+                if held_site != site:
+                    key = (held_site, site)
+                    self._edges[key] = self._edges.get(key, 0) + 1
+
+    def _on_acquired(self, lock: _WatchedLock) -> None:
+        lid = id(lock)
+        stack = self._tls.stack
+        for entry in stack:
+            if entry[0] == lid:
+                entry[3] += 1  # reentrant re-acquire
+                return
+        stack.append([lid, lock._site, time.monotonic_ns(), 1])  # lint: allow[wall-clock-in-simulated-path]
+        with self._meta:
+            self.acquisitions += 1
+            self._sites.add(lock._site)
+
+    def _on_released(self, lock: _WatchedLock, full: bool = False) -> None:
+        lid = id(lock)
+        stack = self._tls.stack
+        for i in range(len(stack) - 1, -1, -1):
+            entry = stack[i]
+            if entry[0] != lid:
+                continue
+            entry[3] -= 1 if not full else entry[3]
+            if entry[3] > 0:
+                return
+            del stack[i]
+            held_ns = time.monotonic_ns() - entry[2]  # lint: allow[wall-clock-in-simulated-path]
+            with self._meta:
+                h = self._holds.setdefault(
+                    entry[1], {"count": 0, "total_ns": 0, "max_ns": 0}
+                )
+                h["count"] += 1
+                h["total_ns"] += held_ns
+                if held_ns > h["max_ns"]:
+                    h["max_ns"] = held_ns
+            return
+        # Release of a lock acquired before the watcher saw it (or
+        # handed across threads) — nothing to unwind.
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def edges(self) -> dict[tuple[str, str], int]:
+        """The lock-order graph as ``(held, acquired) -> count``."""
+        with self._meta:
+            return dict(self._edges)
+
+    def cycles(self) -> list[list[str]]:
+        """Potential deadlocks: strongly connected components of the
+        order graph with more than one node (plus self-loops).  Each
+        cycle is a sorted list of creation sites."""
+        adj: dict[str, set[str]] = {}
+        with self._meta:
+            for (a, b) in self._edges:
+                adj.setdefault(a, set()).add(b)
+                adj.setdefault(b, set())
+        # Tarjan's SCC, iteratively.
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[list[str]] = []
+
+        for root in adj:
+            if root in index:
+                continue
+            work: list[tuple[str, "iter | None"]] = [(root, None)]
+            while work:
+                node, it = work.pop()
+                if it is None:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                    it = iter(adj[node])
+                advanced = False
+                for nxt in it:
+                    if nxt not in index:
+                        work.append((node, it))
+                        work.append((nxt, None))
+                        advanced = True
+                        break
+                    if nxt in on_stack:
+                        low[node] = min(low[node], index[nxt])
+                if advanced:
+                    continue
+                if low[node] == index[node]:
+                    comp = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    if len(comp) > 1 or node in adj.get(node, ()):  # cycle
+                        sccs.append(sorted(comp))
+                if work and low[node] < low[work[-1][0]]:
+                    low[work[-1][0]] = low[node]
+        return sorted(sccs)
+
+    def long_holds(self) -> list[dict]:
+        """Sites whose longest hold exceeded the threshold, worst first."""
+        with self._meta:
+            rows = [
+                {"site": site, **stats}
+                for site, stats in self._holds.items()
+                if stats["max_ns"] > self.long_hold_ns
+            ]
+        rows.sort(key=lambda r: -r["max_ns"])
+        return rows
+
+    def report(self) -> dict:
+        """The full sanitizer report (what :meth:`dump` writes)."""
+        with self._meta:
+            edges = [
+                {"held": a, "acquired": b, "count": n}
+                for (a, b), n in sorted(self._edges.items())
+            ]
+            holds = {
+                site: dict(stats) for site, stats in sorted(self._holds.items())
+            }
+            sites = sorted(self._sites)
+            acquisitions = self.acquisitions
+        return {
+            "version": 1,
+            "acquisitions": acquisitions,
+            "locks_watched": len(sites),
+            "sites": sites,
+            "edges": edges,
+            "cycles": self.cycles(),
+            "long_hold_threshold_ns": self.long_hold_ns,
+            "long_holds": self.long_holds(),
+            "holds": holds,
+        }
+
+    def dump(self, path: "str | None" = None) -> str:
+        """Write the report artifact as JSON; returns the path."""
+        if path is None:
+            path = os.environ.get("REPRO_SANITIZE_REPORT", DEFAULT_REPORT_PATH)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.report(), fh, indent=2, sort_keys=False)
+            fh.write("\n")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"LockOrderWatcher(sites={len(self._sites)}, "
+            f"edges={len(self._edges)}, installed={self._installed})"
+        )

@@ -247,7 +247,9 @@ class FilterService:
             if self._started:
                 return self
             self._started = True
-            self._started_wall_ns = time.perf_counter_ns()
+            # Wall clock on purpose: uptime is host-side telemetry, not
+            # simulated latency math.
+            self._started_wall_ns = time.perf_counter_ns()  # lint: allow[wall-clock-in-simulated-path]
             for i in range(self.workers):
                 t = threading.Thread(
                     target=self._worker_loop,
@@ -341,7 +343,7 @@ class FilterService:
             kind,
             payload,
             deadline,
-            time.perf_counter_ns(),
+            time.perf_counter_ns(),  # lint: allow[wall-clock-in-simulated-path] — wall_ns telemetry
             self.clock.now_ns(),
         )
         tracer = get_tracer()
@@ -379,7 +381,7 @@ class FilterService:
                 return
             try:
                 self._serve(req)
-            except BaseException as exc:  # pragma: no cover - last resort
+            except BaseException as exc:  # pragma: no cover - last resort  # lint: allow[bare-except]
                 # A worker must never die with a promise unsettled.
                 if not req.future.done():
                     req.future.set_exception(exc)
@@ -470,7 +472,7 @@ class FilterService:
         )
 
     def _resolve(self, req: _Request, response: ServiceResponse) -> None:
-        response.wall_ns = time.perf_counter_ns() - req.submitted_wall_ns
+        response.wall_ns = time.perf_counter_ns() - req.submitted_wall_ns  # lint: allow[wall-clock-in-simulated-path]
         response.sim_ns = self.clock.now_ns() - req.submitted_sim_ns
         self.stats.bump(completed=1, **self._REASON_COUNTERS[response.reason])
         self.stats.wall.record(response.wall_ns)
@@ -492,7 +494,7 @@ class FilterService:
         """Wall nanoseconds since :meth:`start` (0 while stopped)."""
         if not self._started:
             return 0
-        return time.perf_counter_ns() - self._started_wall_ns
+        return time.perf_counter_ns() - self._started_wall_ns  # lint: allow[wall-clock-in-simulated-path]
 
     def health(self) -> dict:
         """One-stop health snapshot (stats, breaker, queue, epochs).

@@ -116,16 +116,19 @@ class FaultInjector:
         """
         if count < 0 or after < 0:
             raise ValueError("count and after must be non-negative")
-        self._armed_transient_after = after
-        self._armed_transient = count
+        with self._lock:
+            self._armed_transient_after = after
+            self._armed_transient = count
 
     def arm_torn_write(self, count: int = 1) -> None:
         """Truncate the next ``count`` blob writes at a random byte."""
-        self._armed_torn = count
+        with self._lock:
+            self._armed_torn = count
 
     def arm_bit_flip(self, count: int = 1) -> None:
         """Flip one random bit in each of the next ``count`` blob writes."""
-        self._armed_flip = count
+        with self._lock:
+            self._armed_flip = count
 
     def arm_slow_reads(self, count: int = 1, *, after: int = 0) -> None:
         """Make the next ``count`` reads slow, skipping ``after`` first.
@@ -136,8 +139,9 @@ class FaultInjector:
         """
         if count < 0 or after < 0:
             raise ValueError("count and after must be non-negative")
-        self._armed_slow_after = after
-        self._armed_slow = count
+        with self._lock:
+            self._armed_slow_after = after
+            self._armed_slow = count
 
     # ------------------------------------------------------------------
     # decision points (called by StorageEnv)

@@ -37,12 +37,12 @@ class Instrumented:
         for name in self._TELEMETRY:
             try:
                 value = getattr(self, name)
-            except Exception:
+            except Exception:  # lint: allow[bare-except] — arbitrary user property
                 continue
             if callable(value):
                 try:
                     value = value()
-                except Exception:
+                except Exception:  # lint: allow[bare-except] — arbitrary user callable
                     continue
             if isinstance(value, bool) or not isinstance(
                 value, (int, float)

@@ -123,10 +123,14 @@ class PhaseProfiler:
     def stop(self) -> None:
         """Stop the sampling thread (reports remain readable)."""
         self._stop.set()
-        sampler = self._sampler
+        with self._lock:
+            sampler = self._sampler
+        # Join outside the lock: the sample loop takes it per tick.
         if sampler is not None and sampler.is_alive():
             sampler.join(timeout=1.0)
-        self._sampler = None
+        with self._lock:
+            if self._sampler is sampler:
+                self._sampler = None
 
     # ------------------------------------------------------------------
     # reporting

@@ -232,7 +232,7 @@ class Gauge(_Instrument):
                 return self._value
         try:
             return float(fn())
-        except Exception:
+        except Exception:  # lint: allow[bare-except] — arbitrary user callback
             # A dead callback (e.g. a retired structure) reads as 0
             # rather than breaking every snapshot.
             return 0.0

@@ -6,6 +6,8 @@ path; the benchmarks run the larger sweeps.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -13,6 +15,37 @@ from repro.workloads.datasets import generate_keys
 from repro.workloads.queries import uniform_range_queries
 
 TOP64 = (1 << 64) - 1
+
+
+@pytest.fixture(scope="session", autouse=True)
+def lock_sanitizer():
+    """Concurrency sanitizer, on under ``REPRO_SANITIZE=1``.
+
+    Installs a :class:`~repro.lint.sanitizer.LockOrderWatcher` for the
+    whole session so every ``threading.Lock``/``RLock`` created by the
+    suites (admission queues, breakers, LSM trees, registries, ...) is
+    order- and hold-watched.  At session end the report artifact is
+    written (``REPRO_SANITIZE_REPORT``, default ``SANITIZER_REPORT.json``)
+    and any lock-order cycle fails the run.  Yields the watcher (or
+    ``None`` when disabled) so tests can inspect it.
+    """
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield None
+        return
+    from repro.lint.sanitizer import LockOrderWatcher
+
+    watcher = LockOrderWatcher()
+    watcher.install()
+    try:
+        yield watcher
+    finally:
+        watcher.uninstall()
+        path = watcher.dump()
+        cycles = watcher.cycles()
+        assert not cycles, (
+            f"lock-order cycles detected (potential deadlocks), "
+            f"see {path}: {cycles}"
+        )
 
 
 @pytest.fixture(scope="session")

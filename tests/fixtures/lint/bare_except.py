@@ -1,0 +1,36 @@
+"""Positive and negative cases for bare-except."""
+
+
+def bad_bare():
+    try:
+        return 1
+    except:  # finding: bare
+        return 2
+
+
+def bad_swallow():
+    try:
+        return 1
+    except Exception:  # finding: swallowed
+        return 2
+
+
+def good_reraise():
+    try:
+        return 1
+    except Exception:
+        raise
+
+
+def good_typed():
+    try:
+        return 1
+    except (ValueError, OSError):
+        return 2
+
+
+def good_pragma():
+    try:
+        return 1
+    except Exception:  # lint: allow[bare-except]
+        return 2

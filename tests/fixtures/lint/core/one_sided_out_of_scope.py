@@ -1,0 +1,8 @@
+"""Same shape as filters/one_sided.py but outside the rule's scope."""
+
+
+def decode(data):
+    try:
+        return bool(data)
+    except ValueError:
+        return False  # out of scope (not filters/service/storage): clean

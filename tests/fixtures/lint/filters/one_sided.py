@@ -1,0 +1,36 @@
+"""Positive and negative cases for one-sided-error (in filters/ scope)."""
+
+
+class DegradableFilter:
+    degraded = False
+
+    def query_bad_except(self, lo, hi):
+        try:
+            return self._probe(lo, hi)
+        except OSError:
+            return False  # finding: negative answer from except
+
+    def query_bad_degraded(self, lo, hi):
+        if self.degraded:
+            return False  # finding: negative answer from degraded branch
+        return self._probe(lo, hi)
+
+    def query_bad_batch(self, ranges):
+        try:
+            return [self._probe(lo, hi) for lo, hi in ranges]
+        except OSError:
+            return [False] * len(ranges)  # finding: all-negative batch
+
+    def query_good(self, lo, hi):
+        try:
+            return self._probe(lo, hi)
+        except OSError:
+            return True  # all-positive fallback: correct
+
+    def empty_ok(self, lo, hi):
+        if lo > hi:
+            return False  # plain validation, not except/degraded: no finding
+        return self._probe(lo, hi)
+
+    def _probe(self, lo, hi):
+        return True

@@ -1,0 +1,69 @@
+"""Positive and negative cases for lock-discipline."""
+
+import threading
+from dataclasses import dataclass, field
+
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0  # writes in __init__ are fine
+        self._cache = {}
+
+    def bad_unprotected(self):
+        self._count += 1  # finding: no lock held
+
+    def bad_subscript(self, key):
+        self._cache[key] = 1  # finding: no lock held
+
+    def good_protected(self):
+        with self._lock:
+            self._count += 1
+            self._cache["x"] = 1
+
+    def good_local_and_public(self):
+        count = 0  # locals are fine
+        self.public = count  # public attrs are out of scope
+
+    def _bump_locked(self):
+        """Add one (lock held by the caller)."""
+        self._count += 1  # exempt: docstring declares lock held
+
+    def good_pragma(self):
+        self._count = 0  # lint: allow[lock-discipline] — single-threaded reset
+
+
+class CondGuarded:
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._items = []
+
+    def bad(self):
+        self._items = []  # finding
+
+    def good(self):
+        with self._cond:
+            self._items = []
+
+
+@dataclass
+class DataGuarded:
+    _lock: threading.Lock = field(default_factory=threading.Lock)
+    _total: int = 0
+
+    def bad(self, n):
+        self._total += n  # finding: dataclass lock field counts
+
+    def good(self, n):
+        with self._lock:
+            self._total += n
+
+
+class Unlocked:
+    """No lock attribute: the rule does not apply at all."""
+
+    def __init__(self):
+        self._state = 0
+
+    def mutate(self):
+        self._state += 1  # clean: class owns no lock

@@ -1,0 +1,25 @@
+"""Positive and negative cases for mutable-default-arg."""
+
+
+def bad_list(items=[]):  # finding
+    return items
+
+
+def bad_dict(mapping={}):  # finding
+    return mapping
+
+
+def bad_call(entries=list()):  # finding
+    return entries
+
+
+def bad_kwonly(*, seen=set()):  # finding
+    return seen
+
+
+def good_none(items=None):
+    return items if items is not None else []
+
+
+def good_immutable(name="x", count=0, pair=(1, 2)):
+    return name, count, pair

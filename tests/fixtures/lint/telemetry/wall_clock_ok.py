@@ -1,0 +1,7 @@
+"""Wall clock inside telemetry/ is allowlisted (no findings)."""
+
+import time
+
+
+def sample():
+    return time.perf_counter_ns()

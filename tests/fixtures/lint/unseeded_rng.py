@@ -1,0 +1,37 @@
+"""Positive and negative cases for unseeded-rng."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def bad_default_rng():
+    return np.random.default_rng()  # finding: no seed
+
+
+def bad_imported_ctor():
+    return default_rng()  # finding: no seed
+
+
+def bad_random_instance():
+    return random.Random()  # finding: no seed
+
+
+def bad_global_random():
+    return random.randint(0, 10)  # finding: global RNG
+
+
+def bad_legacy_numpy():
+    return np.random.rand(3)  # finding: global numpy state
+
+
+def good_seeded(seed):
+    rng = np.random.default_rng(seed)
+    other = default_rng(seed=seed + 1)
+    local = random.Random(42)
+    return rng, other, local
+
+
+def good_injected(rng: np.random.Generator):
+    return rng.integers(0, 10)

@@ -1,0 +1,23 @@
+"""Positive cases for wall-clock-in-simulated-path."""
+
+import time
+from time import perf_counter as pc
+
+
+def latency_ns(clock):
+    start = time.perf_counter_ns()  # finding: module attribute call
+    clock.tick()
+    return time.perf_counter_ns() - start  # finding
+
+
+def elapsed():
+    t0 = pc()  # finding: imported-name call
+    return pc() - t0  # finding
+
+
+def timestamp():
+    return time.time()  # finding
+
+
+def ok_sleep():
+    time.sleep(0.01)  # not a wall-clock *read*; no finding

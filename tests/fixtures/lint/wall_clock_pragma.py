@@ -1,0 +1,12 @@
+"""Pragma-suppressed wall-clock sites (no findings expected)."""
+
+import time
+
+
+def uptime(start_ns):
+    return time.perf_counter_ns() - start_ns  # lint: allow[wall-clock-in-simulated-path]
+
+
+def stamp():
+    # lint: allow[wall-clock-in-simulated-path]
+    return time.time_ns()

@@ -292,6 +292,47 @@ class TestVerifyInvariants:
             filt.verify_invariants()
 
 
+class TestSanitizedChaos:
+    """The chaos scenario under the concurrency sanitizer.
+
+    A full ``REPRO_SANITIZE=1`` pytest run watches the whole session via
+    the conftest fixture (and fails on any cycle at session end); this
+    test makes the guarantee local and unconditional — a concurrent
+    faulty recovery run must leave a cycle-free lock-order graph even
+    when the env var is unset.
+    """
+
+    def test_chaos_run_reports_zero_cycles(self, uniform_keys):
+        from repro.lint.sanitizer import LockOrderWatcher
+        from repro.service import FilterService
+
+        injector = FaultInjector(
+            CHAOS_SEED, transient_read_p=0.05, torn_write_p=0.3,
+            bit_flip_p=0.3,
+        )
+        watcher = LockOrderWatcher()
+        with watcher:
+            # Build inside the watcher so every lock in the stack —
+            # memtable, LSM, SSTable state, breaker, admission queue,
+            # metrics registry — lands in the order graph.
+            lsm = _build_lsm(REncoder, uniform_keys, injector=injector)
+            lsm.recover()
+            with FilterService(lsm, workers=4, queue_depth=16) as svc:
+                probe = [int(k) for k in uniform_keys[::40]]
+                for k in probe:
+                    assert svc.query_point(k).positive
+                assert all(
+                    svc.query_range_batch(
+                        [(k, k + 2) for k in probe]
+                    ).positive
+                )
+        report = watcher.report()
+        assert report["acquisitions"] > 100, "chaos run barely locked?"
+        assert report["cycles"] == [], (
+            f"potential deadlock in chaos run: {report['cycles']}"
+        )
+
+
 @given(
     seed=st.integers(0, 2**32 - 1),
     n_keys=st.integers(50, 400),

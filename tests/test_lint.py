@@ -1,0 +1,288 @@
+"""Lint engine: rules against fixtures, baseline round-trip, pragmas.
+
+Every rule has at least one *positive* fixture assertion — a finding the
+rule must produce, so the test fails if the rule is removed or broken —
+and *negative* assertions on idiomatic / pragma'd / out-of-scope code.
+Fixtures live in ``tests/fixtures/lint/`` (see its README).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Baseline, Finding, LintEngine, make_default_rules
+from repro.lint.engine import load_source
+from repro.lint.rules import (
+    BareExceptRule,
+    LockDisciplineRule,
+    MutableDefaultArgRule,
+    OneSidedErrorRule,
+    UnseededRngRule,
+    WallClockRule,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def run_rule(rule, rel_path: str) -> list[Finding]:
+    """Run one rule over one fixture file, honouring pragmas."""
+    ctx = load_source(FIXTURES / rel_path, rel=rel_path)
+    if not rule.applies_to(rel_path):
+        return []
+    return [f for f in rule.check(ctx) if not ctx.suppressed(f.line, f.rule)]
+
+
+def lines_of(findings) -> list[int]:
+    return sorted(f.line for f in findings)
+
+
+# ----------------------------------------------------------------------
+# wall-clock-in-simulated-path
+# ----------------------------------------------------------------------
+class TestWallClock:
+    def test_flags_module_and_imported_calls(self):
+        found = run_rule(WallClockRule(), "wall_clock_bad.py")
+        assert len(found) == 5
+        assert all(f.rule == "wall-clock-in-simulated-path" for f in found)
+        # both time.attr calls and from-imports are caught
+        messages = " ".join(f.message for f in found)
+        assert "time.perf_counter_ns" in messages
+        assert "time.perf_counter" in messages
+        assert "time.time" in messages
+
+    def test_sleep_is_not_a_read(self):
+        found = run_rule(WallClockRule(), "wall_clock_bad.py")
+        src = (FIXTURES / "wall_clock_bad.py").read_text().splitlines()
+        for f in found:
+            assert "sleep" not in src[f.line - 1]
+
+    def test_pragma_suppresses(self):
+        assert run_rule(WallClockRule(), "wall_clock_pragma.py") == []
+
+    def test_allowlisted_paths_skip(self):
+        rule = WallClockRule()
+        assert not rule.applies_to("src/repro/telemetry/registry.py")
+        assert not rule.applies_to("src/repro/cli.py")
+        assert not rule.applies_to("benchmarks/bench_scale.py")
+        assert not rule.applies_to("src/repro/bench/metrics.py")
+        assert rule.applies_to("src/repro/service/service.py")
+        assert rule.applies_to("src/repro/storage/env.py")
+        assert run_rule(WallClockRule(), "telemetry/wall_clock_ok.py") == []
+
+
+# ----------------------------------------------------------------------
+# unseeded-rng
+# ----------------------------------------------------------------------
+class TestUnseededRng:
+    def test_flags_unseeded_constructions_and_globals(self):
+        found = run_rule(UnseededRngRule(), "unseeded_rng.py")
+        assert len(found) == 5
+        messages = " ".join(f.message for f in found)
+        assert "default_rng()" in messages
+        assert "random.Random()" in messages
+        assert "random.randint" in messages
+        assert "np.random.rand" in messages
+
+    def test_seeded_and_injected_are_clean(self):
+        found = run_rule(UnseededRngRule(), "unseeded_rng.py")
+        src = (FIXTURES / "unseeded_rng.py").read_text().splitlines()
+        for f in found:
+            assert "good" not in src[f.line - 1], f
+
+
+# ----------------------------------------------------------------------
+# one-sided-error
+# ----------------------------------------------------------------------
+class TestOneSidedError:
+    def test_flags_negative_answers_on_degraded_paths(self):
+        found = run_rule(OneSidedErrorRule(), "filters/one_sided.py")
+        assert len(found) == 3
+        origins = " ".join(f.message for f in found)
+        assert "except handler" in origins
+        assert "degraded branch" in origins
+
+    def test_all_positive_and_validation_paths_clean(self):
+        found = run_rule(OneSidedErrorRule(), "filters/one_sided.py")
+        src = (FIXTURES / "filters/one_sided.py").read_text().splitlines()
+        for f in found:
+            line = src[f.line - 1]
+            assert "finding" in line, f"unexpected: {f}"
+
+    def test_scoped_to_filter_service_storage(self):
+        rule = OneSidedErrorRule()
+        assert rule.applies_to("src/repro/filters/surf.py")
+        assert rule.applies_to("src/repro/service/service.py")
+        assert rule.applies_to("src/repro/storage/sstable.py")
+        assert not rule.applies_to("src/repro/core/serialize.py")
+        assert run_rule(OneSidedErrorRule(), "core/one_sided_out_of_scope.py") == []
+
+
+# ----------------------------------------------------------------------
+# lock-discipline
+# ----------------------------------------------------------------------
+class TestLockDiscipline:
+    def test_flags_unprotected_writes(self):
+        found = run_rule(LockDisciplineRule(), "lock_discipline.py")
+        src = (FIXTURES / "lock_discipline.py").read_text().splitlines()
+        flagged = {src[f.line - 1].strip() for f in found}
+        assert len(found) == 4, found
+        for line in flagged:
+            assert "finding" in line
+
+    def test_lock_held_docstring_exempts_helper(self):
+        found = run_rule(LockDisciplineRule(), "lock_discipline.py")
+        src = (FIXTURES / "lock_discipline.py").read_text().splitlines()
+        for f in found:
+            assert "_bump_locked" not in f.message
+
+    def test_condition_and_dataclass_locks_count(self):
+        found = run_rule(LockDisciplineRule(), "lock_discipline.py")
+        classes = {f.message.split(".")[0] for f in found}
+        assert "CondGuarded" in classes
+        assert "DataGuarded" in classes
+        assert "Unlocked" not in classes
+
+
+# ----------------------------------------------------------------------
+# bare-except / mutable-default-arg
+# ----------------------------------------------------------------------
+class TestBareExcept:
+    def test_flags_bare_and_swallowed(self):
+        found = run_rule(BareExceptRule(), "bare_except.py")
+        assert len(found) == 2
+        messages = " ".join(f.message for f in found)
+        assert "bare" in messages
+        assert "swallows" in messages
+
+    def test_reraise_typed_and_pragma_clean(self):
+        found = run_rule(BareExceptRule(), "bare_except.py")
+        src = (FIXTURES / "bare_except.py").read_text().splitlines()
+        for f in found:
+            assert "finding" in src[f.line - 1]
+
+
+class TestMutableDefaultArg:
+    def test_flags_literals_and_ctor_calls(self):
+        found = run_rule(MutableDefaultArgRule(), "mutable_default.py")
+        assert len(found) == 4
+
+    def test_none_and_immutable_defaults_clean(self):
+        found = run_rule(MutableDefaultArgRule(), "mutable_default.py")
+        src = (FIXTURES / "mutable_default.py").read_text().splitlines()
+        for f in found:
+            assert "bad" in src[f.line - 1]
+
+
+# ----------------------------------------------------------------------
+# engine: discovery, pragmas, baseline
+# ----------------------------------------------------------------------
+class TestEngine:
+    def engine(self) -> LintEngine:
+        return LintEngine(make_default_rules(), root=FIXTURES)
+
+    def test_full_fixture_sweep_counts(self):
+        findings = self.engine().run()
+        by_rule: dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        assert by_rule == {
+            "wall-clock-in-simulated-path": 5,
+            "unseeded-rng": 5,
+            "one-sided-error": 3,
+            "lock-discipline": 4,
+            "bare-except": 2,
+            "mutable-default-arg": 4,
+        }
+
+    def test_findings_are_sorted_and_suppressions_recorded(self):
+        eng = self.engine()
+        findings = eng.run()
+        keys = [(f.path, f.line, f.col) for f in findings]
+        assert keys == sorted(keys)
+        # wall_clock_pragma (2), lock_discipline pragma (1), bare_except
+        # pragma (1) — at least these must be recorded, not dropped.
+        assert len(eng.suppressed) >= 4
+
+    def test_parse_error_is_reported_not_fatal(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n")
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        eng = LintEngine(make_default_rules(), root=tmp_path)
+        findings = eng.run()
+        assert findings == []
+        assert len(eng.errors) == 1
+        assert eng.errors[0][0] == "broken.py"
+
+    def test_baseline_round_trip(self, tmp_path):
+        eng = self.engine()
+        findings = eng.run()
+        assert findings
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        # Reload: every current finding is absorbed, nothing new.
+        loaded = Baseline.load(path)
+        new, baselined = loaded.split(eng.run())
+        assert new == []
+        assert len(baselined) == len(findings)
+        # The file is plain JSON with fingerprint counts.
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert sum(e["count"] for e in data["findings"]) == len(findings)
+
+    def test_baseline_does_not_absorb_new_findings(self, tmp_path):
+        eng = self.engine()
+        findings = eng.run()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        fresh = Finding(
+            rule="bare-except",
+            path="bare_except.py",
+            line=99,
+            col=1,
+            message="a brand new finding",
+        )
+        new, _ = Baseline.load(path).split(findings + [fresh])
+        assert new == [fresh]
+
+    def test_baseline_matches_on_message_not_line(self, tmp_path):
+        eng = self.engine()
+        findings = eng.run()
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings).save(path)
+        # Simulate an edit shifting every finding down ten lines.
+        shifted = [
+            Finding(f.rule, f.path, f.line + 10, f.col, f.message, f.severity)
+            for f in findings
+        ]
+        new, baselined = Baseline.load(path).split(shifted)
+        assert new == []
+        assert len(baselined) == len(findings)
+
+    def test_missing_baseline_file_is_empty(self, tmp_path):
+        loaded = Baseline.load(tmp_path / "nope.json")
+        new, baselined = loaded.split(self.engine().run())
+        assert baselined == []
+        assert new
+
+
+# ----------------------------------------------------------------------
+# the repo itself stays clean
+# ----------------------------------------------------------------------
+class TestRepoIsClean:
+    REPO = Path(__file__).parent.parent
+
+    @pytest.mark.skipif(
+        not (Path(__file__).parent.parent / "src" / "repro").exists(),
+        reason="source tree not present",
+    )
+    def test_src_has_no_new_findings(self):
+        eng = LintEngine(
+            make_default_rules(),
+            root=self.REPO,
+            baseline=Baseline.load(self.REPO / "lint-baseline.json"),
+        )
+        findings = eng.run(["src/repro"])
+        new, _ = eng.baseline.split(findings)
+        assert new == [], "\n".join(f.format() for f in new)

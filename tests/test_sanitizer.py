@@ -1,0 +1,244 @@
+"""Concurrency sanitizer: lock-order cycles, long holds, patching.
+
+The headline case the ISSUE demands: an AB/BA lock-order inversion —
+the classic potential deadlock — must be flagged as a cycle even though
+the schedule that would actually deadlock never runs.  Also covered:
+clean ordering stays clean, reentrant RLocks don't self-edge, installed
+mode patches/restores the ``threading`` constructors, watched locks
+keep working under ``threading.Condition``, long holds are reported,
+and a real concurrent :class:`FilterService` run is cycle-free.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+from repro.lint.sanitizer import (
+    DEFAULT_REPORT_PATH,
+    LockOrderWatcher,
+    raw_lock,
+    raw_rlock,
+)
+
+
+def run_thread(fn) -> None:
+    t = threading.Thread(target=fn)
+    t.start()
+    t.join()
+
+
+class TestLockOrder:
+    def test_ab_ba_inversion_is_flagged(self):
+        """The deliberate AB/BA deadlock pattern must produce a cycle."""
+        w = LockOrderWatcher()
+        a = w.wrap(raw_lock(), name="A")
+        b = w.wrap(raw_lock(), name="B")
+
+        def ab():
+            with a:
+                with b:
+                    pass
+
+        def ba():
+            with b:
+                with a:
+                    pass
+
+        run_thread(ab)
+        run_thread(ba)
+        assert w.cycles() == [["A", "B"]]
+        assert w.edges() == {("A", "B"): 1, ("B", "A"): 1}
+
+    def test_consistent_order_is_clean(self):
+        w = LockOrderWatcher()
+        a = w.wrap(raw_lock(), name="A")
+        b = w.wrap(raw_lock(), name="B")
+        c = w.wrap(raw_lock(), name="C")
+
+        def chain():
+            with a, b, c:
+                pass
+
+        for _ in range(3):
+            run_thread(chain)
+        assert w.cycles() == []
+        assert w.edges()[("A", "B")] == 3
+        assert w.edges()[("A", "C")] == 3
+        assert w.edges()[("B", "C")] == 3
+
+    def test_three_way_cycle(self):
+        w = LockOrderWatcher()
+        locks = {n: w.wrap(raw_lock(), name=n) for n in "ABC"}
+
+        def order(first, second):
+            def fn():
+                with locks[first]:
+                    with locks[second]:
+                        pass
+            return fn
+
+        run_thread(order("A", "B"))
+        run_thread(order("B", "C"))
+        run_thread(order("C", "A"))
+        assert w.cycles() == [["A", "B", "C"]]
+
+    def test_reentrant_rlock_has_no_self_edge(self):
+        w = LockOrderWatcher()
+        r = w.wrap(raw_rlock(), name="R")
+
+        def reenter():
+            with r:
+                with r:
+                    pass
+
+        run_thread(reenter)
+        assert w.edges() == {}
+        assert w.cycles() == []
+        # One *hold* despite two acquires (reentrancy collapsed).
+        assert w.report()["holds"]["R"]["count"] == 1
+
+    def test_same_site_two_instances_no_false_cycle(self):
+        """Two locks from one creation site: nesting them produces a
+        self-edge-free graph (site-level dedup, not instance-level)."""
+        w = LockOrderWatcher()
+        a = w.wrap(raw_lock(), name="S")
+        b = w.wrap(raw_lock(), name="S")
+
+        def nest():
+            with a:
+                with b:
+                    pass
+
+        run_thread(nest)
+        assert w.cycles() == []
+
+
+class TestHolds:
+    def test_long_hold_outlier_reported(self):
+        w = LockOrderWatcher(long_hold_ns=1_000_000)  # 1 ms threshold
+        slow = w.wrap(raw_lock(), name="slow")
+        quick = w.wrap(raw_lock(), name="quick")
+        with slow:
+            time.sleep(0.02)
+        with quick:
+            pass
+        outliers = w.long_holds()
+        assert [o["site"] for o in outliers] == ["slow"]
+        assert outliers[0]["max_ns"] >= 1_000_000
+        stats = w.report()["holds"]
+        assert stats["quick"]["count"] == 1
+
+    def test_acquisition_count(self):
+        w = LockOrderWatcher()
+        lk = w.wrap(raw_lock(), name="L")
+        for _ in range(5):
+            with lk:
+                pass
+        assert w.acquisitions == 5
+
+
+class TestInstall:
+    def test_install_patches_and_uninstall_restores(self):
+        orig_lock, orig_rlock = threading.Lock, threading.RLock
+        w = LockOrderWatcher()
+        with w:
+            assert threading.Lock is not orig_lock
+            lk = threading.Lock()
+            with lk:
+                pass
+        assert threading.Lock is orig_lock
+        assert threading.RLock is orig_rlock
+        assert w.acquisitions == 1
+        # Site points at this test file, not the sanitizer internals.
+        assert "test_sanitizer" in w.report()["sites"][0]
+
+    def test_install_is_idempotent(self):
+        w = LockOrderWatcher()
+        w.install()
+        w.install()
+        w.uninstall()
+        w.uninstall()
+        assert threading.Lock is raw_lock().__class__ or callable(threading.Lock)
+
+    def test_condition_on_watched_locks(self):
+        """Condition wait/notify must work over patched constructors,
+        and the wait must not be accounted as a lock hold."""
+        w = LockOrderWatcher(long_hold_ns=50_000_000)
+        with w:
+            cond = threading.Condition()  # watched RLock inside
+            ready = []
+
+            def waiter():
+                with cond:
+                    while not ready:
+                        cond.wait(timeout=5.0)
+
+            t = threading.Thread(target=waiter)
+            t.start()
+            time.sleep(0.15)  # let the waiter block inside wait()
+            with cond:
+                ready.append(1)
+                cond.notify_all()
+            t.join(timeout=5.0)
+            assert not t.is_alive()
+        assert w.cycles() == []
+        # The 150 ms spent in cond.wait() released the lock: no
+        # long-hold outlier may be attributed to it.
+        assert w.long_holds() == []
+
+    def test_service_stack_under_watcher_is_cycle_free(self):
+        """A real concurrent service run: watched end to end, no cycles."""
+        w = LockOrderWatcher()
+        with w:
+            from repro.core.rencoder import REncoder
+            from repro.service import FilterService
+            from repro.storage.env import SimulatedClock, StorageEnv
+            from repro.storage.lsm import LSMTree
+
+            env = StorageEnv(clock=SimulatedClock())
+            lsm = LSMTree(
+                lambda ks: REncoder(ks, bits_per_key=12),
+                memtable_capacity=256,
+                env=env,
+            )
+            for k in range(0, 2000, 2):
+                lsm.put(k, k & 0xFF)
+            lsm.flush()
+            with FilterService(lsm, workers=4, queue_depth=16) as svc:
+                for k in range(0, 2000, 50):
+                    assert svc.query_range(k, k + 1).positive
+        report = w.report()
+        assert report["acquisitions"] > 100
+        assert report["cycles"] == []
+        assert report["locks_watched"] >= 5
+
+
+class TestReport:
+    def test_dump_writes_json_artifact(self, tmp_path):
+        w = LockOrderWatcher()
+        a = w.wrap(raw_lock(), name="A")
+        b = w.wrap(raw_lock(), name="B")
+        with a:
+            with b:
+                pass
+        path = tmp_path / "report.json"
+        written = w.dump(str(path))
+        assert written == str(path)
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+        assert data["acquisitions"] == 2
+        assert data["edges"] == [{"held": "A", "acquired": "B", "count": 1}]
+        assert data["cycles"] == []
+        assert set(data["holds"]) == {"A", "B"}
+
+    def test_dump_honours_env_default(self, tmp_path, monkeypatch):
+        target = tmp_path / "custom.json"
+        monkeypatch.setenv("REPRO_SANITIZE_REPORT", str(target))
+        w = LockOrderWatcher()
+        assert w.dump() == str(target)
+        assert target.exists()
+
+    def test_default_report_path_constant(self):
+        assert DEFAULT_REPORT_PATH == "SANITIZER_REPORT.json"
