@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-faults bench-overload bench-telemetry trace-smoke chaos serve-stress report examples clean
+.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry trace-smoke chaos serve-stress report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -34,10 +34,19 @@ sanitize-stress:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# ~30 s batch-vs-scalar equivalence + throughput smoke; writes
-# BENCH_batch_query.json at the repo root (asserts >= 5x speedup).
+# Batch-engine equivalence + throughput smoke across the engine ×
+# layout matrix; writes BENCH_batch_query.json at the repo root
+# (asserts bit-identical answers and >= 5x speedup over scalar).
 bench-smoke:
 	python benchmarks/bench_batch_query.py --preset smoke
+
+# The CI perf gate: smoke bench with the kernel phase breakdown on,
+# then the regression check against the committed BENCH_trajectory.jsonl
+# headline history (wide tolerance band — catches order-of-magnitude
+# regressions, not runner jitter).
+bench-kernels:
+	REPRO_PROFILE=1 python benchmarks/bench_batch_query.py --preset smoke
+	python scripts/check_perf_regression.py --preset smoke
 
 # Crash-recovery overhead under injected faults; writes
 # BENCH_fault_recovery.json (asserts every corruption detected,

@@ -1,16 +1,28 @@
-"""Batch query engine: vectorised ``query_many`` vs the scalar loop.
+"""Batch query engines: fused kernels vs the legacy engine vs scalar.
 
-Measures the tentpole claim: on the Fig. 6 uniform workload (10 BPK,
-64-wide ranges) the vectorised batch engine answers range queries several
-times faster than the per-query scalar loop, while remaining bit-identical
-(the scalar subset is re-asserted on every run).  Also reports the fetch
-cache's hit rate on three workloads — uniform, correlated (left bound =
-key + 32) and adjacent (runs of consecutive 64-wide windows) — since
-cache locality is where the batch engine's probe savings come from.
+Measures the batch-path tentpole on the Fig. 6 uniform workload (10 BPK,
+64-wide ranges): the fused kernels (:mod:`repro.core.kernels`) against
+the PR-1 FetchCache engine and the per-query scalar loop, across an
+engine × layout × workload matrix —
+
+* engines: ``legacy``, ``numpy`` (fused), ``numba`` (compiled, when the
+  package is installed);
+* RBF layouts: ``flat`` and cache-``blocked``;
+* workloads: uniform, correlated (left bound near a key) and adjacent
+  (runs of consecutive windows).
+
+Every engine's answers are asserted bit-identical to the legacy engine
+on the full workload and to the scalar loop on a subset; the headline
+(fastest engine on the flat layout) is appended to the committed
+``BENCH_trajectory.jsonl``, which ``scripts/check_perf_regression.py``
+gates CI against.  With ``REPRO_PROFILE=1`` the kernels' own phase
+breakdown (``kernel.decompose`` / ``kernel.ancestors`` /
+``kernel.descend``) lands in the JSON's profile block.
 
 Run as a script (``python benchmarks/bench_batch_query.py --preset
 smoke|full``) or via pytest-benchmark like the figure benches.  Both
-write ``BENCH_batch_query.json`` at the repository root.
+write ``BENCH_batch_query.json`` at the repository root; ``--preset
+smoke`` fits the CI perf job's 10-second budget.
 """
 
 from __future__ import annotations
@@ -21,25 +33,30 @@ import time
 
 import numpy as np
 
-from common import batch_rows, publish
+from common import append_trajectory, batch_rows, publish
 
 from repro.bench.metrics import run_batch_filter, run_filter
-from repro.telemetry.profiler import profile_phase
+from repro.core.kernels import available_backends
+from repro.core.kernels.bench import time_engine
 from repro.core.rencoder import REncoder
+from repro.telemetry.profiler import profile_phase
 from repro.workloads.datasets import generate_keys
 from repro.workloads.queries import (
     correlated_range_queries,
     uniform_range_queries,
 )
 
-#: ``smoke`` fits the CI budget (~30 s end to end); ``full`` is the
+#: ``smoke`` fits the CI perf job (<10 s end to end); ``full`` is the
 #: acceptance configuration (1M keys, 10 BPK, 64-wide ranges).
 PRESETS = {
-    "smoke": dict(n_keys=100_000, n_queries=20_000, n_scalar=2_000),
-    "full": dict(n_keys=1_000_000, n_queries=100_000, n_scalar=5_000),
+    "smoke": dict(n_keys=60_000, n_queries=20_000, n_scalar=1_000,
+                  n_workload=4_000),
+    "full": dict(n_keys=1_000_000, n_queries=100_000, n_scalar=5_000,
+                 n_workload=20_000),
 }
 BPK = 10
 WIDTH = 64
+LAYOUTS = ("flat", "blocked")
 
 
 def adjacent_range_queries(keys, n, *, run_length=16, seed=0):
@@ -58,44 +75,89 @@ def adjacent_range_queries(keys, n, *, run_length=16, seed=0):
 
 
 def run_bench(preset: str, seed: int = 1) -> dict:
-    """Build the filter, time scalar vs batch, return the JSON payload."""
+    """Build the filters, run the engine matrix, return the JSON payload."""
     cfg = PRESETS[preset]
+    engines = available_backends()  # e.g. ["numba", "numpy", "legacy"]
     keys = generate_keys(cfg["n_keys"], "uniform", seed=seed)
+    filters = {}
     with profile_phase("build"):
         t0 = time.perf_counter()
-        filt = REncoder(keys, total_bits=BPK * len(keys))
+        for layout in LAYOUTS:
+            filters[layout] = REncoder(
+                keys, total_bits=BPK * len(keys), layout=layout
+            )
         build_seconds = time.perf_counter() - t0
+    filt = filters["flat"]
     queries = uniform_range_queries(
         keys, cfg["n_queries"], min_size=WIDTH, max_size=WIDTH, seed=seed + 1
     )
+    los = np.array([lo for lo, _ in queries], dtype=np.uint64)
+    his = np.array([hi for _, hi in queries], dtype=np.uint64)
 
-    # Scalar baseline on a subset (the loop is the slow side), batch on
-    # the whole workload; equivalence asserted on the shared subset.
+    # Scalar baseline on a subset (the loop is the slow side); every
+    # engine × layout cell runs the whole workload.
     subset = queries[: cfg["n_scalar"]]
     with profile_phase("scalar"):
         scalar_run = run_filter(filt, subset, build_seconds=build_seconds)
         scalar_answers = [filt.query_range(lo, hi) for lo, hi in subset]
-    with profile_phase("batch"):
-        batch_run = run_batch_filter(filt, queries, build_seconds=build_seconds)
-        batch_answers = filt.query_many(queries)
-    equivalent = batch_answers[: len(subset)] == scalar_answers
-    speedup = batch_run.filter_kqps / scalar_run.filter_kqps
 
-    hit_rates = {"uniform": batch_run.cache_hit_rate}
-    with profile_phase("cache-workloads"):
+    matrix: dict[str, dict[str, dict]] = {}
+    reference = None  # legacy/flat answers, the equivalence anchor
+    equivalent = True
+    with profile_phase("batch"):
+        for layout in LAYOUTS:
+            matrix[layout] = {}
+            for engine in engines:
+                cell = time_engine(
+                    filters[layout], los, his, engine=engine
+                )
+                answers = cell.pop("answers")
+                if layout == "flat":
+                    if reference is None:
+                        reference = np.asarray(answers, dtype=bool)
+                    else:
+                        equivalent &= bool(
+                            np.array_equal(reference, answers)
+                        )
+                    equivalent &= (
+                        [bool(a) for a in answers[: len(subset)]]
+                        == scalar_answers
+                    )
+                matrix[layout][engine] = cell
+
+    # Workload matrix on the flat filter: locality changes per engine
+    # (the legacy cache thrives on adjacency; the kernels don't care).
+    workloads: dict[str, dict[str, float]] = {}
+    hit_rates: dict[str, float] = {}
+    with profile_phase("workloads"):
         for name, wl in (
+            ("uniform", queries[: cfg["n_workload"]]),
             (
                 "correlated",
                 correlated_range_queries(
-                    keys, cfg["n_scalar"], max_size=WIDTH, seed=seed + 2
+                    keys, cfg["n_workload"], max_size=WIDTH, seed=seed + 2
                 ),
             ),
             (
                 "adjacent",
-                adjacent_range_queries(keys, cfg["n_scalar"], seed=seed + 3),
+                adjacent_range_queries(
+                    keys, cfg["n_workload"], seed=seed + 3
+                ),
             ),
         ):
-            hit_rates[name] = run_batch_filter(filt, wl).cache_hit_rate
+            workloads[name] = {}
+            for engine in engines:
+                run = run_batch_filter(filt, wl, engine=engine)
+                workloads[name][engine] = round(run.filter_kqps, 1)
+                if engine == "legacy":
+                    hit_rates[name] = round(run.cache_hit_rate, 3)
+
+    best_engine = engines[0]  # available_backends() is fastest-first
+    headline = matrix["flat"][best_engine]
+    batch_run = run_batch_filter(
+        filt, queries, build_seconds=build_seconds, engine=best_engine
+    )
+    speedup = headline["kqps"] / round(scalar_run.filter_kqps, 1)
 
     payload = {
         "preset": preset,
@@ -103,24 +165,19 @@ def run_bench(preset: str, seed: int = 1) -> dict:
         "bits_per_key": BPK,
         "range_width": WIDTH,
         "n_queries": cfg["n_queries"],
+        "engine": best_engine,
         "scalar": {
             "n_queries": len(subset),
             "seconds": round(scalar_run.filter_seconds, 4),
             "kqps": round(scalar_run.filter_kqps, 1),
             "probes_per_query": round(scalar_run.probes_per_query, 2),
         },
-        "batch": {
-            "n_queries": cfg["n_queries"],
-            "seconds": round(batch_run.filter_seconds, 4),
-            "kqps": round(batch_run.filter_kqps, 1),
-            "probes_per_query": round(batch_run.probes_per_query, 2),
-            "cache_hit_rate": round(batch_run.cache_hit_rate, 3),
-        },
+        "batch": dict(headline),
+        "engines": matrix,
+        "workloads": workloads,
         "speedup": round(speedup, 2),
-        "equivalent": equivalent,
-        "cache_hit_rate_by_workload": {
-            k: round(v, 3) for k, v in hit_rates.items()
-        },
+        "equivalent": bool(equivalent),
+        "cache_hit_rate_by_workload": hit_rates,
     }
     payload["_runs"] = (scalar_run, batch_run)
     return payload
@@ -135,10 +192,24 @@ def _finish(payload: dict, benchmark=None) -> dict:
         "BENCH_batch_query.json",
         payload,
     )
-    assert payload["equivalent"], "batch answers diverged from scalar"
+    append_trajectory(
+        "batch_query",
+        payload["preset"],
+        payload["batch"]["kqps"],
+        engine=payload["engine"],
+    )
+    assert payload["equivalent"], "engines diverged from the legacy/scalar answers"
     assert payload["speedup"] >= 5.0, (
         f"batch speedup {payload['speedup']}x below the 5x target"
     )
+    engines = payload["engines"]["flat"]
+    if "numpy" in engines and "legacy" in engines:
+        fused = engines["numpy"]["kqps"]
+        legacy = engines["legacy"]["kqps"]
+        assert fused >= 1.3 * legacy, (
+            f"fused kernel {fused} kq/s below 1.3x the legacy engine "
+            f"({legacy} kq/s)"
+        )
     assert all(v > 0 for v in payload["cache_hit_rate_by_workload"].values())
     return payload
 
@@ -161,11 +232,12 @@ def main(argv=None) -> int:
     payload = run_bench(args.preset, seed=args.seed)
     _finish(payload)
     print(
-        f"speedup {payload['speedup']}x "
-        f"(scalar {payload['scalar']['kqps']} kq/s -> "
-        f"batch {payload['batch']['kqps']} kq/s), "
-        f"hit rates {payload['cache_hit_rate_by_workload']}"
+        f"engine {payload['engine']}: {payload['batch']['kqps']} kq/s "
+        f"({payload['speedup']}x over scalar {payload['scalar']['kqps']} kq/s)"
     )
+    for layout, row in payload["engines"].items():
+        cells = ", ".join(f"{e}={c['kqps']}" for e, c in row.items())
+        print(f"  {layout}: {cells} kq/s")
     return 0
 
 

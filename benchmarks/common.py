@@ -25,8 +25,12 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: Bumped whenever the shape of a ``BENCH_*.json`` payload changes in a
 #: way readers must care about; stamped into every file by
-#: :func:`write_bench_json`.
-BENCH_SCHEMA_VERSION = 2
+#: :func:`write_bench_json`.  v3: batch_query grew the engine × layout
+#: × workload matrix and the headline moved to the fused kernels.
+BENCH_SCHEMA_VERSION = 3
+
+#: Append-only per-commit headline history; see :func:`append_trajectory`.
+TRAJECTORY_NAME = "BENCH_trajectory.jsonl"
 
 
 def default_config(**overrides) -> ExperimentConfig:
@@ -112,6 +116,54 @@ def write_bench_json(name: str, payload: dict) -> Path:
     out["meta"] = meta
     path = REPO_ROOT / name
     path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def append_trajectory(
+    bench: str, preset: str, kqps: float, **extra
+) -> Path:
+    """Append one headline row to ``BENCH_trajectory.jsonl``.
+
+    The trajectory file is the committed, append-only per-commit history
+    of each bench's headline throughput: one JSON object per line with
+    ``schema_version``, ``git_rev``, ``bench``, ``preset`` and ``kqps``
+    (plus any bench-specific ``extra`` fields).
+    ``scripts/check_perf_regression.py`` compares a fresh run against
+    the newest row from a *different* commit, so a regression is caught
+    in CI before the offending commit lands.  Re-running on the same
+    commit replaces that commit's row instead of appending, keeping one
+    row per (bench, preset, engine, commit) — the engine is part of the
+    key so a faster backend landing at some commit never erases the
+    older backend's baseline measured at the same commit.
+    """
+    row = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "git_rev": _git_rev(),
+        "bench": bench,
+        "preset": preset,
+        "kqps": round(float(kqps), 1),
+    }
+    row.update(extra)
+    path = REPO_ROOT / TRAJECTORY_NAME
+    lines = []
+    if path.exists():
+        lines = [l for l in path.read_text().splitlines() if l.strip()]
+
+    def _same_cell(line: str) -> bool:
+        try:
+            old = json.loads(line)
+        except json.JSONDecodeError:
+            return False
+        return (
+            old.get("bench") == bench
+            and old.get("preset") == preset
+            and old.get("git_rev") == row["git_rev"]
+            and old.get("engine") == row.get("engine")
+        )
+
+    lines = [l for l in lines if not _same_cell(l)]
+    lines.append(json.dumps(row, sort_keys=True))
+    path.write_text("\n".join(lines) + "\n")
     return path
 
 

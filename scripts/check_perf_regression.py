@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""CI perf gate: fresh bench headline vs the committed trajectory.
+
+Compares the headline throughput in a freshly generated
+``BENCH_batch_query.json`` against the newest ``BENCH_trajectory.jsonl``
+row for the same (bench, preset) from a *different* commit — the last
+committed measurement.  Fails (exit 1) when the fresh number drops below
+``baseline * (1 - tolerance)``.
+
+The tolerance band is deliberately wide (default 0.35): CI runners are
+shared and noisy, and the gate exists to catch order-of-magnitude
+regressions (a kernel silently falling back to the legacy path, an
+accidental O(n^2) in the descent), not 5%% jitter.  When the trajectory
+has no comparable row — first run on a fresh clone, or a brand-new
+preset — the gate passes trivially and says so.
+
+Usage (what ``make bench-kernels`` and the CI perf job run)::
+
+    python benchmarks/bench_batch_query.py --preset smoke
+    python scripts/check_perf_regression.py --preset smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_baseline(
+    trajectory: Path, bench: str, preset: str, git_rev: str
+) -> "dict | None":
+    """Newest trajectory row for (bench, preset) not from ``git_rev``."""
+    if not trajectory.exists():
+        return None
+    baseline = None
+    for line in trajectory.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if row.get("bench") != bench or row.get("preset") != preset:
+            continue
+        if row.get("git_rev") == git_rev:
+            continue  # same commit: that's this run's own row, not a baseline
+        baseline = row  # file is append-ordered; keep the newest match
+    return baseline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=REPO_ROOT / "BENCH_batch_query.json",
+        help="fresh bench result to check (default: BENCH_batch_query.json)",
+    )
+    parser.add_argument(
+        "--trajectory",
+        type=Path,
+        default=REPO_ROOT / "BENCH_trajectory.jsonl",
+        help="committed headline history (default: BENCH_trajectory.jsonl)",
+    )
+    parser.add_argument("--bench", default="batch_query")
+    parser.add_argument(
+        "--preset",
+        default=None,
+        help="trajectory preset to compare against (default: the fresh "
+        "result's own preset)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.35,
+        help="allowed fractional drop vs baseline (default: 0.35)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.json.exists():
+        print(f"perf gate: FAIL — no fresh result at {args.json}")
+        print("run `python benchmarks/bench_batch_query.py` first")
+        return 1
+    fresh = json.loads(args.json.read_text())
+    preset = args.preset or fresh.get("preset", "smoke")
+    kqps = float(fresh["batch"]["kqps"])
+    git_rev = fresh.get("meta", {}).get("git_rev", "unknown")
+
+    if not fresh.get("equivalent", False):
+        print("perf gate: FAIL — fresh run reports equivalent: false")
+        return 1
+
+    baseline = load_baseline(args.trajectory, args.bench, preset, git_rev)
+    if baseline is None:
+        print(
+            f"perf gate: PASS (trivially) — no committed baseline for "
+            f"bench={args.bench} preset={preset} from another commit; "
+            f"fresh headline {kqps} kq/s recorded"
+        )
+        return 0
+
+    floor = float(baseline["kqps"]) * (1.0 - args.tolerance)
+    verdict = "PASS" if kqps >= floor else "FAIL"
+    print(
+        f"perf gate: {verdict} — {args.bench}/{preset}: fresh {kqps} kq/s "
+        f"({fresh.get('engine', '?')}) vs baseline {baseline['kqps']} kq/s "
+        f"({baseline.get('engine', '?')} @ {baseline.get('git_rev', '?')}), "
+        f"floor {floor:.1f} kq/s (tolerance {args.tolerance:.0%})"
+    )
+    return 0 if verdict == "PASS" else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

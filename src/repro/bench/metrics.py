@@ -365,6 +365,7 @@ def run_batch_filter(
     point: bool = False,
     io_cost_ns: int = DEFAULT_IO_COST_NS,
     build_seconds: float = 0.0,
+    engine: "str | None" = None,
 ) -> FilterRun:
     """Run a workload through the vectorised batch engine.
 
@@ -372,16 +373,23 @@ def run_batch_filter(
     the whole workload goes through ``query_many`` /
     ``query_point_many`` in one call, and the run additionally records
     ``mode="batch"``, the batch wall time (``filter_seconds``) and the
-    fetch-cache hit rate when the filter exposes one.
+    fetch-cache hit rate when the filter exposes one.  ``engine``
+    selects the batch kernel backend on filters that support fused
+    kernels (:mod:`repro.core.kernels`); other filters ignore it.
     """
     if not queries:
         raise ValueError("need at least one query")
+    kernels = getattr(filt, "supports_kernels", False)
     filt.reset_counters()
     start = time.perf_counter()
     if point:
-        answers = filt.query_point_many([lo for lo, _ in queries])
+        points = [lo for lo, _ in queries]
+        if kernels:
+            answers = filt.query_point_many(points, engine=engine)
+        else:
+            answers = filt.query_point_many(points)
     else:
-        answers = filt.query_many(queries)
+        answers = filt.query_many(queries, engine=engine)
     elapsed = time.perf_counter() - start
     positives = int(sum(bool(a) for a in answers))
     n = len(queries)

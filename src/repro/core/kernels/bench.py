@@ -1,0 +1,59 @@
+"""Bench harness hooks for the batch kernels — the one place inside
+``core/`` allowed to read the wall clock.
+
+The kernels themselves stay clock-free (their phase breakdown comes
+from :mod:`repro.telemetry.profiler`, which owns its own timing); this
+module is the measurement harness ``benchmarks/bench_batch_query.py``
+uses to time backend × layout cells.  The project lint's wall-clock
+rule allowlists exactly this file (see ``repro.lint.rules``), so timing
+code cannot leak into the query path unnoticed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["time_engine", "ENGINE_LABELS"]
+
+#: Engine names in bench-matrix order, with display labels.
+ENGINE_LABELS = {
+    "legacy": "legacy (FetchCache)",
+    "numpy": "numpy (fused)",
+    "numba": "numba (compiled)",
+}
+
+
+def time_engine(
+    filt,
+    los: np.ndarray,
+    his: np.ndarray,
+    *,
+    engine: str,
+    warmup: int = 256,
+) -> dict:
+    """Time one engine over one query batch; returns a bench-JSON cell.
+
+    Warms the engine on a small prefix first (arena growth for the
+    numpy kernel, jit compilation for numba) so the measured pass sees
+    steady-state cost, then runs the full batch once — the regression
+    gate compares across commits, so single-pass variance is handled by
+    its tolerance band, not by repeats here.
+    """
+    n = int(los.size)
+    pairs = np.stack([los, his], axis=1)
+    if warmup:
+        filt.query_range_many(pairs[: min(warmup, n)], engine=engine)
+    filt.reset_counters()
+    start = time.perf_counter()
+    answers = filt.query_range_many(pairs, engine=engine)
+    seconds = time.perf_counter() - start
+    return {
+        "engine": engine,
+        "n_queries": n,
+        "seconds": round(seconds, 4),
+        "kqps": round(n / seconds / 1e3, 1),
+        "probes_per_query": round(filt.probe_count / max(1, n), 2),
+        "answers": answers,
+    }

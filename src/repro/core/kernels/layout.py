@@ -1,0 +1,95 @@
+"""Cache-blocked RBF placement — all ``k`` windows in one memory block.
+
+The flat :class:`~repro.core.rbf.RangeBloomFilter` places each of a hash
+prefix's ``k`` Bitmap-Tree windows independently anywhere in the array,
+so one probe touches ``k`` scattered cache lines.  :class:`BlockedRBF`
+instead hashes the prefix *once* to a cache-line-aligned block and
+derives the ``k`` window offsets inside that block, so every probe —
+insert, fetch, or fused bit-test — lands in one contiguous,
+line-aligned region: a single gather instead of ``k`` scattered reads.
+This is the classic blocked-Bloom-filter trade (Putze et al.): slightly
+higher FPR (bits of one prefix are confined to a block, so block load
+factors vary around the global ``P1``) for strictly better memory
+locality.  Memento and Proteus (PAPERS.md) make the same trade on their
+hot paths.
+
+Geometry
+--------
+``span_bits`` is the block size: at least one 512-bit cache line and at
+least twice the Bitmap-Tree size, so windows still start at *arbitrary
+bit offsets* inside the block — the bit-granular placement that the RBF
+accuracy analysis requires (see :mod:`repro.core.rbf`) is preserved
+within each block.  The array is tiled with ``nblocks`` such blocks;
+offsets are drawn from ``[0, span_bits - block_bits]``.
+
+Selection is via ``RangeBloomFilter(..., layout="blocked")`` — the base
+constructor dispatches here, so every call site (REncoder, the storage
+tier, ``serialize.loads``) picks the layout with one keyword.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.rbf import RangeBloomFilter
+from repro.hashing.mix64 import HashFamily
+
+__all__ = ["BlockedRBF", "LINE_BITS"]
+
+#: One x86 cache line.  Blocks are multiples of this, line-aligned.
+LINE_BITS = 512
+
+#: Seed tweak separating the block-picking hash from the offset family.
+_BLOCK_SEED_TAG = 0x626C_6F63_6B65_6421  # "blocked!"
+
+
+class BlockedRBF(RangeBloomFilter):
+    """RBF with all ``k`` windows of a hash prefix in one block.
+
+    Constructed via ``RangeBloomFilter(..., layout="blocked")``.  The
+    public API, counters and serialization contract are identical to the
+    flat layout; only the placement (and therefore the bit pattern)
+    differs.  A blocked filter is *not* bit-compatible with a flat one —
+    the layout is recorded in the serialized metadata so a reload
+    reconstructs the same placement.
+    """
+
+    layout = "blocked"
+
+    def _init_placement(self) -> None:
+        bt = self.block_bits
+        span = max(2 * bt, LINE_BITS)
+        if span > self.bits:
+            # Tiny filters: shrink the block to the whole array rather
+            # than rejecting the geometry (keeps every flat-legal
+            # configuration constructible in blocked form too).
+            span = self.bits
+        self.span_bits = span
+        self.nblocks = self.bits // span
+        self.num_offsets = span - bt + 1
+        #: Flat-equivalent attribute kept for introspection/benches.
+        self.num_positions = self.nblocks * self.num_offsets
+        self._block_family = HashFamily(
+            1, self.nblocks, self.seed ^ _BLOCK_SEED_TAG
+        )
+        self._family = HashFamily(self.k, self.num_offsets, self.seed)
+
+    def _positions(self, hash_key: int) -> list[int]:
+        base = self._block_family.position(hash_key, 0) * self.span_bits
+        return [base + off for off in self._family.positions(hash_key)]
+
+    def _positions_array(self, hash_keys: np.ndarray) -> np.ndarray:
+        blocks = self._block_family.positions_array(hash_keys)[0]
+        base = blocks * np.uint64(self.span_bits)
+        return self._family.positions_array(hash_keys) + base[None, :]
+
+    def placement_params(self) -> dict:
+        """Layout constants the fused kernels fold into their tables."""
+        return {
+            "layout": self.layout,
+            "span_bits": self.span_bits,
+            "nblocks": self.nblocks,
+            "num_offsets": self.num_offsets,
+            "block_seed": int(self._block_family._seeds[0]),
+            "seeds": np.asarray(self._family._seeds_arr, dtype=np.uint64),
+        }

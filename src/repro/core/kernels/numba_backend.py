@@ -1,0 +1,308 @@
+"""Compiled batch kernel — a numba per-query loop over the RBF words.
+
+Where the numpy backend vectorises across a whole level of the batch,
+this backend compiles the *entire* query — greedy dyadic decomposition,
+ancestor checks, doubting DFS, splitmix64 mixing and bit tests — into
+one nopython loop per query, with early exit the vectorised path cannot
+have (a range query stops at its first matching piece; a probe stops at
+its first missing window bit).
+
+The module is import-safe without numba: the jit decorator degrades to
+identity and :class:`NumbaKernel` falls back to the inherited numpy
+implementation.  Backend selection (:func:`repro.core.kernels.resolve_backend`)
+never picks ``numba`` when the package is missing, so the un-jitted
+Python bodies below are never on a hot path.
+
+Equivalence: same probe identity and traversal semantics as the numpy
+kernel (see :mod:`repro.core.kernels.fused`); DFS order differs from the
+level-synchronous descent but the doubting traversal's answer is
+order-independent — a True leaf is True in any order, and budget
+exhaustion depends only on the total expansion cost, which is
+order-invariant when no leaf matches.  Asserted bit-identical by
+``tests/test_kernels.py`` whenever numba is installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels.fused import LAYOUT_BLOCKED, NumpyKernel
+from repro.telemetry.profiler import profile_phase
+
+__all__ = ["NumbaKernel", "NUMBA_IMPORTED"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_IMPORTED = True
+except ImportError:
+    NUMBA_IMPORTED = False
+
+    def njit(*args, **kwargs):  # type: ignore[misc]
+        """Identity decorator so the module parses without numba."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+#: DFS budgets above this would need a pre-sized stack too large to
+#: allocate per batch; such filters use the numpy kernel instead.
+_MAX_COMPILED_EXPANSION = 1 << 22
+
+_U0 = np.uint64(0)
+_U1 = np.uint64(1)
+_U2 = np.uint64(2)
+_U4 = np.uint64(4)
+_U6 = np.uint64(6)
+_U8 = np.uint64(8)
+_U16 = np.uint64(16)
+_U32 = np.uint64(32)
+_U63 = np.uint64(63)
+_C1 = np.uint64(0xBF58476D1CE4E5B9)
+_C2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+@njit(cache=True, inline="always")
+def _mix64(x):
+    """splitmix64 finalizer — scalar uint64, matches hashing.mix64."""
+    x ^= x >> _S30
+    x = x * _C1
+    x ^= x >> _S27
+    x = x * _C2
+    x ^= x >> _S31
+    return x
+
+
+@njit(cache=True, inline="always")
+def _probe_one(
+    arr, prefix, level,
+    depth_tbl, tag_tbl, mirror_tbl, seeds,
+    layout_code, buckets, span_bits, nblocks, num_offsets, block_seed,
+):
+    """Fused single-probe bit test; early-exits on the first miss."""
+    depth = np.uint64(depth_tbl[level])
+    maskd = (_U1 << depth) - _U1
+    hp = (prefix >> depth) ^ tag_tbl[level]
+    nodebit = maskd + (prefix & maskd)
+    base = _U0
+    if layout_code == LAYOUT_BLOCKED:
+        base = (_mix64(hp ^ block_seed) % nblocks) * span_bits
+    mirror = mirror_tbl[level]
+    for i in range(seeds.size):
+        pos = _mix64(hp ^ seeds[i]) % buckets + base
+        bitpos = pos + nodebit
+        if ((arr[np.int64(bitpos >> _U6)] >> (bitpos & _U63)) & _U1) == _U0:
+            return False
+        if mirror:
+            if ((arr[np.int64(pos >> _U6)] >> (pos & _U63)) & _U1) == _U0:
+                return False
+    return True
+
+
+@njit(cache=True)
+def _verify_one(
+    arr, prefix, length, n_keys_pos,
+    ancestor_checks, stored_levels, stored, next_stored, deepest,
+    max_expansion,
+    depth_tbl, tag_tbl, mirror_tbl, seeds,
+    layout_code, buckets, span_bits, nblocks, num_offsets, block_seed,
+    stack_pfx, stack_lvl, counters,
+):
+    """Scalar verification of one dyadic piece — Algorithm 3's core."""
+    if length == 0:
+        return n_keys_pos
+    if ancestor_checks:
+        for li in range(stored_levels.size):
+            lvl = stored_levels[li]
+            if lvl >= length:
+                break
+            counters[0] += 1
+            if not _probe_one(
+                arr, prefix >> np.uint64(length - lvl), lvl,
+                depth_tbl, tag_tbl, mirror_tbl, seeds,
+                layout_code, buckets, span_bits, nblocks, num_offsets,
+                block_seed,
+            ):
+                return False
+    if length > deepest:
+        return True
+    stack_pfx[0] = prefix
+    stack_lvl[0] = length
+    top = 1
+    budget = max_expansion
+    while top > 0:
+        top -= 1
+        p = stack_pfx[top]
+        lvl = stack_lvl[top]
+        if stored[lvl]:
+            counters[0] += 1
+            if not _probe_one(
+                arr, p, lvl,
+                depth_tbl, tag_tbl, mirror_tbl, seeds,
+                layout_code, buckets, span_bits, nblocks, num_offsets,
+                block_seed,
+            ):
+                continue
+        if lvl >= deepest:
+            return True
+        nxt = next_stored[lvl]
+        gap = nxt - lvl
+        if gap >= 62:
+            return True  # expansion cost exceeds any budget
+        budget -= np.int64(1) << np.int64(gap)
+        if budget < 0:
+            return True  # doubting budget exhausted: conservative yes
+        nchild = np.int64(1) << np.int64(gap)
+        base_child = p << np.uint64(gap)
+        for e in range(nchild - 1, -1, -1):
+            stack_pfx[top] = base_child | np.uint64(e)
+            stack_lvl[top] = nxt
+            top += 1
+    return False
+
+
+@njit(cache=True)
+def _range_kernel(
+    los, his, out, arr, key_bits, n_keys_pos,
+    ancestor_checks, stored_levels, stored, next_stored, deepest,
+    max_expansion,
+    depth_tbl, tag_tbl, mirror_tbl, seeds,
+    layout_code, buckets, span_bits, nblocks, num_offsets, block_seed,
+    counters,
+):
+    stack_pfx = np.empty(max_expansion + 2, dtype=np.uint64)
+    stack_lvl = np.empty(max_expansion + 2, dtype=np.int64)
+    kb = np.uint64(key_bits)
+    top_key = (~_U0) >> np.uint64(64 - key_bits)
+    full64 = key_bits == 64
+    for q in range(los.size):
+        lo = los[q]
+        hi = his[q]
+        res = False
+        if full64 and lo == _U0 and hi == top_key:
+            # hi - lo + 1 would wrap; scalar walk emits the empty prefix.
+            res = n_keys_pos
+        else:
+            cur = lo
+            remaining = hi - lo + _U1
+            while remaining > _U0:
+                if cur == _U0:
+                    align = _U1 << _U63 if full64 else _U1 << kb
+                else:
+                    align = cur & (~cur + _U1)
+                m = remaining
+                m |= m >> _U1
+                m |= m >> _U2
+                m |= m >> _U4
+                m |= m >> _U8
+                m |= m >> _U16
+                m |= m >> _U32
+                msb = m - (m >> _U1)
+                size = align if align < msb else msb
+                log = np.int64(0)
+                s = size
+                while s > _U1:
+                    s >>= _U1
+                    log += 1
+                length = key_bits - log
+                prefix = cur >> np.uint64(log) if length > 0 else _U0
+                if _verify_one(
+                    arr, prefix, length, n_keys_pos,
+                    ancestor_checks, stored_levels, stored, next_stored,
+                    deepest, max_expansion,
+                    depth_tbl, tag_tbl, mirror_tbl, seeds,
+                    layout_code, buckets, span_bits, nblocks, num_offsets,
+                    block_seed, stack_pfx, stack_lvl, counters,
+                ):
+                    res = True
+                    break
+                cur = cur + size
+                remaining = remaining - size
+        out[q] = res
+
+
+@njit(cache=True)
+def _point_kernel(
+    keys, out, arr, key_bits, point_levels,
+    depth_tbl, tag_tbl, mirror_tbl, seeds,
+    layout_code, buckets, span_bits, nblocks, num_offsets, block_seed,
+    counters,
+):
+    for q in range(keys.size):
+        key = keys[q]
+        ok = True
+        for li in range(point_levels.size):
+            lvl = point_levels[li]
+            counters[0] += 1
+            if not _probe_one(
+                arr, key >> np.uint64(key_bits - lvl), lvl,
+                depth_tbl, tag_tbl, mirror_tbl, seeds,
+                layout_code, buckets, span_bits, nblocks, num_offsets,
+                block_seed,
+            ):
+                ok = False
+                break
+        out[q] = ok
+
+
+class NumbaKernel(NumpyKernel):
+    """Compiled per-query kernel; inherits numpy fallback + accounting."""
+
+    backend = "numba"
+
+    def __init__(self, filt) -> None:
+        super().__init__(filt)
+        t = self.tables
+        self._compiled = (
+            NUMBA_IMPORTED and t.max_expansion <= _MAX_COMPILED_EXPANSION
+        )
+        self._probe_args = (
+            t.depth, t.tag, t.mirror, t.seeds,
+            np.int64(t.layout_code), t.buckets, t.span_bits,
+            t.nblocks, t.num_offsets, t.block_seed,
+        )
+
+    def range_many(self, los: np.ndarray, his: np.ndarray) -> np.ndarray:
+        if not self._compiled:
+            return super().range_many(los, his)
+        t = self.tables
+        out = np.zeros(los.size, dtype=np.bool_)
+        if los.size == 0:
+            return out
+        counters = np.zeros(1, dtype=np.int64)
+        with profile_phase("kernel.compiled"):
+            _range_kernel(
+                np.ascontiguousarray(los, dtype=np.uint64),
+                np.ascontiguousarray(his, dtype=np.uint64),
+                out, self.filt.rbf._array,
+                np.int64(t.key_bits), self.filt.n_keys > 0,
+                t.ancestor_checks, t.stored_levels, t.stored, t.next_stored,
+                np.int64(t.deepest), np.int64(t.max_expansion),
+                *self._probe_args, counters,
+            )
+        self._account(int(counters[0]))
+        return out
+
+    def point_many(self, keys: np.ndarray) -> np.ndarray:
+        if not self._compiled:
+            return super().point_many(keys)
+        t = self.tables
+        out = np.zeros(keys.size, dtype=np.bool_)
+        if keys.size == 0:
+            return out
+        counters = np.zeros(1, dtype=np.int64)
+        _point_kernel(
+            np.ascontiguousarray(keys, dtype=np.uint64),
+            out, self.filt.rbf._array,
+            np.int64(t.key_bits), t.point_levels,
+            *self._probe_args, counters,
+        )
+        self._account(int(counters[0]))
+        return out

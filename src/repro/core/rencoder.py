@@ -46,7 +46,7 @@ import numpy as np
 
 from repro.core.bitmap_tree import BitmapTreeCodec
 from repro.core.decompose import decompose, decompose_batch
-from repro.core.rbf import RangeBloomFilter
+from repro.core.rbf import FetchScratch, RangeBloomFilter
 from repro.filters.base import RangeFilter, as_key_array
 from repro.hashing.mix64 import seeds_for
 from repro.telemetry.tracing import current_span
@@ -85,7 +85,7 @@ class FetchCache:
     otherwise manifest as a *false negative* on a freshly inserted key.
     """
 
-    __slots__ = ("probes", "fetches", "generation", "_groups")
+    __slots__ = ("probes", "fetches", "generation", "_groups", "scratch")
 
     def __init__(self) -> None:
         #: group -> (sorted hash prefixes, matching rows of combined BTs)
@@ -94,6 +94,10 @@ class FetchCache:
         self.fetches = 0
         #: RBF generation the entries are valid for (None = empty/unbound).
         self.generation: "int | None" = None
+        #: Reusable fetch_bt_many work buffers — a cache carried across
+        #: batches amortises them, so steady-state probing stops
+        #: allocating the large per-level gather temporaries.
+        self.scratch = FetchScratch()
 
     def ensure(self, generation: int) -> None:
         """Bind to an RBF generation, invalidating stale entries.
@@ -235,6 +239,7 @@ class REncoder(RangeFilter):
         seed: int = 0,
         max_expansion: int = 4096,
         ancestor_checks: bool = True,
+        layout: str = "flat",
     ) -> None:
         super().__init__(key_bits)
         self.ancestor_checks = ancestor_checks
@@ -280,7 +285,9 @@ class REncoder(RangeFilter):
             k = min(5, max(2, int(0.6931 * bpk / (len(mandatory) + 1))))
         elif not (isinstance(k, int) and k >= 1):
             raise ValueError(f'k must be a positive int or "auto", got {k!r}')
-        self.rbf = RangeBloomFilter(total_bits, k, group_bits, seed)
+        self.rbf = RangeBloomFilter(
+            total_bits, k, group_bits, seed, layout=layout
+        )
         self._build(key_arr, mandatory, optional)
         self._finalise_levels()
 
@@ -384,6 +391,8 @@ class REncoder(RangeFilter):
             self._next_stored[l] = nxt
             if self._stored[l]:
                 nxt = l
+        # The level plan is baked into any fused kernel's tables; drop it.
+        self._kernel_cache = None
 
     def _locate(self, level: int) -> tuple[int, int, int]:
         """(group, depth-in-group, hash-prefix length) of a level."""
@@ -469,12 +478,47 @@ class REncoder(RangeFilter):
     # ------------------------------------------------------------------
     # batch queries
     # ------------------------------------------------------------------
+    #: Batch queries on this filter can route through the fused kernels
+    #: (repro.core.kernels); storage layers use this to pass ``engine=``.
+    supports_kernels = True
+
+    def _kernel_for(self, cache: "FetchCache | None", engine: "str | None"):
+        """Resolve the fused kernel for one batch call (None = legacy).
+
+        An explicit ``cache=`` selects the legacy FetchCache engine —
+        carrying mini-trees across batches is that engine's feature, so
+        combining it with a kernel backend is a contradiction and raises.
+        Otherwise the backend comes from ``engine=`` / :func:`configure`
+        / ``REPRO_KERNELS`` (see :mod:`repro.core.kernels`).
+        """
+        if cache is not None:
+            if engine not in (None, "legacy"):
+                raise ValueError(
+                    "cache= is a legacy-engine feature; "
+                    f"drop it or pass engine='legacy', not {engine!r}"
+                )
+            return None
+        from repro.core import kernels
+
+        return kernels.get_kernel(self, engine)
+
     def query_range_many(
-        self, ranges, *, cache: "FetchCache | None" = None
+        self,
+        ranges,
+        *,
+        cache: "FetchCache | None" = None,
+        engine: "str | None" = None,
     ) -> np.ndarray:
         """Batch :meth:`query_range` — bit-identical, vectorised.
 
-        The whole batch is dyadically decomposed at once
+        By default the batch runs on a fused kernel
+        (:mod:`repro.core.kernels`): decomposition, hash mixing and RBF
+        bit tests in one pass, compiled when numba is available.
+        ``engine=`` picks the backend explicitly (``"numba"`` /
+        ``"numpy"`` / ``"legacy"``); passing ``cache=`` selects the
+        legacy engine below.
+
+        On the legacy engine, the whole batch is dyadically decomposed at once
         (:func:`~repro.core.decompose.decompose_batch`), the ancestor-level
         checks run level-by-level over flat arrays (one
         :meth:`~repro.core.rbf.RangeBloomFilter.fetch_bt_many` gather per
@@ -501,6 +545,9 @@ class REncoder(RangeFilter):
             raise ValueError(
                 f"invalid range in batch for {self.key_bits}-bit keys"
             )
+        kernel = self._kernel_for(cache, engine)
+        if kernel is not None:
+            return kernel.range_many(los, his)
         cache = cache if cache is not None else FetchCache()
         qidx, prefixes, lengths = decompose_batch(los, his, self.key_bits)
         whole = lengths == 0
@@ -608,15 +655,21 @@ class REncoder(RangeFilter):
             )
 
     def query_point_many(
-        self, keys, *, cache: "FetchCache | None" = None
+        self,
+        keys,
+        *,
+        cache: "FetchCache | None" = None,
+        engine: "str | None" = None,
     ) -> np.ndarray:
         """Batch :meth:`query_point` — bit-identical, vectorised.
 
-        A point query probes one stored level at a time along the key's
-        prefix path, so the whole batch runs level-by-level with no scalar
-        fallback at all.  ``cache`` carries a generation-checked
-        :class:`FetchCache` across batches, as in
-        :meth:`query_range_many`.
+        Routed through the fused kernels exactly like
+        :meth:`query_range_many` (``engine=`` picks the backend, an
+        explicit ``cache=`` selects the legacy engine).  On the legacy
+        engine, a point query probes one stored level at a time along the
+        key's prefix path, so the whole batch runs level-by-level with no
+        scalar fallback at all; ``cache`` carries a generation-checked
+        :class:`FetchCache` across batches.
         """
         keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
         n = keys.size
@@ -626,6 +679,9 @@ class REncoder(RangeFilter):
             raise ValueError(
                 f"key outside {self.key_bits}-bit domain in batch"
             )
+        kernel = self._kernel_for(cache, engine)
+        if kernel is not None:
+            return kernel.point_many(keys)
         cache = cache if cache is not None else FetchCache()
         alive = np.ones(n, dtype=bool)
         length = self.key_bits
@@ -685,7 +741,9 @@ class REncoder(RangeFilter):
             if sp is not None:
                 sp.add("cache_hits", int(uniq.size - missing.size))
             fetched = self.rbf.fetch_bt_many(
-                uniq[missing] ^ np.uint64(self._group_tags[group])
+                uniq[missing] ^ np.uint64(self._group_tags[group]),
+                out=cache.scratch.out(missing.size, self.codec.words),
+                scratch=cache.scratch,
             )
             if hp_len and self._stored[hp_len]:
                 # Mirror root bit 0: the hash prefix was never inserted,
@@ -693,7 +751,9 @@ class REncoder(RangeFilter):
                 dead = (fetched[:, 0] & np.uint64(1)) == 0
                 fetched[dead] = 0
             bts[missing] = fetched
-            cache.store(group, uniq[missing], fetched)
+            # The cache keeps rows across calls while ``fetched`` is a
+            # reused scratch view — store a snapshot, not the buffer.
+            cache.store(group, uniq[missing], fetched.copy())
         elif sp is not None:
             sp.add("cache_hits", int(uniq.size))
         node = np.uint64(1 << depth) | (
@@ -900,6 +960,7 @@ class REncoder(RangeFilter):
             and self.rbf.k == other.rbf.k
             and self.rbf.seed == other.rbf.seed
             and self.rbf.bits == other.rbf.bits
+            and self.rbf.layout == other.rbf.layout
             and self.rmax == other.rmax
         )
         if not same:

@@ -114,9 +114,17 @@ class REncoderPO(REncoder):
                 return False
         return True
 
-    def query_point_many(self, keys) -> np.ndarray:
+    def query_point_many(
+        self,
+        keys,
+        *,
+        cache: "FetchCache | None" = None,
+        engine: "str | None" = None,
+    ) -> np.ndarray:
         """Batch :meth:`query_point`: one vectorised probe per stored
-        level inside the deepest mini-tree, sharing the batch fetch cache."""
+        level inside the deepest mini-tree.  Routed through the fused
+        kernels like the base class (their point plan is PO-aware);
+        an explicit ``cache=`` selects the legacy FetchCache engine."""
         keys = np.atleast_1d(np.asarray(keys, dtype=np.uint64))
         n = keys.size
         if n == 0:
@@ -125,9 +133,12 @@ class REncoderPO(REncoder):
             raise ValueError(
                 f"key outside {self.key_bits}-bit domain in batch"
             )
+        kernel = self._kernel_for(cache, engine)
+        if kernel is not None:
+            return kernel.point_many(keys)
         deepest = self._deepest
         group_start = ((deepest - 1) // self.group_bits) * self.group_bits
-        cache = FetchCache()
+        cache = cache if cache is not None else FetchCache()
         alive = np.ones(n, dtype=bool)
         for level in self._stored_sorted:
             if level <= group_start or level > deepest:

@@ -153,7 +153,7 @@ def test_batch_query_reports_cache_hit_rate():
     base = int(rng.integers(0, TOP - 4096))
     adjacent = [(base + 64 * i, base + 64 * i + 63) for i in range(32)]
     filt.reset_counters()
-    filt.query_range_many(adjacent)
+    filt.query_range_many(adjacent, cache=FetchCache())
     assert filt.cache_hit_rate > 0.0
     filt.reset_counters()
     assert filt.cache_hit_rate == 0.0
