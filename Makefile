@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry trace-smoke chaos serve-stress report examples clean
+.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry bench-cluster trace-smoke chaos serve-stress cluster-stress report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -65,6 +65,15 @@ bench-overload:
 bench-telemetry:
 	python benchmarks/bench_telemetry.py --preset smoke
 
+# Sharded-cluster matrix (topology x size x fault profile) plus the
+# protected-vs-unprotected failover headline; writes BENCH_cluster.json
+# and run_table.csv at the repo root, then gates the headline against
+# the committed trajectory.
+bench-cluster:
+	python benchmarks/bench_cluster.py --preset smoke
+	python scripts/check_perf_regression.py --json BENCH_cluster.json \
+		--bench cluster --metric headline.kqps
+
 # One traced range query through the full service stack: prints the
 # span tree (queue wait, per-SSTable probes, RBF fetches) and a JSON
 # rollup — the observability smoke test.
@@ -83,6 +92,13 @@ chaos:
 serve-stress:
 	pytest tests/test_service_stress.py tests/test_service.py -q \
 		$$(python -c "import pytest_timeout" 2>/dev/null && echo "--timeout=120")
+
+# Cluster chaos: replica kills, partitions, slow shards and a live
+# resharding over >= 10k routed queries — zero false negatives.
+# REPRO_CHAOS_SEED pins the whole scenario (CI uses 20230713).
+cluster-stress:
+	pytest tests/test_cluster_chaos.py tests/test_cluster.py -q \
+		$$(python -c "import pytest_timeout" 2>/dev/null && echo "--timeout=600")
 
 report: bench
 	python -m repro report

@@ -1,0 +1,411 @@
+"""Cluster behaviour: failover, hedging and degradation under faults.
+
+Drives a :class:`~repro.cluster.FilterCluster` (N shards x R replicas,
+each an independent FilterService over its own LSM tree, all on one
+simulated clock) through a topology x size x fault-profile matrix and
+measures what the router's protections buy:
+
+* **matrix** — for every (topology, keys, fault profile, repetition)
+  cell: routed batch throughput, wall p50/p95/p99, degraded-merge rate
+  and unreachable-shard count, one CSV row each (``run_table.csv`` at
+  the repo root, stamped with schema version and git revision);
+* **headline** — the same slow-replica weather served twice: once by
+  the **protected** router (health-ranked failover + hedged requests)
+  and once **unprotected** (hedging off, one attempt per shard — the
+  first answer, degraded or not, is final).  Failover turns most
+  would-be degraded answers into real ones from a sibling replica, so
+  the comparison reports both failure rates *and* both wall p99s — the
+  protection's price is the extra submission it makes on a retry.
+
+Every cell re-asserts the one-sided contract: a query range that
+contains a stored key answers positive — through failovers, hedges,
+degraded merges and a crashed replica — or the bench fails.
+
+Run as a script (``python benchmarks/bench_cluster.py --preset
+smoke|full``) or via pytest-benchmark.  Both write
+``BENCH_cluster.json`` and ``run_table.csv`` at the repository root and
+append the headline to ``BENCH_trajectory.jsonl``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import random
+import sys
+import time
+
+from common import (
+    BENCH_SCHEMA_VERSION,
+    REPO_ROOT,
+    _git_rev,
+    append_trajectory,
+    publish,
+)
+
+from repro.cluster import FilterCluster
+from repro.core.rencoder import REncoder
+
+MS = 1_000_000
+TOP64 = (1 << 64) - 1
+BPK = 12
+SEGMENT_BITS = 5
+
+#: ``smoke`` fits the CI budget; ``full`` widens the matrix.
+PRESETS = {
+    "smoke": dict(
+        topologies=[(2, 2), (3, 2)],
+        n_keys=6_000,
+        batches=30,
+        batch=25,
+        reps=2,
+        headline_topology=(2, 3),
+        headline_batches=60,
+    ),
+    "full": dict(
+        topologies=[(2, 2), (3, 2), (4, 3)],
+        n_keys=20_000,
+        batches=100,
+        batch=25,
+        reps=3,
+        headline_topology=(3, 3),
+        headline_batches=200,
+    ),
+}
+
+#: Named fault profiles: (storage-level injector weather, control-plane
+#: actions applied after the build).  ``slow-shard`` stalls one replica
+#: of shard 0 hard enough to blow sub-batch deadlines; ``crashy`` kills
+#: that replica outright and adds transient read faults everywhere.
+FAULT_PROFILES = {
+    "none": dict(storage={}, slow=None, crash=None),
+    "slow-shard": dict(
+        storage={},
+        slow=dict(shard=0, replica=0, p=0.8, ns=40 * MS),
+        crash=None,
+    ),
+    "crashy": dict(
+        storage=dict(transient_read_p=0.01),
+        slow=None,
+        crash=dict(shard=0, replica=0),
+    ),
+}
+
+#: The headline's weather: *every* replica flaps slow — rarely, but a
+#: single stall blows the whole sub-batch deadline.  The per-attempt
+#: degrade probability is then moderate and independent per replica,
+#: which is exactly the regime where failover (more attempts) pays off.
+HEADLINE_SLOW_P = 0.03
+HEADLINE_SLOW_NS = 500 * MS
+
+RUN_TABLE = "run_table.csv"
+RUN_TABLE_COLS = [
+    "schema_version", "git_rev", "preset", "topology", "shards",
+    "replicas", "n_keys", "fault_profile", "repetition", "batches",
+    "ranges", "qps", "p50_ms", "p95_ms", "p99_ms", "degraded_rate",
+    "unreachable", "retries", "failovers", "hedges",
+]
+
+
+def _build(
+    shards,
+    replicas,
+    n_keys,
+    seed,
+    *,
+    storage_faults=None,
+    hedging=True,
+    router_kwargs=None,
+):
+    cluster = FilterCluster(
+        n_shards=shards,
+        replicas_per_shard=replicas,
+        filter_factory=lambda ks: REncoder(ks, bits_per_key=BPK),
+        seed=seed,
+        segment_bits=SEGMENT_BITS,
+        fault_profile=storage_faults or {},
+        hedging=hedging,
+        router_kwargs=router_kwargs,
+        memtable_capacity=512,
+        workers=2,
+    )
+    cluster.start()
+    rng = random.Random(seed)
+    keys = sorted({rng.randrange(TOP64) for _ in range(n_keys)})
+    cluster.load(keys)
+    cluster.flush()
+    return cluster, keys
+
+
+def _percentile(sorted_ms, q):
+    if not sorted_ms:
+        return 0.0
+    idx = min(len(sorted_ms) - 1, int(len(sorted_ms) * q / 100))
+    return round(sorted_ms[idx], 3)
+
+
+def _measure(cluster, keys, seed, n_batches, batch):
+    """Serve ``n_batches`` routed batches; wall latency + outcome mix.
+
+    Half the ranges pin a stored key (guaranteed positive — the
+    one-sided probes), half are random.  A false negative on a pinned
+    range fails the bench on the spot.
+    """
+    rng = random.Random(seed)
+    before = dict(cluster.health()["counters"])
+    lat_ms = []
+    degraded_batches = 0
+    unreachable = 0
+    retries = 0
+    n_ranges = 0
+    start = time.perf_counter()
+    for batch_no in range(n_batches):
+        ranges = []
+        pinned = []
+        for i in range(batch):
+            if rng.random() < 0.5:
+                k = rng.choice(keys)
+                ranges.append((k, k))
+                pinned.append(i)
+            else:
+                lo = rng.randrange(TOP64 - (1 << 40))
+                ranges.append((lo, lo + rng.randrange(1 << 40)))
+        t0 = time.perf_counter()
+        resp = cluster.query_range_many(ranges)
+        lat_ms.append((time.perf_counter() - t0) * 1e3)
+        n_ranges += len(ranges)
+        if resp.degraded:
+            degraded_batches += 1
+        unreachable += sum(
+            1 for o in resp.shards if o.reason == "unreachable"
+        )
+        # Extra submissions beyond each shard's first: the failover
+        # work the router did (a degraded first answer retried on a
+        # sibling shows up here, not in the submit-skip counter).
+        retries += sum(max(0, o.attempts - 1) for o in resp.shards)
+        for i in pinned:
+            assert resp.positives[i], (
+                f"false negative on stored key (batch {batch_no}, "
+                f"range {ranges[i]})"
+            )
+    elapsed = time.perf_counter() - start
+    after = dict(cluster.health()["counters"])
+    lat_ms.sort()
+    return {
+        "batches": n_batches,
+        "ranges": n_ranges,
+        "qps": round(n_ranges / elapsed, 1),
+        "p50_ms": _percentile(lat_ms, 50),
+        "p95_ms": _percentile(lat_ms, 95),
+        "p99_ms": _percentile(lat_ms, 99),
+        "degraded_rate": round(degraded_batches / n_batches, 4),
+        "unreachable": unreachable,
+        "retries": retries,
+        "failovers": after["cluster_failovers"] - before["cluster_failovers"],
+        "hedges": after["cluster_hedges"] - before["cluster_hedges"],
+    }
+
+
+def _matrix(cfg, seed) -> list[dict]:
+    """One row per topology x size x fault profile x repetition."""
+    rows = []
+    for shards, replicas in cfg["topologies"]:
+        for profile_name, profile in FAULT_PROFILES.items():
+            cluster, keys = _build(
+                shards,
+                replicas,
+                cfg["n_keys"],
+                seed + shards * 10 + replicas,
+                storage_faults=profile["storage"],
+            )
+            try:
+                if profile["slow"]:
+                    s = profile["slow"]
+                    cluster.slow_replica(
+                        s["shard"], s["replica"], s["p"], s["ns"]
+                    )
+                if profile["crash"]:
+                    c = profile["crash"]
+                    cluster.crash_replica(c["shard"], c["replica"])
+                for rep in range(cfg["reps"]):
+                    run = _measure(
+                        cluster,
+                        keys,
+                        seed + 1000 * rep,
+                        cfg["batches"],
+                        cfg["batch"],
+                    )
+                    rows.append(
+                        {
+                            "topology": f"{shards}x{replicas}",
+                            "shards": shards,
+                            "replicas": replicas,
+                            "n_keys": cfg["n_keys"],
+                            "fault_profile": profile_name,
+                            "repetition": rep,
+                            **run,
+                        }
+                    )
+            finally:
+                cluster.stop()
+    return rows
+
+
+def _headline(cfg, seed) -> dict:
+    """Protected vs unprotected router under cluster-wide slow flapping.
+
+    Both variants face the same weather on identically seeded clusters:
+    every replica's storage stalls with probability
+    :data:`HEADLINE_SLOW_P` per read, long enough to blow a sub-batch
+    deadline.  The unprotected router (no hedging, one attempt per
+    shard) must accept whatever its first pick returns, so its failure
+    rate tracks the flap probability; the protected router retries the
+    degraded answer on sibling replicas and usually finds a real one.
+    """
+    shards, replicas = cfg["headline_topology"]
+    variants = {}
+    for label, kwargs in (
+        ("protected", dict(hedging=True, router_kwargs=None)),
+        ("unprotected", dict(hedging=False, router_kwargs={"max_attempts": 1})),
+    ):
+        cluster, keys = _build(shards, replicas, cfg["n_keys"], seed, **kwargs)
+        try:
+            for sid in range(shards):
+                for rid in range(replicas):
+                    cluster.slow_replica(
+                        sid, rid, HEADLINE_SLOW_P, HEADLINE_SLOW_NS
+                    )
+            variants[label] = _measure(
+                cluster, keys, seed + 7, cfg["headline_batches"], cfg["batch"]
+            )
+        finally:
+            cluster.stop()
+    protected, unprotected = variants["protected"], variants["unprotected"]
+    assert protected["degraded_rate"] < unprotected["degraded_rate"], (
+        f"failover should beat first-answer-wins under flapping storage "
+        f"(protected {protected['degraded_rate']} vs "
+        f"unprotected {unprotected['degraded_rate']})"
+    )
+    return {
+        "topology": f"{shards}x{replicas}",
+        "kqps": round(protected["qps"] / 1e3, 1),
+        "slow_p": HEADLINE_SLOW_P,
+        "slow_ms": HEADLINE_SLOW_NS / 1e6,
+        "protected": protected,
+        "unprotected": unprotected,
+        "p99_protected_ms": protected["p99_ms"],
+        "p99_unprotected_ms": unprotected["p99_ms"],
+        "failure_rate_ratio": round(
+            protected["degraded_rate"]
+            / max(unprotected["degraded_rate"], 1e-9),
+            4,
+        ),
+    }
+
+
+def _write_run_table(preset: str, rows: list[dict]) -> None:
+    """The committed per-cell artifact: one CSV row per matrix cell."""
+    git_rev = _git_rev()
+    path = REPO_ROOT / RUN_TABLE
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=RUN_TABLE_COLS)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(
+                {
+                    "schema_version": BENCH_SCHEMA_VERSION,
+                    "git_rev": git_rev,
+                    "preset": preset,
+                    **{k: row[k] for k in RUN_TABLE_COLS[3:]},
+                }
+            )
+
+
+def run_bench(preset: str, seed: int = 1) -> dict:
+    cfg = PRESETS[preset]
+    rows = _matrix(cfg, seed)
+    headline = _headline(cfg, seed + 50)
+    return {
+        "preset": preset,
+        "bits_per_key": BPK,
+        "segment_bits": SEGMENT_BITS,
+        "batch": cfg["batch"],
+        "matrix": rows,
+        "headline": headline,
+        "zero_false_negatives": True,  # _measure asserts per pinned range
+    }
+
+
+def _rows(rows) -> str:
+    cols = [
+        "topology", "fault_profile", "repetition", "qps", "p50_ms",
+        "p95_ms", "p99_ms", "degraded_rate", "unreachable", "retries",
+        "failovers",
+    ]
+    lines = ["".join(c.ljust(14) for c in cols)]
+    for row in rows:
+        lines.append("".join(str(row.get(c, "")).ljust(14) for c in cols))
+    return "\n".join(lines)
+
+
+def _finish(payload: dict, benchmark=None) -> dict:
+    publish(
+        benchmark,
+        "cluster",
+        _rows(payload["matrix"]),
+        "BENCH_cluster.json",
+        payload,
+    )
+    _write_run_table(payload["preset"], payload["matrix"])
+    headline = payload["headline"]
+    append_trajectory(
+        "cluster",
+        payload["preset"],
+        headline["kqps"],
+        engine="router",
+        p99_ms=headline["p99_protected_ms"],
+        degraded_rate=headline["protected"]["degraded_rate"],
+    )
+    assert payload["zero_false_negatives"]
+    return payload
+
+
+def test_cluster(benchmark):
+    """Pytest entry point: the smoke preset, timed by pytest-benchmark."""
+    payload = run_bench("smoke")
+    _finish(payload, benchmark)
+    cluster, keys = _build(2, 2, 2_000, 17)
+    rng = random.Random(17)
+    ranges = [(k, k) for k in rng.sample(keys, 50)]
+
+    def routed_batch():
+        resp = cluster.query_range_many(ranges)
+        assert all(resp.positives)
+
+    try:
+        benchmark.pedantic(routed_batch, rounds=3, iterations=1)
+    finally:
+        cluster.stop()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    payload = run_bench(args.preset, seed=args.seed)
+    _finish(payload)
+    h = payload["headline"]
+    print(
+        f"headline ({h['topology']} @ slow_p={h['slow_p']}): protected "
+        f"failure rate {h['protected']['degraded_rate']} / p99 "
+        f"{h['p99_protected_ms']} ms vs unprotected "
+        f"{h['unprotected']['degraded_rate']} / {h['p99_unprotected_ms']} ms; "
+        f"{len(payload['matrix'])} matrix rows -> {RUN_TABLE}; "
+        f"zero false negatives"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

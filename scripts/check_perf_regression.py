@@ -18,6 +18,15 @@ Usage (what ``make bench-kernels`` and the CI perf job run)::
 
     python benchmarks/bench_batch_query.py --preset smoke
     python scripts/check_perf_regression.py --preset smoke
+
+Other benches gate through the same script by naming their headline:
+``--metric`` is a dotted path into the fresh JSON resolving to the
+kq/s figure the trajectory row recorded (what ``make bench-cluster``
+runs)::
+
+    python benchmarks/bench_cluster.py --preset smoke
+    python scripts/check_perf_regression.py --json BENCH_cluster.json \
+        --bench cluster --metric headline.kqps
 """
 
 from __future__ import annotations
@@ -69,6 +78,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--bench", default="batch_query")
     parser.add_argument(
+        "--metric",
+        default="batch.kqps",
+        help="dotted path to the fresh result's headline kq/s "
+        "(default: batch.kqps)",
+    )
+    parser.add_argument(
         "--preset",
         default=None,
         help="trajectory preset to compare against (default: the fresh "
@@ -88,12 +103,18 @@ def main(argv=None) -> int:
         return 1
     fresh = json.loads(args.json.read_text())
     preset = args.preset or fresh.get("preset", "smoke")
-    kqps = float(fresh["batch"]["kqps"])
+    node = fresh
+    for part in args.metric.split("."):
+        node = node[part]
+    kqps = float(node)
     git_rev = fresh.get("meta", {}).get("git_rev", "unknown")
 
-    if not fresh.get("equivalent", False):
-        print("perf gate: FAIL — fresh run reports equivalent: false")
-        return 1
+    # Correctness stamps ride in the payload under bench-specific names;
+    # any that are present must be truthy for the numbers to count.
+    for stamp in ("equivalent", "zero_false_negatives"):
+        if stamp in fresh and not fresh[stamp]:
+            print(f"perf gate: FAIL — fresh run reports {stamp}: false")
+            return 1
 
     baseline = load_baseline(args.trajectory, args.bench, preset, git_rev)
     if baseline is None:

@@ -272,6 +272,63 @@ def _cmd_trace_query(args) -> int:
     return 0
 
 
+def _cmd_cluster_demo(args) -> int:
+    """Build a small sharded cluster, hurt it, and show it still answers."""
+    import json
+    import random
+
+    from repro.cluster import FilterCluster
+    from repro.core.rencoder import REncoder
+
+    cluster = FilterCluster(
+        n_shards=args.shards,
+        replicas_per_shard=args.replicas,
+        filter_factory=lambda ks: REncoder(ks, bits_per_key=12),
+        seed=args.seed,
+        segment_bits=5,
+        memtable_capacity=2_000,
+        workers=2,
+    )
+    cluster.start()
+    rng = random.Random(args.seed)
+    keys = sorted({rng.randrange((1 << 64) - 1) for _ in range(args.n_keys)})
+    cluster.load(keys)
+    cluster.flush()
+    try:
+        # One replica crashed, one partitioned: every shard still owes a
+        # correct (one-sided) answer through failover.
+        cluster.crash_replica(0, 0)
+        if args.shards > 1 and args.replicas > 1:
+            cluster.partition_replica(1, 1)
+        probes = [(k, k) for k in rng.sample(keys, args.queries)]
+        resp = cluster.query_range_many(probes)
+        misses = sum(1 for p in resp.positives if not p)
+        if args.grow:
+            info = cluster.add_shard()
+            print(
+                f"grew to shard {info['shard']}: moved "
+                f"{info['keys_moved']} keys across "
+                f"{len(info['segments'])} segments (epoch {info['epoch']})"
+            )
+            resp2 = cluster.query_range_many(probes)
+            misses += sum(1 for p in resp2.positives if not p)
+        health = cluster.health()
+        print(json.dumps({
+            "false_negatives": misses,
+            "degraded": resp.degraded,
+            "epoch": health["epoch"],
+            "replicas": {
+                name: snap["health"]["state"]
+                for name, snap in health["replicas"].items()
+            },
+            "counters": health["counters"],
+            "hints": health["hints"],
+        }, indent=2, sort_keys=True))
+    finally:
+        cluster.stop()
+    return 1 if misses else 0
+
+
 #: Default lint targets, relative to the repo root: the library itself
 #: plus everything that feeds CI artifacts.
 LINT_PATHS = ("src/repro", "benchmarks", "examples")
@@ -389,6 +446,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--n-keys", type=int, default=20_000)
     serve.add_argument("--seed", type=int, default=42)
     serve.set_defaults(func=_cmd_serve_bench)
+
+    clus = sub.add_parser(
+        "cluster-demo",
+        help="sharded cluster under a crash + partition, with failover",
+    )
+    clus.add_argument("--shards", type=int, default=3)
+    clus.add_argument("--replicas", type=int, default=2)
+    clus.add_argument("--n-keys", type=int, default=5_000)
+    clus.add_argument("--queries", type=int, default=200,
+                      help="stored-key probes to route (default 200)")
+    clus.add_argument("--grow", action="store_true",
+                      help="also add a shard live and re-probe")
+    clus.add_argument("--seed", type=int, default=42)
+    clus.set_defaults(func=_cmd_cluster_demo)
 
     mdump = sub.add_parser(
         "metrics-dump",

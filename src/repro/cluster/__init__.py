@@ -1,0 +1,34 @@
+"""Sharded, replicated filter cluster with failover and live resharding.
+
+The cluster tier turns one :class:`~repro.service.FilterService` into a
+fleet: the key domain is consistent-hashed over shards
+(:mod:`~repro.cluster.hashring`, :mod:`~repro.cluster.topology`), each
+shard is served by independent replicas
+(:mod:`~repro.cluster.replica`), and a router
+(:mod:`~repro.cluster.router`) scatter/gathers range queries with
+health-ranked failover and p99-derived hedging.  The whole tier keeps
+the stack's one invariant: **no path, however degraded, ever answers a
+false negative.**  :mod:`~repro.cluster.chaos` drives seeded
+cluster-level fault schedules against it.
+"""
+
+from repro.cluster.chaos import ClusterChaos
+from repro.cluster.cluster import FilterCluster
+from repro.cluster.hashring import HashRing
+from repro.cluster.health import ReplicaHealth
+from repro.cluster.replica import Replica, ReplicaUnreachableError
+from repro.cluster.router import ClusterResponse, ClusterRouter, ShardOutcome
+from repro.cluster.topology import ClusterMap
+
+__all__ = [
+    "ClusterChaos",
+    "ClusterMap",
+    "ClusterResponse",
+    "ClusterRouter",
+    "FilterCluster",
+    "HashRing",
+    "Replica",
+    "ReplicaHealth",
+    "ReplicaUnreachableError",
+    "ShardOutcome",
+]

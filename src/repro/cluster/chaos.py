@@ -1,0 +1,228 @@
+"""Cluster-level chaos: seeded crash/partition/slow-shard schedules.
+
+:class:`ClusterChaos` layers *topology* faults on top of the storage
+faults each replica's own :class:`~repro.storage.faults.FaultInjector`
+already injects (PR 2): it kills and reboots whole replicas, cuts and
+heals their network paths, and degrades a replica's storage latency in
+place (the "slow shard" the router's hedging exists for).  Everything
+draws from one seeded PRNG, so a failing chaos run replays from its
+seed.
+
+One invariant is enforced, not merely hoped for: **chaos never takes
+down the last reachable replica of a shard.**  The cluster's acceptance
+bar is "no false negatives while at least one replica per shard is
+alive"; the driver keeps the premise true so the suite genuinely tests
+the conclusion.  (Losing *every* replica of a shard is still a
+well-defined state — the router answers that shard's pieces
+all-positive — but it makes the zero-false-negative assertion vacuous
+for those queries, so the scheduled chaos stays within the bar.)
+
+Each :meth:`step` also advances the shared simulated clock, so breaker
+open windows and health ``down → recovering`` retry timers actually
+elapse between actions instead of freezing mid-scenario.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.cluster.cluster import FilterCluster
+
+__all__ = ["ClusterChaos"]
+
+#: Default action mix: recovery actions slightly outweigh damage so long
+#: runs don't ratchet into a fully degraded fleet.
+DEFAULT_WEIGHTS = {
+    "crash": 3,
+    "restart": 4,
+    "partition": 3,
+    "heal": 4,
+    "slow": 2,
+    "unslow": 2,
+}
+
+
+class ClusterChaos:
+    """Seeded fault scheduler for one :class:`FilterCluster`.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster under test.
+    seed:
+        PRNG seed — the entire schedule is a pure function of it and
+        the (deterministic) cluster state it observes.
+    weights:
+        Relative action weights (missing keys fall back to defaults).
+    slow_read_p, slow_read_ns:
+        The storage degradation a "slow" action applies.
+    step_ns:
+        Simulated time advanced per step (lets open/retry windows pass).
+    """
+
+    def __init__(
+        self,
+        cluster: FilterCluster,
+        *,
+        seed: int = 0,
+        weights: "dict[str, int] | None" = None,
+        slow_read_p: float = 0.8,
+        slow_read_ns: int = 40_000_000,
+        step_ns: int = 25_000_000,
+    ) -> None:
+        self.cluster = cluster
+        self.rng = random.Random(seed)
+        self.weights = {**DEFAULT_WEIGHTS, **(weights or {})}
+        self.slow_read_p = slow_read_p
+        self.slow_read_ns = slow_read_ns
+        self.step_ns = step_ns
+        #: (shard, replica) -> state the action must undo.
+        self._crashed: set[tuple[int, int]] = set()
+        self._partitioned: set[tuple[int, int]] = set()
+        self._slowed: dict[tuple[int, int], float] = {}
+        self.events: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # target selection
+    # ------------------------------------------------------------------
+    def _all_targets(self) -> list[tuple[int, int]]:
+        return [
+            (sid, rid)
+            for sid, reps in self.cluster.replicas.items()
+            for rid in range(len(reps))
+        ]
+
+    def _killable(self) -> list[tuple[int, int]]:
+        """Replicas that may lose reachability without breaking the
+        last-replica-standing invariant."""
+        out = []
+        for sid, reps in self.cluster.replicas.items():
+            reachable = [
+                rid for rid, rep in enumerate(reps) if rep.reachable()
+            ]
+            if len(reachable) >= 2:
+                out.extend((sid, rid) for rid in reachable)
+        return out
+
+    # ------------------------------------------------------------------
+    # actions
+    # ------------------------------------------------------------------
+    def _act_crash(self):
+        targets = self._killable()
+        if not targets:
+            return None
+        sid, rid = self.rng.choice(targets)
+        self.cluster.crash_replica(sid, rid)
+        self._crashed.add((sid, rid))
+        return {"action": "crash", "shard": sid, "replica": rid}
+
+    def _act_restart(self):
+        if not self._crashed:
+            return None
+        sid, rid = self.rng.choice(sorted(self._crashed))
+        rebuild = self.rng.choice(("immediate", "deferred"))
+        self.cluster.restart_replica(sid, rid, rebuild=rebuild)
+        self._crashed.discard((sid, rid))
+        return {
+            "action": "restart",
+            "shard": sid,
+            "replica": rid,
+            "rebuild": rebuild,
+        }
+
+    def _act_partition(self):
+        targets = [t for t in self._killable() if t not in self._partitioned]
+        if not targets:
+            return None
+        sid, rid = self.rng.choice(targets)
+        self.cluster.partition_replica(sid, rid)
+        self._partitioned.add((sid, rid))
+        return {"action": "partition", "shard": sid, "replica": rid}
+
+    def _act_heal(self):
+        if not self._partitioned:
+            return None
+        sid, rid = self.rng.choice(sorted(self._partitioned))
+        self.cluster.heal_replica(sid, rid)
+        self._partitioned.discard((sid, rid))
+        return {"action": "heal", "shard": sid, "replica": rid}
+
+    def _act_slow(self):
+        targets = [
+            t for t in self._all_targets() if t not in self._slowed
+        ]
+        if not targets:
+            return None
+        sid, rid = self.rng.choice(targets)
+        previous = self.cluster.slow_replica(
+            sid, rid, self.slow_read_p, self.slow_read_ns
+        )
+        self._slowed[(sid, rid)] = previous
+        return {"action": "slow", "shard": sid, "replica": rid}
+
+    def _act_unslow(self):
+        if not self._slowed:
+            return None
+        sid, rid = self.rng.choice(sorted(self._slowed))
+        previous = self._slowed.pop((sid, rid))
+        self.cluster.slow_replica(sid, rid, previous)
+        return {"action": "unslow", "shard": sid, "replica": rid}
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def step(self) -> dict:
+        """One chaos action (weighted, seeded) + one clock tick.
+
+        Inapplicable draws (e.g. "heal" with nothing partitioned) fall
+        through to the next weighted draw; a fully constrained state
+        yields a recorded no-op.
+        """
+        self.cluster.clock.advance(self.step_ns)
+        actions = list(self.weights)
+        weights = [self.weights[a] for a in actions]
+        event = None
+        for _ in range(len(actions) * 4):
+            name = self.rng.choices(actions, weights=weights)[0]
+            event = getattr(self, f"_act_{name}")()
+            if event is not None:
+                break
+        if event is None:
+            event = {"action": "noop"}
+        event["clock_ns"] = self.cluster.clock.now_ns()
+        self.events.append(event)
+        return event
+
+    def run(self, steps: int) -> list[dict]:
+        """Run ``steps`` chaos actions; returns their event log."""
+        return [self.step() for _ in range(steps)]
+
+    def heal_all(self) -> None:
+        """Undo every outstanding fault (end-of-scenario cleanup)."""
+        for sid, rid in sorted(self._crashed):
+            self.cluster.restart_replica(sid, rid)
+        self._crashed.clear()
+        for sid, rid in sorted(self._partitioned):
+            self.cluster.heal_replica(sid, rid)
+        self._partitioned.clear()
+        for (sid, rid), previous in sorted(self._slowed.items()):
+            self.cluster.slow_replica(sid, rid, previous)
+        self._slowed.clear()
+
+    def summary(self) -> dict:
+        """Action counts + outstanding fault state."""
+        counts: dict[str, int] = {}
+        for ev in self.events:
+            counts[ev["action"]] = counts.get(ev["action"], 0) + 1
+        return {
+            "steps": len(self.events),
+            "actions": counts,
+            "outstanding": {
+                "crashed": sorted(self._crashed),
+                "partitioned": sorted(self._partitioned),
+                "slowed": sorted(self._slowed),
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ClusterChaos(steps={len(self.events)})"

@@ -1,0 +1,380 @@
+"""FilterCluster: the one-object facade over shards, replicas and router.
+
+Builds the whole tier from a topology description — N shards × R
+replicas, each an independent :class:`~repro.cluster.replica.Replica`
+(own storage env, own seeded fault injector, shared simulated clock) —
+wires them to a :class:`~repro.cluster.router.ClusterRouter`, and owns
+the two pieces the router deliberately doesn't:
+
+* **the write path with hinted handoff.**  A put fans out to every
+  replica of the owning shard(s); a replica that is crashed or
+  partitioned gets the write queued as a *hint* instead.  Hints are
+  replayed into the replica when it comes back — after recovery but
+  before it serves — so a reborn replica never answers from a filter
+  that lacks keys the cluster accepted.  That closed loop is what lets
+  the chaos suite assert **zero false negatives** across crash/restart
+  cycles: every accepted key is either in a replica's tree or in its
+  hint queue, and the hint queue drains before the tree serves.
+* **live resharding.**  ``migrate_segment`` runs the two-epoch protocol
+  from :class:`~repro.cluster.topology.ClusterMap`: begin (dual
+  ownership — reads OR both owners, writes hit both), backfill the
+  destination from a reachable source replica, commit.  ``add_shard``
+  spins up a new shard's replicas, registers them with the router, and
+  migrates over exactly the segments the ring reassigns — all while
+  queries keep flowing.
+
+Replica fault-injector seeds are derived per replica with the project's
+splitmix64 mix, so the fleet's fault sequences are decorrelated but the
+whole cluster is a pure function of one seed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cluster.replica import Replica, ReplicaUnreachableError
+from repro.cluster.router import ClusterRouter
+from repro.cluster.topology import ClusterMap
+from repro.core.errors import TransientIOError
+from repro.hashing.mix64 import mix64
+from repro.storage.env import SimulatedClock
+from repro.telemetry.registry import MetricsRegistry
+
+__all__ = ["FilterCluster"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _replica_seed(base_seed: int, shard_id: int, replica_id: int) -> int:
+    """Decorrelated per-replica injector seed from the cluster seed."""
+    return mix64(
+        (base_seed & _MASK64) ^ mix64(((shard_id + 1) << 16) | (replica_id + 1))
+    )
+
+
+class FilterCluster:
+    """A sharded, replicated filter tier behind one query surface.
+
+    Parameters
+    ----------
+    n_shards, replicas_per_shard:
+        Initial topology.
+    filter_factory:
+        Per-SSTable filter builder shared by every replica's tree
+        (factories are plain callables, so sharing is safe), or None
+        for filterless trees.
+    seed:
+        Cluster seed: ring tokens and every replica's fault-injector
+        seed derive from it.
+    segment_bits, vnodes:
+        Domain partitioning knobs (see :class:`ClusterMap`).
+    fault_profile:
+        :class:`~repro.storage.faults.FaultInjector` probabilities
+        applied to every replica (the bench's named profiles).
+    hedging:
+        Router hedging on/off (off = the bench's unprotected baseline).
+    registry:
+        Metrics registry shared with the router.
+    replica_kwargs:
+        Extra keywords for every :class:`Replica` (workers,
+        queue_depth, default_deadline_ns, memtable_capacity, ...).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        replicas_per_shard: int = 2,
+        filter_factory=None,
+        *,
+        seed: int = 0,
+        segment_bits: int = 6,
+        vnodes: int = 64,
+        fault_profile: "dict | None" = None,
+        hedging: bool = True,
+        registry: "MetricsRegistry | None" = None,
+        router_kwargs: "dict | None" = None,
+        **replica_kwargs,
+    ) -> None:
+        if n_shards < 1 or replicas_per_shard < 1:
+            raise ValueError("need at least one shard and one replica")
+        self.seed = seed
+        self.filter_factory = filter_factory
+        self.fault_profile = dict(fault_profile or {})
+        self.replicas_per_shard = replicas_per_shard
+        self._replica_kwargs = dict(replica_kwargs)
+        self.clock = SimulatedClock()
+        self.map = ClusterMap(
+            range(n_shards),
+            segment_bits=segment_bits,
+            vnodes=vnodes,
+            seed=seed,
+        )
+        self.replicas: dict[int, list[Replica]] = {
+            sid: [
+                self._build_replica(sid, rid)
+                for rid in range(replicas_per_shard)
+            ]
+            for sid in range(n_shards)
+        }
+        self.router = ClusterRouter(
+            self.map,
+            self.replicas,
+            clock=self.clock,
+            registry=registry,
+            hedging=hedging,
+            **(router_kwargs or {}),
+        )
+        self.registry = self.router.registry
+        #: replica name -> writes it missed while unreachable.
+        self._hints: dict[str, list[tuple[int, object]]] = {}
+        # Serialises writes against hint replay (heal/restart): a write
+        # observes either "unreachable → hinted" or "reachable → stored",
+        # never a replica that came back between the check and the hint.
+        self._hint_lock = threading.Lock()
+        self.keys_accepted = 0
+
+    def _build_replica(self, shard_id: int, replica_id: int) -> Replica:
+        return Replica(
+            shard_id,
+            replica_id,
+            self.filter_factory,
+            clock=self.clock,
+            seed=_replica_seed(self.seed, shard_id, replica_id),
+            fault_profile=self.fault_profile,
+            **self._replica_kwargs,
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "FilterCluster":
+        """Start every replica (idempotent)."""
+        for reps in self.replicas.values():
+            for rep in reps:
+                if not rep.crashed:
+                    rep.start()
+        return self
+
+    def stop(self) -> None:
+        """Gracefully stop every live replica."""
+        for reps in self.replicas.values():
+            for rep in reps:
+                if not rep.crashed:
+                    rep.stop()
+
+    def __enter__(self) -> "FilterCluster":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # write path (hinted handoff)
+    # ------------------------------------------------------------------
+    def _write(self, rep: Replica, key: int, value) -> None:
+        with self._hint_lock:
+            try:
+                rep.put(key, value)
+            except ReplicaUnreachableError:
+                self._hints.setdefault(rep.name, []).append((key, value))
+
+    def put(self, key: int, value=None) -> None:
+        """Store ``key`` on every replica of its owning shard(s).
+
+        During a migration the segment has two owners and both get the
+        write — dual writes are what make the commit safe.
+        """
+        key = int(key)
+        segment = self.map.segment_of(key)
+        for shard in self.map.owners(segment):
+            for rep in self.replicas[shard]:
+                self._write(rep, key, value)
+        self.keys_accepted += 1
+
+    def load(self, keys) -> int:
+        """Bulk :meth:`put` (value = low byte of the key); returns count."""
+        n = 0
+        for k in keys:
+            self.put(int(k), int(k) & 0xFF)
+            n += 1
+        return n
+
+    def flush(self) -> None:
+        """Flush every reachable replica's memtable (bench setup aid)."""
+        for reps in self.replicas.values():
+            for rep in reps:
+                if rep.reachable():
+                    rep.lsm.flush()
+
+    def hint_backlog(self) -> dict[str, int]:
+        """Pending hinted writes per replica (observability)."""
+        with self._hint_lock:
+            return {name: len(h) for name, h in self._hints.items() if h}
+
+    # ------------------------------------------------------------------
+    # read path (delegated to the router)
+    # ------------------------------------------------------------------
+    def query_range(self, lo: int, hi: int, **kw):
+        """Routed scalar range query (see :meth:`ClusterRouter.query_range`)."""
+        return self.router.query_range(lo, hi, **kw)
+
+    def query_range_many(self, ranges, **kw):
+        """Routed batch of range queries, one verdict per range."""
+        return self.router.query_range_many(ranges, **kw)
+
+    def query_point(self, key: int, **kw):
+        """Routed point query for ``key``."""
+        return self.router.query_point(key, **kw)
+
+    def probe_all(self):
+        """Probe every replica once (drives down → recovering → healthy)."""
+        return self.router.probe_all()
+
+    # ------------------------------------------------------------------
+    # fault control plane (driven by chaos and by tests)
+    # ------------------------------------------------------------------
+    def replica(self, shard_id: int, replica_id: int) -> Replica:
+        """The addressed :class:`Replica` (chaos/test convenience)."""
+        return self.replicas[shard_id][replica_id]
+
+    def crash_replica(self, shard_id: int, replica_id: int) -> None:
+        """Hard-kill a replica: backlog resolves degraded, then silence."""
+        self.replica(shard_id, replica_id).crash()
+
+    def restart_replica(
+        self, shard_id: int, replica_id: int, *, rebuild: str = "immediate"
+    ) -> dict:
+        """Reboot a crashed replica, replaying its hinted writes first."""
+        rep = self.replica(shard_id, replica_id)
+        with self._hint_lock:
+            replay = self._hints.pop(rep.name, [])
+            return rep.restart(rebuild=rebuild, replay=replay)
+
+    def partition_replica(self, shard_id: int, replica_id: int) -> None:
+        """Cut a replica off the network (process alive, unreachable)."""
+        self.replica(shard_id, replica_id).set_partitioned(True)
+
+    def heal_replica(self, shard_id: int, replica_id: int) -> None:
+        """Reconnect a partitioned replica, delivering its hints first.
+
+        The hints go directly into the tree while the replica is still
+        partitioned from the *router* — the control plane models the
+        peer hand-off that accompanies the heal — so no query can reach
+        the replica before it has every accepted key.
+        """
+        rep = self.replica(shard_id, replica_id)
+        with self._hint_lock:
+            for key, value in self._hints.pop(rep.name, []):
+                rep.lsm.put(key, value)
+            rep.set_partitioned(False)
+
+    def slow_replica(
+        self,
+        shard_id: int,
+        replica_id: int,
+        slow_read_p: float,
+        slow_read_ns: "int | None" = None,
+    ) -> float:
+        """Degrade (or restore) a replica's storage latency in place.
+
+        Returns the previous ``slow_read_p`` so chaos can undo itself.
+        """
+        inj = self.replica(shard_id, replica_id).injector
+        previous = inj.slow_read_p
+        inj.slow_read_p = slow_read_p
+        if slow_read_ns is not None:
+            inj.slow_read_ns = slow_read_ns
+        return previous
+
+    # ------------------------------------------------------------------
+    # live resharding
+    # ------------------------------------------------------------------
+    def _scan_shard(self, shard_id: int, lo: int, hi: int) -> list:
+        """Read ``[lo, hi]`` from any reachable replica of the shard."""
+        for rep in self.replicas[shard_id]:
+            try:
+                return rep.scan_range(lo, hi)
+            except (ReplicaUnreachableError, TransientIOError):
+                # Unreachable or a retry-exhausted storage fault: the
+                # next replica holds the same data.
+                continue
+        raise RuntimeError(
+            f"no reachable replica of shard {shard_id} to backfill from"
+        )
+
+    def migrate_segment(self, segment: int, dest: int) -> dict:
+        """Move one segment to ``dest`` while traffic flows.
+
+        Two-epoch protocol: begin (dual ownership), backfill every
+        destination replica from a reachable source replica (dual
+        writes cover keys arriving meanwhile; unreachable destination
+        replicas get hints), commit.  Any backfill failure aborts the
+        migration and the old owner keeps the segment.
+        """
+        source = self.map.owners(segment)[0]
+        self.map.begin_migration(segment, dest)
+        try:
+            lo, hi = self.map.segment_range(segment)
+            pairs = self._scan_shard(source, lo, hi)
+            for rep in self.replicas[dest]:
+                for key, value in pairs:
+                    self._write(rep, key, value)
+        except BaseException:
+            self.map.abort_migration(segment)
+            raise
+        self.map.commit_migration(segment)
+        return {
+            "segment": segment,
+            "source": source,
+            "dest": dest,
+            "keys": len(pairs),
+            "epoch": self.map.epoch,
+        }
+
+    def add_shard(self, shard_id: "int | None" = None) -> dict:
+        """Grow the cluster by one shard, migrating its segments live.
+
+        Builds and starts the new shard's replicas, registers them with
+        the router, adds the shard to the ring, then migrates each
+        reassigned segment through :meth:`migrate_segment` one at a
+        time — traffic keeps flowing throughout, reading both owners of
+        whichever segment is mid-flight.
+        """
+        sid = (
+            shard_id if shard_id is not None else max(self.replicas) + 1
+        )
+        if sid in self.replicas:
+            raise ValueError(f"shard {sid} already exists")
+        reps = [
+            self._build_replica(sid, rid)
+            for rid in range(self.replicas_per_shard)
+        ]
+        for rep in reps:
+            rep.start()
+        self.replicas[sid] = reps
+        self.router.add_shard(sid, reps)
+        segments = self.map.add_shard(sid)
+        moved = [self.migrate_segment(seg, sid) for seg in segments]
+        return {
+            "shard": sid,
+            "segments": [m["segment"] for m in moved],
+            "keys_moved": sum(m["keys"] for m in moved),
+            "epoch": self.map.epoch,
+        }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cluster snapshot: router view + hints + per-replica counters."""
+        view = self.router.health()
+        view["hints"] = self.hint_backlog()
+        view["keys_accepted"] = self.keys_accepted
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"FilterCluster(shards={len(self.replicas)}, "
+            f"replicas_per_shard={self.replicas_per_shard}, "
+            f"epoch={self.map.epoch})"
+        )

@@ -1,0 +1,129 @@
+"""Consistent hashing of the key domain onto shards.
+
+The cluster partitions the 64-bit key domain into ``2**segment_bits``
+equal dyadic *segments* (contiguous prefix ranges — the same alignment
+the filters' dyadic decomposition uses, so a range query splits at
+segment boundaries without fragmenting its cover).  Segments, not raw
+keys, are the unit of placement: a :class:`HashRing` maps each segment
+to the shard owning it, via the classic token ring with virtual nodes.
+
+Why a ring rather than ``segment % n_shards``: adding or removing a
+shard must move only ``~segments/n`` segments (the ones whose nearest
+token changed), so live resharding migrates a bounded slice of the
+domain instead of reshuffling everything.  Tokens come from the
+project's seeded splitmix64 mix, so placement is a pure function of
+``(shard ids, vnodes, seed)`` — two routers with the same configuration
+agree on every owner without coordination.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.hashing.mix64 import mix64
+
+__all__ = ["HashRing"]
+
+#: Virtual nodes per shard: enough that segment counts per shard stay
+#: within ~2x of even for small clusters, cheap to rebuild.
+DEFAULT_VNODES = 64
+
+_MASK64 = (1 << 64) - 1
+
+
+class HashRing:
+    """Seeded consistent-hash ring over shard identifiers.
+
+    Parameters
+    ----------
+    shard_ids:
+        Initial shard identifiers (small ints by convention).
+    vnodes:
+        Virtual tokens per shard.
+    seed:
+        Folded into every token hash, so distinct clusters (or tests)
+        get decorrelated placements from the same shard ids.
+    """
+
+    def __init__(
+        self,
+        shard_ids,
+        *,
+        vnodes: int = DEFAULT_VNODES,
+        seed: int = 0,
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self.seed = seed
+        self._shards: set[int] = set()
+        self._tokens: list[int] = []
+        self._token_owner: dict[int, int] = {}
+        for sid in shard_ids:
+            self.add_shard(sid)
+        if not self._shards:
+            raise ValueError("a ring needs at least one shard")
+
+    # ------------------------------------------------------------------
+    # membership
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: int) -> None:
+        """Add ``shard_id``'s tokens to the ring (idempotent)."""
+        if shard_id in self._shards:
+            return
+        self._shards.add(shard_id)
+        for v in range(self.vnodes):
+            token = mix64(
+                (self.seed & _MASK64)
+                ^ mix64((shard_id << 20) | v)
+            )
+            # Token collisions are astronomically unlikely; break ties
+            # deterministically by lowest shard id so both sides agree.
+            prev = self._token_owner.get(token)
+            if prev is None:
+                self._token_owner[token] = shard_id
+            else:
+                self._token_owner[token] = min(prev, shard_id)
+        self._tokens = sorted(self._token_owner)
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Remove ``shard_id``'s tokens (its segments drift to neighbours)."""
+        if shard_id not in self._shards:
+            return
+        if len(self._shards) == 1:
+            raise ValueError("cannot remove the last shard")
+        self._shards.discard(shard_id)
+        # Rebuild from scratch: simplest correct behaviour, and rings are
+        # tiny (shards x vnodes tokens).
+        self._token_owner = {}
+        self._tokens = []
+        survivors = sorted(self._shards)
+        self._shards = set()
+        for sid in survivors:
+            self.add_shard(sid)
+
+    @property
+    def shard_ids(self) -> tuple[int, ...]:
+        """All shards on the ring, ascending."""
+        return tuple(sorted(self._shards))
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    def owner(self, segment: int) -> int:
+        """The shard owning ``segment`` (first token clockwise)."""
+        point = mix64((self.seed & _MASK64) ^ mix64(segment ^ _MASK64))
+        i = bisect_right(self._tokens, point)
+        if i == len(self._tokens):
+            i = 0  # wrap
+        return self._token_owner[self._tokens[i]]
+
+    def placement(self, n_segments: int) -> dict[int, int]:
+        """segment -> owner for segments ``0..n_segments-1``."""
+        return {seg: self.owner(seg) for seg in range(n_segments)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"HashRing(shards={self.shard_ids}, vnodes={self.vnodes}, "
+            f"seed={self.seed})"
+        )

@@ -1,0 +1,169 @@
+"""Per-replica health state machine (healthy → suspect → down → recovering).
+
+The router must not learn about a dead replica by burning a request
+deadline on it per query.  Each replica carries a
+:class:`ReplicaHealth` fed by every outcome the router observes — live
+requests and explicit probes alike — and the candidate-selection order
+prefers healthier replicas, so a sick one stops seeing traffic within a
+handful of failures while still being probed for recovery.
+
+States and transitions (simulated clock, no hidden timers)::
+
+    healthy ──(suspect_after consecutive failures)──▶ suspect
+    suspect ──(down_after further consecutive failures)──▶ down
+    suspect ──(1 success)──▶ healthy
+    down ──(down_retry_ns elapsed)──▶ recovering     [clock-driven]
+    recovering ──(recover_after consecutive successes)──▶ healthy
+    recovering ──(1 failure)──▶ down                 [retry timer restarts]
+
+``down`` is the only state the router skips outright (unless every
+replica of a shard is down — then it tries them anyway, because a
+degraded attempt beats a fabricated answer).  ``recovering`` admits
+traffic but ranks below ``healthy``/``suspect``, so the first requests a
+reborn replica sees are the cluster's cheapest.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.storage.env import SimulatedClock
+
+__all__ = ["ReplicaHealth", "HEALTH_STATES"]
+
+HEALTH_STATES = ("healthy", "suspect", "down", "recovering")
+
+#: How strongly the router prefers each state when ranking candidates
+#: (lower = tried first).
+STATE_RANK = {"healthy": 0, "suspect": 1, "recovering": 2, "down": 3}
+
+
+class ReplicaHealth:
+    """Failure-driven health tracker for one replica (see module docs).
+
+    Parameters
+    ----------
+    clock:
+        The cluster's shared simulated clock (drives down → recovering).
+    suspect_after:
+        Consecutive failures that demote healthy → suspect.
+    down_after:
+        Further consecutive failures that demote suspect → down.
+    down_retry_ns:
+        Simulated time a replica stays down before probes are allowed
+        again (the recovering window).
+    recover_after:
+        Consecutive successes that promote recovering → healthy.
+    """
+
+    def __init__(
+        self,
+        clock: SimulatedClock,
+        *,
+        suspect_after: int = 1,
+        down_after: int = 3,
+        down_retry_ns: int = 100_000_000,
+        recover_after: int = 2,
+    ) -> None:
+        if suspect_after < 1 or down_after < 1 or recover_after < 1:
+            raise ValueError("thresholds must be >= 1")
+        if down_retry_ns < 0:
+            raise ValueError(f"down_retry_ns must be >= 0, got {down_retry_ns}")
+        self.clock = clock
+        self.suspect_after = suspect_after
+        self.down_after = down_after
+        self.down_retry_ns = down_retry_ns
+        self.recover_after = recover_after
+        self._lock = threading.Lock()
+        self._state = "healthy"
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self._down_since_ns = 0
+        #: state -> number of times it was entered (telemetry).
+        self.transitions = {s: 0 for s in HEALTH_STATES}
+
+    # ------------------------------------------------------------------
+    # state
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state, refreshing the clock-driven down → recovering."""
+        with self._lock:
+            self._refresh()
+            return self._state
+
+    def rank(self) -> int:
+        """Candidate-ordering rank (lower = preferred)."""
+        return STATE_RANK[self.state]
+
+    def is_down(self) -> bool:
+        """True while the replica should receive no traffic."""
+        return self.state == "down"
+
+    def _refresh(self) -> None:
+        """down → recovering once the retry window elapsed (lock held)."""
+        if (
+            self._state == "down"
+            and self.clock.now_ns() >= self._down_since_ns + self.down_retry_ns
+        ):
+            self._enter("recovering")
+
+    def _enter(self, state: str) -> None:
+        """Transition bookkeeping (lock held)."""
+        self._state = state
+        self._consecutive_failures = 0
+        self._consecutive_successes = 0
+        self.transitions[state] += 1
+        if state == "down":
+            self._down_since_ns = self.clock.now_ns()
+
+    # ------------------------------------------------------------------
+    # outcomes
+    # ------------------------------------------------------------------
+    def record_success(self) -> None:
+        """A request or probe against this replica succeeded."""
+        with self._lock:
+            self._refresh()
+            self._consecutive_failures = 0
+            self._consecutive_successes += 1
+            if self._state == "suspect":
+                self._enter("healthy")
+            elif (
+                self._state == "recovering"
+                and self._consecutive_successes >= self.recover_after
+            ):
+                self._enter("healthy")
+
+    def record_failure(self) -> None:
+        """A request or probe against this replica failed or timed out."""
+        with self._lock:
+            self._refresh()
+            self._consecutive_successes = 0
+            self._consecutive_failures += 1
+            if self._state == "healthy":
+                if self._consecutive_failures >= self.suspect_after:
+                    self._enter("suspect")
+            elif self._state == "suspect":
+                if self._consecutive_failures >= self.down_after:
+                    self._enter("down")
+            elif self._state == "recovering":
+                self._enter("down")
+
+    def force_down(self) -> None:
+        """Mark the replica down immediately (crash notification)."""
+        with self._lock:
+            if self._state != "down":
+                self._enter("down")
+
+    def snapshot(self) -> dict:
+        """State + transition counters for health endpoints."""
+        with self._lock:
+            self._refresh()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "transitions": dict(self.transitions),
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ReplicaHealth(state={self.state})"

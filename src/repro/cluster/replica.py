@@ -1,0 +1,284 @@
+"""One shard replica: an independent FilterService + LSMTree + lifecycle.
+
+A replica is the cluster's unit of failure.  Each one owns a private
+:class:`~repro.storage.env.StorageEnv` (own blob store, own fault
+injector, own stats) sharing the *cluster-wide* simulated clock, an
+:class:`~repro.storage.lsm.LSMTree` built with persisted filters, and a
+:class:`~repro.service.FilterService` worker pool.  The router never
+touches a tree directly — everything goes through the replica's submit
+surface, which is where crash and partition faults become visible:
+
+* **crashed** — the process is gone.  The service is stopped without
+  drain (its backlog resolves degraded, as PR 3's shutdown contract
+  requires) and every later submit raises
+  :class:`ReplicaUnreachableError`.  ``restart()`` models the reboot:
+  the LSM re-loads its persisted filters through the PR 2 recovery
+  state machine (torn/flipped blobs detected, degraded tables answer
+  all-positive) and a fresh service starts.
+* **partitioned** — the replica is alive but the router can't reach
+  it; submits raise :class:`ReplicaUnreachableError` until the
+  partition heals.  State inside the replica is untouched, exactly like
+  a real network partition.
+
+The health state machine (:mod:`repro.cluster.health`) is attached here
+but *driven by the router* — health is an observer-side judgement, not
+a self-report.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+from repro.cluster.health import ReplicaHealth
+from repro.core.errors import FilterError
+from repro.service import FilterService
+from repro.storage.env import SimulatedClock, StorageEnv
+from repro.storage.faults import FaultInjector
+from repro.storage.lsm import LSMTree
+from repro.storage.sstable import FilterFactory
+
+__all__ = ["Replica", "ReplicaUnreachableError"]
+
+
+class ReplicaUnreachableError(FilterError, ConnectionError):
+    """The replica is crashed, partitioned away, or shut down.
+
+    Router-level retryable: fail over to the next replica of the shard.
+    Like every failure in this stack it can only make answers *more*
+    positive — an unreachable replica contributes ``True``.
+    """
+
+
+class Replica:
+    """A single shard replica (see module docstring).
+
+    Parameters
+    ----------
+    shard_id, replica_id:
+        Position in the cluster (labels for metrics and chaos logs).
+    filter_factory:
+        Per-SSTable filter builder for this replica's tree.
+    clock:
+        The cluster-shared simulated clock.
+    seed:
+        Seed for this replica's fault injector (deterministic per
+        replica, decorrelated across the fleet by the caller).
+    fault_profile:
+        Keyword arguments for the :class:`FaultInjector` (probabilities
+        and slow-read latency) — the bench's named fault profiles land
+        here.
+    memtable_capacity, lsm_policy:
+        Tree shape knobs.
+    workers, queue_depth, shed_policy, default_deadline_ns:
+        Passed through to each :class:`FilterService` incarnation.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        replica_id: int,
+        filter_factory: "FilterFactory | None",
+        *,
+        clock: SimulatedClock,
+        seed: int = 0,
+        fault_profile: "dict | None" = None,
+        memtable_capacity: int = 4096,
+        lsm_policy: str = "tiering",
+        workers: int = 2,
+        queue_depth: int = 64,
+        shed_policy: str = "reject-new",
+        default_deadline_ns: "int | None" = 50_000_000,
+        health: "ReplicaHealth | None" = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.replica_id = replica_id
+        self.name = f"s{shard_id}r{replica_id}"
+        self.clock = clock
+        self.injector = FaultInjector(seed, **(fault_profile or {}))
+        self.env = StorageEnv(clock=clock, injector=self.injector)
+        self.lsm = LSMTree(
+            filter_factory,
+            memtable_capacity=memtable_capacity,
+            policy=lsm_policy,
+            env=self.env,
+            persist_filters=True,
+        )
+        self._service_kwargs = dict(
+            workers=workers,
+            queue_depth=queue_depth,
+            shed_policy=shed_policy,
+            default_deadline_ns=default_deadline_ns,
+        )
+        self.service: "FilterService | None" = None
+        self.health = (
+            health if health is not None else ReplicaHealth(clock)
+        )
+        self._lock = threading.Lock()
+        self._crashed = False
+        self._partitioned = False
+        self.crashes = 0
+        self.restarts = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Replica":
+        """Start (or re-start) the serving pool (idempotent)."""
+        with self._lock:
+            if self.service is None:
+                self.service = FilterService(
+                    self.lsm, **self._service_kwargs
+                )
+            self.service.start()
+            self._crashed = False
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown (drains the queue)."""
+        with self._lock:
+            service = self.service
+            self.service = None
+        if service is not None:
+            service.stop()
+
+    def crash(self) -> None:
+        """Kill the replica: fast shutdown, backlog resolved degraded."""
+        with self._lock:
+            if self._crashed:
+                return
+            self._crashed = True
+            self.crashes += 1
+            service = self.service
+            self.service = None
+        if service is not None:
+            service.stop(drain=False)
+        self.health.force_down()
+
+    def restart(self, *, rebuild: str = "immediate", replay=()) -> dict:
+        """Reboot after a crash: recover persisted filters, start serving.
+
+        ``replay`` is the hinted handoff: ``(key, value)`` writes this
+        replica missed while unreachable, applied after recovery but
+        *before* serving resumes — a restarted replica must never
+        answer with a filter that lacks keys the cluster accepted.
+
+        Returns the :meth:`LSMTree.recover` summary.  Health stays
+        ``down`` until the router's probes observe the recovery — a
+        restarted process earns trust, it is not granted it.
+        """
+        summary = self.lsm.recover(rebuild=rebuild)
+        for key, value in replay:
+            self.lsm.put(key, value)
+        with self._lock:
+            self._crashed = False
+            self.restarts += 1
+        self.start()
+        return summary
+
+    # ------------------------------------------------------------------
+    # fault surface (driven by cluster chaos)
+    # ------------------------------------------------------------------
+    @property
+    def crashed(self) -> bool:
+        with self._lock:
+            return self._crashed
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partitioned
+
+    def set_partitioned(self, value: bool) -> None:
+        """Cut (or heal) the network path between router and replica."""
+        with self._lock:
+            self._partitioned = bool(value)
+
+    def reachable(self) -> bool:
+        """True when a submit would be accepted right now."""
+        with self._lock:
+            return (
+                not self._crashed
+                and not self._partitioned
+                and self.service is not None
+            )
+
+    # ------------------------------------------------------------------
+    # submit surface (the only path the router uses)
+    # ------------------------------------------------------------------
+    def _service_or_raise(self) -> FilterService:
+        with self._lock:
+            if self._crashed:
+                raise ReplicaUnreachableError(f"{self.name} is crashed")
+            if self._partitioned:
+                raise ReplicaUnreachableError(f"{self.name} is partitioned")
+            if self.service is None:
+                raise ReplicaUnreachableError(f"{self.name} is stopped")
+            return self.service
+
+    def submit_range_batch(
+        self, pairs, *, deadline_ns: "int | None" = None
+    ) -> "Future":
+        """Async batch of range queries against this replica."""
+        service = self._service_or_raise()
+        try:
+            return service.submit_range_batch(pairs, deadline_ns=deadline_ns)
+        except RuntimeError as exc:
+            # The service stopped between the check and the submit
+            # (crash races are the whole point of this tier).
+            raise ReplicaUnreachableError(
+                f"{self.name} shut down mid-submit"
+            ) from exc
+
+    def submit_point(
+        self, key: int, *, deadline_ns: "int | None" = None
+    ) -> "Future":
+        """Async point query against this replica."""
+        service = self._service_or_raise()
+        try:
+            return service.submit_point(key, deadline_ns=deadline_ns)
+        except RuntimeError as exc:
+            raise ReplicaUnreachableError(
+                f"{self.name} shut down mid-submit"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # data plane (writes & backfill reads, not request-path)
+    # ------------------------------------------------------------------
+    def put(self, key: int, value) -> None:
+        """Insert directly into the tree (write path / backfill).
+
+        Writes bypass the service pool (the serving tier is a read
+        tier); a crashed or partitioned replica refuses them the same
+        way it refuses reads.
+        """
+        with self._lock:
+            if self._crashed:
+                raise ReplicaUnreachableError(f"{self.name} is crashed")
+            if self._partitioned:
+                raise ReplicaUnreachableError(f"{self.name} is partitioned")
+        self.lsm.put(key, value)
+
+    def scan_range(self, lo: int, hi: int) -> list:
+        """Read live pairs in ``[lo, hi]`` (resharding backfill source)."""
+        with self._lock:
+            if self._crashed or self._partitioned:
+                raise ReplicaUnreachableError(f"{self.name} is unreachable")
+        return self.lsm.range_query(lo, hi)
+
+    def snapshot(self) -> dict:
+        """Health + lifecycle counters for cluster observability."""
+        return {
+            "name": self.name,
+            "crashed": self.crashed,
+            "partitioned": self.partitioned,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "health": self.health.snapshot(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Replica({self.name}, health={self.health.state}, "
+            f"crashed={self.crashed}, partitioned={self.partitioned})"
+        )

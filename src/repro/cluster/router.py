@@ -1,0 +1,558 @@
+"""The shard router: scatter/gather with failover and hedged requests.
+
+One :class:`ClusterRouter` fronts N shards × R replicas.  A range query
+is split at segment boundaries (:meth:`ClusterMap.split_range`), each
+piece is sent to the shard(s) owning its segment — two shards while a
+segment is mid-migration — and the per-shard verdicts are OR-merged
+into the answer.  The merge is where the one-sided contract lives:
+
+    **any shard the router cannot get a real answer from contributes
+    ``True`` for its pieces.**
+
+A crashed replica, a partitioned replica, an open breaker, a blown
+deadline, an overloaded queue — every failure mode bottoms out in the
+same place: that shard's pieces read as positive.  Degradation costs
+precision (downstream I/O on false positives), never correctness (a
+``False`` from this router means every consulted filter really said
+no).  The project lint engine enforces this shape statically
+(``one-sided-error`` covers ``cluster/``).
+
+Per shard, the exchange protocol is:
+
+1. **select** — replicas ranked by health (healthy < suspect <
+   recovering < down), then rotation for balance; replicas inside a
+   ``retry_after`` backoff window (from a breaker-open or shed answer —
+   see :class:`~repro.service.service.ServiceResponse.retry_after_ns`)
+   are deprioritised until the window passes.
+2. **failover** — an unreachable or overloaded replica is skipped and
+   the next candidate tried, recording a health failure each time.
+3. **hedge** — once the primary's wait exceeds a p99-derived delay
+   (per-shard latency reservoir of observed response times), the same
+   request is issued to the next-best replica and the first *real*
+   answer wins.  One hedge per shard per request: hedging is a tail
+   amputation, not a retry storm.
+4. **merge** — a non-degraded answer is taken as-is; a degraded
+   (all-positive) answer is kept as a fallback while better candidates
+   are tried; no candidates left means the fallback (or fabricated
+   all-``True``) is returned.
+
+Health judgements are made *here*, from the router's observations —
+replicas never self-report.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from dataclasses import dataclass, field
+
+from repro.cluster.replica import Replica, ReplicaUnreachableError
+from repro.cluster.topology import ClusterMap
+from repro.service.admission import ServiceOverloadError
+from repro.service.health import LatencyRecorder
+from repro.storage.env import SimulatedClock
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.tracing import child_span
+
+__all__ = ["ClusterRouter", "ClusterResponse", "ShardOutcome"]
+
+#: Hedge-delay bounds (wall seconds).  The delay is derived from the
+#: shard's observed p99 but clamped: never so small that hedges fire on
+#: scheduler jitter, never so large that a stuck shard blocks a request
+#: for longer than this before help is summoned.
+DEFAULT_HEDGE_MIN_S = 0.002
+DEFAULT_HEDGE_MAX_S = 0.100
+#: Observations required before trusting the shard's own p99; until
+#: then the hedge delay is the max bound (conservative).
+DEFAULT_HEDGE_WARMUP = 32
+#: Multiplier over the observed p99 — hedging at exactly p99 fires on
+#: 1% of healthy requests; 1.5x keeps the hedge rate well under that.
+DEFAULT_HEDGE_FACTOR = 1.5
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's contribution to a routed query."""
+
+    shard_id: int
+    positives: list[bool]
+    #: "ok" — a replica answered non-degraded; "degraded" — best answer
+    #: was a replica's all-positive fallback; "unreachable" — no replica
+    #: produced any answer, verdicts fabricated all-True.
+    reason: str
+    replica: "str | None" = None
+    attempts: int = 0
+    hedged: bool = False
+
+    @property
+    def degraded(self) -> bool:
+        return self.reason != "ok"
+
+
+@dataclass
+class ClusterResponse:
+    """A routed (batch) range query's merged answer.
+
+    ``positives`` has one verdict per requested range.  ``degraded`` is
+    true when *any* contributing shard fell back to an all-positive
+    answer — the response is still one-sided either way.  ``epoch`` is
+    the cluster-map epoch the routing decision used.
+    """
+
+    positives: list[bool]
+    degraded: bool
+    epoch: int
+    shards: list[ShardOutcome] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Mirror ServiceResponse's constructive check: any shard that
+        # degraded must have contributed only positives.
+        for outcome in self.shards:
+            if outcome.degraded and not all(outcome.positives):
+                raise ValueError(
+                    f"degraded shard {outcome.shard_id} produced a "
+                    f"negative verdict (reason={outcome.reason!r})"
+                )
+
+    @property
+    def positive(self) -> bool:
+        """Scalar verdict: any range (piece) positive."""
+        return any(self.positives)
+
+
+class ClusterRouter:
+    """Scatter/gather router over shard replicas (see module docs).
+
+    Parameters
+    ----------
+    cluster_map:
+        Segment ownership (shared with the resharding driver).
+    replicas:
+        ``shard_id -> [Replica, ...]`` — every shard needs >= 1.
+    clock:
+        The cluster-shared simulated clock (backoff windows, probes).
+    registry:
+        Metrics registry for router counters (private one by default).
+    hedging:
+        Disable to get the "unprotected" baseline the bench compares
+        against: no hedges, requests ride out the slow replica.
+    max_attempts:
+        Cap on distinct replicas tried per shard per request (None =
+        every replica once).
+    """
+
+    def __init__(
+        self,
+        cluster_map: ClusterMap,
+        replicas: "dict[int, list[Replica]]",
+        *,
+        clock: SimulatedClock,
+        registry: "MetricsRegistry | None" = None,
+        hedging: bool = True,
+        hedge_factor: float = DEFAULT_HEDGE_FACTOR,
+        hedge_min_s: float = DEFAULT_HEDGE_MIN_S,
+        hedge_max_s: float = DEFAULT_HEDGE_MAX_S,
+        hedge_warmup: int = DEFAULT_HEDGE_WARMUP,
+        max_attempts: "int | None" = None,
+        probe_deadline_ns: int = 25_000_000,
+        base_deadline_ns: int = 50_000_000,
+        per_range_deadline_ns: int = 5_000_000,
+    ) -> None:
+        for shard_id in cluster_map.ring.shard_ids:
+            if not replicas.get(shard_id):
+                raise ValueError(f"shard {shard_id} has no replicas")
+        self.map = cluster_map
+        self.replicas = {sid: list(reps) for sid, reps in replicas.items()}
+        self.clock = clock
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.hedging = hedging
+        self.hedge_factor = hedge_factor
+        self.hedge_min_s = hedge_min_s
+        self.hedge_max_s = hedge_max_s
+        self.hedge_warmup = hedge_warmup
+        self.max_attempts = max_attempts
+        self.probe_deadline_ns = probe_deadline_ns
+        self.base_deadline_ns = base_deadline_ns
+        self.per_range_deadline_ns = per_range_deadline_ns
+        self._lock = threading.Lock()
+        self._rotation: dict[int, int] = {sid: 0 for sid in self.replicas}
+        #: replica name -> simulated-clock instant its backoff expires.
+        self._backoff_until: dict[str, int] = {}
+        #: shard -> reservoir of observed response wall latencies.
+        self._latency: dict[int, LatencyRecorder] = {
+            sid: LatencyRecorder(seed=sid) for sid in self.replicas
+        }
+        self._counters = {}
+        for name, help_ in (
+            ("cluster_requests", "routed cluster queries"),
+            ("cluster_subqueries", "per-shard sub-queries issued"),
+            ("cluster_failovers", "replica failovers (submit-time skips)"),
+            ("cluster_hedges", "hedge requests fired"),
+            ("cluster_hedge_wins", "hedges that produced the winning answer"),
+            ("cluster_degraded_merges", "shard answers merged degraded"),
+            ("cluster_unreachable_shards", "shards with no answering replica"),
+            ("cluster_probes_ok", "successful health probes"),
+            ("cluster_probes_failed", "failed health probes"),
+        ):
+            self._counters[name] = self.registry.counter(
+                name, help=help_, labels={"component": "cluster"}
+            )
+        self._shard_degraded = {
+            sid: self.registry.counter(
+                "cluster_shard_degraded",
+                help="degraded/unreachable merges for this shard",
+                labels={"component": "cluster", "shard": str(sid)},
+            )
+            for sid in self.replicas
+        }
+        for sid, reps in self.replicas.items():
+            for rep in reps:
+                self.registry.gauge(
+                    "cluster_replica_health",
+                    help="0 healthy, 1 suspect, 2 recovering, 3 down",
+                    labels={"component": "cluster", "replica": rep.name},
+                ).set_fn(lambda r=rep: float(r.health.rank()))
+
+    # ------------------------------------------------------------------
+    # public query surface
+    # ------------------------------------------------------------------
+    def query_range(
+        self, lo: int, hi: int, *, deadline_ns: "int | None" = None
+    ) -> ClusterResponse:
+        """Routed scalar range query: is any live key in ``[lo, hi]``?"""
+        return self.query_range_many([(lo, hi)], deadline_ns=deadline_ns)
+
+    def query_range_many(
+        self, ranges, *, deadline_ns: "int | None" = None
+    ) -> ClusterResponse:
+        """Routed batch of range queries (one verdict per range).
+
+        Pieces of all ranges owned by the same shard travel in a single
+        batch submission to that shard, so the scatter fan-out is
+        O(shards touched), not O(ranges).
+        """
+        pairs = [(int(lo), int(hi)) for lo, hi in ranges]
+        for lo, hi in pairs:
+            if lo > hi:
+                raise ValueError(f"invalid range [{lo}, {hi}]")
+        self._counters["cluster_requests"].inc()
+        epoch = self.map.epoch
+        # shard -> list of (range_index, piece_lo, piece_hi)
+        plan: dict[int, list[tuple[int, int, int]]] = {}
+        for idx, (lo, hi) in enumerate(pairs):
+            for segment, plo, phi in self.map.split_range(lo, hi):
+                for shard in self.map.owners(segment):
+                    plan.setdefault(shard, []).append((idx, plo, phi))
+        with child_span("router.scatter") as sp:
+            if sp is not None:
+                sp.set(ranges=len(pairs), shards=len(plan), epoch=epoch)
+            outcomes = [
+                self._shard_exchange(
+                    shard,
+                    [(plo, phi) for _, plo, phi in pieces],
+                    deadline_ns,
+                )
+                for shard, pieces in plan.items()
+            ]
+        # OR-merge: a range is positive when any of its pieces is, on
+        # any consulted owner.
+        verdicts = [False] * len(pairs)
+        degraded = False
+        for outcome, (shard, pieces) in zip(outcomes, plan.items()):
+            if outcome.degraded:
+                degraded = True
+                self._counters["cluster_degraded_merges"].inc()
+                self._shard_degraded[shard].inc()
+            for (idx, _, _), bit in zip(pieces, outcome.positives):
+                verdicts[idx] = verdicts[idx] or bit
+        return ClusterResponse(
+            positives=verdicts,
+            degraded=degraded,
+            epoch=epoch,
+            shards=outcomes,
+        )
+
+    def query_point(
+        self, key: int, *, deadline_ns: "int | None" = None
+    ) -> ClusterResponse:
+        """Routed point query for ``key`` (single-shard fast path)."""
+        self._counters["cluster_requests"].inc()
+        segment = self.map.segment_of(int(key))
+        epoch = self.map.epoch
+        outcomes = [
+            self._shard_exchange(
+                shard, int(key), deadline_ns, kind="point"
+            )
+            for shard in self.map.owners(segment)
+        ]
+        degraded = any(o.degraded for o in outcomes)
+        for o in outcomes:
+            if o.degraded:
+                self._counters["cluster_degraded_merges"].inc()
+                self._shard_degraded[o.shard_id].inc()
+        return ClusterResponse(
+            positives=[any(o.positives[0] for o in outcomes)],
+            degraded=degraded,
+            epoch=epoch,
+            shards=outcomes,
+        )
+
+    # ------------------------------------------------------------------
+    # per-shard exchange: select → failover → hedge → merge
+    # ------------------------------------------------------------------
+    def _candidates(self, shard_id: int) -> list[Replica]:
+        """Replicas in try-order: health rank, backoff, then rotation.
+
+        Down or backed-off replicas sort last rather than disappearing:
+        when they are all that's left, trying them beats fabricating an
+        answer.
+        """
+        reps = self.replicas[shard_id]
+        with self._lock:
+            rot = self._rotation[shard_id]
+            self._rotation[shard_id] = rot + 1
+            backoff = dict(self._backoff_until)
+        now = self.clock.now_ns()
+        n = len(reps)
+
+        def sort_key(i: int):
+            rep = reps[i]
+            backed_off = backoff.get(rep.name, 0) > now
+            return (rep.health.rank(), backed_off, (i - rot) % n)
+
+        return [reps[i] for i in sorted(range(n), key=sort_key)]
+
+    def _note_backoff(self, rep: Replica, retry_after_ns: int) -> None:
+        """Honor a replica's backpressure hint when picking failovers."""
+        if retry_after_ns <= 0:
+            return
+        until = self.clock.now_ns() + retry_after_ns
+        with self._lock:
+            if until > self._backoff_until.get(rep.name, 0):
+                self._backoff_until[rep.name] = until
+
+    def _hedge_delay_s(self, shard_id: int) -> float:
+        """p99-derived hedge delay (wall seconds), clamped to bounds."""
+        lat = self._latency[shard_id]
+        if len(lat) < self.hedge_warmup:
+            return self.hedge_max_s
+        p99_s = lat.percentile_ns(99) * self.hedge_factor / 1e9
+        return min(max(p99_s, self.hedge_min_s), self.hedge_max_s)
+
+    def _shard_exchange(
+        self,
+        shard_id: int,
+        payload,
+        deadline_ns: "int | None",
+        kind: str = "batch",
+    ) -> ShardOutcome:
+        """Get one shard's verdicts, failing over and hedging as needed."""
+        n_out = 1 if kind == "point" else len(payload)
+        if deadline_ns is None:
+            # The service's deadline covers a whole sub-batch, so the
+            # budget must scale with how much work rides in it —
+            # otherwise any wide scatter degrades on size alone.
+            deadline_ns = (
+                self.base_deadline_ns + self.per_range_deadline_ns * n_out
+            )
+        self._counters["cluster_subqueries"].inc()
+        candidates = self._candidates(shard_id)
+        if self.max_attempts is not None:
+            candidates = candidates[: self.max_attempts]
+        queue = iter(candidates)
+        pending: dict[Future, Replica] = {}
+        hedge_future: "Future | None" = None
+        attempts = 0
+        hedged = False
+        fallback: "ShardOutcome | None" = None
+
+        def launch() -> "Replica | None":
+            """Submit to the next viable candidate; returns it or None."""
+            nonlocal attempts
+            for rep in queue:
+                try:
+                    if kind == "point":
+                        fut = rep.submit_point(
+                            payload, deadline_ns=deadline_ns
+                        )
+                    else:
+                        fut = rep.submit_range_batch(
+                            payload, deadline_ns=deadline_ns
+                        )
+                except ReplicaUnreachableError:
+                    rep.health.record_failure()
+                    self._counters["cluster_failovers"].inc()
+                    continue
+                except ServiceOverloadError as exc:
+                    self._note_backoff(rep, exc.retry_after_ns)
+                    rep.health.record_failure()
+                    self._counters["cluster_failovers"].inc()
+                    continue
+                attempts += 1
+                pending[fut] = rep
+                return rep
+            return None
+
+        launch()
+        while pending:
+            timeout = None
+            if self.hedging and not hedged:
+                timeout = self._hedge_delay_s(shard_id)
+            done, _ = wait(
+                list(pending), timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # Primary is past the hedge delay: summon one backup.
+                hedged = True
+                self._counters["cluster_hedges"].inc()
+                hedge_rep = launch()
+                if hedge_rep is not None:
+                    hedge_future = next(
+                        f for f, r in pending.items() if r is hedge_rep
+                    )
+                continue
+            for fut in done:
+                rep = pending.pop(fut)
+                try:
+                    resp = fut.result()
+                except (ReplicaUnreachableError, ServiceOverloadError,
+                        RuntimeError):
+                    rep.health.record_failure()
+                    self._counters["cluster_failovers"].inc()
+                    continue
+                positives = (
+                    [bool(resp.positive)]
+                    if kind == "point"
+                    else [bool(b) for b in resp.positive]
+                )
+                if not resp.degraded:
+                    rep.health.record_success()
+                    self._latency[shard_id].record(max(0, resp.wall_ns))
+                    if hedged and fut is hedge_future:
+                        self._counters["cluster_hedge_wins"].inc()
+                    return ShardOutcome(
+                        shard_id=shard_id,
+                        positives=positives,
+                        reason="ok",
+                        replica=rep.name,
+                        attempts=attempts,
+                        hedged=hedged,
+                    )
+                # Degraded (all-positive) answer: usable, but try for a
+                # real one first.  Breaker-open/shed responses carry a
+                # retry-after the failover selection must honor.
+                self._note_backoff(rep, resp.retry_after_ns)
+                rep.health.record_failure()
+                fallback = ShardOutcome(
+                    shard_id=shard_id,
+                    positives=positives,
+                    reason="degraded",
+                    replica=rep.name,
+                    attempts=attempts,
+                    hedged=hedged,
+                )
+                launch()
+        if fallback is not None:
+            return fallback
+        # No replica produced any answer: the shard is unreachable.
+        # The one-sided contract decides the verdicts — all positive.
+        self._counters["cluster_unreachable_shards"].inc()
+        return ShardOutcome(
+            shard_id=shard_id,
+            positives=[True] * n_out,
+            reason="unreachable",
+            replica=None,
+            attempts=attempts,
+            hedged=hedged,
+        )
+
+    # ------------------------------------------------------------------
+    # membership (live resharding)
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: int, replicas: list) -> None:
+        """Register a new shard's replicas before it takes ownership.
+
+        Called by the resharding driver *before* any segment migrates
+        to the shard, so the first dual-ownership read finds the
+        replicas already routable.
+        """
+        if not replicas:
+            raise ValueError(f"shard {shard_id} needs at least one replica")
+        counter = self.registry.counter(
+            "cluster_shard_degraded",
+            help="degraded/unreachable merges for this shard",
+            labels={"component": "cluster", "shard": str(shard_id)},
+        )
+        with self._lock:
+            if shard_id in self.replicas:
+                raise ValueError(f"shard {shard_id} already registered")
+            self.replicas[shard_id] = list(replicas)
+            self._rotation[shard_id] = 0
+            self._latency[shard_id] = LatencyRecorder(seed=shard_id)
+            self._shard_degraded[shard_id] = counter
+        for rep in replicas:
+            self.registry.gauge(
+                "cluster_replica_health",
+                help="0 healthy, 1 suspect, 2 recovering, 3 down",
+                labels={"component": "cluster", "replica": rep.name},
+            ).set_fn(lambda r=rep: float(r.health.rank()))
+
+    # ------------------------------------------------------------------
+    # probing (drives down → recovering → healthy)
+    # ------------------------------------------------------------------
+    def probe_replica(self, rep: Replica) -> bool:
+        """One liveness probe: a tiny point query with a short deadline.
+
+        Any settled answer — degraded included — proves the process is
+        alive and reachable; only an unreachable/errored exchange counts
+        against it.
+        """
+        try:
+            fut = rep.submit_point(0, deadline_ns=self.probe_deadline_ns)
+            fut.result()
+        except (ReplicaUnreachableError, ServiceOverloadError,
+                RuntimeError):
+            rep.health.record_failure()
+            self._counters["cluster_probes_failed"].inc()
+            # A probe verdict is liveness, not a membership answer: False
+            # means "unreachable", and routing treats it pessimistically.
+            return False  # lint: allow[one-sided-error]
+        rep.health.record_success()
+        self._counters["cluster_probes_ok"].inc()
+        return True
+
+    def probe_all(self) -> dict[str, bool]:
+        """Probe every replica once; returns name -> reachable."""
+        return {
+            rep.name: self.probe_replica(rep)
+            for reps in self.replicas.values()
+            for rep in reps
+        }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Cluster-level health: map epoch, per-replica states, counters."""
+        return {
+            "epoch": self.map.epoch,
+            "map": self.map.snapshot(),
+            "replicas": {
+                rep.name: rep.snapshot()
+                for reps in self.replicas.values()
+                for rep in reps
+            },
+            "counters": {
+                name: c.value for name, c in self._counters.items()
+            },
+            "shard_degraded": {
+                sid: c.value for sid, c in self._shard_degraded.items()
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ClusterRouter(shards={len(self.replicas)}, "
+            f"replicas={sum(len(r) for r in self.replicas.values())}, "
+            f"epoch={self.map.epoch})"
+        )

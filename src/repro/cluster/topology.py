@@ -1,0 +1,189 @@
+"""Cluster topology: segment ownership, epochs, and live migration state.
+
+:class:`ClusterMap` is the router's single source of placement truth.
+The 64-bit key domain is cut into ``2**segment_bits`` dyadic segments;
+the :class:`~repro.cluster.hashring.HashRing` assigns each a home
+shard.  Every placement change bumps ``epoch`` — the same
+generation-counter discipline the LSM's ReadViews use — so a test or a
+bench can prove which ownership era an answer came from.
+
+Live resharding is a two-epoch protocol per segment:
+
+1. ``begin_migration(segment, dest)`` — the segment enters *dual
+   ownership*: reads consult **both** the old and new owner and OR the
+   answers, writes go to both.  This is one-sided-safe by construction:
+   the old owner still holds every key, so the OR can only add false
+   positives while the new owner backfills.  (Epoch bump.)
+2. ``commit_migration(segment)`` — the new owner becomes sole owner.
+   The old owner's leftover copies are *not* deleted: stale keys in a
+   range filter can only cause false positives, never false negatives,
+   so lazy cleanup by compaction is free correctness.  (Epoch bump.)
+
+The map is shared mutable state between the router's worker threads and
+the resharding driver, so every read/write takes the lock; reads return
+immutable tuples.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.cluster.hashring import HashRing
+
+__all__ = ["ClusterMap"]
+
+#: Default domain partitioning: 64 segments — fine-grained enough that a
+#: 2-8 shard cluster balances, coarse enough that split ranges stay short.
+DEFAULT_SEGMENT_BITS = 6
+
+KEY_BITS = 64
+
+
+class ClusterMap:
+    """Segment → shard ownership with epochs and migration state."""
+
+    def __init__(
+        self,
+        shard_ids,
+        *,
+        segment_bits: int = DEFAULT_SEGMENT_BITS,
+        key_bits: int = KEY_BITS,
+        vnodes: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if not 0 < segment_bits <= key_bits:
+            raise ValueError(
+                f"segment_bits must be in (0, {key_bits}], got {segment_bits}"
+            )
+        self.segment_bits = segment_bits
+        self.key_bits = key_bits
+        self.n_segments = 1 << segment_bits
+        self._shift = key_bits - segment_bits
+        self.ring = HashRing(shard_ids, vnodes=vnodes, seed=seed)
+        self._lock = threading.Lock()
+        self.epoch = 0
+        #: segment -> home shard (materialised from the ring so lookups
+        #: are a dict hit and the ring only runs on membership changes).
+        self._owner = self.ring.placement(self.n_segments)
+        #: segment -> destination shard while a migration is in flight.
+        self._migrating: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def segment_of(self, key: int) -> int:
+        """The segment a key belongs to (its top ``segment_bits`` bits)."""
+        if not 0 <= key < (1 << self.key_bits):
+            raise ValueError(f"key {key} outside {self.key_bits}-bit domain")
+        return key >> self._shift
+
+    def segment_range(self, segment: int) -> tuple[int, int]:
+        """The inclusive key range ``[lo, hi]`` a segment covers."""
+        if not 0 <= segment < self.n_segments:
+            raise ValueError(f"segment {segment} out of range")
+        lo = segment << self._shift
+        return lo, lo + (1 << self._shift) - 1
+
+    def owners(self, segment: int) -> tuple[int, ...]:
+        """Shards that must be consulted for ``segment`` right now.
+
+        One shard normally; two while the segment is mid-migration
+        (old owner first).
+        """
+        with self._lock:
+            home = self._owner[segment]
+            dest = self._migrating.get(segment)
+            if dest is None or dest == home:
+                return (home,)
+            return (home, dest)
+
+    def split_range(self, lo: int, hi: int) -> list[tuple[int, int, int]]:
+        """Split ``[lo, hi]`` at segment boundaries.
+
+        Returns ``[(segment, sub_lo, sub_hi), ...]`` covering the range
+        exactly; segments are dyadic so the pieces never overlap.
+        """
+        if lo > hi:
+            raise ValueError(f"invalid range [{lo}, {hi}]")
+        first, last = self.segment_of(lo), self.segment_of(hi)
+        out = []
+        for segment in range(first, last + 1):
+            seg_lo, seg_hi = self.segment_range(segment)
+            out.append((segment, max(lo, seg_lo), min(hi, seg_hi)))
+        return out
+
+    def shard_segments(self, shard_id: int) -> tuple[int, ...]:
+        """Segments currently homed on (or migrating to) ``shard_id``."""
+        with self._lock:
+            return tuple(
+                seg
+                for seg in range(self.n_segments)
+                if self._owner[seg] == shard_id
+                or self._migrating.get(seg) == shard_id
+            )
+
+    def snapshot(self) -> dict:
+        """Epoch + ownership table (observability)."""
+        with self._lock:
+            return {
+                "epoch": self.epoch,
+                "segments": self.n_segments,
+                "owner": dict(self._owner),
+                "migrating": dict(self._migrating),
+            }
+
+    # ------------------------------------------------------------------
+    # membership & migration
+    # ------------------------------------------------------------------
+    def add_shard(self, shard_id: int) -> list[int]:
+        """Add a shard to the ring; returns the segments it should own.
+
+        Ownership does **not** flip here — the returned segments must be
+        migrated one by one (``begin`` → backfill → ``commit``) so
+        traffic never reads a shard that hasn't been populated yet.
+        """
+        self.ring.add_shard(shard_id)
+        target = self.ring.placement(self.n_segments)
+        with self._lock:
+            self.epoch += 1
+            return [
+                seg
+                for seg, owner in target.items()
+                if owner == shard_id and self._owner[seg] != shard_id
+            ]
+
+    def begin_migration(self, segment: int, dest: int) -> None:
+        """Enter dual ownership for ``segment`` (reads/writes hit both)."""
+        if dest not in self.ring.shard_ids:
+            raise ValueError(f"unknown destination shard {dest}")
+        with self._lock:
+            if segment in self._migrating:
+                raise RuntimeError(f"segment {segment} already migrating")
+            if self._owner[segment] == dest:
+                raise ValueError(f"segment {segment} already owned by {dest}")
+            self._migrating[segment] = dest
+            self.epoch += 1
+
+    def commit_migration(self, segment: int) -> None:
+        """Flip sole ownership to the migration destination."""
+        with self._lock:
+            dest = self._migrating.pop(segment, None)
+            if dest is None:
+                raise RuntimeError(f"segment {segment} is not migrating")
+            self._owner[segment] = dest
+            self.epoch += 1
+
+    def abort_migration(self, segment: int) -> None:
+        """Drop an in-flight migration; the old owner keeps the segment."""
+        with self._lock:
+            if self._migrating.pop(segment, None) is not None:
+                self.epoch += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        snap = self.snapshot()
+        return (
+            f"ClusterMap(epoch={snap['epoch']}, "
+            f"segments={snap['segments']}, "
+            f"shards={self.ring.shard_ids}, "
+            f"migrating={len(snap['migrating'])})"
+        )

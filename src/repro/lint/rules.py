@@ -247,16 +247,17 @@ class OneSidedErrorRule(Rule):
     The paper's guarantee is one-sided error: a filter may answer a
     false positive, never a false negative.  Any ``return False`` (or
     all-negative batch) inside an ``except`` handler or a
-    degraded-branch ``if`` within ``filters/``, ``service/`` or
-    ``storage/`` silently converts an outage into a wrong answer.
+    degraded-branch ``if`` within ``filters/``, ``service/``,
+    ``storage/`` or ``cluster/`` silently converts an outage into a
+    wrong answer.
     """
 
     name = "one-sided-error"
 
-    SCOPES = ("filters", "service", "storage")
+    SCOPES = ("filters", "service", "storage", "cluster")
 
     def applies_to(self, path: str) -> bool:
-        """Only guarantee-bearing trees: filters/, service/, storage/."""
+        """Only guarantee-bearing trees (see ``SCOPES``)."""
         return self.path_has_segment(path, *self.SCOPES)
 
     @staticmethod

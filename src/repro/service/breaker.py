@@ -162,6 +162,22 @@ class CircuitBreaker:
         self._outcomes.clear()
         self.trips += 1
 
+    def retry_after_ns(self) -> int:
+        """Simulated time until the breaker will next admit traffic.
+
+        While open this is the remainder of the open window — the
+        honest backpressure hint for a ``breaker-open`` degraded
+        response.  Closed or half-open, it is 0 (the caller may try
+        immediately; half-open admission is probe-limited, not timed).
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state != "open":
+                return 0
+            return max(
+                0, self._opened_at_ns + self.open_ns - self.clock.now_ns()
+            )
+
     def force_open(self) -> None:
         """Trip the breaker manually (tests, drills, emergency levers)."""
         with self._lock:

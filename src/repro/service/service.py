@@ -74,7 +74,11 @@ class ServiceResponse:
     or ``"shed"``.  ``epoch`` is the tree epoch the query ran against
     (``-1`` when degradation skipped the tree entirely), and
     ``wall_ns`` / ``sim_ns`` are submit→resolve host time and shared
-    simulated-clock time respectively.
+    simulated-clock time respectively.  ``retry_after_ns`` is the
+    backpressure hint attached to backpressure-shaped degradations
+    (``breaker-open``: remainder of the breaker's open window;
+    shutdown ``shed``: one estimated queue-drain) — a router should
+    not re-route to this replica before it elapses.
     """
 
     positive: "bool | list[bool]"
@@ -83,6 +87,7 @@ class ServiceResponse:
     epoch: int = -1
     wall_ns: int = 0
     sim_ns: int = 0
+    retry_after_ns: int = 0
     #: The request's root span when the process tracer was enabled at
     #: submit time (None otherwise).
     trace: "Span | None" = None
@@ -477,12 +482,19 @@ class FilterService:
     }
 
     def _resolve_degraded(self, req: _Request, reason: str) -> None:
+        if reason == "breaker-open":
+            retry_after_ns = self.breaker.retry_after_ns()
+        elif reason == "shed":
+            retry_after_ns = self._retry_after_ns()
+        else:
+            retry_after_ns = 0
         self._resolve(
             req,
             ServiceResponse(
                 positive=req.degraded_positive(),
                 degraded=True,
                 reason=reason,
+                retry_after_ns=retry_after_ns,
             ),
         )
 

@@ -484,8 +484,17 @@ class StorageEnv:
     # accounting
     # ------------------------------------------------------------------
     def _backoff(self, attempt: int) -> None:
-        """Charge one capped-exponential backoff sleep to simulated time."""
+        """Charge one capped-exponential backoff sleep to simulated time.
+
+        With a fault injector attached the delay is equal-jittered
+        (seeded, deterministic) — a bare ``base << attempt`` schedule
+        synchronises every caller that failed at the same instant into
+        a retry stampede.  Without an injector there is no seeded RNG
+        to draw from, so the delay stays exact.
+        """
         delay = min(self.backoff_base_ns << attempt, self.backoff_cap_ns)
+        if self.injector is not None:
+            delay = self.injector.jitter_backoff(delay)
         self.stats.bump(retries=1, backoff_ns=delay)
         sp = current_span()
         if sp is not None:

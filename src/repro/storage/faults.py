@@ -41,6 +41,8 @@ from repro.core.errors import TransientIOError
 
 __all__ = ["FaultInjector"]
 
+_MASK64 = (1 << 64) - 1
+
 
 class FaultInjector:
     """Seeded source of storage faults (see module docstring).
@@ -92,6 +94,10 @@ class FaultInjector:
         self.slow_read_p = slow_read_p
         self.slow_read_ns = slow_read_ns
         self._rng = random.Random(seed)
+        # Backoff jitter draws from its own stream: jittering retries
+        # must not shift the fault sequence (or vice versa), or every
+        # seeded chaos scenario would change when one retry is added.
+        self._jitter_rng = random.Random((seed ^ 0x9E3779B97F4A7C15) & _MASK64)
         # The injector is shared by every worker of a concurrent service;
         # the PRNG and armed counters must not be torn by racing reads.
         self._lock = threading.Lock()
@@ -179,6 +185,23 @@ class FaultInjector:
             if self.slow_read_p and self._rng.random() < self.slow_read_p:
                 return self.slow_read_ns
         return 0
+
+    def jitter_backoff(self, delay_ns: int) -> int:
+        """Equal-jitter a retry backoff delay (seeded, deterministic).
+
+        Returns a value in ``[delay_ns // 2, delay_ns]``: half the
+        deterministic exponential delay is kept as a floor, the rest is
+        randomised so concurrent retriers that failed together don't
+        retry together (the classic stampede an unjittered
+        ``base << attempt`` schedule produces).  Draws come from the
+        jitter stream, not the fault stream, so arming or observing
+        faults never shifts the jitter sequence and vice versa.
+        """
+        if delay_ns <= 0:
+            return 0
+        half = delay_ns // 2
+        with self._lock:
+            return half + self._jitter_rng.randrange(delay_ns - half + 1)
 
     def mangle_write(self, data: bytes) -> "tuple[bytes, str | None]":
         """Possibly damage a blob about to be persisted.

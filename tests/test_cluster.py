@@ -1,0 +1,568 @@
+"""Unit tests for the sharded filter cluster tier.
+
+Bottom-up over :mod:`repro.cluster`: the consistent-hash ring and the
+segment map it places, the per-replica health state machine, the replica
+lifecycle (crash / restart / partition), the router's failover, hedging
+and retry-after handling, the facade's hinted-handoff write path, and
+live resharding.  The cluster-wide invariant every class here serves:
+no merged answer is ever a false negative, no matter which replicas are
+dead.  (The full chaos scenario lives in ``test_cluster_chaos.py``.)
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+
+import pytest
+
+from repro.cluster import (
+    ClusterMap,
+    ClusterRouter,
+    FilterCluster,
+    HashRing,
+    Replica,
+    ReplicaHealth,
+    ReplicaUnreachableError,
+)
+from repro.core.rencoder import REncoder
+from repro.service import ServiceOverloadError, ServiceResponse
+from repro.storage.env import SimulatedClock
+
+MS = 1_000_000
+
+
+def _factory(keys):
+    return REncoder(keys, bits_per_key=14)
+
+
+def _cluster(n_shards=2, replicas=2, **kw):
+    kw.setdefault("memtable_capacity", 128)
+    kw.setdefault("workers", 2)
+    return FilterCluster(
+        n_shards, replicas, _factory, seed=11, segment_bits=5, **kw
+    )
+
+
+class TestHashRing:
+    def test_placement_is_deterministic(self):
+        a = HashRing([0, 1, 2], seed=5).placement(64)
+        b = HashRing([0, 1, 2], seed=5).placement(64)
+        assert a == b
+
+    def test_seed_decorrelates(self):
+        a = HashRing([0, 1, 2], seed=1).placement(64)
+        b = HashRing([0, 1, 2], seed=2).placement(64)
+        assert a != b
+
+    def test_every_shard_owns_something(self):
+        placement = HashRing([0, 1, 2, 3], seed=0).placement(64)
+        owned = set(placement.values())
+        assert owned == {0, 1, 2, 3}
+
+    def test_add_shard_moves_bounded_slice(self):
+        ring = HashRing([0, 1, 2], seed=3)
+        before = ring.placement(64)
+        ring.add_shard(3)
+        after = ring.placement(64)
+        moved = [seg for seg in before if before[seg] != after[seg]]
+        # Consistent hashing: only segments claimed by the newcomer
+        # move, and nothing reshuffles between survivors.
+        assert all(after[seg] == 3 for seg in moved)
+        assert 0 < len(moved) < 64
+
+    def test_remove_shard_inverse_of_add(self):
+        ring = HashRing([0, 1, 2], seed=3)
+        before = ring.placement(64)
+        ring.add_shard(3)
+        ring.remove_shard(3)
+        assert ring.placement(64) == before
+
+    def test_add_is_idempotent(self):
+        ring = HashRing([0, 1], seed=0)
+        before = ring.placement(32)
+        ring.add_shard(1)
+        assert ring.placement(32) == before
+
+    def test_cannot_remove_last_shard(self):
+        ring = HashRing([0], seed=0)
+        with pytest.raises(ValueError):
+            ring.remove_shard(0)
+
+    def test_needs_a_shard(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+
+
+class TestClusterMap:
+    def test_segment_roundtrip(self):
+        m = ClusterMap([0, 1], segment_bits=5)
+        for seg in range(m.n_segments):
+            lo, hi = m.segment_range(seg)
+            assert m.segment_of(lo) == seg
+            assert m.segment_of(hi) == seg
+
+    def test_split_range_covers_exactly(self):
+        m = ClusterMap([0, 1], segment_bits=5)
+        lo = 3 << 58
+        hi = (5 << 59) + 12345
+        pieces = m.split_range(lo, hi)
+        assert pieces[0][1] == lo and pieces[-1][2] == hi
+        for (_, _, prev_hi), (_, next_lo, _) in zip(pieces, pieces[1:]):
+            assert next_lo == prev_hi + 1
+
+    def test_migration_dual_ownership_then_commit(self):
+        m = ClusterMap([0, 1], segment_bits=5, seed=2)
+        seg = next(s for s, o in m.ring.placement(32).items() if o == 0)
+        e0 = m.epoch
+        m.begin_migration(seg, 1)
+        assert m.owners(seg) == (0, 1)
+        assert m.epoch == e0 + 1
+        m.commit_migration(seg)
+        assert m.owners(seg) == (1,)
+        assert m.epoch == e0 + 2
+
+    def test_abort_keeps_old_owner(self):
+        m = ClusterMap([0, 1], segment_bits=5, seed=2)
+        seg = next(s for s, o in m.ring.placement(32).items() if o == 0)
+        m.begin_migration(seg, 1)
+        m.abort_migration(seg)
+        assert m.owners(seg) == (0,)
+
+    def test_migration_misuse_raises(self):
+        m = ClusterMap([0, 1], segment_bits=5, seed=2)
+        seg = next(s for s, o in m.ring.placement(32).items() if o == 0)
+        with pytest.raises(ValueError):
+            m.begin_migration(seg, 9)  # unknown shard
+        with pytest.raises(ValueError):
+            m.begin_migration(seg, 0)  # already the owner
+        m.begin_migration(seg, 1)
+        with pytest.raises(RuntimeError):
+            m.begin_migration(seg, 1)  # already migrating
+        m.commit_migration(seg)
+        with pytest.raises(RuntimeError):
+            m.commit_migration(seg)  # nothing in flight
+
+    def test_add_shard_reports_but_does_not_flip(self):
+        m = ClusterMap([0, 1], segment_bits=5, seed=4)
+        before = dict(m.snapshot()["owner"])
+        segments = m.add_shard(2)
+        assert segments  # the ring reassigns something
+        # Ownership unchanged until each segment's migration commits.
+        assert dict(m.snapshot()["owner"]) == before
+
+
+class TestReplicaHealth:
+    def _health(self, clock=None, **kw):
+        kw.setdefault("suspect_after", 1)
+        kw.setdefault("down_after", 2)
+        kw.setdefault("down_retry_ns", 50 * MS)
+        kw.setdefault("recover_after", 2)
+        return ReplicaHealth(clock or SimulatedClock(), **kw)
+
+    def test_demotion_path(self):
+        h = self._health()
+        assert h.state == "healthy"
+        h.record_failure()
+        assert h.state == "suspect"
+        h.record_failure()
+        h.record_failure()
+        assert h.state == "down" and h.is_down()
+
+    def test_suspect_recovers_on_one_success(self):
+        h = self._health()
+        h.record_failure()
+        h.record_success()
+        assert h.state == "healthy"
+
+    def test_down_to_recovering_is_clock_driven(self):
+        clock = SimulatedClock()
+        h = self._health(clock)
+        h.force_down()
+        assert h.state == "down"
+        clock.advance(50 * MS)
+        assert h.state == "recovering"
+
+    def test_recovering_promotes_after_successes(self):
+        clock = SimulatedClock()
+        h = self._health(clock)
+        h.force_down()
+        clock.advance(50 * MS)
+        h.record_success()
+        assert h.state == "recovering"
+        h.record_success()
+        assert h.state == "healthy"
+
+    def test_recovering_failure_re_downs(self):
+        clock = SimulatedClock()
+        h = self._health(clock)
+        h.force_down()
+        clock.advance(50 * MS)
+        assert h.state == "recovering"
+        h.record_failure()
+        assert h.state == "down"
+        # The retry window restarts from the re-down.
+        clock.advance(49 * MS)
+        assert h.state == "down"
+        clock.advance(1 * MS)
+        assert h.state == "recovering"
+
+    def test_transition_counters(self):
+        h = self._health()
+        h.record_failure()
+        h.record_success()
+        snap = h.snapshot()
+        assert snap["transitions"]["suspect"] == 1
+        assert snap["transitions"]["healthy"] == 1
+
+
+class TestReplica:
+    def _replica(self, **kw):
+        kw.setdefault("memtable_capacity", 64)
+        kw.setdefault("workers", 1)
+        return Replica(0, 0, _factory, clock=SimulatedClock(), **kw)
+
+    def test_crash_makes_submits_unreachable(self):
+        rep = self._replica().start()
+        rep.put(10, 1)
+        rep.crash()
+        assert rep.crashed and not rep.reachable()
+        assert rep.health.is_down()
+        with pytest.raises(ReplicaUnreachableError):
+            rep.submit_range_batch([(0, 100)])
+        with pytest.raises(ReplicaUnreachableError):
+            rep.put(11, 1)
+        rep.stop()  # no-op on a crashed replica
+
+    def test_restart_recovers_and_replays_hints(self):
+        rep = self._replica().start()
+        for k in range(0, 200, 2):
+            rep.put(k, k)
+        rep.lsm.flush()
+        rep.crash()
+        rep.restart(replay=[(999, 1), (1001, 1)])
+        assert rep.reachable() and rep.restarts == 1
+        resp = rep.submit_range_batch([(999, 999), (1001, 1001)]).result()
+        assert resp.positive == [True, True]
+
+    def test_partition_blocks_then_heals(self):
+        rep = self._replica().start()
+        rep.set_partitioned(True)
+        with pytest.raises(ReplicaUnreachableError):
+            rep.submit_point(5)
+        rep.set_partitioned(False)
+        assert rep.submit_point(5).result().reason == "ok"
+        rep.stop()
+
+    def test_stopped_replica_is_unreachable(self):
+        rep = self._replica().start()
+        rep.stop()
+        with pytest.raises(ReplicaUnreachableError):
+            rep.submit_point(5)
+
+
+class _StubReplica:
+    """Router-facing replica double with scripted responses."""
+
+    def __init__(self, name, clock, behaviour):
+        self.name = name
+        self.health = ReplicaHealth(clock)
+        self.behaviour = behaviour  # callable(pairs) -> Future
+        self.submits = 0
+
+    def submit_range_batch(self, pairs, *, deadline_ns=None):
+        self.submits += 1
+        return self.behaviour(pairs)
+
+    def submit_point(self, key, *, deadline_ns=None):
+        self.submits += 1
+        inner = self.behaviour([(key, key)])
+        if not inner.done():
+            return inner
+        resp = inner.result()
+        # Point responses carry a scalar verdict, like the real service.
+        out = Future()
+        out.set_result(
+            ServiceResponse(
+                positive=all(resp.positive)
+                if isinstance(resp.positive, list)
+                else resp.positive,
+                degraded=resp.degraded,
+                reason=resp.reason,
+                retry_after_ns=resp.retry_after_ns,
+            )
+        )
+        return out
+
+    def snapshot(self):
+        return {"name": self.name}
+
+
+def _ok(pairs):
+    f = Future()
+    f.set_result(
+        ServiceResponse(
+            positive=[False] * len(pairs), degraded=False, reason="ok"
+        )
+    )
+    return f
+
+
+def _degraded(reason, retry_after_ns=0):
+    def behave(pairs):
+        f = Future()
+        f.set_result(
+            ServiceResponse(
+                positive=[True] * len(pairs),
+                degraded=True,
+                reason=reason,
+                retry_after_ns=retry_after_ns,
+            )
+        )
+        return f
+
+    return behave
+
+
+def _unreachable(pairs):
+    raise ReplicaUnreachableError("scripted")
+
+
+def _never(pairs):
+    return Future()  # never resolves: the hedge must win
+
+
+class TestRouterExchange:
+    def _router(self, behaviours, **kw):
+        clock = SimulatedClock()
+        cmap = ClusterMap([0], segment_bits=3, seed=1)
+        reps = [
+            _StubReplica(f"s0r{i}", clock, b)
+            for i, b in enumerate(behaviours)
+        ]
+        kw.setdefault("hedge_warmup", 10**9)  # no hedging unless asked
+        router = ClusterRouter(
+            cmap, {0: reps}, clock=clock, **kw
+        )
+        return router, reps, clock
+
+    def test_healthy_primary_answers(self):
+        router, reps, _ = self._router([_ok, _ok])
+        resp = router.query_range(0, 10)
+        assert resp.positives == [False] and not resp.degraded
+        assert reps[0].submits + reps[1].submits == 1
+
+    def test_failover_on_unreachable(self):
+        router, reps, _ = self._router([_unreachable, _ok])
+        # Rotation may pick either first; force the bad one primary by
+        # querying until it was tried at least once.
+        resp = router.query_range(0, 10)
+        assert not resp.degraded
+        assert resp.shards[0].reason == "ok"
+        failed = reps[0] if reps[0].submits else reps[1]
+        assert router._counters["cluster_failovers"].value >= 0
+
+    def test_all_unreachable_degrades_all_positive(self):
+        router, reps, _ = self._router([_unreachable, _unreachable])
+        resp = router.query_range_many([(0, 10), (20, 30)])
+        assert resp.positives == [True, True]
+        assert resp.degraded
+        assert resp.shards[0].reason == "unreachable"
+        assert router._counters["cluster_unreachable_shards"].value == 1
+
+    def test_degraded_answer_triggers_failover_to_real_one(self):
+        router, reps, _ = self._router([_degraded("fault"), _ok])
+        # Pin rotation so the degraded replica is primary.
+        router._rotation[0] = 0
+        reps[0].health.record_success()  # both healthy; index order wins
+        resp = router.query_range(0, 10)
+        assert not resp.degraded
+        assert resp.positives == [False]
+        # Both replicas were consulted: degraded first, then the real
+        # answer.
+        assert reps[0].submits + reps[1].submits == 2
+
+    def test_degraded_fallback_used_when_no_better(self):
+        router, reps, _ = self._router(
+            [_degraded("breaker-open", retry_after_ns=5 * MS)]
+        )
+        resp = router.query_range(0, 10)
+        assert resp.degraded and resp.positives == [True]
+        assert resp.shards[0].reason == "degraded"
+
+    def test_retry_after_backoff_reorders_candidates(self):
+        router, reps, clock = self._router(
+            [_degraded("breaker-open", retry_after_ns=50 * MS), _ok]
+        )
+        router.query_range(0, 10)  # replica with breaker-open noted
+        backed_off = next(
+            r for r in reps if router._backoff_until.get(r.name, 0) > 0
+        )
+        ready = next(r for r in reps if r is not backed_off)
+        # Until the window passes, the backed-off replica sorts last
+        # even when rotation would favour it.
+        for _ in range(4):
+            assert router._candidates(0)[0] is ready
+        clock.advance(60 * MS)
+        # Window over (and health restored): rotation reaches it again.
+        backed_off.health.record_success()
+        names = {router._candidates(0)[0].name for _ in range(4)}
+        assert backed_off.name in names
+
+    def test_overload_submit_failure_fails_over(self):
+        def overloaded(pairs):
+            raise ServiceOverloadError("full", retry_after_ns=7 * MS)
+
+        router, reps, _ = self._router([overloaded, _ok])
+        resp = router.query_range(0, 10)
+        assert not resp.degraded
+        overloaded_rep = reps[0] if reps[0].submits else reps[1]
+        assert router._backoff_until  # retry-after recorded
+
+    def test_hedge_fires_and_wins(self):
+        router, reps, _ = self._router(
+            [_never, _ok],
+            hedge_warmup=0,
+            hedge_min_s=0.001,
+            hedge_max_s=0.001,
+        )
+        router._rotation[0] = 0  # primary = reps[0] (never resolves)
+        resp = router.query_range(0, 10)
+        assert not resp.degraded
+        assert resp.shards[0].hedged
+        assert router._counters["cluster_hedges"].value == 1
+        assert router._counters["cluster_hedge_wins"].value == 1
+
+    def test_hedging_disabled_means_no_hedges(self):
+        router, reps, _ = self._router(
+            [_ok, _ok], hedging=False, hedge_warmup=0
+        )
+        for _ in range(4):
+            router.query_range(0, 10)
+        assert router._counters["cluster_hedges"].value == 0
+
+    def test_point_query_routes_single_shard(self):
+        router, reps, _ = self._router([_ok, _ok])
+        resp = router.query_point(123)
+        assert resp.positives == [False] and not resp.degraded
+
+    def test_needs_replicas_for_every_shard(self):
+        clock = SimulatedClock()
+        cmap = ClusterMap([0, 1], segment_bits=3)
+        with pytest.raises(ValueError):
+            ClusterRouter(cmap, {0: [_StubReplica("s0r0", clock, _ok)]},
+                          clock=clock)
+
+
+class TestClusterFacade:
+    def test_queries_match_truth_without_faults(self):
+        with _cluster() as c:
+            keys = list(range(0, 4000, 4))
+            c.load(keys)
+            c.flush()
+            present = [(k, k) for k in keys[:80]]
+            absent = [(k + 1, k + 2) for k in keys[:80]]
+            r_present = c.query_range_many(present)
+            r_absent = c.query_range_many(absent)
+            assert all(r_present.positives)
+            assert not r_present.degraded
+            # No degradation anywhere: negatives must be exact too.
+            assert not any(r_absent.positives)
+
+    def test_failover_hides_a_crashed_replica(self):
+        with _cluster() as c:
+            keys = list(range(0, 2000, 2))
+            c.load(keys)
+            c.flush()
+            for sid in c.replicas:
+                c.crash_replica(sid, 0)
+            r = c.query_range_many([(k, k) for k in keys[:60]])
+            assert all(r.positives)
+            assert not r.degraded  # the live replica answered for real
+
+    def test_hinted_handoff_on_restart(self):
+        with _cluster(n_shards=1, replicas=2) as c:
+            c.crash_replica(0, 1)
+            keys = list(range(1000, 1400, 4))
+            c.load(keys)  # replica 1 only gets hints
+            assert c.hint_backlog().get("s0r1", 0) == len(keys)
+            c.restart_replica(0, 1)
+            assert not c.hint_backlog()
+            # The restarted replica alone must know every key.
+            c.crash_replica(0, 0)
+            r = c.query_range_many([(k, k) for k in keys])
+            assert all(r.positives)
+            assert not r.degraded
+
+    def test_hinted_handoff_on_heal(self):
+        with _cluster(n_shards=1, replicas=2) as c:
+            c.partition_replica(0, 1)
+            keys = list(range(2000, 2400, 4))
+            c.load(keys)
+            c.heal_replica(0, 1)
+            c.crash_replica(0, 0)  # force reads onto the healed replica
+            r = c.query_range_many([(k, k) for k in keys])
+            assert all(r.positives)
+            assert not r.degraded
+
+    def test_migrate_segment_preserves_answers(self):
+        with _cluster() as c:
+            keys = list(range(0, 6000, 3))
+            c.load(keys)
+            c.flush()
+            snap = c.map.snapshot()["owner"]
+            seg = next(s for s, o in snap.items() if o == 0)
+            lo, hi = c.map.segment_range(seg)
+            in_seg = [k for k in keys if lo <= k <= hi]
+            info = c.migrate_segment(seg, 1)
+            assert info["dest"] == 1
+            assert c.map.owners(seg) == (1,)
+            if in_seg:
+                r = c.query_range_many([(k, k) for k in in_seg])
+                assert all(r.positives)
+
+    def test_put_during_migration_reaches_both_owners(self):
+        with _cluster() as c:
+            snap = c.map.snapshot()["owner"]
+            seg = next(s for s, o in snap.items() if o == 0)
+            lo, _ = c.map.segment_range(seg)
+            c.map.begin_migration(seg, 1)
+            c.put(lo + 5, 1)
+            for sid in (0, 1):
+                for rep in c.replicas[sid]:
+                    found, _ = rep.lsm.get(lo + 5)
+                    assert found, f"{rep.name} missing dual write"
+            c.map.abort_migration(seg)
+
+    def test_add_shard_migrates_live(self):
+        with _cluster() as c:
+            keys = list(range(0, 8000, 5))
+            c.load(keys)
+            c.flush()
+            info = c.add_shard()
+            assert info["shard"] == 2
+            assert info["segments"]
+            owners = set(c.map.snapshot()["owner"].values())
+            assert 2 in owners
+            r = c.query_range_many([(k, k) for k in keys[:200]])
+            assert all(r.positives)
+
+    def test_probes_promote_restarted_replica(self):
+        with _cluster(n_shards=1, replicas=2) as c:
+            c.load(range(0, 500, 5))
+            c.crash_replica(0, 0)
+            c.restart_replica(0, 0)
+            rep = c.replica(0, 0)
+            assert rep.health.is_down()
+            c.clock.advance(200 * MS)
+            c.probe_all()
+            c.probe_all()
+            assert rep.health.state == "healthy"
+
+    def test_health_snapshot_shape(self):
+        with _cluster() as c:
+            h = c.health()
+            assert set(h) >= {
+                "epoch", "map", "replicas", "counters", "hints",
+            }
+            assert len(h["replicas"]) == 4

@@ -116,11 +116,48 @@ class TestEnvReadFaults:
         assert env.stats.useful_reads == 1
         assert env.stats.transient_faults == 2
         assert env.stats.retries == 2
-        # Backoff: base + 2*base of simulated time, in io seconds too.
-        assert env.stats.backoff_ns == env.backoff_base_ns * 3
+        # Equal-jittered backoff: each delay lands in [full/2, full]
+        # of the deterministic base + 2*base schedule.
+        full = env.backoff_base_ns * 3
+        assert full // 2 <= env.stats.backoff_ns <= full
         assert env.simulated_io_seconds() == pytest.approx(
             (env.io_cost_ns + env.stats.backoff_ns) * 1e-9
         )
+
+    def test_backoff_jitter_is_deterministic_per_seed(self):
+        def run(seed):
+            env = StorageEnv(injector=FaultInjector(seed))
+            env.injector.arm_transient_reads(3)
+            env.read_with_retry(useful=True)
+            return env.stats.backoff_ns
+
+        # Same seed → identical jittered schedule; different seeds
+        # decorrelate (the anti-stampede point of the jitter).
+        assert run(7) == run(7)
+        assert len({run(s) for s in range(20)}) > 1
+
+    def test_backoff_jitter_streams_are_independent(self):
+        # Drawing jitter must not perturb the fault stream: two
+        # injectors with the same seed decide faults identically even
+        # when one of them also hands out jittered backoffs.
+        a = FaultInjector(3, transient_read_p=0.5)
+        b = FaultInjector(3, transient_read_p=0.5)
+        outcomes_a = []
+        for _ in range(64):
+            b.jitter_backoff(1000)
+            try:
+                a.check_read()
+                outcomes_a.append(False)
+            except TransientIOError:
+                outcomes_a.append(True)
+        outcomes_b = []
+        for _ in range(64):
+            try:
+                b.check_read()
+                outcomes_b.append(False)
+            except TransientIOError:
+                outcomes_b.append(True)
+        assert outcomes_a == outcomes_b
 
     def test_retry_budget_exhausts(self):
         env = StorageEnv(injector=FaultInjector(), max_read_retries=2)
@@ -140,8 +177,9 @@ class TestEnvReadFaults:
         )
         env.injector.arm_transient_reads(6)
         env.read_with_retry(useful=False)
-        # 100, 200, 400, 400, 400, 400 — doubling then capped.
-        assert env.stats.backoff_ns == 1900
+        # 100, 200, 400, 400, 400, 400 — doubling then capped, each
+        # equal-jittered into [full/2, full].
+        assert 1900 // 2 <= env.stats.backoff_ns <= 1900
 
     def test_no_injector_is_faultless(self):
         env = StorageEnv()

@@ -224,6 +224,97 @@ class TestCircuitBreaker:
         assert snap["state"] == "closed"
         assert snap["window_failures"] == 1 and snap["window_samples"] == 1
 
+    def test_retry_after_tracks_open_window(self):
+        clock = SimulatedClock()
+        b = self._breaker(clock)
+        assert b.retry_after_ns() == 0  # closed: try immediately
+        b.force_open()
+        assert b.retry_after_ns() == 10 * MS
+        clock.advance(4 * MS)
+        assert b.retry_after_ns() == 6 * MS
+        clock.advance(6 * MS)
+        # Window elapsed: half-open, probe-limited rather than timed.
+        assert b.retry_after_ns() == 0
+        assert b.state == "half-open"
+
+    def test_half_open_probe_quota_under_concurrent_callers(self):
+        # N threads race allow() on a freshly half-open breaker; the
+        # probe quota must admit exactly half_open_probes of them.
+        clock = SimulatedClock()
+        b = self._breaker(clock, half_open_probes=3)
+        b.force_open()
+        clock.advance(10 * MS)
+        n = 16
+        results = [None] * n
+        barrier = threading.Barrier(n)
+
+        def caller(i):
+            barrier.wait()
+            results[i] = b.allow()
+
+        threads = [
+            threading.Thread(target=caller, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(results) == 3
+        assert b.denials == n - 3
+
+    def test_half_open_concurrent_successes_close_exactly_once(self):
+        # The admitted probes report success from separate threads; the
+        # breaker must close exactly once (one transition counted) and
+        # stay closed.
+        clock = SimulatedClock()
+        b = self._breaker(clock, half_open_probes=4)
+        b.force_open()
+        clock.advance(10 * MS)
+        admitted = sum(b.allow() for _ in range(8))
+        assert admitted == 4
+        barrier = threading.Barrier(4)
+
+        def report():
+            barrier.wait()
+            b.record_success()
+
+        threads = [threading.Thread(target=report) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert b.state == "closed"
+        assert b.closes == 1
+
+    def test_half_open_concurrent_failure_wins_over_success(self):
+        # One success and one failure race from the two admitted
+        # probes.  Either interleaving ends open: failure-first trips
+        # and the late success is a no-op on an open breaker;
+        # success-first leaves the quota unfilled (1 < 2) and the
+        # failure then trips.
+        clock = SimulatedClock()
+        b = self._breaker(clock, half_open_probes=2)
+        b.force_open()
+        clock.advance(10 * MS)
+        assert b.allow() and b.allow()
+        barrier = threading.Barrier(2)
+
+        def ok():
+            barrier.wait()
+            b.record_success()
+
+        def bad():
+            barrier.wait()
+            b.record_failure()
+
+        threads = [threading.Thread(target=ok), threading.Thread(target=bad)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert b.state == "open"
+        assert b.trips == 2
+
     def test_validation(self):
         clock = SimulatedClock()
         for kw in (
@@ -323,6 +414,9 @@ class TestFilterService:
             assert r.degraded and r.reason == "breaker-open"
             assert r.positive is True  # degraded: all-positive, not empty
             assert svc.stats.breaker_denied == 1
+            # The denial carries the breaker's real remaining window,
+            # not a placeholder zero.
+            assert 0 < r.retry_after_ns <= svc.breaker.open_ns
 
     def test_reject_new_raises_with_retry_after(self):
         lsm = _tree()
@@ -367,6 +461,9 @@ class TestFilterService:
         for f in futures:
             r = f.result(timeout=5)
             assert r.degraded and r.reason == "shed" and r.positive is True
+            # Shutdown shed responses advertise a drain-time estimate a
+            # router can back off on.
+            assert r.retry_after_ns > 0
 
     def test_submit_requires_started(self):
         svc = FilterService(_tree(60))
