@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry bench-cluster trace-smoke chaos serve-stress cluster-stress report examples clean
+.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry bench-cluster bench-durability trace-smoke chaos serve-stress cluster-stress durability-chaos report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -74,6 +74,14 @@ bench-cluster:
 	python scripts/check_perf_regression.py --json BENCH_cluster.json \
 		--bench cluster --metric headline.kqps
 
+# Recovery-time headline: checkpoint + WAL-tail restore vs full
+# rebuild; writes BENCH_durability.json, then gates the restore
+# throughput against the committed trajectory.
+bench-durability:
+	python benchmarks/bench_durability.py --preset smoke
+	python scripts/check_perf_regression.py --json BENCH_durability.json \
+		--bench durability --metric headline.krps
+
 # One traced range query through the full service stack: prints the
 # span tree (queue wait, per-SSTable probes, RBF fetches) and a JSON
 # rollup — the observability smoke test.
@@ -98,6 +106,16 @@ serve-stress:
 # REPRO_CHAOS_SEED pins the whole scenario (CI uses 20230713).
 cluster-stress:
 	pytest tests/test_cluster_chaos.py tests/test_cluster.py -q \
+		$$(python -c "import pytest_timeout" 2>/dev/null && echo "--timeout=600")
+
+# Durability chaos: WAL tears, checkpoint/SSTable rot, crash-restarts
+# through the checkpoint + WAL recovery path, then scrub + anti-entropy
+# repair — zero false negatives AND zero lost acknowledged writes.
+# REPRO_CHAOS_SEED pins the scenario; REPRO_SCRUB_REPORT names the JSON
+# artifact the run writes (CI uploads it).
+durability-chaos:
+	pytest tests/test_durability_chaos.py tests/test_durability.py \
+		tests/test_durability_properties.py -q \
 		$$(python -c "import pytest_timeout" 2>/dev/null && echo "--timeout=600")
 
 report: bench

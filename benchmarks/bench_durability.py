@@ -1,0 +1,266 @@
+"""Recovery-time headline: checkpoint + WAL tail vs full rebuild.
+
+The durability tier's reason to exist is cheap recovery: a crashed
+replica that restores from its last crash-consistent checkpoint plus the
+WAL tail must come back *much* faster than one that re-ingests every key
+from scratch — while answering exactly the same (zero false negatives,
+no quarantine on a clean store).
+
+This bench builds a durable LSM with persisted REncoder filters, writes
+a checkpoint, appends a small post-checkpoint WAL tail, then times
+
+* **restore** — ``DurableLSM.restore``: newest checkpoint, reload table
+  data + filter blobs, replay the WAL tail;
+* **rebuild** — a fresh tree re-ingesting every key through the
+  memtable/flush/filter-build path (what a system without checkpoints
+  would have to do).
+
+The headline is the restore/rebuild speedup and restore throughput in
+k-keys/s; the ``full`` preset (1M keys) must clear the issue's >= 5x
+acceptance bar.  Run as a script (``python benchmarks/bench_durability.py
+--preset smoke|full``) or via pytest-benchmark; both write
+``BENCH_durability.json`` and append the headline to the trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from common import append_trajectory, publish
+
+from repro.core.rencoder import REncoder
+from repro.durability import DurableLSM
+from repro.storage.env import StorageEnv
+from repro.storage.lsm import LSMTree
+from repro.workloads.datasets import generate_keys
+
+#: ``smoke`` fits the CI budget; ``full`` is the 1M-key acceptance run.
+PRESETS = {
+    "smoke": dict(
+        n_keys=60_000,
+        memtable_capacity=4_000,
+        wal_tail=1_000,
+        checkpoint_every=20_000,
+        n_probes=2_000,
+        min_speedup=2.0,
+    ),
+    "full": dict(
+        n_keys=1_000_000,
+        memtable_capacity=16_000,
+        wal_tail=10_000,
+        checkpoint_every=100_000,
+        n_probes=10_000,
+        min_speedup=5.0,
+    ),
+}
+BPK = 12
+BATCH = 2_000  # group-commit size for ingest
+
+
+def _factory(keys):
+    return REncoder(keys, bits_per_key=BPK)
+
+
+def _ingest(tree, keys):
+    for i in range(0, len(keys), BATCH):
+        tree.put_many([(int(k), int(k) & 0xFF) for k in keys[i : i + BATCH]])
+
+
+def _build_durable(keys, tail, cfg):
+    """Durable tree: ingest, checkpoint, then a post-checkpoint tail.
+
+    ``checkpoint_every`` is the deployed steady state: periodic
+    checkpoints truncate sealed WAL segments as ingest goes, so the
+    crash-time WAL holds the truncation slack plus the tail — not the
+    whole history.
+    """
+    env = StorageEnv()
+    tree = DurableLSM(
+        _factory,
+        name="bench",
+        env=env,
+        memtable_capacity=cfg["memtable_capacity"],
+        checkpoint_every=cfg["checkpoint_every"],
+        policy="tiering",
+    )
+    _ingest(tree, keys)
+    tree.flush()
+    ckpt = tree.checkpoint()
+    _ingest(tree, tail)  # lives only in WAL + memtable at "crash" time
+    return env, tree, ckpt
+
+
+def _assert_no_false_negatives(tree, keys, n_probes, seed):
+    rng = np.random.default_rng(seed)
+    probe = [int(k) for k in rng.choice(keys, min(n_probes, len(keys)))]
+    for k in probe:
+        found, value = tree.get(k)
+        assert found and value == (k & 0xFF), f"lost key {k}"
+
+
+def run_bench(preset: str, seed: int = 1) -> dict:
+    """Time restore vs full rebuild; return the JSON payload."""
+    cfg = PRESETS[preset]
+    keys = generate_keys(cfg["n_keys"], "uniform", seed=seed)
+    tail = generate_keys(cfg["wal_tail"], "uniform", seed=seed + 1)
+    total = len(keys) + len(tail)
+
+    env, tree, ckpt = _build_durable(keys, tail, cfg)
+    stats = tree.durability_stats()
+
+    t0 = time.perf_counter()
+    restored, report = DurableLSM.restore(
+        _factory,
+        env=env,
+        name="bench",
+        memtable_capacity=cfg["memtable_capacity"],
+        policy="tiering",
+    )
+    restore_s = time.perf_counter() - t0
+    assert report["tables_quarantined"] == 0, report
+    assert report["filters"]["degraded"] == 0, report
+    assert report["wal_records_replayed"] >= len(tail), report
+    _assert_no_false_negatives(restored, keys, cfg["n_probes"], seed + 2)
+    _assert_no_false_negatives(restored, tail, cfg["n_probes"], seed + 3)
+
+    t0 = time.perf_counter()
+    rebuilt = LSMTree(
+        _factory,
+        env=StorageEnv(),
+        memtable_capacity=cfg["memtable_capacity"],
+        policy="tiering",
+        persist_filters=False,
+    )
+    for arr in (keys, tail):
+        for i in range(0, len(arr), BATCH):
+            for k in arr[i : i + BATCH]:
+                rebuilt.put(int(k), int(k) & 0xFF)
+    rebuilt.flush()
+    rebuild_s = time.perf_counter() - t0
+    _assert_no_false_negatives(rebuilt, keys, cfg["n_probes"] // 4, seed + 4)
+
+    speedup = rebuild_s / restore_s if restore_s > 0 else float("inf")
+    payload = {
+        "preset": preset,
+        "n_keys": cfg["n_keys"],
+        "wal_tail": len(tail),
+        "bits_per_key": BPK,
+        "checkpoint": {
+            "tables": ckpt["tables"],
+            "wal_lsn": ckpt["wal_lsn"],
+            "memtable_pairs": ckpt["memtable_pairs"],
+        },
+        "restore": {
+            "seconds": round(restore_s, 4),
+            "tables_loaded": report["tables_loaded"],
+            "filters_loaded": report["filters"]["loaded"],
+            "wal_records_replayed": report["wal_records_replayed"],
+            "memtable_pairs": report["memtable_pairs"],
+        },
+        "rebuild_seconds": round(rebuild_s, 4),
+        "headline": {
+            "speedup": round(speedup, 2),
+            "krps": round(total / restore_s / 1_000, 1),
+        },
+        "wal": stats["wal"],
+        "zero_false_negatives": True,
+    }
+    return payload
+
+
+def _rows(payload: dict) -> str:
+    cols = ["run", "seconds", "keys", "krps", "notes"]
+    restore = payload["restore"]
+    total = payload["n_keys"] + payload["wal_tail"]
+    rows = [
+        {
+            "run": "restore",
+            "seconds": restore["seconds"],
+            "keys": total,
+            "krps": payload["headline"]["krps"],
+            "notes": (
+                f"{restore['tables_loaded']} tables, "
+                f"{restore['filters_loaded']} filters, "
+                f"{restore['wal_records_replayed']} WAL records"
+            ),
+        },
+        {
+            "run": "rebuild",
+            "seconds": payload["rebuild_seconds"],
+            "keys": total,
+            "krps": round(total / payload["rebuild_seconds"] / 1_000, 1),
+            "notes": f"speedup {payload['headline']['speedup']}x",
+        },
+    ]
+    lines = ["".join(c.ljust(14) for c in cols)]
+    for row in rows:
+        lines.append("".join(str(row[c]).ljust(14) for c in cols))
+    return "\n".join(lines)
+
+
+def _finish(payload: dict, benchmark=None) -> dict:
+    publish(
+        benchmark,
+        "durability",
+        _rows(payload),
+        "BENCH_durability.json",
+        payload,
+    )
+    append_trajectory(
+        "durability",
+        payload["preset"],
+        payload["headline"]["krps"],
+        speedup=payload["headline"]["speedup"],
+    )
+    assert payload["zero_false_negatives"]
+    cfg = PRESETS[payload["preset"]]
+    assert payload["headline"]["speedup"] >= cfg["min_speedup"], (
+        f"restore only {payload['headline']['speedup']}x faster than "
+        f"rebuild (need >= {cfg['min_speedup']}x)"
+    )
+    return payload
+
+
+def test_durability(benchmark):
+    """Pytest entry point: the smoke preset, timed by pytest-benchmark."""
+    payload = run_bench("smoke")
+    _finish(payload, benchmark)
+    cfg = PRESETS["smoke"]
+    keys = generate_keys(cfg["n_keys"], "uniform", seed=1)
+    tail = generate_keys(cfg["wal_tail"], "uniform", seed=2)
+    env, _, _ = _build_durable(keys, tail, cfg)
+
+    def restore_once():
+        DurableLSM.restore(
+            _factory,
+            env=env,
+            name="bench",
+            memtable_capacity=cfg["memtable_capacity"],
+            policy="tiering",
+        )
+
+    benchmark.pedantic(restore_once, rounds=3, iterations=1)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", choices=sorted(PRESETS), default="smoke")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    payload = run_bench(args.preset, seed=args.seed)
+    _finish(payload)
+    h = payload["headline"]
+    print(
+        f"restore {payload['restore']['seconds']}s vs rebuild "
+        f"{payload['rebuild_seconds']}s: {h['speedup']}x speedup, "
+        f"{h['krps']}k keys/s, zero false negatives"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

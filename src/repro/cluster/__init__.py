@@ -16,11 +16,13 @@ from repro.cluster.chaos import ClusterChaos
 from repro.cluster.cluster import FilterCluster
 from repro.cluster.hashring import HashRing
 from repro.cluster.health import ReplicaHealth
+from repro.cluster.repair import AntiEntropy
 from repro.cluster.replica import Replica, ReplicaUnreachableError
 from repro.cluster.router import ClusterResponse, ClusterRouter, ShardOutcome
 from repro.cluster.topology import ClusterMap
 
 __all__ = [
+    "AntiEntropy",
     "ClusterChaos",
     "ClusterMap",
     "ClusterResponse",

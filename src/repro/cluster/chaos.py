@@ -31,7 +31,11 @@ from repro.cluster.cluster import FilterCluster
 __all__ = ["ClusterChaos"]
 
 #: Default action mix: recovery actions slightly outweigh damage so long
-#: runs don't ratchet into a fully degraded fleet.
+#: runs don't ratchet into a fully degraded fleet.  The durability
+#: actions default to weight 0 — they only make sense against a
+#: ``durability=True`` cluster, so suites opt in by passing weights —
+#: and zero-weight entries are never drawn, so existing seeded
+#: schedules replay unchanged.
 DEFAULT_WEIGHTS = {
     "crash": 3,
     "restart": 4,
@@ -39,6 +43,9 @@ DEFAULT_WEIGHTS = {
     "heal": 4,
     "slow": 2,
     "unslow": 2,
+    "wal_tear": 0,
+    "rot_checkpoint": 0,
+    "rot_table": 0,
 }
 
 
@@ -116,10 +123,22 @@ class ClusterChaos:
         self._crashed.add((sid, rid))
         return {"action": "crash", "shard": sid, "replica": rid}
 
+    def _crashed_now(self) -> list[tuple[int, int]]:
+        """Replicas actually down — scheduled crashes plus write-path
+        panics (a double WAL tear crashes a replica outside this
+        driver's bookkeeping, and it still deserves a restart draw)."""
+        return [
+            (sid, rid)
+            for sid, reps in self.cluster.replicas.items()
+            for rid, rep in enumerate(reps)
+            if rep.crashed
+        ]
+
     def _act_restart(self):
-        if not self._crashed:
+        crashed = self._crashed_now()
+        if not crashed:
             return None
-        sid, rid = self.rng.choice(sorted(self._crashed))
+        sid, rid = self.rng.choice(crashed)
         rebuild = self.rng.choice(("immediate", "deferred"))
         self.cluster.restart_replica(sid, rid, rebuild=rebuild)
         self._crashed.discard((sid, rid))
@@ -168,6 +187,78 @@ class ClusterChaos:
         self.cluster.slow_replica(sid, rid, previous)
         return {"action": "unslow", "shard": sid, "replica": rid}
 
+    # -- durability faults (need durability=True replicas to matter) ----
+    def _durable_targets(self) -> list[tuple[int, int]]:
+        return [
+            (sid, rid)
+            for sid, reps in self.cluster.replicas.items()
+            for rid, rep in enumerate(reps)
+            if rep.durability
+        ]
+
+    def _act_wal_tear(self):
+        """Arm a double torn append: the next group commit on this
+        replica tears, the retry tears again, and the write path panics
+        the replica mid-append (see ``FilterCluster._write``)."""
+        targets = [
+            t for t in self._killable()
+            if self.cluster.replica(*t).durability
+        ]
+        if not targets:
+            return None
+        sid, rid = self.rng.choice(targets)
+        self.cluster.replica(sid, rid).injector.arm_torn_append(2)
+        return {"action": "wal_tear", "shard": sid, "replica": rid}
+
+    def _act_rot_checkpoint(self):
+        """Flip one bit in a replica's newest checkpoint blob at rest."""
+        candidates = []
+        for sid, rid in self._durable_targets():
+            rep = self.cluster.replica(sid, rid)
+            name = rep.lsm.checkpoints.latest_name()
+            if name is not None:
+                candidates.append((sid, rid, name))
+        if not candidates:
+            return None
+        sid, rid, name = self.rng.choice(candidates)
+        bit = self.cluster.replica(sid, rid).env.rot_blob(name)
+        return {
+            "action": "rot_checkpoint",
+            "shard": sid,
+            "replica": rid,
+            "blob": name,
+            "bit": bit,
+        }
+
+    def _act_rot_table(self):
+        """Flip one bit in a cold SSTable data blob at rest.
+
+        Replica 0 of every shard is the designated survivor: its data
+        blobs are never rotted, the at-rest analogue of the driver's
+        "never crash the last live replica" invariant.  Sibling replicas
+        hold byte-identical tables (same keys, same deterministic flush
+        boundaries), so unrestricted rot could hit every copy of a range
+        and leave anti-entropy with no healthy source to refill from.
+        """
+        candidates = []
+        for sid, rid in self._durable_targets():
+            if rid == 0:
+                continue
+            rep = self.cluster.replica(sid, rid)
+            for record in rep.lsm.data_records().values():
+                candidates.append((sid, rid, record.blob_name))
+        if not candidates:
+            return None
+        sid, rid, name = self.rng.choice(sorted(candidates))
+        bit = self.cluster.replica(sid, rid).env.rot_blob(name)
+        return {
+            "action": "rot_table",
+            "shard": sid,
+            "replica": rid,
+            "blob": name,
+            "bit": bit,
+        }
+
     # ------------------------------------------------------------------
     # driving
     # ------------------------------------------------------------------
@@ -199,8 +290,16 @@ class ClusterChaos:
 
     def heal_all(self) -> None:
         """Undo every outstanding fault (end-of-scenario cleanup)."""
-        for sid, rid in sorted(self._crashed):
-            self.cluster.restart_replica(sid, rid)
+        # Armed-but-unfired faults (e.g. a wal_tear the replica never
+        # wrote into) must not outlive the storm and tear post-chaos
+        # repair traffic.
+        for reps in self.cluster.replicas.values():
+            for rep in reps:
+                if rep.injector is not None:
+                    rep.injector.disarm()
+        for sid, rid in sorted(set(self._crashed_now()) | self._crashed):
+            if self.cluster.replica(sid, rid).crashed:
+                self.cluster.restart_replica(sid, rid)
         self._crashed.clear()
         for sid, rid in sorted(self._partitioned):
             self.cluster.heal_replica(sid, rid)

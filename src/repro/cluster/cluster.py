@@ -30,12 +30,14 @@ whole cluster is a pure function of one seed.
 
 from __future__ import annotations
 
+import logging
 import threading
 
+from repro.cluster.repair import AntiEntropy
 from repro.cluster.replica import Replica, ReplicaUnreachableError
 from repro.cluster.router import ClusterRouter
 from repro.cluster.topology import ClusterMap
-from repro.core.errors import TransientIOError
+from repro.core.errors import TornAppendError, TransientIOError
 from repro.hashing.mix64 import mix64
 from repro.storage.env import SimulatedClock
 from repro.telemetry.registry import MetricsRegistry
@@ -43,6 +45,14 @@ from repro.telemetry.registry import MetricsRegistry
 __all__ = ["FilterCluster"]
 
 _MASK64 = (1 << 64) - 1
+
+_LOG = logging.getLogger(__name__)
+
+#: Default per-replica hinted-handoff bound.  A replica that stays down
+#: long enough to overflow it starts losing its *oldest* hints (counted
+#: and logged) — the sibling replicas still hold those writes, and
+#: anti-entropy re-converges the laggard after restart.
+DEFAULT_HINT_CAP = 50_000
 
 
 def _replica_seed(base_seed: int, shard_id: int, replica_id: int) -> int:
@@ -73,6 +83,16 @@ class FilterCluster:
         applied to every replica (the bench's named profiles).
     hedging:
         Router hedging on/off (off = the bench's unprotected baseline).
+    durability:
+        Build every replica with a WAL + checkpoints
+        (:class:`~repro.durability.durable_lsm.DurableLSM`); restarts
+        then recover acknowledged writes, and :meth:`anti_entropy`
+        repairs quarantined/divergent replicas.
+    checkpoint_every:
+        Per-replica auto-checkpoint cadence in writes (durable only).
+    hint_cap:
+        Per-replica hinted-handoff bound; overflow drops the oldest
+        hints (``hinted_handoff_dropped`` counts them).  0 = unbounded.
     registry:
         Metrics registry shared with the router.
     replica_kwargs:
@@ -91,17 +111,29 @@ class FilterCluster:
         vnodes: int = 64,
         fault_profile: "dict | None" = None,
         hedging: bool = True,
+        durability: bool = False,
+        checkpoint_every: int = 0,
+        hint_cap: int = DEFAULT_HINT_CAP,
         registry: "MetricsRegistry | None" = None,
         router_kwargs: "dict | None" = None,
         **replica_kwargs,
     ) -> None:
         if n_shards < 1 or replicas_per_shard < 1:
             raise ValueError("need at least one shard and one replica")
+        if hint_cap < 0:
+            raise ValueError(f"hint_cap must be >= 0, got {hint_cap}")
         self.seed = seed
         self.filter_factory = filter_factory
         self.fault_profile = dict(fault_profile or {})
         self.replicas_per_shard = replicas_per_shard
+        self.durability = bool(durability)
+        self.hint_cap = hint_cap
         self._replica_kwargs = dict(replica_kwargs)
+        if self.durability:
+            self._replica_kwargs.setdefault("durability", True)
+            self._replica_kwargs.setdefault(
+                "checkpoint_every", checkpoint_every
+            )
         self.clock = SimulatedClock()
         self.map = ClusterMap(
             range(n_shards),
@@ -131,6 +163,12 @@ class FilterCluster:
         # observes either "unreachable → hinted" or "reachable → stored",
         # never a replica that came back between the check and the hint.
         self._hint_lock = threading.Lock()
+        self._c_hints_dropped = self.registry.counter(
+            "hinted_handoff_dropped",
+            help="hinted writes dropped to the per-replica cap",
+            labels={"component": "cluster"},
+        )
+        self._repairer = AntiEntropy(self)
         self.keys_accepted = 0
 
     def _build_replica(self, shard_id: int, replica_id: int) -> Replica:
@@ -175,8 +213,34 @@ class FilterCluster:
         with self._hint_lock:
             try:
                 rep.put(key, value)
+                return
             except ReplicaUnreachableError:
-                self._hints.setdefault(rep.name, []).append((key, value))
+                pass
+            except TornAppendError:
+                # The replica's WAL tore twice in a row: its write path
+                # is broken and the put was NOT acknowledged there.
+                # Treat it like a real system treats a log-write failure
+                # — panic the replica — which routes it through the
+                # restart + hint-replay loop that guarantees a reborn
+                # replica holds every accepted key before serving.
+                rep.crash()
+            self._hint(rep, key, value)
+
+    def _hint(self, rep: Replica, key: int, value) -> None:
+        """Queue a missed write, dropping the oldest past the cap.
+
+        Caller holds ``_hint_lock``.
+        """
+        hints = self._hints.setdefault(rep.name, [])
+        hints.append((key, value))
+        if self.hint_cap and len(hints) > self.hint_cap:
+            overflow = len(hints) - self.hint_cap
+            del hints[:overflow]
+            self._c_hints_dropped.inc(overflow)
+            _LOG.warning(
+                "hint queue for %s at cap %d; dropped %d oldest write(s)",
+                rep.name, self.hint_cap, overflow,
+            )
 
     def put(self, key: int, value=None) -> None:
         """Store ``key`` on every replica of its owning shard(s).
@@ -287,6 +351,54 @@ class FilterCluster:
         return previous
 
     # ------------------------------------------------------------------
+    # durability control plane
+    # ------------------------------------------------------------------
+    def checkpoint_all(self) -> "dict[str, str | None]":
+        """Checkpoint every live durable replica; name -> blob written."""
+        out: "dict[str, str | None]" = {}
+        for reps in self.replicas.values():
+            for rep in reps:
+                if rep.durability and not rep.crashed:
+                    out[rep.name] = rep.checkpoint()
+        return out
+
+    def scrub_all(self, *, repair: bool = True) -> dict[str, dict]:
+        """CRC-scrub every live durable replica; name -> scrub report."""
+        out: dict[str, dict] = {}
+        for reps in self.replicas.values():
+            for rep in reps:
+                if rep.durability and not rep.crashed:
+                    report = rep.scrub(repair=repair)
+                    if report is not None:
+                        out[rep.name] = report
+        return out
+
+    def anti_entropy(self, shard_ids=None) -> dict:
+        """One anti-entropy round (see :class:`AntiEntropy`).
+
+        Read-repair hints the router accumulated since the last round
+        ride along in the report — the digest pass covers the flagged
+        replicas either way, so draining the queue here just records
+        which divergences were *noticed* on the read path first.
+        """
+        hints = self.router.drain_read_repairs()
+        report = self._repairer.run(shard_ids)
+        report["read_repair_hints"] = [
+            {"shard": sid, "replica": name} for sid, name in hints
+        ]
+        return report
+
+    def quarantine_backlog(self) -> dict[str, list]:
+        """Replica name -> quarantined key ranges awaiting repair."""
+        out: dict[str, list] = {}
+        for reps in self.replicas.values():
+            for rep in reps:
+                ranges = rep.quarantined_ranges()
+                if ranges:
+                    out[rep.name] = [[lo, hi] for lo, hi in ranges]
+        return out
+
+    # ------------------------------------------------------------------
     # live resharding
     # ------------------------------------------------------------------
     def _scan_shard(self, shard_id: int, lo: int, hi: int) -> list:
@@ -369,7 +481,10 @@ class FilterCluster:
         """Cluster snapshot: router view + hints + per-replica counters."""
         view = self.router.health()
         view["hints"] = self.hint_backlog()
+        view["hints_dropped"] = int(self._c_hints_dropped.value)
         view["keys_accepted"] = self.keys_accepted
+        if self.durability:
+            view["quarantine"] = self.quarantine_backlog()
         return view
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid

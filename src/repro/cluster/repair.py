@@ -1,0 +1,231 @@
+"""Anti-entropy: quarantine refill + merkle digest exchange and repair.
+
+Replicas of one shard receive the same write stream, so they should
+hold the same data — but crashes, quarantined restores and at-rest rot
+make "should" a claim that needs checking.  :class:`AntiEntropy` is the
+background process that checks and repairs it, in two passes per shard:
+
+1. **quarantine refill** — a replica that restored with quarantined key
+   ranges (data blobs lost to rot, see
+   :meth:`~repro.cluster.replica.Replica.restart`) gets each range
+   re-fetched from a healthy sibling via ``scan_range`` (which itself
+   refuses to serve from a quarantined copy, so a sick sibling is never
+   the source) and written back through the replica's normal write path
+   — WAL-logged, so the repair is itself durable.  Only then is the
+   quarantine lifted and the range stops answering all-positive.
+2. **digest exchange** — every reachable replica summarises its live
+   pairs as a :class:`~repro.durability.digest.SegmentDigestTree` keyed
+   by a per-round seed and aligned to the cluster map's dyadic
+   segments.  Merkle descent (``diff``) pins divergence to segments;
+   each divergent segment is repaired by **union**: fetch the segment's
+   pairs from every replica, merge by key, write each replica the keys
+   it is missing.  Union is the right merge because cluster writes are
+   add-only — there is no cluster-level delete, so a key present
+   anywhere was accepted at some point and belongs everywhere.
+
+Both passes preserve the one-sided contract at every instant: repair
+only *adds* keys, and a range is only de-quarantined after it has been
+refilled.  The returned report feeds the durability-chaos CI job's
+``SCRUB_REPORT`` artifact.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster.replica import Replica, ReplicaUnreachableError
+from repro.core.errors import TornAppendError, TransientIOError
+from repro.durability.digest import SegmentDigestTree
+from repro.hashing.mix64 import mix64
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.cluster import FilterCluster
+
+__all__ = ["AntiEntropy"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+class AntiEntropy:
+    """Shard-by-shard repair driver over a :class:`FilterCluster`."""
+
+    def __init__(
+        self, cluster: "FilterCluster", *, seed: "int | None" = None
+    ) -> None:
+        self.cluster = cluster
+        self.seed = (
+            seed
+            if seed is not None
+            else mix64((cluster.seed ^ 0xA17E9A7B0C5) & _MASK64)
+        )
+        self._round = 0
+        reg = cluster.registry
+        labels = {"component": "cluster"}
+        self._c_rounds = reg.counter(
+            "repair_rounds", help="anti-entropy rounds run", labels=labels
+        )
+        self._c_refilled = reg.counter(
+            "repair_quarantine_refilled",
+            help="quarantined ranges refilled from a sibling",
+            labels=labels,
+        )
+        self._c_diverged = reg.counter(
+            "repair_segments_diverged",
+            help="digest segments found divergent",
+            labels=labels,
+        )
+        self._c_copied = reg.counter(
+            "repair_pairs_copied",
+            help="pairs copied between replicas by repair",
+            labels=labels,
+        )
+
+    # ------------------------------------------------------------------
+    # pass 1: quarantine refill
+    # ------------------------------------------------------------------
+    def _fetch_from_sibling(
+        self, reps: list[Replica], target: Replica, lo: int, hi: int
+    ) -> "list | None":
+        """Read ``[lo, hi]`` from any healthy sibling of ``target``."""
+        for rep in reps:
+            if rep is target:
+                continue
+            try:
+                return rep.scan_range(lo, hi)
+            except (ReplicaUnreachableError, TransientIOError):
+                # Unreachable, or the sibling's own copy of the range is
+                # quarantined/faulted: try the next one.
+                continue
+        return None
+
+    def _refill_quarantine(
+        self, reps: list[Replica], report: dict[str, Any]
+    ) -> None:
+        for rep in reps:
+            for qlo, qhi in rep.quarantined_ranges():
+                pairs = self._fetch_from_sibling(reps, rep, qlo, qhi)
+                if pairs is None:
+                    report["unrepaired"].append(
+                        {"replica": rep.name, "range": [qlo, qhi],
+                         "why": "no healthy source"}
+                    )
+                    continue
+                try:
+                    for key, value in pairs:
+                        rep.put(key, value)
+                except ReplicaUnreachableError:
+                    report["unrepaired"].append(
+                        {"replica": rep.name, "range": [qlo, qhi],
+                         "why": "target unreachable"}
+                    )
+                    continue
+                except TornAppendError:
+                    # The refill writes are WAL-logged like any other;
+                    # a double tear mid-refill leaves the quarantine in
+                    # place for the next round rather than half-lifting.
+                    report["unrepaired"].append(
+                        {"replica": rep.name, "range": [qlo, qhi],
+                         "why": "wal torn during refill"}
+                    )
+                    continue
+                rep.clear_quarantine(qlo, qhi)
+                self._c_refilled.inc()
+                report["quarantine_refilled"] += 1
+                report["pairs_copied"] += len(pairs)
+                self._c_copied.inc(len(pairs))
+
+    # ------------------------------------------------------------------
+    # pass 2: digest exchange + union repair
+    # ------------------------------------------------------------------
+    def _digest(self, rep: Replica, seed: int) -> SegmentDigestTree:
+        cmap = self.cluster.map
+        domain_hi = (1 << cmap.key_bits) - 1
+        return SegmentDigestTree.build(
+            rep.lsm.range_query(0, domain_hi),
+            segment_bits=cmap.segment_bits,
+            key_bits=cmap.key_bits,
+            seed=seed,
+        )
+
+    def _repair_segment(
+        self, reps: list[Replica], segment: int, report: dict[str, Any]
+    ) -> None:
+        lo, hi = self.cluster.map.segment_range(segment)
+        holdings = [
+            (rep, dict(rep.lsm.range_query(lo, hi))) for rep in reps
+        ]
+        union: dict[int, Any] = {}
+        # First-seen wins on (rare) conflicting values: deterministic,
+        # and membership — the property the filters serve — is identical
+        # either way.
+        for _, pairs in holdings:
+            for key, value in pairs.items():
+                union.setdefault(key, value)
+        for rep, pairs in holdings:
+            missing = [
+                (key, value)
+                for key, value in union.items()
+                if key not in pairs
+            ]
+            try:
+                for key, value in missing:
+                    rep.put(key, value)
+            except (ReplicaUnreachableError, TornAppendError):
+                report["unrepaired"].append(
+                    {"replica": rep.name, "segment": segment,
+                     "why": "write failed during repair"}
+                )
+                continue
+            report["pairs_copied"] += len(missing)
+            self._c_copied.inc(len(missing))
+
+    def _digest_pass(
+        self, reps: list[Replica], report: dict[str, Any]
+    ) -> None:
+        live = [rep for rep in reps if rep.reachable()]
+        if len(live) < 2:
+            return
+        seed = mix64((self.seed ^ self._round) & _MASK64)
+        digests = [self._digest(rep, seed) for rep in live]
+        divergent: set[int] = set()
+        reference = digests[0]
+        for other in digests[1:]:
+            divergent.update(reference.diff(other))
+        for segment in sorted(divergent):
+            self._c_diverged.inc()
+            report["segments_diverged"].append(segment)
+            self._repair_segment(live, segment, report)
+        if divergent:
+            # Convergence check with a fresh seed (digests from the
+            # repair round itself must not be reused by accident).
+            check = mix64((self.seed ^ self._round ^ 0x5CA1AB1E) & _MASK64)
+            after = [self._digest(rep, check) for rep in live]
+            report["converged"] = all(
+                not after[0].diff(d) for d in after[1:]
+            )
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self, shard_ids=None) -> dict[str, Any]:
+        """One full anti-entropy round; returns the repair report."""
+        self._round += 1
+        self._c_rounds.inc()
+        report: dict[str, Any] = {
+            "round": self._round,
+            "quarantine_refilled": 0,
+            "segments_diverged": [],
+            "pairs_copied": 0,
+            "unrepaired": [],
+            "converged": True,
+        }
+        shards = (
+            sorted(self.cluster.replicas)
+            if shard_ids is None
+            else sorted(shard_ids)
+        )
+        for sid in shards:
+            reps = self.cluster.replicas[sid]
+            self._refill_quarantine(reps, report)
+            self._digest_pass(reps, report)
+        return report

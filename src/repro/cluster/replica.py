@@ -20,6 +20,18 @@ surface, which is where crash and partition faults become visible:
   partition heals.  State inside the replica is untouched, exactly like
   a real network partition.
 
+With ``durability=True`` the replica's tree is a
+:class:`~repro.durability.durable_lsm.DurableLSM`: every accepted write
+is WAL-logged before it is acknowledged, and ``restart()`` recovers
+from *checkpoint + WAL tail* instead of rebuilding filters only.  A
+table whose data blob rotted while the process was down comes back
+**quarantined**: the replica keeps serving, but every query piece that
+overlaps a quarantined key range is forced positive at the submit
+surface (the one-sided contract survives data loss), and
+``scan_range`` refuses to act as a backfill/repair *source* for those
+ranges.  Anti-entropy (:mod:`repro.cluster.repair`) re-fetches the
+ranges from a healthy sibling and calls :meth:`clear_quarantine`.
+
 The health state machine (:mod:`repro.cluster.health`) is attached here
 but *driven by the router* — health is an observer-side judgement, not
 a self-report.
@@ -31,7 +43,9 @@ import threading
 from concurrent.futures import Future
 
 from repro.cluster.health import ReplicaHealth
-from repro.core.errors import FilterError
+from repro.core.errors import FilterError, TransientIOError
+from repro.durability.durable_lsm import DurableLSM
+from repro.durability.scrub import Scrubber
 from repro.service import FilterService
 from repro.storage.env import SimulatedClock, StorageEnv
 from repro.storage.faults import FaultInjector
@@ -39,6 +53,35 @@ from repro.storage.lsm import LSMTree
 from repro.storage.sstable import FilterFactory
 
 __all__ = ["Replica", "ReplicaUnreachableError"]
+
+
+def _force_positive(fut: "Future", forced: frozenset) -> "Future":
+    """Overlay quarantine on a settled response: forced pieces read True.
+
+    The wrapped future resolves to the same :class:`ServiceResponse`
+    with the quarantined verdict indexes forced positive — degraded
+    answers are already all-positive, so the overlay can only *add*
+    positives and the one-sided invariant is preserved by construction.
+    """
+    out: "Future" = Future()
+
+    def _settle(f: "Future") -> None:
+        exc = f.exception()
+        if exc is not None:
+            out.set_exception(exc)
+            return
+        resp = f.result()
+        if isinstance(resp.positive, list):
+            resp.positive = [
+                True if i in forced else bool(bit)
+                for i, bit in enumerate(resp.positive)
+            ]
+        else:
+            resp.positive = True
+        out.set_result(resp)
+
+    fut.add_done_callback(_settle)
+    return out
 
 
 class ReplicaUnreachableError(FilterError, ConnectionError):
@@ -70,6 +113,13 @@ class Replica:
         here.
     memtable_capacity, lsm_policy:
         Tree shape knobs.
+    durability:
+        Build the tree as a :class:`DurableLSM` (WAL + checkpoints);
+        ``restart()`` then recovers acknowledged writes, not just
+        filters.
+    checkpoint_every:
+        Auto-checkpoint cadence in writes (durable trees only; 0 =
+        only explicit :meth:`checkpoint` calls).
     workers, queue_depth, shed_policy, default_deadline_ns:
         Passed through to each :class:`FilterService` incarnation.
     """
@@ -85,6 +135,8 @@ class Replica:
         fault_profile: "dict | None" = None,
         memtable_capacity: int = 4096,
         lsm_policy: str = "tiering",
+        durability: bool = False,
+        checkpoint_every: int = 0,
         workers: int = 2,
         queue_depth: int = 64,
         shed_policy: str = "reject-new",
@@ -97,13 +149,28 @@ class Replica:
         self.clock = clock
         self.injector = FaultInjector(seed, **(fault_profile or {}))
         self.env = StorageEnv(clock=clock, injector=self.injector)
-        self.lsm = LSMTree(
-            filter_factory,
+        self.filter_factory = filter_factory
+        self.durability = bool(durability)
+        self._tree_kwargs = dict(
             memtable_capacity=memtable_capacity,
             policy=lsm_policy,
-            env=self.env,
-            persist_filters=True,
         )
+        self._checkpoint_every = checkpoint_every
+        if self.durability:
+            self.lsm: LSMTree = DurableLSM(
+                filter_factory,
+                name=self.name,
+                env=self.env,
+                checkpoint_every=checkpoint_every,
+                **self._tree_kwargs,
+            )
+        else:
+            self.lsm = LSMTree(
+                filter_factory,
+                env=self.env,
+                persist_filters=True,
+                **self._tree_kwargs,
+            )
         self._service_kwargs = dict(
             workers=workers,
             queue_depth=queue_depth,
@@ -117,6 +184,10 @@ class Replica:
         self._lock = threading.Lock()
         self._crashed = False
         self._partitioned = False
+        #: key ranges lost to at-rest corruption, pending anti-entropy
+        #: (inclusive ``(lo, hi)`` pairs; overlapping queries force True).
+        self._quarantine: list[tuple[int, int]] = []
+        self.last_restore_report: "dict | None" = None
         self.crashes = 0
         self.restarts = 0
 
@@ -163,11 +234,39 @@ class Replica:
         *before* serving resumes — a restarted replica must never
         answer with a filter that lacks keys the cluster accepted.
 
-        Returns the :meth:`LSMTree.recover` summary.  Health stays
-        ``down`` until the router's probes observe the recovery — a
-        restarted process earns trust, it is not granted it.
+        Returns the :meth:`LSMTree.recover` summary — or, with
+        ``durability=True``, the :meth:`DurableLSM.restore` report: the
+        in-memory tree is discarded (a crash loses memory) and rebuilt
+        from *checkpoint + WAL tail*; tables whose data blobs rotted
+        come back as quarantined key ranges that the submit surface
+        answers all-positive until anti-entropy refills them.  Health
+        stays ``down`` until the router's probes observe the recovery —
+        a restarted process earns trust, it is not granted it.
         """
-        summary = self.lsm.recover(rebuild=rebuild)
+        if self.durability:
+            # The restored tree replaces the in-memory one wholesale, so
+            # any service still bound to the old tree must go first.
+            with self._lock:
+                service = self.service
+                self.service = None
+            if service is not None:
+                service.stop(drain=False)
+            tree, summary = DurableLSM.restore(
+                self.filter_factory,
+                env=self.env,
+                name=self.name,
+                rebuild=rebuild,
+                checkpoint_every=self._checkpoint_every,
+                **self._tree_kwargs,
+            )
+            with self._lock:
+                self.lsm = tree
+                self._quarantine = [
+                    (int(lo), int(hi)) for lo, hi in summary["quarantined"]
+                ]
+                self.last_restore_report = summary
+        else:
+            summary = self.lsm.recover(rebuild=rebuild)
         for key, value in replay:
             self.lsm.put(key, value)
         with self._lock:
@@ -219,28 +318,39 @@ class Replica:
     def submit_range_batch(
         self, pairs, *, deadline_ns: "int | None" = None
     ) -> "Future":
-        """Async batch of range queries against this replica."""
+        """Async batch of range queries against this replica.
+
+        Pieces overlapping a quarantined range are forced positive on
+        the settled response — quarantined data may hold the key, so
+        only True is a safe answer there.
+        """
         service = self._service_or_raise()
+        pairs = [(int(lo), int(hi)) for lo, hi in pairs]
         try:
-            return service.submit_range_batch(pairs, deadline_ns=deadline_ns)
+            fut = service.submit_range_batch(pairs, deadline_ns=deadline_ns)
         except RuntimeError as exc:
             # The service stopped between the check and the submit
             # (crash races are the whole point of this tier).
             raise ReplicaUnreachableError(
                 f"{self.name} shut down mid-submit"
             ) from exc
+        forced = self._forced_indexes(pairs)
+        return _force_positive(fut, forced) if forced else fut
 
     def submit_point(
         self, key: int, *, deadline_ns: "int | None" = None
     ) -> "Future":
-        """Async point query against this replica."""
+        """Async point query against this replica (quarantine-aware)."""
         service = self._service_or_raise()
+        key = int(key)
         try:
-            return service.submit_point(key, deadline_ns=deadline_ns)
+            fut = service.submit_point(key, deadline_ns=deadline_ns)
         except RuntimeError as exc:
             raise ReplicaUnreachableError(
                 f"{self.name} shut down mid-submit"
             ) from exc
+        forced = self._forced_indexes([(key, key)])
+        return _force_positive(fut, forced) if forced else fut
 
     # ------------------------------------------------------------------
     # data plane (writes & backfill reads, not request-path)
@@ -260,15 +370,75 @@ class Replica:
         self.lsm.put(key, value)
 
     def scan_range(self, lo: int, hi: int) -> list:
-        """Read live pairs in ``[lo, hi]`` (resharding backfill source)."""
+        """Read live pairs in ``[lo, hi]`` (resharding/repair source).
+
+        Raises :class:`TransientIOError` when the window overlaps a
+        quarantined range: this replica's copy is incomplete there, so
+        it must not serve as a backfill or anti-entropy source — the
+        caller fails over to a sibling.
+        """
+        lo, hi = int(lo), int(hi)
         with self._lock:
             if self._crashed or self._partitioned:
                 raise ReplicaUnreachableError(f"{self.name} is unreachable")
+            quarantine = list(self._quarantine)
+        for qlo, qhi in quarantine:
+            if lo <= qhi and hi >= qlo:
+                raise TransientIOError(
+                    f"{self.name} holds quarantined data in "
+                    f"[{qlo}, {qhi}]; scan of [{lo}, {hi}] refused"
+                )
         return self.lsm.range_query(lo, hi)
+
+    # ------------------------------------------------------------------
+    # durability control plane
+    # ------------------------------------------------------------------
+    def _forced_indexes(self, pairs) -> frozenset:
+        """Indexes of query pieces overlapping a quarantined range."""
+        with self._lock:
+            quarantine = list(self._quarantine)
+        if not quarantine:
+            return frozenset()
+        return frozenset(
+            i
+            for i, (lo, hi) in enumerate(pairs)
+            if any(lo <= qhi and hi >= qlo for qlo, qhi in quarantine)
+        )
+
+    def quarantined_ranges(self) -> list[tuple[int, int]]:
+        """Key ranges currently awaiting anti-entropy repair."""
+        with self._lock:
+            return list(self._quarantine)
+
+    def clear_quarantine(self, lo: int, hi: int) -> bool:
+        """Lift one quarantined range after anti-entropy refilled it."""
+        rng = (int(lo), int(hi))
+        cleared = False
+        with self._lock:
+            if rng in self._quarantine:
+                self._quarantine.remove(rng)
+                cleared = True
+        if cleared and self.durability:
+            # The tree carries the loss through checkpoints; now that
+            # the range is refilled, stop persisting it.
+            self.lsm.clear_lost_range(*rng)
+        return cleared
+
+    def checkpoint(self) -> "str | None":
+        """Write a checkpoint now (durable replicas only)."""
+        if not self.durability:
+            return None
+        return self.lsm.checkpoint()
+
+    def scrub(self, *, repair: bool = True) -> "dict | None":
+        """CRC-walk this replica's durable blobs (durable replicas only)."""
+        if not self.durability:
+            return None
+        return Scrubber(self.lsm).scrub(repair=repair)
 
     def snapshot(self) -> dict:
         """Health + lifecycle counters for cluster observability."""
-        return {
+        snap = {
             "name": self.name,
             "crashed": self.crashed,
             "partitioned": self.partitioned,
@@ -276,6 +446,12 @@ class Replica:
             "restarts": self.restarts,
             "health": self.health.snapshot(),
         }
+        if self.durability:
+            snap["durability"] = self.lsm.durability_stats()
+            snap["quarantine"] = [
+                [lo, hi] for lo, hi in self.quarantined_ranges()
+            ]
+        return snap
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (

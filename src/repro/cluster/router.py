@@ -178,6 +178,9 @@ class ClusterRouter:
         self._rotation: dict[int, int] = {sid: 0 for sid in self.replicas}
         #: replica name -> simulated-clock instant its backoff expires.
         self._backoff_until: dict[str, int] = {}
+        #: (shard_id, replica_name) flagged divergent by read-repair,
+        #: awaiting an anti-entropy round (drained by the cluster).
+        self._read_repair_queue: list[tuple[int, str]] = []
         #: shard -> reservoir of observed response wall latencies.
         self._latency: dict[int, LatencyRecorder] = {
             sid: LatencyRecorder(seed=sid) for sid in self.replicas
@@ -193,6 +196,7 @@ class ClusterRouter:
             ("cluster_unreachable_shards", "shards with no answering replica"),
             ("cluster_probes_ok", "successful health probes"),
             ("cluster_probes_failed", "failed health probes"),
+            ("cluster_read_repairs", "divergent replica answers OR-merged"),
         ):
             self._counters[name] = self.registry.counter(
                 name, help=help_, labels={"component": "cluster"}
@@ -430,6 +434,9 @@ class ClusterRouter:
                     self._latency[shard_id].record(max(0, resp.wall_ns))
                     if hedged and fut is hedge_future:
                         self._counters["cluster_hedge_wins"].inc()
+                    positives = self._read_repair(
+                        shard_id, rep, positives, pending, kind
+                    )
                     return ShardOutcome(
                         shard_id=shard_id,
                         positives=positives,
@@ -465,6 +472,63 @@ class ClusterRouter:
             attempts=attempts,
             hedged=hedged,
         )
+
+    # ------------------------------------------------------------------
+    # read-repair (divergence observed on the read path)
+    # ------------------------------------------------------------------
+    def _read_repair(
+        self,
+        shard_id: int,
+        winner: Replica,
+        positives: list[bool],
+        pending: "dict[Future, Replica]",
+        kind: str,
+    ) -> list[bool]:
+        """OR in any *settled* peer answer that disagrees with the winner.
+
+        Replicas of one shard hold the same data, so two non-degraded
+        answers to the same sub-query should match bit for bit.  When a
+        hedged (or raced) peer's already-settled answer disagrees, the
+        merge ORs them — membership is one-sided, so the union is the
+        only safe reconciliation — and both divergent replicas are
+        queued for the next anti-entropy round.  Opportunistic only:
+        unsettled peers are never waited on, so read-repair adds no
+        latency.
+        """
+        for fut, rep in list(pending.items()):
+            if not fut.done():
+                continue
+            try:
+                resp = fut.result()
+            except (ReplicaUnreachableError, ServiceOverloadError,
+                    RuntimeError):
+                continue
+            if resp.degraded:
+                continue
+            peer = (
+                [bool(resp.positive)]
+                if kind == "point"
+                else [bool(b) for b in resp.positive]
+            )
+            if len(peer) != len(positives) or peer == positives:
+                continue
+            merged = [a or b for a, b in zip(positives, peer)]
+            self._counters["cluster_read_repairs"].inc()
+            with self._lock:
+                for name, answer in (
+                    (winner.name, positives),
+                    (rep.name, peer),
+                ):
+                    if answer != merged:
+                        self._read_repair_queue.append((shard_id, name))
+            positives = merged
+        return positives
+
+    def drain_read_repairs(self) -> list[tuple[int, str]]:
+        """Divergences noticed since the last drain (anti-entropy input)."""
+        with self._lock:
+            out, self._read_repair_queue = self._read_repair_queue, []
+        return out
 
     # ------------------------------------------------------------------
     # membership (live resharding)

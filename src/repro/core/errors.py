@@ -31,6 +31,7 @@ __all__ = [
     "FilterCorruptionError",
     "TruncatedError",
     "TransientIOError",
+    "TornAppendError",
     "DeadlineExceededError",
 ]
 
@@ -50,6 +51,17 @@ class FilterCorruptionError(FilterError, ValueError):
 
 class TruncatedError(FilterCorruptionError):
     """The input ends before the declared data does (torn write)."""
+
+
+class TornAppendError(FilterError, OSError):
+    """A blob append landed torn: only a prefix of the suffix persisted.
+
+    Raised by :meth:`repro.storage.env.StorageEnv.append_blob` *after*
+    storing the torn prefix — exactly like a crashed ``write(2)`` that
+    persisted part of the buffer.  The caller must not acknowledge the
+    appended records; the write-ahead log responds by rotating to a
+    fresh segment and re-appending, and replay truncates the torn tail.
+    """
 
 
 class TransientIOError(FilterError, OSError):

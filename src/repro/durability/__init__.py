@@ -1,0 +1,37 @@
+"""Durability & self-healing: WAL, checkpoints, digests, scrubbing.
+
+The subsystem that makes acknowledged writes survive crashes and makes
+at-rest corruption detectable and repairable:
+
+* :mod:`repro.durability.codec` — CRC-framed record/pair encoding;
+* :mod:`repro.durability.wal` — segmented write-ahead log with group
+  append and torn-tail truncation on replay;
+* :mod:`repro.durability.checkpoint` — atomic-rename checkpoints with
+  fallback on corruption;
+* :mod:`repro.durability.durable_lsm` — the WAL-logged, checkpointable
+  LSM-tree whose recovery is *checkpoint + WAL tail*;
+* :mod:`repro.durability.digest` — seeded splitmix64 merkle digests
+  over dyadic segments for anti-entropy comparison;
+* :mod:`repro.durability.scrub` — background CRC scrubbing with local
+  repair.
+
+Cluster-side repair (digest exchange, sibling re-fetch, read-repair)
+lives in :mod:`repro.cluster.repair` — it needs the cluster topology.
+"""
+
+from repro.durability.checkpoint import CheckpointData, CheckpointManager
+from repro.durability.digest import SegmentDigestTree
+from repro.durability.durable_lsm import DurableLSM, TableDataRecord
+from repro.durability.scrub import Scrubber
+from repro.durability.wal import ReplayResult, WriteAheadLog
+
+__all__ = [
+    "CheckpointData",
+    "CheckpointManager",
+    "DurableLSM",
+    "ReplayResult",
+    "Scrubber",
+    "SegmentDigestTree",
+    "TableDataRecord",
+    "WriteAheadLog",
+]

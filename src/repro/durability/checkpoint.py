@@ -1,0 +1,221 @@
+"""Crash-consistent checkpoints with an atomic rename commit protocol.
+
+A checkpoint is one CRC-framed blob::
+
+    frame( u32 meta_len | meta JSON | payload )
+
+written with the classic three-step protocol:
+
+1. write the body to ``ckpt:{name}:{seq}.tmp`` (this write may be torn
+   or flipped by the fault injector — exactly like a real partial
+   write);
+2. :meth:`~repro.storage.env.StorageEnv.rename_blob` it to its final
+   name — atomic metadata, the commit point;
+3. update the ``CURRENT`` pointer blob (an optimisation only: recovery
+   falls back to scanning the namespace when the pointer is damaged).
+
+Because damage can land at any step, :meth:`CheckpointManager.load_latest`
+validates the whole frame (length + CRC) and *falls back* to the
+previous checkpoint — the manager keeps ``keep`` finals — and ultimately
+to "no checkpoint, replay the full WAL".  A corrupt or truncated
+checkpoint therefore costs recovery time, never data.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import FilterCorruptionError, TransientIOError
+from repro.durability.codec import frame, iter_frames
+from repro.storage.env import StorageEnv
+
+__all__ = ["CheckpointManager", "CheckpointData"]
+
+
+@dataclass
+class CheckpointData:
+    """A validated checkpoint: its sequence, WAL fence and contents."""
+
+    seq: int
+    wal_lsn: int
+    meta: dict[str, Any]
+    payload: bytes
+    blob_name: str
+    fallbacks: int = 0
+
+
+class CheckpointManager:
+    """Writes, validates, prunes and recovers ``ckpt:{name}:*`` blobs."""
+
+    def __init__(
+        self, env: StorageEnv, name: str = "tree", *, keep: int = 2
+    ) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.env = env
+        self.name = name
+        self.prefix = f"ckpt:{name}:"
+        self.current_name = f"{self.prefix}CURRENT"
+        self.keep = keep
+        reg = env.stats.registry
+        labels = {"component": "durability", "log": name}
+        self._c_written = reg.counter(
+            "checkpoints_written", help="checkpoints committed",
+            labels=labels,
+        )
+        self._c_fallbacks = reg.counter(
+            "checkpoint_fallbacks",
+            help="corrupt checkpoints skipped during recovery",
+            labels=labels,
+        )
+        self._c_pruned = reg.counter(
+            "checkpoints_pruned", help="old checkpoints deleted",
+            labels=labels,
+        )
+
+    # ------------------------------------------------------------------
+    # naming
+    # ------------------------------------------------------------------
+    def _final_name(self, seq: int) -> str:
+        return f"{self.prefix}{seq:08d}"
+
+    def _finals(self) -> list[str]:
+        """Committed checkpoint blobs, oldest first."""
+        return [
+            n
+            for n in self.env.list_blobs(self.prefix)
+            if n != self.current_name and not n.endswith(".tmp")
+        ]
+
+    def _seq_of(self, blob_name: str) -> int:
+        return int(blob_name[len(self.prefix):])
+
+    def latest_name(self) -> "str | None":
+        """Blob name of the newest committed checkpoint (chaos targets it)."""
+        finals = self._finals()
+        return finals[-1] if finals else None
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def write(
+        self, meta: dict[str, Any], payload: bytes, *, wal_lsn: int
+    ) -> str:
+        """Commit a checkpoint; returns the final blob name."""
+        finals = self._finals()
+        seq = (self._seq_of(finals[-1]) + 1) if finals else 1
+        body_meta = dict(meta)
+        body_meta["seq"] = seq
+        body_meta["wal_lsn"] = wal_lsn
+        meta_bytes = json.dumps(body_meta, sort_keys=True).encode("utf-8")
+        body = frame(
+            struct.pack("<I", len(meta_bytes)) + meta_bytes + payload
+        )
+        tmp = f"{self._final_name(seq)}.tmp"
+        self.env.put_blob(tmp, body)
+        self.env.rename_blob(tmp, self._final_name(seq))
+        self.env.put_blob(
+            self.current_name,
+            frame(json.dumps({"seq": seq}).encode("utf-8")),
+        )
+        self._c_written.inc()
+        self._prune()
+        return self._final_name(seq)
+
+    def _prune(self) -> None:
+        finals = self._finals()
+        for name in finals[: max(0, len(finals) - self.keep)]:
+            self.env.delete_blob(name)
+            self._c_pruned.inc()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def _decode(self, blob_name: str, data: bytes) -> CheckpointData:
+        """Strictly validate and unpack one checkpoint blob."""
+        scan = iter_frames(data)
+        if len(scan.payloads) != 1 or scan.torn:
+            raise FilterCorruptionError(
+                f"checkpoint {blob_name!r} is torn or malformed"
+            )
+        body = scan.payloads[0]
+        if len(body) < 4:
+            raise FilterCorruptionError(
+                f"checkpoint {blob_name!r} body too short"
+            )
+        (meta_len,) = struct.unpack_from("<I", body, 0)
+        if 4 + meta_len > len(body):
+            raise FilterCorruptionError(
+                f"checkpoint {blob_name!r} meta overruns body"
+            )
+        try:
+            meta = json.loads(body[4 : 4 + meta_len].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise FilterCorruptionError(
+                f"checkpoint {blob_name!r} meta is not JSON: {exc}"
+            ) from exc
+        if not isinstance(meta, dict) or "wal_lsn" not in meta:
+            raise FilterCorruptionError(
+                f"checkpoint {blob_name!r} meta missing wal_lsn"
+            )
+        return CheckpointData(
+            seq=int(meta.get("seq", self._seq_of(blob_name))),
+            wal_lsn=int(meta["wal_lsn"]),
+            meta=meta,
+            payload=body[4 + meta_len :],
+            blob_name=blob_name,
+        )
+
+    def load_latest(self) -> "CheckpointData | None":
+        """Newest checkpoint that validates, or None (full WAL replay).
+
+        Walks committed checkpoints newest-first; every torn, rotted or
+        unreadable candidate counts a fallback and recovery moves to the
+        next older one.  Detected corruptions advance
+        ``stats.corruptions_detected`` so scrub reports see them.
+        """
+        fallbacks = 0
+        for blob_name in reversed(self._finals()):
+            try:
+                data = self.env.get_blob_with_retry(blob_name)
+                ckpt = self._decode(blob_name, data)
+            except FilterCorruptionError:
+                self.env.stats.bump(corruptions_detected=1)
+                self._c_fallbacks.inc()
+                fallbacks += 1
+                continue
+            except TransientIOError:
+                self._c_fallbacks.inc()
+                fallbacks += 1
+                continue
+            ckpt.fallbacks = fallbacks
+            return ckpt
+        return None
+
+    def verify_latest(self) -> "dict[str, Any] | None":
+        """Scrub hook: validate the newest checkpoint without loading it.
+
+        Returns None when no checkpoint exists, else a report dict with
+        ``ok`` False on any damage (the scrubber responds by writing a
+        fresh checkpoint).
+        """
+        name = self.latest_name()
+        if name is None:
+            return None
+        try:
+            self._decode(name, self.env.get_blob_with_retry(name))
+        except (FilterCorruptionError, TransientIOError) as exc:
+            return {"ok": False, "blob": name, "error": str(exc)}
+        return {"ok": True, "blob": name}
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for health endpoints and tests."""
+        return {
+            "written": int(self._c_written.value),
+            "fallbacks": int(self._c_fallbacks.value),
+            "pruned": int(self._c_pruned.value),
+            "kept": len(self._finals()),
+        }

@@ -1,0 +1,265 @@
+"""CRC-framed record codec shared by the WAL, checkpoints and data blobs.
+
+Everything the durability layer persists is built from one primitive,
+the **frame**::
+
+    u32 payload_len | u32 crc32(payload) | payload
+
+A reader that hits a frame whose header is short, whose payload is
+short, or whose CRC disagrees stops *at the last good frame* — that is
+the torn-tail truncation rule the WAL relies on (a torn append can only
+damage the suffix, so every frame before the tear is intact and every
+acknowledged record lives in an intact frame).
+
+On top of frames sit two payload shapes:
+
+* **WAL records** — ``u64 lsn | u64 key | tagged value`` via
+  :func:`encode_record` / :func:`decode_record`;
+* **pair blocks** — a whole memtable or SSTable as one payload via
+  :func:`encode_pairs` / :func:`decode_pairs`, with a vectorised numpy
+  path when every value is a plain int (the common bench shape), so a
+  million-key checkpoint encodes in milliseconds, not seconds.
+
+Values are typed with a one-byte tag: ``None``, tombstone, int, bytes,
+str.  Tombstones round-trip to the storage layer's canonical
+:data:`~repro.storage.memtable.TOMBSTONE` sentinel so replayed deletes
+shadow exactly like live ones.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.core.errors import FilterCorruptionError
+from repro.storage.memtable import TOMBSTONE
+
+__all__ = [
+    "frame",
+    "iter_frames",
+    "FrameScan",
+    "encode_value",
+    "decode_value",
+    "encode_record",
+    "decode_record",
+    "encode_pairs",
+    "decode_pairs",
+]
+
+_HDR = struct.Struct("<II")
+_REC = struct.Struct("<QQ")
+
+_TAG_NONE = 0
+_TAG_TOMBSTONE = 1
+_TAG_INT = 2
+_TAG_BYTES = 3
+_TAG_STR = 4
+_TAG_BIGINT = 5
+
+_I64_MIN = -(1 << 63)
+_I64_MAX = (1 << 63) - 1
+
+
+# ----------------------------------------------------------------------
+# frames
+# ----------------------------------------------------------------------
+def frame(payload: bytes) -> bytes:
+    """Wrap ``payload`` in the length+CRC32 frame header."""
+    return _HDR.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class FrameScan:
+    """Result of :func:`iter_frames`: payloads plus the tear diagnosis.
+
+    ``valid_len`` is the byte offset of the end of the last intact
+    frame; ``torn`` is True when bytes remain past it (a torn tail or
+    at-rest damage inside the final frames).
+    """
+
+    __slots__ = ("payloads", "valid_len", "torn")
+
+    def __init__(
+        self, payloads: list[bytes], valid_len: int, torn: bool
+    ) -> None:
+        self.payloads = payloads
+        self.valid_len = valid_len
+        self.torn = torn
+
+
+def iter_frames(data: bytes) -> FrameScan:
+    """Parse consecutive frames, stopping cleanly at the first bad one."""
+    payloads: list[bytes] = []
+    offset = 0
+    n = len(data)
+    while offset + _HDR.size <= n:
+        length, crc = _HDR.unpack_from(data, offset)
+        start = offset + _HDR.size
+        end = start + length
+        if end > n:
+            break
+        payload = data[start:end]
+        if zlib.crc32(payload) != crc:
+            break
+        payloads.append(payload)
+        offset = end
+    return FrameScan(payloads, offset, offset < n)
+
+
+# ----------------------------------------------------------------------
+# tagged values
+# ----------------------------------------------------------------------
+def encode_value(value: Any) -> bytes:
+    """Encode one value as tag byte + body."""
+    if value is None:
+        return bytes([_TAG_NONE])
+    if value is TOMBSTONE:
+        return bytes([_TAG_TOMBSTONE])
+    if isinstance(value, bool):
+        raise TypeError("bool values are not durable-codable")
+    if isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            return bytes([_TAG_INT]) + struct.pack("<q", value)
+        body = str(value).encode("ascii")
+        return bytes([_TAG_BIGINT]) + struct.pack("<I", len(body)) + body
+    if isinstance(value, bytes):
+        return bytes([_TAG_BYTES]) + struct.pack("<I", len(value)) + value
+    if isinstance(value, str):
+        body = value.encode("utf-8")
+        return bytes([_TAG_STR]) + struct.pack("<I", len(body)) + body
+    raise TypeError(f"value of type {type(value).__name__} is not codable")
+
+
+def decode_value(data: bytes, offset: int) -> tuple[Any, int]:
+    """Decode one tagged value; returns ``(value, next_offset)``."""
+    if offset >= len(data):
+        raise FilterCorruptionError("value tag past end of payload")
+    tag = data[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TOMBSTONE:
+        return TOMBSTONE, offset
+    if tag == _TAG_INT:
+        if offset + 8 > len(data):
+            raise FilterCorruptionError("short int value")
+        return struct.unpack_from("<q", data, offset)[0], offset + 8
+    if tag in (_TAG_BYTES, _TAG_STR, _TAG_BIGINT):
+        if offset + 4 > len(data):
+            raise FilterCorruptionError("short value length")
+        (length,) = struct.unpack_from("<I", data, offset)
+        offset += 4
+        if offset + length > len(data):
+            raise FilterCorruptionError("short value body")
+        body = data[offset : offset + length]
+        offset += length
+        if tag == _TAG_BYTES:
+            return bytes(body), offset
+        if tag == _TAG_STR:
+            return body.decode("utf-8"), offset
+        return int(body.decode("ascii")), offset
+    raise FilterCorruptionError(f"unknown value tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# WAL records
+# ----------------------------------------------------------------------
+def encode_record(lsn: int, key: int, value: Any) -> bytes:
+    """One WAL record payload: ``u64 lsn | u64 key | tagged value``."""
+    return _REC.pack(lsn, key) + encode_value(value)
+
+
+def peek_lsn(payload: bytes) -> int:
+    """A WAL record's LSN without decoding key or value.
+
+    Replay uses this to skip whole records below the checkpoint fence —
+    at recovery time most retained records are dead (the one-checkpoint
+    truncation slack keeps them around), and decoding their values would
+    dominate restore time for nothing.
+    """
+    if len(payload) < _REC.size:
+        raise FilterCorruptionError("WAL record payload too short")
+    return _REC.unpack_from(payload, 0)[0]
+
+
+def decode_record(payload: bytes) -> tuple[int, int, Any]:
+    """Inverse of :func:`encode_record`; strict about trailing bytes."""
+    if len(payload) < _REC.size:
+        raise FilterCorruptionError("WAL record payload too short")
+    lsn, key = _REC.unpack_from(payload, 0)
+    value, end = decode_value(payload, _REC.size)
+    if end != len(payload):
+        raise FilterCorruptionError(
+            f"WAL record has {len(payload) - end} trailing bytes"
+        )
+    return lsn, key, value
+
+
+# ----------------------------------------------------------------------
+# pair blocks (checkpoint memtables, SSTable data blobs)
+# ----------------------------------------------------------------------
+_PAIRS_INT = 0
+_PAIRS_GENERIC = 1
+
+
+def encode_pairs(pairs: Iterable[tuple[int, Any]]) -> bytes:
+    """Encode a (key, value) sequence as one payload.
+
+    All-int values take the vectorised path: one numpy dump of the key
+    array and one of the value array.  Mixed values fall back to the
+    per-pair tagged encoding.
+    """
+    pair_list = list(pairs)
+    n = len(pair_list)
+    if pair_list and all(
+        isinstance(v, int)
+        and not isinstance(v, bool)
+        and _I64_MIN <= v <= _I64_MAX
+        for _, v in pair_list
+    ):
+        keys = np.array([k for k, _ in pair_list], dtype=np.uint64)
+        values = np.array([v for _, v in pair_list], dtype=np.int64)
+        return (
+            struct.pack("<BI", _PAIRS_INT, n)
+            + keys.tobytes()
+            + values.tobytes()
+        )
+    parts = [struct.pack("<BI", _PAIRS_GENERIC, n)]
+    for key, value in pair_list:
+        parts.append(struct.pack("<Q", key) + encode_value(value))
+    return b"".join(parts)
+
+
+def decode_pairs(payload: bytes) -> list[tuple[int, Any]]:
+    """Inverse of :func:`encode_pairs`."""
+    if len(payload) < 5:
+        raise FilterCorruptionError("pair block payload too short")
+    shape, n = struct.unpack_from("<BI", payload, 0)
+    offset = 5
+    if shape == _PAIRS_INT:
+        need = offset + 16 * n
+        if len(payload) != need:
+            raise FilterCorruptionError(
+                f"int pair block is {len(payload)} bytes, expected {need}"
+            )
+        keys = np.frombuffer(payload, dtype=np.uint64, count=n, offset=offset)
+        values = np.frombuffer(
+            payload, dtype=np.int64, count=n, offset=offset + 8 * n
+        )
+        return list(zip((int(k) for k in keys), (int(v) for v in values)))
+    if shape != _PAIRS_GENERIC:
+        raise FilterCorruptionError(f"unknown pair block shape {shape}")
+    out: list[tuple[int, Any]] = []
+    for _ in range(n):
+        if offset + 8 > len(payload):
+            raise FilterCorruptionError("short pair key")
+        (key,) = struct.unpack_from("<Q", payload, offset)
+        value, offset = decode_value(payload, offset + 8)
+        out.append((key, value))
+    if offset != len(payload):
+        raise FilterCorruptionError(
+            f"pair block has {len(payload) - offset} trailing bytes"
+        )
+    return out

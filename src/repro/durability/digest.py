@@ -1,0 +1,157 @@
+"""Seeded splitmix64 merkle digests over dyadic key segments.
+
+Anti-entropy needs to answer "do two replicas hold the same data for
+this key segment?" without shipping the data.  A
+:class:`SegmentDigestTree` summarises a replica's live pairs:
+
+* the key space is cut into the cluster's ``2**segment_bits`` dyadic
+  segments (the same top-bits split :mod:`repro.cluster.topology` routes
+  by, so a divergent leaf maps directly to a repairable segment);
+* each leaf holds ``(count, acc)`` where ``acc`` XOR-accumulates a
+  per-pair fingerprint ``mix64(mix64(key ^ seed) ^ value_fingerprint)``
+  — XOR makes the digest order-independent, so two replicas that hold
+  the same set agree no matter what order writes arrived in;
+* internal merkle nodes combine children with an *asymmetric* splitmix64
+  mix, so :meth:`diff` descends from the root and touches only the
+  O(divergent × log segments) nodes that actually disagree.
+
+The seed keys the fingerprints: digests from different seeds are
+incomparable (deliberately — a comparison across epochs of the
+anti-entropy round must be explicit, not accidental).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable
+
+from repro.durability.codec import encode_value
+from repro.hashing.mix64 import mix64
+
+__all__ = ["SegmentDigestTree"]
+
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _pair_fingerprint(key: int, value: Any, seed: int) -> int:
+    hk = mix64((key ^ mix64(seed)) & _MASK64)
+    hv = mix64(
+        (zlib.crc32(encode_value(value)) ^ mix64(seed ^ 0xA5A5A5A5)) & _MASK64
+    )
+    return mix64(hk ^ ((hv << 1) | (hv >> 63)) & _MASK64)
+
+
+class SegmentDigestTree:
+    """Merkle summary of a key→value set, one leaf per dyadic segment."""
+
+    def __init__(
+        self, *, segment_bits: int, key_bits: int = 64, seed: int = 0
+    ) -> None:
+        if not 0 < segment_bits <= key_bits:
+            raise ValueError(
+                f"segment_bits must be in (0, {key_bits}], got {segment_bits}"
+            )
+        self.segment_bits = segment_bits
+        self.key_bits = key_bits
+        self.seed = seed
+        self._shift = key_bits - segment_bits
+        n = 1 << segment_bits
+        self._counts = [0] * n
+        self._accs = [0] * n
+
+    @classmethod
+    def build(
+        cls,
+        pairs: Iterable[tuple[int, Any]],
+        *,
+        segment_bits: int,
+        key_bits: int = 64,
+        seed: int = 0,
+    ) -> "SegmentDigestTree":
+        """Summarise ``pairs`` in one pass (the common constructor)."""
+        tree = cls(segment_bits=segment_bits, key_bits=key_bits, seed=seed)
+        for key, value in pairs:
+            tree.add(key, value)
+        return tree
+
+    def add(self, key: int, value: Any) -> None:
+        """Fold one pair in (XOR: adding twice removes it again)."""
+        seg = int(key) >> self._shift
+        self._counts[seg] += 1
+        self._accs[seg] ^= _pair_fingerprint(int(key), value, self.seed)
+
+    # ------------------------------------------------------------------
+    # merkle structure
+    # ------------------------------------------------------------------
+    def _leaf_digest(self, seg: int) -> int:
+        return mix64(
+            self._accs[seg] ^ mix64((self._counts[seg] ^ self.seed) & _MASK64)
+        )
+
+    def _levels(self) -> list[list[int]]:
+        """Digest levels, leaves first, root last."""
+        level = [self._leaf_digest(s) for s in range(len(self._counts))]
+        levels = [level]
+        while len(level) > 1:
+            level = [
+                mix64(
+                    (level[i] ^ ((level[i + 1] << 1) | (level[i + 1] >> 63)))
+                    & _MASK64
+                )
+                for i in range(0, len(level), 2)
+            ]
+            levels.append(level)
+        return levels
+
+    def root(self) -> int:
+        """Root digest: equal roots ⇒ equal data (w.h.p.)."""
+        return self._levels()[-1][0]
+
+    def diff(self, other: "SegmentDigestTree") -> list[int]:
+        """Segments where the two summaries disagree (merkle descent)."""
+        if (
+            self.segment_bits != other.segment_bits
+            or self.key_bits != other.key_bits
+            or self.seed != other.seed
+        ):
+            raise ValueError(
+                "digest trees with different geometry/seed are incomparable"
+            )
+        mine = self._levels()
+        theirs = other._levels()
+        # Descend from the root; a matching node prunes its subtree.
+        suspects = [0]
+        for depth in range(len(mine) - 1, 0, -1):
+            next_suspects: list[int] = []
+            for node in suspects:
+                if mine[depth][node] == theirs[depth][node]:
+                    continue
+                next_suspects.extend((2 * node, 2 * node + 1))
+            suspects = next_suspects
+        return [
+            s
+            for s in suspects
+            if s < len(mine[0]) and mine[0][s] != theirs[0][s]
+        ]
+
+    def segment_count(self, seg: int) -> int:
+        """Pairs folded into one leaf (repair sizing)."""
+        return self._counts[seg]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SegmentDigestTree):
+            return NotImplemented
+        return (
+            self.segment_bits == other.segment_bits
+            and self.seed == other.seed
+            and self.root() == other.root()
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - set membership only
+        return hash((self.segment_bits, self.seed, self.root()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SegmentDigestTree(segments={1 << self.segment_bits}, "
+            f"seed={self.seed}, root={self.root():#x})"
+        )

@@ -1,0 +1,164 @@
+"""Background scrubber: walk a tree's blobs, find rot, repair locally.
+
+Bit rot at rest is the fault no write path ever observes — a cold
+SSTable's data blob or a persisted filter image silently loses a bit
+and nothing notices until a crash-restore needs exactly that blob.  The
+scrubber closes the window: :meth:`Scrubber.scrub` re-reads every
+durable blob the tree owns and validates it against the intended
+length + CRC32 its manifest recorded at write time.
+
+Repair is tiered by what is still available:
+
+* **data blob rot with the table alive** — the in-memory pairs are
+  intact (SSTables are immutable), so the blob is simply re-encoded and
+  re-persisted: a *local* repair, no sibling needed;
+* **filter blob rot** — the filter is rebuilt from the table's keys and
+  re-persisted (the PR 2 machinery);
+* **checkpoint rot** — the newest checkpoint fails validation; the tree
+  writes a fresh one (the old, corrupt blob then ages out).
+
+What the scrubber *cannot* fix locally — a table whose in-memory copy
+died with the process — surfaces at restore time as a quarantined
+range, and the cluster's anti-entropy (:mod:`repro.cluster.repair`)
+re-fetches it from a healthy sibling.  Every detection advances
+``stats.corruptions_detected``; every local fix is counted in the
+returned report, which the durability-chaos CI job uploads as
+``SCRUB_REPORT``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.errors import FilterCorruptionError, TransientIOError
+from repro.core.serialize import checksum
+from repro.durability.durable_lsm import DurableLSM
+
+__all__ = ["Scrubber"]
+
+
+class Scrubber:
+    """CRC-walks one :class:`DurableLSM`'s durable blobs (see module doc)."""
+
+    def __init__(self, tree: DurableLSM) -> None:
+        self.tree = tree
+        reg = tree.env.stats.registry
+        labels = {"component": "durability", "log": tree.name}
+        self._c_checked = reg.counter(
+            "scrub_blobs_checked", help="blobs CRC-validated by the scrubber",
+            labels=labels,
+        )
+        self._c_rot = reg.counter(
+            "scrub_rot_detected", help="blobs failing length/CRC validation",
+            labels=labels,
+        )
+        self._c_repaired = reg.counter(
+            "scrub_repaired_local", help="blobs repaired from local state",
+            labels=labels,
+        )
+
+    def scrub(self, *, repair: bool = True) -> dict[str, Any]:
+        """Validate data blobs, filter blobs and the newest checkpoint.
+
+        Returns the scrub report; with ``repair=True`` every locally
+        repairable finding is fixed in the same pass and re-validated
+        counts appear under ``repaired_local``.
+        """
+        report: dict[str, Any] = {
+            "blobs_checked": 0,
+            "rot_detected": 0,
+            "repaired_local": 0,
+            "unrepairable": [],
+            "findings": [],
+        }
+        tables = {t.table_id: t for t in self.tree.read_view().tables}
+        records = self.tree.data_records()
+        # Only live tables' blobs are scrubbed: a dead (compacted-away)
+        # table's blob has no local copy to repair from — if the retained
+        # checkpoint still references it, restore-time fallback +
+        # quarantine + anti-entropy own that case.
+        for table_id in sorted(tables):
+            record = records.get(table_id)
+            if record is None:
+                continue
+            report["blobs_checked"] += 1
+            self._c_checked.inc()
+            problem = self._validate(
+                record.blob_name, record.blob_len, record.crc32
+            )
+            if problem is None:
+                continue
+            self._found(report, "data", record.blob_name, problem)
+            table = tables.get(table_id)
+            if repair and table is not None:
+                # The in-memory pairs are intact; re-persisting yields
+                # byte-identical content, so the record stays valid.
+                self.tree._persist_table_data(table)
+                if (
+                    self._validate(
+                        record.blob_name, record.blob_len, record.crc32
+                    )
+                    is None
+                ):
+                    report["repaired_local"] += 1
+                    self._c_repaired.inc()
+                    continue
+            report["unrepairable"].append(record.blob_name)
+        for table in tables.values():
+            manifest = table.manifest_record
+            if manifest is None:
+                continue
+            report["blobs_checked"] += 1
+            self._c_checked.inc()
+            problem = self._validate(
+                manifest.blob_name, manifest.blob_len, manifest.crc32
+            )
+            if problem is None:
+                continue
+            self._found(report, "filter", manifest.blob_name, problem)
+            if repair and table.filter_factory is not None and len(table):
+                table.rebuild_filter()
+                report["repaired_local"] += 1
+                self._c_repaired.inc()
+            else:
+                report["unrepairable"].append(manifest.blob_name)
+        ckpt = self.tree.checkpoints.verify_latest()
+        if ckpt is not None:
+            report["blobs_checked"] += 1
+            self._c_checked.inc()
+            if not ckpt["ok"]:
+                self._found(report, "checkpoint", ckpt["blob"], ckpt["error"])
+                if repair:
+                    self.tree.checkpoint()
+                    report["repaired_local"] += 1
+                    self._c_repaired.inc()
+                else:
+                    report["unrepairable"].append(ckpt["blob"])
+        return report
+
+    def _validate(
+        self, blob_name: str, blob_len: int, crc32: int
+    ) -> "str | None":
+        """None when the blob matches its record, else the problem."""
+        stored_len = self.tree.env.blob_len(blob_name)
+        if stored_len is None:
+            return "missing"
+        if stored_len != blob_len:
+            return f"length {stored_len} != {blob_len}"
+        try:
+            data = self.tree.env.get_blob_with_retry(blob_name)
+        except (FilterCorruptionError, TransientIOError) as exc:
+            return f"unreadable: {exc}"
+        if checksum(data) != crc32:
+            return "crc mismatch"
+        return None
+
+    def _found(
+        self, report: dict, kind: str, blob_name: str, problem: str
+    ) -> None:
+        report["rot_detected"] += 1
+        self._c_rot.inc()
+        self.tree.env.stats.bump(corruptions_detected=1)
+        report["findings"].append(
+            {"kind": kind, "blob": blob_name, "problem": problem}
+        )

@@ -248,13 +248,13 @@ class OneSidedErrorRule(Rule):
     false positive, never a false negative.  Any ``return False`` (or
     all-negative batch) inside an ``except`` handler or a
     degraded-branch ``if`` within ``filters/``, ``service/``,
-    ``storage/`` or ``cluster/`` silently converts an outage into a
-    wrong answer.
+    ``storage/``, ``cluster/`` or ``durability/`` silently converts an
+    outage into a wrong answer.
     """
 
     name = "one-sided-error"
 
-    SCOPES = ("filters", "service", "storage", "cluster")
+    SCOPES = ("filters", "service", "storage", "cluster", "durability")
 
     def applies_to(self, path: str) -> bool:
         """Only guarantee-bearing trees (see ``SCOPES``)."""

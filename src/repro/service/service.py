@@ -532,7 +532,13 @@ class FilterService:
         gauges), the same content ``metrics-dump`` emits.
         """
         stats = self.stats.snapshot()
+        durability = (
+            self.lsm.durability_stats()
+            if hasattr(self.lsm, "durability_stats")
+            else None
+        )
         return {
+            "durability": durability,
             "running": self._started,
             "uptime_ns": self.uptime_ns(),
             "workers": self.workers,

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from repro.core.errors import (
     DeadlineExceededError,
     FilterCorruptionError,
+    TornAppendError,
     TransientIOError,
 )
 from repro.storage.faults import FaultInjector
@@ -112,6 +113,11 @@ _IO_COUNTERS = (
     "backoff_ns",
     "corruptions_detected",
     "filter_rebuilds",
+    "blob_appends",
+    "torn_appends",
+    "blob_renames",
+    "blob_deletes",
+    "blob_rots",
 )
 
 
@@ -467,6 +473,102 @@ class StorageEnv:
             self.stats.bump(slow_reads=1, slow_read_ns=extra_ns)
         self._charge(self.io_cost_ns + extra_ns)
         return data
+
+    def append_blob(self, name: str, suffix: bytes) -> int:
+        """Append ``suffix`` to a named blob; returns total stored length.
+
+        The append-only durability primitive (WAL segments): bytes
+        already in the blob are never rewritten, so a fault can only
+        damage the *new* suffix.  When the injector tears the append,
+        the surviving prefix is stored and
+        :class:`~repro.core.errors.TornAppendError` is raised — the
+        caller must treat the appended records as unacknowledged (and a
+        later replay truncates the torn tail).  A missing blob is
+        created, so the first append opens the segment.
+        """
+        stored = bytes(suffix)
+        torn = False
+        if self.injector is not None:
+            stored, torn = self.injector.mangle_append(stored)
+        with self._blob_lock:
+            self._blobs[name] = self._blobs.get(name, b"") + stored
+            total = len(self._blobs[name])
+        if torn:
+            self.stats.bump(blob_appends=1, torn_appends=1)
+            raise TornAppendError(
+                f"append to blob {name!r} torn at {len(stored)}"
+                f"/{len(suffix)} bytes"
+            )
+        self.stats.bump(blob_appends=1)
+        return total
+
+    def rename_blob(self, src: str, dst: str) -> None:
+        """Atomically rename a blob (the checkpoint commit primitive).
+
+        Pure metadata, done under the blob lock and never mangled by
+        the injector — the same atomicity contract a POSIX ``rename(2)``
+        gives, which is exactly what the checkpoint write protocol
+        (write tmp, validate, rename into place) relies on.  Replaces
+        ``dst`` if it exists.
+        """
+        with self._blob_lock:
+            if src not in self._blobs:
+                raise FilterCorruptionError(f"blob {src!r} does not exist")
+            self._blobs[dst] = self._blobs.pop(src)
+        self.stats.bump(blob_renames=1)
+
+    def delete_blob(self, name: str, *, missing_ok: bool = True) -> bool:
+        """Drop a named blob (WAL truncation, checkpoint pruning)."""
+        with self._blob_lock:
+            existed = self._blobs.pop(name, None) is not None
+        if existed:
+            self.stats.bump(blob_deletes=1)
+        elif not missing_ok:
+            raise FilterCorruptionError(f"blob {name!r} does not exist")
+        return existed
+
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        """Sorted names of stored blobs with the given prefix.
+
+        Recovery discovers WAL segments and checkpoints with this —
+        after a crash the in-memory objects are gone and the blob
+        namespace is all that survives.
+        """
+        with self._blob_lock:
+            return sorted(n for n in self._blobs if n.startswith(prefix))
+
+    def blob_len(self, name: str) -> "int | None":
+        """Stored length of a blob without charging a read (scrubbing)."""
+        with self._blob_lock:
+            data = self._blobs.get(name)
+        return None if data is None else len(data)
+
+    def rot_blob(self, name: str, bit: "int | None" = None) -> int:
+        """Flip one bit of an already-stored blob (at-rest bit rot).
+
+        ``bit`` defaults to a seeded draw from the injector's fault
+        stream (an injector is then required), so chaos schedules place
+        rot deterministically.  Returns the flipped bit index.  This is
+        the fault the scrubber exists to catch: damage that no write
+        path observed.
+        """
+        with self._blob_lock:
+            data = self._blobs.get(name)
+            if not data:
+                raise FilterCorruptionError(
+                    f"cannot rot empty or missing blob {name!r}"
+                )
+            if bit is None:
+                if self.injector is None:
+                    raise ValueError("rot_blob with bit=None needs an injector")
+                bit = self.injector.rot_bit(len(data) * 8)
+            if not 0 <= bit < len(data) * 8:
+                raise ValueError(f"bit {bit} out of range for blob {name!r}")
+            damaged = bytearray(data)
+            damaged[bit // 8] ^= 1 << (bit % 8)
+            self._blobs[name] = bytes(damaged)
+        self.stats.bump(blob_rots=1)
+        return bit
 
     def get_blob_with_retry(self, name: str) -> bytes:
         """:meth:`get_blob` under the standard retry/backoff policy."""

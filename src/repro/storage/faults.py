@@ -13,6 +13,14 @@ what real disks and object stores do:
   a random byte; detected later by length/CRC checks at load time.
 * **bit flips** — one random bit of a persisted blob is inverted at
   rest (written damaged); detected by the v2 CRC32 at load time.
+* **torn appends** — a blob *append* (WAL group-append) persists only a
+  prefix of the appended suffix; the env raises
+  :class:`~repro.core.errors.TornAppendError` so the records are never
+  acknowledged, and WAL replay truncates the torn tail.
+* **at-rest rot** — :meth:`rot_bit` picks the seeded bit position that
+  :meth:`~repro.storage.env.StorageEnv.rot_blob` inverts in an
+  already-stored blob, modelling cold-data bit rot the scrubber exists
+  to catch.
 * **slow reads** — the read succeeds but costs extra *simulated*
   latency (``slow_read_ns``), the storage-side stall that deadline
   budgets and the serving layer's circuit breaker exist to absorb.  A
@@ -57,6 +65,10 @@ class FaultInjector:
         :class:`TransientIOError`.
     torn_write_p:
         Probability that a blob write is truncated at a random byte.
+    torn_append_p:
+        Probability that a blob *append* persists only a prefix of the
+        appended suffix (and raises
+        :class:`~repro.core.errors.TornAppendError`).
     bit_flip_p:
         Probability that a blob write lands with one random bit flipped.
     slow_read_p:
@@ -74,6 +86,7 @@ class FaultInjector:
         transient_read_p: float = 0.0,
         torn_write_p: float = 0.0,
         bit_flip_p: float = 0.0,
+        torn_append_p: float = 0.0,
         slow_read_p: float = 0.0,
         slow_read_ns: int = 50_000_000,
     ) -> None:
@@ -81,6 +94,7 @@ class FaultInjector:
             ("transient_read_p", transient_read_p),
             ("torn_write_p", torn_write_p),
             ("bit_flip_p", bit_flip_p),
+            ("torn_append_p", torn_append_p),
             ("slow_read_p", slow_read_p),
         ):
             if not 0.0 <= p <= 1.0:
@@ -91,6 +105,7 @@ class FaultInjector:
         self.transient_read_p = transient_read_p
         self.torn_write_p = torn_write_p
         self.bit_flip_p = bit_flip_p
+        self.torn_append_p = torn_append_p
         self.slow_read_p = slow_read_p
         self.slow_read_ns = slow_read_ns
         self._rng = random.Random(seed)
@@ -107,6 +122,7 @@ class FaultInjector:
         self._armed_transient = 0
         self._armed_torn = 0
         self._armed_flip = 0
+        self._armed_torn_append = 0
         self._armed_slow_after = 0
         self._armed_slow = 0
 
@@ -135,6 +151,31 @@ class FaultInjector:
         """Flip one random bit in each of the next ``count`` blob writes."""
         with self._lock:
             self._armed_flip = count
+
+    def arm_torn_append(self, count: int = 1) -> None:
+        """Tear the next ``count`` blob appends mid-suffix.
+
+        Each armed tear persists a strict prefix of the appended bytes
+        and makes :meth:`~repro.storage.env.StorageEnv.append_blob`
+        raise :class:`~repro.core.errors.TornAppendError` — the
+        deterministic "process killed mid-append" for WAL tests.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        with self._lock:
+            self._armed_torn_append = count
+
+    def disarm(self) -> None:
+        """Cancel every armed fault (leftover armament from a chaos
+        schedule must not outlive the storm it belongs to)."""
+        with self._lock:
+            self._armed_transient_after = 0
+            self._armed_transient = 0
+            self._armed_torn = 0
+            self._armed_flip = 0
+            self._armed_torn_append = 0
+            self._armed_slow_after = 0
+            self._armed_slow = 0
 
     def arm_slow_reads(self, count: int = 1, *, after: int = 0) -> None:
         """Make the next ``count`` reads slow, skipping ``after`` first.
@@ -237,6 +278,39 @@ class FaultInjector:
                 damaged[bit // 8] ^= 1 << (bit % 8)
                 return bytes(damaged), "flip"
             return data, None
+
+    def mangle_append(self, suffix: bytes) -> "tuple[bytes, bool]":
+        """Possibly tear a blob append; returns ``(stored_suffix, torn)``.
+
+        A torn append keeps a strict prefix of the *suffix* only — bytes
+        already in the blob are never touched, which is what makes
+        appends the right primitive for a WAL (a rewrite could tear
+        previously acknowledged records; an append cannot).
+        """
+        with self._lock:
+            if self._armed_torn_append > 0:
+                self._armed_torn_append -= 1
+                torn = True
+            else:
+                torn = bool(
+                    self.torn_append_p
+                    and self._rng.random() < self.torn_append_p
+                )
+            if torn and len(suffix) > 0:
+                cut = self._rng.randrange(len(suffix))
+                return suffix[:cut], True
+            return suffix, False
+
+    def rot_bit(self, n_bits: int) -> int:
+        """Seeded bit position for at-rest rot (``StorageEnv.rot_blob``).
+
+        Drawn from the fault stream so a chaos schedule's rot locations
+        replay from the seed alone.
+        """
+        if n_bits <= 0:
+            raise ValueError(f"rot_bit needs a non-empty blob, got {n_bits}")
+        with self._lock:
+            return self._rng.randrange(n_bits)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
