@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry bench-cluster bench-durability trace-smoke chaos serve-stress cluster-stress durability-chaos report examples clean
+.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry bench-telemetry-cluster bench-cluster bench-durability trace-smoke cluster-trace-smoke observability chaos serve-stress cluster-stress durability-chaos report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -65,6 +65,12 @@ bench-overload:
 bench-telemetry:
 	python benchmarks/bench_telemetry.py --preset smoke
 
+# Cluster-scale telemetry overhead: routed queries with tracing +
+# trace store + federation on vs off; writes
+# BENCH_telemetry_cluster.json (asserts overhead < 10%).
+bench-telemetry-cluster:
+	python benchmarks/bench_telemetry.py --preset cluster
+
 # Sharded-cluster matrix (topology x size x fault profile) plus the
 # protected-vs-unprotected failover headline; writes BENCH_cluster.json
 # and run_table.csv at the repo root, then gates the headline against
@@ -88,6 +94,20 @@ bench-durability:
 trace-smoke:
 	python -m repro trace-query --n-keys 5000
 	python -m repro metrics-dump --queries 50 --format prom | head -20
+
+# Cluster observability smoke: a seeded chaos slice through a small
+# cluster, then the tail-sampled cross-replica traces and the
+# federated per-shard dashboard (DESIGN.md §14).
+cluster-trace-smoke:
+	python -m repro trace-show
+	python -m repro cluster-top --frames 2
+
+# The full observability acceptance: trace anatomy, federation merge
+# equality, SLO burn-rate arc, drift crossing, seeded determinism.
+# REPRO_SLO_REPORT names the SLO_REPORT.json artifact (CI uploads it).
+observability:
+	pytest tests/test_observability_cluster.py tests/test_telemetry.py -q \
+		$$(python -c "import pytest_timeout" 2>/dev/null && echo "--timeout=600")
 
 # Fault-injection chaos suite: torn writes, bit flips, transient reads;
 # REPRO_CHAOS_SEED pins the fault sequence (CI uses 20230713).

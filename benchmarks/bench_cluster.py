@@ -40,6 +40,7 @@ from common import (
     REPO_ROOT,
     _git_rev,
     append_trajectory,
+    process_usage,
     publish,
 )
 
@@ -103,7 +104,7 @@ RUN_TABLE_COLS = [
     "schema_version", "git_rev", "preset", "topology", "shards",
     "replicas", "n_keys", "fault_profile", "repetition", "batches",
     "ranges", "qps", "p50_ms", "p95_ms", "p99_ms", "degraded_rate",
-    "unreachable", "retries", "failovers", "hedges",
+    "unreachable", "retries", "failovers", "hedges", "cpu_s", "rss_mb",
 ]
 
 
@@ -153,6 +154,7 @@ def _measure(cluster, keys, seed, n_batches, batch):
     """
     rng = random.Random(seed)
     before = dict(cluster.health()["counters"])
+    usage_before = process_usage()
     lat_ms = []
     degraded_batches = 0
     unreachable = 0
@@ -190,6 +192,7 @@ def _measure(cluster, keys, seed, n_batches, batch):
             )
     elapsed = time.perf_counter() - start
     after = dict(cluster.health()["counters"])
+    usage_after = process_usage()
     lat_ms.sort()
     return {
         "batches": n_batches,
@@ -203,6 +206,10 @@ def _measure(cluster, keys, seed, n_batches, batch):
         "retries": retries,
         "failovers": after["cluster_failovers"] - before["cluster_failovers"],
         "hedges": after["cluster_hedges"] - before["cluster_hedges"],
+        # CPU is the run's delta; RSS is the process high-water mark (it
+        # only ever grows, so later rows bound earlier ones).
+        "cpu_s": round(usage_after["cpu_s"] - usage_before["cpu_s"], 3),
+        "rss_mb": usage_after["rss_mb"],
     }
 
 

@@ -32,9 +32,12 @@ from repro.workloads.datasets import generate_keys
 from repro.workloads.queries import uniform_range_queries
 
 #: ``smoke`` fits the CI budget; ``full`` is the acceptance scale.
+#: ``cluster`` times *routed* queries through a healthy FilterCluster —
+#: the gate on distributed tracing (contexts, hop spans, tail-sampling).
 PRESETS = {
     "smoke": dict(n_keys=100_000, n_queries=20_000, rounds=5),
     "full": dict(n_keys=1_000_000, n_queries=100_000, rounds=5),
+    "cluster": dict(n_keys=20_000, n_batches=40, batch=32, rounds=3),
 }
 BPK = 10
 WIDTH = 64
@@ -51,8 +54,95 @@ def _time_query_many(filt, queries, rounds: int) -> float:
     return best
 
 
+def _run_cluster(seed: int) -> dict:
+    """Routed-query tracing overhead: cluster off vs on (+ trace store).
+
+    The "on" side is the full distributed pipeline — context minting,
+    per-attempt hop spans, replica-side stamping, tail-sampled record —
+    on every routed batch, against an identically seeded healthy
+    cluster with tracing disabled.
+    """
+    import random
+
+    from repro.cluster import FilterCluster
+    from repro.telemetry.context import TraceStore
+
+    cfg = PRESETS["cluster"]
+    store = TraceStore(cap=256, seed=seed, sample_rate=0.05)
+    cluster = FilterCluster(
+        n_shards=2,
+        replicas_per_shard=2,
+        filter_factory=lambda ks: REncoder(ks, bits_per_key=BPK),
+        seed=seed,
+        segment_bits=5,
+        memtable_capacity=4_096,
+        workers=2,
+        trace_store=store,
+    )
+    cluster.start()
+    tracer = get_tracer()
+    try:
+        rng = random.Random(seed)
+        keys = sorted(
+            {rng.getrandbits(64) for _ in range(cfg["n_keys"])}
+        )
+        cluster.load(keys)
+        cluster.flush()
+        batches = [
+            [
+                (k, k + WIDTH)
+                for k in rng.sample(keys, cfg["batch"])
+            ]
+            for _ in range(cfg["n_batches"])
+        ]
+        n_queries = cfg["n_batches"] * cfg["batch"]
+
+        def sweep() -> None:
+            for ranges in batches:
+                cluster.query_range_many(ranges)
+
+        tracer.disable()
+        sweep()  # warm every replica's caches before either side
+        off_seconds = float("inf")
+        for _ in range(cfg["rounds"]):
+            t0 = time.perf_counter()
+            sweep()
+            off_seconds = min(off_seconds, time.perf_counter() - t0)
+
+        tracer.enable(cluster.clock)
+        on_seconds = float("inf")
+        for _ in range(cfg["rounds"]):
+            store.clear()
+            t0 = time.perf_counter()
+            sweep()
+            on_seconds = min(on_seconds, time.perf_counter() - t0)
+        traces = store.stats()
+    finally:
+        tracer.disable()
+        cluster.stop()
+
+    overhead = on_seconds / off_seconds - 1.0
+    return {
+        "preset": "cluster",
+        "n_keys": cfg["n_keys"],
+        "bits_per_key": BPK,
+        "range_width": WIDTH,
+        "n_queries": n_queries,
+        "rounds": cfg["rounds"],
+        "off_seconds": round(off_seconds, 4),
+        "on_seconds": round(on_seconds, 4),
+        "off_kqps": round(n_queries / off_seconds / 1e3, 1),
+        "on_kqps": round(n_queries / on_seconds / 1e3, 1),
+        "overhead": round(overhead, 4),
+        "overhead_budget": OVERHEAD_BUDGET,
+        "traces": traces,
+    }
+
+
 def run_bench(preset: str, seed: int = 1) -> dict:
     """Time the batch engine with tracing off vs on; return the payload."""
+    if preset == "cluster":
+        return _run_cluster(seed)
     cfg = PRESETS[preset]
     keys = generate_keys(cfg["n_keys"], "uniform", seed=seed)
     filt = REncoder(keys, total_bits=BPK * len(keys))
@@ -105,9 +195,12 @@ def _rows(payload: dict) -> str:
 
 
 def _finish(payload: dict, benchmark=None) -> dict:
+    # The cluster preset gates a different pipeline; keep its artifact
+    # separate so the two gates never overwrite each other.
+    suffix = "_cluster" if payload["preset"] == "cluster" else ""
     publish(
-        benchmark, "telemetry", _rows(payload),
-        "BENCH_telemetry.json", payload,
+        benchmark, f"telemetry{suffix}", _rows(payload),
+        f"BENCH_telemetry{suffix}.json", payload,
     )
     assert payload["overhead"] < OVERHEAD_BUDGET, (
         f"tracing overhead {payload['overhead'] * 100:.1f}% exceeds the "

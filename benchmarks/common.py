@@ -27,7 +27,25 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 #: way readers must care about; stamped into every file by
 #: :func:`write_bench_json`.  v3: batch_query grew the engine × layout
 #: × workload matrix and the headline moved to the fused kernels.
-BENCH_SCHEMA_VERSION = 3
+#: v4: cluster run_table rows grew cpu_s/rss_mb resource columns.
+BENCH_SCHEMA_VERSION = 4
+
+
+def process_usage() -> dict:
+    """CPU seconds and peak RSS of this process, from the stdlib.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS; normalised to MiB
+    here so every bench stamps comparable columns.
+    """
+    import resource
+    import sys
+
+    ru = resource.getrusage(resource.RUSAGE_SELF)
+    rss_kb = ru.ru_maxrss / 1024 if sys.platform == "darwin" else ru.ru_maxrss
+    return {
+        "cpu_s": round(ru.ru_utime + ru.ru_stime, 3),
+        "rss_mb": round(rss_kb / 1024, 1),
+    }
 
 #: Append-only per-commit headline history; see :func:`append_trajectory`.
 TRAJECTORY_NAME = "BENCH_trajectory.jsonl"

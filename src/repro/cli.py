@@ -423,6 +423,136 @@ def _cmd_durability_demo(args) -> int:
     return 1 if misses else 0
 
 
+def _observed_cluster(seed: int, n_keys: int, shards: int, replicas: int):
+    """A durable cluster with tracing, SLOs and federation live, plus a
+    deterministic chaos scenario already driven through it.
+
+    Shared by ``trace-show`` and ``cluster-top``: healthy traffic, a
+    crash + partition window (failover/hedge material), hint replay on
+    restart, and one anti-entropy round — so the trace store holds
+    query, hint-replay and repair trees and every gauge has moved.
+    """
+    import random
+
+    from repro.cluster import FilterCluster
+    from repro.core.rencoder import REncoder
+    from repro.telemetry.context import TraceStore
+    from repro.telemetry.tracing import get_tracer
+
+    store = TraceStore(cap=256, seed=seed, sample_rate=0.05)
+    cluster = FilterCluster(
+        n_shards=shards,
+        replicas_per_shard=replicas,
+        filter_factory=lambda ks: REncoder(ks, bits_per_key=12),
+        seed=seed,
+        segment_bits=5,
+        memtable_capacity=2_000,
+        workers=2,
+        durability=True,
+        trace_store=store,
+    )
+    cluster.start()
+    get_tracer().enable(cluster.clock)
+    cluster.enable_slo()
+    rng = random.Random(seed)
+    keys = sorted({rng.getrandbits(64) for _ in range(n_keys)})
+    cluster.load(keys)
+    cluster.flush()
+
+    def probe(n: int) -> None:
+        for k in rng.sample(keys, n):
+            resp = cluster.query_range(k, k + 64)
+            cluster.record_truth(True, resp.positive)
+
+    probe(40)  # healthy control window
+    cluster.crash_replica(0, 0)
+    if replicas > 1:
+        cluster.slow_replica(0, 1, 0.5, 30_000_000)
+    if shards > 1:
+        cluster.partition_replica(1, replicas - 1)
+    probe(40)  # fault window: failovers, hedges, degraded merges
+    cluster.slow_replica(0, 1, 0.0)
+    for k in rng.sample(keys, 30):
+        cluster.put(k ^ 0x5EED)  # writes the downed replicas must miss
+    cluster.restart_replica(0, 0)  # hint replay (traced, WAL appends)
+    if shards > 1:
+        cluster.heal_replica(1, replicas - 1)
+    cluster.anti_entropy()
+    probe(20)  # recovered window
+    return cluster, store
+
+
+def _cmd_trace_show(args) -> int:
+    """Render a tail-sampled cross-replica trace tree by id."""
+    import json as _json
+
+    from repro.telemetry.tracing import format_tree
+
+    cluster, store = _observed_cluster(
+        args.seed, args.n_keys, args.shards, args.replicas
+    )
+    try:
+        records = store.records()
+        if args.trace_id is None:
+            print(f"kept traces ({len(records)}):")
+            for rec in records:
+                root = rec["root"]
+                why = "interesting" if rec["interesting"] else "sampled"
+                print(
+                    f"  {rec['trace_id']:016x}  kind={rec['kind']:<11} "
+                    f"{why:<11} spans={_count_spans(root)}"
+                )
+            interesting = [r for r in records if r["interesting"]]
+            if interesting:
+                newest = interesting[-1]
+                print(f"\nnewest interesting trace "
+                      f"{newest['trace_id']:016x}:")
+                print(format_tree(newest["root"]))
+            print(_json.dumps(store.stats()))
+            return 0
+        rendered = store.format(args.trace_id)
+        print(rendered)
+        return 1 if rendered.startswith("trace ") and "not found" in rendered else 0
+    finally:
+        cluster.stop()
+
+
+def _count_spans(span) -> int:
+    return 1 + sum(_count_spans(c) for c in span.children)
+
+
+def _cmd_cluster_top(args) -> int:
+    """Live per-shard dashboard frames over the federated registry."""
+    import json as _json
+
+    from repro.telemetry.federation import ClusterTop
+
+    cluster, store = _observed_cluster(
+        args.seed, args.n_keys, args.shards, args.replicas
+    )
+    try:
+        top = ClusterTop(cluster)
+        top.frame()  # prime the rate baselines
+        # Advance through distinct traffic windows so qps deltas and
+        # state labels change frame to frame.
+        import random
+
+        rng = random.Random(args.seed ^ 0x70B)
+        for _ in range(args.frames):
+            for _ in range(args.queries_per_frame):
+                lo = rng.getrandbits(64)
+                cluster.query_range(lo, lo + 64)
+            print(top.frame())
+            print()
+        if args.slo_report is not None and cluster.slo is not None:
+            with open(args.slo_report, "w") as fh:
+                _json.dump(cluster.slo.report(), fh, indent=2)
+            print(f"wrote {args.slo_report}")
+        return 0
+    finally:
+        cluster.stop()
+
+
 #: Default lint targets, relative to the repo root: the library itself
 #: plus everything that feeds CI artifacts.
 LINT_PATHS = ("src/repro", "benchmarks", "examples")
@@ -592,6 +722,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--n-keys", type=int, default=5_000)
     trace.add_argument("--seed", type=int, default=42)
     trace.set_defaults(func=_cmd_trace_query)
+
+    tshow = sub.add_parser(
+        "trace-show",
+        help="render a tail-sampled cross-replica trace tree",
+    )
+    tshow.add_argument("trace_id", nargs="?", default=None,
+                       help="16-hex trace id; omitted = list kept traces "
+                            "and render the newest interesting one")
+    tshow.add_argument("--shards", type=int, default=2)
+    tshow.add_argument("--replicas", type=int, default=2)
+    tshow.add_argument("--n-keys", type=int, default=2_000)
+    tshow.add_argument("--seed", type=int, default=42)
+    tshow.set_defaults(func=_cmd_trace_show)
+
+    ctop = sub.add_parser(
+        "cluster-top",
+        help="per-shard qps/p99/degraded/WAL-lag dashboard frames",
+    )
+    ctop.add_argument("--frames", type=int, default=3,
+                      help="dashboard frames to render (default 3)")
+    ctop.add_argument("--queries-per-frame", type=int, default=50)
+    ctop.add_argument("--shards", type=int, default=2)
+    ctop.add_argument("--replicas", type=int, default=2)
+    ctop.add_argument("--n-keys", type=int, default=2_000)
+    ctop.add_argument("--seed", type=int, default=42)
+    ctop.add_argument("--slo-report", default=None,
+                      help="also write the SLO engine report JSON here")
+    ctop.set_defaults(func=_cmd_cluster_top)
 
     lint = sub.add_parser(
         "lint",

@@ -40,7 +40,11 @@ from repro.cluster.topology import ClusterMap
 from repro.core.errors import TornAppendError, TransientIOError
 from repro.hashing.mix64 import mix64
 from repro.storage.env import SimulatedClock
+from repro.telemetry.context import TraceStore, get_trace_store
+from repro.telemetry.federation import FederatedRegistry
 from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.slo import SLOEngine, SLOSpec, default_cluster_slos
+from repro.telemetry.tracing import get_tracer
 
 __all__ = ["FilterCluster"]
 
@@ -116,6 +120,7 @@ class FilterCluster:
         hint_cap: int = DEFAULT_HINT_CAP,
         registry: "MetricsRegistry | None" = None,
         router_kwargs: "dict | None" = None,
+        trace_store: "TraceStore | None" = None,
         **replica_kwargs,
     ) -> None:
         if n_shards < 1 or replicas_per_shard < 1:
@@ -148,15 +153,32 @@ class FilterCluster:
             ]
             for sid in range(n_shards)
         }
+        rk = dict(router_kwargs or {})
+        rk.setdefault("trace_store", trace_store)
         self.router = ClusterRouter(
             self.map,
             self.replicas,
             clock=self.clock,
             registry=registry,
             hedging=hedging,
-            **(router_kwargs or {}),
+            **rk,
         )
         self.registry = self.router.registry
+        self.trace_store = self.router.trace_store
+        #: One labeled namespace over the router registry and every
+        #: replica's own registry (DESIGN.md §14).  Replica label sets
+        #: are callables so the `state` label tracks health live and a
+        #: restarted replica re-homes without double-counting (the
+        #: Replica owns its registry across service incarnations).
+        self.federation = FederatedRegistry()
+        self.federation.attach(
+            "router", self.router.registry, {"scope": "router"}
+        )
+        for sid, reps in self.replicas.items():
+            for rep in reps:
+                self._federate_replica(sid, rep)
+        #: Burn-rate alerting; off until :meth:`enable_slo`.
+        self.slo: "SLOEngine | None" = None
         #: replica name -> writes it missed while unreachable.
         self._hints: dict[str, list[tuple[int, object]]] = {}
         # Serialises writes against hint replay (heal/restart): a write
@@ -181,6 +203,23 @@ class FilterCluster:
             fault_profile=self.fault_profile,
             **self._replica_kwargs,
         )
+
+    def _federate_replica(self, shard_id: int, rep: Replica) -> None:
+        self.federation.attach(
+            rep.name,
+            rep.registry,
+            lambda r=rep, s=shard_id: {
+                "scope": "replica",
+                "shard": str(s),
+                "replica": r.name,
+                "state": r.health.state,
+            },
+        )
+
+    def _store(self) -> "TraceStore | None":
+        """The trace store routed traces land in (if tracing is live)."""
+        store = self.trace_store
+        return store if store is not None else get_trace_store()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -276,19 +315,67 @@ class FilterCluster:
             return {name: len(h) for name, h in self._hints.items() if h}
 
     # ------------------------------------------------------------------
+    # SLOs (burn-rate alerting on the routed query stream)
+    # ------------------------------------------------------------------
+    def enable_slo(
+        self, specs: "list[SLOSpec] | None" = None, **engine_kwargs
+    ) -> SLOEngine:
+        """Attach an :class:`SLOEngine` fed by every routed query.
+
+        Availability counts degraded merges as bad; latency is the
+        routed call's *simulated* duration; the zero-false-negative
+        budget is fed by :meth:`record_truth` (only a harness that
+        knows ground truth can observe an FN).
+        """
+        engine = SLOEngine(self.clock, registry=self.registry, **engine_kwargs)
+        for spec in specs if specs is not None else default_cluster_slos():
+            engine.add(spec)
+        self.slo = engine
+        return engine
+
+    def _observe_slo(self, resp, elapsed_ns: int):
+        slo = self.slo
+        if slo is not None:
+            bad = 1 if resp.degraded else 0
+            slo.record("availability", good=1 - bad, bad=bad)
+            slo.record_latency("p99-latency", elapsed_ns)
+            slo.evaluate()
+        return resp
+
+    def record_truth(self, expected_positive: bool, got_positive: bool) -> None:
+        """Ground-truth verdict check from a harness that knows the keys.
+
+        A false negative (expected positive, answered negative) burns
+        the entire zero-false-negative budget instantly.
+        """
+        if self.slo is None:
+            return
+        fn = bool(expected_positive) and not got_positive
+        self.slo.record(
+            "zero-false-negative", good=0 if fn else 1, bad=1 if fn else 0
+        )
+        self.slo.evaluate()
+
+    # ------------------------------------------------------------------
     # read path (delegated to the router)
     # ------------------------------------------------------------------
     def query_range(self, lo: int, hi: int, **kw):
         """Routed scalar range query (see :meth:`ClusterRouter.query_range`)."""
-        return self.router.query_range(lo, hi, **kw)
+        t0 = self.clock.now_ns()
+        resp = self.router.query_range(lo, hi, **kw)
+        return self._observe_slo(resp, self.clock.now_ns() - t0)
 
     def query_range_many(self, ranges, **kw):
         """Routed batch of range queries, one verdict per range."""
-        return self.router.query_range_many(ranges, **kw)
+        t0 = self.clock.now_ns()
+        resp = self.router.query_range_many(ranges, **kw)
+        return self._observe_slo(resp, self.clock.now_ns() - t0)
 
     def query_point(self, key: int, **kw):
         """Routed point query for ``key``."""
-        return self.router.query_point(key, **kw)
+        t0 = self.clock.now_ns()
+        resp = self.router.query_point(key, **kw)
+        return self._observe_slo(resp, self.clock.now_ns() - t0)
 
     def probe_all(self):
         """Probe every replica once (drives down → recovering → healthy)."""
@@ -312,7 +399,20 @@ class FilterCluster:
         rep = self.replica(shard_id, replica_id)
         with self._hint_lock:
             replay = self._hints.pop(rep.name, [])
-            return rep.restart(rebuild=rebuild, replay=replay)
+            tracer, store = get_tracer(), self._store()
+            if not tracer.enabled or store is None:
+                return rep.restart(rebuild=rebuild, replay=replay)
+            # A hint replay is an ops event worth keeping whole: the
+            # trace carries the recovery plus every replayed WAL append.
+            ctx = store.new_context()
+            with tracer.span("cluster.hint_replay") as root:
+                ctx.stamp(root)
+                root.set(replica=rep.name, shard=shard_id, hints=len(replay))
+                report = rep.restart(rebuild=rebuild, replay=replay)
+            store.record(
+                ctx, root, interesting=bool(replay), kind="hint_replay"
+            )
+            return report
 
     def partition_replica(self, shard_id: int, replica_id: int) -> None:
         """Cut a replica off the network (process alive, unreachable)."""
@@ -328,9 +428,23 @@ class FilterCluster:
         """
         rep = self.replica(shard_id, replica_id)
         with self._hint_lock:
-            for key, value in self._hints.pop(rep.name, []):
-                rep.lsm.put(key, value)
-            rep.set_partitioned(False)
+            replay = self._hints.pop(rep.name, [])
+            tracer, store = get_tracer(), self._store()
+            if not tracer.enabled or store is None:
+                for key, value in replay:
+                    rep.lsm.put(key, value)
+                rep.set_partitioned(False)
+                return
+            ctx = store.new_context()
+            with tracer.span("cluster.hint_replay") as root:
+                ctx.stamp(root)
+                root.set(replica=rep.name, shard=shard_id, hints=len(replay))
+                for key, value in replay:
+                    rep.lsm.put(key, value)
+                rep.set_partitioned(False)
+            store.record(
+                ctx, root, interesting=bool(replay), kind="hint_replay"
+            )
 
     def slow_replica(
         self,
@@ -465,6 +579,8 @@ class FilterCluster:
             rep.start()
         self.replicas[sid] = reps
         self.router.add_shard(sid, reps)
+        for rep in reps:
+            self._federate_replica(sid, rep)
         segments = self.map.add_shard(sid)
         moved = [self.migrate_segment(seg, sid) for seg in segments]
         return {
@@ -483,6 +599,12 @@ class FilterCluster:
         view["hints"] = self.hint_backlog()
         view["hints_dropped"] = int(self._c_hints_dropped.value)
         view["keys_accepted"] = self.keys_accepted
+        view["drift"] = self.router.drift_scores()
+        if self.slo is not None:
+            view["slo_active"] = [
+                {"slo": name, "severity": sev}
+                for name, sev in self.slo.active_alerts()
+            ]
         if self.durability:
             view["quarantine"] = self.quarantine_backlog()
         return view

@@ -37,6 +37,8 @@ from repro.cluster.replica import Replica, ReplicaUnreachableError
 from repro.core.errors import TornAppendError, TransientIOError
 from repro.durability.digest import SegmentDigestTree
 from repro.hashing.mix64 import mix64
+from repro.telemetry.context import get_trace_store
+from repro.telemetry.tracing import child_span, get_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.cluster import FilterCluster
@@ -224,8 +226,39 @@ class AntiEntropy:
             if shard_ids is None
             else sorted(shard_ids)
         )
+        tracer = get_tracer()
+        store = (
+            getattr(self.cluster, "trace_store", None) or get_trace_store()
+        )
+        if not tracer.enabled or store is None:
+            self._run_shards(shards, report)
+            return report
+        # Repair traffic carries a trace like any other exchange: the
+        # round's root span holds one child per shard, under which the
+        # repair writes' WAL appends attach.
+        ctx = store.new_context()
+        with tracer.span("cluster.repair") as root:
+            ctx.stamp(root)
+            root.set(round=self._round, shards=len(shards))
+            self._run_shards(shards, report)
+            root.set(
+                refilled=report["quarantine_refilled"],
+                diverged=len(report["segments_diverged"]),
+                pairs_copied=report["pairs_copied"],
+            )
+        acted = bool(
+            report["quarantine_refilled"]
+            or report["segments_diverged"]
+            or report["unrepaired"]
+        )
+        store.record(ctx, root, interesting=acted, kind="repair")
+        return report
+
+    def _run_shards(self, shards, report: dict[str, Any]) -> None:
         for sid in shards:
             reps = self.cluster.replicas[sid]
-            self._refill_quarantine(reps, report)
-            self._digest_pass(reps, report)
-        return report
+            with child_span("repair.shard") as sp:
+                if sp is not None:
+                    sp.set(shard=sid)
+                self._refill_quarantine(reps, report)
+                self._digest_pass(reps, report)

@@ -51,6 +51,8 @@ from repro.storage.env import SimulatedClock, StorageEnv
 from repro.storage.faults import FaultInjector
 from repro.storage.lsm import LSMTree
 from repro.storage.sstable import FilterFactory
+from repro.telemetry.context import TraceContext
+from repro.telemetry.registry import MetricsRegistry
 
 __all__ = ["Replica", "ReplicaUnreachableError"]
 
@@ -142,6 +144,7 @@ class Replica:
         shed_policy: str = "reject-new",
         default_deadline_ns: "int | None" = 50_000_000,
         health: "ReplicaHealth | None" = None,
+        registry: "MetricsRegistry | None" = None,
     ) -> None:
         self.shard_id = shard_id
         self.replica_id = replica_id
@@ -171,11 +174,18 @@ class Replica:
                 persist_filters=True,
                 **self._tree_kwargs,
             )
+        #: The replica's *stable* registry: it outlives every
+        #: :class:`FilterService` incarnation, so counters accumulated
+        #: before a crash stay reachable (and federated) after the
+        #: restart — the restarted service's instruments get-or-create
+        #: onto the same objects, which also rules out double-counting.
+        self.registry = registry if registry is not None else MetricsRegistry()
         self._service_kwargs = dict(
             workers=workers,
             queue_depth=queue_depth,
             shed_policy=shed_policy,
             default_deadline_ns=default_deadline_ns,
+            registry=self.registry,
         )
         self.service: "FilterService | None" = None
         self.health = (
@@ -190,6 +200,31 @@ class Replica:
         self.last_restore_report: "dict | None" = None
         self.crashes = 0
         self.restarts = 0
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Durability gauges on the stable registry (survive restarts).
+
+        The callbacks close over ``self``, not over the tree or service
+        object, so swapping ``self.lsm`` on a durable restart re-homes
+        them automatically.
+        """
+        labels = {"component": "replica"}
+        self.registry.gauge(
+            "replica_wal_lag_records",
+            help="writes since the last checkpoint (WAL replay length)",
+            labels=labels,
+        ).set_fn(self._wal_lag)
+        self.registry.gauge(
+            "replica_quarantine_ranges",
+            help="key ranges quarantined, awaiting anti-entropy",
+            labels=labels,
+        ).set_fn(lambda: float(len(self.quarantined_ranges())))
+
+    def _wal_lag(self) -> float:
+        if not self.durability:
+            return 0.0
+        return float(self.lsm.durability_stats()["ops_since_checkpoint"])
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -316,18 +351,25 @@ class Replica:
             return self.service
 
     def submit_range_batch(
-        self, pairs, *, deadline_ns: "int | None" = None
+        self,
+        pairs,
+        *,
+        deadline_ns: "int | None" = None,
+        ctx: "TraceContext | None" = None,
     ) -> "Future":
         """Async batch of range queries against this replica.
 
         Pieces overlapping a quarantined range are forced positive on
         the settled response — quarantined data may hold the key, so
-        only True is a safe answer there.
+        only True is a safe answer there.  ``ctx`` is the router's
+        propagated trace context, stamped onto the service root span.
         """
         service = self._service_or_raise()
         pairs = [(int(lo), int(hi)) for lo, hi in pairs]
         try:
-            fut = service.submit_range_batch(pairs, deadline_ns=deadline_ns)
+            fut = service.submit_range_batch(
+                pairs, deadline_ns=deadline_ns, ctx=ctx
+            )
         except RuntimeError as exc:
             # The service stopped between the check and the submit
             # (crash races are the whole point of this tier).
@@ -338,13 +380,17 @@ class Replica:
         return _force_positive(fut, forced) if forced else fut
 
     def submit_point(
-        self, key: int, *, deadline_ns: "int | None" = None
+        self,
+        key: int,
+        *,
+        deadline_ns: "int | None" = None,
+        ctx: "TraceContext | None" = None,
     ) -> "Future":
         """Async point query against this replica (quarantine-aware)."""
         service = self._service_or_raise()
         key = int(key)
         try:
-            fut = service.submit_point(key, deadline_ns=deadline_ns)
+            fut = service.submit_point(key, deadline_ns=deadline_ns, ctx=ctx)
         except RuntimeError as exc:
             raise ReplicaUnreachableError(
                 f"{self.name} shut down mid-submit"

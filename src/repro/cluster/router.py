@@ -48,11 +48,19 @@ from dataclasses import dataclass, field
 
 from repro.cluster.replica import Replica, ReplicaUnreachableError
 from repro.cluster.topology import ClusterMap
+from repro.hashing.mix64 import mix64
 from repro.service.admission import ServiceOverloadError
 from repro.service.health import LatencyRecorder
 from repro.storage.env import SimulatedClock
+from repro.telemetry.context import (
+    TraceContext,
+    TraceStore,
+    fmt_trace_id,
+    get_trace_store,
+)
+from repro.telemetry.drift import DriftDetector
 from repro.telemetry.registry import MetricsRegistry
-from repro.telemetry.tracing import child_span
+from repro.telemetry.tracing import child_span, get_tracer
 
 __all__ = ["ClusterRouter", "ClusterResponse", "ShardOutcome"]
 
@@ -120,6 +128,13 @@ class ClusterResponse:
         return any(self.positives)
 
 
+def _interesting(resp: ClusterResponse) -> bool:
+    """Tail-sampling hint: keep traces where routing had to work."""
+    return resp.degraded or any(
+        o.hedged or o.attempts > 1 for o in resp.shards
+    )
+
+
 class ClusterRouter:
     """Scatter/gather router over shard replicas (see module docs).
 
@@ -157,6 +172,8 @@ class ClusterRouter:
         probe_deadline_ns: int = 25_000_000,
         base_deadline_ns: int = 50_000_000,
         per_range_deadline_ns: int = 5_000_000,
+        trace_store: "TraceStore | None" = None,
+        drift_window_ns: int = 2_000_000_000,
     ) -> None:
         for shard_id in cluster_map.ring.shard_ids:
             if not replicas.get(shard_id):
@@ -174,6 +191,10 @@ class ClusterRouter:
         self.probe_deadline_ns = probe_deadline_ns
         self.base_deadline_ns = base_deadline_ns
         self.per_range_deadline_ns = per_range_deadline_ns
+        #: Tail-sampling destination for routed traces (falls back to
+        #: the process-wide store; None + disabled tracer = zero cost).
+        self.trace_store = trace_store
+        self.drift_window_ns = drift_window_ns
         self._lock = threading.Lock()
         self._rotation: dict[int, int] = {sid: 0 for sid in self.replicas}
         #: replica name -> simulated-clock instant its backoff expires.
@@ -209,6 +230,18 @@ class ClusterRouter:
             )
             for sid in self.replicas
         }
+        self._shard_subqueries = {
+            sid: self.registry.counter(
+                "cluster_shard_subqueries",
+                help="sub-queries issued to this shard",
+                labels={"component": "cluster", "shard": str(sid)},
+            )
+            for sid in self.replicas
+        }
+        #: shard -> workload sketcher (PSI drift scoring per shard).
+        self._drift: dict[int, DriftDetector] = {}
+        for sid in self.replicas:
+            self._drift[sid] = self._make_drift(sid)
         for sid, reps in self.replicas.items():
             for rep in reps:
                 self.registry.gauge(
@@ -240,6 +273,27 @@ class ClusterRouter:
             if lo > hi:
                 raise ValueError(f"invalid range [{lo}, {hi}]")
         self._counters["cluster_requests"].inc()
+        ctx, store = self._new_trace(deadline_ns)
+        if ctx is None:
+            return self._route_range_many(pairs, deadline_ns, None, None)
+        tracer = get_tracer()
+        with tracer.span("cluster.query") as root:
+            root.set(kind="range_batch", ranges=len(pairs))
+            ctx.stamp(root)
+            resp = self._route_range_many(pairs, deadline_ns, ctx, store)
+            root.set(degraded=resp.degraded, epoch=resp.epoch)
+        store.record(
+            ctx, root, interesting=_interesting(resp), kind="range_batch"
+        )
+        return resp
+
+    def _route_range_many(
+        self,
+        pairs: "list[tuple[int, int]]",
+        deadline_ns: "int | None",
+        ctx: "TraceContext | None",
+        store: "TraceStore | None",
+    ) -> ClusterResponse:
         epoch = self.map.epoch
         # shard -> list of (range_index, piece_lo, piece_hi)
         plan: dict[int, list[tuple[int, int, int]]] = {}
@@ -247,6 +301,11 @@ class ClusterRouter:
             for segment, plo, phi in self.map.split_range(lo, hi):
                 for shard in self.map.owners(segment):
                     plan.setdefault(shard, []).append((idx, plo, phi))
+        for shard, pieces in plan.items():
+            det = self._drift.get(shard)
+            if det is not None:
+                for _, plo, phi in pieces:
+                    det.observe(plo, phi)
         with child_span("router.scatter") as sp:
             if sp is not None:
                 sp.set(ranges=len(pairs), shards=len(plan), epoch=epoch)
@@ -255,6 +314,8 @@ class ClusterRouter:
                     shard,
                     [(plo, phi) for _, plo, phi in pieces],
                     deadline_ns,
+                    ctx=ctx,
+                    store=store,
                 )
                 for shard, pieces in plan.items()
             ]
@@ -281,11 +342,34 @@ class ClusterRouter:
     ) -> ClusterResponse:
         """Routed point query for ``key`` (single-shard fast path)."""
         self._counters["cluster_requests"].inc()
-        segment = self.map.segment_of(int(key))
+        ctx, store = self._new_trace(deadline_ns)
+        if ctx is None:
+            return self._route_point(int(key), deadline_ns, None, None)
+        tracer = get_tracer()
+        with tracer.span("cluster.query") as root:
+            root.set(kind="point", key=int(key))
+            ctx.stamp(root)
+            resp = self._route_point(int(key), deadline_ns, ctx, store)
+            root.set(degraded=resp.degraded, epoch=resp.epoch)
+        store.record(ctx, root, interesting=_interesting(resp), kind="point")
+        return resp
+
+    def _route_point(
+        self,
+        key: int,
+        deadline_ns: "int | None",
+        ctx: "TraceContext | None",
+        store: "TraceStore | None",
+    ) -> ClusterResponse:
+        segment = self.map.segment_of(key)
         epoch = self.map.epoch
+        for shard in self.map.owners(segment):
+            det = self._drift.get(shard)
+            if det is not None:
+                det.observe_point(key)
         outcomes = [
             self._shard_exchange(
-                shard, int(key), deadline_ns, kind="point"
+                shard, key, deadline_ns, kind="point", ctx=ctx, store=store
             )
             for shard in self.map.owners(segment)
         ]
@@ -300,6 +384,81 @@ class ClusterRouter:
             epoch=epoch,
             shards=outcomes,
         )
+
+    # ------------------------------------------------------------------
+    # trace plumbing
+    # ------------------------------------------------------------------
+    def _new_trace(
+        self, deadline_ns: "int | None"
+    ) -> "tuple[TraceContext | None, TraceStore | None]":
+        """Mint a root trace context, or (None, None) when tracing is off.
+
+        The relative ``deadline_ns`` budget becomes an *absolute*
+        simulated-clock deadline on the context, so downstream hops can
+        compute their remaining budget from their own ``now``.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return None, None
+        store = self.trace_store if self.trace_store is not None else get_trace_store()
+        if store is None:
+            return None, None
+        absolute = (
+            self.clock.now_ns() + deadline_ns if deadline_ns is not None else None
+        )
+        return store.new_context(deadline_ns=absolute), store
+
+    def _attempt_settled(self, span):
+        """Future done-callback: close the attempt (hop) span.
+
+        Stitches the replica's own span tree (carried back on the
+        response) under the hop span — including for losing hedges and
+        abandoned attempts, which settle after the exchange returned.
+        """
+        tracer = get_tracer()
+
+        def _cb(fut: Future) -> None:
+            try:
+                resp = fut.result()
+            except Exception as exc:  # lint: allow[bare-except] — a done-callback must never raise
+                span.set(error=type(exc).__name__, failover=True)
+            else:
+                span.set(reason=resp.reason)
+                if resp.degraded:
+                    span.set(degraded=True)
+                if resp.trace is not None:
+                    span.children.append(resp.trace)
+            tracer.finish(span)
+
+        return _cb
+
+    def drift_scores(self) -> "dict[int, float]":
+        """Latest per-shard PSI drift score (``workload.drift`` gauge)."""
+        return {sid: det.score for sid, det in self._drift.items()}
+
+    def drift_snapshot(self) -> dict:
+        """Full per-shard drift state for dashboards and the tuner."""
+        return {sid: det.snapshot() for sid, det in self._drift.items()}
+
+    def _make_drift(self, shard_id: int) -> DriftDetector:
+        """Build one shard's drift sketcher + instruments (caller stores)."""
+        det = DriftDetector(
+            clock=self.clock,
+            window_ns=self.drift_window_ns,
+            seed=mix64(0x9E3779B97F4A7C15 * (shard_id + 1)),
+        )
+        alerts = self.registry.counter(
+            "workload_drift_alerts",
+            help="drift-score threshold crossings",
+            labels={"component": "cluster", "shard": str(shard_id)},
+        )
+        det.on_alert = lambda score, c=alerts: c.inc()
+        self.registry.gauge(
+            "workload_drift",
+            help="PSI divergence between trailing query-shape windows",
+            labels={"component": "cluster", "shard": str(shard_id)},
+        ).set_fn(lambda d=det: d.score)
+        return det
 
     # ------------------------------------------------------------------
     # per-shard exchange: select → failover → hedge → merge
@@ -349,6 +508,8 @@ class ClusterRouter:
         payload,
         deadline_ns: "int | None",
         kind: str = "batch",
+        ctx: "TraceContext | None" = None,
+        store: "TraceStore | None" = None,
     ) -> ShardOutcome:
         """Get one shard's verdicts, failing over and hedging as needed."""
         n_out = 1 if kind == "point" else len(payload)
@@ -360,40 +521,100 @@ class ClusterRouter:
                 self.base_deadline_ns + self.per_range_deadline_ns * n_out
             )
         self._counters["cluster_subqueries"].inc()
+        counter = self._shard_subqueries.get(shard_id)
+        if counter is not None:
+            counter.inc()
+        with child_span("router.exchange") as xsp:
+            if xsp is not None:
+                xsp.set(shard=shard_id, kind=kind, deadline_ns=deadline_ns)
+            outcome = self._exchange_inner(
+                shard_id, payload, deadline_ns, kind, ctx, store
+            )
+            if xsp is not None:
+                xsp.set(
+                    reason=outcome.reason,
+                    attempts=outcome.attempts,
+                    hedged=outcome.hedged,
+                )
+                if outcome.degraded:
+                    xsp.set(degraded=True)
+        return outcome
+
+    def _exchange_inner(
+        self,
+        shard_id: int,
+        payload,
+        deadline_ns: int,
+        kind: str,
+        ctx: "TraceContext | None",
+        store: "TraceStore | None",
+    ) -> ShardOutcome:
+        n_out = 1 if kind == "point" else len(payload)
         candidates = self._candidates(shard_id)
         if self.max_attempts is not None:
             candidates = candidates[: self.max_attempts]
         queue = iter(candidates)
         pending: dict[Future, Replica] = {}
+        attempt_spans: "dict[Future, object]" = {}
         hedge_future: "Future | None" = None
         attempts = 0
         hedged = False
         fallback: "ShardOutcome | None" = None
+        tracer = get_tracer()
 
         def launch() -> "Replica | None":
-            """Submit to the next viable candidate; returns it or None."""
+            """Submit to the next viable candidate; returns it or None.
+
+            When tracing, every submission — including ones that fail
+            over before a future exists — gets a ``router.attempt`` hop
+            span, and the replica receives a child ``TraceContext`` so
+            its own span tree carries this trace's id.
+            """
             nonlocal attempts
             for rep in queue:
+                a_span = None
+                child_ctx = None
+                if ctx is not None and store is not None:
+                    span_id = store.next_span_id()
+                    a_span = tracer.start_span("router.attempt")
+                    a_span.set(
+                        replica=rep.name,
+                        shard=shard_id,
+                        span_id=span_id,
+                        hedge=hedged,
+                    )
+                    child_ctx = ctx.child(
+                        span_id,
+                        deadline_ns=self.clock.now_ns() + deadline_ns,
+                    )
+                kwargs = {"deadline_ns": deadline_ns}
+                if child_ctx is not None:
+                    kwargs["ctx"] = child_ctx
                 try:
                     if kind == "point":
-                        fut = rep.submit_point(
-                            payload, deadline_ns=deadline_ns
-                        )
+                        fut = rep.submit_point(payload, **kwargs)
                     else:
-                        fut = rep.submit_range_batch(
-                            payload, deadline_ns=deadline_ns
-                        )
+                        fut = rep.submit_range_batch(payload, **kwargs)
                 except ReplicaUnreachableError:
+                    if a_span is not None:
+                        a_span.set(error="unreachable", failover=True)
+                        tracer.finish(a_span)
                     rep.health.record_failure()
                     self._counters["cluster_failovers"].inc()
                     continue
                 except ServiceOverloadError as exc:
+                    if a_span is not None:
+                        a_span.set(error="overload", failover=True)
+                        tracer.finish(a_span)
                     self._note_backoff(rep, exc.retry_after_ns)
                     rep.health.record_failure()
                     self._counters["cluster_failovers"].inc()
                     continue
                 attempts += 1
                 pending[fut] = rep
+                if a_span is not None:
+                    attempt_spans[fut] = a_span
+                    fut.add_done_callback(self._attempt_settled(a_span))
                 return rep
             return None
 
@@ -432,8 +653,14 @@ class ClusterRouter:
                 if not resp.degraded:
                     rep.health.record_success()
                     self._latency[shard_id].record(max(0, resp.wall_ns))
-                    if hedged and fut is hedge_future:
+                    won_by_hedge = hedged and fut is hedge_future
+                    if won_by_hedge:
                         self._counters["cluster_hedge_wins"].inc()
+                    w_span = attempt_spans.get(fut)
+                    if w_span is not None:
+                        w_span.set(winner=True)
+                        if won_by_hedge:
+                            w_span.set(hedge_win=True)
                     positives = self._read_repair(
                         shard_id, rep, positives, pending, kind
                     )
@@ -547,6 +774,12 @@ class ClusterRouter:
             help="degraded/unreachable merges for this shard",
             labels={"component": "cluster", "shard": str(shard_id)},
         )
+        sub_counter = self.registry.counter(
+            "cluster_shard_subqueries",
+            help="sub-queries issued to this shard",
+            labels={"component": "cluster", "shard": str(shard_id)},
+        )
+        det = self._make_drift(shard_id)
         with self._lock:
             if shard_id in self.replicas:
                 raise ValueError(f"shard {shard_id} already registered")
@@ -554,6 +787,8 @@ class ClusterRouter:
             self._rotation[shard_id] = 0
             self._latency[shard_id] = LatencyRecorder(seed=shard_id)
             self._shard_degraded[shard_id] = counter
+            self._shard_subqueries[shard_id] = sub_counter
+            self._drift[shard_id] = det
         for rep in replicas:
             self.registry.gauge(
                 "cluster_replica_health",

@@ -50,6 +50,7 @@ from repro.storage.lsm import LSMTree
 from repro.storage.manifest import ManifestRecord
 from repro.storage.memtable import TOMBSTONE
 from repro.storage.sstable import SSTable
+from repro.telemetry.tracing import child_span
 
 __all__ = ["DurableLSM", "TableDataRecord"]
 
@@ -255,6 +256,10 @@ class DurableLSM(LSMTree):
     # ------------------------------------------------------------------
     def checkpoint(self) -> dict[str, Any]:
         """Write a crash-consistent snapshot; prune blobs; truncate WAL."""
+        with child_span("lsm.checkpoint") as _ckpt_span:
+            return self._checkpoint_inner(_ckpt_span)
+
+    def _checkpoint_inner(self, ckpt_span) -> dict[str, Any]:
         with self._lock:
             wal_lsn = self.wal.safe_lsn()
             mem: dict[int, Any] = {}
@@ -307,6 +312,12 @@ class DurableLSM(LSMTree):
             self._last_ckpt_lsn = wal_lsn
             self._ops_since_checkpoint = 0
         truncated = self.wal.truncate_through(slack_lsn)
+        if ckpt_span is not None:
+            ckpt_span.set(
+                wal_lsn=wal_lsn,
+                tables=len(tables_meta),
+                memtable_pairs=len(mem_pairs),
+            )
         return {
             "blob": blob_name,
             "wal_lsn": wal_lsn,

@@ -33,6 +33,7 @@ from typing import Any
 from repro.core.errors import FilterCorruptionError, TransientIOError
 from repro.core.serialize import checksum
 from repro.durability.durable_lsm import DurableLSM
+from repro.telemetry.tracing import child_span
 
 __all__ = ["Scrubber"]
 
@@ -64,6 +65,17 @@ class Scrubber:
         repairable finding is fixed in the same pass and re-validated
         counts appear under ``repaired_local``.
         """
+        with child_span("lsm.scrub") as sp:
+            report = self._scrub_inner(repair=repair)
+            if sp is not None:
+                sp.set(
+                    blobs_checked=report["blobs_checked"],
+                    rot_detected=report["rot_detected"],
+                    repaired_local=report["repaired_local"],
+                )
+            return report
+
+    def _scrub_inner(self, *, repair: bool) -> dict[str, Any]:
         report: dict[str, Any] = {
             "blobs_checked": 0,
             "rot_detected": 0,

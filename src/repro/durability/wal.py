@@ -43,6 +43,7 @@ from repro.durability.codec import (
     peek_lsn,
 )
 from repro.storage.env import StorageEnv
+from repro.telemetry.tracing import child_span
 
 __all__ = ["WriteAheadLog", "ReplayResult"]
 
@@ -182,19 +183,24 @@ class WriteAheadLog:
             self._pending = []
             data = b"".join(fragment for _, fragment in batch)
             lsns = [lsn for lsn, _ in batch]
-            for attempt in (0, 1):
-                name = self._segment_name(self._seq)
-                try:
-                    self.env.append_blob(name, data)
-                except TornAppendError:
-                    self._c_torn.inc()
-                    self._seal_locked()
-                    if attempt == 1:
-                        for lsn in lsns:
-                            self._inflight.discard(lsn)
-                        raise
-                    continue
-                break
+            with child_span("wal.append") as sp:
+                if sp is not None:
+                    sp.set(log=self.name, records=len(lsns))
+                for attempt in (0, 1):
+                    name = self._segment_name(self._seq)
+                    try:
+                        self.env.append_blob(name, data)
+                    except TornAppendError:
+                        self._c_torn.inc()
+                        self._seal_locked()
+                        if sp is not None:
+                            sp.set(torn=True)
+                        if attempt == 1:
+                            for lsn in lsns:
+                                self._inflight.discard(lsn)
+                            raise
+                        continue
+                    break
             self._last_synced = lsns[-1]
             self._records_in_segment += len(lsns)
             self._c_records.inc(len(lsns))

@@ -5,7 +5,8 @@ Two guardrails for invariants the test suite cannot see:
 * :mod:`repro.lint.engine` + :mod:`repro.lint.rules` — an AST-based
   lint engine with project-specific rules (wall-clock usage in
   simulated paths, unseeded RNGs, negative answers on degraded paths,
-  lock discipline, bare excepts, mutable default args), a checked-in
+  lock discipline, leaked tracer spans, bare excepts, mutable default
+  args), a checked-in
   baseline for grandfathered findings and ``# lint: allow[rule]``
   pragmas for intentional exceptions.  Run via ``python -m repro lint``
   or ``make lint``.

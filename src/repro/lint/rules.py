@@ -13,6 +13,10 @@ rests on but that no test can economically observe:
   no-false-negative guarantee, PAPER.md §III).
 * ``lock-discipline`` — classes that own a lock mutate their shared
   ``self._*`` state only while holding it.
+* ``span-leak`` — every ``Tracer.start_span``/``attach`` in ``cluster/``
+  and ``service/`` is closed on all paths; an unfinished span never
+  reaches the trace store, so the leak shows up as a silently truncated
+  trace, not an error.
 * ``bare-except`` / ``mutable-default-arg`` — general hygiene.
 """
 
@@ -28,6 +32,7 @@ __all__ = [
     "UnseededRngRule",
     "OneSidedErrorRule",
     "LockDisciplineRule",
+    "SpanLeakRule",
     "BareExceptRule",
     "MutableDefaultArgRule",
     "DEFAULT_RULES",
@@ -456,6 +461,161 @@ class LockDisciplineRule(Rule):
                     )
 
 
+class SpanLeakRule(Rule):
+    """``Tracer.start_span``/``attach`` results that are never closed.
+
+    ``start_span`` hands back a span the caller now *owns*: it must be
+    finished on every path — ``tracer.finish(span)``, handed to a
+    callback or container whose consumer finishes it, or returned so
+    the caller takes over.  A span that simply falls off the end of a
+    function is never stamped and never reaches the trace store, so the
+    leak surfaces as a silently truncated trace rather than an error.
+    ``Tracer.attach`` is a context manager; calling it outside a
+    ``with`` block builds the generator and never attaches (or pops),
+    so child spans land under the wrong parent.
+
+    Scoped to ``cluster/`` and ``service/`` — the trees where spans
+    cross threads and replicas and the ``with tracer.span(...)`` idiom
+    is not always available.  Cross-function lifecycles this local
+    analysis cannot prove (a span parked on a request object, finished
+    by whoever drains the queue) are flagged and carried in the
+    baseline, or pragma'd where the hand-off is the design.
+    """
+
+    name = "span-leak"
+
+    SCOPES = ("cluster", "service")
+
+    def applies_to(self, path: str) -> bool:
+        """Only the span-handoff-heavy trees (see ``SCOPES``)."""
+        return self.path_has_segment(path, *self.SCOPES)
+
+    @staticmethod
+    def _is_tracer(recv: ast.expr) -> bool:
+        """Receiver looks like a Tracer — ``tracer``, ``self._tracer``
+        or ``get_tracer()`` — so e.g. ``FederatedRegistry.attach`` and
+        other same-named methods stay out of scope."""
+        if isinstance(recv, ast.Call):
+            dotted = _dotted(recv.func)
+            return (
+                dotted is not None
+                and dotted.split(".")[-1] == "get_tracer"
+            )
+        dotted = _dotted(recv)
+        return (
+            dotted is not None
+            and "tracer" in dotted.split(".")[-1].lower()
+        )
+
+    @staticmethod
+    def _escapes(scope: ast.AST, binder: ast.AST, name: str) -> bool:
+        """Does local ``name`` leave ``scope`` after ``binder`` binds it?
+
+        Escape means ownership moved somewhere this analysis cannot
+        follow — passed as a call argument (``tracer.finish(span)``,
+        a done-callback factory), stored to an attribute/subscript,
+        returned or yielded.  ``span.set(...)`` method calls are *not*
+        escapes: the span is the receiver there, not an argument.
+        """
+        for node in ast.walk(scope):
+            if node is binder:
+                continue
+            values: list[ast.expr] = []
+            if isinstance(node, ast.Call):
+                values = list(node.args) + [
+                    kw.value for kw in node.keywords
+                ]
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    values = [node.value]
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                if node.value is not None:
+                    values = [node.value]
+            for value in values:
+                for sub in ast.walk(value):
+                    if isinstance(sub, ast.Name) and sub.id == name:
+                        return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Flag leaked ``start_span`` results and non-``with`` ``attach``."""
+        for node in _walk_with_parents(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            if not self._is_tracer(func.value):
+                continue
+            if func.attr == "attach":
+                yield from self._check_attach(ctx, node)
+            elif func.attr == "start_span":
+                yield from self._check_start_span(ctx, node)
+
+    def _check_attach(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        parent = getattr(node, "_lint_parent", None)
+        if isinstance(parent, ast.withitem):
+            return
+        yield ctx.finding(
+            self,
+            node,
+            "Tracer.attach() outside a 'with' block never attaches (or "
+            "detaches) the span; use 'with tracer.attach(span):'",
+        )
+
+    def _check_start_span(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        parent = getattr(node, "_lint_parent", None)
+        if isinstance(parent, ast.Expr):
+            yield ctx.finding(
+                self,
+                node,
+                "start_span() result discarded — the span can never be "
+                "finished; use 'with tracer.span(...)' or bind and "
+                "finish it on every path",
+            )
+            return
+        if not isinstance(parent, ast.Assign) or len(parent.targets) != 1:
+            # Returned / passed straight to another call: ownership
+            # moves with the value; the consumer is accountable.
+            return
+        target = parent.targets[0]
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            where = _dotted(target) or "a container"
+            yield ctx.finding(
+                self,
+                node,
+                f"start_span() result parked on {where}; the finish is "
+                f"a cross-function lifecycle this rule cannot prove — "
+                f"close it on every path, or carry the site in the "
+                f"baseline/pragma if the hand-off is the design",
+            )
+            return
+        if not isinstance(target, ast.Name):
+            return
+        scope: ast.AST = next(
+            (
+                a
+                for a in _ancestors(parent)
+                if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ),
+            ctx.tree,
+        )
+        if self._escapes(scope, parent, target.id):
+            return
+        owner = getattr(scope, "name", "<module>")
+        yield ctx.finding(
+            self,
+            node,
+            f"span '{target.id}' from start_span() is never finished, "
+            f"stored or returned on any path in {owner}; every path "
+            f"must reach tracer.finish() or hand the span off",
+        )
+
+
 class BareExceptRule(Rule):
     """``except:`` — and overbroad ``except Exception`` that swallows.
 
@@ -555,6 +715,7 @@ def make_default_rules() -> list[Rule]:
         UnseededRngRule(),
         OneSidedErrorRule(),
         LockDisciplineRule(),
+        SpanLeakRule(),
         BareExceptRule(),
         MutableDefaultArgRule(),
     ]

@@ -49,6 +49,7 @@ from repro.service.deadline import Deadline
 from repro.service.health import ServiceStats
 from repro.storage.env import SimulatedClock
 from repro.storage.lsm import LSMTree
+from repro.telemetry.context import TraceContext
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.tracing import Span, get_tracer
 
@@ -311,28 +312,41 @@ class FilterService:
     # submission
     # ------------------------------------------------------------------
     def submit_range(
-        self, lo: int, hi: int, *, deadline_ns: "int | None" = None
+        self,
+        lo: int,
+        hi: int,
+        *,
+        deadline_ns: "int | None" = None,
+        ctx: "TraceContext | None" = None,
     ) -> "Future[ServiceResponse]":
         """Async range-membership query: is any live key in ``[lo, hi]``?"""
         if lo > hi:
             raise ValueError(f"invalid range [{lo}, {hi}]")
-        return self._submit("range", (int(lo), int(hi)), deadline_ns)
+        return self._submit("range", (int(lo), int(hi)), deadline_ns, ctx)
 
     def submit_range_batch(
-        self, ranges, *, deadline_ns: "int | None" = None
+        self,
+        ranges,
+        *,
+        deadline_ns: "int | None" = None,
+        ctx: "TraceContext | None" = None,
     ) -> "Future[ServiceResponse]":
         """Async batch of range queries (one response, one bool each)."""
         pairs = [(int(lo), int(hi)) for lo, hi in ranges]
         for lo, hi in pairs:
             if lo > hi:
                 raise ValueError(f"invalid range [{lo}, {hi}]")
-        return self._submit("range_batch", pairs, deadline_ns)
+        return self._submit("range_batch", pairs, deadline_ns, ctx)
 
     def submit_point(
-        self, key: int, *, deadline_ns: "int | None" = None
+        self,
+        key: int,
+        *,
+        deadline_ns: "int | None" = None,
+        ctx: "TraceContext | None" = None,
     ) -> "Future[ServiceResponse]":
         """Async point-membership query."""
-        return self._submit("point", int(key), deadline_ns)
+        return self._submit("point", int(key), deadline_ns, ctx)
 
     def query_range(self, lo: int, hi: int, **kw) -> ServiceResponse:
         """Blocking :meth:`submit_range`."""
@@ -347,7 +361,11 @@ class FilterService:
         return self.submit_point(key, **kw).result()
 
     def _submit(
-        self, kind: str, payload: object, deadline_ns: "int | None"
+        self,
+        kind: str,
+        payload: object,
+        deadline_ns: "int | None",
+        ctx: "TraceContext | None" = None,
     ) -> "Future[ServiceResponse]":
         if not self._started:
             raise RuntimeError("service is not running (call start())")
@@ -372,6 +390,14 @@ class FilterService:
                 payload=payload,
                 deadline_ns=budget if budget is not None else "none",
             )
+            if ctx is not None:
+                # Propagated hop: record the caller's (trace, span) ids
+                # and the budget the context says we inherited, so the
+                # cross-replica tree re-assembles from ids alone.
+                ctx.stamp(req.span)
+                inherited = ctx.budget_ns(self.clock.now_ns())
+                if inherited is not None:
+                    req.span.set(budget_ns=inherited)
         self.stats.bump(submitted=1)
         try:
             evicted = self.queue.put(

@@ -14,8 +14,32 @@ The observability substrate for the whole repository (DESIGN.md §9):
   span, fetch-cache hit ratio, serialize timings).
 * :mod:`repro.telemetry.profiler` — the ``REPRO_PROFILE=1`` sampling
   profiler hook that lands per-phase breakdowns in bench JSON.
+
+Cluster-scale pieces (DESIGN.md §14), sharing the same span/metric
+model:
+
+* :mod:`repro.telemetry.context` — ``TraceContext`` propagation across
+  router→replica exchanges and the tail-sampling ``TraceStore``.
+* :mod:`repro.telemetry.federation` — ``FederatedRegistry`` merging
+  every replica registry into one labeled namespace; ``ClusterTop``.
+* :mod:`repro.telemetry.slo` — declarative SLOs with multi-window
+  burn-rate alerting on the simulated clock.
+* :mod:`repro.telemetry.drift` — per-shard workload sketches scored
+  with a PSI-style divergence between trailing windows.
 """
 
+from repro.telemetry.context import (
+    TraceContext,
+    TraceStore,
+    get_trace_store,
+    install_trace_store,
+)
+from repro.telemetry.drift import DEFAULT_DRIFT_THRESHOLD, DriftDetector
+from repro.telemetry.federation import (
+    ClusterTop,
+    FederatedRegistry,
+    stratified_percentile,
+)
 from repro.telemetry.instrument import Instrumented
 from repro.telemetry.profiler import PhaseProfiler, get_profiler, profile_phase
 from repro.telemetry.registry import (
@@ -29,6 +53,7 @@ from repro.telemetry.registry import (
     percentile,
     set_global_registry,
 )
+from repro.telemetry.slo import BurnRule, SLOEngine, SLOSpec, default_cluster_slos
 from repro.telemetry.tracing import (
     Span,
     Tracer,
@@ -58,4 +83,17 @@ __all__ = [
     "PhaseProfiler",
     "get_profiler",
     "profile_phase",
+    "TraceContext",
+    "TraceStore",
+    "get_trace_store",
+    "install_trace_store",
+    "FederatedRegistry",
+    "ClusterTop",
+    "stratified_percentile",
+    "SLOSpec",
+    "SLOEngine",
+    "BurnRule",
+    "default_cluster_slos",
+    "DriftDetector",
+    "DEFAULT_DRIFT_THRESHOLD",
 ]

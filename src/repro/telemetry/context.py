@@ -1,0 +1,292 @@
+"""Distributed trace propagation: contexts, span ids, tail-sampled store.
+
+PR 4's tracer covers one process; the cluster tier routes a query
+through a router thread, per-replica service workers, WAL writers and
+repair jobs — so a trace must *propagate*.  The unit of propagation is
+:class:`TraceContext`: an immutable (trace_id, parent span_id, deadline
+budget, sampling decision) tuple the router mints once per routed
+request and hands down every exchange — primaries, failover retries,
+hedges, hinted-handoff replays and anti-entropy traffic alike.  The
+callee stamps the ids onto its own root span, which the caller stitches
+back into its attempt span when the reply (or the losing hedge, later)
+settles, yielding one tree per trace id.
+
+Completed trees land in a :class:`TraceStore` ring buffer with **tail
+sampling**: the keep/drop decision is taken at the *end* of the trace,
+so anything interesting — an error, a degraded merge, a deadline miss,
+a hedge win, a failover — is always kept, while boring traces survive
+only at the seeded head-sampling rate carried in the context.  Two runs
+with the same seed keep the same boring traces.
+
+Everything here is allocation-free when the tracer is disabled: the
+router only mints contexts under ``tracer.enabled``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.hashing.mix64 import mix64
+
+from .tracing import Span, format_tree
+
+__all__ = [
+    "TraceContext",
+    "TraceStore",
+    "get_trace_store",
+    "install_trace_store",
+    "fmt_trace_id",
+]
+
+#: Attribute values of ``reason`` that mark a span as healthy; anything
+#: else (deadline, shed, breaker_open, crash, ...) makes its trace
+#: interesting and therefore always tail-sampled.
+_OK_REASONS = frozenset({None, "", "ok"})
+
+
+def fmt_trace_id(trace_id: int) -> str:
+    """Canonical 16-hex-digit rendering of a trace id."""
+    return f"{trace_id & ((1 << 64) - 1):016x}"
+
+
+def parse_trace_id(text: "str | int") -> int:
+    """Accept either the canonical hex form or a bare integer."""
+    if isinstance(text, int):
+        return text
+    return int(text, 16)
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """Immutable propagation envelope for one hop of one trace.
+
+    ``span_id`` is the *caller's* span id — the callee records it as
+    ``parent_span_id`` so trees re-assemble from ids alone even though
+    the in-process transport also stitches span objects structurally.
+    ``deadline_ns`` is the absolute simulated-clock deadline the callee
+    inherits (its remaining budget is ``deadline_ns - now``); ``sampled``
+    is the seeded head-sampling decision tail-sampling falls back to.
+    """
+
+    trace_id: int
+    span_id: int
+    deadline_ns: "int | None"
+    sampled: bool
+
+    def child(
+        self, span_id: int, deadline_ns: "int | None" = None
+    ) -> "TraceContext":
+        """The context to hand one hop down: new parent span id, and a
+        (possibly tightened) deadline budget."""
+        return TraceContext(
+            self.trace_id,
+            span_id,
+            self.deadline_ns if deadline_ns is None else deadline_ns,
+            self.sampled,
+        )
+
+    def budget_ns(self, now_ns: int) -> "int | None":
+        """Remaining deadline budget at ``now_ns`` (simulated clock)."""
+        if self.deadline_ns is None:
+            return None
+        return self.deadline_ns - now_ns
+
+    def stamp(self, span: Span) -> Span:
+        """Record the propagation ids on a callee-side span."""
+        span.set(
+            trace_id=fmt_trace_id(self.trace_id),
+            parent_span_id=self.span_id,
+        )
+        return span
+
+
+class TraceStore:
+    """Seeded, tail-sampling ring buffer of completed trace trees.
+
+    ``new_context`` mints root contexts (trace id + head-sampling draw)
+    deterministically from the seed; ``record`` applies the tail
+    decision: keep every trace whose tree (or recorded outcome) is
+    interesting — error, degraded, deadline miss, hedge win, failover —
+    and otherwise keep only head-sampled traces.  The ring holds the
+    newest ``cap`` kept traces.
+    """
+
+    #: Odd increment for the trace-id stream (splitmix64 golden gamma).
+    _GAMMA = 0x9E3779B97F4A7C15
+
+    def __init__(
+        self, cap: int = 256, seed: int = 0, sample_rate: float = 0.05
+    ) -> None:
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.cap = cap
+        self.seed = seed
+        self.sample_rate = sample_rate
+        self._lock = threading.Lock()
+        self._next_trace = 0
+        self._next_span = 0
+        #: insertion-ordered trace_id -> record; oldest evicted first.
+        self._ring: dict[int, dict] = {}
+        self.traces_started = 0
+        self.traces_recorded = 0
+        self.kept_interesting = 0
+        self.kept_sampled = 0
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # context + id minting
+    # ------------------------------------------------------------------
+    def new_context(self, deadline_ns: "int | None" = None) -> TraceContext:
+        """Mint a fresh root context (deterministic under the seed)."""
+        with self._lock:
+            self._next_trace += 1
+            n = self._next_trace
+            self.traces_started += 1
+        trace_id = mix64((self.seed + n * self._GAMMA) & ((1 << 64) - 1))
+        # Seeded head-sampling: derive the draw from the trace id itself
+        # so the decision replays without a shared RNG stream.
+        draw = mix64(trace_id ^ self._GAMMA) / float(1 << 64)
+        return TraceContext(
+            trace_id=trace_id,
+            span_id=0,
+            deadline_ns=deadline_ns,
+            sampled=draw < self.sample_rate,
+        )
+
+    def next_span_id(self) -> int:
+        """Process-unique span id for caller-side hop spans."""
+        with self._lock:
+            self._next_span += 1
+            return self._next_span
+
+    # ------------------------------------------------------------------
+    # tail sampling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_interesting(span: Span) -> bool:
+        """Depth-first scan for anything worth always keeping."""
+        attrs = span.attrs
+        if attrs:
+            if attrs.get("error"):
+                return True
+            if attrs.get("degraded") is True:
+                return True
+            if attrs.get("hedge_win") or attrs.get("winner") == "hedge":
+                return True
+            if attrs.get("failover"):
+                return True
+            if attrs.get("deadline_missed"):
+                return True
+            if attrs.get("reason") not in _OK_REASONS:
+                return True
+        return any(TraceStore.is_interesting(c) for c in span.children)
+
+    def record(
+        self,
+        ctx: TraceContext,
+        root: Span,
+        *,
+        interesting: bool = False,
+        kind: str = "",
+    ) -> bool:
+        """Apply the tail decision for a finished trace; True if kept.
+
+        ``interesting`` lets the caller pass outcome knowledge the tree
+        may not carry yet (e.g. a losing hedge that has not settled).
+        """
+        keep_interesting = interesting or self.is_interesting(root)
+        keep = keep_interesting or ctx.sampled
+        with self._lock:
+            self.traces_recorded += 1
+            if not keep:
+                self.dropped += 1
+                return False
+            if keep_interesting:
+                self.kept_interesting += 1
+            else:
+                self.kept_sampled += 1
+            self._ring[ctx.trace_id] = {
+                "trace_id": ctx.trace_id,
+                "kind": kind,
+                "interesting": keep_interesting,
+                "sampled": ctx.sampled,
+                "root": root,
+            }
+            while len(self._ring) > self.cap:
+                oldest = next(iter(self._ring))
+                del self._ring[oldest]
+        return True
+
+    # ------------------------------------------------------------------
+    # retrieval
+    # ------------------------------------------------------------------
+    def get(self, trace_id: "int | str") -> "Span | None":
+        """Root span of a kept trace, by id (int or hex), or None."""
+        key = parse_trace_id(trace_id)
+        with self._lock:
+            rec = self._ring.get(key)
+            return None if rec is None else rec["root"]
+
+    def trace_ids(self) -> list[str]:
+        """Hex ids of kept traces, oldest first."""
+        with self._lock:
+            return [fmt_trace_id(t) for t in self._ring]
+
+    def records(self) -> list[dict]:
+        """Shallow copies of the kept records, oldest first."""
+        with self._lock:
+            return [dict(rec) for rec in self._ring.values()]
+
+    def find(self, span_name: str) -> "Span | None":
+        """Newest kept trace containing a span named ``span_name``."""
+        with self._lock:
+            recs = list(self._ring.values())
+        for rec in reversed(recs):
+            if rec["root"].find(span_name) is not None:
+                return rec["root"]
+        return None
+
+    def format(self, trace_id: "int | str") -> str:
+        """Render the cross-replica tree (per-hop wall + sim timings)."""
+        root = self.get(trace_id)
+        if root is None:
+            return f"trace {trace_id} not found (evicted or never kept)"
+        return format_tree(root)
+
+    def stats(self) -> dict:
+        """Sampling accounting (the trace-smoke CLI prints this)."""
+        with self._lock:
+            return {
+                "started": self.traces_started,
+                "recorded": self.traces_recorded,
+                "kept": len(self._ring),
+                "kept_interesting": self.kept_interesting,
+                "kept_sampled": self.kept_sampled,
+                "dropped": self.dropped,
+                "cap": self.cap,
+                "sample_rate": self.sample_rate,
+            }
+
+    def clear(self) -> None:
+        """Drop every kept trace (bench phase isolation)."""
+        with self._lock:
+            self._ring.clear()
+
+
+#: Process-wide store; None until a cluster/CLI installs one, so the
+#: disabled path stays a single global load.
+_STORE: "TraceStore | None" = None
+
+
+def get_trace_store() -> "TraceStore | None":
+    """The process-wide trace store, or None when tracing is local-only."""
+    return _STORE
+
+
+def install_trace_store(store: "TraceStore | None") -> "TraceStore | None":
+    """Install (or clear, with None) the process-wide store; returns the
+    previous one so tests can restore it."""
+    global _STORE
+    old, _STORE = _STORE, store
+    return old

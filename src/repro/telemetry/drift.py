@@ -1,0 +1,198 @@
+"""Workload drift detection: PSI between trailing windows.
+
+The future Proteus-style auto-tuner (ROADMAP) needs a sensory input:
+*has the query distribution moved since the filters were designed?*
+This module answers with a Population-Stability-Index-style score per
+shard, computed from three cheap sketches of the routed query stream:
+
+* **range width** — log2-spaced histogram of ``hi - lo`` (the quantity
+  REncoder's stored-levels tradeoff is tuned to);
+* **key locality** — histogram over the top address bits of ``lo``
+  (correlated workloads concentrate here, uniform ones spread);
+* **point/range mix** — the two-bucket fraction that separates PO-
+  from SE-favoring workloads (paper Fig. 9).
+
+Observations accumulate into the *current* window; when a window
+closes (``window_ns`` of simulated time, or an explicit ``rotate()``),
+it is compared against the previous completed window:
+
+    PSI = sum_i (p_i - q_i) * ln(p_i / q_i)
+
+with Laplace smoothing so empty buckets stay finite.  The final score
+is the max over the three dimensions — a shift in *any* of them is a
+shift.  By the usual reading, < 0.1 is stable, 0.1–0.25 is moderate,
+and > 0.25 (the default alert threshold) is a population shift.
+
+A seeded reservoir of raw (lo, width) pairs rides along per window so
+the tuner can re-derive finer statistics than the fixed buckets hold.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable
+
+from .registry import Reservoir
+
+__all__ = ["DriftDetector", "psi", "DEFAULT_DRIFT_THRESHOLD"]
+
+#: PSI above this is "population shifted" — the alert threshold.
+DEFAULT_DRIFT_THRESHOLD = 0.25
+
+_WIDTH_BUCKETS = 17  # log2 width 0..63 folded into 16 + point bucket
+_LOCALITY_BITS = 4  # 16 locality buckets over the top address bits
+
+
+def psi(p_counts: "list[int]", q_counts: "list[int]", eps: float = 0.5) -> float:
+    """Smoothed Population Stability Index between two count vectors."""
+    if len(p_counts) != len(q_counts):
+        raise ValueError("count vectors must have equal length")
+    k = len(p_counts)
+    p_total = sum(p_counts) + eps * k
+    q_total = sum(q_counts) + eps * k
+    score = 0.0
+    for pc, qc in zip(p_counts, q_counts):
+        p = (pc + eps) / p_total
+        q = (qc + eps) / q_total
+        score += (p - q) * math.log(p / q)
+    return score
+
+
+class _Window:
+    __slots__ = ("start_ns", "width", "locality", "mix", "n", "reservoir")
+
+    def __init__(self, start_ns: int, seed: int) -> None:
+        self.start_ns = start_ns
+        self.width = [0] * _WIDTH_BUCKETS
+        self.locality = [0] * (1 << _LOCALITY_BITS)
+        self.mix = [0, 0]  # [point, range]
+        self.n = 0
+        self.reservoir = Reservoir(cap=256, seed=seed)
+
+
+class DriftDetector:
+    """Per-shard query-shape sketcher with windowed PSI scoring."""
+
+    def __init__(
+        self,
+        *,
+        clock=None,
+        window_ns: int = 2_000_000_000,
+        key_bits: int = 64,
+        min_samples: int = 64,
+        threshold: float = DEFAULT_DRIFT_THRESHOLD,
+        seed: int = 0,
+        on_alert: "Callable[[float], None] | None" = None,
+    ) -> None:
+        self.clock = clock
+        self.window_ns = window_ns
+        self.key_bits = key_bits
+        self.min_samples = min_samples
+        self.threshold = threshold
+        self.seed = seed
+        self.on_alert = on_alert
+        self._lock = threading.Lock()
+        self._shift = max(0, key_bits - _LOCALITY_BITS)
+        now = clock.now_ns() if clock is not None else 0
+        self._cur = _Window(now, seed)
+        self._prev: "_Window | None" = None
+        self._score = 0.0
+        self._dims: dict[str, float] = {}
+        self.windows_closed = 0
+        self.alert_count = 0
+        self.alerting = False
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def observe(self, lo: int, hi: int) -> None:
+        """Record one range query [lo, hi] into the current window."""
+        width = hi - lo
+        with self._lock:
+            w = self._cur
+            if width <= 0:
+                w.width[0] += 1
+                w.mix[0] += 1
+            else:
+                w.width[min(width.bit_length(), _WIDTH_BUCKETS - 1)] += 1
+                w.mix[1] += 1
+            w.locality[(lo >> self._shift) & ((1 << _LOCALITY_BITS) - 1)] += 1
+            w.n += 1
+            w.reservoir.add(float(width))
+            if (
+                self.clock is not None
+                and self.clock.now_ns() - w.start_ns >= self.window_ns
+            ):
+                self._rotate_locked()
+
+    def observe_point(self, key: int) -> None:
+        """Record one point query."""
+        self.observe(key, key)
+
+    # ------------------------------------------------------------------
+    # windowing
+    # ------------------------------------------------------------------
+    def rotate(self) -> float:
+        """Close the current window, score it against the previous one."""
+        with self._lock:
+            self._rotate_locked()
+            return self._score
+
+    def _rotate_locked(self) -> None:
+        """Close/score the current window (lock held)."""
+        cur, prev = self._cur, self._prev
+        now = self.clock.now_ns() if self.clock is not None else 0
+        self._cur = _Window(now, self.seed + self.windows_closed + 1)
+        self.windows_closed += 1
+        if cur.n == 0:
+            # An idle window carries no evidence either way; keep the
+            # last populated window as the comparison base.
+            return
+        self._prev = cur
+        if prev is None or prev.n < self.min_samples or cur.n < self.min_samples:
+            return
+        dims = {
+            "width": psi(cur.width, prev.width),
+            "locality": psi(cur.locality, prev.locality),
+            "mix": psi(cur.mix, prev.mix),
+        }
+        self._dims = dims
+        self._score = max(dims.values())
+        if self._score >= self.threshold:
+            self.alert_count += 1
+            self.alerting = True
+            if self.on_alert is not None:
+                self.on_alert(self._score)
+        else:
+            self.alerting = False
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def score(self) -> float:
+        """Latest PSI score (max over dimensions); 0 until two full
+        windows have been observed."""
+        with self._lock:
+            return self._score
+
+    def snapshot(self) -> dict:
+        """JSON-safe dump for dashboards and the future tuner."""
+        with self._lock:
+            return {
+                "score": self._score,
+                "dimensions": dict(self._dims),
+                "threshold": self.threshold,
+                "alerting": self.alerting,
+                "alerts": self.alert_count,
+                "windows_closed": self.windows_closed,
+                "current_n": self._cur.n,
+                "previous_n": self._prev.n if self._prev else 0,
+                "width_quantiles": {
+                    "p50": self._cur.reservoir.percentile(50),
+                    "p99": self._cur.reservoir.percentile(99),
+                }
+                if self._cur.n
+                else {},
+            }

@@ -1,0 +1,378 @@
+"""Metrics federation: many registries, one labeled namespace.
+
+Every replica owns a :class:`~repro.telemetry.registry.MetricsRegistry`
+(stable across crash/restart — see ``cluster/replica.py``), and the
+router/ring/repair counters live on the cluster registry.  A
+:class:`FederatedRegistry` stitches them into one namespace by
+*labeling*, not copying: each attached source carries a label provider
+(``shard``, ``replica``, ``state``, ...) evaluated at snapshot time, so
+a replica that flaps healthy→down→recovering re-labels itself without
+any counter churn, and a replica restarted after a crash re-homes
+automatically because its registry object never changed.
+
+Two merge rules make the federation *correct* rather than just
+concatenated:
+
+* **Histogram buckets** share fixed bounds repo-wide
+  (``DEFAULT_LATENCY_BUCKETS_NS``), so the federated bucket series is
+  the element-wise sum — the merged count provably equals the sum of
+  replica-local counts (asserted in tests).
+* **Reservoir percentiles** are stratified: each source's retained
+  samples are weighted by ``true_count / len(samples)`` before the
+  nearest-rank walk, so a replica that served 10× the traffic moves the
+  federated p99 10× as much, even though both reservoirs are capped at
+  the same size.
+
+:class:`ClusterTop` builds the ``repro cluster-top`` text dashboard on
+top of the federation: per-shard qps (counter deltas over simulated
+time), stratified p99, degraded-rate, WAL lag and quarantine backlog.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Callable, Iterable
+
+from .registry import (
+    Histogram,
+    MetricsRegistry,
+    _escape_label,
+    _fmt_num,
+)
+
+__all__ = [
+    "FederatedRegistry",
+    "ClusterTop",
+    "merge_bucket_series",
+    "stratified_percentile",
+]
+
+
+def stratified_percentile(
+    parts: "Iterable[tuple[list[float], int]]", q: float
+) -> float:
+    """Nearest-rank percentile over stratified reservoir samples.
+
+    ``parts`` is (samples, true_count) per source; each sample carries
+    weight ``true_count / len(samples)``.  q is in [0, 100].
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    weighted: list[tuple[float, float]] = []
+    total_w = 0.0
+    for samples, count in parts:
+        if not samples or count <= 0:
+            continue
+        w = count / len(samples)
+        total_w += w * len(samples)
+        weighted.extend((s, w) for s in samples)
+    if not weighted:
+        return 0.0
+    weighted.sort(key=lambda sw: sw[0])
+    target = q / 100.0 * total_w
+    running = 0.0
+    for value, w in weighted:
+        running += w
+        if running >= target:
+            return value
+    return weighted[-1][0]
+
+
+def merge_bucket_series(
+    series: "list[tuple[tuple[float, ...], list[int]]]",
+) -> "tuple[tuple[float, ...], list[int]]":
+    """Element-wise sum of per-bucket counts sharing identical bounds."""
+    if not series:
+        return (), []
+    bounds0 = series[0][0]
+    merged = [0] * (len(bounds0) + 1)
+    for bounds, counts in series:
+        if bounds != bounds0:
+            raise ValueError(
+                "histogram bounds differ across sources; refusing to merge"
+            )
+        for i, n in enumerate(counts):
+            merged[i] += n
+    return bounds0, merged
+
+
+class _Source:
+    __slots__ = ("name", "registry_fn", "labels_fn")
+
+    def __init__(self, name, registry_fn, labels_fn) -> None:
+        self.name = name
+        self.registry_fn = registry_fn
+        self.labels_fn = labels_fn
+
+
+class FederatedRegistry:
+    """Label-merging view over many live :class:`MetricsRegistry`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sources: dict[str, _Source] = {}
+
+    # ------------------------------------------------------------------
+    # source management
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        name: str,
+        registry: "MetricsRegistry | Callable[[], MetricsRegistry | None]",
+        labels: "dict[str, str] | Callable[[], dict[str, str]] | None" = None,
+    ) -> None:
+        """Attach (or replace) a source under ``name``.
+
+        ``registry`` and ``labels`` may be callables, evaluated at every
+        snapshot — the hook that keeps a restarted replica reachable and
+        its ``state`` label current.
+        """
+        registry_fn = registry if callable(registry) else (lambda: registry)
+        if labels is None:
+            labels_fn = dict
+        elif callable(labels):
+            labels_fn = labels
+        else:
+            frozen = dict(labels)
+            labels_fn = lambda: frozen  # noqa: E731
+        with self._lock:
+            self._sources[name] = _Source(name, registry_fn, labels_fn)
+
+    def detach(self, name: str) -> None:
+        """Remove a source (a decommissioned replica)."""
+        with self._lock:
+            self._sources.pop(name, None)
+
+    def source_names(self) -> list[str]:
+        """Names of the attached sources (each appears exactly once)."""
+        with self._lock:
+            return list(self._sources)
+
+    def _resolve(self) -> list[tuple[dict[str, str], MetricsRegistry]]:
+        with self._lock:
+            sources = list(self._sources.values())
+        out = []
+        for src in sources:
+            reg = src.registry_fn()
+            if reg is None:
+                continue
+            out.append((dict(src.labels_fn()), reg))
+        return out
+
+    # ------------------------------------------------------------------
+    # merged reads
+    # ------------------------------------------------------------------
+    def _iter_instruments(self, name_filter: "str | None" = None):
+        for extra, reg in self._resolve():
+            for inst in reg.instruments():
+                if name_filter is not None and inst.name != name_filter:
+                    continue
+                labels = dict(inst.labels)
+                labels.update(extra)
+                yield labels, inst
+
+    @staticmethod
+    def _match(labels: dict, match: "dict | None") -> bool:
+        if not match:
+            return True
+        return all(labels.get(k) == str(v) for k, v in match.items())
+
+    def counter_total(self, name: str, match: "dict | None" = None) -> float:
+        """Sum of a counter/gauge family across matching sources."""
+        total = 0.0
+        for labels, inst in self._iter_instruments(name):
+            if isinstance(inst, Histogram):
+                continue
+            if self._match(labels, match):
+                total += inst.value
+        return total
+
+    def merged_histogram(self, name: str, match: "dict | None" = None) -> dict:
+        """Bucket-summed, reservoir-stratified merge of one family."""
+        series: list[tuple[tuple[float, ...], list[int]]] = []
+        parts: list[tuple[list[float], int]] = []
+        count = 0
+        total = 0.0
+        for labels, inst in self._iter_instruments(name):
+            if not isinstance(inst, Histogram):
+                continue
+            if not self._match(labels, match):
+                continue
+            series.append((inst.bounds, inst.bucket_counts()))
+            parts.append(inst.reservoir_view())
+            count += inst.count
+            total += inst.total
+        bounds, merged = merge_bucket_series(series)
+        cumulative: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(bounds, merged):
+            running += n
+            cumulative.append((bound, running))
+        if merged:
+            cumulative.append((float("inf"), running + merged[-1]))
+        return {
+            "count": count,
+            "sum": total,
+            "buckets": cumulative,
+            "p50": stratified_percentile(parts, 50),
+            "p99": stratified_percentile(parts, 99),
+            "sources": len(series),
+        }
+
+    # ------------------------------------------------------------------
+    # exposition
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe dump: name -> entries with federated labels."""
+        out: dict[str, list[dict]] = {}
+        for labels, inst in self._iter_instruments():
+            entry: dict = {"labels": labels}
+            if isinstance(inst, Histogram):
+                entry["count"] = inst.count
+                entry["sum"] = inst.total
+                entry["p50"] = inst.percentile(50)
+                entry["p99"] = inst.percentile(99)
+            else:
+                entry["value"] = inst.value
+            out.setdefault(inst.name, []).append(entry)
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition with federated label sets."""
+        lines: list[str] = []
+        seen: set[str] = set()
+        for labels, inst in self._iter_instruments():
+            if inst.name not in seen:
+                seen.add(inst.name)
+                lines.append(f"# HELP {inst.name} {inst.help or inst.name}")
+                lines.append(f"# TYPE {inst.name} {inst.kind}")
+            suffix = _label_suffix(labels)
+            if isinstance(inst, Histogram):
+                for bound, cum in inst.cumulative_buckets():
+                    le = "+Inf" if math.isinf(bound) else _fmt_num(bound)
+                    pairs = dict(labels)
+                    pairs["le"] = le
+                    lines.append(
+                        f"{inst.name}_bucket{_label_suffix(pairs)} {cum}"
+                    )
+                lines.append(f"{inst.name}_sum{suffix} {_fmt_num(inst.total)}")
+                lines.append(f"{inst.name}_count{suffix} {inst.count}")
+            else:
+                lines.append(f"{inst.name}{suffix} {_fmt_num(inst.value)}")
+        return "\n".join(lines) + "\n"
+
+
+def _label_suffix(labels: dict) -> str:
+    if not labels:
+        return ""
+    pairs = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + pairs + "}"
+
+
+class ClusterTop:
+    """Stateful per-shard text dashboard over a federated cluster.
+
+    Rates (qps) are deltas between successive frames on the *simulated*
+    clock — the clock traffic actually advances — so a frame taken after
+    a burst reports the burst's rate, deterministically.
+    """
+
+    HEADER = (
+        f"{'shard':>5}  {'repl':>4}  {'state':<22}  {'qps':>9}  "
+        f"{'p99(ms)':>8}  {'degr%':>6}  {'wal-lag':>7}  {'quar':>4}"
+    )
+
+    def __init__(self, cluster) -> None:
+        self.cluster = cluster
+        self._prev_sim_ns: "int | None" = None
+        self._prev_subqueries: dict[int, float] = {}
+
+    def _shard_rows(self) -> list[dict]:
+        cluster = self.cluster
+        fed = cluster.federation
+        now_ns = cluster.clock.now_ns()
+        elapsed_s = (
+            (now_ns - self._prev_sim_ns) / 1e9
+            if self._prev_sim_ns is not None
+            else 0.0
+        )
+        rows = []
+        for sid in sorted(cluster.replicas):
+            reps = cluster.replicas[sid]
+            states = [rep.health.state for rep in reps]
+            up = sum(1 for s in states if s == "healthy")
+            sub = fed.counter_total(
+                "cluster_shard_subqueries", {"shard": sid}
+            )
+            prev = self._prev_subqueries.get(sid, 0.0)
+            qps = (sub - prev) / elapsed_s if elapsed_s > 0 else 0.0
+            self._prev_subqueries[sid] = sub
+            degraded = fed.counter_total(
+                "cluster_shard_degraded", {"shard": sid}
+            )
+            degr_rate = degraded / sub if sub else 0.0
+            merged = fed.merged_histogram(
+                "service_latency_sim_ns", {"shard": str(sid)}
+            )
+            wal_lag = max(
+                (
+                    fed.counter_total(
+                        "replica_wal_lag_records",
+                        {"shard": str(sid), "replica": rep.name},
+                    )
+                    for rep in reps
+                ),
+                default=0.0,
+            )
+            quar = fed.counter_total(
+                "replica_quarantine_ranges", {"shard": str(sid)}
+            )
+            rows.append(
+                {
+                    "shard": sid,
+                    "replicas": len(reps),
+                    "up": up,
+                    "states": states,
+                    "qps": qps,
+                    "p99_ms": merged["p99"] / 1e6,
+                    "degraded_rate": degr_rate,
+                    "wal_lag": wal_lag,
+                    "quarantine": quar,
+                }
+            )
+        self._prev_sim_ns = now_ns
+        return rows
+
+    def frame(self) -> str:
+        """One rendered dashboard frame."""
+        cluster = self.cluster
+        rows = self._shard_rows()
+        sim_s = cluster.clock.now_ns() / 1e9
+        head = [f"cluster-top  sim={sim_s:.3f}s  shards={len(rows)}"]
+        store = getattr(cluster, "trace_store", None)
+        if store is not None:
+            st = store.stats()
+            head.append(
+                f"traces kept={st['kept']}"
+                f" (interesting={st['kept_interesting']}"
+                f" sampled={st['kept_sampled']})"
+            )
+        drift = getattr(cluster.router, "drift_scores", None)
+        if drift is not None:
+            scores = drift()
+            if scores:
+                worst = max(scores.values())
+                head.append(f"drift max={worst:.3f}")
+        lines = ["  ".join(head), self.HEADER]
+        for r in rows:
+            state = ",".join(sorted(set(r["states"]))) or "-"
+            lines.append(
+                f"{r['shard']:>5}  {r['up']}/{r['replicas']:<2}  "
+                f"{state:<22}  {r['qps']:>9.1f}  {r['p99_ms']:>8.2f}  "
+                f"{100 * r['degraded_rate']:>6.2f}  "
+                f"{int(r['wal_lag']):>7}  {int(r['quarantine']):>4}"
+            )
+        return "\n".join(lines)

@@ -289,6 +289,19 @@ class Histogram(_Instrument):
         with self._lock:
             return self._reservoir.percentile(q)
 
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket (non-cumulative) counts, ``+Inf`` last — the raw
+        series federation sums across replicas."""
+        with self._lock:
+            return list(self._bucket_counts)
+
+    def reservoir_view(self) -> tuple[list[float], int]:
+        """(retained samples, true count) — the stratification unit for
+        federated percentiles: each sample stands for ``count/len``
+        observations."""
+        with self._lock:
+            return self._reservoir.samples(), self._reservoir.count
+
     def cumulative_buckets(self) -> list[tuple[float, int]]:
         """(upper bound, cumulative count) pairs, ending with ``+Inf``."""
         out: list[tuple[float, int]] = []

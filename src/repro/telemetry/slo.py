@@ -1,0 +1,337 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SLOSpec` names an objective over a sliding window on the
+**simulated clock** (the clock faults and deadlines act on, so chaos
+runs evaluate deterministically):
+
+* ``availability`` — fraction of requests served non-degraded;
+* ``latency`` — fraction of requests at or under ``threshold_ns``
+  (a p-quantile SLO: objective 0.99 + threshold = "p99 <= threshold");
+* ``false_negative`` — the one-sided-error budget: *any* bad event
+  burns the entire budget instantly (burn rate = +inf), because a range
+  filter that returns a false negative has broken its contract, not
+  missed a target.
+
+Alerting follows the multi-window burn-rate recipe: a severity fires
+only when the burn rate — observed error rate divided by the budget
+``1 - objective`` — exceeds its threshold over BOTH a short and a long
+window, so a single bad batch cannot page but a sustained burn pages
+fast.  Alert state transitions are recorded three ways: in the
+engine's transition log (the ``SLO_REPORT.json`` artifact), as metrics
+(``slo_alert_active``/``slo_alert_transitions``/``slo_burn_rate``),
+and as one-shot tracer spans (``slo.alert``) when tracing is on.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from .registry import MetricsRegistry
+from .tracing import get_tracer
+
+__all__ = [
+    "SLOSpec",
+    "BurnRule",
+    "SLOEngine",
+    "DEFAULT_BURN_RULES",
+    "default_cluster_slos",
+]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One objective: ``objective`` fraction of events good over
+    ``window_ns`` of simulated time."""
+
+    name: str
+    kind: str  # "availability" | "latency" | "false_negative"
+    objective: float = 0.99
+    threshold_ns: "int | None" = None  # latency kind only
+    window_ns: int = 5_000_000_000
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("availability", "latency", "false_negative"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError(f"objective must be in (0, 1): {self.objective}")
+        if self.kind == "latency" and self.threshold_ns is None:
+            raise ValueError("latency SLOs need threshold_ns")
+
+    @property
+    def budget(self) -> float:
+        return 1.0 - self.objective
+
+
+@dataclass(frozen=True)
+class BurnRule:
+    """Fire ``severity`` when burn rate exceeds ``threshold`` over both
+    the short and long windows (fractions of the spec window)."""
+
+    severity: str  # "page" | "ticket"
+    short_frac: float
+    long_frac: float
+    threshold: float
+
+
+#: Page on a fast sustained burn, ticket on a slow one — the classic
+#: two-tier pairing, scaled to the spec's own window.
+DEFAULT_BURN_RULES: tuple[BurnRule, ...] = (
+    BurnRule("page", short_frac=1 / 12, long_frac=1 / 2, threshold=10.0),
+    BurnRule("ticket", short_frac=1 / 2, long_frac=1.0, threshold=2.0),
+)
+
+
+def default_cluster_slos(window_ns: int = 5_000_000_000) -> list[SLOSpec]:
+    """The stock cluster objectives ``FilterCluster.enable_slo`` wires.
+
+    The latency threshold is deliberately loose (it guards against
+    pathology, not regressions — the perf gate owns those), so a
+    fault-free control run never fires; availability is what chaos
+    faults burn.
+    """
+    return [
+        SLOSpec("availability", "availability", 0.99, window_ns=window_ns),
+        SLOSpec(
+            "p99-latency",
+            "latency",
+            0.99,
+            threshold_ns=250_000_000,
+            window_ns=window_ns,
+        ),
+        SLOSpec(
+            "zero-false-negative",
+            "false_negative",
+            0.999999,
+            window_ns=window_ns,
+        ),
+    ]
+
+
+class _SloState:
+    __slots__ = ("spec", "events", "firing")
+
+    def __init__(self, spec: SLOSpec) -> None:
+        self.spec = spec
+        #: coalesced (bucket_start_ns, good, bad) triples, oldest first.
+        self.events: list[list[float]] = []
+        self.firing: dict[str, bool] = {}
+
+
+class SLOEngine:
+    """Sliding-window burn-rate evaluator on the simulated clock."""
+
+    #: Events are coalesced into window/BUCKETS-wide buckets so memory
+    #: stays bounded no matter the request rate.
+    BUCKETS = 64
+
+    def __init__(
+        self,
+        clock,
+        registry: "MetricsRegistry | None" = None,
+        burn_rules: tuple[BurnRule, ...] = DEFAULT_BURN_RULES,
+    ) -> None:
+        self.clock = clock
+        self.registry = registry
+        self.burn_rules = burn_rules
+        self._lock = threading.Lock()
+        self._slos: dict[str, _SloState] = {}
+        self.transitions: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # spec + event intake
+    # ------------------------------------------------------------------
+    def add(self, spec: SLOSpec) -> SLOSpec:
+        """Register one objective and zero its per-severity alert state."""
+        with self._lock:
+            if spec.name in self._slos:
+                raise ValueError(f"SLO {spec.name!r} already registered")
+            state = _SloState(spec)
+            for rule in self.burn_rules:
+                state.firing[rule.severity] = False
+            self._slos[spec.name] = state
+        if self.registry is not None:
+            for rule in self.burn_rules:
+                self.registry.gauge(
+                    "slo_alert_active",
+                    "1 while the severity is firing",
+                    {"slo": spec.name, "severity": rule.severity},
+                ).set(0.0)
+        return spec
+
+    def specs(self) -> list[SLOSpec]:
+        """The registered objectives, in registration order."""
+        with self._lock:
+            return [s.spec for s in self._slos.values()]
+
+    def record(self, name: str, good: int = 0, bad: int = 0) -> None:
+        """Count good/bad events at the current simulated time."""
+        if good == 0 and bad == 0:
+            return
+        now = self.clock.now_ns()
+        with self._lock:
+            state = self._slos[name]
+            bucket_ns = max(1, state.spec.window_ns // self.BUCKETS)
+            bucket = now - (now % bucket_ns)
+            events = state.events
+            if events and events[-1][0] == bucket:
+                events[-1][1] += good
+                events[-1][2] += bad
+            else:
+                events.append([bucket, good, bad])
+            horizon = now - state.spec.window_ns - bucket_ns
+            while events and events[0][0] < horizon:
+                events.pop(0)
+
+    def record_latency(self, name: str, latency_ns: int) -> None:
+        """Classify one latency sample against the spec threshold."""
+        with self._lock:
+            threshold = self._slos[name].spec.threshold_ns
+        if threshold is not None and latency_ns > threshold:
+            self.record(name, bad=1)
+        else:
+            self.record(name, good=1)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _burn(self, state: _SloState, window_ns: int, now: int) -> float:
+        spec = state.spec
+        horizon = now - window_ns
+        good = bad = 0.0
+        for bucket, g, b in state.events:
+            if bucket >= horizon:
+                good += g
+                bad += b
+        if bad == 0:
+            return 0.0
+        if spec.kind == "false_negative":
+            return _INF
+        rate = bad / (good + bad)
+        return rate / spec.budget if spec.budget > 0 else _INF
+
+    def evaluate(self) -> list[dict]:
+        """Re-derive alert states; returns the new transitions."""
+        now = self.clock.now_ns()
+        new_transitions: list[dict] = []
+        with self._lock:
+            states = list(self._slos.values())
+        for state in states:
+            spec = state.spec
+            for rule in self.burn_rules:
+                short = self._burn(
+                    state, max(1, int(spec.window_ns * rule.short_frac)), now
+                )
+                long = self._burn(
+                    state, max(1, int(spec.window_ns * rule.long_frac)), now
+                )
+                firing = short >= rule.threshold and long >= rule.threshold
+                if self.registry is not None:
+                    self.registry.gauge(
+                        "slo_burn_rate",
+                        "burn rate over the rule's short window",
+                        {"slo": spec.name, "severity": rule.severity},
+                    ).set(min(short, 1e9))
+                if firing == state.firing[rule.severity]:
+                    continue
+                state.firing[rule.severity] = firing
+                transition = {
+                    "slo": spec.name,
+                    "severity": rule.severity,
+                    "to": "firing" if firing else "resolved",
+                    "at_sim_ns": now,
+                    "burn_short": short if short != _INF else "inf",
+                    "burn_long": long if long != _INF else "inf",
+                }
+                new_transitions.append(transition)
+                self._record_transition(spec, rule, firing, short, long)
+        with self._lock:
+            self.transitions.extend(new_transitions)
+        return new_transitions
+
+    def _record_transition(
+        self, spec: SLOSpec, rule: BurnRule, firing: bool, short, long
+    ) -> None:
+        if self.registry is not None:
+            self.registry.counter(
+                "slo_alert_transitions",
+                "alert state changes",
+                {
+                    "slo": spec.name,
+                    "severity": rule.severity,
+                    "to": "firing" if firing else "resolved",
+                },
+            ).inc()
+            self.registry.gauge(
+                "slo_alert_active",
+                "1 while the severity is firing",
+                {"slo": spec.name, "severity": rule.severity},
+            ).set(1.0 if firing else 0.0)
+        tracer = get_tracer()
+        if tracer.enabled:
+            with tracer.span("slo.alert") as sp:
+                sp.set(
+                    slo=spec.name,
+                    severity=rule.severity,
+                    to="firing" if firing else "resolved",
+                    burn_short=round(short, 3) if short != _INF else "inf",
+                    burn_long=round(long, 3) if long != _INF else "inf",
+                )
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def active_alerts(self) -> list[tuple[str, str]]:
+        """(slo, severity) pairs currently firing."""
+        with self._lock:
+            return [
+                (state.spec.name, sev)
+                for state in self._slos.values()
+                for sev, firing in state.firing.items()
+                if firing
+            ]
+
+    def ever_fired(self) -> set[tuple[str, str]]:
+        """(slo, severity) pairs that fired at least once."""
+        with self._lock:
+            return {
+                (t["slo"], t["severity"])
+                for t in self.transitions
+                if t["to"] == "firing"
+            }
+
+    def report(self) -> dict:
+        """JSON-safe dump — the ``SLO_REPORT.json`` artifact."""
+        with self._lock:
+            return {
+                "sim_now_ns": self.clock.now_ns(),
+                "specs": [
+                    {
+                        "name": s.spec.name,
+                        "kind": s.spec.kind,
+                        "objective": s.spec.objective,
+                        "threshold_ns": s.spec.threshold_ns,
+                        "window_ns": s.spec.window_ns,
+                    }
+                    for s in self._slos.values()
+                ],
+                "burn_rules": [
+                    {
+                        "severity": r.severity,
+                        "short_frac": r.short_frac,
+                        "long_frac": r.long_frac,
+                        "threshold": r.threshold,
+                    }
+                    for r in self.burn_rules
+                ],
+                "active": [
+                    {"slo": name, "severity": sev}
+                    for state in self._slos.values()
+                    for sev, firing in state.firing.items()
+                    if firing
+                    for name in (state.spec.name,)
+                ],
+                "transitions": list(self.transitions),
+            }

@@ -1,0 +1,76 @@
+"""span-leak fixtures: leaked vs properly-closed tracer spans.
+
+Lines expected to be flagged carry a ``finding`` comment; everything
+else is the idiomatic closed-on-all-paths shape the rule must accept.
+"""
+
+tracer = object()
+attempt_spans = {}
+
+
+def discarded_root():
+    tracer.start_span("orphan")  # finding: result discarded
+
+
+def local_never_finished():
+    span = tracer.start_span("leaky")  # finding: falls off the end
+    span.set(shard=1)
+
+
+def attr_bound_handoff(req):
+    req.span = tracer.start_span("handoff")  # finding: cross-function
+
+
+def attach_outside_with(span):
+    tracer.attach(span)  # finding: contextmanager never entered
+
+
+def finished_explicitly():
+    span = tracer.start_span("ok-finish")
+    span.set(shard=1)
+    tracer.finish(span)
+
+
+def escapes_via_callback(fut):
+    span = tracer.start_span("ok-callback")
+    fut.add_done_callback(make_cb(span))
+
+
+def make_cb(span):
+    return lambda fut: tracer.finish(span)
+
+
+def stored_for_later(fut):
+    span = tracer.start_span("ok-stored")
+    attempt_spans[fut] = span
+
+
+def returned_to_caller():
+    return tracer.start_span("ok-returned")
+
+
+def with_span_idiom():
+    with tracer.span("ok-with") as sp:
+        sp.set(x=1)
+
+
+def attach_as_context(span):
+    with tracer.attach(span):
+        pass
+
+
+def get_tracer():
+    return tracer
+
+
+def get_tracer_receiver_counts():
+    get_tracer().start_span("orphan-2")  # finding: result discarded
+
+
+def federation_attach_is_out_of_scope(federation, registry):
+    # Same method name, different receiver: not a Tracer.
+    federation.attach("router", registry, {"scope": "router"})
+
+
+def pragma_blessed():
+    tracer.start_span("blessed")  # lint: allow[span-leak]

@@ -20,6 +20,7 @@ from repro.lint.rules import (
     LockDisciplineRule,
     MutableDefaultArgRule,
     OneSidedErrorRule,
+    SpanLeakRule,
     UnseededRngRule,
     WallClockRule,
 )
@@ -147,6 +148,39 @@ class TestLockDiscipline:
 
 
 # ----------------------------------------------------------------------
+# span-leak
+# ----------------------------------------------------------------------
+class TestSpanLeak:
+    def test_flags_leaked_spans_and_bare_attach(self):
+        found = run_rule(SpanLeakRule(), "cluster/span_leak.py")
+        assert len(found) == 5
+        messages = " ".join(f.message for f in found)
+        assert "discarded" in messages
+        assert "never finished" in messages
+        assert "req.span" in messages
+        assert "with tracer.attach" in messages
+
+    def test_closed_on_all_paths_shapes_are_clean(self):
+        found = run_rule(SpanLeakRule(), "cluster/span_leak.py")
+        src = (FIXTURES / "cluster/span_leak.py").read_text().splitlines()
+        for f in found:
+            assert "finding" in src[f.line - 1], f"unexpected: {f}"
+
+    def test_non_tracer_attach_is_out_of_scope(self):
+        found = run_rule(SpanLeakRule(), "cluster/span_leak.py")
+        src = (FIXTURES / "cluster/span_leak.py").read_text().splitlines()
+        for f in found:
+            assert "federation" not in src[f.line - 1]
+
+    def test_scoped_to_cluster_and_service(self):
+        rule = SpanLeakRule()
+        assert rule.applies_to("src/repro/cluster/router.py")
+        assert rule.applies_to("src/repro/service/service.py")
+        assert not rule.applies_to("src/repro/telemetry/tracing.py")
+        assert not rule.applies_to("src/repro/durability/wal.py")
+
+
+# ----------------------------------------------------------------------
 # bare-except / mutable-default-arg
 # ----------------------------------------------------------------------
 class TestBareExcept:
@@ -193,6 +227,7 @@ class TestEngine:
             "unseeded-rng": 5,
             "one-sided-error": 3,
             "lock-discipline": 4,
+            "span-leak": 5,
             "bare-except": 2,
             "mutable-default-arg": 4,
         }

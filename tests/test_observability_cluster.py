@@ -1,0 +1,594 @@
+"""Cluster observability acceptance: traces, federation, SLOs, drift.
+
+The PR's acceptance bar, spelled out per class:
+
+* :class:`TestTraceAnatomy` — a deterministically hedged, failed-over
+  query yields ONE stitched tree: the submit-time failover hop, the
+  primary, and the losing hedge branch (settled after the exchange
+  returned) all under the router's root, with replica-side subtrees
+  carrying the router's trace id.  Degraded merges are annotated.
+* :class:`TestFederation` — the federated namespace carries per-shard
+  labels and the merged histogram count provably equals the sum of
+  replica-local counts; a crashed-then-restarted replica re-homes into
+  the same source (registry survives the service incarnation) without
+  double-counting.
+* :class:`TestSloBurnRate` — burn-rate alerts fire during a fault
+  window, never in the fault-free control, and resolve after recovery;
+  a single observed false negative burns its budget instantly.
+  ``REPRO_SLO_REPORT`` dumps the transition log as a CI artifact.
+* :class:`TestWorkloadDrift` — switching a uniform workload to a
+  correlated one pushes the per-shard PSI score over the alert
+  threshold (gauge + alert counter visible through the federation).
+* :class:`TestChaosTraceCoverage` — a seeded chaos run keeps (tail
+  sampling only, head rate 0) traces spanning router -> replica ->
+  WAL -> filter probe, and two runs under the same seed keep the same
+  trace ids.
+
+``REPRO_CHAOS_SEED`` pins every scenario, so CI failures replay from
+one number.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import threading
+import time
+
+import pytest
+
+from repro.cluster import FilterCluster
+from repro.core.rencoder import REncoder
+from repro.telemetry.context import TraceStore, fmt_trace_id
+from repro.telemetry.drift import DEFAULT_DRIFT_THRESHOLD
+from repro.telemetry.tracing import get_tracer
+
+try:  # pragma: no cover - plugin presence is environment-specific
+    import pytest_timeout  # noqa: F401
+
+    pytestmark = [pytest.mark.timeout(600)]
+except ImportError:  # plugin not installed locally; CI installs it
+    pytestmark = []
+
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", 20230713))
+MS = 1_000_000
+SEC = 1_000_000_000
+
+
+def _factory(keys):
+    return REncoder(keys, bits_per_key=14)
+
+
+@pytest.fixture(autouse=True)
+def _tracer_cleanup():
+    yield
+    get_tracer().disable()
+
+
+def _cluster(seed, *, shards=2, reps=2, store=None, **kw):
+    kw.setdefault("segment_bits", 5)
+    kw.setdefault("memtable_capacity", 512)
+    kw.setdefault("workers", 2)
+    cluster = FilterCluster(
+        n_shards=shards,
+        replicas_per_shard=reps,
+        filter_factory=_factory,
+        seed=seed,
+        trace_store=store,
+        **kw,
+    )
+    return cluster.start()
+
+
+def _load_keys(cluster, rng, n):
+    keys = sorted({rng.getrandbits(64) for _ in range(n)})
+    cluster.load(keys)
+    cluster.flush()
+    return keys
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+# ----------------------------------------------------------------------
+# distributed trace anatomy
+# ----------------------------------------------------------------------
+class TestTraceAnatomy:
+    def test_failover_and_losing_hedge_stitch_into_one_tree(self):
+        """Partition the first candidate (failover hop), stall the two
+        survivors on the wall clock until the hedge delay passes (the
+        hedge timer is wall time, so simulated slow-reads cannot trip
+        it), then release both: one wins, the other settles later as
+        the losing hedge branch — all in one recorded tree."""
+        store = TraceStore(cap=64, seed=CHAOS_SEED, sample_rate=0.0)
+        cluster = _cluster(
+            CHAOS_SEED,
+            shards=1,
+            reps=3,
+            store=store,
+            router_kwargs={"hedge_max_s": 0.02},
+        )
+        try:
+            rng = random.Random(CHAOS_SEED)
+            keys = _load_keys(cluster, rng, 512)
+            get_tracer().enable(cluster.clock)
+            # Replica 0 leads the shard's first rotation; partitioning
+            # it (health untouched) guarantees a submit-time failover.
+            cluster.partition_replica(0, 0)
+            release = threading.Event()
+            patched = []
+            for rid in (1, 2):
+                lsm = cluster.replica(0, rid).lsm
+                orig = lsm.range_query_many
+
+                def stalled(*args, _orig=orig, **kwargs):
+                    release.wait(timeout=60.0)
+                    return _orig(*args, **kwargs)
+
+                patched.append((lsm, orig))
+                lsm.range_query_many = stalled
+            lo = keys[0]
+            out = {}
+            worker = threading.Thread(
+                target=lambda: out.setdefault(
+                    "resp", cluster.query_range(lo, lo + 64)
+                )
+            )
+            worker.start()
+            try:
+                hedges = cluster.router._counters["cluster_hedges"]
+                deadline = time.time() + 60.0
+                while hedges.value == 0 and time.time() < deadline:
+                    time.sleep(0.001)
+                assert hedges.value >= 1, "hedge never fired"
+            finally:
+                release.set()
+                worker.join(timeout=60.0)
+                for lsm, orig in patched:
+                    lsm.range_query_many = orig
+
+            resp = out["resp"]
+            assert resp.positives == [True]
+            outcome = resp.shards[0]
+            assert outcome.hedged
+            assert outcome.reason == "ok"
+
+            records = [
+                r for r in store.records() if r["kind"] == "range_batch"
+            ]
+            assert len(records) == 1
+            rec = records[0]
+            # Kept by the tail decision, not the (zero-rate) head draw.
+            assert rec["interesting"] and not rec["sampled"]
+            root = rec["root"]
+            assert root.name == "cluster.query"
+            attempts = [
+                s for s in _walk(root) if s.name == "router.attempt"
+            ]
+            assert len(attempts) == 3  # failover + primary + hedge
+
+            fail = [s for s in attempts if s.attrs.get("failover")]
+            assert len(fail) == 1
+            assert fail[0].attrs["error"] == "unreachable"
+            assert fail[0].attrs["replica"] == "s0r0"
+
+            winners = [s for s in attempts if s.attrs.get("winner")]
+            assert len(winners) == 1
+            winner = winners[0]
+            losers = [
+                s for s in attempts if s is not fail[0] and s is not winner
+            ]
+            assert len(losers) == 1
+            loser = losers[0]
+            # The losing branch settles via done-callback after the
+            # exchange already returned; wait for the stitch.
+            deadline = time.time() + 60.0
+            while loser.end_wall_ns is None and time.time() < deadline:
+                time.sleep(0.001)
+            assert loser.end_wall_ns is not None
+
+            # Exactly one of the two live branches is the hedge.
+            assert {winner.attrs["hedge"], loser.attrs["hedge"]} == {
+                True,
+                False,
+            }
+            # Both carry the replica's own subtree, stamped with this
+            # trace's id — the tree really is cross-replica.
+            tid = fmt_trace_id(rec["trace_id"])
+            branch_replicas = set()
+            for branch in (winner, loser):
+                sub = branch.find("service.range_batch")
+                assert sub is not None
+                assert sub.attrs["trace_id"] == tid
+                branch_replicas.add(branch.attrs["replica"])
+            assert branch_replicas == {"s0r1", "s0r2"}
+            assert "router.attempt" in store.format(rec["trace_id"])
+        finally:
+            cluster.stop()
+
+    def test_unreachable_shard_is_annotated_degraded(self):
+        store = TraceStore(cap=16, seed=CHAOS_SEED, sample_rate=0.0)
+        cluster = _cluster(CHAOS_SEED, shards=1, reps=2, store=store)
+        try:
+            rng = random.Random(CHAOS_SEED)
+            keys = _load_keys(cluster, rng, 128)
+            get_tracer().enable(cluster.clock)
+            cluster.partition_replica(0, 0)
+            cluster.partition_replica(0, 1)
+            resp = cluster.query_range(keys[0], keys[0] + 8)
+            assert resp.degraded
+            assert resp.positives == [True]  # one-sided fabrication
+            rec = store.records()[-1]
+            assert rec["interesting"]
+            root = rec["root"]
+            assert root.attrs["degraded"] is True
+            exchange = root.find("router.exchange")
+            assert exchange is not None
+            assert exchange.attrs["reason"] == "unreachable"
+            assert exchange.attrs["degraded"] is True
+            attempts = [
+                s for s in _walk(root) if s.name == "router.attempt"
+            ]
+            assert len(attempts) == 2
+            for span in attempts:
+                assert span.attrs["failover"]
+                assert span.attrs["error"] == "unreachable"
+        finally:
+            cluster.stop()
+
+
+# ----------------------------------------------------------------------
+# metrics federation
+# ----------------------------------------------------------------------
+class TestFederation:
+    def test_merged_counts_equal_replica_sums_with_shard_labels(self):
+        cluster = _cluster(CHAOS_SEED + 1, shards=2, reps=2)
+        try:
+            rng = random.Random(CHAOS_SEED + 1)
+            keys = _load_keys(cluster, rng, 1024)
+            for _ in range(40):
+                sample = rng.sample(keys, 8)
+                cluster.query_range_many([(k, k + 64) for k in sample])
+            fed = cluster.federation
+            all_reps = [
+                rep for reps in cluster.replicas.values() for rep in reps
+            ]
+
+            merged = fed.merged_histogram(
+                "service_latency_sim_ns", match={"scope": "replica"}
+            )
+            assert merged["count"] > 0
+            assert merged["sources"] == len(all_reps)
+            per_replica = [
+                fed.merged_histogram(
+                    "service_latency_sim_ns", match={"replica": rep.name}
+                )
+                for rep in all_reps
+            ]
+            assert merged["count"] == sum(p["count"] for p in per_replica)
+            per_shard = [
+                fed.merged_histogram(
+                    "service_latency_sim_ns", match={"shard": str(sid)}
+                )
+                for sid in cluster.replicas
+            ]
+            assert merged["count"] == sum(p["count"] for p in per_shard)
+            # The bucket series really is the element-wise sum: the
+            # final cumulative bucket equals the merged count.
+            assert merged["buckets"][-1][1] == merged["count"]
+
+            completed = fed.counter_total(
+                "service_completed", match={"scope": "replica"}
+            )
+            assert completed == sum(
+                fed.counter_total(
+                    "service_completed", match={"replica": rep.name}
+                )
+                for rep in all_reps
+            )
+
+            prom = fed.to_prometheus()
+            assert 'shard="0"' in prom and 'shard="1"' in prom
+            assert 'scope="router"' in prom
+            assert "cluster_requests" in prom
+            assert "service_latency_sim_ns_bucket" in prom
+        finally:
+            cluster.stop()
+
+    def test_replica_registry_survives_crash_restart_rehoming(self):
+        """The regression this PR guards: a replica's registry belongs
+        to the Replica, not the FilterService incarnation, so counts
+        continue across crash()/restart() and the federation never
+        gains a duplicate source."""
+        cluster = _cluster(CHAOS_SEED + 2, shards=1, reps=2)
+        try:
+            rng = random.Random(CHAOS_SEED + 2)
+            keys = _load_keys(cluster, rng, 256)
+            fed = cluster.federation
+            rep = cluster.replica(0, 0)
+            match = {"replica": rep.name}
+            for k in keys[:20]:
+                rep.submit_range_batch([(k, k + 2)]).result()
+            before = fed.counter_total("service_completed", match=match)
+            assert before >= 20
+
+            cluster.crash_replica(0, 0)
+            # Down, not gone: the source stays attached, re-labeled.
+            assert (
+                fed.counter_total("service_completed", match=match)
+                == before
+            )
+            prom = fed.to_prometheus()
+            assert f'replica="{rep.name}"' in prom
+            assert 'state="down"' in prom
+
+            cluster.restart_replica(0, 0)
+            for k in keys[20:40]:
+                rep.submit_range_batch([(k, k + 2)]).result()
+            after = fed.counter_total("service_completed", match=match)
+            assert after >= before + 20  # continued, never reset
+
+            assert fed.source_names().count(rep.name) == 1
+            total = fed.counter_total(
+                "service_completed", match={"scope": "replica"}
+            )
+            assert total == sum(
+                fed.counter_total(
+                    "service_completed", match={"replica": r.name}
+                )
+                for reps in cluster.replicas.values()
+                for r in reps
+            )
+        finally:
+            cluster.stop()
+
+
+# ----------------------------------------------------------------------
+# SLO burn-rate alerting
+# ----------------------------------------------------------------------
+class TestSloBurnRate:
+    def _traffic(self, cluster, rng, keys, n):
+        for _ in range(n):
+            sample = rng.sample(keys, 4)
+            resp = cluster.query_range_many([(k, k + 32) for k in sample])
+            # Every sampled key is stored, so the expected verdict is
+            # positive; a False here would be a contract break.
+            cluster.record_truth(True, bool(resp.positives[0]))
+
+    def test_quiet_in_control_fires_under_fault_then_resolves(self):
+        cluster = _cluster(CHAOS_SEED + 3, shards=2, reps=2)
+        slo = cluster.enable_slo()
+        try:
+            rng = random.Random(CHAOS_SEED + 3)
+            keys = _load_keys(cluster, rng, 1024)
+
+            # Fault-free control: nothing may fire, ever.
+            self._traffic(cluster, rng, keys, 80)
+            assert slo.ever_fired() == set()
+            assert slo.active_alerts() == []
+
+            # Fault window: shard 0 loses every replica, so routed
+            # queries that touch it merge degraded and burn the
+            # availability budget at ~100x.
+            cluster.crash_replica(0, 0)
+            cluster.crash_replica(0, 1)
+            self._traffic(cluster, rng, keys, 120)
+            fired = slo.ever_fired()
+            assert ("availability", "page") in fired
+            assert ("availability", "ticket") in fired
+            assert ("zero-false-negative", "page") not in fired
+            assert ("p99-latency", "page") not in fired
+            assert (
+                cluster.federation.counter_total(
+                    "slo_alert_active",
+                    match={"slo": "availability", "severity": "page"},
+                )
+                == 1.0
+            )
+            assert any(
+                a["slo"] == "availability"
+                for a in cluster.health()["slo_active"]
+            )
+
+            # Recovery: restart the shard, age the burn out of the
+            # windows, and confirm the alerts resolve.
+            cluster.restart_replica(0, 0)
+            cluster.restart_replica(0, 1)
+            cluster.probe_all()
+            cluster.clock.advance(6 * SEC)
+            self._traffic(cluster, rng, keys, 30)
+            assert slo.active_alerts() == []
+
+            report = slo.report()
+            seen = {
+                (t["slo"], t["severity"], t["to"])
+                for t in report["transitions"]
+            }
+            assert ("availability", "page", "firing") in seen
+            assert ("availability", "page", "resolved") in seen
+            out = os.environ.get("REPRO_SLO_REPORT")
+            if out:
+                with open(out, "w") as fh:
+                    json.dump(
+                        {"seed": CHAOS_SEED, **report},
+                        fh,
+                        indent=2,
+                        sort_keys=True,
+                    )
+        finally:
+            cluster.stop()
+
+    def test_false_negative_burns_instantly(self):
+        cluster = _cluster(CHAOS_SEED + 4, shards=1, reps=1)
+        slo = cluster.enable_slo()
+        try:
+            assert slo.ever_fired() == set()
+            cluster.record_truth(expected_positive=True, got_positive=False)
+            fired = slo.ever_fired()
+            assert ("zero-false-negative", "page") in fired
+            assert ("zero-false-negative", "ticket") in fired
+        finally:
+            cluster.stop()
+
+
+# ----------------------------------------------------------------------
+# workload drift detection
+# ----------------------------------------------------------------------
+class TestWorkloadDrift:
+    def test_uniform_to_correlated_switch_crosses_threshold(self):
+        window = 60 * SEC  # far beyond any phase's simulated duration
+        cluster = _cluster(
+            CHAOS_SEED + 5,
+            shards=1,
+            reps=1,
+            router_kwargs={"drift_window_ns": window},
+        )
+        try:
+            rng = random.Random(CHAOS_SEED + 5)
+            _load_keys(cluster, rng, 256)
+
+            def run(lo_fn, width, n):
+                for _ in range(n):
+                    lo = lo_fn()
+                    cluster.query_range(lo, lo + width)
+
+            # Window 1: uniform narrow ranges across the whole space.
+            run(lambda: rng.getrandbits(64), 64, 80)
+            cluster.clock.advance(window + MS)
+            run(lambda: rng.getrandbits(64), 64, 1)  # closes window 1
+            assert cluster.router.drift_scores()[0] == 0.0  # no base yet
+
+            # Window 2: wide scans pinned to one locality bucket —
+            # width AND locality shift together.
+            base = 0xF << 60
+            run(lambda: base | rng.getrandbits(32), 1 << 12, 80)
+            cluster.clock.advance(window + MS)
+            run(lambda: base | rng.getrandbits(32), 1 << 12, 1)
+
+            score = cluster.router.drift_scores()[0]
+            assert score > DEFAULT_DRIFT_THRESHOLD
+            snap = cluster.router.drift_snapshot()[0]
+            assert snap["alerting"]
+            assert snap["alerts"] >= 1
+            assert snap["dimensions"]["locality"] > 0
+            assert cluster.health()["drift"][0] == score
+            fed = cluster.federation
+            assert (
+                fed.counter_total(
+                    "workload_drift_alerts", match={"shard": "0"}
+                )
+                >= 1
+            )
+            assert fed.counter_total(
+                "workload_drift", match={"shard": "0"}
+            ) == pytest.approx(score)
+        finally:
+            cluster.stop()
+
+
+# ----------------------------------------------------------------------
+# seeded chaos: cross-component trace coverage + determinism
+# ----------------------------------------------------------------------
+class TestChaosTraceCoverage:
+    #: The span union a kept chaos run must cover: router scatter,
+    #: replica service execution, WAL appends from hint replay, and the
+    #: filter-backed SSTable probe.
+    REQUIRED = {
+        "cluster.query",
+        "router.scatter",
+        "router.exchange",
+        "router.attempt",
+        "service.range_batch",
+        "lsm.range_query_many",
+        "sstable.probe",
+        "cluster.hint_replay",
+        "wal.append",
+    }
+
+    def _scenario(self, seed):
+        """Deterministic chaos: crash+partition a whole shard, write
+        through it (hints), query through it (degraded traces), then
+        recover (traced hint replays) and repair."""
+        store = TraceStore(cap=256, seed=seed, sample_rate=0.0)
+        cluster = _cluster(
+            seed,
+            shards=2,
+            reps=2,
+            store=store,
+            durability=True,
+            workers=1,
+            hedging=False,
+        )
+        try:
+            rng = random.Random(seed)
+            keys = _load_keys(cluster, rng, 600)
+            get_tracer().enable(cluster.clock)
+            # Probe keys spread across the keyspace so both shards are
+            # touched (the smallest sorted keys share one segment).
+            probe = [(k, k + 64) for k in keys[:: len(keys) // 16][:16]]
+            for _ in range(10):
+                cluster.query_range_many(probe)
+            cluster.crash_replica(0, 0)
+            cluster.partition_replica(0, 1)
+            for k in keys[:40]:
+                cluster.put(k ^ 0x5EED, 1)
+            for _ in range(10):
+                cluster.query_range_many(probe)
+            cluster.restart_replica(0, 0)
+            cluster.heal_replica(0, 1)
+            cluster.probe_all()
+            cluster.anti_entropy()
+            for _ in range(5):
+                cluster.query_range_many(probe)
+            return store
+        finally:
+            get_tracer().disable()
+            cluster.stop()
+
+    def test_cross_component_spans_and_tail_sampling(self):
+        store = self._scenario(CHAOS_SEED)
+        records = store.records()
+        assert records
+        # Head rate is 0.0: everything kept was kept by tail sampling.
+        assert all(r["interesting"] for r in records)
+        assert all(not r["sampled"] for r in records)
+        stats = store.stats()
+        assert stats["kept_sampled"] == 0
+        assert stats["dropped"] > 0  # boring healthy traffic dropped
+        kinds = {r["kind"] for r in records}
+        assert "range_batch" in kinds
+        assert "hint_replay" in kinds
+
+        names = set()
+        for rec in records:
+            names.update(s.name for s in _walk(rec["root"]))
+        missing = self.REQUIRED - names
+        assert not missing, f"missing spans: {sorted(missing)}"
+
+        # Replica-side roots carry the router's trace id — the kept
+        # tree is genuinely cross-replica, reassemblable by ids alone.
+        stitched = 0
+        for rec in records:
+            if rec["kind"] != "range_batch":
+                continue
+            tid = fmt_trace_id(rec["trace_id"])
+            for span in _walk(rec["root"]):
+                if span.name == "service.range_batch":
+                    assert span.attrs["trace_id"] == tid
+                    stitched += 1
+        assert stitched > 0
+        # Hint-replay traces carry their WAL appends.
+        replay = next(r for r in records if r["kind"] == "hint_replay")
+        assert replay["root"].find("wal.append") is not None
+
+    def test_trace_ids_and_sampling_are_deterministic_under_seed(self):
+        first = self._scenario(CHAOS_SEED)
+        second = self._scenario(CHAOS_SEED)
+        assert first.trace_ids() == second.trace_ids()
+        sa, sb = first.stats(), second.stats()
+        for key in ("started", "recorded", "kept", "dropped"):
+            assert sa[key] == sb[key], key
