@@ -1,6 +1,6 @@
 # Convenience targets for the REncoder reproduction.
 
-.PHONY: install test lint lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry bench-telemetry-cluster bench-cluster bench-durability trace-smoke cluster-trace-smoke observability chaos serve-stress cluster-stress durability-chaos report examples clean
+.PHONY: install test lint lint-interproc lint-graph lint-baseline sanitize-stress bench bench-smoke bench-kernels bench-faults bench-overload bench-telemetry bench-telemetry-cluster bench-cluster bench-durability trace-smoke cluster-trace-smoke observability chaos serve-stress cluster-stress durability-chaos report examples clean
 
 install:
 	pip install -e . || python setup.py develop
@@ -12,12 +12,21 @@ test:
 # lock-discipline rules; fails on findings that are neither baselined
 # (lint-baseline.json) nor pragma'd.  ruff/mypy run when installed —
 # the custom engine is the gate, third-party lint rides along.
-lint:
-	python -m repro lint
+lint: lint-interproc lint-graph
 	@if command -v ruff >/dev/null 2>&1; then ruff check src tests benchmarks; \
 		else echo "ruff not installed; skipped (CI runs it)"; fi
 	@if command -v mypy >/dev/null 2>&1; then mypy src/repro; \
 		else echo "mypy not installed; skipped (CI runs it)"; fi
+
+# File-local rules + the four interprocedural passes + the
+# stale-baseline ratchet (grandfathered debt only shrinks).
+lint-interproc:
+	python -m repro lint --interproc
+
+# Export CALLGRAPH.json / LOCKGRAPH.json; fails on any cycle in the
+# static ∪ runtime lock-order graph.
+lint-graph:
+	python -m repro lint --graph
 
 # Rewrite the grandfathered-findings baseline from the current tree.
 # Review norm: the baseline only ever shrinks.

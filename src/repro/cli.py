@@ -560,6 +560,7 @@ LINT_PATHS = ("src/repro", "benchmarks", "examples")
 
 def _cmd_lint(args) -> int:
     import json
+    from pathlib import Path
 
     from repro.lint import Baseline, LintEngine, make_default_rules
 
@@ -572,16 +573,61 @@ def _cmd_lint(args) -> int:
         p for p in LINT_PATHS if (engine.root / p).exists()
     ]
     findings = engine.run(paths)
+
+    analyzer = None
+    if args.interproc or args.graph:
+        from repro.lint import (
+            InterprocAnalyzer,
+            build_call_graph,
+            load_runtime_report,
+        )
+
+        graph = build_call_graph(args.root)
+        analyzer = InterprocAnalyzer(
+            graph,
+            runtime_report=load_runtime_report(
+                Path(args.root) / "SANITIZER_REPORT.json"
+            ),
+        )
+    if args.graph:
+        root = Path(args.root)
+        cg = root / "CALLGRAPH.json"
+        lg = root / "LOCKGRAPH.json"
+        cg_dict = analyzer.graph.to_dict()
+        lg_dict = analyzer.lock_graph_dict()
+        cg.write_text(json.dumps(cg_dict, indent=2) + "\n")
+        lg.write_text(json.dumps(lg_dict, indent=2) + "\n")
+        print(
+            f"wrote {cg} ({cg_dict['functions']} functions, "
+            f"{cg_dict['edges']} call edges) and {lg} "
+            f"({len(lg_dict['nodes'])} locks, {len(lg_dict['edges'])} "
+            f"edges, {len(lg_dict['cycles'])} cycle(s))"
+        )
+        if not args.interproc and not args.update_baseline:
+            return 1 if lg_dict["cycles"] else 0
+    if args.interproc:
+        findings = sorted(
+            findings + analyzer.run(),
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+
     if args.update_baseline:
         target = Baseline.from_findings(findings).save(args.baseline)
         print(f"wrote {target} ({len(findings)} findings baselined)")
         return 0
     new, baselined = engine.baseline.split(findings)
+    # The ratchet only engages on the full (interprocedural) run: a
+    # partial run can't tell a fixed finding from an unanalyzed one.
+    stale = engine.baseline.stale(findings) if args.interproc else []
     if args.format == "json":
         print(json.dumps(
             {
                 "new": [f.as_dict() for f in new],
                 "baselined": [f.as_dict() for f in baselined],
+                "stale_baseline": [
+                    {"rule": r, "path": p, "message": m, "count": c}
+                    for (r, p, m), c in stale
+                ],
                 "suppressed": len(engine.suppressed),
                 "parse_errors": engine.errors,
             },
@@ -590,13 +636,20 @@ def _cmd_lint(args) -> int:
     else:
         for f in new:
             print(f.format())
+        for (rule, fpath, message), count in stale:
+            print(
+                f"{fpath}: stale baseline entry [{rule}] x{count}: "
+                f"{message!r} no longer matches — remove it "
+                "(the baseline only shrinks)"
+            )
         for path, err in engine.errors:
             print(f"{path}: parse error: {err}", file=sys.stderr)
         print(
             f"lint: {len(new)} finding(s), {len(baselined)} baselined, "
+            f"{len(stale)} stale baseline entr(y/ies), "
             f"{len(engine.suppressed)} pragma-suppressed"
         )
-    return 1 if new or engine.errors else 0
+    return 1 if new or stale or engine.errors else 0
 
 
 def _cmd_demo(_args) -> int:
@@ -763,6 +816,15 @@ def build_parser() -> argparse.ArgumentParser:
                            "lint-baseline.json)")
     lint.add_argument("--update-baseline", action="store_true",
                       help="rewrite the baseline from the current findings")
+    lint.add_argument("--interproc", action="store_true",
+                      help="run the whole-program passes (call-graph "
+                           "one-sided taint, deadline propagation, "
+                           "lock-order union, dead code) and enforce the "
+                           "baseline ratchet (DESIGN.md §15)")
+    lint.add_argument("--graph", action="store_true",
+                      help="dump CALLGRAPH.json + LOCKGRAPH.json at the "
+                           "root (exit 1 on lock-graph cycles when used "
+                           "alone)")
     lint.add_argument("--root", default=".",
                       help="repo root paths are resolved against")
     lint.set_defaults(func=_cmd_lint)

@@ -72,13 +72,6 @@ class AdaptiveRangeFilter(RangeFilter):
         for lo, hi in training_queries:
             self._train_one(lo, hi)
 
-    def _count_keys(self, lo: int, hi: int) -> int:
-        left = int(np.searchsorted(self._keys, np.uint64(lo), side="left"))
-        right = int(
-            np.searchsorted(self._keys, np.uint64(hi), side="right")
-        )
-        return right - left
-
     def _presplit(self) -> None:
         # Reserve a tenth of the node budget for query training.
         budget = self._max_nodes - self._max_nodes // 10

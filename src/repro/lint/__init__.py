@@ -1,6 +1,6 @@
-"""Project lint engine and concurrency sanitizer.
+"""Project lint engine, whole-program analyzer and concurrency sanitizer.
 
-Two guardrails for invariants the test suite cannot see:
+Three guardrails for invariants the test suite cannot see:
 
 * :mod:`repro.lint.engine` + :mod:`repro.lint.rules` — an AST-based
   lint engine with project-specific rules (wall-clock usage in
@@ -10,15 +10,23 @@ Two guardrails for invariants the test suite cannot see:
   baseline for grandfathered findings and ``# lint: allow[rule]``
   pragmas for intentional exceptions.  Run via ``python -m repro lint``
   or ``make lint``.
+* :mod:`repro.lint.callgraph` + :mod:`repro.lint.interproc` — a
+  project-wide call graph and the interprocedural passes on top of it:
+  one-sided-error taint, deadline propagation, the static lock-order
+  graph unioned with the runtime sanitizer report, and a dead-code
+  pass.  Run via ``python -m repro lint --interproc`` (gate) and
+  ``--graph`` (JSON artifacts); DESIGN.md §15 documents the lattices
+  and soundness caveats.
 * :mod:`repro.lint.sanitizer` — a runtime lock-order watcher that wraps
   ``threading.Lock``/``RLock`` under ``REPRO_SANITIZE=1``, records the
   per-thread lock-acquisition graph, and reports potential deadlocks
   (cycles) and long-hold outliers.  Wired into the chaos and stress
   suites; ``make sanitize-stress`` runs them sanitized.
 
-DESIGN.md §10 documents both.
+DESIGN.md §10 documents the file-local engine and the sanitizer.
 """
 
+from repro.lint.callgraph import CallGraph, build_call_graph
 from repro.lint.engine import (
     Baseline,
     Finding,
@@ -26,16 +34,21 @@ from repro.lint.engine import (
     Rule,
     load_source,
 )
+from repro.lint.interproc import InterprocAnalyzer, load_runtime_report
 from repro.lint.rules import DEFAULT_RULES, make_default_rules
 from repro.lint.sanitizer import LockOrderWatcher, raw_lock, raw_rlock
 
 __all__ = [
     "Baseline",
+    "CallGraph",
     "DEFAULT_RULES",
     "Finding",
+    "InterprocAnalyzer",
     "LintEngine",
     "LockOrderWatcher",
     "Rule",
+    "build_call_graph",
+    "load_runtime_report",
     "load_source",
     "make_default_rules",
     "raw_lock",

@@ -1,0 +1,1157 @@
+"""Project-wide call-graph construction for the interprocedural passes.
+
+The file-local rules in :mod:`repro.lint.rules` see one AST at a time;
+the whole-program analyses in :mod:`repro.lint.interproc` need to follow
+an answer across function and module boundaries.  This module builds
+that substrate:
+
+* **Module map** — every ``*.py`` under the analysis roots is parsed
+  once and given a dotted module name (``src/repro/storage/env.py`` →
+  ``repro.storage.env``), so imports resolve by name.
+* **Symbol resolution** — ``import``/``from .. import`` aliases, module
+  functions and classes become a per-module symbol table; dotted
+  references resolve through it.
+* **Class hierarchy** — base classes resolve to known classes, giving an
+  MRO approximation (the class, then its bases breadth-first) plus a
+  subclass map for virtual-dispatch over-approximation: ``self.m()``
+  resolves to the static target *and* every subclass override.
+* **Type inference** — deliberately shallow, tuned to this codebase's
+  idiom: constructor calls (``x = Foo()``), annotated parameters
+  (``lsm: LSMTree``), annotated/assigned instance attributes (incl.
+  dataclass fields with string annotations like ``"SimulatedClock |
+  None"``), chained attribute access (``self.lsm.env.stats``).
+* **Call/return sites with context** — every call and return records
+  whether it sits inside an ``except`` handler, a degraded branch, a
+  ``with ...deadline_scope(...)`` block, and which locks are lexically
+  held (resolved to *creation sites*, ``path:line`` — the same node
+  identity the runtime :class:`~repro.lint.sanitizer.LockOrderWatcher`
+  reports, so the static and runtime lock graphs union directly).
+
+Soundness caveats (what the graph over/under-approximates) are
+documented in DESIGN.md §15.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Same pragma grammar as :class:`repro.lint.engine.FileContext`.
+_PRAGMA_RE = re.compile(r"#\s*lint:\s*allow\[([^\]]*)\]")
+
+__all__ = [
+    "AcquireSite",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FuncNode",
+    "ModuleInfo",
+    "ReturnSite",
+    "build_call_graph",
+]
+
+#: Directories never parsed (mirrors :class:`~repro.lint.engine.LintEngine`).
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+#: ``threading`` constructors that create a lock-like object.
+_LOCK_CTORS = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+)
+
+#: Annotation leaves that never name a project class.
+_TYPE_NOISE = frozenset(
+    {
+        "None", "Optional", "Union", "Any", "int", "float", "str", "bool",
+        "bytes", "list", "dict", "set", "tuple", "frozenset", "object",
+        "List", "Dict", "Set", "Tuple", "Iterable", "Iterator", "Callable",
+        "Sequence", "Mapping",
+    }
+)
+
+#: Attribute-chain depth bound for receiver-type inference.
+_MAX_CHAIN = 6
+
+
+def _dotted(node: ast.AST) -> "str | None":
+    """``a.b.c`` for an Attribute/Name chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _mentions_degraded(test: ast.expr) -> bool:
+    """Same degraded-branch heuristic the file-local rule uses."""
+    for node in ast.walk(test):
+        name: "str | None" = None
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        if name is not None and "degraded" in name.lower():
+            return True
+    return False
+
+
+def _is_negative(value: "ast.expr | None") -> bool:
+    """``False``, ``[False, ...]``, or ``[False] * n`` (a negative answer)."""
+    if value is None:
+        return False
+    if isinstance(value, ast.Constant) and value.value is False:
+        return True
+    if isinstance(value, ast.List) and value.elts:
+        return all(
+            isinstance(e, ast.Constant) and e.value is False
+            for e in value.elts
+        )
+    if isinstance(value, ast.BinOp) and isinstance(value.op, ast.Mult):
+        return _is_negative(value.left) or _is_negative(value.right)
+    return False
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body, with its context."""
+
+    callees: tuple[str, ...]  # resolved target qnames (may be several)
+    dotted: "str | None"  # textual ``a.b.c`` of the callee expression
+    line: int
+    in_except: bool
+    in_degraded: bool
+    protected: bool  # lexically inside ``with ...deadline_scope(...)``
+    locks_held: tuple[str, ...]  # lock creation sites held at the call
+
+
+@dataclass(frozen=True)
+class ReturnSite:
+    """One ``return`` statement, with its context and value shape."""
+
+    line: int
+    negative_const: bool  # returns False / [False]*n literally
+    call_callees: tuple[str, ...]  # resolved targets when value is a call
+    call_dotted: "str | None"
+    in_except: bool
+    in_degraded: bool
+
+
+@dataclass(frozen=True)
+class AcquireSite:
+    """One lexical ``with self.<lock>`` acquisition."""
+
+    lock: str  # creation-site id ``path:line``
+    line: int
+    locks_held: tuple[str, ...]  # locks already held at the attempt
+
+
+@dataclass
+class FuncNode:
+    """One function or method in the graph."""
+
+    qname: str  # ``module.Class.method`` / ``module.func``
+    module: str
+    cls: "str | None"  # owning class qname, if a method
+    name: str
+    path: str  # repo-relative posix
+    line: int
+    calls: list[CallSite] = field(default_factory=list)
+    returns: list[ReturnSite] = field(default_factory=list)
+    acquires: list[AcquireSite] = field(default_factory=list)
+    #: Parameter names annotated with the simulated clock type.
+    clock_params: tuple[str, ...] = ()
+    #: Textual ``-> X`` return annotation (resolved lazily to a class).
+    return_ann: "str | None" = None
+
+    @property
+    def is_dunder(self) -> bool:
+        return self.name.startswith("__") and self.name.endswith("__")
+
+
+@dataclass
+class ClassInfo:
+    """One class: bases, methods, attribute types, lock creation sites."""
+
+    qname: str
+    name: str
+    module: str
+    path: str
+    line: int
+    base_dotted: list[str] = field(default_factory=list)
+    bases: list[str] = field(default_factory=list)  # resolved qnames
+    methods: dict[str, FuncNode] = field(default_factory=dict)
+    #: attr name → annotation/ctor expression (resolved lazily to qnames).
+    attr_exprs: dict[str, str] = field(default_factory=dict)
+    attr_types: dict[str, str] = field(default_factory=dict)
+    #: attr name → lock creation site ``path:line``.
+    lock_attrs: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module: tree, symbols, pragma table."""
+
+    name: str
+    path: str  # repo-relative posix
+    tree: ast.Module
+    lines: list[str]
+    is_package: bool = False  # an ``__init__.py``
+    #: local name → ("module"|"class"|"func"|"obj", qualified name)
+    symbols: dict[str, tuple[str, str]] = field(default_factory=dict)
+    functions: dict[str, FuncNode] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    exported: set[str] = field(default_factory=set)  # ``__all__`` strings
+
+
+class CallGraph:
+    """The whole-program graph (see module docstring).
+
+    Build with :func:`build_call_graph`.  The public surface the
+    analyses consume: :attr:`functions` (qname → :class:`FuncNode`),
+    :attr:`classes`, :meth:`callers_of` / forward edges via
+    ``FuncNode.calls``, :meth:`reachable`, :attr:`mentions` (every
+    identifier mentioned anywhere, for the dead-code pass) and
+    :meth:`to_dict` for the JSON artifact.
+    """
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FuncNode] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.subclasses: dict[str, set[str]] = {}
+        #: Identifier-ish strings mentioned anywhere in the parsed trees
+        #: (Name ids, Attribute attrs, identifier string constants) —
+        #: the liveness evidence for the dead-code pass.
+        self.mentions: set[str] = set()
+        #: Leading literal fragments of f-strings (``f"_act_{kind}"`` →
+        #: ``"_act_"``): dynamic-dispatch evidence — any function whose
+        #: name starts with one of these counts as mentioned.
+        self.dynamic_prefixes: set[str] = set()
+        self._callers: "dict[str, set[str]] | None" = None
+
+    # ------------------------------------------------------------------
+    # discovery & parsing
+    # ------------------------------------------------------------------
+    def _module_name(self, rel: str) -> str:
+        parts = Path(rel).with_suffix("").parts
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts) if parts else rel
+
+    def _relpath(self, path: Path) -> str:
+        try:
+            return path.resolve().relative_to(self.root.resolve()).as_posix()
+        except ValueError:
+            return path.as_posix()
+
+    def _iter_files(self, paths: Iterable[Path]) -> Iterator[Path]:
+        seen: set[Path] = set()
+        for target in paths:
+            if not target.is_absolute():
+                target = self.root / target
+            candidates: Iterable[Path]
+            if target.is_file() and target.suffix == ".py":
+                candidates = [target]
+            elif target.is_dir():
+                candidates = sorted(target.rglob("*.py"))
+            else:
+                continue
+            for f in candidates:
+                if _SKIP_DIRS.intersection(f.parts):
+                    continue
+                f = f.resolve()
+                if f not in seen:
+                    seen.add(f)
+                    yield f
+
+    def parse(
+        self,
+        paths: Iterable[Path],
+        ref_paths: "Iterable[Path] | None" = None,
+    ) -> None:
+        """Parse analysis modules (``paths``) and, optionally, extra
+        reference-only trees (``ref_paths`` — tests, benches, scripts)
+        that feed :attr:`mentions` but contribute no graph nodes."""
+        for f in self._iter_files(paths):
+            rel = self._relpath(f)
+            try:
+                source = f.read_text(encoding="utf-8")
+                tree = ast.parse(source, filename=str(f))
+            except (SyntaxError, UnicodeDecodeError, OSError):
+                continue
+            name = self._module_name(rel)
+            self.modules[name] = ModuleInfo(
+                name=name,
+                path=rel,
+                tree=tree,
+                lines=source.splitlines(),
+                is_package=f.name == "__init__.py",
+            )
+            self._collect_mentions(tree)
+        for f in self._iter_files(ref_paths or ()):
+            try:
+                tree = ast.parse(f.read_text(encoding="utf-8"), filename=str(f))
+            except (SyntaxError, UnicodeDecodeError, OSError):
+                continue
+            self._collect_mentions(tree)
+
+    def _collect_mentions(self, tree: ast.Module) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name):
+                self.mentions.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                self.mentions.add(node.attr)
+            elif isinstance(node, (ast.Import, ast.ImportFrom)):
+                # ``from m import f`` references ``f`` without a Name node.
+                for alias in node.names:
+                    self.mentions.update(alias.name.split("."))
+                    if alias.asname:
+                        self.mentions.add(alias.asname)
+            elif isinstance(node, ast.JoinedStr):
+                if (
+                    node.values
+                    and isinstance(node.values[0], ast.Constant)
+                    and isinstance(node.values[0].value, str)
+                ):
+                    head = node.values[0].value
+                    if head and (head[0].isalpha() or head[0] == "_"):
+                        self.dynamic_prefixes.add(head)
+            elif (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and node.value.isidentifier()
+            ):
+                self.mentions.add(node.value)
+
+    # ------------------------------------------------------------------
+    # pass 1: declarations
+    # ------------------------------------------------------------------
+    def declare(self) -> None:
+        """Collect imports, functions, classes and attribute shapes."""
+        for mod in self.modules.values():
+            self._declare_module(mod)
+        self._resolve_symbols()
+        self._resolve_hierarchy()
+        self._resolve_attr_types()
+
+    def _declare_module(self, mod: ModuleInfo) -> None:
+        for node in mod.tree.body:
+            if isinstance(node, (ast.Import, ast.ImportFrom)):
+                self._declare_import(mod, node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FuncNode(
+                    qname=f"{mod.name}.{node.name}",
+                    module=mod.name,
+                    cls=None,
+                    name=node.name,
+                    path=mod.path,
+                    line=node.lineno,
+                    return_ann=(
+                        self._annotation_text(node.returns)
+                        if node.returns is not None
+                        else None
+                    ),
+                )
+                mod.functions[node.name] = fn
+                self.functions[fn.qname] = fn
+            elif isinstance(node, ast.ClassDef):
+                self._declare_class(mod, node)
+            elif isinstance(node, ast.Assign):
+                for tgt in node.targets:
+                    if isinstance(tgt, ast.Name) and tgt.id == "__all__":
+                        for el in ast.walk(node.value):
+                            if isinstance(el, ast.Constant) and isinstance(
+                                el.value, str
+                            ):
+                                mod.exported.add(el.value)
+
+    def _declare_import(
+        self, mod: ModuleInfo, node: "ast.Import | ast.ImportFrom"
+    ) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                mod.symbols[bound] = ("obj", target)
+        else:
+            if node.level:
+                # ``from .x import y``: level 1 is the containing package
+                # (the module itself for an ``__init__.py``), each extra
+                # level climbs one package higher.
+                pkg = mod.name.split(".")
+                if not mod.is_package:
+                    pkg = pkg[:-1]
+                drop = node.level - 1
+                if drop:
+                    pkg = pkg[:-drop] if drop < len(pkg) else []
+                base = ".".join(pkg + ([node.module] if node.module else []))
+            else:
+                base = node.module or ""
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                target = f"{base}.{alias.name}" if base else alias.name
+                mod.symbols[bound] = ("obj", target)
+
+    def _declare_class(self, mod: ModuleInfo, node: ast.ClassDef) -> None:
+        cls = ClassInfo(
+            qname=f"{mod.name}.{node.name}",
+            name=node.name,
+            module=mod.name,
+            path=mod.path,
+            line=node.lineno,
+            base_dotted=[d for b in node.bases if (d := _dotted(b))],
+        )
+        mod.classes[node.name] = cls
+        self.classes[cls.qname] = cls
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = FuncNode(
+                    qname=f"{cls.qname}.{item.name}",
+                    module=mod.name,
+                    cls=cls.qname,
+                    name=item.name,
+                    path=mod.path,
+                    line=item.lineno,
+                    return_ann=(
+                        self._annotation_text(item.returns)
+                        if item.returns is not None
+                        else None
+                    ),
+                )
+                cls.methods[item.name] = fn
+                self.functions[fn.qname] = fn
+                self._scan_self_assigns(mod, cls, item)
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                # Dataclass-style field: ``clock: "SimulatedClock | None"``.
+                ann = self._annotation_text(item.annotation)
+                if ann:
+                    cls.attr_exprs.setdefault(item.target.id, ann)
+                if item.value is not None:
+                    self._maybe_lock_field(cls, item.target.id, item.value)
+
+    def _maybe_lock_field(
+        self, cls: ClassInfo, attr: str, value: ast.expr
+    ) -> None:
+        """``field(default_factory=threading.Lock)`` creation sites."""
+        for node in ast.walk(value):
+            dotted = _dotted(node) if isinstance(
+                node, (ast.Name, ast.Attribute)
+            ) else None
+            if dotted and dotted.split(".")[-1] in _LOCK_CTORS:
+                cls.lock_attrs.setdefault(
+                    attr, f"{cls.path}:{getattr(value, 'lineno', cls.line)}"
+                )
+                return
+
+    def _scan_self_assigns(
+        self, mod: ModuleInfo, cls: ClassInfo, meth: ast.FunctionDef
+    ) -> None:
+        """Harvest ``self.x = ...`` attribute shapes from a method body."""
+        params = self._param_annotations(meth)
+        for node in ast.walk(meth):
+            target: "ast.expr | None" = None
+            value: "ast.expr | None" = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign):
+                target, value = node.target, node.value
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    ann = self._annotation_text(node.annotation)
+                    if ann:
+                        cls.attr_exprs.setdefault(target.attr, ann)
+            if (
+                target is None
+                or not isinstance(target, ast.Attribute)
+                or not isinstance(target.value, ast.Name)
+                or target.value.id != "self"
+            ):
+                continue
+            attr = target.attr
+            if isinstance(value, ast.Call):
+                dotted = _dotted(value.func)
+                if dotted is not None:
+                    if dotted.split(".")[-1] in _LOCK_CTORS:
+                        cls.lock_attrs.setdefault(
+                            attr, f"{cls.path}:{value.lineno}"
+                        )
+                    else:
+                        cls.attr_exprs.setdefault(attr, dotted)
+            elif isinstance(value, ast.Name) and value.id in params:
+                cls.attr_exprs.setdefault(attr, params[value.id])
+
+    @staticmethod
+    def _param_annotations(fn: ast.FunctionDef) -> dict[str, str]:
+        """Parameter name → annotation text for one function."""
+        out: dict[str, str] = {}
+        args = list(fn.args.posonlyargs) + list(fn.args.args) + list(
+            fn.args.kwonlyargs
+        )
+        for a in args:
+            if a.annotation is None:
+                continue
+            text = CallGraph._annotation_text(a.annotation)
+            if text:
+                out[a.arg] = text
+        return out
+
+    @staticmethod
+    def _annotation_text(ann: ast.expr) -> "str | None":
+        """A resolvable text form of an annotation expression."""
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            return ann.value
+        d = _dotted(ann)
+        if d is not None:
+            return d
+        try:
+            return ast.unparse(ann)
+        except (ValueError, RecursionError):  # pragma: no cover
+            return None
+
+    # ------------------------------------------------------------------
+    # symbol / hierarchy / type resolution
+    # ------------------------------------------------------------------
+    def _find_module(self, dotted: str) -> "ModuleInfo | None":
+        """Exact, then unique-suffix, module-name match."""
+        mod = self.modules.get(dotted)
+        if mod is not None:
+            return mod
+        tail = "." + dotted
+        hits = [m for n, m in self.modules.items() if n.endswith(tail)]
+        return hits[0] if len(hits) == 1 else None
+
+    def resolve_symbol(
+        self, mod: ModuleInfo, dotted: str
+    ) -> "tuple[str, str] | None":
+        """Resolve ``dotted`` in ``mod`` to ("class"|"func"|"module", qname).
+
+        Walks the head through the module's symbol table (import
+        aliases, local defs), then the tail through module/class
+        members.  Returns None for names the graph cannot see.
+        """
+        parts = dotted.split(".")
+        head, rest = parts[0], parts[1:]
+        kind: str
+        qual: str
+        if head in mod.classes:
+            kind, qual = "class", mod.classes[head].qname
+        elif head in mod.functions:
+            kind, qual = "func", mod.functions[head].qname
+        elif head in mod.symbols:
+            kind, qual = mod.symbols[head]
+        else:
+            target = self._find_module(head)
+            if target is None:
+                return None
+            kind, qual = "module", target.name
+        for _ in range(_MAX_CHAIN):
+            if kind == "obj":
+                # Unresolved qualified name: is it a module / class / func?
+                target = self._find_module(qual)
+                if target is not None:
+                    kind, qual = "module", target.name
+                    continue
+                owner, _, leaf = qual.rpartition(".")
+                owner_mod = self._find_module(owner) if owner else None
+                if owner_mod is not None:
+                    if leaf in owner_mod.classes:
+                        kind, qual = "class", owner_mod.classes[leaf].qname
+                        continue
+                    if leaf in owner_mod.functions:
+                        kind, qual = "func", owner_mod.functions[leaf].qname
+                        continue
+                    kind = "external"
+                break
+            if not rest:
+                break
+            leaf = rest.pop(0)
+            if kind == "module":
+                owner_mod = self.modules.get(qual)
+                if owner_mod is None:
+                    return None
+                if leaf in owner_mod.classes:
+                    kind, qual = "class", owner_mod.classes[leaf].qname
+                elif leaf in owner_mod.functions:
+                    kind, qual = "func", owner_mod.functions[leaf].qname
+                elif leaf in owner_mod.symbols:
+                    kind, qual = owner_mod.symbols[leaf]
+                else:
+                    return None
+            elif kind == "class":
+                meth = self.resolve_method(qual, leaf)
+                if meth is None:
+                    return None
+                kind, qual = "func", meth.qname
+            else:
+                return None
+        if kind in ("class", "func", "module"):
+            return (kind, qual)
+        return None
+
+    def _resolve_symbols(self) -> None:
+        """Second pass over import aliases: pin down modules/classes."""
+        for mod in self.modules.values():
+            for bound, (kind, qual) in list(mod.symbols.items()):
+                if kind != "obj":
+                    continue
+                resolved = self.resolve_symbol(mod, bound)
+                if resolved is not None:
+                    mod.symbols[bound] = resolved
+
+    def _resolve_hierarchy(self) -> None:
+        for cls in self.classes.values():
+            mod = self.modules[cls.module]
+            for dotted in cls.base_dotted:
+                resolved = self.resolve_symbol(mod, dotted)
+                if resolved is not None and resolved[0] == "class":
+                    cls.bases.append(resolved[1])
+                    self.subclasses.setdefault(resolved[1], set()).add(
+                        cls.qname
+                    )
+
+    def mro(self, cls_qname: str) -> list[ClassInfo]:
+        """The class then its known bases, breadth-first, deduplicated."""
+        out: list[ClassInfo] = []
+        seen: set[str] = set()
+        queue = [cls_qname]
+        while queue:
+            q = queue.pop(0)
+            if q in seen:
+                continue
+            seen.add(q)
+            cls = self.classes.get(q)
+            if cls is None:
+                continue
+            out.append(cls)
+            queue.extend(cls.bases)
+        return out
+
+    def resolve_method(self, cls_qname: str, name: str) -> "FuncNode | None":
+        """Resolve ``name`` on ``cls_qname`` by walking its (approximate)
+        MRO, returning the first defining class's method node."""
+        for cls in self.mro(cls_qname):
+            if name in cls.methods:
+                return cls.methods[name]
+        return None
+
+    def resolve_lock_attr(self, cls_qname: str, attr: str) -> "str | None":
+        """Creation site of ``self.<attr>`` searched through the MRO."""
+        for cls in self.mro(cls_qname):
+            if attr in cls.lock_attrs:
+                return cls.lock_attrs[attr]
+        return None
+
+    def resolve_attr_type(self, cls_qname: str, attr: str) -> "str | None":
+        """Class qname of ``self.<attr>``, searched through the MRO."""
+        for cls in self.mro(cls_qname):
+            if attr in cls.attr_types:
+                return cls.attr_types[attr]
+        return None
+
+    def _all_subclasses(self, cls_qname: str) -> set[str]:
+        out: set[str] = set()
+        queue = list(self.subclasses.get(cls_qname, ()))
+        while queue:
+            q = queue.pop()
+            if q in out:
+                continue
+            out.add(q)
+            queue.extend(self.subclasses.get(q, ()))
+        return out
+
+    def dispatch_targets(self, cls_qname: str, name: str) -> list[FuncNode]:
+        """Static target plus every subclass override (virtual dispatch)."""
+        targets: list[FuncNode] = []
+        static = self.resolve_method(cls_qname, name)
+        if static is not None:
+            targets.append(static)
+        for sub in sorted(self._all_subclasses(cls_qname)):
+            sub_cls = self.classes.get(sub)
+            if sub_cls is not None and name in sub_cls.methods:
+                targets.append(sub_cls.methods[name])
+        return targets
+
+    def _type_from_text(self, mod: ModuleInfo, text: str) -> "str | None":
+        """First project class named by an annotation/ctor text."""
+        try:
+            expr = ast.parse(text.strip(), mode="eval").body
+        except SyntaxError:
+            return None
+        candidates: list[str] = []
+        for node in ast.walk(expr):
+            d = _dotted(node) if isinstance(
+                node, (ast.Name, ast.Attribute)
+            ) else None
+            if d is not None and d.split(".")[-1] not in _TYPE_NOISE:
+                candidates.append(d)
+        for cand in candidates:
+            resolved = self.resolve_symbol(mod, cand)
+            if resolved is not None and resolved[0] == "class":
+                return resolved[1]
+        return None
+
+    def _resolve_attr_types(self) -> None:
+        self._return_types: dict[str, "str | None"] = {}
+        for cls in self.classes.values():
+            mod = self.modules[cls.module]
+            for attr, text in cls.attr_exprs.items():
+                qname = self._type_from_text(mod, text)
+                if qname is not None:
+                    cls.attr_types[attr] = qname
+
+    def return_type(self, func_qname: str) -> "str | None":
+        """Class qname a function's ``-> X`` annotation names (cached)."""
+        cache = getattr(self, "_return_types", None)
+        if cache is None:
+            cache = self._return_types = {}
+        if func_qname not in cache:
+            fn = self.functions.get(func_qname)
+            resolved = None
+            if fn is not None and fn.return_ann:
+                resolved = self._type_from_text(
+                    self.modules[fn.module], fn.return_ann
+                )
+            cache[func_qname] = resolved
+        return cache[func_qname]
+
+    # ------------------------------------------------------------------
+    # pass 2: bodies (calls, returns, locks, deadline scopes)
+    # ------------------------------------------------------------------
+    def analyze_bodies(self) -> None:
+        """Second pass: walk every function body, recording call sites
+        (with lexical context), return sites, and lock acquisitions.
+        Requires all modules to be declared first so calls resolve."""
+        for mod in self.modules.values():
+            for node in mod.tree.body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._analyze_function(
+                        mod, None, mod.functions[node.name], node
+                    )
+                elif isinstance(node, ast.ClassDef):
+                    cls = mod.classes[node.name]
+                    for item in node.body:
+                        if isinstance(
+                            item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                        ):
+                            self._analyze_function(
+                                mod, cls, cls.methods[item.name], item
+                            )
+        self._callers = None  # invalidate the reverse-edge cache
+
+    def _analyze_function(
+        self,
+        mod: ModuleInfo,
+        cls: "ClassInfo | None",
+        fn: FuncNode,
+        node: ast.FunctionDef,
+    ) -> None:
+        params = self._param_annotations(node)
+        local_types: dict[str, str] = {}
+        clock_params: list[str] = []
+        for pname, text in params.items():
+            qname = self._type_from_text(mod, text)
+            if qname is not None:
+                local_types[pname] = qname
+                if qname.rsplit(".", 1)[-1] == "SimulatedClock":
+                    clock_params.append(pname)
+        fn.clock_params = tuple(clock_params)
+        ctx = _BodyContext(self, mod, cls, fn, local_types)
+        ctx.walk_block(node.body)
+
+    # ------------------------------------------------------------------
+    # queries over the finished graph
+    # ------------------------------------------------------------------
+    def callers_of(self) -> dict[str, set[str]]:
+        """Reverse edges: callee qname → caller qnames (cached)."""
+        if self._callers is None:
+            rev: dict[str, set[str]] = {}
+            for fn in self.functions.values():
+                for call in fn.calls:
+                    for callee in call.callees:
+                        rev.setdefault(callee, set()).add(fn.qname)
+            self._callers = rev
+        return self._callers
+
+    def reachable(self, roots: Iterable[str]) -> set[str]:
+        """Transitive closure over call edges from ``roots``."""
+        seen: set[str] = set()
+        queue = [r for r in roots if r in self.functions]
+        while queue:
+            q = queue.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            for call in self.functions[q].calls:
+                queue.extend(c for c in call.callees if c not in seen)
+        return seen
+
+    def module_for_path(self, path: str) -> "ModuleInfo | None":
+        """The parsed module whose source file is ``path``, if any."""
+        for mod in self.modules.values():
+            if mod.path == path:
+                return mod
+        return None
+
+    def suppressed(self, path: str, line: int, rule: str) -> bool:
+        """Honour ``# lint: allow[rule]`` pragmas for graph findings
+        (same grammar and line/line-1 placement as the file engine)."""
+        mod = self.module_for_path(path)
+        if mod is None:
+            return False
+        for candidate in (line, line - 1):
+            if not 1 <= candidate <= len(mod.lines):
+                continue
+            m = _PRAGMA_RE.search(mod.lines[candidate - 1])
+            if m is not None:
+                names = {n.strip() for n in m.group(1).split(",")}
+                if rule in names or "*" in names:
+                    return True
+        return False
+
+    def to_dict(self) -> dict:
+        """JSON-ready call-graph dump (the ``--graph`` artifact)."""
+        nodes = [
+            {
+                "qname": fn.qname,
+                "path": fn.path,
+                "line": fn.line,
+                "class": fn.cls,
+            }
+            for fn in sorted(self.functions.values(), key=lambda f: f.qname)
+        ]
+        edges = []
+        for fn in sorted(self.functions.values(), key=lambda f: f.qname):
+            for call in fn.calls:
+                for callee in call.callees:
+                    edges.append(
+                        {
+                            "caller": fn.qname,
+                            "callee": callee,
+                            "line": call.line,
+                            "protected": call.protected,
+                            "in_except": call.in_except,
+                            "in_degraded": call.in_degraded,
+                        }
+                    )
+        return {
+            "version": 1,
+            "modules": sorted(self.modules),
+            "functions": len(nodes),
+            "edges": len(edges),
+            "nodes": nodes,
+            "call_edges": edges,
+        }
+
+
+class _BodyContext:
+    """Statement walker carrying except/degraded/deadline/lock context."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        mod: ModuleInfo,
+        cls: "ClassInfo | None",
+        fn: FuncNode,
+        local_types: dict[str, str],
+    ) -> None:
+        self.graph = graph
+        self.mod = mod
+        self.cls = cls
+        self.fn = fn
+        self.local_types = local_types
+        self.in_except = False
+        self.in_degraded = False
+        self.protected = False
+        self.locks: tuple[str, ...] = ()
+
+    # -- type inference -------------------------------------------------
+    def infer_type(self, expr: ast.expr, depth: int = 0) -> "str | None":
+        """Class qname of ``expr``'s value, or None."""
+        if depth > _MAX_CHAIN:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id == "self" and self.cls is not None:
+                return self.cls.qname
+            return self.local_types.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            owner = self.infer_type(expr.value, depth + 1)
+            if owner is not None:
+                return self.graph.resolve_attr_type(owner, expr.attr)
+            return None
+        if isinstance(expr, ast.Call):
+            # Container/iterator builtins are type-transparent for the
+            # element-conflated lattice (see DESIGN.md §15).
+            if (
+                isinstance(expr.func, ast.Name)
+                and expr.func.id in ("reversed", "sorted", "list", "tuple", "iter")
+                and expr.args
+            ):
+                return self.infer_type(expr.args[0], depth + 1)
+            d = _dotted(expr.func)
+            if d is not None:
+                resolved = self.graph.resolve_symbol(self.mod, d)
+                if resolved is not None:
+                    if resolved[0] == "class":
+                        return resolved[1]
+                    if resolved[0] == "func":
+                        return self.graph.return_type(resolved[1])
+            # ``self.m()`` / ``x.m()``: type via the method's annotation.
+            if isinstance(expr.func, ast.Attribute):
+                recv = self.infer_type(expr.func.value, depth + 1)
+                if recv is not None:
+                    meth = self.graph.resolve_method(recv, expr.func.attr)
+                    if meth is not None:
+                        return self.graph.return_type(meth.qname)
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self.infer_type(expr.body, depth + 1) or self.infer_type(
+                expr.orelse, depth + 1
+            )
+        return None
+
+    # -- call resolution ------------------------------------------------
+    def resolve_call(self, call: ast.Call) -> tuple[tuple[str, ...], "str | None"]:
+        """Resolved callee qnames + the textual dotted form."""
+        func = call.func
+        dotted = _dotted(func)
+        targets: list[FuncNode] = []
+        if isinstance(func, ast.Name):
+            resolved = self.graph.resolve_symbol(self.mod, func.id)
+            if resolved is not None:
+                kind, qual = resolved
+                if kind == "func" and qual in self.graph.functions:
+                    targets.append(self.graph.functions[qual])
+                elif kind == "class":
+                    init = self.graph.resolve_method(qual, "__init__")
+                    if init is not None:
+                        targets.append(init)
+        elif isinstance(func, ast.Attribute):
+            recv_type = self.infer_type(func.value)
+            if recv_type is not None:
+                targets.extend(
+                    self.graph.dispatch_targets(recv_type, func.attr)
+                )
+            elif dotted is not None:
+                resolved = self.graph.resolve_symbol(self.mod, dotted)
+                if resolved is not None:
+                    kind, qual = resolved
+                    if kind == "func" and qual in self.graph.functions:
+                        targets.append(self.graph.functions[qual])
+                    elif kind == "class":
+                        init = self.graph.resolve_method(qual, "__init__")
+                        if init is not None:
+                            targets.append(init)
+        qnames = tuple(sorted({t.qname for t in targets}))
+        return qnames, dotted
+
+    # -- the walk --------------------------------------------------------
+    def walk_block(self, stmts: "list[ast.stmt]") -> None:
+        for stmt in stmts:
+            self.walk_stmt(stmt)
+
+    def walk_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # Nested defs run later, in an unknown context: attribute
+            # their calls to this function but drop the lexical context
+            # (conservative for taint and locks; see DESIGN.md §15).
+            saved = (self.in_except, self.in_degraded, self.protected, self.locks)
+            self.in_except = self.in_degraded = self.protected = False
+            self.locks = ()
+            body = stmt.body if isinstance(stmt.body, list) else [stmt.body]
+            for sub in body:
+                if isinstance(sub, ast.stmt):
+                    self.walk_stmt(sub)
+                else:
+                    self.scan_expr(sub)
+            (self.in_except, self.in_degraded, self.protected, self.locks) = saved
+            return
+        if isinstance(stmt, ast.Return):
+            self.record_return(stmt)
+            if stmt.value is not None:
+                self.scan_expr(stmt.value)
+            return
+        if isinstance(stmt, ast.Assign):
+            self.scan_expr(stmt.value)
+            if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                inferred = self.infer_type(stmt.value)
+                if inferred is not None:
+                    self.local_types[stmt.targets[0].id] = inferred
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.scan_expr(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                text = CallGraph._annotation_text(stmt.annotation)
+                if text:
+                    qname = self.graph._type_from_text(self.mod, text)
+                    if qname is not None:
+                        self.local_types[stmt.target.id] = qname
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.scan_expr(stmt.iter)
+            if isinstance(stmt.target, ast.Name):
+                # Element-conflated: ``tuple[SSTable, ...]`` attr types
+                # resolve to SSTable, so the loop variable gets the
+                # element class.
+                elem = self.infer_type(stmt.iter)
+                if elem is not None:
+                    self.local_types[stmt.target.id] = elem
+            self.walk_block(stmt.body)
+            self.walk_block(stmt.orelse)
+            return
+        if isinstance(stmt, ast.With):
+            self.walk_with(stmt)
+            return
+        if isinstance(stmt, ast.Try):
+            self.walk_block(stmt.body)
+            for handler in stmt.handlers:
+                if handler.type is not None:
+                    self.scan_expr(handler.type)
+                saved = self.in_except
+                self.in_except = True
+                self.walk_block(handler.body)
+                self.in_except = saved
+            self.walk_block(stmt.orelse)
+            self.walk_block(stmt.finalbody)
+            return
+        if isinstance(stmt, ast.If):
+            self.scan_expr(stmt.test)
+            degraded = _mentions_degraded(stmt.test)
+            saved = self.in_degraded
+            self.in_degraded = saved or degraded
+            self.walk_block(stmt.body)
+            self.in_degraded = saved
+            self.walk_block(stmt.orelse)
+            return
+        # Generic recursion: scan expressions, walk nested blocks.
+        for fname, value in ast.iter_fields(stmt):
+            if isinstance(value, list):
+                for item in value:
+                    if isinstance(item, ast.stmt):
+                        self.walk_stmt(item)
+                    elif isinstance(item, ast.expr):
+                        self.scan_expr(item)
+            elif isinstance(value, ast.expr):
+                self.scan_expr(value)
+
+    def walk_with(self, stmt: ast.With) -> None:
+        saved_protected = self.protected
+        saved_locks = self.locks
+        for item in stmt.items:
+            expr = item.context_expr
+            self.scan_expr(expr)
+            # ``with <recv>.deadline_scope(...):`` — deadline protection.
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "deadline_scope"
+            ):
+                self.protected = True
+                continue
+            # ``with self.<lock>:`` — a lexical acquisition.
+            lock_id = self._lock_site(expr)
+            if lock_id is not None:
+                self.fn.acquires.append(
+                    AcquireSite(
+                        lock=lock_id,
+                        line=expr.lineno,
+                        locks_held=self.locks,
+                    )
+                )
+                if lock_id not in self.locks:
+                    self.locks = self.locks + (lock_id,)
+        self.walk_block(stmt.body)
+        self.protected = saved_protected
+        self.locks = saved_locks
+
+    def _lock_site(self, expr: ast.expr) -> "str | None":
+        """Creation site for a ``with self._lock``-shaped context expr."""
+        if isinstance(expr, ast.Call):
+            expr = expr.func
+        while isinstance(expr, ast.Attribute):
+            if (
+                isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and self.cls is not None
+            ):
+                site = self.graph.resolve_lock_attr(self.cls.qname, expr.attr)
+                if site is not None:
+                    return site
+            expr = expr.value
+        return None
+
+    def scan_expr(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                callees, dotted = self.resolve_call(node)
+                self.fn.calls.append(
+                    CallSite(
+                        callees=callees,
+                        dotted=dotted,
+                        line=node.lineno,
+                        in_except=self.in_except,
+                        in_degraded=self.in_degraded,
+                        protected=self.protected,
+                        locks_held=self.locks,
+                    )
+                )
+            elif isinstance(node, (ast.Lambda,)):
+                pass  # body scanned by the generic walk below
+
+    def record_return(self, stmt: ast.Return) -> None:
+        call_callees: tuple[str, ...] = ()
+        call_dotted: "str | None" = None
+        if isinstance(stmt.value, ast.Call):
+            call_callees, call_dotted = self.resolve_call(stmt.value)
+        self.fn.returns.append(
+            ReturnSite(
+                line=stmt.lineno,
+                negative_const=_is_negative(stmt.value),
+                call_callees=call_callees,
+                call_dotted=call_dotted,
+                in_except=self.in_except,
+                in_degraded=self.in_degraded,
+            )
+        )
+
+
+def build_call_graph(
+    root: "str | Path",
+    paths: "Iterable[str | Path] | None" = None,
+    ref_paths: "Iterable[str | Path] | None" = None,
+) -> CallGraph:
+    """Parse + declare + analyze: the one-call constructor.
+
+    ``paths`` (default ``src/repro``) become graph nodes; ``ref_paths``
+    (tests, benchmarks, examples, scripts — whatever exists by default)
+    only contribute liveness mentions for the dead-code pass.
+    """
+    root = Path(root)
+    graph = CallGraph(root)
+    if paths is None:
+        paths = [p for p in ("src/repro",) if (root / p).exists()]
+    if ref_paths is None:
+        ref_paths = [
+            p
+            for p in ("tests", "benchmarks", "examples", "scripts")
+            if (root / p).exists()
+        ]
+    graph.parse(
+        [Path(p) for p in paths], [Path(p) for p in ref_paths]
+    )
+    graph.declare()
+    graph.analyze_bodies()
+    return graph

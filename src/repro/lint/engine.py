@@ -214,6 +214,23 @@ class Baseline:
                 new.append(f)
         return new, old
 
+    def stale(
+        self, findings: Iterable[Finding]
+    ) -> list[tuple[tuple[str, str, str], int]]:
+        """Baseline entries the current findings no longer (fully) match.
+
+        The ratchet: a grandfathered finding that disappeared must take
+        its baseline entry with it, so the baseline only ever shrinks.
+        Returns ``(fingerprint, unmatched_count)`` pairs, sorted.
+        """
+        matched = Counter(f.fingerprint() for f in findings)
+        out: list[tuple[tuple[str, str, str], int]] = []
+        for key in sorted(self.counts):
+            extra = self.counts[key] - matched.get(key, 0)
+            if extra > 0:
+                out.append((key, extra))
+        return out
+
 
 def load_source(path: "str | Path", rel: "str | None" = None) -> FileContext:
     """Parse one file into a :class:`FileContext`.

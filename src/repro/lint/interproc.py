@@ -1,0 +1,559 @@
+"""Interprocedural contract analyses over the project call graph.
+
+Three whole-program passes, plus a dead-code pass, run on top of the
+:class:`~repro.lint.callgraph.CallGraph` (DESIGN.md §15):
+
+1. **One-sided-error taint** (``interproc-one-sided``) — a fixpoint
+   classifies every function by *may-return-negative* (returns ``False``
+   / ``[False] * n`` on some path, or returns the result of a tainted
+   callee).  A violation is a ``return <call>()`` inside an ``except``
+   handler or degraded branch, in a guarantee-bearing scope, reachable
+   from a query entry point, whose callee is tainted: the degraded path
+   launders a possibly-negative answer across a call boundary.  (The
+   file-local rule already catches literal ``return False`` there.)
+
+2. **Deadline propagation** (``interproc-deadline``) — every blocking
+   ``StorageEnv`` I/O call (the clock-charging reads: ``read``,
+   ``read_with_retry``, ``get_blob``, ``get_blob_with_retry``) reachable
+   from a ``FilterService`` submit-rooted path must sit under a
+   ``deadline_scope`` somewhere on every call chain, or take the
+   simulated clock itself.  Call edges lexically inside ``with
+   ...deadline_scope(...)`` are *protecting*; the pass flags charging
+   I/O in functions reachable without crossing one.
+
+3. **Static lock-order graph** (``interproc-lock-order``) — ``with
+   self._lock`` nesting, propagated along call edges (a call made while
+   holding L contributes L → every lock the callee may transitively
+   acquire), keyed by lock *creation site* ``path:line`` — the same node
+   identity the runtime :class:`~repro.lint.sanitizer.LockOrderWatcher`
+   reports — then unioned with ``SANITIZER_REPORT.json``.  Any cycle in
+   the union fails the run: a deadlock on a schedule the runtime
+   sanitizer may never have executed.
+
+4. **Dead code** (``dead-code``) — functions in ``src/repro/`` with no
+   call-graph edge *and* no name mention anywhere in the project
+   (sources, tests, benchmarks, examples, scripts, identifier-shaped
+   string constants).  Dunders, ``__all__`` exports and dynamically
+   dispatched ``prefix_*`` methods are exempt; everything else —
+   including public methods nothing references — is a candidate.
+
+Findings carry the same fingerprints as file-local rules and flow
+through the existing baseline; ``# lint: allow[rule]`` pragmas apply.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .callgraph import CallGraph, CallSite, FuncNode
+from .engine import Finding, Rule
+
+__all__ = [
+    "InterprocAnalyzer",
+    "RULE_DEADLINE",
+    "RULE_DEAD_CODE",
+    "RULE_LOCK_ORDER",
+    "RULE_ONE_SIDED",
+    "load_runtime_report",
+]
+
+RULE_ONE_SIDED = "interproc-one-sided"
+RULE_DEADLINE = "interproc-deadline"
+RULE_LOCK_ORDER = "interproc-lock-order"
+RULE_DEAD_CODE = "dead-code"
+
+#: Guarantee-bearing path segments (mirrors the file-local rule).
+SCOPES = ("filters", "service", "storage", "cluster", "durability")
+
+#: ``StorageEnv`` methods that charge the simulated clock (block).
+IO_METHODS = frozenset(
+    {"read", "read_with_retry", "get_blob", "get_blob_with_retry"}
+)
+
+#: Query-entry name shapes: the public answer-bearing surface.
+_QUERY_PREFIXES = ("query", "submit")
+_QUERY_NAMES = frozenset(
+    {"get", "range_query", "range_query_many", "might_contain"}
+)
+
+#: Service internals that serve submitted requests (the admission queue
+#: breaks the static call chain between ``submit`` and the worker).
+_SERVICE_INTERNAL_ROOTS = frozenset({"_worker_loop"})
+
+
+def load_runtime_report(path: "str | Path") -> "dict | None":
+    """Load a ``SANITIZER_REPORT.json`` if present and well-formed."""
+    p = Path(path)
+    if not p.exists():
+        return None
+    try:
+        data = json.loads(p.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _in_scope(path: str) -> bool:
+    return Rule.path_has_segment(path, *SCOPES)
+
+
+class InterprocAnalyzer:
+    """Run the whole-program passes; yields :class:`Finding` objects."""
+
+    def __init__(
+        self,
+        graph: CallGraph,
+        runtime_report: "dict | None" = None,
+    ) -> None:
+        self.graph = graph
+        self.runtime_report = runtime_report
+
+    # ------------------------------------------------------------------
+    # roots
+    # ------------------------------------------------------------------
+    def query_roots(self) -> list[str]:
+        """Answer-bearing entry points in guarantee scopes."""
+        roots = []
+        for fn in self.graph.functions.values():
+            if not _in_scope(fn.path):
+                continue
+            if (
+                fn.name.startswith(_QUERY_PREFIXES)
+                or fn.name in _QUERY_NAMES
+                or fn.name in _SERVICE_INTERNAL_ROOTS
+            ):
+                roots.append(fn.qname)
+        return sorted(roots)
+
+    def submit_roots(self) -> list[str]:
+        """``FilterService.submit``-rooted surface: submit/query methods
+        of ``*Service`` classes plus the worker loop that serves them."""
+        roots = []
+        for fn in self.graph.functions.values():
+            if not Rule.path_has_segment(fn.path, "service"):
+                continue
+            cls = self.graph.classes.get(fn.cls) if fn.cls else None
+            if cls is None or "Service" not in cls.name:
+                continue
+            if (
+                fn.name.startswith(_QUERY_PREFIXES)
+                or fn.name in _SERVICE_INTERNAL_ROOTS
+            ):
+                roots.append(fn.qname)
+        return sorted(roots)
+
+    # ------------------------------------------------------------------
+    # pass 1: one-sided-error taint
+    # ------------------------------------------------------------------
+    def may_return_negative(self) -> set[str]:
+        """Fixpoint: functions that can return a negative answer."""
+        tainted = {
+            fn.qname
+            for fn in self.graph.functions.values()
+            if any(r.negative_const for r in fn.returns)
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.graph.functions.values():
+                if fn.qname in tainted:
+                    continue
+                for r in fn.returns:
+                    if any(c in tainted for c in r.call_callees):
+                        tainted.add(fn.qname)
+                        changed = True
+                        break
+        return tainted
+
+    def one_sided(self) -> list[Finding]:
+        """Pass 1: interprocedural one-sided-error taint.
+
+        Flags functions on query-reachable paths that *launder* a
+        possibly-negative callee result through an except/degraded
+        handler — the cross-module generalisation of the file-local
+        ``negative-return-in-except`` rule."""
+        tainted = self.may_return_negative()
+        reachable = self.graph.reachable(self.query_roots())
+        findings: list[Finding] = []
+        for fn in self.graph.functions.values():
+            if not _in_scope(fn.path) or fn.qname not in reachable:
+                continue
+            for r in fn.returns:
+                if not (r.in_except or r.in_degraded):
+                    continue
+                if r.negative_const:
+                    continue  # the file-local rule owns literal returns
+                laundering = sorted(c for c in r.call_callees if c in tainted)
+                if not laundering:
+                    continue
+                culprit = laundering[0]
+                where = "except handler" if r.in_except else "degraded branch"
+                findings.append(
+                    Finding(
+                        rule=RULE_ONE_SIDED,
+                        path=fn.path,
+                        line=r.line,
+                        col=1,
+                        message=(
+                            f"{fn.name}() returns {r.call_dotted}() from an "
+                            f"{where}; {culprit} may answer negative — "
+                            "degraded paths must resolve all-positive "
+                            "(one-sided error)"
+                        ),
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    # pass 2: deadline propagation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _io_method(call: CallSite) -> "str | None":
+        """The blocking ``StorageEnv`` method a call site invokes, if any."""
+        for callee in call.callees:
+            parts = callee.split(".")
+            if parts[-1] in IO_METHODS and "StorageEnv" in parts:
+                return parts[-1]
+        if call.dotted is not None:
+            parts = call.dotted.split(".")
+            # Unresolved receiver: trust the repo idiom that ``env`` /
+            # ``self.env`` / ``...lsm.env`` names a StorageEnv.
+            if parts[-1] in IO_METHODS and "env" in parts[:-1]:
+                return parts[-1]
+        return None
+
+    def unprotected_reachable(self, roots: Iterable[str]) -> set[str]:
+        """Functions reachable from ``roots`` without ever crossing a
+        call edge that sits inside a ``with ...deadline_scope(...)``."""
+        seen: set[str] = set()
+        queue = [r for r in roots if r in self.graph.functions]
+        while queue:
+            q = queue.pop()
+            if q in seen:
+                continue
+            seen.add(q)
+            for call in self.graph.functions[q].calls:
+                if call.protected:
+                    continue
+                queue.extend(c for c in call.callees if c not in seen)
+        return seen
+
+    def deadline(self) -> list[Finding]:
+        """Pass 2: deadline/clock propagation.
+
+        Every blocking :class:`StorageEnv` I/O reachable from a
+        ``FilterService`` submit root must sit under a ``deadline_scope``
+        somewhere on the call chain, or take the simulated clock."""
+        exposed = self.unprotected_reachable(self.submit_roots())
+        findings: list[Finding] = []
+        for qname in sorted(exposed):
+            fn = self.graph.functions[qname]
+            if fn.clock_params:
+                continue  # takes the simulated clock: enforces its own deadline
+            for call in fn.calls:
+                if call.protected:
+                    continue
+                io = self._io_method(call)
+                if io is None:
+                    continue
+                findings.append(
+                    Finding(
+                        rule=RULE_DEADLINE,
+                        path=fn.path,
+                        line=call.line,
+                        col=1,
+                        message=(
+                            f"blocking StorageEnv.{io}() in {fn.name}() is "
+                            "reachable from FilterService.submit with no "
+                            "deadline_scope on the call chain; wrap the "
+                            "chain in env.deadline_scope(...) or pass the "
+                            "simulated clock"
+                        ),
+                    )
+                )
+        return findings
+
+    # ------------------------------------------------------------------
+    # pass 3: lock-order graph
+    # ------------------------------------------------------------------
+    def may_acquire(self) -> dict[str, set[str]]:
+        """Fixpoint: lock creation sites each function may acquire,
+        directly or through any callee."""
+        acq: dict[str, set[str]] = {
+            fn.qname: {a.lock for a in fn.acquires}
+            for fn in self.graph.functions.values()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for fn in self.graph.functions.values():
+                mine = acq[fn.qname]
+                before = len(mine)
+                for call in fn.calls:
+                    for callee in call.callees:
+                        mine |= acq.get(callee, set())
+                if len(mine) != before:
+                    changed = True
+        return acq
+
+    def static_lock_edges(self) -> dict[tuple[str, str], int]:
+        """``held → acquired`` edges from lexical nesting plus calls made
+        while holding a lock.  Self-edges are dropped: re-acquiring the
+        same creation site is assumed reentrant (the repo uses RLocks
+        for every self-nested lock; the runtime watcher agrees)."""
+        acq = self.may_acquire()
+        edges: dict[tuple[str, str], int] = {}
+        for fn in self.graph.functions.values():
+            for a in fn.acquires:
+                for held in a.locks_held:
+                    if held != a.lock:
+                        key = (held, a.lock)
+                        edges[key] = edges.get(key, 0) + 1
+            for call in fn.calls:
+                if not call.locks_held:
+                    continue
+                inner: set[str] = set()
+                for callee in call.callees:
+                    inner |= acq.get(callee, set())
+                for held in call.locks_held:
+                    for lock in inner:
+                        if held != lock:
+                            key = (held, lock)
+                            edges[key] = edges.get(key, 0) + 1
+        return edges
+
+    def _static_sites(self) -> dict[str, list[str]]:
+        """path → static lock creation sites in that file."""
+        by_path: dict[str, list[str]] = {}
+        for cls in self.graph.classes.values():
+            for site in cls.lock_attrs.values():
+                path = site.rsplit(":", 1)[0]
+                if site not in by_path.setdefault(path, []):
+                    by_path[path].append(site)
+        return by_path
+
+    def _runtime_sites(self) -> dict[str, list[str]]:
+        """path → distinct runtime creation sites seen in the report."""
+        by_path: dict[str, list[str]] = {}
+        if not self.runtime_report:
+            return by_path
+        for entry in self.runtime_report.get("edges", []):
+            for site in (str(entry.get("held", "")), str(entry.get("acquired", ""))):
+                if not site:
+                    continue
+                path = site.rsplit(":", 1)[0]
+                if site not in by_path.setdefault(path, []):
+                    by_path[path].append(site)
+        return by_path
+
+    def _map_runtime_site(self, site: str) -> str:
+        """Map a runtime creation site onto the static node space.
+
+        Exact ``path:line`` match wins; otherwise, when the file has
+        exactly one static creation site AND the report names exactly
+        one runtime site in that file, line drift (the committed report
+        predating an edit) is forgiven and the runtime node is remapped
+        onto the static one.  Requiring uniqueness on *both* sides
+        matters: a file with two runtime locks but one static site would
+        otherwise collapse two distinct locks into one node, hiding any
+        ordering between them.  Anything else stays a foreign node — it
+        can extend the graph but never aliases a static lock.
+        """
+        by_path = self._static_sites()
+        path, _, _line = site.rpartition(":")
+        sites = by_path.get(path, [])
+        if site in sites:
+            return site
+        if len(sites) == 1 and len(self._runtime_sites().get(path, [])) == 1:
+            return sites[0]
+        return site
+
+    def runtime_lock_edges(self) -> dict[tuple[str, str], int]:
+        """Lock-order edges observed by the runtime sanitizer, with
+        creation sites mapped onto the static node space."""
+        edges: dict[tuple[str, str], int] = {}
+        if not self.runtime_report:
+            return edges
+        for entry in self.runtime_report.get("edges", []):
+            held = self._map_runtime_site(str(entry.get("held", "")))
+            acquired = self._map_runtime_site(str(entry.get("acquired", "")))
+            if not held or not acquired or held == acquired:
+                continue
+            key = (held, acquired)
+            edges[key] = edges.get(key, 0) + int(entry.get("count", 1))
+        return edges
+
+    @staticmethod
+    def _cycles(edges: Iterable[tuple[str, str]]) -> list[list[str]]:
+        """Strongly connected components with more than one node
+        (iterative Tarjan; deterministic, sorted output)."""
+        succ: dict[str, list[str]] = {}
+        nodes: set[str] = set()
+        for held, acquired in edges:
+            succ.setdefault(held, []).append(acquired)
+            nodes.update((held, acquired))
+        for targets in succ.values():
+            targets.sort()
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = 0
+        sccs: list[list[str]] = []
+        for start in sorted(nodes):
+            if start in index:
+                continue
+            work: list[tuple[str, int]] = [(start, 0)]
+            while work:
+                node, child = work[-1]
+                if child == 0:
+                    index[node] = lowlink[node] = counter
+                    counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                targets = succ.get(node, [])
+                while child < len(targets):
+                    nxt = targets[child]
+                    child += 1
+                    if nxt not in index:
+                        work[-1] = (node, child)
+                        work.append((nxt, 0))
+                        recurse = True
+                        break
+                    if nxt in on_stack:
+                        lowlink[node] = min(lowlink[node], index[nxt])
+                if recurse:
+                    continue
+                work[-1] = (node, child)
+                if lowlink[node] == index[node]:
+                    comp: list[str] = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        comp.append(w)
+                        if w == node:
+                            break
+                    if len(comp) > 1:
+                        sccs.append(sorted(comp))
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+        return sorted(sccs)
+
+    def lock_order(self) -> list[Finding]:
+        """Pass 3: cycles in the *union* of the static lock-order graph
+        and the runtime sanitizer graph — each view catches orderings
+        the other cannot (dynamic dispatch vs. untested interleavings)."""
+        static = self.static_lock_edges()
+        runtime = self.runtime_lock_edges()
+        union = set(static) | set(runtime)
+        findings: list[Finding] = []
+        for cycle in self._cycles(union):
+            first = cycle[0]
+            path, _, line = first.rpartition(":")
+            findings.append(
+                Finding(
+                    rule=RULE_LOCK_ORDER,
+                    path=path or first,
+                    line=int(line) if line.isdigit() else 1,
+                    col=1,
+                    message=(
+                        "lock-order cycle in the static ∪ runtime graph "
+                        f"(potential deadlock): {' -> '.join(cycle)} -> "
+                        f"{cycle[0]}"
+                    ),
+                )
+            )
+        return findings
+
+    def lock_graph_dict(self) -> dict:
+        """JSON-ready union lock graph (the ``--graph`` artifact)."""
+        static = self.static_lock_edges()
+        runtime = self.runtime_lock_edges()
+        union: dict[tuple[str, str], str] = {}
+        for key in static:
+            union[key] = "static"
+        for key in runtime:
+            union[key] = "both" if key in union else "runtime"
+        nodes = sorted({n for key in union for n in key})
+        return {
+            "version": 1,
+            "nodes": nodes,
+            "edges": [
+                {
+                    "held": held,
+                    "acquired": acquired,
+                    "provenance": provenance,
+                    "static_count": static.get((held, acquired), 0),
+                    "runtime_count": runtime.get((held, acquired), 0),
+                }
+                for (held, acquired), provenance in sorted(union.items())
+            ],
+            "cycles": self._cycles(union),
+        }
+
+    # ------------------------------------------------------------------
+    # pass 4: dead code
+    # ------------------------------------------------------------------
+    def dead_code(self) -> list[Finding]:
+        """Pass 4: functions in ``src/repro`` with no caller edge, no
+        textual mention anywhere (tests, benches, docs strings-as-names,
+        ``__all__``), and no dynamic-dispatch prefix match."""
+        callers = self.graph.callers_of()
+        findings: list[Finding] = []
+        for qname in sorted(self.graph.functions):
+            fn = self.graph.functions[qname]
+            if not fn.path.startswith("src/repro"):
+                continue
+            if fn.is_dunder:
+                continue
+            mod = self.graph.modules.get(fn.module)
+            if mod is not None and fn.name in mod.exported:
+                continue
+            if qname in callers:
+                continue
+            if fn.name in self.graph.mentions:
+                continue
+            if any(
+                fn.name.startswith(prefix)
+                for prefix in self.graph.dynamic_prefixes
+            ):
+                continue  # dynamic getattr(self, f"prefix_{...}") dispatch
+            findings.append(
+                Finding(
+                    rule=RULE_DEAD_CODE,
+                    path=fn.path,
+                    line=fn.line,
+                    col=1,
+                    message=(
+                        f"{qname} is unreachable from any entry point "
+                        "(CLI, tests, benches, public API) — delete it or "
+                        "baseline with justification"
+                    ),
+                    severity="warning",
+                )
+            )
+        return findings
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+    def run(self) -> list[Finding]:
+        """All four passes, pragma-filtered, sorted like the engine."""
+        findings = (
+            self.one_sided()
+            + self.deadline()
+            + self.lock_order()
+            + self.dead_code()
+        )
+        kept = [
+            f
+            for f in findings
+            if not self.graph.suppressed(f.path, f.line, f.rule)
+        ]
+        kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return kept

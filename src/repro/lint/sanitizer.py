@@ -62,12 +62,12 @@ _RAW_LOCK = _thread.allocate_lock
 _RAW_RLOCK = _thread.RLock
 
 
-def raw_lock():
+def raw_lock() -> Any:
     """An unwatched ``Lock``, even while a watcher is installed."""
     return _RAW_LOCK()
 
 
-def raw_rlock():
+def raw_rlock() -> Any:
     """An unwatched ``RLock``, even while a watcher is installed."""
     return _RAW_RLOCK()
 
@@ -84,7 +84,7 @@ class _WatchedLock:
         "_is_owned",
     )
 
-    def __init__(self, inner: Any, site: str, watcher: "LockOrderWatcher"):
+    def __init__(self, inner: Any, site: str, watcher: "LockOrderWatcher") -> None:
         self._inner = inner
         self._site = site
         self._watcher = watcher
@@ -114,20 +114,20 @@ class _WatchedLock:
     def __enter__(self) -> bool:
         return self.acquire()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.release()
 
     def locked(self) -> bool:
         return self._inner.locked()
 
     # -- Condition support (RLock inner only; bound in __init__) ------
-    def _do_release_save(self):
+    def _do_release_save(self) -> Any:
         # Condition.wait releases the lock however many times it was
         # taken; drop our whole hold record for it.
         self._watcher._on_released(self, full=True)
         return self._inner._release_save()
 
-    def _do_acquire_restore(self, state) -> None:
+    def _do_acquire_restore(self, state: Any) -> None:
         self._inner._acquire_restore(state)
         self._watcher._on_acquired(self)
 
@@ -183,10 +183,10 @@ class LockOrderWatcher:
         self._saved = (threading.Lock, threading.RLock)
         watcher = self
 
-        def make_lock():
+        def make_lock() -> Any:
             return watcher.wrap(_RAW_LOCK())
 
-        def make_rlock():
+        def make_rlock() -> Any:
             return watcher.wrap(_RAW_RLOCK())
 
         threading.Lock = make_lock  # type: ignore[assignment]
@@ -206,7 +206,7 @@ class LockOrderWatcher:
     def __enter__(self) -> "LockOrderWatcher":
         return self.install()
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.uninstall()
 
     @staticmethod

@@ -405,6 +405,12 @@ class FilterService:
             )
         except ServiceOverloadError:
             self.stats.bump(rejected=1)
+            if req.span is not None:
+                # A rejected request still yields a *closed* trace:
+                # leaving the root span open here leaks one span per
+                # shed request for the life of an overload storm.
+                req.span.set(rejected=True)
+                tracer.finish(req.span)
             raise
         if evicted is not None:
             self._resolve_degraded(evicted, "shed")
@@ -425,8 +431,12 @@ class FilterService:
                 return
             try:
                 self._serve(req)
-            except BaseException as exc:  # pragma: no cover - last resort  # lint: allow[bare-except]
-                # A worker must never die with a promise unsettled.
+            except BaseException as exc:  # last resort  # lint: allow[bare-except]
+                # A worker must never die with a promise unsettled —
+                # or with the request's root span left open (finish is
+                # idempotent, so a span _resolve already closed is safe).
+                if req.span is not None:
+                    get_tracer().finish(req.span)
                 if not req.future.done():
                     req.future.set_exception(exc)
 

@@ -123,8 +123,6 @@ class FaultInjector:
         self._armed_torn = 0
         self._armed_flip = 0
         self._armed_torn_append = 0
-        self._armed_slow_after = 0
-        self._armed_slow = 0
 
     # ------------------------------------------------------------------
     # arming (deterministic single faults for regression tests)
@@ -174,21 +172,6 @@ class FaultInjector:
             self._armed_torn = 0
             self._armed_flip = 0
             self._armed_torn_append = 0
-            self._armed_slow_after = 0
-            self._armed_slow = 0
-
-    def arm_slow_reads(self, count: int = 1, *, after: int = 0) -> None:
-        """Make the next ``count`` reads slow, skipping ``after`` first.
-
-        Each armed slow read charges ``slow_read_ns`` of simulated
-        latency exactly once — the deterministic analogue of
-        ``slow_read_p`` for regression tests ("the third read stalls").
-        """
-        if count < 0 or after < 0:
-            raise ValueError("count and after must be non-negative")
-        with self._lock:
-            self._armed_slow_after = after
-            self._armed_slow = count
 
     # ------------------------------------------------------------------
     # decision points (called by StorageEnv)
@@ -217,12 +200,6 @@ class FaultInjector:
         ``stats.slow_reads`` / ``stats.slow_read_ns``.
         """
         with self._lock:
-            if self._armed_slow_after > 0:
-                self._armed_slow_after -= 1
-                return 0
-            if self._armed_slow > 0:
-                self._armed_slow -= 1
-                return self.slow_read_ns
             if self.slow_read_p and self._rng.random() < self.slow_read_p:
                 return self.slow_read_ns
         return 0

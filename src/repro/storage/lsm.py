@@ -446,10 +446,6 @@ class LSMTree:
                 (k, v) for k, v in sorted(result.items()) if v is not TOMBSTONE
             ]
 
-    def range_empty(self) -> bool:  # pragma: no cover - convenience
-        """True iff the tree holds no live keys."""
-        return len(self) == 0
-
     # ------------------------------------------------------------------
     # persistence & crash recovery
     # ------------------------------------------------------------------

@@ -133,12 +133,6 @@ class DriftDetector:
     # ------------------------------------------------------------------
     # windowing
     # ------------------------------------------------------------------
-    def rotate(self) -> float:
-        """Close the current window, score it against the previous one."""
-        with self._lock:
-            self._rotate_locked()
-            return self._score
-
     def _rotate_locked(self) -> None:
         """Close/score the current window (lock held)."""
         cur, prev = self._cur, self._prev

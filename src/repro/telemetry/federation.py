@@ -139,11 +139,6 @@ class FederatedRegistry:
         with self._lock:
             self._sources[name] = _Source(name, registry_fn, labels_fn)
 
-    def detach(self, name: str) -> None:
-        """Remove a source (a decommissioned replica)."""
-        with self._lock:
-            self._sources.pop(name, None)
-
     def source_names(self) -> list[str]:
         """Names of the attached sources (each appears exactly once)."""
         with self._lock:

@@ -1,0 +1,25 @@
+"""A-side of a static AB/BA lock-order cycle (with ``beta.py``)."""
+
+import threading
+
+from repro.cluster.beta import Beta
+
+
+class Alpha:
+    """Holds its own lock while calling into :class:`Beta`."""
+
+    def __init__(self, peer: Beta) -> None:
+        self._lock = threading.Lock()
+        self.peer = peer
+        self._hits = 0
+
+    def sweep(self) -> None:
+        """Acquire A, then B through the peer call: edge A → B."""
+        with self._lock:
+            self._hits += 1
+            self.peer.drain()
+
+    def poke(self) -> None:
+        """Acquire A alone (the callback ``Beta.flush`` uses)."""
+        with self._lock:
+            self._hits += 1

@@ -1,0 +1,28 @@
+"""B-side of a static AB/BA lock-order cycle (with ``alpha.py``).
+
+The textual import cycle with ``alpha`` is deliberate and harmless: the
+fixture is only ever parsed by the call-graph builder, never imported.
+"""
+
+import threading
+
+from repro.cluster.alpha import Alpha
+
+
+class Beta:
+    """Holds its own lock while calling back into an :class:`Alpha`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._drained = 0
+
+    def drain(self) -> None:
+        """Acquire B alone (the inner half of ``Alpha.sweep``)."""
+        with self._lock:
+            self._drained += 1
+
+    def flush(self, peer: Alpha) -> None:
+        """Acquire B, then A through the callback: edge B → A."""
+        with self._lock:
+            self._drained += 1
+            peer.poke()

@@ -1,0 +1,36 @@
+"""Half a lock cycle: the static graph alone is acyclic here.
+
+``Gate.admit`` contributes the static edge gate-lock → meter-lock.  The
+committed ``sanitizer_report.json`` contributes the reverse edge — an
+ordering only ever seen at runtime — so the cycle exists *only in the
+union* of the two graphs.
+"""
+
+import threading
+
+
+class Meter:
+    """Inner lock: acquired while the gate lock is held."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def tick(self) -> None:
+        """Acquire M alone."""
+        with self._lock:
+            self._count += 1
+
+
+class Gate:
+    """Outer lock: calls into :class:`Meter` while holding its own."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._open = 0
+
+    def admit(self, meter: Meter) -> None:
+        """Acquire G, then M: static edge G → M."""
+        with self._lock:
+            self._open += 1
+            meter.tick()

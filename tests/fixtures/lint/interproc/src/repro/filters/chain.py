@@ -1,0 +1,29 @@
+"""Cross-module negative laundering: the interproc-one-sided fixture.
+
+``query_range`` falls back to ``ProbeFilter.might_contain`` inside an
+``except`` handler.  The returned value is a *call result*, not a
+negative literal, so the file-local rule cannot see the problem — only
+the interprocedural taint pass, which knows the callee may answer
+negative, can.
+"""
+
+from repro.filters.probe import ProbeFilter
+
+
+class ChainFilter:
+    """Caches answers; degrades to the probe on a cache miss."""
+
+    def __init__(self, probe: ProbeFilter) -> None:
+        self.probe = probe
+        self._table = {}
+
+    def query_range(self, lo: int, hi: int) -> bool:
+        """Answer from cache, falling back to the probe on a miss."""
+        try:
+            return self._cached(lo, hi)
+        except KeyError:
+            return self.probe.might_contain(lo, hi)
+
+    def _cached(self, lo: int, hi: int) -> bool:
+        """Cache lookup; raises ``KeyError`` on a miss."""
+        return self._table[(lo, hi)]

@@ -1,0 +1,26 @@
+"""Leaf filter: the may-return-negative taint source, plus dead code.
+
+``ProbeFilter.might_contain`` returns ``False`` on a normal path — the
+file-local one-sided rule stays silent, but the interprocedural taint
+fixpoint must mark it may-return-negative so the laundering return in
+``chain.py`` is caught across the module boundary.
+"""
+
+
+class ProbeFilter:
+    """Scans an in-memory key set (the taint source)."""
+
+    def __init__(self) -> None:
+        self.keys = set()
+
+    def might_contain(self, lo: int, hi: int) -> bool:
+        """True iff any key falls inside ``[lo, hi]``."""
+        for key in self.keys:
+            if lo <= key <= hi:
+                return True
+        return False
+
+
+def _stale_scan(keys):
+    """Unreachable from anything: the dead-code fixture."""
+    return sorted(keys)

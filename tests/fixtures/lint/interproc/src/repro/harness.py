@@ -1,0 +1,32 @@
+"""Wires the fixture objects together so reachable code stays reachable.
+
+Without these call edges every fixture entry point would itself be
+flagged dead — the dead-code pass must report *exactly* the one
+deliberately orphaned function (``probe._stale_scan``).
+"""
+
+from repro.cluster.alpha import Alpha
+from repro.cluster.beta import Beta
+from repro.cluster.gamma import Gate, Meter
+from repro.filters.chain import ChainFilter
+from repro.filters.probe import ProbeFilter
+from repro.service.svc import MiniService
+from repro.storage.envio import StorageEnv
+
+__all__ = ["exercise"]
+
+
+def exercise() -> None:
+    """Call every fixture entry point once."""
+    beta = Beta()
+    alpha = Alpha(beta)
+    alpha.sweep()
+    beta.flush(alpha)
+    meter = Meter()
+    Gate().admit(meter)
+    env = StorageEnv()
+    svc = MiniService(env)
+    svc.submit(1)
+    svc.submit_scoped(2)
+    chain = ChainFilter(ProbeFilter())
+    chain.query_range(1, 2)

@@ -1,0 +1,40 @@
+"""Deadline-propagation fixture: two submit chains into blocking I/O.
+
+``submit`` reaches ``StorageEnv.read`` two hops down with no
+``deadline_scope`` anywhere on the chain — the interproc-deadline
+finding.  ``submit_scoped`` runs the same shape of chain entirely under
+a deadline scope, so its leaf must *not* be flagged (the protecting
+edge breaks reachability).
+"""
+
+from repro.storage.envio import StorageEnv
+
+
+class MiniService:
+    """One bare submit chain (finding), one deadline-scoped (clean)."""
+
+    def __init__(self, env: StorageEnv) -> None:
+        self.env = env
+
+    def submit(self, key: int) -> bool:
+        """Entry point: plans, then fetches — no deadline anywhere."""
+        return self._plan(key)
+
+    def _plan(self, key: int) -> bool:
+        """Hop one."""
+        return self._fetch(key)
+
+    def _fetch(self, key: int) -> bool:
+        """Hop two: the blocking read (expected interproc-deadline)."""
+        self.env.read(True)
+        return True
+
+    def submit_scoped(self, key: int) -> bool:
+        """Entry point whose whole chain runs under a deadline."""
+        with self.env.deadline_scope(None):
+            return self._covered(key)
+
+    def _covered(self, key: int) -> bool:
+        """Reachable only through a protecting edge: no finding."""
+        self.env.read(True)
+        return True

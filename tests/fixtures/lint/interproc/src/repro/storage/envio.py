@@ -1,0 +1,19 @@
+"""Minimal ``StorageEnv`` stand-in: one charging read + deadline scope."""
+
+from contextlib import contextmanager
+
+
+class StorageEnv:
+    """Fixture env: ``read`` charges the (pretend) simulated clock."""
+
+    def __init__(self) -> None:
+        self.reads = 0
+
+    def read(self, useful: bool = True) -> None:
+        """Charge one simulated second-level read."""
+        self.reads += 1
+
+    @contextmanager
+    def deadline_scope(self, deadline_ns):
+        """Deadline context (no-op stand-in)."""
+        yield self

@@ -22,7 +22,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.errors import FilterError
+from repro.core.errors import FilterError, TransientIOError
 from repro.core.rencoder import REncoder
 from repro.core.serialize import dumps, loads
 from repro.core.variants import REncoderPO, REncoderSE, REncoderSS
@@ -357,6 +357,23 @@ def test_property_no_false_negatives_under_any_fault_mix(
     summary = lsm.recover()
     assert summary["loaded"] + summary["rebuilt"] == summary["tables"]
     probe = [int(k) for k in keys[:: max(1, len(keys) // 60)]]
+
+    # One-sided error is about *answers*: a present key must never be
+    # reported absent.  Exhausting the read-retry budget and re-raising
+    # TransientIOError is the env's documented availability behaviour
+    # (p ~= transient^(retries+1) per read chain — rare but reachable at
+    # the strategy's upper bound), not a false negative, so a probe that
+    # faults out is retried rather than failed.
+    def eventually(fn):
+        for _ in range(8):
+            try:
+                return fn()
+            except TransientIOError:
+                continue
+        return fn()
+
     for k in probe:
-        assert lsm.get(k) == (True, k & 0xFF)
-    assert lsm.get_many(probe) == [(True, k & 0xFF) for k in probe]
+        assert eventually(lambda: lsm.get(k)) == (True, k & 0xFF)
+    assert eventually(lambda: lsm.get_many(probe)) == [
+        (True, k & 0xFF) for k in probe
+    ]

@@ -605,3 +605,63 @@ def test_cli_serve_bench_smoke(capsys):
     assert rc == 0
     out = capsys.readouterr().out
     assert "goodput_qps" in out and "drop-oldest" in out
+
+
+class TestSpanLifecycle:
+    """Regressions for span leaks the interprocedural analyzer surfaced.
+
+    Both bugs had the same shape: ``_submit`` parks the root span on the
+    request, and an exceptional path (overload rejection, worker crash)
+    dropped the request without ever finishing the span — one leaked
+    open span per shed request for the life of an overload storm.
+    """
+
+    def test_overload_rejection_finishes_root_span(self):
+        from repro.telemetry.tracing import get_tracer
+
+        lsm = _tree()
+        svc = FilterService(
+            lsm, workers=1, queue_depth=1, shed_policy="reject-new"
+        )
+        svc._started = True  # no workers: the queue stays full
+        tracer = get_tracer().enable()
+        try:
+            # The submit-thread current span adopts every service root
+            # span as a child, so the test can see rejected spans.
+            with tracer.span("test.storm") as storm:
+                svc.submit_range(0, 2)  # occupies the queue slot
+                with pytest.raises(ServiceOverloadError):
+                    for _ in range(3):
+                        svc.submit_range(0, 2)
+            rejected = [
+                c for c in storm.children if c.attrs.get("rejected")
+            ]
+            assert rejected, "no rejected request reached the tracer"
+            assert all(c.end_wall_ns is not None for c in rejected)
+        finally:
+            get_tracer().disable()
+            svc._started = False
+            for req in svc.queue.drain():
+                svc._resolve_degraded(req, "shed")
+
+    def test_worker_crash_finishes_root_span(self):
+        from repro.telemetry.tracing import get_tracer
+
+        lsm = _tree()
+        tracer = get_tracer().enable()
+        try:
+            with tracer.span("test.crash") as outer:
+                with FilterService(lsm, workers=1, queue_depth=4) as svc:
+                    def _boom(req):
+                        raise RuntimeError("injected worker crash")
+
+                    svc._serve = _boom  # every request now crashes the worker
+                    fut = svc.submit_range(0, 2)
+                    with pytest.raises(RuntimeError, match="injected"):
+                        fut.result(timeout=5)
+                    del svc._serve  # restore for stop()'s drain
+            crashed = [c for c in outer.children if c.name == "service.range"]
+            assert crashed, "the crashed request's span never attached"
+            assert all(c.end_wall_ns is not None for c in crashed)
+        finally:
+            get_tracer().disable()
